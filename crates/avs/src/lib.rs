@@ -1,0 +1,84 @@
+//! # avs — the execution framework of the prototype executive
+//!
+//! A headless reimplementation of the parts of the AVS scientific
+//! visualization system the NPSS prototype depends on:
+//!
+//! * **modules** with the AVS entry points — `spec` (declare ports and
+//!   widgets), `compute` (run when scheduled), `destroy` (called when the
+//!   module is removed from a network) — see [`module`];
+//! * **widgets** — dials, sliders, type-in boxes, radio buttons, file
+//!   browsers — through which the user sets parameters before and during a
+//!   run ([`widget`]);
+//! * the **Network Editor** — place modules in a workspace, wire them into
+//!   a dataflow graph, remove them, save and reload networks
+//!   ([`network`], [`library`]);
+//! * a **dataflow scheduler** that executes modules when their inputs or
+//!   widgets change, supporting the iterative execution engine simulations
+//!   need (feedback edges are marked *delayed* and carry the previous
+//!   iteration's value) ([`scheduler`]).
+//!
+//! Port data is UTS [`Value`](uts::Value)s, so anything that flows between
+//! modules can also flow to a remote machine through Schooner — which is
+//! exactly how the NPSS executive combines the two systems.
+//!
+//! # Example
+//!
+//! ```
+//! use avs::{AvsModule, ComputeCtx, ModuleSpec, NetworkEditor, Scheduler,
+//!           Widget, WidgetInput};
+//! use uts::Value;
+//!
+//! struct Source;
+//! impl AvsModule for Source {
+//!     fn spec(&self) -> ModuleSpec {
+//!         ModuleSpec::new("source")
+//!             .output("out", "scalar")
+//!             .widget(Widget::dial("level", 0.0, 10.0, 1.0))
+//!     }
+//!     fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+//!         let level = ctx.widget_number("level")?;
+//!         ctx.set_output("out", Value::Double(level));
+//!         Ok(())
+//!     }
+//! }
+//!
+//! struct Double;
+//! impl AvsModule for Double {
+//!     fn spec(&self) -> ModuleSpec {
+//!         ModuleSpec::new("double").input("in", "scalar").output("out", "scalar")
+//!     }
+//!     fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+//!         let x = ctx.require_input("in")?.as_f64().ok_or("not numeric")?;
+//!         ctx.set_output("out", Value::Double(2.0 * x));
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut editor = NetworkEditor::new();
+//! let s = editor.add_module("src", Box::new(Source)).unwrap();
+//! let d = editor.add_module("dbl", Box::new(Double)).unwrap();
+//! editor.connect(s, "out", d, "in").unwrap();
+//!
+//! let mut sched = Scheduler::new();
+//! sched.settle(&mut editor, 10).unwrap();
+//! assert_eq!(editor.output(d, "out"), Some(&Value::Double(2.0)));
+//!
+//! // Turning a widget re-executes the affected modules.
+//! editor.set_widget(s, "level", WidgetInput::Number(5.0)).unwrap();
+//! sched.settle(&mut editor, 10).unwrap();
+//! assert_eq!(editor.output(d, "out"), Some(&Value::Double(10.0)));
+//! ```
+
+pub mod library;
+pub mod module;
+pub mod network;
+pub mod probe;
+pub mod scheduler;
+pub mod widget;
+
+pub use library::{ModuleLibrary, NetworkDescription};
+pub use module::{AvsModule, ComputeCtx, ModuleSpec, PortSpec};
+pub use network::{Connection, ModuleId, NetworkEditor};
+pub use probe::{Observation, Probe, ProbeHandle};
+pub use scheduler::{ExecReport, Scheduler};
+pub use widget::{Widget, WidgetInput};

@@ -1,0 +1,235 @@
+//! Modules: the unit of composition in a network.
+//!
+//! A module mirrors the three AVS entry points:
+//!
+//! * [`AvsModule::spec`] — called once when the module is placed in a
+//!   network; declares its input/output ports and its widgets (this is
+//!   where the NPSS modules add their remote-machine and pathname
+//!   widgets);
+//! * [`AvsModule::compute`] — called each time the module is scheduled;
+//!   reads inputs and widget values, writes outputs (this is where the
+//!   adapted modules invoke their remote computations through Schooner);
+//! * [`AvsModule::destroy`] — called when the module is removed from the
+//!   network or the network is cleared (this is where `sch_i_quit` goes).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use uts::Value;
+
+use crate::widget::Widget;
+
+/// A declared input or output port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// Port name, unique among the module's ports of that direction.
+    pub name: String,
+    /// Data kind tag; only like-kinded ports may be connected.
+    pub kind: String,
+}
+
+impl PortSpec {
+    /// Shorthand constructor.
+    pub fn new(name: &str, kind: &str) -> Self {
+        Self { name: name.to_owned(), kind: kind.to_owned() }
+    }
+}
+
+/// The declaration a module makes when placed in a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    /// The module's type name (shared by all instances).
+    pub type_name: String,
+    /// Input ports.
+    pub inputs: Vec<PortSpec>,
+    /// Output ports.
+    pub outputs: Vec<PortSpec>,
+    /// Control-panel widgets with their initial values.
+    pub widgets: Vec<Widget>,
+}
+
+impl ModuleSpec {
+    /// Start building a spec.
+    pub fn new(type_name: &str) -> Self {
+        Self {
+            type_name: type_name.to_owned(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            widgets: Vec::new(),
+        }
+    }
+
+    /// Add an input port.
+    pub fn input(mut self, name: &str, kind: &str) -> Self {
+        self.inputs.push(PortSpec::new(name, kind));
+        self
+    }
+
+    /// Add an output port.
+    pub fn output(mut self, name: &str, kind: &str) -> Self {
+        self.outputs.push(PortSpec::new(name, kind));
+        self
+    }
+
+    /// Add a widget.
+    pub fn widget(mut self, w: Widget) -> Self {
+        self.widgets.push(w);
+        self
+    }
+
+    /// Find an input port.
+    pub fn find_input(&self, name: &str) -> Option<&PortSpec> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Find an output port.
+    pub fn find_output(&self, name: &str) -> Option<&PortSpec> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+}
+
+/// Everything a module sees during one `compute` invocation.
+pub struct ComputeCtx<'a> {
+    pub(crate) inputs: &'a HashMap<String, Value>,
+    pub(crate) widgets: &'a [Widget],
+    pub(crate) outputs: &'a mut HashMap<String, Value>,
+    pub(crate) iteration: u64,
+}
+
+impl<'a> ComputeCtx<'a> {
+    /// The scheduler iteration this invocation belongs to.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Value on an input port, if anything has been delivered.
+    pub fn input(&self, name: &str) -> Option<&Value> {
+        self.inputs.get(name)
+    }
+
+    /// Value on an input port, or an error naming the port.
+    pub fn require_input(&self, name: &str) -> Result<&Value, String> {
+        self.inputs
+            .get(name)
+            .ok_or_else(|| format!("input port '{name}' has no data"))
+    }
+
+    /// The widget with the given name.
+    pub fn widget(&self, name: &str) -> Option<&Widget> {
+        self.widgets.iter().find(|w| w.name() == name)
+    }
+
+    /// Numeric widget value, or an error naming the widget.
+    pub fn widget_number(&self, name: &str) -> Result<f64, String> {
+        self.widget(name)
+            .and_then(Widget::as_number)
+            .ok_or_else(|| format!("no numeric widget '{name}'"))
+    }
+
+    /// Text widget value, or an error naming the widget.
+    pub fn widget_text(&self, name: &str) -> Result<&str, String> {
+        self.widget(name)
+            .and_then(Widget::as_text)
+            .ok_or_else(|| format!("no text widget '{name}'"))
+    }
+
+    /// Radio-button selection, or an error naming the widget.
+    pub fn widget_choice(&self, name: &str) -> Result<&str, String> {
+        self.widget(name)
+            .and_then(Widget::as_choice)
+            .ok_or_else(|| format!("no choice widget '{name}'"))
+    }
+
+    /// Toggle state, or an error naming the widget.
+    pub fn widget_bool(&self, name: &str) -> Result<bool, String> {
+        self.widget(name)
+            .and_then(Widget::as_bool)
+            .ok_or_else(|| format!("no toggle widget '{name}'"))
+    }
+
+    /// Write a value to an output port.
+    pub fn set_output(&mut self, name: &str, value: Value) {
+        self.outputs.insert(name.to_owned(), value);
+    }
+}
+
+/// The module trait: spec / compute / destroy.
+pub trait AvsModule: Send {
+    /// Declare ports and widgets. Called once at placement.
+    fn spec(&self) -> ModuleSpec;
+
+    /// Execute. Called whenever the scheduler decides the module needs to
+    /// run (inputs or widgets changed, or a forced execution).
+    fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String>;
+
+    /// Tear down. Called when the module is removed from the network.
+    fn destroy(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Adder;
+    impl AvsModule for Adder {
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new("adder")
+                .input("a", "scalar")
+                .input("b", "scalar")
+                .output("sum", "scalar")
+                .widget(Widget::dial("bias", -10.0, 10.0, 0.0))
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+            let a = ctx.require_input("a")?.as_f64().ok_or("a not numeric")?;
+            let b = ctx.require_input("b")?.as_f64().ok_or("b not numeric")?;
+            let bias = ctx.widget_number("bias")?;
+            ctx.set_output("sum", Value::Double(a + b + bias));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn spec_builder_and_lookups() {
+        let spec = Adder.spec();
+        assert_eq!(spec.type_name, "adder");
+        assert!(spec.find_input("a").is_some());
+        assert!(spec.find_input("sum").is_none());
+        assert_eq!(spec.find_output("sum").unwrap().kind, "scalar");
+        assert_eq!(spec.widgets.len(), 1);
+    }
+
+    #[test]
+    fn compute_reads_inputs_and_widgets() {
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_owned(), Value::Double(1.0));
+        inputs.insert("b".to_owned(), Value::Double(2.0));
+        let widgets = vec![Widget::dial("bias", -10.0, 10.0, 0.5)];
+        let mut outputs = HashMap::new();
+        let mut ctx = ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 3 };
+        assert_eq!(ctx.iteration(), 3);
+        Adder.compute(&mut ctx).unwrap();
+        assert_eq!(outputs["sum"], Value::Double(3.5));
+    }
+
+    #[test]
+    fn missing_input_is_a_described_error() {
+        let inputs = HashMap::new();
+        let widgets = vec![Widget::dial("bias", -10.0, 10.0, 0.0)];
+        let mut outputs = HashMap::new();
+        let mut ctx = ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 0 };
+        let err = Adder.compute(&mut ctx).unwrap_err();
+        assert!(err.contains("'a'"), "{err}");
+    }
+
+    #[test]
+    fn widget_accessors_report_missing() {
+        let inputs = HashMap::new();
+        let widgets: Vec<Widget> = vec![];
+        let mut outputs = HashMap::new();
+        let ctx = ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 0 };
+        assert!(ctx.widget_number("zz").is_err());
+        assert!(ctx.widget_text("zz").is_err());
+        assert!(ctx.widget_choice("zz").is_err());
+        assert!(ctx.widget_bool("zz").is_err());
+    }
+}

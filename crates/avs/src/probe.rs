@@ -1,0 +1,166 @@
+//! Probe modules: monitoring values inside a running network.
+//!
+//! The executive's user needs "the ability to monitor the simulation
+//! through selectively viewing graphical results or monitoring particular
+//! values from selected component codes". A [`Probe`] is the headless
+//! form of that: wired to any output port, it records the value it sees
+//! at every execution, and the paired [`ProbeHandle`] reads the recorded
+//! series from outside the network (where a real AVS would drive a graph
+//! widget).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use uts::Value;
+
+use crate::module::{AvsModule, ComputeCtx, ModuleSpec};
+use crate::widget::Widget;
+
+/// One recorded observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Scheduler iteration at which the value was seen.
+    pub iteration: u64,
+    /// The observed value.
+    pub value: Value,
+}
+
+/// Reader half of a probe.
+#[derive(Clone)]
+pub struct ProbeHandle {
+    series: Arc<Mutex<Vec<Observation>>>,
+}
+
+impl ProbeHandle {
+    /// All observations so far.
+    pub fn series(&self) -> Vec<Observation> {
+        self.series.lock().clone()
+    }
+
+    /// The most recent observation.
+    pub fn latest(&self) -> Option<Observation> {
+        self.series.lock().last().cloned()
+    }
+
+    /// Numeric view of the series (non-numeric observations skipped).
+    pub fn numbers(&self) -> Vec<(u64, f64)> {
+        self.series
+            .lock()
+            .iter()
+            .filter_map(|o| o.value.as_f64().map(|v| (o.iteration, v)))
+            .collect()
+    }
+
+    /// Drop recorded history.
+    pub fn clear(&self) {
+        self.series.lock().clear();
+    }
+}
+
+/// The probe module: one input port, no outputs, an on/off widget.
+pub struct Probe {
+    kind: String,
+    series: Arc<Mutex<Vec<Observation>>>,
+}
+
+impl Probe {
+    /// Create a probe for ports of data kind `kind`, returning the module
+    /// and its reader.
+    pub fn new(kind: &str) -> (Self, ProbeHandle) {
+        let series = Arc::new(Mutex::new(Vec::new()));
+        (
+            Self { kind: kind.to_owned(), series: series.clone() },
+            ProbeHandle { series },
+        )
+    }
+}
+
+impl AvsModule for Probe {
+    fn spec(&self) -> ModuleSpec {
+        ModuleSpec::new("probe")
+            .input("in", &self.kind)
+            .widget(Widget::toggle("recording", true))
+    }
+
+    fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+        if !ctx.widget_bool("recording")? {
+            return Ok(());
+        }
+        if let Some(v) = ctx.input("in") {
+            self.series
+                .lock()
+                .push(Observation { iteration: ctx.iteration(), value: v.clone() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkEditor;
+    use crate::scheduler::Scheduler;
+    use crate::widget::WidgetInput;
+
+    struct Source(f64);
+    impl AvsModule for Source {
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new("source")
+                .output("out", "scalar")
+                .widget(Widget::dial("level", 0.0, 100.0, 1.0))
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+            let level = ctx.widget_number("level")?;
+            ctx.set_output("out", Value::Double(level * self.0));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn probe_records_each_new_value() {
+        let mut ed = NetworkEditor::new();
+        let src = ed.add_module("src", Box::new(Source(2.0))).unwrap();
+        let (probe, handle) = Probe::new("scalar");
+        let p = ed.add_module("monitor", Box::new(probe)).unwrap();
+        ed.connect(src, "out", p, "in").unwrap();
+        let mut sched = Scheduler::new();
+        sched.settle(&mut ed, 10).unwrap();
+        ed.set_widget(src, "level", WidgetInput::Number(5.0)).unwrap();
+        sched.settle(&mut ed, 10).unwrap();
+
+        let numbers = handle.numbers();
+        assert_eq!(numbers.len(), 2);
+        assert_eq!(numbers[0].1, 2.0);
+        assert_eq!(numbers[1].1, 10.0);
+        assert_eq!(handle.latest().unwrap().value, Value::Double(10.0));
+    }
+
+    #[test]
+    fn recording_toggle_pauses_capture() {
+        let mut ed = NetworkEditor::new();
+        let src = ed.add_module("src", Box::new(Source(1.0))).unwrap();
+        let (probe, handle) = Probe::new("scalar");
+        let p = ed.add_module("monitor", Box::new(probe)).unwrap();
+        ed.connect(src, "out", p, "in").unwrap();
+        let mut sched = Scheduler::new();
+        sched.settle(&mut ed, 10).unwrap();
+        assert_eq!(handle.series().len(), 1);
+
+        ed.set_widget(p, "recording", WidgetInput::Bool(false)).unwrap();
+        ed.set_widget(src, "level", WidgetInput::Number(9.0)).unwrap();
+        sched.settle(&mut ed, 10).unwrap();
+        assert_eq!(handle.series().len(), 1, "paused probe must not record");
+
+        handle.clear();
+        assert!(handle.series().is_empty());
+    }
+
+    #[test]
+    fn kind_mismatch_refused_at_connect() {
+        let mut ed = NetworkEditor::new();
+        let src = ed.add_module("src", Box::new(Source(1.0))).unwrap();
+        let (probe, _h) = Probe::new("flow");
+        let p = ed.add_module("monitor", Box::new(probe)).unwrap();
+        assert!(ed.connect(src, "out", p, "in").is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! The dataflow scheduler.
+//!
+//! AVS executes a module whenever its inputs or widget settings change.
+//! The scheduler here does the same over the Network Editor's graph:
+//!
+//! * one [`Scheduler::step`] walks the modules in topological order
+//!   (immediate edges only), delivering fresh upstream outputs downstream
+//!   within the same pass and previous-iteration values across *delayed*
+//!   (feedback) edges, and executes every module whose inputs differ from
+//!   what it last saw — or that was explicitly marked (fresh placement,
+//!   widget change, [`Scheduler::mark`]);
+//! * [`Scheduler::settle`] iterates steps to a fixed point, which is how a
+//!   network containing feedback converges.
+
+use std::collections::HashMap;
+
+use uts::Value;
+
+use crate::module::ComputeCtx;
+use crate::network::{ModuleId, NetworkEditor};
+
+/// What one scheduling pass did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    /// The pass number (monotonic per scheduler).
+    pub iteration: u64,
+    /// Instance names of the modules that executed, in execution order.
+    pub executed: Vec<String>,
+}
+
+/// An error raised by a module's `compute`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleError {
+    /// The failing module's instance name.
+    pub module: String,
+    /// Its error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "module '{}' failed: {}", self.module, self.message)
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// Drives a [`NetworkEditor`].
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    iteration: u64,
+}
+
+impl Scheduler {
+    /// A fresh scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Passes run so far.
+    pub fn iterations(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Force a module to execute on the next pass.
+    pub fn mark(&self, editor: &mut NetworkEditor, id: ModuleId) -> Result<(), String> {
+        editor.instance_mut(id)?.dirty = true;
+        Ok(())
+    }
+
+    /// Force every module to execute on the next pass.
+    pub fn mark_all(&self, editor: &mut NetworkEditor) {
+        for id in editor.module_ids() {
+            let _ = self.mark(editor, id);
+        }
+    }
+
+    /// Run one scheduling pass.
+    pub fn step(&mut self, editor: &mut NetworkEditor) -> Result<ExecReport, ModuleError> {
+        self.iteration += 1;
+        let order = editor
+            .topo_order_immediate()
+            .expect("editor enforces immediate-graph acyclicity");
+
+        // Snapshot outputs for delayed edges: they see last iteration.
+        let mut delayed_snapshot: HashMap<(ModuleId, String), Value> = HashMap::new();
+        for c in editor.connections() {
+            if c.delayed {
+                if let Some(v) = editor.output(c.from, &c.from_port) {
+                    delayed_snapshot.insert((c.from, c.from_port.clone()), v.clone());
+                }
+            }
+        }
+
+        let mut executed = Vec::new();
+        for id in order {
+            // Gather this module's inputs.
+            let mut inputs: HashMap<String, Value> = HashMap::new();
+            let conns: Vec<_> = editor
+                .connections()
+                .iter()
+                .filter(|c| c.to == id)
+                .cloned()
+                .collect();
+            for c in conns {
+                let v = if c.delayed {
+                    delayed_snapshot.get(&(c.from, c.from_port.clone())).cloned()
+                } else {
+                    editor.output(c.from, &c.from_port).cloned()
+                };
+                if let Some(v) = v {
+                    inputs.insert(c.to_port, v);
+                }
+            }
+
+            let inst = editor.instance_mut(id).expect("live module");
+            let needs_run = inst.dirty || inst.last_inputs.as_ref() != Some(&inputs);
+            if !needs_run {
+                continue;
+            }
+            let mut outputs = std::mem::take(&mut inst.outputs);
+            let result = {
+                let mut ctx = ComputeCtx {
+                    inputs: &inputs,
+                    widgets: &inst.widgets,
+                    outputs: &mut outputs,
+                    iteration: self.iteration,
+                };
+                inst.module.compute(&mut ctx)
+            };
+            inst.outputs = outputs;
+            match result {
+                Ok(()) => {
+                    inst.dirty = false;
+                    inst.last_inputs = Some(inputs);
+                    inst.exec_count += 1;
+                    executed.push(inst.name.clone());
+                }
+                Err(message) => {
+                    return Err(ModuleError { module: inst.name.clone(), message });
+                }
+            }
+        }
+        Ok(ExecReport { iteration: self.iteration, executed })
+    }
+
+    /// Step until a pass executes nothing (fixed point), up to
+    /// `max_passes`. Returns the number of passes that executed at least
+    /// one module, or `Err` with the module failure.
+    pub fn settle(
+        &mut self,
+        editor: &mut NetworkEditor,
+        max_passes: usize,
+    ) -> Result<usize, ModuleError> {
+        let mut active = 0;
+        for _ in 0..max_passes {
+            let report = self.step(editor)?;
+            if report.executed.is_empty() {
+                return Ok(active);
+            }
+            active += 1;
+        }
+        Ok(active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{AvsModule, ModuleSpec};
+    use crate::widget::{Widget, WidgetInput};
+
+    struct Source;
+    impl AvsModule for Source {
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new("source")
+                .output("out", "flow")
+                .widget(Widget::dial("level", 0.0, 100.0, 1.0))
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+            let level = ctx.widget_number("level")?;
+            ctx.set_output("out", Value::Double(level));
+            Ok(())
+        }
+    }
+
+    struct AddOne;
+    impl AvsModule for AddOne {
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new("addone").input("in", "flow").output("out", "flow")
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+            let x = ctx.require_input("in")?.as_f64().ok_or("not numeric")?;
+            ctx.set_output("out", Value::Double(x + 1.0));
+            Ok(())
+        }
+    }
+
+    /// `out = (in + fb) / 2` with a delayed feedback of its own output —
+    /// converges to `in`.
+    struct Relax;
+    impl AvsModule for Relax {
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new("relax")
+                .input("in", "flow")
+                .input("fb", "flow")
+                .output("out", "flow")
+        }
+        fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+            let x = ctx.require_input("in")?.as_f64().ok_or("nan")?;
+            let fb = ctx.input("fb").and_then(Value::as_f64).unwrap_or(0.0);
+            // Round to keep equality-based convergence detection exact.
+            let next = ((x + fb) / 2.0 * 1e9).round() / 1e9;
+            ctx.set_output("out", Value::Double(next));
+            Ok(())
+        }
+    }
+
+    struct Faulty;
+    impl AvsModule for Faulty {
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new("faulty").input("in", "flow")
+        }
+        fn compute(&mut self, _ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+            Err("kaboom".into())
+        }
+    }
+
+    #[test]
+    fn first_pass_executes_everything_then_quiesces() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let a = ed.add_module("a", Box::new(AddOne)).unwrap();
+        ed.connect(s, "out", a, "in").unwrap();
+        let mut sched = Scheduler::new();
+        let r = sched.step(&mut ed).unwrap();
+        assert_eq!(r.executed, vec!["s".to_owned(), "a".to_owned()]);
+        assert_eq!(ed.output(a, "out"), Some(&Value::Double(2.0)));
+        // Nothing changed: second pass executes nothing.
+        let r = sched.step(&mut ed).unwrap();
+        assert!(r.executed.is_empty());
+    }
+
+    #[test]
+    fn widget_change_reexecutes_downstream() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let a = ed.add_module("a", Box::new(AddOne)).unwrap();
+        ed.connect(s, "out", a, "in").unwrap();
+        let mut sched = Scheduler::new();
+        sched.step(&mut ed).unwrap();
+        ed.set_widget(s, "level", WidgetInput::Number(10.0)).unwrap();
+        let r = sched.step(&mut ed).unwrap();
+        assert_eq!(r.executed, vec!["s".to_owned(), "a".to_owned()]);
+        assert_eq!(ed.output(a, "out"), Some(&Value::Double(11.0)));
+    }
+
+    #[test]
+    fn unchanged_upstream_does_not_reexecute_downstream() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let a = ed.add_module("a", Box::new(AddOne)).unwrap();
+        ed.connect(s, "out", a, "in").unwrap();
+        let mut sched = Scheduler::new();
+        sched.step(&mut ed).unwrap();
+        // Re-set the widget to the same value: source runs (dirty), but
+        // its output is unchanged so downstream stays quiet.
+        ed.set_widget(s, "level", WidgetInput::Number(1.0)).unwrap();
+        let r = sched.step(&mut ed).unwrap();
+        assert_eq!(r.executed, vec!["s".to_owned()]);
+    }
+
+    #[test]
+    fn feedback_relaxation_converges() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let r = ed.add_module("r", Box::new(Relax)).unwrap();
+        ed.connect(s, "out", r, "in").unwrap();
+        ed.connect_delayed(r, "out", r, "fb").unwrap();
+        ed.set_widget(s, "level", WidgetInput::Number(8.0)).unwrap();
+        let mut sched = Scheduler::new();
+        let passes = sched.settle(&mut ed, 200).unwrap();
+        assert!(passes > 3, "needs several iterations, took {passes}");
+        let out = ed.output(r, "out").unwrap().as_f64().unwrap();
+        assert!((out - 8.0).abs() < 1e-6, "converged to {out}");
+    }
+
+    #[test]
+    fn module_error_names_the_module() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let f = ed.add_module("bad one", Box::new(Faulty)).unwrap();
+        ed.connect(s, "out", f, "in").unwrap();
+        let mut sched = Scheduler::new();
+        let err = sched.step(&mut ed).unwrap_err();
+        assert_eq!(err.module, "bad one");
+        assert_eq!(err.message, "kaboom");
+    }
+
+    #[test]
+    fn mark_forces_reexecution() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let mut sched = Scheduler::new();
+        sched.step(&mut ed).unwrap();
+        assert_eq!(ed.exec_count(s), 1);
+        sched.mark(&mut ed, s).unwrap();
+        sched.step(&mut ed).unwrap();
+        assert_eq!(ed.exec_count(s), 2);
+    }
+
+    #[test]
+    fn settle_runs_to_fixed_point_and_reports_active_passes() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let a = ed.add_module("a", Box::new(AddOne)).unwrap();
+        ed.connect(s, "out", a, "in").unwrap();
+        let mut sched = Scheduler::new();
+        assert_eq!(sched.settle(&mut ed, 50).unwrap(), 1);
+        assert_eq!(sched.settle(&mut ed, 50).unwrap(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Widgets: the control-panel elements of a module.
+//!
+//! Widgets appear in control panels as dials, sliders, type-in boxes,
+//! etc.; the user sets initial values with them and can modify values
+//! during execution, giving control over each engine component during a
+//! simulation run. The shaft module of the paper, for instance, adds a
+//! radio-button widget to choose the remote machine and a type-in widget
+//! for the executable's pathname.
+
+use serde::{Deserialize, Serialize};
+
+/// A control-panel widget with its current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Widget {
+    /// A rotary dial over a continuous range.
+    Dial {
+        /// Widget name shown in the panel.
+        name: String,
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+        /// Current value.
+        value: f64,
+    },
+    /// A linear slider over a continuous range.
+    Slider {
+        /// Widget name.
+        name: String,
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+        /// Current value.
+        value: f64,
+    },
+    /// A free-text entry box.
+    TypeIn {
+        /// Widget name.
+        name: String,
+        /// Current text.
+        text: String,
+    },
+    /// A one-of-N choice.
+    RadioButtons {
+        /// Widget name.
+        name: String,
+        /// The choices, in display order.
+        choices: Vec<String>,
+        /// Index of the selected choice.
+        selected: usize,
+    },
+    /// A file selector backed by the host's file store.
+    FileBrowser {
+        /// Widget name.
+        name: String,
+        /// Currently selected path (empty = none).
+        path: String,
+    },
+    /// An on/off switch.
+    Toggle {
+        /// Widget name.
+        name: String,
+        /// Current state.
+        on: bool,
+    },
+}
+
+/// A user input directed at a widget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WidgetInput {
+    /// Set a dial or slider value (clamped to its range).
+    Number(f64),
+    /// Set a type-in's text or a file browser's path.
+    Text(String),
+    /// Select a radio-button choice by its label.
+    Choice(String),
+    /// Select a radio-button choice by index.
+    ChoiceIndex(usize),
+    /// Set a toggle.
+    Bool(bool),
+}
+
+impl Widget {
+    /// The widget's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Widget::Dial { name, .. }
+            | Widget::Slider { name, .. }
+            | Widget::TypeIn { name, .. }
+            | Widget::RadioButtons { name, .. }
+            | Widget::FileBrowser { name, .. }
+            | Widget::Toggle { name, .. } => name,
+        }
+    }
+
+    /// Numeric value, if this is a dial or slider.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Widget::Dial { value, .. } | Widget::Slider { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Text value, if this is a type-in or file browser.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Widget::TypeIn { text, .. } => Some(text),
+            Widget::FileBrowser { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// Selected choice label, if this is a radio-button group.
+    pub fn as_choice(&self) -> Option<&str> {
+        match self {
+            Widget::RadioButtons { choices, selected, .. } => {
+                choices.get(*selected).map(String::as_str)
+            }
+            _ => None,
+        }
+    }
+
+    /// Toggle state, if this is a toggle.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Widget::Toggle { on, .. } => Some(*on),
+            _ => None,
+        }
+    }
+
+    /// Apply a user input. Returns `Err` with a description when the
+    /// input kind does not fit the widget.
+    pub fn apply(&mut self, input: &WidgetInput) -> Result<(), String> {
+        match (self, input) {
+            (Widget::Dial { min, max, value, .. }, WidgetInput::Number(x))
+            | (Widget::Slider { min, max, value, .. }, WidgetInput::Number(x)) => {
+                *value = x.clamp(*min, *max);
+                Ok(())
+            }
+            (Widget::TypeIn { text, .. }, WidgetInput::Text(s)) => {
+                *text = s.clone();
+                Ok(())
+            }
+            (Widget::FileBrowser { path, .. }, WidgetInput::Text(s)) => {
+                *path = s.clone();
+                Ok(())
+            }
+            (Widget::RadioButtons { choices, selected, name }, WidgetInput::Choice(label)) => {
+                match choices.iter().position(|c| c == label) {
+                    Some(i) => {
+                        *selected = i;
+                        Ok(())
+                    }
+                    None => Err(format!("'{label}' is not a choice of '{name}'")),
+                }
+            }
+            (Widget::RadioButtons { choices, selected, name }, WidgetInput::ChoiceIndex(i)) => {
+                if *i < choices.len() {
+                    *selected = *i;
+                    Ok(())
+                } else {
+                    Err(format!("choice index {i} out of range for '{name}'"))
+                }
+            }
+            (Widget::Toggle { on, .. }, WidgetInput::Bool(b)) => {
+                *on = *b;
+                Ok(())
+            }
+            (w, input) => Err(format!(
+                "input {input:?} does not fit widget '{}'",
+                w.name()
+            )),
+        }
+    }
+}
+
+/// Convenience constructors matching the AVS creation calls.
+impl Widget {
+    /// A dial.
+    pub fn dial(name: &str, min: f64, max: f64, value: f64) -> Self {
+        Widget::Dial { name: name.to_owned(), min, max, value: value.clamp(min, max) }
+    }
+
+    /// A slider.
+    pub fn slider(name: &str, min: f64, max: f64, value: f64) -> Self {
+        Widget::Slider { name: name.to_owned(), min, max, value: value.clamp(min, max) }
+    }
+
+    /// A type-in box.
+    pub fn type_in(name: &str, text: &str) -> Self {
+        Widget::TypeIn { name: name.to_owned(), text: text.to_owned() }
+    }
+
+    /// A radio-button group.
+    pub fn radio(name: &str, choices: &[&str], selected: usize) -> Self {
+        Widget::RadioButtons {
+            name: name.to_owned(),
+            choices: choices.iter().map(|s| s.to_string()).collect(),
+            selected: selected.min(choices.len().saturating_sub(1)),
+        }
+    }
+
+    /// A file browser.
+    pub fn file_browser(name: &str, path: &str) -> Self {
+        Widget::FileBrowser { name: name.to_owned(), path: path.to_owned() }
+    }
+
+    /// A toggle.
+    pub fn toggle(name: &str, on: bool) -> Self {
+        Widget::Toggle { name: name.to_owned(), on }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dial_clamps_to_range() {
+        let mut w = Widget::dial("moment inertia", 0.0, 10.0, 5.0);
+        w.apply(&WidgetInput::Number(99.0)).unwrap();
+        assert_eq!(w.as_number(), Some(10.0));
+        w.apply(&WidgetInput::Number(-3.0)).unwrap();
+        assert_eq!(w.as_number(), Some(0.0));
+    }
+
+    #[test]
+    fn radio_selection_by_label_and_index() {
+        let mut w = Widget::radio("machine", &["cray", "rs6000", "sgi"], 0);
+        assert_eq!(w.as_choice(), Some("cray"));
+        w.apply(&WidgetInput::Choice("rs6000".into())).unwrap();
+        assert_eq!(w.as_choice(), Some("rs6000"));
+        w.apply(&WidgetInput::ChoiceIndex(2)).unwrap();
+        assert_eq!(w.as_choice(), Some("sgi"));
+        assert!(w.apply(&WidgetInput::Choice("vax".into())).is_err());
+        assert!(w.apply(&WidgetInput::ChoiceIndex(9)).is_err());
+    }
+
+    #[test]
+    fn type_in_and_browser_take_text() {
+        let mut t = Widget::type_in("pathname", "/npss/shaft");
+        t.apply(&WidgetInput::Text("/npss/duct".into())).unwrap();
+        assert_eq!(t.as_text(), Some("/npss/duct"));
+        let mut b = Widget::file_browser("map", "");
+        b.apply(&WidgetInput::Text("/maps/fan.map".into())).unwrap();
+        assert_eq!(b.as_text(), Some("/maps/fan.map"));
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut w = Widget::toggle("afterburner", false);
+        w.apply(&WidgetInput::Bool(true)).unwrap();
+        assert_eq!(w.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn mismatched_input_rejected() {
+        let mut w = Widget::dial("d", 0.0, 1.0, 0.5);
+        assert!(w.apply(&WidgetInput::Text("no".into())).is_err());
+        let mut t = Widget::type_in("t", "");
+        assert!(t.apply(&WidgetInput::Number(1.0)).is_err());
+    }
+
+    #[test]
+    fn accessors_return_none_for_wrong_kind() {
+        let w = Widget::type_in("t", "x");
+        assert_eq!(w.as_number(), None);
+        assert_eq!(w.as_choice(), None);
+        assert_eq!(w.as_bool(), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = Widget::radio("solver", &["Newton-Raphson", "Runge-Kutta"], 1);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Widget = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation A1 — single- and double-precision floats in UTS.
+//!
+//! The original UTS carried only double precision (following K&R C's
+//! promotion rule); adding a separate `float` type halves the bytes on
+//! the wire for single-precision payloads. This bench quantifies what the
+//! change bought: wire size and marshal/unmarshal time of an N-element
+//! array sent as `float` versus coerced to `double`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use schooner::stub::CompiledStub;
+use uts::{Architecture, Value};
+
+fn stub_for(ty: &str, len: usize) -> CompiledStub {
+    let src = format!(
+        r#"export f prog("xs" val array[{len}] of {ty}, "ys" res array[{len}] of {ty})"#
+    );
+    let file = uts::parse_spec_file(&src).unwrap();
+    CompiledStub::compile(&file.decls[0])
+}
+
+fn bench_float_width(c: &mut Criterion) {
+    println!("\n=== Ablation A1: float vs coerce-to-double payloads ===\n");
+    println!("{:>8} {:>14} {:>14} {:>8}", "elems", "float bytes", "double bytes", "ratio");
+    for len in [16usize, 256, 4096] {
+        let fstub = stub_for("float", len);
+        let dstub = stub_for("double", len);
+        let fargs = vec![Value::floats(&vec![1.5f32; len])];
+        let dargs = vec![Value::doubles(&vec![1.5f64; len])];
+        let fb = fstub.marshal_inputs(&fargs, Architecture::SunSparc10).unwrap().len();
+        let db = dstub.marshal_inputs(&dargs, Architecture::SunSparc10).unwrap().len();
+        println!("{len:>8} {fb:>14} {db:>14} {:>8.2}", db as f64 / fb as f64);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("float_width");
+    for len in [256usize, 4096] {
+        let fstub = stub_for("float", len);
+        let dstub = stub_for("double", len);
+        let fargs = vec![Value::floats(&vec![1.5f32; len])];
+        let dargs = vec![Value::doubles(&vec![1.5f64; len])];
+        group.bench_with_input(BenchmarkId::new("float", len), &len, |b, _| {
+            b.iter(|| {
+                let w = fstub.marshal_inputs(&fargs, Architecture::SunSparc10).unwrap();
+                fstub.unmarshal_inputs(w, Architecture::IntelI860).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("double", len), &len, |b, _| {
+            b.iter(|| {
+                let w = dstub.marshal_inputs(&dargs, Architecture::SunSparc10).unwrap();
+                dstub.unmarshal_inputs(w, Architecture::IntelI860).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_float_width);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation A2 — per-line name databases.
+//!
+//! The extended model gives every line its own procedure name database.
+//! This bench measures Manager mapping latency as the number of open
+//! lines (each holding its own instances of the same procedure names)
+//! grows — the situation the F100 network creates with its repeated
+//! module instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use uts::Value;
+
+fn bench_line_scaling(c: &mut Criterion) {
+    let sch = bench::world();
+    sch.install_program("/bench/echo", bench::echo_image(), &["lerc-sgi-4d480"]).unwrap();
+
+    println!("\n=== Ablation A2: mapping latency vs open-line count ===\n");
+    let mut group = c.benchmark_group("line_scaling");
+    group.sample_size(10);
+    // fresh_map spawns a process per iteration; keep the measurement
+    // window short so thread churn stays bounded.
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n_lines in [1usize, 8, 32] {
+        // Open n lines, each with its own instance of procedure `echo`
+        // (duplicate names across lines are the point of the model).
+        let mut lines = Vec::new();
+        for i in 0..n_lines {
+            let mut l = sch.open_line(&format!("scale-{n_lines}-{i}"), "lerc-sparc10").unwrap();
+            l.start_remote("/bench/echo", "lerc-sgi-4d480").unwrap();
+            l.call("echo", &[Value::Double(0.0)]).unwrap();
+            lines.push(l);
+        }
+        // Measure a cached call (steady state) and a fresh mapping via a
+        // brand-new line (Manager lookup under n_lines live databases).
+        group.bench_with_input(
+            BenchmarkId::new("cached_call", n_lines),
+            &n_lines,
+            |b, _| {
+                let line = lines.last_mut().unwrap();
+                b.iter(|| line.call("echo", &[Value::Double(1.0)]).unwrap());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fresh_map", n_lines), &n_lines, |b, _| {
+            b.iter(|| {
+                let mut l = sch.open_line("prober", "lerc-sparc10").unwrap();
+                l.start_remote("/bench/echo", "lerc-sgi-4d480").unwrap();
+                l.call("echo", &[Value::Double(1.0)]).unwrap();
+                l.quit().unwrap();
+            });
+        });
+        for mut l in lines {
+            l.quit().unwrap();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_scaling);
+criterion_main!(benches);

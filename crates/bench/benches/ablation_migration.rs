@@ -1,0 +1,107 @@
+//! Ablation A3 — the cost of procedure migration.
+//!
+//! A move is shutdown + restart + mapping-table rebind, plus a state
+//! transfer when the spec declares `state(...)` variables, plus one
+//! stale-cache recovery per caller. This bench measures each piece:
+//! stateless move, stateful move (growing state sizes), and the penalty
+//! of the first post-move call from a caller holding a stale binding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use schooner::{ProgramImage, StatefulProcedure};
+use uts::Value;
+
+/// A stateful image whose state is an N-element double array.
+fn stateful_image(len: usize) -> ProgramImage {
+    let spec = format!(
+        r#"export hold prog("x" val double, "y" res double) state("buf" array[{len}] of double)"#
+    );
+    ProgramImage::new("holder", &spec)
+        .unwrap()
+        .with_procedure("hold", move || {
+            Box::new(StatefulProcedure::new(
+                vec![0.0f64; len],
+                |buf: &mut Vec<f64>, args: &[Value]| {
+                    let x = args[0].as_f64().ok_or("x")?;
+                    buf[0] += x;
+                    Ok(vec![Value::Double(buf[0])])
+                },
+                |buf: &Vec<f64>| vec![Value::doubles(buf)],
+                |vals: Vec<Value>| {
+                    vals.first()
+                        .and_then(Value::as_f64_slice)
+                        .ok_or_else(|| "bad state".to_string())
+                },
+            ))
+        })
+        .unwrap()
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let sch = bench::world();
+    let hosts = ["lerc-sgi-4d480", "lerc-rs6000"];
+
+    println!("\n=== Ablation A3: migration cost ===\n");
+
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(10);
+
+    // Stateless move.
+    sch.install_program("/bench/echo", bench::echo_image(), &hosts).unwrap();
+    let mut line = sch.open_line("mig-stateless", "lerc-sparc10").unwrap();
+    line.start_remote("/bench/echo", hosts[0]).unwrap();
+    line.call("echo", &[Value::Double(0.0)]).unwrap();
+    let mut flip = 0usize;
+    group.bench_function("stateless_move", |b| {
+        b.iter(|| {
+            flip ^= 1;
+            line.move_procedure("echo", hosts[flip]).unwrap();
+        });
+    });
+    line.quit().unwrap();
+
+    // Stateful moves with growing state.
+    for len in [16usize, 1024, 16384] {
+        let path = format!("/bench/hold{len}");
+        sch.install_program(&path, stateful_image(len), &hosts).unwrap();
+        let mut line = sch.open_line(&format!("mig-{len}"), "lerc-sparc10").unwrap();
+        line.start_remote(&path, hosts[0]).unwrap();
+        line.call("hold", &[Value::Double(1.0)]).unwrap();
+        let mut flip = 0usize;
+        group.bench_with_input(BenchmarkId::new("stateful_move", len), &len, |b, _| {
+            b.iter(|| {
+                flip ^= 1;
+                line.move_procedure("hold", hosts[flip]).unwrap();
+            });
+        });
+        // The state must have survived every move.
+        let out = line.call("hold", &[Value::Double(0.0)]).unwrap();
+        assert_eq!(out, vec![Value::Double(1.0)], "state lost during moves");
+        line.quit().unwrap();
+    }
+
+    // Stale-cache recovery: another caller's first call after a move.
+    sch.install_program("/bench/shared-echo", bench::echo_image(), &hosts).unwrap();
+    let mut owner = sch.open_line("mig-owner", "lerc-sparc10").unwrap();
+    owner.start_shared("/bench/shared-echo", hosts[0]).unwrap();
+    let mut user = sch.open_line("mig-user", "lerc-sparc10").unwrap();
+    user.call("echo", &[Value::Double(0.0)]).unwrap();
+    let mut flip = 0usize;
+    group.bench_function("stale_cache_recovery", |b| {
+        b.iter(|| {
+            flip ^= 1;
+            owner.move_procedure("echo", hosts[flip]).unwrap();
+            // This call finds a stale binding and recovers via the Manager.
+            user.call("echo", &[Value::Double(1.0)]).unwrap()
+        });
+    });
+    let retries = user.stats().stale_retries;
+    println!("stale-cache retries performed by the second caller: {retries}");
+    assert!(retries > 0);
+    owner.quit().unwrap();
+    user.quit().unwrap();
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation A8 — latency versus bandwidth across the network classes.
+//!
+//! The paper's Section 2.2 motivates exploiting "advances in network
+//! hardware to improve the bandwidth between nodes, and improvements in
+//! network software to reduce latency". This bench separates the two
+//! terms: simulated per-call cost of array payloads of growing size on
+//! each network class, showing where the latency floor gives way to the
+//! bandwidth slope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use uts::Value;
+
+fn bench_payload(c: &mut Criterion) {
+    let sch = bench::world();
+    println!("\n=== Ablation A8: simulated RPC cost vs payload size ===\n");
+    println!(
+        "{:<10} {:>10} {:>16} {:>16} {:>16}",
+        "elems", "bytes", "ethernet ms", "building ms", "internet ms"
+    );
+
+    let classes = [
+        ("ethernet", "lerc-sparc10", "lerc-sgi-4d480"),
+        ("building", "lerc-sparc10", "lerc-cray-ymp"),
+        ("internet", "ua-sparc10", "lerc-rs6000"),
+    ];
+    let sizes = [4usize, 64, 1024, 16384];
+
+    let mut table: Vec<Vec<f64>> = vec![vec![0.0; classes.len()]; sizes.len()];
+    for (ci, (_, from, to)) in classes.iter().enumerate() {
+        for (si, &len) in sizes.iter().enumerate() {
+            let path = format!("/bench/payload{len}");
+            sch.install_program(&path, bench::payload_image(len), &[to]).unwrap();
+            let mut line = sch.open_line(&format!("pl-{ci}-{si}"), from).unwrap();
+            line.start_remote(&path, to).unwrap();
+            let xs = Value::floats(&vec![1.0f32; len]);
+            line.call("blast", std::slice::from_ref(&xs)).unwrap(); // warm
+            let t0 = line.now();
+            let n = 10;
+            for _ in 0..n {
+                line.call("blast", std::slice::from_ref(&xs)).unwrap();
+            }
+            table[si][ci] = (line.now() - t0) * 1e3 / n as f64;
+            line.quit().unwrap();
+        }
+    }
+    for (si, &len) in sizes.iter().enumerate() {
+        println!(
+            "{:<10} {:>10} {:>16.3} {:>16.3} {:>16.3}",
+            len,
+            len * 5, // tagged f32s on the wire
+            table[si][0],
+            table[si][1],
+            table[si][2]
+        );
+    }
+    // Shape: at small payloads the Internet column is latency-dominated
+    // (ratio internet/ethernet large); at large payloads every class is
+    // bandwidth-dominated and the ratio narrows.
+    let small_ratio = table[0][2] / table[0][0];
+    let large_ratio = table[sizes.len() - 1][2] / table[sizes.len() - 1][0];
+    println!("\nlatency-floor ratio (internet/ethernet): {small_ratio:.1}x at 4 elems, {large_ratio:.1}x at 16k elems");
+    assert!(small_ratio > large_ratio, "bandwidth term must narrow the gap");
+
+    // Wall-clock marshal+transport cost scaling (criterion).
+    let mut group = c.benchmark_group("payload_size");
+    group.sample_size(20);
+    for &len in &[64usize, 4096] {
+        let path = format!("/bench/payload{len}");
+        sch.install_program(&path, bench::payload_image(len), &["lerc-sgi-4d480"]).unwrap();
+        let mut line = sch.open_line(&format!("plb-{len}"), "lerc-sparc10").unwrap();
+        line.start_remote(&path, "lerc-sgi-4d480").unwrap();
+        let xs = Value::floats(&vec![1.0f32; len]);
+        line.call("blast", std::slice::from_ref(&xs)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| line.call("blast", std::slice::from_ref(&xs)).unwrap());
+        });
+        line.quit().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payload);
+criterion_main!(benches);

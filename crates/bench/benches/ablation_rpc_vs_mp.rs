@@ -1,0 +1,123 @@
+//! Ablation A7 — Schooner RPC versus PVM-style message passing.
+//!
+//! The paper argues RPC is the right glue for NPSS-style composition:
+//! closer to the familiar procedural paradigm and simpler than a general
+//! message-passing library, with UTS removing the per-architecture
+//! pack/unpack bookkeeping. This bench runs the *same exchange* — the
+//! paper's shaft call, a workstation invoking the computation on another
+//! machine — both ways and measures what the RPC glue costs over raw
+//! tagged messages with hand-written conversion.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mplite::{MpSystem, PackBuffer, TaskId, UnpackBuffer};
+use uts::Value;
+
+fn shaft_args_values() -> Vec<Value> {
+    vec![
+        Value::floats(&[1.25e7, 0.0, 0.0, 0.0]),
+        Value::Integer(1),
+        Value::floats(&[1.26e7, 0.0, 0.0, 0.0]),
+        Value::Integer(1),
+        Value::Float(0.99),
+        Value::Float(10_000.0),
+        Value::Float(9.0),
+    ]
+}
+
+fn bench_rpc_vs_mp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc_vs_mp");
+    group.sample_size(30);
+
+    // --- Schooner RPC path ---
+    let sch = bench::world();
+    sch.install_program(
+        npss::procs::SHAFT_PATH,
+        npss::procs::shaft_image(),
+        &["lerc-rs6000"],
+    )
+    .unwrap();
+    let mut line = sch.open_line("rpc-shaft", "lerc-sparc10").unwrap();
+    line.start_remote(npss::procs::SHAFT_PATH, "lerc-rs6000").unwrap();
+    let args = shaft_args_values();
+    line.call("shaft", &args).unwrap();
+    group.bench_function("schooner_rpc_shaft_call", |b| {
+        b.iter(|| line.call("shaft", &args).unwrap());
+    });
+    let rpc_bytes = line.stats().request_bytes / line.stats().calls;
+    line.quit().unwrap();
+
+    // --- mplite message-passing path (hand-written worker + marshaling) ---
+    let mp = MpSystem::standard();
+    let master = mp.register("lerc-sparc10").unwrap();
+    let worker_tid = TaskId(master.tid().0 + 1);
+    mp.spawn("lerc-rs6000", move |ctx| {
+        loop {
+            let Ok(msg) = ctx.recv(1, Duration::from_secs(10)) else { break };
+            if msg.payload.is_empty() {
+                break; // shutdown convention: empty payload
+            }
+            // The worker must know the master's architecture and the
+            // exact message layout — no spec, no checking.
+            let sender = ctx.arch_of(msg.from).expect("registered");
+            let mut ub = UnpackBuffer::new(sender, msg.payload);
+            let ecom = ub.unpack_f32s(4).unwrap();
+            let _incom = ub.unpack_int().unwrap();
+            let etur = ub.unpack_f32s(4).unwrap();
+            let _intur = ub.unpack_int().unwrap();
+            let ecorr = ub.unpack_f32().unwrap() as f64;
+            let xspool = ub.unpack_f32().unwrap() as f64;
+            let xmyi = ub.unpack_f32().unwrap() as f64;
+            let dxspl = npss::procs::shaft_math::accel(
+                ecom[0] as f64,
+                etur[0] as f64,
+                ecorr,
+                xspool,
+                xmyi,
+            )
+            .unwrap();
+            ctx.compute(20_000.0);
+            let mut pb = PackBuffer::new(ctx.arch());
+            pb.pack_f32(dxspl as f32);
+            ctx.send(msg.from, 2, pb.finish()).unwrap();
+        }
+    })
+    .unwrap();
+
+    let pack_request = || {
+        let mut pb = PackBuffer::new(master.arch());
+        pb.pack_f32s(&[1.25e7, 0.0, 0.0, 0.0]);
+        pb.pack_int(1);
+        pb.pack_f32s(&[1.26e7, 0.0, 0.0, 0.0]);
+        pb.pack_int(1);
+        pb.pack_f32(0.99).pack_f32(10_000.0).pack_f32(9.0);
+        pb.finish()
+    };
+    let mp_bytes = pack_request().len() as u64;
+    let worker_arch = uts::Architecture::IbmRs6000;
+    group.bench_function("mplite_shaft_exchange", |b| {
+        b.iter(|| {
+            master.send(worker_tid, 1, pack_request()).unwrap();
+            let reply = master.recv(2, Duration::from_secs(10)).unwrap();
+            let mut ub = UnpackBuffer::new(worker_arch, reply.payload);
+            ub.unpack_f32().unwrap()
+        });
+    });
+    master.send(worker_tid, 1, Bytes::new()).unwrap();
+    mp.join_all();
+    group.finish();
+
+    println!("\n=== Ablation A7: what the RPC glue costs ===\n");
+    println!("request payload bytes: Schooner (tagged IR) {rpc_bytes}, mplite (raw native) {mp_bytes}");
+    println!(
+        "Schooner adds self-describing tags, bind-time type checks, name service, and\n\
+         per-line cleanup; mplite requires the user to track task ids, sender\n\
+         architectures, and message layouts by hand (see the worker body)."
+    );
+}
+
+criterion_group!(benches, bench_rpc_vs_mp);
+criterion_main!(benches);

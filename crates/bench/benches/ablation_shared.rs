@@ -1,0 +1,50 @@
+//! Ablation A6 — shared procedures vs per-line instances.
+//!
+//! A shared procedure is one process serving every line (with the shared
+//! database consulted after the per-line one); per-line instances give
+//! each line its own process. This bench compares call latency through
+//! both paths and demonstrates the state-sharing difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use uts::Value;
+
+fn bench_shared(c: &mut Criterion) {
+    let sch = bench::world();
+    sch.install_program("/bench/echo", bench::echo_image(), &["lerc-sgi-4d480"]).unwrap();
+
+    println!("\n=== Ablation A6: shared procedure vs per-line instance ===\n");
+
+    // Shared: one process, two client lines.
+    let mut owner = sch.open_line("shared-owner", "lerc-sparc10").unwrap();
+    owner.start_shared("/bench/echo", "lerc-sgi-4d480").unwrap();
+    let mut user_shared = sch.open_line("shared-user", "lerc-sparc10").unwrap();
+    user_shared.call("echo", &[Value::Double(0.0)]).unwrap();
+
+    // Per-line: its own process.
+    let mut user_private = sch.open_line("private-user", "lerc-sparc10").unwrap();
+    user_private.start_remote("/bench/echo", "lerc-sgi-4d480").unwrap();
+    user_private.call("echo", &[Value::Double(0.0)]).unwrap();
+
+    let mut group = c.benchmark_group("shared");
+    group.bench_function("shared_procedure_call", |b| {
+        b.iter(|| user_shared.call("echo", &[Value::Double(1.0)]).unwrap());
+    });
+    group.bench_function("per_line_instance_call", |b| {
+        b.iter(|| user_private.call("echo", &[Value::Double(1.0)]).unwrap());
+    });
+    group.finish();
+
+    // Lookup-order property: a per-line instance shadows a shared one.
+    println!(
+        "per-line db consulted before shared db (lookups: shared-user {}, private-user {})",
+        user_shared.stats().manager_lookups,
+        user_private.stats().manager_lookups
+    );
+    owner.quit().unwrap();
+    user_shared.quit().unwrap();
+    user_private.quit().unwrap();
+}
+
+criterion_group!(benches, bench_shared);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation A5 — the transient solver menu.
+//!
+//! TESS offers Modified Euler, fourth-order Runge–Kutta, Adams, and Gear
+//! for transients. This bench prints an accuracy-versus-step-size table
+//! (error against a fine-step RK4 reference on the standard throttle
+//! transient) and measures each method's wall-clock cost at the standard
+//! step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tess::engine::Turbofan;
+use tess::schedules::Schedule;
+use tess::transient::{TransientMethod, TransientRun};
+
+fn throttle(engine: &Turbofan) -> Schedule {
+    let wf = engine.design.wf;
+    Schedule::new(vec![(0.0, 0.92 * wf), (0.05, 0.92 * wf), (0.25, wf)]).unwrap()
+}
+
+fn final_n1(method: TransientMethod, dt: f64) -> f64 {
+    let engine = Turbofan::f100().unwrap();
+    let fuel = throttle(&engine);
+    let mut run = TransientRun::new(engine, fuel, method, dt);
+    run.run(0.5).unwrap().last().n1
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    println!("\n=== Ablation A5: transient method accuracy vs step size ===\n");
+    let reference = final_n1(TransientMethod::RungeKutta4, 0.002);
+    println!("reference N1 (RK4, dt = 2 ms): {reference:.3} RPM\n");
+    println!("{:<26} {:>10} {:>14}", "method", "dt (s)", "|N1 error| RPM");
+    let methods = [
+        TransientMethod::ImprovedEuler,
+        TransientMethod::RungeKutta4,
+        TransientMethod::Adams,
+        TransientMethod::Gear,
+    ];
+    for m in methods {
+        for dt in [0.04, 0.02, 0.01] {
+            let err = (final_n1(m, dt) - reference).abs();
+            println!("{:<26} {:>10} {:>14.4}", m.display_name(), dt, err);
+        }
+    }
+    println!();
+
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for m in methods {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m.display_name()),
+            &m,
+            |b, &m| {
+                b.iter(|| final_n1(m, 0.02));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation A4 — wire-format conversion cost per architecture pair.
+//!
+//! The UTS library converts every argument through the sender's native
+//! format, the intermediate representation, and the receiver's native
+//! format. This bench measures the real cost of that pipeline for the
+//! paper's shaft argument list on the interesting architecture pairs —
+//! including the Cray and VAX codecs, which do real bit-field work — and
+//! compares against a memcpy-like same-format baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use schooner::stub::CompiledStub;
+use uts::{Architecture, Value};
+
+fn shaft_stub() -> CompiledStub {
+    let file = uts::parse_spec_file(npss::procs::SHAFT_SPEC).unwrap();
+    CompiledStub::compile(file.find("shaft").unwrap())
+}
+
+fn shaft_args() -> Vec<Value> {
+    vec![
+        Value::floats(&[1.25e7, 0.0, 0.0, 0.0]),
+        Value::Integer(1),
+        Value::floats(&[1.26e7, 0.0, 0.0, 0.0]),
+        Value::Integer(1),
+        Value::Float(0.99),
+        Value::Float(10_000.0),
+        Value::Float(9.0),
+    ]
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let stub = shaft_stub();
+    let args = shaft_args();
+
+    println!("\n=== Ablation A4: UTS conversion cost per architecture pair ===");
+    println!("payload: the paper's shaft argument list ({} scalars)\n", stub.input_scalars);
+
+    let pairs = [
+        (Architecture::SunSparc10, Architecture::Sgi4D, "ieee_be->ieee_be"),
+        (Architecture::SunSparc10, Architecture::IntelI860, "ieee_be->ieee_le"),
+        (Architecture::SunSparc10, Architecture::CrayYmp, "ieee_be->cray"),
+        (Architecture::CrayYmp, Architecture::SunSparc10, "cray->ieee_be"),
+        (Architecture::SunSparc10, Architecture::ConvexC220, "ieee_be->vax"),
+        (Architecture::CrayYmp, Architecture::ConvexC220, "cray->vax"),
+    ];
+    let mut group = c.benchmark_group("uts_convert");
+    for (from, to, label) in pairs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(from, to), |b, &(f, t)| {
+            b.iter(|| {
+                let wire = stub.marshal_inputs(&args, f).unwrap();
+                stub.unmarshal_inputs(wire, t).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

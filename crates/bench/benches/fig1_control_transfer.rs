@@ -1,0 +1,50 @@
+//! Figure 1 — a Schooner program: cross-machine control transfer.
+//!
+//! Regenerates the control-flow picture as a trace and measures the cost
+//! of a remote procedure call — both simulated (printed per machine pair)
+//! and wall-clock (Criterion, LAN vs building vs WAN pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npss::experiments::fig1::{measure_pair_costs, run_fig1_program};
+use uts::Value;
+
+fn bench_fig1(c: &mut Criterion) {
+    let sch = bench::world();
+    println!("\n=== Figure 1: a Schooner program (control-transfer trace) ===\n");
+    let trace = run_fig1_program(&sch).expect("figure 1 program");
+    println!("{trace}");
+
+    println!("=== Simulated RPC cost per machine pair ===\n");
+    let costs = measure_pair_costs(
+        &sch,
+        &["lerc-sparc10", "lerc-sgi-4d480", "lerc-cray-ymp", "ua-sparc10"],
+        25,
+    )
+    .expect("pair costs");
+    println!("{:<16} {:<16} {:<34} {:>10}", "caller", "callee", "network", "ms/call");
+    for pc in &costs {
+        println!(
+            "{:<16} {:<16} {:<34} {:>10.3}",
+            pc.from, pc.to, pc.network, pc.per_call_ms
+        );
+    }
+
+    // Wall-clock RPC latency per network class.
+    sch.install_program("/bench/echo", bench::echo_image(), &["lerc-sgi-4d480", "ua-sparc10"])
+        .unwrap();
+    let mut group = c.benchmark_group("fig1_rpc");
+    for (label, callee) in [("lan_echo", "lerc-sgi-4d480"), ("wan_echo", "ua-sparc10")] {
+        let mut line = sch.open_line(&format!("bench-{label}"), "lerc-sparc10").unwrap();
+        line.start_remote("/bench/echo", callee).unwrap();
+        line.call("echo", &[Value::Double(0.0)]).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| line.call("echo", &[Value::Double(1.0)]).unwrap());
+        });
+        line.quit().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

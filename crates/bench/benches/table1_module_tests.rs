@@ -1,0 +1,69 @@
+//! Table 1 — TESS and Schooner individual module tests.
+//!
+//! Regenerates the paper's Table 1: each adapted module (shaft, duct,
+//! combustor, nozzle) tested separately on the five machine/network
+//! combinations, verifying steady-state + transient convergence and the
+//! remote-equals-local property; then Criterion measures the wall-clock
+//! cost of one representative run per network class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npss::experiments::table1::{render_table1, run_table1, Table1Config, Table1Row};
+use npss::f100::{F100Network, RemotePlacement};
+
+fn regenerate() -> Vec<Table1Row> {
+    let sch = bench::world();
+    let cfg = Table1Config::default();
+    let rows = run_table1(&sch, &cfg).expect("table 1 sweep");
+    println!("\n=== Table 1: TESS and Schooner individual module tests ===");
+    println!(
+        "(steady-state balance + {:.1} s transient, {})\n",
+        cfg.t_end, cfg.method
+    );
+    println!("{}", render_table1(&rows));
+    let all = rows.iter().all(Table1Row::matches_local);
+    println!("all runs converged and matched the local baseline: {all}\n");
+    assert!(all, "Table 1 verification failed");
+    rows
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let rows = regenerate();
+    // Shape assertions the paper implies: WAN per-call ≫ LAN per-call.
+    let lan_max = rows
+        .iter()
+        .filter(|r| r.network == "local Ethernet")
+        .map(|r| r.per_call_ms)
+        .fold(0.0f64, f64::max);
+    let wan_min = rows
+        .iter()
+        .filter(|r| r.network == "via Internet")
+        .map(|r| r.per_call_ms)
+        .fold(f64::INFINITY, f64::min);
+    println!("LAN worst per-call: {lan_max:.3} sim ms; WAN best per-call: {wan_min:.3} sim ms");
+    assert!(wan_min > lan_max);
+
+    let sch = bench::world();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for (label, avs, remote) in [
+        ("ethernet_shaft", "lerc-sparc10", "lerc-sgi-4d480"),
+        ("building_shaft", "lerc-sgi-4d480", "lerc-cray-ymp"),
+        ("internet_shaft", "ua-sparc10", "lerc-rs6000"),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut net = F100Network::build(sch.clone(), avs).unwrap();
+                net.apply_placement(
+                    &RemotePlacement::all_local().with("low speed shaft", remote),
+                )
+                .unwrap();
+                net.run("Modified Euler", 0.1, 0.02).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

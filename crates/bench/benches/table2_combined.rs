@@ -1,0 +1,42 @@
+//! Table 2 — TESS and Schooner combined test.
+//!
+//! Regenerates the paper's Table 2: the full F100 simulation executing on
+//! the UA Sparc 10 with six remote module instances (combustor → UA SGI
+//! 4D/340, 2×duct → LeRC Cray Y-MP, nozzle → LeRC SGI 4D/420, 2×shaft →
+//! LeRC RS6000), balanced with Newton–Raphson and run through a one-second
+//! Improved Euler transient, verified against the local-compute-only
+//! baseline. Criterion then measures the combined run against the
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npss::experiments::table2::{render_table2, run_table2, Table2Config};
+use npss::f100::{F100Network, RemotePlacement};
+
+fn bench_table2(c: &mut Criterion) {
+    let sch = bench::world();
+    let report = run_table2(&sch, &Table2Config::default()).expect("table 2 run");
+    println!("\n=== Table 2: TESS and Schooner combined test ===\n");
+    println!("{}", render_table2(&report));
+    assert!(report.matches_local(), "combined test mismatch");
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("combined_remote_0p2s", |b| {
+        b.iter(|| {
+            let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+            net.apply_placement(&RemotePlacement::table2()).unwrap();
+            net.run("Modified Euler", 0.2, 0.02).unwrap()
+        });
+    });
+    group.bench_function("all_local_0p2s", |b| {
+        b.iter(|| {
+            let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+            net.run("Modified Euler", 0.2, 0.02).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

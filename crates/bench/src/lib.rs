@@ -1,0 +1,49 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one table or figure from the paper (or
+//! one ablation from DESIGN.md): it prints the regenerated rows once,
+//! then lets Criterion measure the wall-clock cost of the operations
+//! behind them. Simulated (virtual) times are part of the printed rows;
+//! Criterion's numbers are real host time.
+
+use std::sync::Arc;
+
+use schooner::{FnProcedure, ProgramImage, Schooner};
+use uts::Value;
+
+/// Build the standard world once per bench process.
+pub fn world() -> Arc<Schooner> {
+    Arc::new(Schooner::standard().expect("standard world"))
+}
+
+/// A tiny echo image for RPC microbenchmarks.
+pub fn echo_image() -> ProgramImage {
+    ProgramImage::new(
+        "echo",
+        r#"export echo prog("x" val double, "y" res double)"#,
+    )
+    .expect("spec parses")
+    .with_procedure("echo", || {
+        Box::new(FnProcedure::with_flops(
+            |args: &[Value]| Ok(vec![args[0].clone()]),
+            1_000.0,
+        ))
+    })
+    .expect("echo declared")
+}
+
+/// A payload-heavy image for marshaling benchmarks: echoes an array.
+pub fn payload_image(len: usize) -> ProgramImage {
+    let spec = format!(
+        r#"export blast prog("xs" val array[{len}] of float, "ys" res array[{len}] of float)"#
+    );
+    ProgramImage::new("payload", &spec)
+        .expect("spec parses")
+        .with_procedure("blast", || {
+            Box::new(FnProcedure::with_flops(
+                |args: &[Value]| Ok(vec![args[0].clone()]),
+                10_000.0,
+            ))
+        })
+        .expect("blast declared")
+}

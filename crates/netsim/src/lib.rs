@@ -1,0 +1,29 @@
+//! # netsim — the simulated network substrate
+//!
+//! The NPSS prototype ran across local Ethernets, multi-gateway building
+//! networks, and Internet links between NASA Lewis Research Center and The
+//! University of Arizona. This crate replaces those physical networks with
+//! an in-process simulation that preserves their *cost structure*:
+//!
+//! * a [`Topology`](topology::Topology) of hosts, subnet switches, and
+//!   gateway routers connected by links with latency and bandwidth;
+//! * shortest-path routing and store-and-forward transfer-time accounting;
+//! * a reliable, ordered [`transport`](transport) built on channels, where
+//!   every message carries the **virtual time** at which it arrives;
+//! * failure injection: hosts can go down, links can be removed, sites can
+//!   be partitioned.
+//!
+//! Virtual time ([`time::VirtualClock`]) is advanced by communication and
+//! computation costs instead of by sleeping, so experiments that simulate
+//! wide-area latencies still run in milliseconds of wall-clock time while
+//! reporting wide-area numbers.
+
+pub mod sites;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+pub use sites::{npss_testbed, HostSpec, Site};
+pub use time::VirtualClock;
+pub use topology::{Link, NodeId, NodeKind, Topology};
+pub use transport::{Endpoint, Envelope, NetError, Network, NetworkStats};

@@ -1,0 +1,186 @@
+//! The NPSS test environment: NASA Lewis Research Center and The
+//! University of Arizona, as used in the paper's Tables 1 and 2.
+//!
+//! Each site has Ethernet subnets hanging off gateway routers; the two
+//! sites are joined by an Internet path. Machines are placed so that the
+//! paper's three network classes all occur:
+//!
+//! * **local Ethernet** — e.g. `lerc-sparc10` ↔ `lerc-sgi-4d480`;
+//! * **same building, multiple gateways** — e.g. `lerc-sparc10` ↔
+//!   `lerc-convex` (two gateway crossings);
+//! * **via Internet** — anything between `lerc-*` and `ua-*`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Link, NodeKind, Topology};
+
+/// Which site a host belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// NASA Lewis Research Center, Cleveland.
+    LewisResearchCenter,
+    /// The University of Arizona, Tucson.
+    UniversityOfArizona,
+}
+
+impl Site {
+    /// Human-readable name as used in the paper's tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Site::LewisResearchCenter => "Lewis Research Center",
+            Site::UniversityOfArizona => "The University of Arizona",
+        }
+    }
+}
+
+/// A host in the standard testbed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Topology node name.
+    pub name: &'static str,
+    /// Site the host lives at.
+    pub site: Site,
+    /// Human-readable machine description (matches the paper's tables).
+    pub machine: &'static str,
+}
+
+/// The machines of the standard NPSS testbed.
+///
+/// Subnet placement (encoded in [`npss_testbed`]):
+/// at LeRC, the workstation lab subnet holds the Sparc 10 and both SGIs;
+/// the supercomputer center subnet (two gateways away) holds the Cray,
+/// the Convex, and the RS6000. At UA both hosts share one subnet.
+pub const TESTBED_HOSTS: [HostSpec; 8] = [
+    HostSpec { name: "lerc-sparc10", site: Site::LewisResearchCenter, machine: "Sun Sparc 10" },
+    HostSpec { name: "lerc-sgi-4d480", site: Site::LewisResearchCenter, machine: "SGI 4D/480" },
+    HostSpec { name: "lerc-sgi-4d420", site: Site::LewisResearchCenter, machine: "SGI 4D/420" },
+    HostSpec { name: "lerc-cray-ymp", site: Site::LewisResearchCenter, machine: "Cray YMP" },
+    HostSpec { name: "lerc-convex", site: Site::LewisResearchCenter, machine: "Convex C220" },
+    HostSpec { name: "lerc-rs6000", site: Site::LewisResearchCenter, machine: "IBM RS6000" },
+    HostSpec { name: "ua-sparc10", site: Site::UniversityOfArizona, machine: "Sun Sparc 10" },
+    HostSpec { name: "ua-sgi-4d340", site: Site::UniversityOfArizona, machine: "SGI 4D/340" },
+];
+
+/// Build the standard two-site topology.
+pub fn npss_testbed() -> Topology {
+    let mut t = Topology::new();
+
+    // --- NASA Lewis Research Center ---
+    let lerc_lab = t.add_node("lerc-lab-net", NodeKind::Switch);
+    let lerc_gw1 = t.add_node("lerc-gw1", NodeKind::Gateway);
+    let lerc_gw2 = t.add_node("lerc-gw2", NodeKind::Gateway);
+    let lerc_scc = t.add_node("lerc-scc-net", NodeKind::Switch);
+    let lerc_border = t.add_node("lerc-border", NodeKind::Gateway);
+
+    // Workstation lab subnet.
+    for host in ["lerc-sparc10", "lerc-sgi-4d480", "lerc-sgi-4d420"] {
+        let h = t.add_node(host, NodeKind::Host);
+        t.add_link(h, lerc_lab, Link::ethernet());
+    }
+    // Supercomputer center subnet, two building gateways away.
+    for host in ["lerc-cray-ymp", "lerc-convex", "lerc-rs6000"] {
+        let h = t.add_node(host, NodeKind::Host);
+        t.add_link(h, lerc_scc, Link::ethernet());
+    }
+    // lab — gw1 — gw2 — scc is the only internal path, so lab↔scc traffic
+    // crosses two gateways ("same building, multiple gateways"); the
+    // border router hangs off gw1 and carries only wide-area traffic.
+    t.add_link(lerc_lab, lerc_gw1, Link::building_hop());
+    t.add_link(lerc_gw1, lerc_gw2, Link::building_hop());
+    t.add_link(lerc_gw2, lerc_scc, Link::building_hop());
+    t.add_link(lerc_gw1, lerc_border, Link::building_hop());
+
+    // --- The University of Arizona ---
+    let ua_net = t.add_node("ua-net", NodeKind::Switch);
+    let ua_border = t.add_node("ua-border", NodeKind::Gateway);
+    for host in ["ua-sparc10", "ua-sgi-4d340"] {
+        let h = t.add_node(host, NodeKind::Host);
+        t.add_link(h, ua_net, Link::ethernet());
+    }
+    t.add_link(ua_net, ua_border, Link::building_hop());
+
+    // --- The Internet between them ---
+    t.add_link(lerc_border, ua_border, Link::internet());
+
+    t
+}
+
+/// Find the standard host spec for a topology node name.
+pub fn host_spec(name: &str) -> Option<&'static HostSpec> {
+    TESTBED_HOSTS.iter().find(|h| h.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_hosts_present() {
+        let t = npss_testbed();
+        for h in TESTBED_HOSTS {
+            assert!(t.node(h.name).is_some(), "{} missing", h.name);
+        }
+    }
+
+    #[test]
+    fn network_classes_are_ordered() {
+        let t = npss_testbed();
+        let sparc = t.node("lerc-sparc10").unwrap();
+        let sgi = t.node("lerc-sgi-4d480").unwrap();
+        let convex = t.node("lerc-convex").unwrap();
+        let ua = t.node("ua-sparc10").unwrap();
+        let bytes = 256;
+        let lan = t.transfer_seconds(sparc, sgi, bytes).unwrap();
+        let building = t.transfer_seconds(sparc, convex, bytes).unwrap();
+        let wan = t.transfer_seconds(sparc, ua, bytes).unwrap();
+        assert!(lan < building, "lan {lan} < building {building}");
+        assert!(building < wan, "building {building} < wan {wan}");
+    }
+
+    #[test]
+    fn building_path_crosses_multiple_gateways() {
+        let t = npss_testbed();
+        let sparc = t.node("lerc-sparc10").unwrap();
+        let cray = t.node("lerc-cray-ymp").unwrap();
+        let gws = t.gateways_crossed(sparc, cray).unwrap();
+        assert!(gws >= 2, "expected multiple gateways, got {gws}");
+    }
+
+    #[test]
+    fn lan_path_crosses_no_gateway() {
+        let t = npss_testbed();
+        let a = t.node("lerc-sparc10").unwrap();
+        let b = t.node("lerc-sgi-4d480").unwrap();
+        assert_eq!(t.gateways_crossed(a, b), Some(0));
+    }
+
+    #[test]
+    fn wan_partition_cuts_sites_apart() {
+        let mut t = npss_testbed();
+        let lb = t.node("lerc-border").unwrap();
+        let ub = t.node("ua-border").unwrap();
+        assert_eq!(t.remove_links(lb, ub), 1);
+        let a = t.node("lerc-sparc10").unwrap();
+        let b = t.node("ua-sparc10").unwrap();
+        assert_eq!(t.transfer_seconds(a, b, 1), None);
+        // Intra-site traffic unaffected.
+        let c = t.node("lerc-cray-ymp").unwrap();
+        assert!(t.transfer_seconds(a, c, 1).is_some());
+    }
+
+    #[test]
+    fn host_spec_lookup() {
+        assert_eq!(host_spec("lerc-cray-ymp").unwrap().machine, "Cray YMP");
+        assert_eq!(
+            host_spec("ua-sparc10").unwrap().site,
+            Site::UniversityOfArizona
+        );
+        assert!(host_spec("nonesuch").is_none());
+    }
+
+    #[test]
+    fn site_names_match_paper() {
+        assert_eq!(Site::LewisResearchCenter.display_name(), "Lewis Research Center");
+        assert_eq!(Site::UniversityOfArizona.display_name(), "The University of Arizona");
+    }
+}

@@ -1,0 +1,138 @@
+//! Virtual time.
+//!
+//! Experiments account for communication and computation cost by advancing
+//! virtual clocks instead of sleeping. Each sequential thread of control (a
+//! Schooner *line*, or a remote procedure's process) owns one clock; message
+//! delivery synchronizes clocks in the causal direction only, exactly like
+//! Lamport timestamps over a reliable FIFO transport.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Seconds represented as a fixed-point number of nanoseconds so the clock
+/// can live in an atomic and be shared without locks.
+fn to_nanos(secs: f64) -> u64 {
+    (secs.max(0.0) * 1e9).round() as u64
+}
+
+fn to_secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+/// A monotonically increasing virtual clock, cheaply cloneable and shared.
+///
+/// The two operations mirror what a real process experiences:
+/// [`advance`](VirtualClock::advance) models local work taking time, and
+/// [`merge`](VirtualClock::merge) models receiving a message that arrived
+/// at some (possibly later) instant.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `secs`.
+    pub fn starting_at(secs: f64) -> Self {
+        let c = Self::new();
+        c.merge(secs);
+        c
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        to_secs(self.nanos.load(Ordering::Acquire))
+    }
+
+    /// Advance the clock by `secs` of local work; returns the new time.
+    /// Negative durations are ignored.
+    pub fn advance(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return self.now();
+        }
+        let delta = to_nanos(secs);
+        let prev = self.nanos.fetch_add(delta, Ordering::AcqRel);
+        to_secs(prev + delta)
+    }
+
+    /// Merge an externally observed instant (e.g. a message arrival time):
+    /// the clock becomes `max(now, secs)`. Returns the new time.
+    pub fn merge(&self, secs: f64) -> f64 {
+        let target = to_nanos(secs);
+        let mut cur = self.nanos.load(Ordering::Acquire);
+        while cur < target {
+            match self.nanos.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return to_secs(target),
+                Err(actual) => cur = actual,
+            }
+        }
+        to_secs(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VirtualClock::new();
+        assert!((c.advance(1.5) - 1.5).abs() < 1e-9);
+        assert!((c.advance(0.25) - 1.75).abs() < 1e-9);
+        assert!((c.now() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_advance_is_noop() {
+        let c = VirtualClock::starting_at(2.0);
+        c.advance(-1.0);
+        assert!((c.now() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_only_moves_forward() {
+        let c = VirtualClock::starting_at(5.0);
+        c.merge(3.0);
+        assert!((c.now() - 5.0).abs() < 1e-9);
+        c.merge(7.5);
+        assert!((c.now() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(1.0);
+        assert!((b.now() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_merges_settle_at_max() {
+        let c = VirtualClock::new();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for j in 0..100 {
+                        c.merge((i * 100 + j) as f64 / 100.0);
+                    }
+                });
+            }
+        });
+        assert!((c.now() - 7.99).abs() < 1e-9);
+    }
+}

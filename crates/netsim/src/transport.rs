@@ -1,0 +1,413 @@
+//! Reliable, ordered message transport over the simulated topology.
+//!
+//! Processes register an [`Endpoint`] under an address of the form
+//! `host:process`. Sending looks up the route between the two hosts,
+//! computes the virtual transfer time for the payload size, stamps the
+//! envelope with its arrival instant, and enqueues it on the receiver's
+//! channel. Failure injection (downed hosts, removed links) surfaces as
+//! send-time errors, exactly where a connection failure would surface in
+//! the real system.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+
+use crate::topology::Topology;
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination address has no registered endpoint.
+    UnknownAddress(String),
+    /// Source or destination host is not in the topology.
+    UnknownHost(String),
+    /// Destination host is administratively down.
+    HostDown(String),
+    /// No route between the two hosts (link failure / partition).
+    Unreachable { from: String, to: String },
+    /// The receiving endpoint was dropped.
+    Disconnected(String),
+    /// No message arrived within the receive timeout.
+    Timeout,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownAddress(a) => write!(f, "no endpoint registered at '{a}'"),
+            NetError::UnknownHost(h) => write!(f, "host '{h}' not in topology"),
+            NetError::HostDown(h) => write!(f, "host '{h}' is down"),
+            NetError::Unreachable { from, to } => {
+                write!(f, "no route from '{from}' to '{to}'")
+            }
+            NetError::Disconnected(a) => write!(f, "endpoint '{a}' has gone away"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender's full address (`host:process`).
+    pub from: String,
+    /// Destination address.
+    pub to: String,
+    /// Opaque payload (wire-format bytes at the Schooner layer).
+    pub payload: Bytes,
+    /// Virtual time at which the sender issued the message.
+    pub sent_at: f64,
+    /// Virtual time at which the message reaches the destination host.
+    pub arrive_at: f64,
+}
+
+/// Aggregate transport statistics, for the benchmark harness.
+#[derive(Debug, Default)]
+pub struct NetworkStats {
+    /// Total messages successfully enqueued.
+    pub messages: AtomicU64,
+    /// Total payload bytes successfully enqueued.
+    pub bytes: AtomicU64,
+}
+
+impl NetworkStats {
+    /// Snapshot (messages, bytes).
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.messages.load(Ordering::Relaxed), self.bytes.load(Ordering::Relaxed))
+    }
+}
+
+struct NetInner {
+    topo: RwLock<Topology>,
+    endpoints: RwLock<HashMap<String, Sender<Envelope>>>,
+    down_hosts: RwLock<HashMap<String, bool>>,
+    stats: NetworkStats,
+}
+
+/// Handle to the shared simulated network. Cloning is cheap.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+/// Split `host:process` into its host part.
+fn host_of(addr: &str) -> &str {
+    addr.split_once(':').map(|(h, _)| h).unwrap_or(addr)
+}
+
+impl Network {
+    /// Create a network over the given topology.
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            inner: Arc::new(NetInner {
+                topo: RwLock::new(topo),
+                endpoints: RwLock::new(HashMap::new()),
+                down_hosts: RwLock::new(HashMap::new()),
+                stats: NetworkStats::default(),
+            }),
+        }
+    }
+
+    /// Register an endpoint at `addr` (`host:process`). The host part must
+    /// exist in the topology. Re-registering an address replaces the old
+    /// endpoint (its receiver starts seeing `Disconnected`).
+    pub fn register(&self, addr: impl Into<String>) -> Result<Endpoint, NetError> {
+        let addr = addr.into();
+        let host = host_of(&addr).to_owned();
+        if self.inner.topo.read().node(&host).is_none() {
+            return Err(NetError::UnknownHost(host));
+        }
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.write().insert(addr.clone(), tx.clone());
+        Ok(Endpoint { addr, host, rx, tx, net: self.clone() })
+    }
+
+    /// Remove an endpoint registration.
+    pub fn unregister(&self, addr: &str) {
+        self.inner.endpoints.write().remove(addr);
+    }
+
+    /// True when an endpoint is registered at `addr`.
+    pub fn is_registered(&self, addr: &str) -> bool {
+        self.inner.endpoints.read().contains_key(addr)
+    }
+
+    /// Mark a host up or down. Sends to or from a down host fail.
+    pub fn set_host_up(&self, host: &str, up: bool) {
+        self.inner.down_hosts.write().insert(host.to_owned(), !up);
+    }
+
+    fn is_down(&self, host: &str) -> bool {
+        self.inner.down_hosts.read().get(host).copied().unwrap_or(false)
+    }
+
+    /// Mutate the topology (e.g. remove links for failure injection).
+    pub fn with_topology_mut<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        f(&mut self.inner.topo.write())
+    }
+
+    /// Read the topology.
+    pub fn with_topology<R>(&self, f: impl FnOnce(&Topology) -> R) -> R {
+        f(&self.inner.topo.read())
+    }
+
+    /// Transport statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.inner.stats
+    }
+
+    /// Virtual transfer time between two hosts for a payload size.
+    pub fn transfer_seconds(&self, from: &str, to: &str, bytes: usize) -> Result<f64, NetError> {
+        let topo = self.inner.topo.read();
+        let f = topo.node(from).ok_or_else(|| NetError::UnknownHost(from.into()))?;
+        let t = topo.node(to).ok_or_else(|| NetError::UnknownHost(to.into()))?;
+        topo.transfer_seconds(f, t, bytes).ok_or_else(|| NetError::Unreachable {
+            from: from.into(),
+            to: to.into(),
+        })
+    }
+
+    /// Send `payload` from `from` (an address) to `to` (an address),
+    /// stamping virtual times. `sent_at` is the sender's current virtual
+    /// time; the envelope's `arrive_at` adds the route's transfer time.
+    pub fn send(
+        &self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+        sent_at: f64,
+    ) -> Result<f64, NetError> {
+        let from_host = host_of(from);
+        let to_host = host_of(to);
+        if self.is_down(from_host) {
+            return Err(NetError::HostDown(from_host.into()));
+        }
+        if self.is_down(to_host) {
+            return Err(NetError::HostDown(to_host.into()));
+        }
+        let transfer = self.transfer_seconds(from_host, to_host, payload.len())?;
+        let arrive_at = sent_at + transfer;
+        let tx = {
+            let eps = self.inner.endpoints.read();
+            eps.get(to).cloned().ok_or_else(|| NetError::UnknownAddress(to.into()))?
+        };
+        let env = Envelope {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            payload,
+            sent_at,
+            arrive_at,
+        };
+        let bytes = env.payload.len() as u64;
+        tx.send(env).map_err(|_| NetError::Disconnected(to.into()))?;
+        self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(arrive_at)
+    }
+}
+
+/// A registered receiver bound to one address.
+pub struct Endpoint {
+    addr: String,
+    host: String,
+    rx: Receiver<Envelope>,
+    /// Sender half of our own channel, kept for identity comparison so a
+    /// re-registered address is not torn down by the old endpoint's Drop.
+    tx: Sender<Envelope>,
+    net: Network,
+}
+
+impl Endpoint {
+    /// This endpoint's full address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The host this endpoint lives on.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Send from this endpoint. Returns the envelope's arrival time.
+    pub fn send(&self, to: &str, payload: Bytes, sent_at: f64) -> Result<f64, NetError> {
+        self.net.send(&self.addr, to, payload, sent_at)
+    }
+
+    /// Block until a message arrives (or the wall-clock timeout expires —
+    /// the timeout is real time, a liveness guard, not simulated time).
+    pub fn recv(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected(self.addr.clone()),
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // Only remove the registration if it still points at us; a
+        // re-registration may have replaced it.
+        let mut eps = self.net.inner.endpoints.write();
+        if let Some(tx) = eps.get(&self.addr) {
+            if tx.same_channel(&self.tx) {
+                eps.remove(&self.addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Link, NodeKind};
+
+    fn net3() -> Network {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Host);
+        let c = t.add_node("c", NodeKind::Host);
+        let sw = t.add_node("sw", NodeKind::Switch);
+        t.add_link(a, sw, Link::ethernet());
+        t.add_link(b, sw, Link::ethernet());
+        t.add_link(c, sw, Link::internet());
+        Network::new(t)
+    }
+
+    #[test]
+    fn round_trip_message() {
+        let net = net3();
+        let _pa = net.register("a:main").unwrap();
+        let pb = net.register("b:svc").unwrap();
+        let arrive = net.send("a:main", "b:svc", Bytes::from_static(b"hello"), 1.0).unwrap();
+        let env = pb.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(&env.payload[..], b"hello");
+        assert_eq!(env.from, "a:main");
+        assert!((env.arrive_at - arrive).abs() < 1e-12);
+        assert!(env.arrive_at > env.sent_at);
+    }
+
+    #[test]
+    fn arrival_time_reflects_link_class() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        let _pc = net.register("c:svc").unwrap();
+        let t_lan = net.send("a:x", "b:svc", Bytes::from_static(&[0; 100]), 0.0).unwrap();
+        let t_wan = net.send("a:x", "c:svc", Bytes::from_static(&[0; 100]), 0.0).unwrap();
+        assert!(t_wan > t_lan * 5.0, "WAN {t_wan} should dwarf LAN {t_lan}");
+    }
+
+    #[test]
+    fn unknown_address_and_host() {
+        let net = net3();
+        assert_eq!(
+            net.send("a:x", "b:ghost", Bytes::new(), 0.0),
+            Err(NetError::UnknownAddress("b:ghost".into()))
+        );
+        assert!(matches!(
+            net.send("a:x", "zz:svc", Bytes::new(), 0.0),
+            Err(NetError::UnknownHost(_))
+        ));
+        assert!(matches!(net.register("zz:svc"), Err(NetError::UnknownHost(_))));
+    }
+
+    #[test]
+    fn down_host_rejects_traffic() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        net.set_host_up("b", false);
+        assert_eq!(
+            net.send("a:x", "b:svc", Bytes::new(), 0.0),
+            Err(NetError::HostDown("b".into()))
+        );
+        net.set_host_up("b", true);
+        assert!(net.send("a:x", "b:svc", Bytes::new(), 0.0).is_ok());
+    }
+
+    #[test]
+    fn link_failure_is_unreachable() {
+        let net = net3();
+        let _pc = net.register("c:svc").unwrap();
+        net.with_topology_mut(|t| {
+            let c = t.node("c").unwrap();
+            let sw = t.node("sw").unwrap();
+            t.remove_links(c, sw);
+        });
+        assert!(matches!(
+            net.send("a:x", "c:svc", Bytes::new(), 0.0),
+            Err(NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn fifo_ordering_preserved() {
+        let net = net3();
+        let pb = net.register("b:svc").unwrap();
+        for i in 0..10u8 {
+            net.send("a:x", "b:svc", Bytes::copy_from_slice(&[i]), i as f64).unwrap();
+        }
+        for i in 0..10u8 {
+            let env = pb.recv(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn recv_timeout() {
+        let net = net3();
+        let pb = net.register("b:svc").unwrap();
+        assert_eq!(pb.recv(Duration::from_millis(10)).unwrap_err(), NetError::Timeout);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        net.send("a:x", "b:svc", Bytes::from_static(&[0; 64]), 0.0).unwrap();
+        net.send("a:x", "b:svc", Bytes::from_static(&[0; 36]), 0.0).unwrap();
+        assert_eq!(net.stats().snapshot(), (2, 100));
+    }
+
+    #[test]
+    fn unregister_removes_endpoint() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        assert!(net.is_registered("b:svc"));
+        net.unregister("b:svc");
+        assert!(!net.is_registered("b:svc"));
+        assert!(matches!(
+            net.send("a:x", "b:svc", Bytes::new(), 0.0),
+            Err(NetError::UnknownAddress(_))
+        ));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net = net3();
+        let pb = net.register("b:svc").unwrap();
+        let net2 = net.clone();
+        let h = std::thread::spawn(move || {
+            net2.send("a:x", "b:svc", Bytes::from_static(b"ping"), 0.5).unwrap();
+        });
+        let env = pb.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(&env.payload[..], b"ping");
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the network simulation.
+
+use proptest::prelude::*;
+
+use netsim::{npss_testbed, Link, NodeKind, Topology, VirtualClock};
+
+fn testbed_hosts() -> Vec<String> {
+    npss_testbed().hosts().map(str::to_owned).collect()
+}
+
+proptest! {
+    /// Transfer time between testbed hosts is symmetric (undirected
+    /// links) and strictly increasing in payload size.
+    #[test]
+    fn transfer_symmetric_and_monotone(
+        ai in any::<prop::sample::Index>(),
+        bi in any::<prop::sample::Index>(),
+        small in 1usize..10_000,
+        extra in 1usize..100_000,
+    ) {
+        let topo = npss_testbed();
+        let hosts = testbed_hosts();
+        let a = topo.node(&hosts[ai.index(hosts.len())]).unwrap();
+        let b = topo.node(&hosts[bi.index(hosts.len())]).unwrap();
+        let ab = topo.transfer_seconds(a, b, small).unwrap();
+        let ba = topo.transfer_seconds(b, a, small).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
+        if a != b {
+            let bigger = topo.transfer_seconds(a, b, small + extra).unwrap();
+            prop_assert!(bigger > ab);
+        }
+    }
+
+    /// Triangle-ish sanity: the direct route is never more expensive
+    /// than the latency sum through any intermediate host (Dijkstra
+    /// optimality over the latency metric).
+    #[test]
+    fn routing_is_latency_optimal(
+        ai in any::<prop::sample::Index>(),
+        bi in any::<prop::sample::Index>(),
+        ci in any::<prop::sample::Index>(),
+    ) {
+        let topo = npss_testbed();
+        let hosts = testbed_hosts();
+        let a = topo.node(&hosts[ai.index(hosts.len())]).unwrap();
+        let b = topo.node(&hosts[bi.index(hosts.len())]).unwrap();
+        let c = topo.node(&hosts[ci.index(hosts.len())]).unwrap();
+        let lat = |x, y| -> f64 {
+            topo.route(x, y).unwrap().iter().map(|l: &Link| l.latency_s).sum()
+        };
+        prop_assert!(lat(a, b) <= lat(a, c) + lat(c, b) + 1e-12);
+    }
+
+    /// Random link removal never produces a panic, and connectivity is
+    /// monotone: removing links cannot create a route.
+    #[test]
+    fn link_removal_is_safe(removals in proptest::collection::vec((0usize..30, 0usize..30), 0..10)) {
+        let mut topo = npss_testbed();
+        let hosts = testbed_hosts();
+        let a = topo.node(&hosts[0]).unwrap();
+        let b = topo.node(&hosts[hosts.len() - 1]).unwrap();
+        let before = topo.transfer_seconds(a, b, 100);
+        for (x, y) in removals {
+            if x < topo.len() && y < topo.len() && x != y {
+                topo.remove_links(netsim::NodeId(x), netsim::NodeId(y));
+            }
+        }
+        let after = topo.transfer_seconds(a, b, 100);
+        if before.is_none() {
+            prop_assert!(after.is_none());
+        }
+        if let (Some(t0), Some(t1)) = (before, after) {
+            prop_assert!(t1 >= t0 - 1e-12, "removal cannot speed things up");
+        }
+    }
+
+    /// The virtual clock is monotone under any interleaving of advance
+    /// and merge.
+    #[test]
+    fn clock_monotone(ops in proptest::collection::vec((any::<bool>(), 0.0f64..10.0), 0..50)) {
+        let c = VirtualClock::new();
+        let mut last = 0.0;
+        for (is_merge, x) in ops {
+            let now = if is_merge { c.merge(x) } else { c.advance(x) };
+            prop_assert!(now >= last - 1e-12);
+            last = now;
+        }
+    }
+
+    /// Building arbitrary small topologies and routing over them is
+    /// total (no panics, routes only between connected components).
+    #[test]
+    fn random_topologies_route_safely(
+        n in 2usize..10,
+        links in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+    ) {
+        let mut t = Topology::new();
+        let ids: Vec<_> = (0..n).map(|i| t.add_node(format!("h{i}"), NodeKind::Host)).collect();
+        for (a, b) in links {
+            if a < n && b < n && a != b {
+                t.add_link(ids[a], ids[b], Link::ethernet());
+            }
+        }
+        for &a in &ids {
+            for &b in &ids {
+                let r = t.route(a, b);
+                let ts = t.transfer_seconds(a, b, 100);
+                prop_assert_eq!(r.is_some(), ts.is_some());
+                if a == b {
+                    prop_assert_eq!(ts, Some(0.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! The executive's engine: TESS gas-path evaluation with the four adapted
+//! components routed through [`ComponentCall`] executors.
+//!
+//! The F100 network contains six module instances with (potentially)
+//! remote computations: two ducts (bypass and tailpipe), one combustor,
+//! one nozzle, and two shafts. [`ExecutiveEngine`] evaluates exactly the
+//! same match problem as [`tess::Turbofan`], but every computation
+//! belonging to an adapted module goes through its executor — in-process
+//! for the original local-compute-only versions, or across the simulated
+//! network through Schooner.
+//!
+//! Because the adapted procedures exchange single-precision values (as
+//! the original Fortran did), the executive's solvers run at
+//! single-precision-appropriate tolerances: a finite-difference Jacobian
+//! over values with ~1e-7 relative quantization needs a larger probe step
+//! and a looser residual target than the double-precision internal
+//! engine.
+
+use tess::engine::{OperatingPoint, Turbofan};
+use tess::schedules::Schedule;
+use tess::solver::newton::{newton_solve, NewtonOptions};
+use tess::transient::{TransientMethod, TransientResult, TransientSample};
+use uts::Value;
+
+use crate::exec::{flow_to_value, value_to_flow, ComponentCall, LocalExec, RemoteExec};
+use crate::procs;
+
+/// A component executor: local baseline or Schooner-remote.
+#[allow(clippy::large_enum_variant)] // few instances, boxing buys nothing
+pub enum Exec {
+    /// The original local-compute-only version.
+    Local(LocalExec),
+    /// Remote through a Schooner line.
+    Remote(RemoteExec),
+}
+
+impl Exec {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
+        match self {
+            Exec::Local(e) => e.call(name, args),
+            Exec::Remote(e) => e.call(name, args),
+        }
+    }
+
+    /// Where this executor runs.
+    pub fn location(&self) -> String {
+        match self {
+            Exec::Local(e) => e.location(),
+            Exec::Remote(e) => e.location(),
+        }
+    }
+
+    /// Calls made so far.
+    pub fn calls(&self) -> u64 {
+        match self {
+            Exec::Local(e) => e.calls(),
+            Exec::Remote(e) => e.calls(),
+        }
+    }
+
+    /// Virtual seconds of communication + remote compute (0 when local).
+    pub fn elapsed_virtual(&self) -> f64 {
+        match self {
+            Exec::Local(e) => e.elapsed_virtual(),
+            Exec::Remote(e) => e.elapsed_virtual(),
+        }
+    }
+
+    /// Tear down a remote executor's line.
+    pub fn quit(&mut self) {
+        if let Exec::Remote(e) = self {
+            e.quit();
+        }
+    }
+}
+
+/// Solver tolerances appropriate for single-precision component calls.
+#[derive(Debug, Clone)]
+pub struct ExecutiveSolverOptions {
+    /// Residual 2-norm target.
+    pub tol: f64,
+    /// Relative finite-difference step.
+    pub fd_step: f64,
+    /// Newton iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for ExecutiveSolverOptions {
+    fn default() -> Self {
+        Self { tol: 3e-5, fd_step: 3e-3, max_iters: 60 }
+    }
+}
+
+impl ExecutiveSolverOptions {
+    fn newton(&self) -> NewtonOptions {
+        NewtonOptions {
+            tol: self.tol,
+            fd_step: self.fd_step,
+            max_iters: self.max_iters,
+            ..Default::default()
+        }
+    }
+}
+
+/// Statistics for one executor, for the experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReportRow {
+    /// Module instance ("bypass duct", "low speed shaft", …).
+    pub module: String,
+    /// Where it ran.
+    pub location: String,
+    /// Remote (or local) procedure calls made.
+    pub calls: u64,
+    /// Virtual seconds spent in communication + remote compute.
+    pub virtual_seconds: f64,
+}
+
+/// The executive's engine.
+pub struct ExecutiveEngine {
+    /// The underlying engine model (local components + design data).
+    pub engine: Turbofan,
+    /// Bypass-duct executor.
+    pub bypass_duct: Exec,
+    /// Tailpipe-duct executor.
+    pub tailpipe: Exec,
+    /// Combustor executor.
+    pub combustor: Exec,
+    /// Nozzle executor.
+    pub nozzle: Exec,
+    /// Low-spool shaft executor.
+    pub lp_shaft: Exec,
+    /// High-spool shaft executor.
+    pub hp_shaft: Exec,
+    /// Solver options.
+    pub opts: ExecutiveSolverOptions,
+    ecorr_lp: Option<f32>,
+    ecorr_hp: Option<f32>,
+}
+
+impl ExecutiveEngine {
+    /// All components local: the baseline configuration.
+    pub fn all_local(engine: Turbofan) -> Result<Self, String> {
+        Ok(Self {
+            engine,
+            bypass_duct: Exec::Local(LocalExec::new(&procs::duct_image())?),
+            tailpipe: Exec::Local(LocalExec::new(&procs::duct_image())?),
+            combustor: Exec::Local(LocalExec::new(&procs::combustor_image())?),
+            nozzle: Exec::Local(LocalExec::new(&procs::nozzle_image())?),
+            lp_shaft: Exec::Local(LocalExec::new(&procs::shaft_image())?),
+            hp_shaft: Exec::Local(LocalExec::new(&procs::shaft_image())?),
+            opts: ExecutiveSolverOptions::default(),
+            ecorr_lp: None,
+            ecorr_hp: None,
+        })
+    }
+
+    fn slot_mut(&mut self, slot: &str) -> Result<&mut Exec, String> {
+        Ok(match slot {
+            "bypass duct" => &mut self.bypass_duct,
+            "tailpipe duct" => &mut self.tailpipe,
+            "combustor" => &mut self.combustor,
+            "nozzle" => &mut self.nozzle,
+            "low speed shaft" => &mut self.lp_shaft,
+            "high speed shaft" => &mut self.hp_shaft,
+            other => return Err(format!("no adapted module slot '{other}'")),
+        })
+    }
+
+    /// Replace one executor with a remote one (by adapted-module slot
+    /// name: `"bypass duct"`, `"tailpipe duct"`, `"combustor"`,
+    /// `"nozzle"`, `"low speed shaft"`, `"high speed shaft"`).
+    pub fn set_remote(&mut self, slot: &str, exec: RemoteExec) -> Result<(), String> {
+        let target = self.slot_mut(slot)?;
+        target.quit();
+        *target = Exec::Remote(exec);
+        Ok(())
+    }
+
+    /// Replace one executor with a different **local** implementation —
+    /// the "substitute a different code for an engine component" case
+    /// when the substituted code runs on the local machine.
+    pub fn set_local(&mut self, slot: &str, exec: LocalExec) -> Result<(), String> {
+        let target = self.slot_mut(slot)?;
+        target.quit();
+        *target = Exec::Local(exec);
+        Ok(())
+    }
+
+    /// Executor statistics for reports.
+    pub fn report_rows(&self) -> Vec<ExecReportRow> {
+        [
+            ("bypass duct", &self.bypass_duct),
+            ("tailpipe duct", &self.tailpipe),
+            ("combustor", &self.combustor),
+            ("nozzle", &self.nozzle),
+            ("low speed shaft", &self.lp_shaft),
+            ("high speed shaft", &self.hp_shaft),
+        ]
+        .into_iter()
+        .map(|(name, e)| ExecReportRow {
+            module: name.to_owned(),
+            location: e.location(),
+            calls: e.calls(),
+            virtual_seconds: e.elapsed_virtual(),
+        })
+        .collect()
+    }
+
+    /// Tear down all remote lines.
+    pub fn shutdown(&mut self) {
+        for e in [
+            &mut self.bypass_duct,
+            &mut self.tailpipe,
+            &mut self.combustor,
+            &mut self.nozzle,
+            &mut self.lp_shaft,
+            &mut self.hp_shaft,
+        ] {
+            e.quit();
+        }
+    }
+
+    /// Run the once-per-simulation `set…` procedures: parameter
+    /// validation for duct/combustor/nozzle and the shaft balance
+    /// corrections from the design-point powers.
+    pub fn setup(&mut self) -> Result<(), String> {
+        let cy = self.engine.cycle.clone();
+        let d = self.engine.design.clone();
+        self.bypass_duct.call("setduct", &[Value::Float(cy.bypass_dp as f32)])?;
+        self.tailpipe.call("setduct", &[Value::Float(cy.tailpipe_dp as f32)])?;
+        self.combustor.call(
+            "setcomb",
+            &[Value::Float(cy.comb_eta as f32), Value::Float(cy.comb_dp as f32)],
+        )?;
+        self.nozzle.call(
+            "setnozl",
+            &[
+                Value::Float(d.nozzle_area as f32),
+                Value::Float(cy.nozzle_cd as f32),
+                Value::Float(cy.nozzle_cv as f32),
+            ],
+        )?;
+        let ecorr_of = |out: Vec<Value>| -> Result<f32, String> {
+            match out.first() {
+                Some(Value::Float(x)) => Ok(*x),
+                other => Err(format!("setshaft returned {other:?}")),
+            }
+        };
+        let lp = self.lp_shaft.call(
+            "setshaft",
+            &[
+                Value::floats(&[d.p_fan as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+                Value::floats(&[d.p_lpt as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+            ],
+        )?;
+        self.ecorr_lp = Some(ecorr_of(lp)?);
+        let hp = self.hp_shaft.call(
+            "setshaft",
+            &[
+                Value::floats(&[d.p_hpc as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+                Value::floats(&[d.p_hpt as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+            ],
+        )?;
+        self.ecorr_hp = Some(ecorr_of(hp)?);
+        Ok(())
+    }
+
+    fn call_duct(
+        exec: &mut Exec,
+        flow: &tess::GasState,
+        dp: f64,
+    ) -> Result<tess::GasState, String> {
+        let out = exec.call(
+            "duct",
+            &[flow_to_value(flow), Value::Float(dp as f32), Value::Float(0.0)],
+        )?;
+        value_to_flow(&out[0])
+    }
+
+    /// Evaluate the gas path with the adapted components routed through
+    /// their executors. Same unknowns/residuals as
+    /// [`tess::Turbofan::evaluate`].
+    pub fn evaluate(
+        &mut self,
+        n1: f64,
+        n2: f64,
+        wf: f64,
+        x: &[f64; 5],
+    ) -> Result<OperatingPoint, String> {
+        let e = &self.engine;
+        let [beta_fan, beta_hpc, er_hpt, er_lpt, bpr_frac] = *x;
+        if !(0.1..=8.0).contains(&bpr_frac) {
+            return Err(format!("bypass-ratio fraction {bpr_frac} outside model range"));
+        }
+        let bpr = e.cycle.bpr * bpr_frac;
+        let cy = &e.cycle;
+        let d = &e.design;
+
+        let probe = e.inlet.capture(e.flight.t_amb, e.flight.p_amb, e.flight.mach, 1.0);
+        let nc_fan = e.fan.corrected_speed(n1, probe.tt);
+        let fan_pt = e.fan.map.lookup(nc_fan, beta_fan).map_err(|err| format!("fan: {err}"))?;
+        let wc_fan = fan_pt.wc * (1.0 + 0.008 * e.stators.fan_deg);
+        let w2 =
+            wc_fan * (probe.pt / tess::gas::P_STD) / (probe.tt / tess::gas::T_STD).sqrt();
+        let st2 = tess::GasState::new(w2, probe.tt, probe.pt, 0.0);
+
+        let fan_res = e.fan.operate(&st2, n1, beta_fan, e.stators.fan_deg)?;
+        let st21 = fan_res.exit;
+        let (st25, bypass) = tess::components::Splitter::new(bpr).split(&st21);
+
+        // Adapted module: bypass duct.
+        let st16 = Self::call_duct(&mut self.bypass_duct, &bypass, cy.bypass_dp)?;
+
+        let e = &self.engine;
+        let hpc_res = e.hpc.operate(&st25, n2, beta_hpc, e.stators.hpc_deg)?;
+        let st3 = hpc_res.exit;
+        let r_hpc = (hpc_res.wc_map - st25.corrected_flow()) / d.st25.corrected_flow();
+
+        let (st3m, _) = e.bleed.extract(&st3);
+
+        // Adapted module: combustor.
+        let comb_out = self.combustor.call(
+            "comb",
+            &[
+                flow_to_value(&st3m),
+                Value::Float(wf as f32),
+                Value::Float(cy.comb_eta as f32),
+                Value::Float(cy.comb_dp as f32),
+            ],
+        )?;
+        let st4 = value_to_flow(&comb_out[0])?;
+
+        let e = &self.engine;
+        let hpt_res = e.hpt.operate(&st4, n2, er_hpt)?;
+        let st45 = hpt_res.exit;
+        let r_hpt = (hpt_res.wc_map - st4.corrected_flow()) / d.st4.corrected_flow();
+
+        let lpt_res = e.lpt.operate(&st45, n1, er_lpt)?;
+        let st5 = lpt_res.exit;
+        let r_lpt = (lpt_res.wc_map - st45.corrected_flow()) / d.st45.corrected_flow();
+
+        let design_mix_ratio = d.st5.pt / d.st16.pt;
+        let r_mix = (st5.pt / st16.pt) / design_mix_ratio - 1.0;
+
+        let st6 = e.mixer.mix(&st5, &st16);
+
+        // Adapted module: tailpipe duct.
+        let st7 = Self::call_duct(&mut self.tailpipe, &st6, cy.tailpipe_dp)?;
+
+        // Adapted module: nozzle.
+        let e = &self.engine;
+        let nz_out = self.nozzle.call(
+            "nozl",
+            &[
+                flow_to_value(&st7),
+                Value::Float(e.flight.p_amb as f32),
+                Value::Float(d.nozzle_area as f32),
+                Value::Float(cy.nozzle_cd as f32),
+                Value::Float(cy.nozzle_cv as f32),
+            ],
+        )?;
+        let nz = nz_out[0]
+            .as_f32_slice()
+            .ok_or_else(|| "nozl returned malformed result".to_string())?;
+        let (w_capacity, gross_thrust) = (nz[0] as f64, nz[1] as f64);
+        let e = &self.engine;
+        let r_noz = (w_capacity - st7.w) / e.design.st7.w;
+
+        let ram_drag = st2.w
+            * tess::components::Inlet::flight_velocity(e.flight.t_amb, e.flight.mach);
+        let thrust = gross_thrust - ram_drag;
+
+        Ok(OperatingPoint {
+            n1,
+            n2,
+            wf,
+            st2,
+            st21,
+            st25,
+            st16,
+            st3,
+            st4,
+            st45,
+            st5,
+            st6,
+            st7,
+            p_fan: fan_res.power,
+            p_hpc: hpc_res.power,
+            p_hpt: hpt_res.power,
+            p_lpt: lpt_res.power,
+            thrust,
+            sfc: if thrust > 0.0 { wf / thrust } else { f64::NAN },
+            bpr,
+            flow_residuals: [r_hpc, r_hpt, r_lpt, r_noz, r_mix],
+        })
+    }
+
+    /// Spool accelerations through the shaft executors (RPM/s).
+    pub fn spool_accels(&mut self, op: &OperatingPoint) -> Result<(f64, f64), String> {
+        let ecorr_lp = self.ecorr_lp.ok_or("setup() not run")?;
+        let ecorr_hp = self.ecorr_hp.ok_or("setup() not run")?;
+        let i1 = self.engine.cycle.i1;
+        let i2 = self.engine.cycle.i2;
+        let shaft_call = |exec: &mut Exec,
+                          p_c: f64,
+                          p_t: f64,
+                          ecorr: f32,
+                          n: f64,
+                          inertia: f64|
+         -> Result<f64, String> {
+            let out = exec.call(
+                "shaft",
+                &[
+                    Value::floats(&[p_c as f32, 0.0, 0.0, 0.0]),
+                    Value::Integer(1),
+                    Value::floats(&[p_t as f32, 0.0, 0.0, 0.0]),
+                    Value::Integer(1),
+                    Value::Float(ecorr),
+                    Value::Float(n as f32),
+                    Value::Float(inertia as f32),
+                ],
+            )?;
+            match out.first() {
+                Some(Value::Float(x)) => Ok(*x as f64),
+                other => Err(format!("shaft returned {other:?}")),
+            }
+        };
+        let a1 = shaft_call(&mut self.lp_shaft, op.p_fan, op.p_lpt, ecorr_lp, op.n1, i1)?;
+        let a2 = shaft_call(&mut self.hp_shaft, op.p_hpc, op.p_hpt, ecorr_hp, op.n2, i2)?;
+        Ok((a1, a2))
+    }
+
+    /// Solve the four inner flow-match unknowns at fixed speeds and fuel.
+    pub fn solve_inner(
+        &mut self,
+        n1: f64,
+        n2: f64,
+        wf: f64,
+        guess: &mut [f64; 5],
+    ) -> Result<OperatingPoint, String> {
+        let opts = self.opts.newton();
+        let report = newton_solve(
+            |x: &[f64]| {
+                let op = self.evaluate(n1, n2, wf, &[x[0], x[1], x[2], x[3], x[4]])?;
+                Ok(op.flow_residuals.to_vec())
+            },
+            guess.as_slice(),
+            &opts,
+        )
+        .map_err(|e| e.to_string())?;
+        guess.copy_from_slice(&report.x);
+        self.evaluate(n1, n2, wf, guess)
+    }
+
+    /// Balance the engine at fuel flow `wf` (Newton–Raphson over the six
+    /// unknowns), running `setup` first if needed.
+    pub fn balance(&mut self, wf: f64) -> Result<OperatingPoint, String> {
+        if self.ecorr_lp.is_none() {
+            self.setup()?;
+        }
+        let n1d = self.engine.cycle.n1_design;
+        let n2d = self.engine.cycle.n2_design;
+        let x0 = [
+            1.0,
+            1.0,
+            0.5,
+            0.5,
+            self.engine.design.er_hpt,
+            self.engine.design.er_lpt,
+            1.0,
+        ];
+        let opts = self.opts.newton();
+        let report = newton_solve(
+            |x: &[f64]| {
+                let op =
+                    self.evaluate(x[0] * n1d, x[1] * n2d, wf, &[x[2], x[3], x[4], x[5], x[6]])?;
+                let (a1, a2) = self.spool_accels(&op)?;
+                let mut r = op.flow_residuals.to_vec();
+                r.push(a1 / 1000.0);
+                r.push(a2 / 1000.0);
+                Ok(r)
+            },
+            &x0,
+            &opts,
+        )
+        .map_err(|e| format!("executive balance: {e}"))?;
+        self.evaluate(
+            report.x[0] * n1d,
+            report.x[1] * n2d,
+            wf,
+            &[report.x[2], report.x[3], report.x[4], report.x[5], report.x[6]],
+        )
+    }
+
+    /// Balance at the initial fuel, then run a transient with the chosen
+    /// method: the executive's equivalent of a full TESS run.
+    pub fn run_transient(
+        &mut self,
+        fuel: &Schedule,
+        method: TransientMethod,
+        dt: f64,
+        t_end: f64,
+    ) -> Result<TransientResult, String> {
+        let initial = self.balance(fuel.at(0.0))?;
+        let mut y = [initial.n1, initial.n2];
+        let mut inner = self.engine.design_inner_guess();
+        self.solve_inner(y[0], y[1], fuel.at(0.0), &mut inner)?;
+
+        let mut integrator = method.integrator();
+        let mut samples = vec![sample_of(0.0, &initial)];
+        let steps = (t_end / dt).round() as usize;
+        let mut t = 0.0;
+        for _ in 0..steps {
+            {
+                let inner_ref = &mut inner;
+                let mut f = |tau: f64, y: &[f64], d: &mut [f64]| -> Result<(), String> {
+                    let op = self.solve_inner(y[0], y[1], fuel.at(tau), inner_ref)?;
+                    let (a1, a2) = self.spool_accels(&op)?;
+                    d[0] = a1;
+                    d[1] = a2;
+                    Ok(())
+                };
+                integrator.step(&mut f, t, &mut y, dt)?;
+            }
+            t += dt;
+            let op = self.solve_inner(y[0], y[1], fuel.at(t), &mut inner)?;
+            samples.push(sample_of(t, &op));
+        }
+        Ok(TransientResult {
+            samples,
+            method: method.display_name().to_owned(),
+            dt,
+        })
+    }
+}
+
+fn sample_of(t: f64, op: &OperatingPoint) -> TransientSample {
+    TransientSample {
+        t,
+        n1: op.n1,
+        n2: op.n2,
+        wf: op.wf,
+        thrust: op.thrust,
+        t4: op.st4.tt,
+        w2: op.st2.w,
+    }
+}

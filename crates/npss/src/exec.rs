@@ -1,0 +1,181 @@
+//! Component executors: the seam between the engine's gas-path evaluation
+//! and where a component's computation actually runs.
+//!
+//! A [`ComponentCall`] invokes one of an adapted module's procedures with
+//! UTS values. [`LocalExec`] is the *original local-compute-only version*
+//! of a module — the same procedure implementations, called in-process.
+//! [`RemoteExec`] routes the call through a Schooner line to a process on
+//! whatever machine the user's widgets selected. Both paths speak
+//! single-precision `float` values, so a correct remote configuration
+//! produces **exactly** the same numbers as the local baseline — the
+//! comparison the paper used to verify the adapted modules.
+
+use schooner::{LineHandle, Procedure, ProgramImage};
+use std::collections::HashMap;
+use tess::gas::GasState;
+use uts::Value;
+
+/// Something that can execute an adapted module's procedures.
+pub trait ComponentCall: Send {
+    /// Call procedure `name` with the input arguments; returns outputs.
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String>;
+
+    /// Where the computation runs, for reports ("local" or a host name).
+    fn location(&self) -> String;
+
+    /// Number of calls made so far.
+    fn calls(&self) -> u64;
+
+    /// Virtual seconds attributable to this executor's communication and
+    /// remote computation (0 for local executors).
+    fn elapsed_virtual(&self) -> f64 {
+        0.0
+    }
+}
+
+/// In-process execution of an image's procedures.
+pub struct LocalExec {
+    procs: HashMap<String, Box<dyn Procedure>>,
+    calls: u64,
+}
+
+impl LocalExec {
+    /// Instantiate the image locally.
+    pub fn new(image: &ProgramImage) -> Result<Self, String> {
+        Ok(Self {
+            procs: image.instantiate().map_err(|e| e.to_string())?,
+            calls: 0,
+        })
+    }
+}
+
+impl ComponentCall for LocalExec {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
+        self.calls += 1;
+        self.procs
+            .get_mut(name)
+            .ok_or_else(|| format!("no local procedure '{name}'"))?
+            .call(args)
+    }
+
+    fn location(&self) -> String {
+        "local".to_owned()
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// Remote execution through a Schooner line.
+pub struct RemoteExec {
+    line: LineHandle,
+    host: String,
+    started_at: f64,
+}
+
+impl RemoteExec {
+    /// Start the executable at `path` on `machine` within a fresh line.
+    /// (`line` should be freshly opened for this module; the startup
+    /// request is issued here, matching the `sch_contact_schx` call in
+    /// the module's compute function.)
+    pub fn start(mut line: LineHandle, path: &str, machine: &str) -> Result<Self, String> {
+        line.start_remote(path, machine).map_err(|e| e.to_string())?;
+        let started_at = line.now();
+        Ok(Self { line, host: machine.to_owned(), started_at })
+    }
+
+    /// The underlying line (e.g. to move the procedure).
+    pub fn line_mut(&mut self) -> &mut LineHandle {
+        &mut self.line
+    }
+
+    /// Transport statistics from the line.
+    pub fn stats(&self) -> schooner::line::LineStats {
+        self.line.stats()
+    }
+
+    /// Tear down the line (`sch_i_quit`).
+    pub fn quit(&mut self) {
+        let _ = self.line.quit();
+    }
+}
+
+impl ComponentCall for RemoteExec {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
+        self.line.call(name, args).map_err(|e| e.to_string())
+    }
+
+    fn location(&self) -> String {
+        self.host.clone()
+    }
+
+    fn calls(&self) -> u64 {
+        self.line.stats().calls
+    }
+
+    fn elapsed_virtual(&self) -> f64 {
+        self.line.now() - self.started_at
+    }
+}
+
+/// Pack a gas state into the single-precision `[w, tt, pt, far]` quadruple
+/// the adapted modules exchange.
+pub fn flow_to_value(s: &GasState) -> Value {
+    Value::floats(&[s.w as f32, s.tt as f32, s.pt as f32, s.far as f32])
+}
+
+/// Unpack a `[w, tt, pt, far]` quadruple.
+pub fn value_to_flow(v: &Value) -> Result<GasState, String> {
+    let xs = v
+        .as_f32_slice()
+        .ok_or_else(|| format!("expected array[4] of float, got {v}"))?;
+    if xs.len() != 4 {
+        return Err(format!("expected 4 flow components, got {}", xs.len()));
+    }
+    Ok(GasState::new(xs[0] as f64, xs[1] as f64, xs[2] as f64, xs[3] as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procs::duct_image;
+
+    #[test]
+    fn local_exec_counts_calls() {
+        let mut exec = LocalExec::new(&duct_image()).unwrap();
+        assert_eq!(exec.calls(), 0);
+        exec.call(
+            "duct",
+            &[
+                Value::floats(&[42.0, 390.0, 2.9e5, 0.0]),
+                Value::Float(0.02),
+                Value::Float(0.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(exec.calls(), 1);
+        assert_eq!(exec.location(), "local");
+        assert_eq!(exec.elapsed_virtual(), 0.0);
+        assert!(exec.call("nothere", &[]).is_err());
+    }
+
+    #[test]
+    fn flow_value_round_trip() {
+        let s = GasState::new(58.31, 1600.25, 2.35e6, 0.0221);
+        let v = flow_to_value(&s);
+        let back = value_to_flow(&v).unwrap();
+        // Exact at f32 precision.
+        assert_eq!(back.w as f32, s.w as f32);
+        assert_eq!(back.tt as f32, s.tt as f32);
+        assert_eq!(back.pt as f32, s.pt as f32);
+        assert_eq!(back.far as f32, s.far as f32);
+    }
+
+    #[test]
+    fn value_to_flow_rejects_malformed() {
+        assert!(value_to_flow(&Value::Float(1.0)).is_err());
+        assert!(value_to_flow(&Value::floats(&[1.0, 2.0])).is_err());
+        assert!(value_to_flow(&Value::doubles(&[1.0, 2.0, 3.0, 4.0])).is_err());
+    }
+}

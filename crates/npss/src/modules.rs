@@ -1,0 +1,452 @@
+//! The TESS engine components as AVS modules.
+//!
+//! Each principal engine component is an AVS module; an engine is
+//! constructed in the Network Editor by connecting the modules to
+//! represent the airflow through the engine. The four **adapted** modules
+//! (shaft, duct, combustor, nozzle) carry the two extra widgets from the
+//! paper — radio buttons selecting the machine on which to execute the
+//! remote procedure, and a type-in for its executable pathname — plus
+//! their physics widgets (the shaft's *moment inertia* and *spool speed*).
+//!
+//! The **system** module provides the solver-selection widgets (steady
+//! state: Newton–Raphson or Fourth-order Runge–Kutta; transient: Modified
+//! Euler, Fourth-order Runge–Kutta, Adams, or Gear) and overall control of
+//! the simulation run: when executed, it balances the engine at the
+//! initial operating point and runs the transient, invoking each adapted
+//! module's procedures locally or remotely according to the placements
+//! the user's widgets selected.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use avs::{AvsModule, ComputeCtx, ModuleSpec, Widget};
+use parking_lot::Mutex;
+use schooner::Schooner;
+use tess::engine::Turbofan;
+use tess::schedules::Schedule;
+use tess::transient::{TransientMethod, TransientResult};
+use uts::Value;
+
+use crate::engine_exec::{ExecReportRow, ExecutiveEngine};
+use crate::exec::RemoteExec;
+use crate::procs;
+
+/// Default executable path of an adapted-module slot.
+pub fn default_path_of_slot(slot: &str) -> &'static str {
+    match slot {
+        "bypass duct" | "tailpipe duct" => procs::DUCT_PATH,
+        "combustor" => procs::COMBUSTOR_PATH,
+        "nozzle" => procs::NOZZLE_PATH,
+        "low speed shaft" | "high speed shaft" => procs::SHAFT_PATH,
+        _ => "",
+    }
+}
+
+/// The adapted-module placement slots of the F100 network.
+pub const ADAPTED_SLOTS: [&str; 6] = [
+    "bypass duct",
+    "tailpipe duct",
+    "combustor",
+    "nozzle",
+    "low speed shaft",
+    "high speed shaft",
+];
+
+/// Shared state connecting the modules of one executive instance.
+pub struct ExecutiveServices {
+    /// The Schooner world.
+    pub schooner: Arc<Schooner>,
+    /// Host the executive (the "AVS machine") runs on.
+    pub avs_host: String,
+    /// The engine cycle to simulate — the "choice of complete engine
+    /// simulations" (defaults to the F100 class).
+    pub cycle: Mutex<tess::CycleDesign>,
+    /// Remote placements chosen through widgets: slot → (machine, path);
+    /// machine `"local"` means the original local-compute-only version.
+    pub placements: Mutex<HashMap<String, (String, String)>>,
+    /// Physics widget values: (slot, widget) → value.
+    pub params: Mutex<HashMap<(String, String), f64>>,
+    /// Most recent simulation result.
+    pub result: Mutex<Option<TransientResult>>,
+    /// Executor statistics of the most recent run.
+    pub report: Mutex<Vec<ExecReportRow>>,
+}
+
+impl ExecutiveServices {
+    /// Fresh services over a Schooner world.
+    pub fn new(schooner: Arc<Schooner>, avs_host: &str) -> Arc<Self> {
+        Arc::new(Self {
+            schooner,
+            avs_host: avs_host.to_owned(),
+            cycle: Mutex::new(tess::CycleDesign::f100_class()),
+            placements: Mutex::new(HashMap::new()),
+            params: Mutex::new(HashMap::new()),
+            result: Mutex::new(None),
+            report: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The machine-selection radio choices: "local" plus every testbed
+    /// host (the strings between colons in the paper's widget call).
+    pub fn machine_choices(&self) -> Vec<String> {
+        let mut v = vec!["local".to_owned()];
+        v.extend(self.schooner.ctx().park.hosts().iter().map(|s| s.to_string()));
+        v
+    }
+}
+
+/// Which engine component a module models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Inlet.
+    Inlet,
+    /// Fan or high-pressure compressor.
+    Compressor,
+    /// Core/bypass splitter.
+    Splitter,
+    /// Connecting duct (adapted).
+    Duct,
+    /// Bleed port.
+    Bleed,
+    /// Combustor (adapted).
+    Combustor,
+    /// Turbine.
+    Turbine,
+    /// Mixing volume.
+    MixingVolume,
+    /// Spool shaft (adapted).
+    Shaft,
+    /// Exhaust nozzle (adapted).
+    Nozzle,
+}
+
+impl ComponentKind {
+    /// AVS module type name.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            ComponentKind::Inlet => "inlet",
+            ComponentKind::Compressor => "compressor",
+            ComponentKind::Splitter => "splitter",
+            ComponentKind::Duct => "duct",
+            ComponentKind::Bleed => "bleed",
+            ComponentKind::Combustor => "combustor",
+            ComponentKind::Turbine => "turbine",
+            ComponentKind::MixingVolume => "mixing volume",
+            ComponentKind::Shaft => "shaft",
+            ComponentKind::Nozzle => "nozzle",
+        }
+    }
+
+    /// Whether this module was adapted for remote execution.
+    pub fn adapted(self) -> bool {
+        matches!(
+            self,
+            ComponentKind::Duct
+                | ComponentKind::Combustor
+                | ComponentKind::Shaft
+                | ComponentKind::Nozzle
+        )
+    }
+
+    /// Default executable path for the adapted kinds.
+    pub fn default_path(self) -> &'static str {
+        match self {
+            ComponentKind::Duct => procs::DUCT_PATH,
+            ComponentKind::Combustor => procs::COMBUSTOR_PATH,
+            ComponentKind::Shaft => procs::SHAFT_PATH,
+            ComponentKind::Nozzle => procs::NOZZLE_PATH,
+            _ => "",
+        }
+    }
+}
+
+/// A component module instance.
+pub struct ComponentModule {
+    /// Placement slot / instance role (e.g. "bypass duct").
+    pub slot: String,
+    /// Component kind.
+    pub kind: ComponentKind,
+    services: Arc<ExecutiveServices>,
+}
+
+impl ComponentModule {
+    /// Build a component module for a slot.
+    pub fn new(slot: &str, kind: ComponentKind, services: Arc<ExecutiveServices>) -> Self {
+        Self { slot: slot.to_owned(), kind, services }
+    }
+
+    fn descriptor(&self) -> Value {
+        Value::Record(vec![
+            ("name".to_owned(), Value::String(self.slot.clone())),
+            ("kind".to_owned(), Value::String(self.kind.type_name().to_owned())),
+        ])
+    }
+}
+
+/// Concatenate the descriptor chains arriving on the given input ports
+/// and append `extra`.
+fn chain(ctx: &ComputeCtx<'_>, inputs: &[&str], extra: Value) -> Value {
+    let mut items = Vec::new();
+    for port in inputs {
+        if let Some(Value::Array(xs)) = ctx.input(port) {
+            items.extend(xs.iter().cloned());
+        }
+    }
+    items.push(extra);
+    Value::Array(items)
+}
+
+impl AvsModule for ComponentModule {
+    fn spec(&self) -> ModuleSpec {
+        let mut spec = ModuleSpec::new(self.kind.type_name());
+        spec = match self.kind {
+            ComponentKind::Inlet => spec.output("out", "engine-flow"),
+            ComponentKind::Splitter => spec
+                .input("in", "engine-flow")
+                .output("core", "engine-flow")
+                .output("bypass", "engine-flow"),
+            ComponentKind::MixingVolume => spec
+                .input("core", "engine-flow")
+                .input("bypass", "engine-flow")
+                .output("out", "engine-flow"),
+            ComponentKind::Shaft => spec
+                .input("comp", "engine-flow")
+                .input("turb", "engine-flow")
+                .output("out", "engine-flow"),
+            _ => spec.input("in", "engine-flow").output("out", "engine-flow"),
+        };
+        if self.kind.adapted() {
+            // The two widgets the paper's adaptation added.
+            let machines = self.services.machine_choices();
+            let refs: Vec<&str> = machines.iter().map(String::as_str).collect();
+            spec = spec
+                .widget(Widget::radio("remote machine", &refs, 0))
+                .widget(Widget::type_in("pathname", self.kind.default_path()));
+        }
+        // Kind-specific physics widgets (the shaft control panel of
+        // Figure 2 shows moment inertia / spool speed / spool speed-op).
+        spec = match self.kind {
+            ComponentKind::Shaft => spec
+                .widget(Widget::dial("moment inertia", 0.5, 50.0, 9.0))
+                .widget(Widget::dial("spool speed", 1000.0, 20000.0, 10_000.0))
+                .widget(Widget::dial("spool speed-op", 1000.0, 20000.0, 10_000.0)),
+            ComponentKind::Combustor => spec
+                .widget(Widget::slider("efficiency", 0.8, 1.0, 0.995))
+                .widget(Widget::slider("pressure loss", 0.0, 0.2, 0.05)),
+            ComponentKind::Nozzle => spec.widget(Widget::slider("area scale", 0.5, 1.5, 1.0)),
+            ComponentKind::Compressor | ComponentKind::Turbine => {
+                spec.widget(Widget::file_browser("performance map", ""))
+            }
+            _ => spec,
+        };
+        spec
+    }
+
+    fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+        // Record placement from the remote-machine widgets.
+        if self.kind.adapted() {
+            let machine = ctx.widget_choice("remote machine")?.to_owned();
+            let path = ctx.widget_text("pathname")?.to_owned();
+            self.services
+                .placements
+                .lock()
+                .insert(self.slot.clone(), (machine, path));
+        }
+        // Publish physics widget values.
+        {
+            let mut params = self.services.params.lock();
+            for w in [
+                "moment inertia",
+                "efficiency",
+                "pressure loss",
+                "area scale",
+            ] {
+                if let Some(v) = ctx.widget(w).and_then(Widget::as_number) {
+                    params.insert((self.slot.clone(), w.to_owned()), v);
+                }
+            }
+        }
+        // Pass the descriptor chain downstream.
+        let desc = self.descriptor();
+        match self.kind {
+            ComponentKind::Inlet => ctx.set_output("out", chain(ctx, &[], desc)),
+            ComponentKind::Splitter => {
+                let out = chain(ctx, &["in"], desc);
+                ctx.set_output("core", out.clone());
+                ctx.set_output("bypass", out);
+            }
+            ComponentKind::MixingVolume => {
+                ctx.set_output("out", chain(ctx, &["core", "bypass"], desc))
+            }
+            ComponentKind::Shaft => ctx.set_output("out", chain(ctx, &["comp", "turb"], desc)),
+            _ => ctx.set_output("out", chain(ctx, &["in"], desc)),
+        }
+        Ok(())
+    }
+
+    fn destroy(&mut self) {
+        // Module removed from the network: its placement disappears (the
+        // Manager tears the line down when the system module's engine is
+        // rebuilt or shut down).
+        self.services.placements.lock().remove(&self.slot);
+    }
+}
+
+/// The system module: solver selection and overall run control.
+pub struct SystemModule {
+    services: Arc<ExecutiveServices>,
+}
+
+impl SystemModule {
+    /// Build the system module.
+    pub fn new(services: Arc<ExecutiveServices>) -> Self {
+        Self { services }
+    }
+
+    /// Build the executive engine from the current placements and
+    /// operating conditions.
+    fn build_engine(&self, altitude_m: f64, mach: f64) -> Result<ExecutiveEngine, String> {
+        let params = self.services.params.lock().clone();
+        let mut cycle = self.services.cycle.lock().clone();
+        if let Some(i) = params.get(&("low speed shaft".to_owned(), "moment inertia".to_owned())) {
+            cycle.i1 = *i;
+        }
+        if let Some(i) = params.get(&("high speed shaft".to_owned(), "moment inertia".to_owned())) {
+            cycle.i2 = *i;
+        }
+        if let Some(eta) = params.get(&("combustor".to_owned(), "efficiency".to_owned())) {
+            cycle.comb_eta = *eta;
+        }
+        if let Some(dp) = params.get(&("combustor".to_owned(), "pressure loss".to_owned())) {
+            cycle.comb_dp = *dp;
+        }
+        let mut engine = Turbofan::from_design(cycle)?;
+        // Operating conditions: high or low altitude, flight Mach.
+        let amb = tess::atmosphere::isa(altitude_m);
+        engine.flight =
+            tess::engine::FlightCondition { t_amb: amb.t, p_amb: amb.p, mach };
+        let mut exec = ExecutiveEngine::all_local(engine)?;
+
+        let placements = self.services.placements.lock().clone();
+        for (slot, (machine, path)) in placements {
+            if machine == "local" {
+                // The pathname widget still selects the *code*: a
+                // non-default path substitutes a different local
+                // implementation for this component.
+                let default = crate::modules::default_path_of_slot(&slot);
+                if path != default {
+                    let image = self
+                        .services
+                        .schooner
+                        .ctx()
+                        .registry
+                        .get(&path)
+                        .ok_or_else(|| format!("no program registered at '{path}'"))?;
+                    exec.set_local(&slot, crate::exec::LocalExec::new(&image)?)?;
+                }
+                continue;
+            }
+            let line = self
+                .services
+                .schooner
+                .open_line(&slot, &self.services.avs_host)
+                .map_err(|e| e.to_string())?;
+            let remote = RemoteExec::start(line, &path, &machine)?;
+            exec.set_remote(&slot, remote)?;
+        }
+        Ok(exec)
+    }
+}
+
+impl AvsModule for SystemModule {
+    fn spec(&self) -> ModuleSpec {
+        ModuleSpec::new("system")
+            .input("in", "engine-flow")
+            .input("lpshaft", "engine-flow")
+            .input("hpshaft", "engine-flow")
+            .output("thrust", "scalar")
+            .output("n1", "scalar")
+            .widget(Widget::radio(
+                "steady-state method",
+                &["Newton-Raphson", "Fourth-order Runge-Kutta"],
+                0,
+            ))
+            .widget(Widget::radio(
+                "transient method",
+                &["Modified Euler", "Fourth-order Runge-Kutta", "Adams", "Gear"],
+                0,
+            ))
+            .widget(Widget::slider("transient seconds", 0.0, 5.0, 1.0))
+            .widget(Widget::type_in("time step", "0.02"))
+            .widget(Widget::slider("initial fuel fraction", 0.5, 1.0, 0.92))
+            .widget(Widget::slider("altitude", 0.0, 15_000.0, 0.0))
+            .widget(Widget::slider("mach", 0.0, 1.5, 0.0))
+            .widget(Widget::toggle("run", false))
+    }
+
+    fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+        // Verify the network actually delivers a complete engine.
+        let chain = ctx.require_input("in")?;
+        let kinds: Vec<String> = match chain {
+            Value::Array(items) => items
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Record(fields) => fields.iter().find_map(|(k, v)| {
+                        (k == "kind").then(|| v.to_string().trim_matches('"').to_owned())
+                    }),
+                    _ => None,
+                })
+                .collect(),
+            _ => return Err("system: malformed engine chain".into()),
+        };
+        for needed in ["inlet", "compressor", "combustor", "turbine", "nozzle"] {
+            if !kinds.iter().any(|k| k == needed) {
+                return Err(format!("system: engine chain is missing a {needed}"));
+            }
+        }
+
+        if !ctx.widget_bool("run")? {
+            // Not armed: report idle outputs.
+            ctx.set_output("thrust", Value::Double(0.0));
+            ctx.set_output("n1", Value::Double(0.0));
+            return Ok(());
+        }
+
+        let method = match ctx.widget_choice("transient method")? {
+            "Fourth-order Runge-Kutta" => TransientMethod::RungeKutta4,
+            "Adams" => TransientMethod::Adams,
+            "Gear" => TransientMethod::Gear,
+            _ => TransientMethod::ImprovedEuler,
+        };
+        let t_end = ctx.widget_number("transient seconds")?;
+        let dt: f64 = ctx
+            .widget_text("time step")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad time step: {e}"))?;
+        let fuel_frac = ctx.widget_number("initial fuel fraction")?;
+        let altitude = ctx.widget_number("altitude")?;
+        let mach = ctx.widget_number("mach")?;
+
+        let mut exec = self.build_engine(altitude, mach)?;
+        // Fuel scales with ambient pressure (δ) so the throttle schedule
+        // stays meaningful at altitude.
+        let delta = exec.engine.flight.p_amb / tess::gas::P_STD;
+        let wf_ref = exec.engine.design.wf * delta;
+        let fuel = Schedule::new(vec![
+            (0.0, fuel_frac * wf_ref),
+            (0.1 * t_end.max(0.1), fuel_frac * wf_ref),
+            (0.4 * t_end.max(0.1), wf_ref),
+        ])?;
+        let result = exec.run_transient(&fuel, method, dt, t_end);
+        // Always capture stats, then tear down remote lines.
+        *self.services.report.lock() = exec.report_rows();
+        exec.shutdown();
+        let result = result?;
+
+        ctx.set_output("thrust", Value::Double(result.last().thrust));
+        ctx.set_output("n1", Value::Double(result.last().n1));
+        *self.services.result.lock() = Some(result);
+        Ok(())
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end tests of the prototype executive: the F100 network, local
+//! and remote component execution, and the paper's verification property
+//! (remote results equal the local-compute-only baseline).
+
+use std::sync::Arc;
+
+use npss::experiments::{max_rel_diff, table1, table2};
+use npss::f100::{F100Network, RemotePlacement};
+use schooner::Schooner;
+
+fn world() -> Arc<Schooner> {
+    Arc::new(Schooner::standard().unwrap())
+}
+
+#[test]
+fn f100_network_builds_and_renders_figure2() {
+    let sch = world();
+    let net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let figure = net.render();
+    for module in [
+        "[inlet]",
+        "[low pressure compressor]",
+        "[splitter]",
+        "[bypass duct]",
+        "[high pressure compressor]",
+        "[bleed]",
+        "[combustor]",
+        "[high pressure turbine]",
+        "[low pressure turbine]",
+        "[mixing volume]",
+        "[tailpipe duct]",
+        "[nozzle]",
+        "[low speed shaft]",
+        "[high speed shaft]",
+        "[system]",
+    ] {
+        assert!(figure.contains(module), "missing {module} in:\n{figure}");
+    }
+    // The shaft control panel exists with the paper's widgets.
+    let shaft = net.id("low speed shaft");
+    let panel = net.editor.control_panel(shaft).unwrap();
+    let names: Vec<&str> = panel.iter().map(|w| w.name()).collect();
+    assert!(names.contains(&"remote machine"));
+    assert!(names.contains(&"pathname"));
+    assert!(names.contains(&"moment inertia"));
+    assert!(names.contains(&"spool speed"));
+}
+
+#[test]
+fn all_local_run_balances_and_spools_up() {
+    let sch = world();
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let result = net.run("Modified Euler", 0.3, 0.02).unwrap();
+    assert_eq!(result.samples.len(), 16);
+    assert!(result.last().thrust > result.samples[0].thrust, "throttle step raises thrust");
+    // All executors local in this run.
+    for row in net.report() {
+        assert_eq!(row.location, "local", "{row:?}");
+    }
+}
+
+#[test]
+fn remote_combustor_matches_local_exactly() {
+    let sch = world();
+    let mut local = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let baseline = local.run("Modified Euler", 0.2, 0.02).unwrap();
+
+    let mut remote = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    remote
+        .apply_placement(&RemotePlacement::all_local().with("combustor", "ua-sgi-4d340"))
+        .unwrap();
+    let result = remote.run("Modified Euler", 0.2, 0.02).unwrap();
+
+    let diff = max_rel_diff(&result, &baseline);
+    assert!(diff < 1e-9, "remote combustor deviates by {diff}");
+    let report = remote.report();
+    let comb = report.iter().find(|r| r.module == "combustor").unwrap();
+    assert_eq!(comb.location, "ua-sgi-4d340");
+    assert!(comb.calls > 10, "combustor was called {} times", comb.calls);
+    assert!(comb.virtual_seconds > 0.0);
+}
+
+#[test]
+fn remote_duct_on_the_cray_matches_local() {
+    let sch = world();
+    let mut local = F100Network::build(sch.clone(), "lerc-sgi-4d480").unwrap();
+    let baseline = local.run("Modified Euler", 0.2, 0.02).unwrap();
+
+    let mut remote = F100Network::build(sch.clone(), "lerc-sgi-4d480").unwrap();
+    remote
+        .apply_placement(&RemotePlacement::all_local().with("bypass duct", "lerc-cray-ymp"))
+        .unwrap();
+    let result = remote.run("Modified Euler", 0.2, 0.02).unwrap();
+    let diff = max_rel_diff(&result, &baseline);
+    assert!(diff < 1e-9, "Cray duct deviates by {diff} (f32 fits the Cray mantissa exactly)");
+}
+
+#[test]
+fn table2_configuration_runs_and_matches() {
+    let sch = world();
+    let cfg = table2::Table2Config { t_end: 0.2, dt: 0.02 };
+    let report = table2::run_table2(&sch, &cfg).unwrap();
+    assert!(report.matches_local(), "max diff {}", report.max_rel_diff);
+    // Six remote instances grouped as the paper's four rows.
+    let total_instances: usize = report.rows.iter().map(|r| r.instances).sum();
+    assert_eq!(total_instances, 6, "{:?}", report.rows);
+    assert_eq!(report.rows.len(), 4, "{:?}", report.rows);
+    let duct_row = report.rows.iter().find(|r| r.module == "duct").unwrap();
+    assert_eq!(duct_row.instances, 2);
+    assert_eq!(duct_row.remote_machine, "lerc-cray-ymp");
+    let shaft_row = report.rows.iter().find(|r| r.module == "shaft").unwrap();
+    assert_eq!(shaft_row.instances, 2);
+    assert_eq!(shaft_row.remote_machine, "lerc-rs6000");
+    assert!(report.total_calls > 100);
+    let rendered = table2::render_table2(&report);
+    assert!(rendered.contains("MATCH"), "{rendered}");
+}
+
+#[test]
+fn table1_single_combo_single_module() {
+    // The full sweep runs in the bench; here one row end-to-end.
+    let sch = world();
+    let cfg = table1::Table1Config { t_end: 0.1, dt: 0.02, method: "Modified Euler".into() };
+    let rows = table1::run_table1(&sch, &cfg).unwrap();
+    assert_eq!(rows.len(), 20, "5 combos x 4 modules");
+    for row in &rows {
+        assert!(row.matches_local(), "{row:?}");
+        assert!(row.calls > 0, "{row:?}");
+    }
+    // WAN rows must cost more virtual time per call than LAN rows.
+    let lan: f64 = rows
+        .iter()
+        .filter(|r| r.network == "local Ethernet")
+        .map(|r| r.per_call_ms)
+        .fold(0.0, f64::max);
+    let wan: f64 = rows
+        .iter()
+        .filter(|r| r.network == "via Internet")
+        .map(|r| r.per_call_ms)
+        .fold(f64::INFINITY, f64::min);
+    assert!(wan > lan * 3.0, "WAN per-call {wan} ms vs LAN {lan} ms");
+    assert!(table1::slots_cover_modules());
+}
+
+#[test]
+fn operating_conditions_widgets_change_the_run() {
+    use avs::WidgetInput;
+    let sch = world();
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let sea_level = net.run("Modified Euler", 0.1, 0.02).unwrap();
+
+    // High altitude, forward flight: the user turns the operating-
+    // condition widgets on the system module's control panel.
+    let system = net.id("system");
+    net.editor.set_widget(system, "altitude", WidgetInput::Number(8000.0)).unwrap();
+    net.editor.set_widget(system, "mach", WidgetInput::Number(0.8)).unwrap();
+    let altitude = net.run("Modified Euler", 0.1, 0.02).unwrap();
+
+    assert!(
+        altitude.last().thrust < 0.7 * sea_level.last().thrust,
+        "thrust must lapse: {} vs {}",
+        altitude.last().thrust,
+        sea_level.last().thrust
+    );
+    assert!(
+        altitude.last().w2 < 0.7 * sea_level.last().w2,
+        "inlet flow must fall with density"
+    );
+}
+
+#[test]
+fn thrust_monitor_records_runs() {
+    let sch = world();
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let handle = net.thrust_monitor.clone().unwrap();
+    assert!(handle.numbers().is_empty());
+    let r1 = net.run("Modified Euler", 0.1, 0.02).unwrap();
+    let after_first = handle.numbers();
+    assert!(!after_first.is_empty());
+    assert_eq!(
+        after_first.last().unwrap().1,
+        r1.last().thrust,
+        "probe sees the system module's published thrust"
+    );
+    let r2 = net.run("Modified Euler", 0.2, 0.02).unwrap();
+    let after_second = handle.numbers();
+    assert!(after_second.len() > after_first.len());
+    assert_eq!(after_second.last().unwrap().1, r2.last().thrust);
+}
+
+#[test]
+fn pathname_widget_substitutes_a_different_code() {
+    use avs::WidgetInput;
+    let sch = world();
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let baseline = net.run("Modified Euler", 0.2, 0.02).unwrap();
+
+    // Substitute the alternative duct code (flow-dependent loss) for the
+    // bypass duct — the user just types a different pathname.
+    let duct = net.id("bypass duct");
+    net.editor
+        .set_widget(duct, "pathname", WidgetInput::Text(npss::procs::DUCT2_PATH.into()))
+        .unwrap();
+    let substituted_local = net.run("Modified Euler", 0.2, 0.02).unwrap();
+    let diff = max_rel_diff(&substituted_local, &baseline);
+    assert!(diff > 1e-6, "substituted code must change results (diff {diff})");
+
+    // The substituted code also runs remotely — and matches its own local
+    // run exactly (the Table 1/2 verification applies to it too).
+    net.place("bypass duct", "lerc-cray-ymp").unwrap();
+    let substituted_remote = net.run("Modified Euler", 0.2, 0.02).unwrap();
+    let diff = max_rel_diff(&substituted_remote, &substituted_local);
+    assert!(diff < 1e-9, "remote duct2 deviates from local duct2 by {diff}");
+}
+
+#[test]
+fn engine_model_choice_switches_cycles() {
+    let sch = world();
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    let f100 = net.run("Modified Euler", 0.1, 0.02).unwrap();
+
+    // The same network re-runs as a high-bypass commercial engine.
+    net.set_cycle(tess::CycleDesign::high_bypass_class());
+    // Force the system module to re-execute despite unchanged widgets.
+    let hb = net.run("Modified Euler", 0.12, 0.02).unwrap();
+    let sfc_f100 = f100.last().wf / f100.last().thrust;
+    let sfc_hb = hb.last().wf / hb.last().thrust;
+    assert!(
+        sfc_hb < 0.8 * sfc_f100,
+        "high-bypass executive run must be more efficient: {sfc_hb:.3e} vs {sfc_f100:.3e}"
+    );
+}

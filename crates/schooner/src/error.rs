@@ -1,0 +1,107 @@
+//! Error type for the Schooner runtime.
+
+use std::fmt;
+
+use netsim::NetError;
+
+/// Result alias used throughout the crate.
+pub type SchResult<T> = std::result::Result<T, SchError>;
+
+/// Errors surfaced by the Schooner runtime and library calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchError {
+    /// A UTS-level failure (parse, conversion, range, signature).
+    Uts(uts::Error),
+    /// A transport-level failure.
+    Net(NetError),
+    /// No export with this name is visible to the calling line.
+    UnknownProcedure(String),
+    /// The named line does not exist (or was shut down).
+    UnknownLine(u64),
+    /// The executable path is not installed on the target machine.
+    UnknownExecutable { path: String, host: String },
+    /// A procedure with the same name is already registered in the line —
+    /// duplicate names are permitted only *across* lines.
+    DuplicateProcedure { name: String, line: u64 },
+    /// The remote procedure's implementation reported a failure.
+    RemoteFault(String),
+    /// The remote process died or was shut down while a call was pending.
+    ProcessGone(String),
+    /// A protocol message could not be decoded.
+    Protocol(String),
+    /// The Manager did not answer within the liveness timeout.
+    ManagerUnavailable,
+    /// Migration was requested for a procedure that declares state but the
+    /// state transfer failed.
+    StateTransfer(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for SchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchError::Uts(e) => write!(f, "UTS: {e}"),
+            SchError::Net(e) => write!(f, "network: {e}"),
+            SchError::UnknownProcedure(name) => {
+                write!(f, "no procedure '{name}' visible to this line")
+            }
+            SchError::UnknownLine(id) => write!(f, "no such line {id}"),
+            SchError::UnknownExecutable { path, host } => {
+                write!(f, "no executable '{path}' installed on '{host}'")
+            }
+            SchError::DuplicateProcedure { name, line } => {
+                write!(f, "procedure '{name}' already registered in line {line}")
+            }
+            SchError::RemoteFault(msg) => write!(f, "remote procedure fault: {msg}"),
+            SchError::ProcessGone(addr) => write!(f, "remote process '{addr}' has gone away"),
+            SchError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            SchError::ManagerUnavailable => write!(f, "Schooner Manager unavailable"),
+            SchError::StateTransfer(msg) => write!(f, "state transfer failed: {msg}"),
+            SchError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchError {}
+
+impl From<uts::Error> for SchError {
+    fn from(e: uts::Error) -> Self {
+        SchError::Uts(e)
+    }
+}
+
+impl From<NetError> for SchError {
+    fn from(e: NetError) -> Self {
+        SchError::Net(e)
+    }
+}
+
+impl SchError {
+    /// Render for crossing the wire inside an error reply.
+    pub fn to_wire_string(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SchError::UnknownExecutable { path: "/bin/npss-shaft".into(), host: "cray".into() };
+        assert!(e.to_string().contains("/bin/npss-shaft"));
+        assert!(e.to_string().contains("cray"));
+        let e = SchError::DuplicateProcedure { name: "shaft".into(), line: 3 };
+        assert!(e.to_string().contains("shaft"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let u: SchError = uts::Error::Other("x".into()).into();
+        assert!(matches!(u, SchError::Uts(_)));
+        let n: SchError = NetError::Timeout.into();
+        assert!(matches!(n, SchError::Net(_)));
+    }
+}

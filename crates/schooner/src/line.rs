@@ -1,0 +1,445 @@
+//! Lines: the client side of the extended Schooner model.
+//!
+//! A *line* is one sequential thread of control — the equivalent of a
+//! whole Schooner program in the original model. Any procedure in a line
+//! can request the initiation of further remote procedures; procedures
+//! started this way belong to the requesting line and are callable only
+//! from it. Lines execute independently of each other with no
+//! synchronization, so concurrency is possible but controlled; duplicate
+//! procedure names are permitted across lines (each line gets its own
+//! instance) but not within one.
+//!
+//! [`LineHandle`] packages the Schooner library calls a module makes:
+//! `open` (the `sch_contact` registration of the dynamic startup
+//! protocol), `start_remote`, `call`, `move_procedure`, and `quit`
+//! (`sch_i_quit`). Each handle owns a virtual clock that advances with
+//! the communication and computation its calls cause.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use netsim::{Endpoint, NetError, VirtualClock};
+use uts::spec::ProcSpec;
+use uts::{Architecture, Value};
+
+use crate::error::{SchError, SchResult};
+use crate::message::{MapInfo, Msg, StartedInfo};
+use crate::stub::CompiledStub;
+use crate::system::RuntimeCtx;
+
+/// Identifier of a line, assigned by the Manager.
+pub type LineId = u64;
+
+/// Reply text a process sends for calls caught in its shutdown drain;
+/// the client recognizes it and falls back to the Manager for a fresh
+/// location (the stale-cache path of migration).
+pub const GONE_FAULT: &str = "#process-gone";
+
+/// A resolved, cached binding to a remote procedure.
+#[derive(Debug, Clone)]
+struct Binding {
+    addr: String,
+    remote_name: String,
+    stub: CompiledStub,
+}
+
+/// Cumulative transport statistics for one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LineStats {
+    /// Remote calls completed.
+    pub calls: u64,
+    /// Wire bytes of arguments sent.
+    pub request_bytes: u64,
+    /// Wire bytes of results received.
+    pub reply_bytes: u64,
+    /// Cache-miss name lookups that went to the Manager.
+    pub manager_lookups: u64,
+    /// Calls that had to retry after finding a stale binding.
+    pub stale_retries: u64,
+}
+
+/// A module's handle on its line.
+pub struct LineHandle {
+    id: LineId,
+    module: String,
+    host: String,
+    arch: Architecture,
+    ctx: RuntimeCtx,
+    manager: String,
+    endpoint: Endpoint,
+    clock: VirtualClock,
+    imports: HashMap<String, ProcSpec>,
+    cache: HashMap<String, Binding>,
+    next_req: u64,
+    stats: LineStats,
+    quit_sent: bool,
+}
+
+impl LineHandle {
+    /// Register a module with the Manager and open its line. Normally
+    /// called through `Schooner::open_line`.
+    pub(crate) fn open(
+        ctx: RuntimeCtx,
+        manager: String,
+        module: &str,
+        host: &str,
+        serial: u64,
+    ) -> SchResult<Self> {
+        let arch = ctx
+            .park
+            .arch_of(host)
+            .ok_or_else(|| SchError::Other(format!("host '{host}' has no machine")))?;
+        let endpoint = ctx.net.register(format!("{host}:line-{serial}"))?;
+        let mut handle = Self {
+            id: 0,
+            module: module.to_owned(),
+            host: host.to_owned(),
+            arch,
+            ctx,
+            manager,
+            endpoint,
+            clock: VirtualClock::new(),
+            imports: HashMap::new(),
+            cache: HashMap::new(),
+            next_req: 1,
+            stats: LineStats::default(),
+            quit_sent: false,
+        };
+        let req = handle.fresh_req();
+        handle.send_manager(&Msg::OpenLine {
+            req,
+            module: module.to_owned(),
+            reply_to: handle.endpoint.addr().to_owned(),
+        })?;
+        let reply =
+            handle.await_reply(|m| matches!(m, Msg::LineOpened { req: r, .. } if *r == req))?;
+        if let Msg::LineOpened { line, .. } = reply {
+            handle.id = line;
+        }
+        Ok(handle)
+    }
+
+    /// The line id assigned by the Manager.
+    pub fn id(&self) -> LineId {
+        self.id
+    }
+
+    /// The module name this line was opened for.
+    pub fn module(&self) -> &str {
+        &self.module
+    }
+
+    /// The host the module runs on.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// This line's current virtual time, in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Advance this line's clock by local (non-Schooner) work.
+    pub fn local_work(&self, flops: f64) -> f64 {
+        let secs = self.ctx.park.compute_seconds(&self.host, flops).unwrap_or(0.0);
+        self.clock.advance(secs)
+    }
+
+    /// Transport statistics.
+    pub fn stats(&self) -> LineStats {
+        self.stats
+    }
+
+    /// Register import specifications for later calls. Calls to
+    /// procedures without a registered import use the export specification
+    /// unchecked (the import-equals-export common case).
+    pub fn register_imports(&mut self, spec_src: &str) -> SchResult<()> {
+        let file = uts::parse_spec_file(spec_src)?;
+        for decl in file.decls {
+            self.imports.insert(decl.name.to_ascii_lowercase(), decl);
+        }
+        Ok(())
+    }
+
+    /// Ask the Manager to start the executable at `path` on `machine`,
+    /// within this line (the `sch_contact_schx` startup request a module
+    /// issues with the values of its machine and pathname widgets).
+    pub fn start_remote(&mut self, path: &str, machine: &str) -> SchResult<Vec<String>> {
+        self.start_inner(path, machine, false)
+    }
+
+    /// Start the executable as a **shared** procedure: not part of this
+    /// line, available to every line.
+    pub fn start_shared(&mut self, path: &str, machine: &str) -> SchResult<Vec<String>> {
+        self.start_inner(path, machine, true)
+    }
+
+    fn start_inner(&mut self, path: &str, machine: &str, shared: bool) -> SchResult<Vec<String>> {
+        self.ensure_live()?;
+        let req = self.fresh_req();
+        self.send_manager(&Msg::StartRequest {
+            req,
+            line: self.id,
+            path: path.to_owned(),
+            host: machine.to_owned(),
+            shared,
+            reply_to: self.endpoint.addr().to_owned(),
+        })?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::StartReply { req: r, .. } if *r == req))?;
+        match reply {
+            Msg::StartReply { result, .. } => {
+                let StartedInfo { proc_names, addr, .. } =
+                    result.map_err(SchError::Other)?;
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    format!("line-{}", self.id),
+                    format!("started '{path}' on {machine} at {addr}"),
+                );
+                Ok(proc_names)
+            }
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
+    /// Invoke a remote procedure with the input arguments (`val`/`var`
+    /// parameters in spec order); returns the outputs (`res`/`var`).
+    pub fn call(&mut self, name: &str, args: &[Value]) -> SchResult<Vec<Value>> {
+        self.ensure_live()?;
+        let key = name.to_ascii_lowercase();
+        if !self.cache.contains_key(&key) {
+            let binding = self.map_via_manager(name)?;
+            self.cache.insert(key.clone(), binding);
+        }
+        match self.attempt_call(&key, args) {
+            Err(e) if Self::is_stale(&e) => {
+                // Stale cache after a move or restart: re-query the
+                // Manager and retry once.
+                self.stats.stale_retries += 1;
+                self.cache.remove(&key);
+                let binding = self.map_via_manager(name)?;
+                self.cache.insert(key.clone(), binding);
+                self.attempt_call(&key, args)
+            }
+            other => other,
+        }
+    }
+
+    fn is_stale(e: &SchError) -> bool {
+        matches!(e, SchError::ProcessGone(_))
+            || matches!(e, SchError::Net(NetError::UnknownAddress(_)))
+            || matches!(e, SchError::Net(NetError::Disconnected(_)))
+    }
+
+    fn attempt_call(&mut self, key: &str, args: &[Value]) -> SchResult<Vec<Value>> {
+        let binding = self.cache.get(key).expect("binding inserted by caller").clone();
+        let wire = binding.stub.marshal_inputs(args, self.arch)?;
+        self.clock.advance(self.marshal_cost(binding.stub.input_scalars));
+        let call = self.fresh_req();
+        let request_bytes = wire.len() as u64;
+        let msg = Msg::CallRequest {
+            call,
+            line: self.id,
+            proc_name: binding.remote_name.clone(),
+            args: wire,
+            reply_to: self.endpoint.addr().to_owned(),
+        };
+        self.ctx.trace.record(
+            self.clock.now(),
+            format!("line-{}", self.id),
+            format!("call {} -> {}", binding.remote_name, binding.addr),
+        );
+        self.endpoint.send(&binding.addr, msg.encode(), self.clock.now())?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::CallReply { call: c, .. } if *c == call))?;
+        match reply {
+            Msg::CallReply { result, .. } => {
+                let bytes = result.map_err(|e| {
+                    if e == GONE_FAULT {
+                        SchError::ProcessGone(binding.addr.clone())
+                    } else {
+                        SchError::RemoteFault(e)
+                    }
+                })?;
+                self.stats.calls += 1;
+                self.stats.request_bytes += request_bytes;
+                self.stats.reply_bytes += bytes.len() as u64;
+                let out = binding.stub.unmarshal_outputs(bytes, self.arch)?;
+                self.clock.advance(self.marshal_cost(binding.stub.output_scalars));
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    format!("line-{}", self.id),
+                    format!("return {} <- {}", binding.remote_name, binding.addr),
+                );
+                Ok(out)
+            }
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
+    /// Move the named procedure's process to `target_machine`. Stale
+    /// caches in other callers recover automatically on their next call.
+    pub fn move_procedure(&mut self, name: &str, target_machine: &str) -> SchResult<()> {
+        self.ensure_live()?;
+        let req = self.fresh_req();
+        self.send_manager(&Msg::MoveRequest {
+            req,
+            line: self.id,
+            name: name.to_owned(),
+            target_host: target_machine.to_owned(),
+            reply_to: self.endpoint.addr().to_owned(),
+        })?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::MoveReply { req: r, .. } if *r == req))?;
+        match reply {
+            Msg::MoveReply { result, .. } => {
+                let info = result.map_err(SchError::Other)?;
+                self.install_binding(name, info)?;
+                Ok(())
+            }
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
+    /// Notify the Manager that this module is going away; the remote
+    /// procedures of this line — and only this line — are terminated.
+    pub fn quit(&mut self) -> SchResult<()> {
+        if self.quit_sent {
+            return Ok(());
+        }
+        let req = self.fresh_req();
+        self.send_manager(&Msg::IQuit {
+            req,
+            line: self.id,
+            reply_to: self.endpoint.addr().to_owned(),
+        })?;
+        self.await_reply(|m| matches!(m, Msg::IQuitAck { req: r } if *r == req))?;
+        self.quit_sent = true;
+        self.cache.clear();
+        Ok(())
+    }
+
+    // ----- internals -----
+
+    fn ensure_live(&self) -> SchResult<()> {
+        if self.quit_sent {
+            Err(SchError::UnknownLine(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    fn marshal_cost(&self, scalars: usize) -> f64 {
+        self.ctx
+            .park
+            .compute_seconds(&self.host, scalars as f64 * self.ctx.config.per_scalar_flops)
+            .unwrap_or(0.0)
+    }
+
+    fn send_manager(&self, msg: &Msg) -> SchResult<()> {
+        self.endpoint
+            .send(&self.manager, msg.encode(), self.clock.now())
+            .map_err(|_| SchError::ManagerUnavailable)?;
+        Ok(())
+    }
+
+    /// Block until a reply matching `pred` arrives; stale replies from
+    /// earlier exchanges are discarded (a line is sequential, so anything
+    /// not matching the current request is stale).
+    fn await_reply(&mut self, pred: impl Fn(&Msg) -> bool) -> SchResult<Msg> {
+        let deadline = std::time::Instant::now() + self.ctx.config.reply_timeout;
+        loop {
+            if std::time::Instant::now() > deadline {
+                return Err(SchError::ManagerUnavailable);
+            }
+            let env = match self.endpoint.recv(Duration::from_millis(50)) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            self.clock.merge(env.arrive_at);
+            if let Ok(msg) = Msg::decode(env.payload) {
+                if pred(&msg) {
+                    return Ok(msg);
+                }
+            }
+        }
+    }
+
+    fn map_via_manager(&mut self, name: &str) -> SchResult<Binding> {
+        self.stats.manager_lookups += 1;
+        let import_spec = self
+            .imports
+            .get(&name.to_ascii_lowercase())
+            .map(|d| d.to_source())
+            .unwrap_or_default();
+        let req = self.fresh_req();
+        self.send_manager(&Msg::MapRequest {
+            req,
+            line: self.id,
+            name: name.to_owned(),
+            import_spec,
+            reply_to: self.endpoint.addr().to_owned(),
+        })?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::MapReply { req: r, .. } if *r == req))?;
+        match reply {
+            Msg::MapReply { result, .. } => {
+                let info = result.map_err(|e| {
+                    if e.contains("no procedure") {
+                        SchError::UnknownProcedure(name.to_owned())
+                    } else {
+                        SchError::Other(e)
+                    }
+                })?;
+                self.binding_from_info(info)
+            }
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
+    fn binding_from_info(&self, info: MapInfo) -> SchResult<Binding> {
+        let export = uts::parse_spec_file(&info.export_spec)?;
+        let spec = export
+            .decls
+            .first()
+            .ok_or_else(|| SchError::Protocol("empty export spec in MapInfo".into()))?;
+        Ok(Binding {
+            addr: info.addr,
+            remote_name: info.remote_name,
+            stub: CompiledStub::compile(spec),
+        })
+    }
+
+    fn install_binding(&mut self, name: &str, info: MapInfo) -> SchResult<()> {
+        let binding = self.binding_from_info(info)?;
+        self.cache.insert(name.to_ascii_lowercase(), binding);
+        Ok(())
+    }
+}
+
+impl Drop for LineHandle {
+    fn drop(&mut self) {
+        if !self.quit_sent {
+            // Best effort: tell the Manager this module is gone so the
+            // line's processes are reclaimed; do not block on the ack.
+            let req = self.next_req;
+            let _ = self.endpoint.send(
+                &self.manager,
+                Msg::IQuit {
+                    req,
+                    line: self.id,
+                    reply_to: self.endpoint.addr().to_owned(),
+                }
+                .encode(),
+                self.clock.now(),
+            );
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The Schooner Manager.
+//!
+//! One Manager exists per executing program. It is **persistent** — in the
+//! extended model it outlives individual simulation runs and is explicitly
+//! created and terminated — and it is responsible for:
+//!
+//! * the dynamic startup protocol: modules contact it at runtime and ask
+//!   for remote procedures to be started on specific machines (it forwards
+//!   the work to the per-machine Servers);
+//! * the procedure-location mapping tables — one **per line**, plus one
+//!   for **shared** procedures, consulted in that order — with upper/
+//!   lower-case Fortran name synonyms (names are keyed case-insensitively,
+//!   the resolution adopted after the Cray port);
+//! * runtime **type-checking** of bindings: an import specification is
+//!   checked against the stored export specification before a location is
+//!   handed out;
+//! * per-line **shutdown**: `sch_i_quit` (or an error) terminates only the
+//!   remote procedures of the affected line;
+//! * **procedure migration**, including the state-variable transfer
+//!   extension for procedures whose specs carry a `state(...)` clause.
+
+use std::collections::{HashMap, VecDeque};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use netsim::{Endpoint, NetError, VirtualClock};
+use uts::check::check_import_against_export;
+use uts::spec::{Direction, ProcSpec};
+
+use crate::error::{SchError, SchResult};
+use crate::message::{MapInfo, Msg, StartedInfo};
+use crate::system::{manager_addr, server_addr, RuntimeCtx};
+
+/// Handle to the running Manager thread.
+pub struct ManagerHandle {
+    addr: String,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ManagerHandle {
+    /// The Manager's network address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Terminate the Manager (which first terminates every process it
+    /// knows about and every Server) and wait for it to finish.
+    pub fn shutdown(mut self, ctx: &RuntimeCtx) {
+        let host = self.addr.split(':').next().unwrap_or_default().to_owned();
+        let _ = ctx.net.send(
+            &format!("{host}:system"),
+            &self.addr,
+            Msg::ManagerShutdown.encode(),
+            0.0,
+        );
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawn the Manager on `ctx.config.manager_host`.
+pub fn spawn_manager(ctx: RuntimeCtx) -> SchResult<ManagerHandle> {
+    let addr = manager_addr(&ctx.config.manager_host);
+    let endpoint = ctx.net.register(addr.clone())?;
+    let worker = ManagerWorker {
+        ctx,
+        endpoint,
+        clock: VirtualClock::new(),
+        lines: HashMap::new(),
+        shared: NameDb::default(),
+        backlog: VecDeque::new(),
+        next_line: 1,
+        next_req: 1,
+    };
+    let join = std::thread::Builder::new()
+        .name("schooner-manager".to_owned())
+        .stack_size(512 * 1024)
+        .spawn(move || worker.run())
+        .map_err(|e| SchError::Other(format!("cannot spawn manager thread: {e}")))?;
+    Ok(ManagerHandle { addr, join: Some(join) })
+}
+
+/// One procedure's entry in a mapping table.
+#[derive(Debug, Clone)]
+struct ProcEntry {
+    /// Address of the process exporting it.
+    addr: String,
+    /// Host that process runs on.
+    host: String,
+    /// Executable path it was started from (needed for migration).
+    path: String,
+    /// The exact exported name at the process (after case folding).
+    remote_name: String,
+    /// The export specification.
+    spec: ProcSpec,
+}
+
+/// A name database: keys are case-folded so that upper- and lower-case
+/// spellings are synonyms.
+#[derive(Debug, Clone, Default)]
+struct NameDb {
+    map: HashMap<String, ProcEntry>,
+}
+
+impl NameDb {
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    fn get(&self, name: &str) -> Option<&ProcEntry> {
+        self.map.get(&Self::key(name))
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(&Self::key(name))
+    }
+
+    fn insert(&mut self, name: &str, entry: ProcEntry) {
+        self.map.insert(Self::key(name), entry);
+    }
+
+    /// Distinct process addresses in this database.
+    fn addrs(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.values().map(|e| e.addr.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Rebind every entry that pointed at `old_addr` to a new location.
+    /// `name_map` maps case-folded original names to the new remote names.
+    fn rebind(&mut self, old_addr: &str, new_addr: &str, new_host: &str, name_map: &[String]) {
+        for entry in self.map.values_mut() {
+            if entry.addr == old_addr {
+                entry.addr = new_addr.to_owned();
+                entry.host = new_host.to_owned();
+                if let Some(n) = name_map
+                    .iter()
+                    .find(|n| n.eq_ignore_ascii_case(&entry.remote_name))
+                {
+                    entry.remote_name = n.clone();
+                }
+            }
+        }
+    }
+}
+
+/// State of one line.
+#[derive(Debug, Default)]
+struct LineState {
+    module: String,
+    db: NameDb,
+}
+
+struct ManagerWorker {
+    ctx: RuntimeCtx,
+    endpoint: Endpoint,
+    clock: VirtualClock,
+    lines: HashMap<u64, LineState>,
+    shared: NameDb,
+    /// Messages received while awaiting a specific reply.
+    backlog: VecDeque<Msg>,
+    next_line: u64,
+    next_req: u64,
+}
+
+impl ManagerWorker {
+    fn run(mut self) {
+        loop {
+            let msg = match self.backlog.pop_front() {
+                Some(m) => m,
+                None => match self.recv_one() {
+                    Some(m) => m,
+                    None => continue,
+                },
+            };
+            if !self.dispatch(msg) {
+                break;
+            }
+        }
+    }
+
+    /// Receive and decode one message, merging virtual clocks. `None` on
+    /// timeout or transport teardown-in-progress.
+    fn recv_one(&mut self) -> Option<Msg> {
+        match self.endpoint.recv(Duration::from_millis(50)) {
+            Ok(env) => {
+                self.clock.merge(env.arrive_at);
+                Msg::decode(env.payload).ok()
+            }
+            Err(NetError::Timeout) => None,
+            Err(_) => Some(Msg::ManagerShutdown),
+        }
+    }
+
+    fn send(&self, to: &str, msg: &Msg) -> SchResult<()> {
+        self.endpoint.send(to, msg.encode(), self.clock.now())?;
+        Ok(())
+    }
+
+    /// Wait for a reply satisfying `pred`, buffering everything else.
+    fn await_reply(&mut self, pred: impl Fn(&Msg) -> bool) -> SchResult<Msg> {
+        let deadline = Instant::now() + self.ctx.config.reply_timeout;
+        loop {
+            if Instant::now() > deadline {
+                return Err(SchError::ManagerUnavailable);
+            }
+            let Some(msg) = self.recv_one() else { continue };
+            if pred(&msg) {
+                return Ok(msg);
+            }
+            self.backlog.push_back(msg);
+        }
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Handle one message; returns false to terminate.
+    fn dispatch(&mut self, msg: Msg) -> bool {
+        self.clock.advance(self.ctx.config.manager_overhead_s);
+        match msg {
+            Msg::OpenLine { req, module, reply_to } => {
+                let line = self.next_line;
+                self.next_line += 1;
+                self.lines.insert(line, LineState { module: module.clone(), db: NameDb::default() });
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    "manager",
+                    format!("opened line {line} for module '{module}'"),
+                );
+                let _ = self.send(&reply_to, &Msg::LineOpened { req, line });
+            }
+            Msg::StartRequest { req, line, path, host, shared, reply_to } => {
+                let result = self
+                    .handle_start(line, &path, &host, shared)
+                    .map_err(|e| e.to_wire_string());
+                let _ = self.send(&reply_to, &Msg::StartReply { req, result });
+            }
+            Msg::MapRequest { req, line, name, import_spec, reply_to } => {
+                let result = self
+                    .handle_map(line, &name, &import_spec)
+                    .map_err(|e| e.to_wire_string());
+                let _ = self.send(&reply_to, &Msg::MapReply { req, result });
+            }
+            Msg::IQuit { req, line, reply_to } => {
+                self.shutdown_line(line);
+                let _ = self.send(&reply_to, &Msg::IQuitAck { req });
+            }
+            Msg::MoveRequest { req, line, name, target_host, reply_to } => {
+                let result = self
+                    .handle_move(line, &name, &target_host)
+                    .map_err(|e| e.to_wire_string());
+                let _ = self.send(&reply_to, &Msg::MoveReply { req, result });
+            }
+            Msg::ManagerShutdown => {
+                let lines: Vec<u64> = self.lines.keys().copied().collect();
+                for l in lines {
+                    self.shutdown_line(l);
+                }
+                for addr in self.shared.addrs() {
+                    let _ = self.send(&addr, &Msg::ProcShutdown);
+                }
+                self.shared = NameDb::default();
+                for host in self.ctx.park.hosts() {
+                    let _ = self.send(&server_addr(host), &Msg::ServerShutdown);
+                }
+                self.ctx.trace.record(self.clock.now(), "manager", "shutdown".to_owned());
+                return false;
+            }
+            // Stale replies from completed exchanges are ignored.
+            _ => {}
+        }
+        true
+    }
+
+    /// Start `path` on `host`, registering the exports in the line's (or
+    /// the shared) database.
+    fn handle_start(
+        &mut self,
+        line: u64,
+        path: &str,
+        host: &str,
+        shared: bool,
+    ) -> SchResult<StartedInfo> {
+        if !shared && !self.lines.contains_key(&line) {
+            return Err(SchError::UnknownLine(line));
+        }
+        let proc_line = if shared { 0 } else { line };
+        let info = self.start_process_on(proc_line, path, host)?;
+
+        // Parse the export spec and pre-check for duplicates before
+        // mutating any table.
+        let spec = uts::parse_spec_file(&info.spec_src)?;
+        let db = if shared {
+            &self.shared
+        } else {
+            &self.lines.get(&line).expect("checked above").db
+        };
+        for decl in &spec.decls {
+            if decl.direction != Direction::Export {
+                continue;
+            }
+            if db.contains(&decl.name) {
+                // Undo: terminate the just-started process.
+                let _ = self.send(&info.addr, &Msg::ProcShutdown);
+                return Err(SchError::DuplicateProcedure { name: decl.name.clone(), line });
+            }
+        }
+
+        let db = if shared {
+            &mut self.shared
+        } else {
+            &mut self.lines.get_mut(&line).expect("checked above").db
+        };
+        for decl in &spec.decls {
+            if decl.direction != Direction::Export {
+                continue;
+            }
+            let remote_name = info
+                .proc_names
+                .iter()
+                .find(|n| n.eq_ignore_ascii_case(&decl.name))
+                .cloned()
+                .unwrap_or_else(|| decl.name.clone());
+            db.insert(
+                &decl.name,
+                ProcEntry {
+                    addr: info.addr.clone(),
+                    host: host.to_owned(),
+                    path: path.to_owned(),
+                    remote_name,
+                    spec: decl.clone(),
+                },
+            );
+        }
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!(
+                "registered {} export(s) from '{path}' at {} ({})",
+                spec.decls.len(),
+                info.addr,
+                if shared { "shared".to_owned() } else { format!("line {line}") }
+            ),
+        );
+        Ok(info)
+    }
+
+    /// Ask the Server on `host` to start a process and wait for its reply.
+    fn start_process_on(&mut self, line: u64, path: &str, host: &str) -> SchResult<StartedInfo> {
+        let req = self.fresh_req();
+        self.send(
+            &server_addr(host),
+            &Msg::StartProcess {
+                req,
+                line,
+                path: path.to_owned(),
+                reply_to: self.endpoint.addr().to_owned(),
+            },
+        )?;
+        let reply = self.await_reply(
+            |m| matches!(m, Msg::ProcessStarted { req: r, .. } if *r == req),
+        )?;
+        match reply {
+            Msg::ProcessStarted { result, .. } => result.map_err(SchError::Other),
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
+    /// Resolve a name for a line: its own database first, then shared.
+    fn lookup(&self, line: u64, name: &str) -> SchResult<&ProcEntry> {
+        if let Some(state) = self.lines.get(&line) {
+            if let Some(e) = state.db.get(name) {
+                return Ok(e);
+            }
+        } else {
+            return Err(SchError::UnknownLine(line));
+        }
+        self.shared
+            .get(name)
+            .ok_or_else(|| SchError::UnknownProcedure(name.to_owned()))
+    }
+
+    fn handle_map(&mut self, line: u64, name: &str, import_spec: &str) -> SchResult<MapInfo> {
+        let entry = self.lookup(line, name)?.clone();
+        if !import_spec.is_empty() {
+            let imports = uts::parse_spec_file(import_spec)?;
+            let import = imports
+                .decls
+                .iter()
+                .find(|d| d.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    SchError::Other(format!("import spec does not declare '{name}'"))
+                })?;
+            check_import_against_export(import, &entry.spec)?;
+        }
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!("mapped '{name}' for line {line} -> {}", entry.addr),
+        );
+        Ok(MapInfo {
+            addr: entry.addr.clone(),
+            remote_name: entry.remote_name.clone(),
+            export_spec: entry.spec.to_source(),
+        })
+    }
+
+    /// Terminate the remote procedures of one line only.
+    fn shutdown_line(&mut self, line: u64) {
+        if let Some(state) = self.lines.remove(&line) {
+            for addr in state.db.addrs() {
+                let _ = self.send(&addr, &Msg::ProcShutdown);
+            }
+            self.ctx.trace.record(
+                self.clock.now(),
+                "manager",
+                format!("line {line} ('{}') shut down", state.module),
+            );
+        }
+    }
+
+    /// Move the process exporting `name` (visible to `line`) to
+    /// `target_host`, transferring declared state.
+    fn handle_move(&mut self, line: u64, name: &str, target_host: &str) -> SchResult<MapInfo> {
+        let (entry, in_shared) = {
+            if let Some(state) = self.lines.get(&line) {
+                if let Some(e) = state.db.get(name) {
+                    (e.clone(), false)
+                } else if let Some(e) = self.shared.get(name) {
+                    (e.clone(), true)
+                } else {
+                    return Err(SchError::UnknownProcedure(name.to_owned()));
+                }
+            } else if let Some(e) = self.shared.get(name) {
+                (e.clone(), true)
+            } else {
+                return Err(SchError::UnknownLine(line));
+            }
+        };
+        let old_addr = entry.addr.clone();
+
+        // Does any procedure of that process declare migration state?
+        let db = if in_shared { &self.shared } else { &self.lines[&line].db };
+        let has_state = db
+            .map
+            .values()
+            .any(|e| e.addr == old_addr && !e.spec.state.is_empty());
+
+        // Capture state from the old instance before it is shut down.
+        let state_blob = if has_state {
+            let req = self.fresh_req();
+            self.send(
+                &old_addr,
+                &Msg::GetState { req, reply_to: self.endpoint.addr().to_owned() },
+            )?;
+            let reply = self
+                .await_reply(|m| matches!(m, Msg::StateReply { req: r, .. } if *r == req))?;
+            match reply {
+                Msg::StateReply { result, .. } => {
+                    Some(result.map_err(SchError::StateTransfer)?)
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        };
+
+        // Start the replacement.
+        let proc_line = if in_shared { 0 } else { line };
+        let info = self.start_process_on(proc_line, &entry.path, target_host)?;
+
+        // Install state into the new instance.
+        if let Some(blob) = state_blob {
+            let req = self.fresh_req();
+            self.send(
+                &info.addr,
+                &Msg::SetState { req, state: blob, reply_to: self.endpoint.addr().to_owned() },
+            )?;
+            let reply = self
+                .await_reply(|m| matches!(m, Msg::SetStateAck { req: r, .. } if *r == req))?;
+            match reply {
+                Msg::SetStateAck { result, .. } => result.map_err(SchError::StateTransfer)?,
+                _ => unreachable!(),
+            }
+        }
+
+        // Shut down the old instance; callers' caches go stale and will
+        // fall back to the Manager on their next call.
+        let _ = self.send(&old_addr, &Msg::ProcShutdown);
+
+        // Rebind the mapping tables.
+        let db = if in_shared {
+            &mut self.shared
+        } else {
+            &mut self.lines.get_mut(&line).expect("present").db
+        };
+        db.rebind(&old_addr, &info.addr, target_host, &info.proc_names);
+        let rebound = db.get(name).expect("entry survived rebind").clone();
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!("moved '{name}' from {old_addr} to {}", info.addr),
+        );
+        Ok(MapInfo {
+            addr: rebound.addr,
+            remote_name: rebound.remote_name,
+            export_spec: rebound.spec.to_source(),
+        })
+    }
+}

@@ -1,0 +1,541 @@
+//! The Schooner runtime protocol.
+//!
+//! Every interaction between modules, the Manager, the Servers, and the
+//! remote-procedure processes is one of these messages, carried as a
+//! binary payload over the simulated network. Argument and result values
+//! travel inside [`Msg::CallRequest`]/[`Msg::CallReply`] as UTS wire-format
+//! byte strings; the protocol itself uses a compact framing so message
+//! sizes — which drive the network cost model — stay realistic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{SchError, SchResult};
+
+/// Information returned when a process has been started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartedInfo {
+    /// Address of the new process (`host:proc-N`).
+    pub addr: String,
+    /// Source text of the process's export specification file.
+    pub spec_src: String,
+    /// Exported procedure names, as the target compiler produced them
+    /// (i.e. after Fortran case folding).
+    pub proc_names: Vec<String>,
+}
+
+/// Information returned by a successful name mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapInfo {
+    /// Address of the process exporting the procedure.
+    pub addr: String,
+    /// The procedure's name *at the remote end* (case-folded for its
+    /// compiler) — the name to put in call requests.
+    pub remote_name: String,
+    /// Source text of the matching export specification.
+    pub export_spec: String,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ----- module ↔ Manager -----
+    /// Register a module and open a new line (the `sch_contact` part of
+    /// the dynamic startup protocol).
+    OpenLine { req: u64, module: String, reply_to: String },
+    /// Reply: the line id assigned.
+    LineOpened { req: u64, line: u64 },
+    /// Ask the Manager to start `path` on `host`, within `line` (or as a
+    /// shared procedure when `shared`).
+    StartRequest { req: u64, line: u64, path: String, host: String, shared: bool, reply_to: String },
+    /// Reply to [`Msg::StartRequest`].
+    StartReply { req: u64, result: Result<StartedInfo, String> },
+    /// Resolve a procedure name visible to `line`; carries the import
+    /// spec so the Manager can type-check the binding.
+    MapRequest { req: u64, line: u64, name: String, import_spec: String, reply_to: String },
+    /// Reply to [`Msg::MapRequest`].
+    MapReply { req: u64, result: Result<MapInfo, String> },
+    /// A module is going away; terminate the remote procedures of its
+    /// line only (`sch_i_quit`).
+    IQuit { req: u64, line: u64, reply_to: String },
+    /// Acknowledgement of [`Msg::IQuit`].
+    IQuitAck { req: u64 },
+    /// Move a procedure of `line` (or a shared one, `line` = 0 with
+    /// `shared`) to `target_host`.
+    MoveRequest { req: u64, line: u64, name: String, target_host: String, reply_to: String },
+    /// Reply to [`Msg::MoveRequest`].
+    MoveReply { req: u64, result: Result<MapInfo, String> },
+    /// Terminate the Manager (explicit, since the Manager is persistent).
+    ManagerShutdown,
+
+    // ----- Manager ↔ Server -----
+    /// Ask the Server to instantiate `path` as a process.
+    StartProcess { req: u64, line: u64, path: String, reply_to: String },
+    /// Reply to [`Msg::StartProcess`].
+    ProcessStarted { req: u64, result: Result<StartedInfo, String> },
+    /// Terminate the Server.
+    ServerShutdown,
+
+    // ----- caller ↔ process -----
+    /// Invoke `proc_name` with wire-encoded input arguments.
+    CallRequest { call: u64, line: u64, proc_name: String, args: Bytes, reply_to: String },
+    /// Wire-encoded output results, or a fault.
+    CallReply { call: u64, result: Result<Bytes, String> },
+    /// Collect migration state (wire-encoded state variables).
+    GetState { req: u64, reply_to: String },
+    /// Reply to [`Msg::GetState`].
+    StateReply { req: u64, result: Result<Bytes, String> },
+    /// Install migration state into a freshly started process.
+    SetState { req: u64, state: Bytes, reply_to: String },
+    /// Reply to [`Msg::SetState`].
+    SetStateAck { req: u64, result: Result<(), String> },
+    /// Terminate the process.
+    ProcShutdown,
+}
+
+const T_OPEN_LINE: u8 = 1;
+const T_LINE_OPENED: u8 = 2;
+const T_START_REQUEST: u8 = 3;
+const T_START_REPLY: u8 = 4;
+const T_MAP_REQUEST: u8 = 5;
+const T_MAP_REPLY: u8 = 6;
+const T_IQUIT: u8 = 7;
+const T_IQUIT_ACK: u8 = 8;
+const T_MOVE_REQUEST: u8 = 9;
+const T_MOVE_REPLY: u8 = 10;
+const T_MANAGER_SHUTDOWN: u8 = 11;
+const T_START_PROCESS: u8 = 12;
+const T_PROCESS_STARTED: u8 = 13;
+const T_SERVER_SHUTDOWN: u8 = 14;
+const T_CALL_REQUEST: u8 = 15;
+const T_CALL_REPLY: u8 = 16;
+const T_GET_STATE: u8 = 17;
+const T_STATE_REPLY: u8 = 18;
+const T_SET_STATE: u8 = 19;
+const T_SET_STATE_ACK: u8 = 20;
+const T_PROC_SHUTDOWN: u8 = 21;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    buf.put_u32(b.len() as u32);
+    buf.put_slice(b);
+}
+
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> SchResult<()> {
+        if self.buf.remaining() < n {
+            Err(SchError::Protocol(format!(
+                "truncated message: need {n}, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> SchResult<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u64(&mut self) -> SchResult<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    fn str(&mut self) -> SchResult<String> {
+        self.need(4)?;
+        let len = self.buf.get_u32() as usize;
+        self.need(len)?;
+        let raw = self.buf.split_to(len);
+        String::from_utf8(raw.to_vec())
+            .map_err(|e| SchError::Protocol(format!("invalid UTF-8: {e}")))
+    }
+
+    fn bytes(&mut self) -> SchResult<Bytes> {
+        self.need(4)?;
+        let len = self.buf.get_u32() as usize;
+        self.need(len)?;
+        Ok(self.buf.split_to(len))
+    }
+}
+
+fn put_result<T>(buf: &mut BytesMut, r: &Result<T, String>, put_ok: impl FnOnce(&mut BytesMut, &T)) {
+    match r {
+        Ok(v) => {
+            buf.put_u8(1);
+            put_ok(buf, v);
+        }
+        Err(e) => {
+            buf.put_u8(0);
+            put_str(buf, e);
+        }
+    }
+}
+
+fn get_result<T>(r: &mut Reader, get_ok: impl FnOnce(&mut Reader) -> SchResult<T>) -> SchResult<Result<T, String>> {
+    match r.u8()? {
+        1 => Ok(Ok(get_ok(r)?)),
+        0 => Ok(Err(r.str()?)),
+        other => Err(SchError::Protocol(format!("invalid result tag {other}"))),
+    }
+}
+
+fn put_started(buf: &mut BytesMut, info: &StartedInfo) {
+    put_str(buf, &info.addr);
+    put_str(buf, &info.spec_src);
+    buf.put_u16(info.proc_names.len() as u16);
+    for n in &info.proc_names {
+        put_str(buf, n);
+    }
+}
+
+fn get_started(r: &mut Reader) -> SchResult<StartedInfo> {
+    let addr = r.str()?;
+    let spec_src = r.str()?;
+    let n = {
+        r.need(2)?;
+        r.buf.get_u16() as usize
+    };
+    let mut proc_names = Vec::with_capacity(n);
+    for _ in 0..n {
+        proc_names.push(r.str()?);
+    }
+    Ok(StartedInfo { addr, spec_src, proc_names })
+}
+
+fn put_mapinfo(buf: &mut BytesMut, info: &MapInfo) {
+    put_str(buf, &info.addr);
+    put_str(buf, &info.remote_name);
+    put_str(buf, &info.export_spec);
+}
+
+fn get_mapinfo(r: &mut Reader) -> SchResult<MapInfo> {
+    Ok(MapInfo { addr: r.str()?, remote_name: r.str()?, export_spec: r.str()? })
+}
+
+impl Msg {
+    /// Encode this message into transport bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        match self {
+            Msg::OpenLine { req, module, reply_to } => {
+                b.put_u8(T_OPEN_LINE);
+                b.put_u64(*req);
+                put_str(&mut b, module);
+                put_str(&mut b, reply_to);
+            }
+            Msg::LineOpened { req, line } => {
+                b.put_u8(T_LINE_OPENED);
+                b.put_u64(*req);
+                b.put_u64(*line);
+            }
+            Msg::StartRequest { req, line, path, host, shared, reply_to } => {
+                b.put_u8(T_START_REQUEST);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, path);
+                put_str(&mut b, host);
+                b.put_u8(u8::from(*shared));
+                put_str(&mut b, reply_to);
+            }
+            Msg::StartReply { req, result } => {
+                b.put_u8(T_START_REPLY);
+                b.put_u64(*req);
+                put_result(&mut b, result, put_started);
+            }
+            Msg::MapRequest { req, line, name, import_spec, reply_to } => {
+                b.put_u8(T_MAP_REQUEST);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, name);
+                put_str(&mut b, import_spec);
+                put_str(&mut b, reply_to);
+            }
+            Msg::MapReply { req, result } => {
+                b.put_u8(T_MAP_REPLY);
+                b.put_u64(*req);
+                put_result(&mut b, result, put_mapinfo);
+            }
+            Msg::IQuit { req, line, reply_to } => {
+                b.put_u8(T_IQUIT);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, reply_to);
+            }
+            Msg::IQuitAck { req } => {
+                b.put_u8(T_IQUIT_ACK);
+                b.put_u64(*req);
+            }
+            Msg::MoveRequest { req, line, name, target_host, reply_to } => {
+                b.put_u8(T_MOVE_REQUEST);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, name);
+                put_str(&mut b, target_host);
+                put_str(&mut b, reply_to);
+            }
+            Msg::MoveReply { req, result } => {
+                b.put_u8(T_MOVE_REPLY);
+                b.put_u64(*req);
+                put_result(&mut b, result, put_mapinfo);
+            }
+            Msg::ManagerShutdown => b.put_u8(T_MANAGER_SHUTDOWN),
+            Msg::StartProcess { req, line, path, reply_to } => {
+                b.put_u8(T_START_PROCESS);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, path);
+                put_str(&mut b, reply_to);
+            }
+            Msg::ProcessStarted { req, result } => {
+                b.put_u8(T_PROCESS_STARTED);
+                b.put_u64(*req);
+                put_result(&mut b, result, put_started);
+            }
+            Msg::ServerShutdown => b.put_u8(T_SERVER_SHUTDOWN),
+            Msg::CallRequest { call, line, proc_name, args, reply_to } => {
+                b.put_u8(T_CALL_REQUEST);
+                b.put_u64(*call);
+                b.put_u64(*line);
+                put_str(&mut b, proc_name);
+                put_bytes(&mut b, args);
+                put_str(&mut b, reply_to);
+            }
+            Msg::CallReply { call, result } => {
+                b.put_u8(T_CALL_REPLY);
+                b.put_u64(*call);
+                put_result(&mut b, result, put_bytes);
+            }
+            Msg::GetState { req, reply_to } => {
+                b.put_u8(T_GET_STATE);
+                b.put_u64(*req);
+                put_str(&mut b, reply_to);
+            }
+            Msg::StateReply { req, result } => {
+                b.put_u8(T_STATE_REPLY);
+                b.put_u64(*req);
+                put_result(&mut b, result, put_bytes);
+            }
+            Msg::SetState { req, state, reply_to } => {
+                b.put_u8(T_SET_STATE);
+                b.put_u64(*req);
+                put_bytes(&mut b, state);
+                put_str(&mut b, reply_to);
+            }
+            Msg::SetStateAck { req, result } => {
+                b.put_u8(T_SET_STATE_ACK);
+                b.put_u64(*req);
+                put_result(&mut b, result, |_, ()| {});
+            }
+            Msg::ProcShutdown => b.put_u8(T_PROC_SHUTDOWN),
+        }
+        b.freeze()
+    }
+
+    /// Decode a message from transport bytes.
+    pub fn decode(buf: Bytes) -> SchResult<Msg> {
+        let mut r = Reader { buf };
+        let tag = r.u8()?;
+        let msg = match tag {
+            T_OPEN_LINE => Msg::OpenLine { req: r.u64()?, module: r.str()?, reply_to: r.str()? },
+            T_LINE_OPENED => Msg::LineOpened { req: r.u64()?, line: r.u64()? },
+            T_START_REQUEST => Msg::StartRequest {
+                req: r.u64()?,
+                line: r.u64()?,
+                path: r.str()?,
+                host: r.str()?,
+                shared: r.u8()? != 0,
+                reply_to: r.str()?,
+            },
+            T_START_REPLY => Msg::StartReply { req: r.u64()?, result: get_result(&mut r, get_started)? },
+            T_MAP_REQUEST => Msg::MapRequest {
+                req: r.u64()?,
+                line: r.u64()?,
+                name: r.str()?,
+                import_spec: r.str()?,
+                reply_to: r.str()?,
+            },
+            T_MAP_REPLY => Msg::MapReply { req: r.u64()?, result: get_result(&mut r, get_mapinfo)? },
+            T_IQUIT => Msg::IQuit { req: r.u64()?, line: r.u64()?, reply_to: r.str()? },
+            T_IQUIT_ACK => Msg::IQuitAck { req: r.u64()? },
+            T_MOVE_REQUEST => Msg::MoveRequest {
+                req: r.u64()?,
+                line: r.u64()?,
+                name: r.str()?,
+                target_host: r.str()?,
+                reply_to: r.str()?,
+            },
+            T_MOVE_REPLY => Msg::MoveReply { req: r.u64()?, result: get_result(&mut r, get_mapinfo)? },
+            T_MANAGER_SHUTDOWN => Msg::ManagerShutdown,
+            T_START_PROCESS => Msg::StartProcess {
+                req: r.u64()?,
+                line: r.u64()?,
+                path: r.str()?,
+                reply_to: r.str()?,
+            },
+            T_PROCESS_STARTED => {
+                Msg::ProcessStarted { req: r.u64()?, result: get_result(&mut r, get_started)? }
+            }
+            T_SERVER_SHUTDOWN => Msg::ServerShutdown,
+            T_CALL_REQUEST => Msg::CallRequest {
+                call: r.u64()?,
+                line: r.u64()?,
+                proc_name: r.str()?,
+                args: r.bytes()?,
+                reply_to: r.str()?,
+            },
+            T_CALL_REPLY => Msg::CallReply {
+                call: r.u64()?,
+                result: get_result(&mut r, |r| r.bytes())?,
+            },
+            T_GET_STATE => Msg::GetState { req: r.u64()?, reply_to: r.str()? },
+            T_STATE_REPLY => Msg::StateReply {
+                req: r.u64()?,
+                result: get_result(&mut r, |r| r.bytes())?,
+            },
+            T_SET_STATE => Msg::SetState { req: r.u64()?, state: r.bytes()?, reply_to: r.str()? },
+            T_SET_STATE_ACK => Msg::SetStateAck {
+                req: r.u64()?,
+                result: get_result(&mut r, |_| Ok(()))?,
+            },
+            T_PROC_SHUTDOWN => Msg::ProcShutdown,
+            other => return Err(SchError::Protocol(format!("unknown message tag {other}"))),
+        };
+        if r.buf.remaining() != 0 {
+            return Err(SchError::Protocol(format!(
+                "{} trailing bytes after message",
+                r.buf.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Msg) {
+        let enc = m.encode();
+        let dec = Msg::decode(enc).unwrap();
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Msg::OpenLine { req: 1, module: "shaft".into(), reply_to: "a:1".into() });
+        round_trip(Msg::LineOpened { req: 1, line: 7 });
+        round_trip(Msg::StartRequest {
+            req: 2,
+            line: 7,
+            path: "/npss/shaft".into(),
+            host: "lerc-cray-ymp".into(),
+            shared: true,
+            reply_to: "a:1".into(),
+        });
+        round_trip(Msg::StartReply {
+            req: 2,
+            result: Ok(StartedInfo {
+                addr: "cray:proc-3".into(),
+                spec_src: "export f prog()".into(),
+                proc_names: vec!["F".into(), "G".into()],
+            }),
+        });
+        round_trip(Msg::StartReply { req: 2, result: Err("no such file".into()) });
+        round_trip(Msg::MapRequest {
+            req: 3,
+            line: 7,
+            name: "shaft".into(),
+            import_spec: "import shaft prog()".into(),
+            reply_to: "a:1".into(),
+        });
+        round_trip(Msg::MapReply {
+            req: 3,
+            result: Ok(MapInfo {
+                addr: "cray:proc-3".into(),
+                remote_name: "SHAFT".into(),
+                export_spec: "export SHAFT prog()".into(),
+            }),
+        });
+        round_trip(Msg::MapReply { req: 3, result: Err("unknown".into()) });
+        round_trip(Msg::IQuit { req: 4, line: 7, reply_to: "a:1".into() });
+        round_trip(Msg::IQuitAck { req: 4 });
+        round_trip(Msg::MoveRequest {
+            req: 5,
+            line: 7,
+            name: "shaft".into(),
+            target_host: "lerc-rs6000".into(),
+            reply_to: "a:1".into(),
+        });
+        round_trip(Msg::MoveReply { req: 5, result: Err("gone".into()) });
+        round_trip(Msg::ManagerShutdown);
+        round_trip(Msg::StartProcess {
+            req: 6,
+            line: 7,
+            path: "/npss/shaft".into(),
+            reply_to: "mgr".into(),
+        });
+        round_trip(Msg::ProcessStarted { req: 6, result: Err("not installed".into()) });
+        round_trip(Msg::ServerShutdown);
+        round_trip(Msg::CallRequest {
+            call: 9,
+            line: 7,
+            proc_name: "SHAFT".into(),
+            args: Bytes::from_static(&[1, 2, 3]),
+            reply_to: "a:1".into(),
+        });
+        round_trip(Msg::CallReply { call: 9, result: Ok(Bytes::from_static(&[4, 5])) });
+        round_trip(Msg::CallReply { call: 9, result: Err("fault".into()) });
+        round_trip(Msg::GetState { req: 10, reply_to: "mgr".into() });
+        round_trip(Msg::StateReply { req: 10, result: Ok(Bytes::from_static(&[7])) });
+        round_trip(Msg::SetState { req: 11, state: Bytes::new(), reply_to: "mgr".into() });
+        round_trip(Msg::SetStateAck { req: 11, result: Ok(()) });
+        round_trip(Msg::SetStateAck { req: 11, result: Err("type".into()) });
+        round_trip(Msg::ProcShutdown);
+    }
+
+    #[test]
+    fn garbage_rejected_cleanly() {
+        assert!(Msg::decode(Bytes::from_static(&[99])).is_err());
+        assert!(Msg::decode(Bytes::from_static(&[T_LINE_OPENED, 0, 0])).is_err());
+        assert!(Msg::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = Msg::IQuitAck { req: 1 }.encode().to_vec();
+        enc.push(0);
+        assert!(Msg::decode(Bytes::from(enc)).is_err());
+    }
+
+    #[test]
+    fn call_request_size_tracks_payload() {
+        let small = Msg::CallRequest {
+            call: 1,
+            line: 1,
+            proc_name: "f".into(),
+            args: Bytes::from_static(&[0; 8]),
+            reply_to: "a:1".into(),
+        }
+        .encode()
+        .len();
+        let big = Msg::CallRequest {
+            call: 1,
+            line: 1,
+            proc_name: "f".into(),
+            args: Bytes::from(vec![0u8; 8 + 1024]),
+            reply_to: "a:1".into(),
+        }
+        .encode()
+        .len();
+        assert_eq!(big - small, 1024);
+    }
+}

@@ -1,0 +1,207 @@
+//! The procedure implementation model.
+//!
+//! A remote procedure is, to Schooner, something that can be called with
+//! UTS values and returns UTS values, plus three optional capabilities:
+//!
+//! * a **work model** ([`Procedure::flops`]) — how much computation one
+//!   call represents, which the process converts into virtual seconds on
+//!   the machine it runs on;
+//! * **migration state** ([`Procedure::get_state`] /
+//!   [`Procedure::set_state`]) — the values of the state variables listed
+//!   in the spec's `state(...)` clause, packaged through UTS when the
+//!   procedure is moved (the paper's planned extension; stateless
+//!   procedures simply return an empty list).
+
+use uts::Value;
+
+/// A callable procedure body.
+///
+/// `call` receives the **input** parameters (`val` and `var`) in spec
+/// order and must return the **output** parameters (`res` and `var`) in
+/// spec order. Failures are reported as strings — they travel back to the
+/// caller as a remote fault.
+pub trait Procedure: Send {
+    /// Execute one call.
+    fn call(&mut self, args: &[Value]) -> Result<Vec<Value>, String>;
+
+    /// Estimated floating-point operations for one call with these
+    /// arguments. Drives the virtual-time compute cost.
+    fn flops(&self, _args: &[Value]) -> f64 {
+        50_000.0
+    }
+
+    /// Values of the migration state variables, in `state(...)` order.
+    fn get_state(&self) -> Vec<Value> {
+        Vec::new()
+    }
+
+    /// Install migration state captured by [`Procedure::get_state`] on a
+    /// previous instance.
+    fn set_state(&mut self, _state: Vec<Value>) -> Result<(), String> {
+        if _state.is_empty() {
+            Ok(())
+        } else {
+            Err("procedure is stateless but state was supplied".into())
+        }
+    }
+}
+
+/// A stateless procedure from a plain function or closure.
+pub struct FnProcedure<F> {
+    f: F,
+    flops: f64,
+}
+
+impl<F> FnProcedure<F>
+where
+    F: FnMut(&[Value]) -> Result<Vec<Value>, String> + Send,
+{
+    /// Wrap a closure with the default work model.
+    pub fn new(f: F) -> Self {
+        Self { f, flops: 50_000.0 }
+    }
+
+    /// Wrap a closure with an explicit per-call flop count.
+    pub fn with_flops(f: F, flops: f64) -> Self {
+        Self { f, flops }
+    }
+}
+
+impl<F> Procedure for FnProcedure<F>
+where
+    F: FnMut(&[Value]) -> Result<Vec<Value>, String> + Send,
+{
+    fn call(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        (self.f)(args)
+    }
+
+    fn flops(&self, _args: &[Value]) -> f64 {
+        self.flops
+    }
+}
+
+/// A stateful procedure built from a state value plus a step closure;
+/// `get_state`/`set_state` expose the state through a pair of conversion
+/// closures so migration works without hand-writing a `Procedure` impl.
+pub struct StatefulProcedure<S, F, G, H> {
+    state: S,
+    step: F,
+    to_values: G,
+    from_values: H,
+    flops: f64,
+}
+
+impl<S, F, G, H> StatefulProcedure<S, F, G, H>
+where
+    S: Send,
+    F: FnMut(&mut S, &[Value]) -> Result<Vec<Value>, String> + Send,
+    G: Fn(&S) -> Vec<Value> + Send,
+    H: Fn(Vec<Value>) -> Result<S, String> + Send,
+{
+    /// Build a stateful procedure.
+    pub fn new(state: S, step: F, to_values: G, from_values: H) -> Self {
+        Self { state, step, to_values, from_values, flops: 50_000.0 }
+    }
+
+    /// Set the per-call flop count.
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+}
+
+impl<S, F, G, H> Procedure for StatefulProcedure<S, F, G, H>
+where
+    S: Send,
+    F: FnMut(&mut S, &[Value]) -> Result<Vec<Value>, String> + Send,
+    G: Fn(&S) -> Vec<Value> + Send,
+    H: Fn(Vec<Value>) -> Result<S, String> + Send,
+{
+    fn call(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        (self.step)(&mut self.state, args)
+    }
+
+    fn flops(&self, _args: &[Value]) -> f64 {
+        self.flops
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        (self.to_values)(&self.state)
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        self.state = (self.from_values)(state)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_procedure_calls_through() {
+        let mut p = FnProcedure::new(|args: &[Value]| {
+            let x = args[0].as_f64().ok_or("not numeric")?;
+            Ok(vec![Value::Double(x * 2.0)])
+        });
+        let out = p.call(&[Value::Double(21.0)]).unwrap();
+        assert_eq!(out, vec![Value::Double(42.0)]);
+        assert_eq!(p.flops(&[]), 50_000.0);
+        assert!(p.get_state().is_empty());
+        assert!(p.set_state(vec![]).is_ok());
+        assert!(p.set_state(vec![Value::Integer(1)]).is_err());
+    }
+
+    #[test]
+    fn fn_procedure_custom_flops() {
+        let p = FnProcedure::with_flops(|_: &[Value]| Ok(vec![]), 1e6);
+        assert_eq!(p.flops(&[]), 1e6);
+    }
+
+    #[test]
+    fn fn_procedure_propagates_faults() {
+        let mut p = FnProcedure::new(|_: &[Value]| Err("boom".to_string()));
+        assert_eq!(p.call(&[]).unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn stateful_procedure_migrates_state() {
+        let make = |initial: f64| {
+            StatefulProcedure::new(
+                initial,
+                |acc: &mut f64, args: &[Value]| {
+                    *acc += args[0].as_f64().ok_or("not numeric")?;
+                    Ok(vec![Value::Double(*acc)])
+                },
+                |acc: &f64| vec![Value::Double(*acc)],
+                |vals: Vec<Value>| {
+                    vals.first()
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "bad state".to_string())
+                },
+            )
+        };
+        let mut a = make(0.0);
+        a.call(&[Value::Double(1.0)]).unwrap();
+        a.call(&[Value::Double(2.0)]).unwrap();
+        let snapshot = a.get_state();
+
+        let mut b = make(0.0);
+        b.set_state(snapshot).unwrap();
+        let out = b.call(&[Value::Double(4.0)]).unwrap();
+        assert_eq!(out, vec![Value::Double(7.0)], "state carried across instances");
+    }
+
+    #[test]
+    fn stateful_rejects_bad_state() {
+        let mut p = StatefulProcedure::new(
+            0.0f64,
+            |_: &mut f64, _: &[Value]| Ok(vec![]),
+            |acc: &f64| vec![Value::Double(*acc)],
+            |vals: Vec<Value>| vals.first().and_then(Value::as_f64).ok_or_else(|| "bad".to_string()),
+        );
+        assert!(p.set_state(vec![]).is_err());
+        assert!(p.set_state(vec![Value::String("x".into())]).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Program images and the registry of installable executables.
+//!
+//! In the real system a remote procedure was a compiled executable sitting
+//! at a pathname on some machine (the user typed that pathname into the
+//! AVS widget). Here, an executable is a [`ProgramImage`]: the export
+//! specification source plus a factory for each exported procedure's
+//! implementation. A global [`ProgramRegistry`] maps pathnames to images;
+//! *installing* an image on a host writes a marker into that host's
+//! virtual file store, so a start request for a path that was never
+//! installed on that machine fails exactly like a missing executable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hetsim::FileStore;
+use parking_lot::RwLock;
+use uts::spec::{Direction, SpecFile};
+
+use crate::error::{SchError, SchResult};
+use crate::proc::Procedure;
+
+type Factory = Arc<dyn Fn() -> Box<dyn Procedure> + Send + Sync>;
+
+/// An executable: export specs + procedure factories.
+#[derive(Clone)]
+pub struct ProgramImage {
+    name: String,
+    spec_src: String,
+    spec: SpecFile,
+    factories: HashMap<String, Factory>,
+}
+
+impl std::fmt::Debug for ProgramImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramImage")
+            .field("name", &self.name)
+            .field("exports", &self.spec.decls.iter().map(|d| &d.name).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ProgramImage {
+    /// Create an image from its export specification source. Every
+    /// declaration must be an `export`.
+    pub fn new(name: impl Into<String>, spec_src: &str) -> SchResult<Self> {
+        let spec = uts::parse_spec_file(spec_src)?;
+        for d in &spec.decls {
+            if d.direction != Direction::Export {
+                return Err(SchError::Other(format!(
+                    "program image may contain only exports; '{}' is an import",
+                    d.name
+                )));
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            spec_src: spec_src.to_owned(),
+            spec,
+            factories: HashMap::new(),
+        })
+    }
+
+    /// Attach the implementation factory for an exported procedure.
+    pub fn with_procedure(
+        mut self,
+        proc_name: &str,
+        factory: impl Fn() -> Box<dyn Procedure> + Send + Sync + 'static,
+    ) -> SchResult<Self> {
+        if self.spec.find(proc_name).is_none() {
+            return Err(SchError::Other(format!(
+                "no export specification for procedure '{proc_name}' in image '{}'",
+                self.name
+            )));
+        }
+        self.factories.insert(proc_name.to_owned(), Arc::new(factory));
+        Ok(self)
+    }
+
+    /// Image name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Export specification source text.
+    pub fn spec_src(&self) -> &str {
+        &self.spec_src
+    }
+
+    /// Parsed export specifications.
+    pub fn spec(&self) -> &SpecFile {
+        &self.spec
+    }
+
+    /// Verify every export has an implementation.
+    pub fn validate(&self) -> SchResult<()> {
+        for d in &self.spec.decls {
+            if !self.factories.contains_key(&d.name) {
+                return Err(SchError::Other(format!(
+                    "export '{}' of image '{}' has no implementation",
+                    d.name, self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiate all procedures (one process's worth of state).
+    pub fn instantiate(&self) -> SchResult<HashMap<String, Box<dyn Procedure>>> {
+        self.validate()?;
+        Ok(self
+            .factories
+            .iter()
+            .map(|(name, f)| (name.clone(), f()))
+            .collect())
+    }
+}
+
+/// Global registry of program images, keyed by pathname.
+#[derive(Clone, Default)]
+pub struct ProgramRegistry {
+    inner: Arc<RwLock<HashMap<String, ProgramImage>>>,
+}
+
+impl ProgramRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an image under a pathname.
+    pub fn register(&self, path: &str, image: ProgramImage) -> SchResult<()> {
+        image.validate()?;
+        self.inner.write().insert(path.to_owned(), image);
+        Ok(())
+    }
+
+    /// Fetch an image by pathname.
+    pub fn get(&self, path: &str) -> Option<ProgramImage> {
+        self.inner.read().get(path).cloned()
+    }
+
+    /// Install the image at `path` onto `host` (writes the executable
+    /// marker into the host's file store). Fails if unregistered.
+    pub fn install(&self, files: &FileStore, path: &str, host: &str) -> SchResult<()> {
+        let image = self.get(path).ok_or_else(|| SchError::UnknownExecutable {
+            path: path.to_owned(),
+            host: host.to_owned(),
+        })?;
+        files.write(host, path, format!("#!schooner-image {}", image.name()));
+        Ok(())
+    }
+
+    /// Resolve a start request on a host: the path must be registered
+    /// *and* installed on that host.
+    pub fn resolve(&self, files: &FileStore, path: &str, host: &str) -> SchResult<ProgramImage> {
+        if !files.exists(host, path) {
+            return Err(SchError::UnknownExecutable {
+                path: path.to_owned(),
+                host: host.to_owned(),
+            });
+        }
+        self.get(path).ok_or_else(|| SchError::UnknownExecutable {
+            path: path.to_owned(),
+            host: host.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::FnProcedure;
+    use uts::Value;
+
+    fn double_image() -> ProgramImage {
+        ProgramImage::new(
+            "doubler",
+            r#"export double prog("x" val double, "y" res double)"#,
+        )
+        .unwrap()
+        .with_procedure("double", || {
+            Box::new(FnProcedure::new(|args: &[Value]| {
+                Ok(vec![Value::Double(args[0].as_f64().unwrap() * 2.0)])
+            }))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn image_builds_and_instantiates() {
+        let img = double_image();
+        img.validate().unwrap();
+        let mut procs = img.instantiate().unwrap();
+        let out = procs.get_mut("double").unwrap().call(&[Value::Double(4.0)]).unwrap();
+        assert_eq!(out, vec![Value::Double(8.0)]);
+    }
+
+    #[test]
+    fn image_rejects_import_declarations() {
+        let err = ProgramImage::new("x", r#"import f prog("a" val double)"#).unwrap_err();
+        assert!(err.to_string().contains("import"));
+    }
+
+    #[test]
+    fn image_rejects_unknown_procedure_attachment() {
+        let img = ProgramImage::new("x", "export f prog()").unwrap();
+        assert!(img.with_procedure("g", || Box::new(FnProcedure::new(|_| Ok(vec![])))).is_err());
+    }
+
+    #[test]
+    fn validate_catches_missing_implementation() {
+        let img = ProgramImage::new("x", "export f prog()\nexport g prog()")
+            .unwrap()
+            .with_procedure("f", || Box::new(FnProcedure::new(|_| Ok(vec![]))))
+            .unwrap();
+        let err = img.validate().unwrap_err();
+        assert!(err.to_string().contains('g'));
+    }
+
+    #[test]
+    fn registry_requires_installation_per_host() {
+        let reg = ProgramRegistry::new();
+        let files = FileStore::new();
+        reg.register("/npss/doubler", double_image()).unwrap();
+        // Registered but not installed anywhere.
+        assert!(reg.resolve(&files, "/npss/doubler", "hostA").is_err());
+        reg.install(&files, "/npss/doubler", "hostA").unwrap();
+        assert!(reg.resolve(&files, "/npss/doubler", "hostA").is_ok());
+        assert!(reg.resolve(&files, "/npss/doubler", "hostB").is_err());
+    }
+
+    #[test]
+    fn install_of_unregistered_path_fails() {
+        let reg = ProgramRegistry::new();
+        let files = FileStore::new();
+        assert!(matches!(
+            reg.install(&files, "/ghost", "hostA"),
+            Err(SchError::UnknownExecutable { .. })
+        ));
+    }
+
+    #[test]
+    fn each_instantiation_is_independent_state() {
+        let img = ProgramImage::new(
+            "counter",
+            r#"export count prog("n" res integer)"#,
+        )
+        .unwrap()
+        .with_procedure("count", || {
+            let mut n = 0i64;
+            Box::new(FnProcedure::new(move |_args: &[Value]| {
+                n += 1;
+                Ok(vec![Value::Integer(n)])
+            }))
+        })
+        .unwrap();
+
+        let mut a = img.instantiate().unwrap();
+        let mut b = img.instantiate().unwrap();
+        a.get_mut("count").unwrap().call(&[]).unwrap();
+        let out = a.get_mut("count").unwrap().call(&[]).unwrap();
+        assert_eq!(out, vec![Value::Integer(2)]);
+        let out = b.get_mut("count").unwrap().call(&[]).unwrap();
+        assert_eq!(out, vec![Value::Integer(1)], "instances must not share state");
+    }
+}

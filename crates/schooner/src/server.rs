@@ -1,0 +1,380 @@
+//! Schooner Servers and remote-procedure processes.
+//!
+//! There is one Server per machine involved in a computation; Servers are
+//! used by the Manager to start processes on remote machines. Starting a
+//! process means: resolve the executable path against the machine's file
+//! store and the program registry, instantiate its procedures, apply the
+//! machine's Fortran name-case convention to the exported names (the Cray
+//! upper-cases, everyone else lower-cases), and spawn a worker thread that
+//! serves calls until it is shut down or migrated away.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use netsim::{Endpoint, NetError, VirtualClock};
+use uts::Architecture;
+
+use crate::error::{SchError, SchResult};
+use crate::message::{Msg, StartedInfo};
+use crate::proc::Procedure;
+use crate::stub::{marshal_state, unmarshal_state, CompiledStub};
+use crate::system::{server_addr, RuntimeCtx};
+
+/// Global counter giving every process a unique address suffix.
+static PROC_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Handle to a running per-machine Server thread.
+pub struct Server {
+    host: String,
+    join: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// The host this Server manages.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Wait for the Server thread (and all its processes) to finish.
+    /// Called by `Schooner::shutdown` after `ServerShutdown` was sent.
+    pub fn join(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawn the Server for `host`.
+pub fn spawn_server(ctx: RuntimeCtx, host: &str) -> SchResult<Server> {
+    let endpoint = ctx.net.register(server_addr(host))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let worker = ServerWorker {
+        ctx,
+        host: host.to_owned(),
+        endpoint,
+        clock: VirtualClock::new(),
+        children: Vec::new(),
+        shutdown: shutdown.clone(),
+    };
+    let join = std::thread::Builder::new()
+        .name(format!("schooner-server-{host}"))
+        .stack_size(256 * 1024)
+        .spawn(move || worker.run())
+        .map_err(|e| SchError::Other(format!("cannot spawn server thread: {e}")))?;
+    Ok(Server { host: host.to_owned(), join: Some(join), shutdown })
+}
+
+struct ServerWorker {
+    ctx: RuntimeCtx,
+    host: String,
+    endpoint: Endpoint,
+    clock: VirtualClock,
+    children: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerWorker {
+    fn run(mut self) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // Reap children that have already exited so long runs with
+            // many short-lived processes don't accumulate handles.
+            self.children.retain(|c| !c.is_finished());
+            let env = match self.endpoint.recv(Duration::from_millis(50)) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => continue,
+                Err(_) => break,
+            };
+            self.clock.merge(env.arrive_at);
+            let msg = match Msg::decode(env.payload.clone()) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            match msg {
+                Msg::StartProcess { req, line, path, reply_to } => {
+                    self.clock.advance(self.ctx.config.process_startup_s);
+                    let result = self
+                        .start_process(line, &path)
+                        .map_err(|e| e.to_wire_string());
+                    let reply = Msg::ProcessStarted { req, result };
+                    let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
+                }
+                Msg::ServerShutdown => break,
+                _ => {}
+            }
+        }
+        // Make sure every child process observes shutdown, then reap.
+        self.shutdown.store(true, Ordering::Release);
+        for child in self.children.drain(..) {
+            let _ = child.join();
+        }
+    }
+
+    fn start_process(&mut self, line: u64, path: &str) -> SchResult<StartedInfo> {
+        let image = self.ctx.registry.resolve(&self.ctx.files, path, &self.host)?;
+        let arch = self
+            .ctx
+            .park
+            .arch_of(&self.host)
+            .ok_or_else(|| SchError::Other(format!("host '{}' has no machine", self.host)))?;
+        let procs = image.instantiate()?;
+
+        // Apply the target compiler's name-case convention: the process
+        // exports the names its "linker" produced.
+        let case = arch.fortran_case();
+        let mut folded: HashMap<String, Box<dyn Procedure>> = HashMap::new();
+        let mut stubs: HashMap<String, CompiledStub> = HashMap::new();
+        let mut names: Vec<String> = Vec::new();
+        for (name, p) in procs {
+            let fname = case.apply(&name);
+            let spec = image
+                .spec()
+                .find(&name)
+                .ok_or_else(|| SchError::Other(format!("missing spec for '{name}'")))?;
+            stubs.insert(fname.clone(), CompiledStub::compile(spec));
+            folded.insert(fname.clone(), p);
+            names.push(fname);
+        }
+        names.sort();
+
+        let addr = format!("{}:proc-{}", self.host, PROC_COUNTER.fetch_add(1, Ordering::Relaxed));
+        let endpoint = self.ctx.net.register(addr.clone())?;
+        let worker = ProcessWorker {
+            ctx: self.ctx.clone(),
+            host: self.host.clone(),
+            arch,
+            line,
+            endpoint,
+            clock: VirtualClock::starting_at(self.clock.now()),
+            procs: folded,
+            stubs,
+            shutdown: self.shutdown.clone(),
+        };
+        self.ctx.trace.record(
+            self.clock.now(),
+            format!("server@{}", self.host),
+            format!("started process {addr} from '{path}' (line {line})"),
+        );
+        let join = std::thread::Builder::new()
+            .name(format!("schooner-{addr}"))
+            // Remote-procedure workers are shallow; a small stack keeps
+            // thousands of concurrent processes cheap.
+            .stack_size(256 * 1024)
+            .spawn(move || worker.run())
+            .map_err(|e| SchError::Other(format!("cannot spawn process thread: {e}")))?;
+        self.children.push(join);
+
+        Ok(StartedInfo { addr, spec_src: image.spec_src().to_owned(), proc_names: names })
+    }
+}
+
+/// One remote-procedure process: owns the procedure instances of one
+/// executable image and serves calls over its endpoint.
+struct ProcessWorker {
+    ctx: RuntimeCtx,
+    host: String,
+    arch: Architecture,
+    /// Owning line; 0 means shared (callable from any line).
+    line: u64,
+    endpoint: Endpoint,
+    clock: VirtualClock,
+    procs: HashMap<String, Box<dyn Procedure>>,
+    stubs: HashMap<String, CompiledStub>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ProcessWorker {
+    fn run(mut self) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let env = match self.endpoint.recv(Duration::from_millis(50)) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => continue,
+                Err(_) => break,
+            };
+            self.clock.merge(env.arrive_at);
+            let msg = match Msg::decode(env.payload.clone()) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            match msg {
+                Msg::CallRequest { call, line, proc_name, args, reply_to } => {
+                    // A fault raised by the procedure body itself travels
+                    // as its bare message so the caller re-wraps it
+                    // exactly once.
+                    let result = self.serve_call(line, &proc_name, args).map_err(|e| match e {
+                        SchError::RemoteFault(m) => m,
+                        other => other.to_wire_string(),
+                    });
+                    let reply = Msg::CallReply { call, result };
+                    let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
+                }
+                Msg::GetState { req, reply_to } => {
+                    let result = self.collect_state().map_err(|e| e.to_wire_string());
+                    let reply = Msg::StateReply { req, result };
+                    let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
+                }
+                Msg::SetState { req, state, reply_to } => {
+                    let result = self.install_state(state).map_err(|e| e.to_wire_string());
+                    let reply = Msg::SetStateAck { req, result };
+                    let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
+                }
+                Msg::ProcShutdown => {
+                    self.ctx.trace.record(
+                        self.clock.now(),
+                        self.endpoint.addr().to_owned(),
+                        "shutdown".to_owned(),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.drain_with_gone_faults();
+    }
+
+    /// Calls that raced our shutdown (FIFO order is per-sender, so a
+    /// caller may have posted a request while the Manager's `ProcShutdown`
+    /// was in flight) are answered with the distinguished gone-fault, which
+    /// the caller's stub recognizes and resolves by re-asking the Manager.
+    fn drain_with_gone_faults(&mut self) {
+        while let Some(env) = self.endpoint.try_recv() {
+            if let Ok(msg) = Msg::decode(env.payload) {
+                let reply = match msg {
+                    Msg::CallRequest { call, reply_to, .. } => {
+                        Some((reply_to, Msg::CallReply {
+                            call,
+                            result: Err(crate::line::GONE_FAULT.to_owned()),
+                        }))
+                    }
+                    Msg::GetState { req, reply_to } => {
+                        Some((reply_to, Msg::StateReply {
+                            req,
+                            result: Err(crate::line::GONE_FAULT.to_owned()),
+                        }))
+                    }
+                    _ => None,
+                };
+                if let Some((to, m)) = reply {
+                    let _ = self.endpoint.send(&to, m.encode(), self.clock.now());
+                }
+            }
+        }
+    }
+
+    fn marshal_cost(&self, scalars: usize) -> f64 {
+        self.ctx
+            .park
+            .compute_seconds(&self.host, scalars as f64 * self.ctx.config.per_scalar_flops)
+            .unwrap_or(0.0)
+    }
+
+    fn serve_call(&mut self, caller_line: u64, proc_name: &str, args: Bytes) -> SchResult<Bytes> {
+        if self.line != 0 && caller_line != self.line {
+            return Err(SchError::Other(format!(
+                "procedure '{proc_name}' belongs to line {}, not line {caller_line}",
+                self.line
+            )));
+        }
+        let stub = self
+            .stubs
+            .get(proc_name)
+            .ok_or_else(|| SchError::UnknownProcedure(proc_name.to_owned()))?
+            .clone();
+        // Unmarshal through this machine's native format.
+        let values = stub.unmarshal_inputs(args, self.arch)?;
+        self.clock.advance(self.marshal_cost(stub.input_scalars));
+
+        let proc = self
+            .procs
+            .get_mut(proc_name)
+            .ok_or_else(|| SchError::UnknownProcedure(proc_name.to_owned()))?;
+        let flops = proc.flops(&values);
+        let results = proc.call(&values).map_err(SchError::RemoteFault)?;
+        let compute = self
+            .ctx
+            .park
+            .compute_seconds(&self.host, flops)
+            .unwrap_or(0.0);
+        self.clock.advance(compute);
+        self.ctx.trace.record(
+            self.clock.now(),
+            self.endpoint.addr().to_owned(),
+            format!("executed {proc_name} ({flops:.0} flops, {compute:.6}s)"),
+        );
+
+        let out = stub.marshal_outputs(&results, self.arch)?;
+        self.clock.advance(self.marshal_cost(stub.output_scalars));
+        Ok(out)
+    }
+
+    /// Package the migration state of every procedure in this process:
+    /// `u32 name-len, name, u32 blob-len, blob` per procedure in sorted
+    /// name order, where each blob is the UTS-marshaled state.
+    fn collect_state(&self) -> SchResult<Bytes> {
+        let mut names: Vec<&String> = self.stubs.keys().collect();
+        names.sort();
+        let mut buf = BytesMut::new();
+        for name in names {
+            let stub = &self.stubs[name];
+            let proc = &self.procs[name];
+            let blob = marshal_state(&stub.spec.state, &proc.get_state(), self.arch)?;
+            buf.put_u32(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32(blob.len() as u32);
+            buf.put_slice(&blob);
+        }
+        Ok(buf.freeze())
+    }
+
+    fn install_state(&mut self, mut state: Bytes) -> SchResult<()> {
+        while state.remaining() > 0 {
+            if state.remaining() < 4 {
+                return Err(SchError::StateTransfer("truncated state frame".into()));
+            }
+            let nlen = state.get_u32() as usize;
+            if state.remaining() < nlen {
+                return Err(SchError::StateTransfer("truncated state name".into()));
+            }
+            let name = String::from_utf8(state.split_to(nlen).to_vec())
+                .map_err(|e| SchError::StateTransfer(format!("bad state name: {e}")))?;
+            if state.remaining() < 4 {
+                return Err(SchError::StateTransfer("truncated state blob length".into()));
+            }
+            let blen = state.get_u32() as usize;
+            if state.remaining() < blen {
+                return Err(SchError::StateTransfer("truncated state blob".into()));
+            }
+            let blob = state.split_to(blen);
+
+            // State arrives keyed by the *source* process's folded names;
+            // fold to our own convention via case-insensitive match.
+            let our_name = self
+                .stubs
+                .keys()
+                .find(|k| k.eq_ignore_ascii_case(&name))
+                .cloned()
+                .ok_or_else(|| {
+                    SchError::StateTransfer(format!("no procedure '{name}' in target process"))
+                })?;
+            let stub = &self.stubs[&our_name];
+            let values = unmarshal_state(&stub.spec.state, blob, self.arch)?;
+            self.procs
+                .get_mut(&our_name)
+                .expect("stub/proc maps are parallel")
+                .set_state(values)
+                .map_err(SchError::StateTransfer)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,274 @@
+//! Stub generation: the marshaling layer between user values and the wire.
+//!
+//! The original system ran a *stub compiler* over each specification file
+//! to produce per-procedure stubs that (a) marshal and unmarshal arguments
+//! through the UTS library and (b) use the Schooner library to locate and
+//! talk to the remote procedure. [`CompiledStub`] is the output of that
+//! compilation step here: the precomputed input/output type lists and
+//! scalar counts for one procedure. The free functions implement the UTS
+//! library half — every value crosses its machine's **native format** on
+//! the way to and from the wire, so architecture range/precision semantics
+//! apply at exactly the points they did in the real system.
+
+use bytes::Bytes;
+use uts::check::{check_call_args, check_call_results};
+use uts::native::through_native;
+use uts::spec::ProcSpec;
+use uts::wire::{WireReader, WireWriter};
+use uts::{Architecture, Type, Value};
+
+use crate::error::SchResult;
+
+/// A compiled stub for one procedure: the marshal plan.
+#[derive(Debug, Clone)]
+pub struct CompiledStub {
+    /// The procedure specification this stub was compiled from.
+    pub spec: ProcSpec,
+    /// Types of input parameters (`val`/`var`), in order.
+    pub input_types: Vec<Type>,
+    /// Types of output parameters (`res`/`var`), in order.
+    pub output_types: Vec<Type>,
+    /// Scalar leaves across all inputs (drives conversion cost).
+    pub input_scalars: usize,
+    /// Scalar leaves across all outputs.
+    pub output_scalars: usize,
+}
+
+impl CompiledStub {
+    /// "Compile" a specification into a stub.
+    pub fn compile(spec: &ProcSpec) -> Self {
+        let input_types: Vec<Type> = spec.input_params().map(|p| p.ty.clone()).collect();
+        let output_types: Vec<Type> = spec.output_params().map(|p| p.ty.clone()).collect();
+        let input_scalars = input_types.iter().map(Type::scalar_count).sum();
+        let output_scalars = output_types.iter().map(Type::scalar_count).sum();
+        Self { spec: spec.clone(), input_types, output_types, input_scalars, output_scalars }
+    }
+
+    /// Marshal input arguments on the **sending** side: validate against
+    /// the spec, pass each through the sender's native format, encode to
+    /// wire bytes.
+    pub fn marshal_inputs(&self, args: &[Value], arch: Architecture) -> SchResult<Bytes> {
+        check_call_args(&self.spec, args)?;
+        let mut w = WireWriter::new();
+        for (v, ty) in args.iter().zip(&self.input_types) {
+            let native = through_native(v, ty, arch)?;
+            w.put(&native, ty)?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Unmarshal input arguments on the **receiving** side: decode wire
+    /// bytes, pass each through the receiver's native format.
+    pub fn unmarshal_inputs(&self, bytes: Bytes, arch: Architecture) -> SchResult<Vec<Value>> {
+        let mut r = WireReader::new(bytes);
+        let mut out = Vec::with_capacity(self.input_types.len());
+        for ty in &self.input_types {
+            let v = r.get(ty)?;
+            out.push(through_native(&v, ty, arch)?);
+        }
+        if r.remaining() != 0 {
+            return Err(uts::Error::Wire(format!(
+                "{} trailing bytes after arguments of '{}'",
+                r.remaining(),
+                self.spec.name
+            ))
+            .into());
+        }
+        Ok(out)
+    }
+
+    /// Marshal result values on the callee side.
+    pub fn marshal_outputs(&self, results: &[Value], arch: Architecture) -> SchResult<Bytes> {
+        check_call_results(&self.spec, results)?;
+        let mut w = WireWriter::new();
+        for (v, ty) in results.iter().zip(&self.output_types) {
+            let native = through_native(v, ty, arch)?;
+            w.put(&native, ty)?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Unmarshal result values on the caller side.
+    pub fn unmarshal_outputs(&self, bytes: Bytes, arch: Architecture) -> SchResult<Vec<Value>> {
+        let mut r = WireReader::new(bytes);
+        let mut out = Vec::with_capacity(self.output_types.len());
+        for ty in &self.output_types {
+            let v = r.get(ty)?;
+            out.push(through_native(&v, ty, arch)?);
+        }
+        if r.remaining() != 0 {
+            return Err(uts::Error::Wire(format!(
+                "{} trailing bytes after results of '{}'",
+                r.remaining(),
+                self.spec.name
+            ))
+            .into());
+        }
+        Ok(out)
+    }
+}
+
+/// Marshal migration state values (typed by the spec's `state(...)`
+/// clause) through the source architecture.
+pub fn marshal_state(
+    state_types: &[(String, Type)],
+    values: &[Value],
+    arch: Architecture,
+) -> SchResult<Bytes> {
+    if state_types.len() != values.len() {
+        return Err(crate::error::SchError::StateTransfer(format!(
+            "spec declares {} state variables, procedure produced {}",
+            state_types.len(),
+            values.len()
+        )));
+    }
+    let mut w = WireWriter::new();
+    for (v, (_, ty)) in values.iter().zip(state_types) {
+        let native = through_native(v, ty, arch)?;
+        w.put(&native, ty)?;
+    }
+    Ok(w.finish())
+}
+
+/// Unmarshal migration state on the destination architecture.
+pub fn unmarshal_state(
+    state_types: &[(String, Type)],
+    bytes: Bytes,
+    arch: Architecture,
+) -> SchResult<Vec<Value>> {
+    let mut r = WireReader::new(bytes);
+    let mut out = Vec::with_capacity(state_types.len());
+    for (_, ty) in state_types {
+        let v = r.get(ty)?;
+        out.push(through_native(&v, ty, arch)?);
+    }
+    if r.remaining() != 0 {
+        return Err(crate::error::SchError::StateTransfer(format!(
+            "{} trailing bytes in state transfer",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAFT: &str = r#"
+export shaft prog(
+    "ecom"   val array[4] of float,
+    "incom"  val integer,
+    "etur"   val array[4] of float,
+    "intur"  val integer,
+    "ecorr"  val float,
+    "xspool" val float,
+    "xmyi"   val float,
+    "dxspl"  res float)
+"#;
+
+    fn shaft_stub() -> CompiledStub {
+        let file = uts::parse_spec_file(SHAFT).unwrap();
+        CompiledStub::compile(&file.decls[0])
+    }
+
+    fn shaft_args() -> Vec<Value> {
+        vec![
+            Value::floats(&[0.82, 0.84, 0.86, 0.88]),
+            Value::Integer(2),
+            Value::floats(&[0.90, 0.91, 0.92, 0.93]),
+            Value::Integer(3),
+            Value::Float(0.97),
+            Value::Float(10_500.0),
+            Value::Float(1.25),
+        ]
+    }
+
+    #[test]
+    fn compile_counts_scalars() {
+        let stub = shaft_stub();
+        assert_eq!(stub.input_types.len(), 7);
+        assert_eq!(stub.output_types.len(), 1);
+        assert_eq!(stub.input_scalars, 4 + 1 + 4 + 1 + 1 + 1 + 1);
+        assert_eq!(stub.output_scalars, 1);
+    }
+
+    #[test]
+    fn sparc_to_cray_round_trip_is_exact_for_floats() {
+        let stub = shaft_stub();
+        let args = shaft_args();
+        let wire = stub.marshal_inputs(&args, Architecture::SunSparc10).unwrap();
+        let on_cray = stub.unmarshal_inputs(wire, Architecture::CrayYmp).unwrap();
+        assert_eq!(on_cray, args, "single-precision floats convert exactly");
+    }
+
+    #[test]
+    fn all_architecture_pairs_convert_shaft_args() {
+        let stub = shaft_stub();
+        let args = shaft_args();
+        for from in Architecture::ALL {
+            for to in Architecture::ALL {
+                let wire = stub.marshal_inputs(&args, from).unwrap();
+                let got = stub.unmarshal_inputs(wire, to).unwrap();
+                assert_eq!(got, args, "{from} -> {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected_at_marshal() {
+        let stub = shaft_stub();
+        let mut args = shaft_args();
+        args.pop();
+        assert!(stub.marshal_inputs(&args, Architecture::SunSparc10).is_err());
+    }
+
+    #[test]
+    fn outputs_round_trip() {
+        let stub = shaft_stub();
+        let results = vec![Value::Float(-123.5)];
+        let wire = stub.marshal_outputs(&results, Architecture::CrayYmp).unwrap();
+        let got = stub.unmarshal_outputs(wire, Architecture::SunSparc10).unwrap();
+        assert_eq!(got, results);
+    }
+
+    #[test]
+    fn big_cray_integer_fails_at_the_wire() {
+        // An integer produced on the Cray that exceeds the 32-bit wire
+        // integer cannot be marshaled: the paper's chosen policy is error.
+        let file =
+            uts::parse_spec_file(r#"export f prog("n" val integer, "m" res integer)"#).unwrap();
+        let stub = CompiledStub::compile(&file.decls[0]);
+        let err = stub
+            .marshal_inputs(&[Value::Integer(1 << 40)], Architecture::CrayYmp)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let types = vec![
+            ("t".to_owned(), Type::Double),
+            ("hist".to_owned(), Type::Array { len: 3, elem: Box::new(Type::Double) }),
+        ];
+        let values = vec![Value::Double(1.5), Value::doubles(&[0.1, 0.2, 0.3])];
+        let wire = marshal_state(&types, &values, Architecture::SunSparc10).unwrap();
+        let got = unmarshal_state(&types, wire, Architecture::IbmRs6000).unwrap();
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn state_count_mismatch_rejected() {
+        let types = vec![("t".to_owned(), Type::Double)];
+        assert!(marshal_state(&types, &[], Architecture::SunSparc10).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_in_unmarshal() {
+        let stub = shaft_stub();
+        let wire = stub.marshal_inputs(&shaft_args(), Architecture::SunSparc10).unwrap();
+        let mut longer = wire.to_vec();
+        longer.extend_from_slice(&[0, 0]);
+        assert!(stub.unmarshal_inputs(Bytes::from(longer), Architecture::Sgi4D).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The Schooner system façade: wiring the substrates together.
+//!
+//! A [`Schooner`] instance owns one simulated world: the network topology,
+//! the machine park, the per-host file stores, the program registry, a
+//! persistent Manager, and one Server per machine. Modules open *lines*
+//! through [`Schooner::open_line`] and from then on speak the library
+//! protocol (`start_remote` / `call` / `move_procedure` / `quit`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hetsim::{FileStore, MachinePark};
+use netsim::{Network, Topology};
+
+use crate::error::{SchError, SchResult};
+use crate::line::LineHandle;
+use crate::manager::{spawn_manager, ManagerHandle};
+use crate::program::{ProgramImage, ProgramRegistry};
+use crate::server::{spawn_server, Server};
+use crate::trace::Trace;
+
+/// Address of the Manager process for the program rooted at `host`.
+pub fn manager_addr(host: &str) -> String {
+    format!("{host}:schooner-manager")
+}
+
+/// Address of the per-machine Server on `host`.
+pub fn server_addr(host: &str) -> String {
+    format!("{host}:schooner-server")
+}
+
+/// Tunables of the runtime's virtual-cost model and liveness guards.
+#[derive(Debug, Clone)]
+pub struct SchoonerConfig {
+    /// Host the Manager process runs on.
+    pub manager_host: String,
+    /// Wall-clock bound on waiting for any reply (liveness guard only;
+    /// virtual time is unaffected).
+    pub reply_timeout: Duration,
+    /// Virtual seconds of Manager bookkeeping per handled request.
+    pub manager_overhead_s: f64,
+    /// Flops charged per scalar converted during marshaling.
+    pub per_scalar_flops: f64,
+    /// Virtual seconds a Server spends forking a new process.
+    pub process_startup_s: f64,
+}
+
+impl Default for SchoonerConfig {
+    fn default() -> Self {
+        Self {
+            manager_host: "lerc-sparc10".to_owned(),
+            reply_timeout: Duration::from_secs(10),
+            manager_overhead_s: 0.4e-3,
+            per_scalar_flops: 80.0,
+            process_startup_s: 30e-3,
+        }
+    }
+}
+
+/// Everything a runtime component needs to participate in the simulation.
+#[derive(Clone)]
+pub struct RuntimeCtx {
+    /// The simulated network.
+    pub net: Network,
+    /// The machine park (architectures, speeds, load).
+    pub park: MachinePark,
+    /// Per-host virtual file stores.
+    pub files: FileStore,
+    /// Registry of installable program images.
+    pub registry: ProgramRegistry,
+    /// Event trace sink.
+    pub trace: Trace,
+    /// Cost-model configuration.
+    pub config: Arc<SchoonerConfig>,
+}
+
+/// A running Schooner world.
+pub struct Schooner {
+    ctx: RuntimeCtx,
+    manager: Option<ManagerHandle>,
+    servers: Vec<Server>,
+    line_counter: AtomicU64,
+}
+
+impl Schooner {
+    /// Build a world over an explicit topology and machine park. Starts a
+    /// Server on every park host present in the topology and the Manager
+    /// on `config.manager_host`.
+    pub fn new(topology: Topology, park: MachinePark, config: SchoonerConfig) -> SchResult<Self> {
+        let net = Network::new(topology);
+        let ctx = RuntimeCtx {
+            net,
+            park,
+            files: FileStore::new(),
+            registry: ProgramRegistry::new(),
+            trace: Trace::new(),
+            config: Arc::new(config),
+        };
+        let hosts: Vec<String> = ctx
+            .park
+            .hosts()
+            .into_iter()
+            .filter(|h| ctx.net.with_topology(|t| t.node(h).is_some()))
+            .map(str::to_owned)
+            .collect();
+        if !hosts.iter().any(|h| *h == ctx.config.manager_host) {
+            return Err(SchError::Other(format!(
+                "manager host '{}' is not a machine in the topology",
+                ctx.config.manager_host
+            )));
+        }
+        let mut servers = Vec::with_capacity(hosts.len());
+        for h in &hosts {
+            servers.push(spawn_server(ctx.clone(), h)?);
+        }
+        let manager = spawn_manager(ctx.clone())?;
+        Ok(Self { ctx, manager: Some(manager), servers, line_counter: AtomicU64::new(1) })
+    }
+
+    /// The standard NPSS world: the two-site testbed topology and machine
+    /// park, Manager on the LeRC Sparc 10.
+    pub fn standard() -> SchResult<Self> {
+        Self::new(
+            netsim::npss_testbed(),
+            hetsim::standard_park(),
+            SchoonerConfig::default(),
+        )
+    }
+
+    /// The standard world with a custom config.
+    pub fn standard_with(config: SchoonerConfig) -> SchResult<Self> {
+        Self::new(netsim::npss_testbed(), hetsim::standard_park(), config)
+    }
+
+    /// Shared runtime context.
+    pub fn ctx(&self) -> &RuntimeCtx {
+        &self.ctx
+    }
+
+    /// The Manager's address.
+    pub fn manager_address(&self) -> String {
+        manager_addr(&self.ctx.config.manager_host)
+    }
+
+    /// Register a program image under `path` and install it on `hosts`.
+    pub fn install_program(
+        &self,
+        path: &str,
+        image: ProgramImage,
+        hosts: &[&str],
+    ) -> SchResult<()> {
+        self.ctx.registry.register(path, image)?;
+        for h in hosts {
+            self.ctx.registry.install(&self.ctx.files, path, h)?;
+        }
+        Ok(())
+    }
+
+    /// Register a module with the Manager and open a new line for it. The
+    /// module's code runs on `host` (the AVS machine, in NPSS terms).
+    pub fn open_line(&self, module: &str, host: &str) -> SchResult<LineHandle> {
+        let n = self.line_counter.fetch_add(1, Ordering::Relaxed);
+        LineHandle::open(self.ctx.clone(), self.manager_address(), module, host, n)
+    }
+
+    /// Shut the world down: all processes, all Servers, the Manager.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(manager) = self.manager.take() {
+            manager.shutdown(&self.ctx);
+        }
+        for server in self.servers.drain(..) {
+            server.join();
+        }
+    }
+}
+
+impl Drop for Schooner {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

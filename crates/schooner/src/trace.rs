@@ -1,0 +1,130 @@
+//! Execution tracing.
+//!
+//! The runtime can record an event log of cross-machine control transfer —
+//! the moving picture behind the paper's Figure 1. Events carry the
+//! virtual time at which they occurred, the component that emitted them,
+//! and a description; examples print them as a control-flow trace.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time (seconds) of the event at the emitting component.
+    pub t: f64,
+    /// Emitting component (a line, process, the Manager, a Server).
+    pub who: String,
+    /// What happened.
+    pub what: String,
+}
+
+/// A shared, cheaply cloneable event sink. Disabled by default; recording
+/// while disabled is a no-op so tracing costs nothing unless wanted.
+#[derive(Clone, Default)]
+pub struct Trace {
+    events: Arc<Mutex<Vec<Event>>>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Trace {
+    /// A disabled trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        let t = Self::default();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn record(&self, t: f64, who: impl Into<String>, what: impl Into<String>) {
+        if self.is_enabled() {
+            self.events.lock().push(Event { t, who: who.into(), what: what.into() });
+        }
+    }
+
+    /// Snapshot of all events, sorted by time (stable for ties).
+    pub fn events(&self) -> Vec<Event> {
+        let mut v = self.events.lock().clone();
+        v.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        v
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Render the trace as an indented control-flow listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!("[{:>10.6}s] {:<24} {}\n", e.t, e.who, e.what));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let t = Trace::new();
+        t.record(1.0, "x", "ignored");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn records_when_enabled_and_sorts() {
+        let t = Trace::enabled();
+        t.record(2.0, "b", "second");
+        t.record(1.0, "a", "first");
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].who, "a");
+        assert_eq!(ev[1].who, "b");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let t = Trace::enabled();
+        t.record(1.0, "a", "x");
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let t = Trace::enabled();
+        t.record(0.5, "line-1", "call shaft");
+        let s = t.render();
+        assert!(s.contains("line-1"));
+        assert!(s.contains("call shaft"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let t = Trace::enabled();
+        let t2 = t.clone();
+        t2.record(1.0, "a", "x");
+        assert_eq!(t.events().len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests: the protocol codec is total and lossless, and
+//! the marshaling pipeline preserves values across random architecture
+//! pairs.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use schooner::message::{MapInfo, Msg, StartedInfo};
+use schooner::stub::CompiledStub;
+use uts::{Architecture, Value};
+
+fn arb_arch() -> impl Strategy<Value = Architecture> {
+    prop::sample::select(Architecture::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_started()(
+        addr in "[a-z0-9:-]{1,24}",
+        spec_src in "[ -~]{0,80}",
+        proc_names in proptest::collection::vec("[A-Za-z_]{1,12}", 0..4),
+    ) -> StartedInfo {
+        StartedInfo { addr, spec_src, proc_names }
+    }
+}
+
+prop_compose! {
+    fn arb_mapinfo()(
+        addr in "[a-z0-9:-]{1,24}",
+        remote_name in "[A-Za-z_]{1,12}",
+        export_spec in "[ -~]{0,80}",
+    ) -> MapInfo {
+        MapInfo { addr, remote_name, export_spec }
+    }
+}
+
+fn arb_result_bytes() -> impl Strategy<Value = Result<Bytes, String>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| Ok(Bytes::from(v))),
+        "[ -~]{0,40}".prop_map(Err),
+    ]
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        ( any::<u64>(), "[a-z ]{1,16}", "[a-z0-9:-]{1,16}" )
+            .prop_map(|(req, module, reply_to)| Msg::OpenLine { req, module, reply_to }),
+        (any::<u64>(), any::<u64>()).prop_map(|(req, line)| Msg::LineOpened { req, line }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            "[a-z/]{1,20}",
+            "[a-z0-9-]{1,16}",
+            any::<bool>(),
+            "[a-z0-9:-]{1,16}"
+        )
+            .prop_map(|(req, line, path, host, shared, reply_to)| Msg::StartRequest {
+                req,
+                line,
+                path,
+                host,
+                shared,
+                reply_to
+            }),
+        (any::<u64>(), prop_oneof![
+            arb_started().prop_map(Ok),
+            "[ -~]{0,40}".prop_map(Err),
+        ])
+            .prop_map(|(req, result)| Msg::StartReply { req, result }),
+        (any::<u64>(), any::<u64>(), "[A-Za-z_]{1,12}", "[ -~]{0,60}", "[a-z0-9:-]{1,16}")
+            .prop_map(|(req, line, name, import_spec, reply_to)| Msg::MapRequest {
+                req,
+                line,
+                name,
+                import_spec,
+                reply_to
+            }),
+        (any::<u64>(), prop_oneof![
+            arb_mapinfo().prop_map(Ok),
+            "[ -~]{0,40}".prop_map(Err),
+        ])
+            .prop_map(|(req, result)| Msg::MapReply { req, result }),
+        (any::<u64>(), any::<u64>(), "[a-z0-9:-]{1,16}")
+            .prop_map(|(req, line, reply_to)| Msg::IQuit { req, line, reply_to }),
+        any::<u64>().prop_map(|req| Msg::IQuitAck { req }),
+        (any::<u64>(), any::<u64>(), "[A-Za-z_]{1,12}", proptest::collection::vec(any::<u8>(), 0..48), "[a-z0-9:-]{1,16}")
+            .prop_map(|(call, line, proc_name, args, reply_to)| Msg::CallRequest {
+                call,
+                line,
+                proc_name,
+                args: Bytes::from(args),
+                reply_to
+            }),
+        (any::<u64>(), arb_result_bytes())
+            .prop_map(|(call, result)| Msg::CallReply { call, result }),
+        Just(Msg::ManagerShutdown),
+        Just(Msg::ServerShutdown),
+        Just(Msg::ProcShutdown),
+    ]
+}
+
+proptest! {
+    /// Every protocol message survives encode/decode unchanged.
+    #[test]
+    fn message_codec_round_trips(msg in arb_msg()) {
+        let encoded = msg.encode();
+        let decoded = Msg::decode(encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Random bytes never panic the decoder.
+    #[test]
+    fn message_decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Msg::decode(Bytes::from(bytes));
+    }
+
+    /// The full marshal pipeline (caller native → wire → callee native)
+    /// preserves single-precision payloads across every architecture
+    /// pair — the property the Table 1/2 exactness rests on.
+    #[test]
+    fn f32_payloads_survive_any_architecture_pair(
+        xs in proptest::collection::vec(-1.0e30f32..1.0e30, 4),
+        n in i32::MIN..i32::MAX,
+        from in arb_arch(),
+        to in arb_arch(),
+    ) {
+        let file = uts::parse_spec_file(
+            r#"export f prog("xs" val array[4] of float, "n" val integer, "y" res float)"#
+        ).unwrap();
+        let stub = CompiledStub::compile(&file.decls[0]);
+        let args = vec![Value::floats(&xs), Value::Integer(n as i64)];
+        let wire = stub.marshal_inputs(&args, from).unwrap();
+        let got = stub.unmarshal_inputs(wire, to).unwrap();
+        prop_assert_eq!(got, args, "{} -> {}", from, to);
+    }
+}

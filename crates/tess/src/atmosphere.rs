@@ -1,0 +1,82 @@
+//! The International Standard Atmosphere (troposphere + lower
+//! stratosphere), for flying the engine through a flight profile.
+
+use crate::gas::{P_STD, T_STD};
+
+/// Temperature lapse rate in the troposphere, K/m.
+const LAPSE: f64 = 0.0065;
+/// Tropopause altitude, m.
+const TROPOPAUSE: f64 = 11_000.0;
+/// Gravitational acceleration, m/s².
+const G0: f64 = 9.80665;
+/// Gas constant of air.
+const R: f64 = crate::gas::R_GAS;
+
+/// Ambient static conditions at a geopotential altitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ambient {
+    /// Static temperature, K.
+    pub t: f64,
+    /// Static pressure, Pa.
+    pub p: f64,
+}
+
+/// ISA conditions at `altitude_m` (valid 0–20 km).
+pub fn isa(altitude_m: f64) -> Ambient {
+    let h = altitude_m.clamp(0.0, 20_000.0);
+    if h <= TROPOPAUSE {
+        let t = T_STD - LAPSE * h;
+        let p = P_STD * (t / T_STD).powf(G0 / (LAPSE * R));
+        Ambient { t, p }
+    } else {
+        let t11 = T_STD - LAPSE * TROPOPAUSE;
+        let p11 = P_STD * (t11 / T_STD).powf(G0 / (LAPSE * R));
+        let p = p11 * (-G0 * (h - TROPOPAUSE) / (R * t11)).exp();
+        Ambient { t: t11, p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sea_level_is_standard_day() {
+        let a = isa(0.0);
+        assert!((a.t - T_STD).abs() < 1e-9);
+        assert!((a.p - P_STD).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_altitudes_match_tables() {
+        // 5 km: 255.65 K, 54 020 Pa (ISA tables).
+        let a = isa(5_000.0);
+        assert!((a.t - 255.65).abs() < 0.05, "t {}", a.t);
+        assert!((a.p - 54_020.0).abs() / 54_020.0 < 0.005, "p {}", a.p);
+        // 11 km: 216.65 K, 22 632 Pa.
+        let a = isa(11_000.0);
+        assert!((a.t - 216.65).abs() < 0.05);
+        assert!((a.p - 22_632.0).abs() / 22_632.0 < 0.005);
+        // 15 km: isothermal stratosphere, 216.65 K, 12 045 Pa.
+        let a = isa(15_000.0);
+        assert!((a.t - 216.65).abs() < 0.05);
+        assert!((a.p - 12_045.0).abs() / 12_045.0 < 0.01, "p {}", a.p);
+    }
+
+    #[test]
+    fn pressure_and_temperature_fall_monotonically() {
+        let mut prev = isa(0.0);
+        for h in (500..=20_000).step_by(500) {
+            let a = isa(h as f64);
+            assert!(a.p < prev.p, "pressure at {h}");
+            assert!(a.t <= prev.t + 1e-12, "temperature at {h}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(isa(-100.0), isa(0.0));
+        assert_eq!(isa(30_000.0), isa(20_000.0));
+    }
+}

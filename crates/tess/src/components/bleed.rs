@@ -1,0 +1,61 @@
+//! Bleed: extraction of a fraction of the flow (customer bleed, turbine
+//! cooling air).
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::GasState;
+
+/// A bleed port extracting a fixed fraction of the incoming flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bleed {
+    /// Fraction of the incoming flow extracted (0..1).
+    pub fraction: f64,
+}
+
+impl Bleed {
+    /// Build a bleed.
+    pub fn new(fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "bleed fraction out of range");
+        Self { fraction }
+    }
+
+    /// Split into (main stream, bleed stream); both keep the inlet's
+    /// total temperature, pressure, and fuel-air ratio.
+    pub fn extract(&self, inlet: &GasState) -> (GasState, GasState) {
+        let wb = inlet.w * self.fraction;
+        let main = GasState::new(inlet.w - wb, inlet.tt, inlet.pt, inlet.far);
+        let bleed = GasState::new(wb, inlet.tt, inlet.pt, inlet.far);
+        (main, bleed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_conserves_mass() {
+        let b = Bleed::new(0.05);
+        let s = GasState::new(70.0, 800.0, 2.5e6, 0.0);
+        let (main, bleed) = b.extract(&s);
+        assert!((main.w + bleed.w - s.w).abs() < 1e-12);
+        assert!((bleed.w - 3.5).abs() < 1e-12);
+        assert_eq!(main.tt, s.tt);
+        assert_eq!(bleed.pt, s.pt);
+    }
+
+    #[test]
+    fn zero_bleed_passes_everything() {
+        let b = Bleed::new(0.0);
+        let s = GasState::new(70.0, 800.0, 2.5e6, 0.0);
+        let (main, bleed) = b.extract(&s);
+        assert_eq!(main, s);
+        assert_eq!(bleed.w, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bleed fraction")]
+    fn out_of_range_fraction_panics() {
+        Bleed::new(1.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Combustor: heat addition with combustion efficiency and pressure loss.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{temperature_from_enthalpy, GasState, FUEL_LHV};
+
+/// A combustor burning kerosene-type fuel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Combustor {
+    /// Combustion efficiency (fraction of LHV released).
+    pub eta: f64,
+    /// Total-pressure loss fraction (ΔPt/Pt).
+    pub dp_frac: f64,
+}
+
+impl Combustor {
+    /// Build a combustor.
+    pub fn new(eta: f64, dp_frac: f64) -> Self {
+        Self { eta, dp_frac }
+    }
+
+    /// Burn `wf` kg/s of fuel into the incoming stream.
+    pub fn burn(&self, inlet: &GasState, wf: f64) -> Result<GasState, String> {
+        if wf < 0.0 {
+            return Err(format!("negative fuel flow {wf}"));
+        }
+        let air = inlet.w / (1.0 + inlet.far);
+        let fuel = inlet.w - air + wf;
+        let far = fuel / air;
+        if far > 0.068 {
+            // Stoichiometric kerosene/air is ~0.068; beyond it the simple
+            // heat-release model is invalid.
+            return Err(format!("fuel-air ratio {far:.4} beyond stoichiometric"));
+        }
+        let w_out = inlet.w + wf;
+        let h_out = (inlet.w * inlet.h() + self.eta * FUEL_LHV * wf) / w_out;
+        let tt = temperature_from_enthalpy(h_out, far);
+        Ok(GasState::new(w_out, tt, inlet.pt * (1.0 - self.dp_frac), far))
+    }
+
+    /// Fuel flow needed to reach exit temperature `tt_target` from
+    /// `inlet` (inverse of [`Combustor::burn`]), by bisection.
+    pub fn fuel_for_exit_temperature(
+        &self,
+        inlet: &GasState,
+        tt_target: f64,
+    ) -> Result<f64, String> {
+        if tt_target <= inlet.tt {
+            return Err(format!(
+                "target {tt_target} K not above inlet {} K",
+                inlet.tt
+            ));
+        }
+        let (mut lo, mut hi) = (0.0, 0.06 * inlet.w);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            let tt = self.burn(inlet, mid)?.tt;
+            if tt < tt_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hpc_exit() -> GasState {
+        GasState::new(70.0, 800.0, 2.5e6, 0.0)
+    }
+
+    #[test]
+    fn burning_raises_temperature_and_far() {
+        let b = Combustor::new(0.995, 0.05);
+        let out = b.burn(&hpc_exit(), 1.5).unwrap();
+        assert!(out.tt > 1400.0 && out.tt < 2000.0, "tt {}", out.tt);
+        assert!((out.w - 71.5).abs() < 1e-12);
+        assert!((out.far - 1.5 / 70.0).abs() < 1e-12);
+        assert!((out.pt - 2.5e6 * 0.95).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_fuel_is_a_pressure_drop_passthrough() {
+        let b = Combustor::new(0.995, 0.05);
+        let out = b.burn(&hpc_exit(), 0.0).unwrap();
+        assert!((out.tt - 800.0).abs() < 1e-9);
+        assert_eq!(out.far, 0.0);
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let b = Combustor::new(1.0, 0.0);
+        let inlet = hpc_exit();
+        let wf = 1.2;
+        let out = b.burn(&inlet, wf).unwrap();
+        let h_in = inlet.w * inlet.h() + FUEL_LHV * wf;
+        let h_out = out.w * out.h();
+        assert!((h_in - h_out).abs() / h_in < 1e-9);
+    }
+
+    #[test]
+    fn over_stoichiometric_rejected() {
+        let b = Combustor::new(0.995, 0.05);
+        assert!(b.burn(&hpc_exit(), 6.0).is_err());
+        assert!(b.burn(&hpc_exit(), -0.1).is_err());
+    }
+
+    #[test]
+    fn fuel_for_exit_temperature_inverts_burn() {
+        let b = Combustor::new(0.995, 0.05);
+        let inlet = hpc_exit();
+        let wf = b.fuel_for_exit_temperature(&inlet, 1650.0).unwrap();
+        let out = b.burn(&inlet, wf).unwrap();
+        assert!((out.tt - 1650.0).abs() < 0.1, "tt {}", out.tt);
+        assert!(b.fuel_for_exit_temperature(&inlet, 700.0).is_err());
+    }
+
+    #[test]
+    fn lower_efficiency_needs_more_fuel() {
+        let good = Combustor::new(1.0, 0.05);
+        let poor = Combustor::new(0.9, 0.05);
+        let inlet = hpc_exit();
+        let wf_good = good.fuel_for_exit_temperature(&inlet, 1600.0).unwrap();
+        let wf_poor = poor.fuel_for_exit_temperature(&inlet, 1600.0).unwrap();
+        assert!(wf_poor > wf_good);
+    }
+}

@@ -1,0 +1,148 @@
+//! Compressor (fan / LPC / HPC): map-driven compression with variable
+//! stator geometry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, T_STD};
+use crate::maps::CompressorMap;
+
+/// A map-scheduled compressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compressor {
+    /// Component name for diagnostics.
+    pub name: String,
+    /// Its performance map.
+    pub map: CompressorMap,
+    /// Mechanical speed at map speed 1.0, RPM.
+    pub design_rpm: f64,
+}
+
+/// The result of evaluating a compressor operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressorResult {
+    /// Exit state (at the *incoming* mass flow).
+    pub exit: GasState,
+    /// Shaft power absorbed, W.
+    pub power: f64,
+    /// Corrected flow the map wants at this (speed, beta), kg/s — the
+    /// flow-continuity residual compares this with the incoming flow.
+    pub wc_map: f64,
+    /// Pressure ratio in effect.
+    pub pr: f64,
+    /// Isentropic efficiency in effect.
+    pub eff: f64,
+    /// Map-referred corrected speed fraction.
+    pub nc: f64,
+}
+
+impl Compressor {
+    /// Build a compressor around a map.
+    pub fn new(name: &str, map: CompressorMap, design_rpm: f64) -> Self {
+        Self { name: name.to_owned(), map, design_rpm }
+    }
+
+    /// Corrected-speed fraction for mechanical speed `n_rpm` at inlet
+    /// temperature `tt`.
+    pub fn corrected_speed(&self, n_rpm: f64, tt: f64) -> f64 {
+        (n_rpm / self.design_rpm) / (tt / T_STD).sqrt()
+    }
+
+    /// Evaluate the operating point at mechanical speed `n_rpm`, beta
+    /// `beta`, and stator angle `stator_deg` (0 = nominal).
+    ///
+    /// The stator model is the linearized effect TESS's transient control
+    /// schedules drive: closing the stators (negative angle) reduces
+    /// swallowing capacity ~0.8%/deg and costs efficiency quadratically.
+    pub fn operate(
+        &self,
+        inlet: &GasState,
+        n_rpm: f64,
+        beta: f64,
+        stator_deg: f64,
+    ) -> Result<CompressorResult, String> {
+        let nc = self.corrected_speed(n_rpm, inlet.tt);
+        let point = self
+            .map
+            .lookup(nc, beta)
+            .map_err(|e| format!("{}: {e}", self.name))?;
+        let wc_map = point.wc * (1.0 + 0.008 * stator_deg);
+        let eff = (point.eff * (1.0 - 2.0e-4 * stator_deg * stator_deg)).clamp(0.2, 0.99);
+
+        let t2s = isentropic_temperature(inlet.tt, point.pr, inlet.far);
+        let dh_ideal = enthalpy(t2s, inlet.far) - enthalpy(inlet.tt, inlet.far);
+        let dh = dh_ideal / eff;
+        let h2 = enthalpy(inlet.tt, inlet.far) + dh;
+        let tt2 = temperature_from_enthalpy(h2, inlet.far);
+        let exit = GasState::new(inlet.w, tt2, inlet.pt * point.pr, inlet.far);
+        Ok(CompressorResult {
+            exit,
+            power: inlet.w * dh,
+            wc_map,
+            pr: point.pr,
+            eff,
+            nc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::{P_STD, T_STD};
+
+    fn fan() -> Compressor {
+        Compressor::new("fan", CompressorMap::synthetic("fan", 100.0, 3.0, 0.86), 10_000.0)
+    }
+
+    #[test]
+    fn design_point_behaviour() {
+        let c = fan();
+        let inlet = GasState::new(100.0, T_STD, P_STD, 0.0);
+        let r = c.operate(&inlet, 10_000.0, 0.5, 0.0).unwrap();
+        assert!((r.nc - 1.0).abs() < 1e-12);
+        assert!((r.pr - 3.0).abs() < 1e-9);
+        assert!((r.wc_map - 100.0).abs() < 1e-9);
+        assert!((r.exit.pt - 3.0 * P_STD).abs() < 1.0);
+        assert!(r.exit.tt > inlet.tt, "compression heats");
+        assert!(r.power > 0.0);
+        // Power ≈ w·cp·ΔT: ~100 · 1010 · (T2−288). Sanity: 9–14 MW for FPR 3.
+        assert!((9.0e6..15.0e6).contains(&r.power), "power {}", r.power);
+    }
+
+    #[test]
+    fn efficiency_penalty_heats_more_than_ideal() {
+        let c = fan();
+        let inlet = GasState::new(100.0, T_STD, P_STD, 0.0);
+        let r = c.operate(&inlet, 10_000.0, 0.5, 0.0).unwrap();
+        let t_ideal = isentropic_temperature(T_STD, r.pr, 0.0);
+        assert!(r.exit.tt > t_ideal, "{} vs ideal {t_ideal}", r.exit.tt);
+    }
+
+    #[test]
+    fn corrected_speed_accounts_for_inlet_temperature() {
+        let c = fan();
+        // Hot day: same RPM is a lower corrected speed.
+        assert!(c.corrected_speed(10_000.0, 320.0) < 1.0);
+        assert!((c.corrected_speed(10_000.0, T_STD) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stator_angle_modulates_flow_and_efficiency() {
+        let c = fan();
+        let inlet = GasState::new(100.0, T_STD, P_STD, 0.0);
+        let open = c.operate(&inlet, 10_000.0, 0.5, 5.0).unwrap();
+        let nominal = c.operate(&inlet, 10_000.0, 0.5, 0.0).unwrap();
+        let closed = c.operate(&inlet, 10_000.0, 0.5, -10.0).unwrap();
+        assert!(open.wc_map > nominal.wc_map);
+        assert!(closed.wc_map < nominal.wc_map);
+        assert!(closed.eff < nominal.eff);
+    }
+
+    #[test]
+    fn off_map_speed_is_an_error() {
+        let c = fan();
+        let inlet = GasState::new(100.0, T_STD, P_STD, 0.0);
+        let err = c.operate(&inlet, 20_000.0, 0.5, 0.0).unwrap_err();
+        assert!(err.contains("fan"), "{err}");
+    }
+}

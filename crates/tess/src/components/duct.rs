@@ -1,0 +1,65 @@
+//! Duct: total-pressure loss and optional heat addition (afterburner).
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{temperature_from_enthalpy, GasState};
+
+/// A connecting duct with friction loss; with `q > 0` it doubles as a
+/// simple afterburner/heated duct model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Duct {
+    /// Total-pressure loss fraction (ΔPt/Pt).
+    pub dp_frac: f64,
+}
+
+impl Duct {
+    /// Build a duct.
+    pub fn new(dp_frac: f64) -> Self {
+        Self { dp_frac }
+    }
+
+    /// Pass the flow through, optionally adding `q` watts of heat.
+    pub fn flow(&self, inlet: &GasState, q: f64) -> GasState {
+        let pt = inlet.pt * (1.0 - self.dp_frac);
+        if q == 0.0 {
+            return GasState::new(inlet.w, inlet.tt, pt, inlet.far);
+        }
+        let h = inlet.h() + q / inlet.w;
+        let tt = temperature_from_enthalpy(h, inlet.far);
+        GasState::new(inlet.w, tt, pt, inlet.far)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adiabatic_duct_only_loses_pressure() {
+        let d = Duct::new(0.02);
+        let s = GasState::new(40.0, 600.0, 8.0e5, 0.01);
+        let out = d.flow(&s, 0.0);
+        assert_eq!(out.tt, s.tt);
+        assert_eq!(out.w, s.w);
+        assert_eq!(out.far, s.far);
+        assert!((out.pt - 8.0e5 * 0.98).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heat_addition_raises_temperature() {
+        let d = Duct::new(0.0);
+        let s = GasState::new(40.0, 600.0, 8.0e5, 0.01);
+        let out = d.flow(&s, 5.0e6);
+        assert!(out.tt > s.tt);
+        // Energy balance: ΔH = q.
+        let dq = out.w * out.h() - s.w * s.h();
+        assert!((dq - 5.0e6).abs() / 5.0e6 < 1e-9);
+    }
+
+    #[test]
+    fn lossless_duct_is_identity() {
+        let d = Duct::new(0.0);
+        let s = GasState::new(40.0, 600.0, 8.0e5, 0.01);
+        assert_eq!(d.flow(&s, 0.0), s);
+    }
+}

@@ -1,0 +1,70 @@
+//! Inlet: ram compression and recovery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{gamma, GasState};
+
+/// An inlet with a (sub-unity) total-pressure ram recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inlet {
+    /// Total-pressure recovery Pt2/Pt0 (1.0 = lossless).
+    pub ram_recovery: f64,
+}
+
+impl Inlet {
+    /// A typical subsonic pitot inlet.
+    pub fn new(ram_recovery: f64) -> Self {
+        Self { ram_recovery }
+    }
+
+    /// Engine-face conditions for ambient static (`t_amb`, `p_amb`),
+    /// flight Mach number, and mass flow `w`.
+    pub fn capture(&self, t_amb: f64, p_amb: f64, mach: f64, w: f64) -> GasState {
+        let g = gamma(t_amb, 0.0);
+        let ratio = 1.0 + (g - 1.0) / 2.0 * mach * mach;
+        let tt = t_amb * ratio;
+        let pt = p_amb * ratio.powf(g / (g - 1.0)) * self.ram_recovery;
+        GasState::new(w, tt, pt, 0.0)
+    }
+
+    /// Free-stream velocity for ram-drag bookkeeping, m/s.
+    pub fn flight_velocity(t_amb: f64, mach: f64) -> f64 {
+        let g = gamma(t_amb, 0.0);
+        mach * (g * crate::gas::R_GAS * t_amb).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::{P_STD, T_STD};
+
+    #[test]
+    fn static_capture_only_applies_recovery() {
+        let inlet = Inlet::new(0.99);
+        let s = inlet.capture(T_STD, P_STD, 0.0, 100.0);
+        assert_eq!(s.w, 100.0);
+        assert!((s.tt - T_STD).abs() < 1e-9);
+        assert!((s.pt - 0.99 * P_STD).abs() < 1e-6);
+        assert_eq!(s.far, 0.0);
+    }
+
+    #[test]
+    fn ram_rise_grows_with_mach() {
+        let inlet = Inlet::new(1.0);
+        let m0 = inlet.capture(T_STD, P_STD, 0.0, 100.0);
+        let m08 = inlet.capture(T_STD, P_STD, 0.8, 100.0);
+        assert!(m08.tt > m0.tt);
+        assert!(m08.pt > m0.pt);
+        // Mach 0.8 standard day: Tt ≈ 325 K, Pt/P ≈ 1.52.
+        assert!((m08.tt - 325.0).abs() < 3.0, "tt {}", m08.tt);
+        assert!((m08.pt / P_STD - 1.52).abs() < 0.05, "pt ratio {}", m08.pt / P_STD);
+    }
+
+    #[test]
+    fn flight_velocity_matches_speed_of_sound() {
+        let v = Inlet::flight_velocity(T_STD, 1.0);
+        assert!((v - 340.3).abs() < 2.0, "a = {v}");
+        assert_eq!(Inlet::flight_velocity(T_STD, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Convergent exhaust nozzle: choking, thrust, and flow capacity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{
+    enthalpy, gamma, isentropic_temperature, GasState, R_GAS,
+};
+
+/// A convergent nozzle with (possibly variable) throat area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Nozzle {
+    /// Geometric throat area, m².
+    pub area: f64,
+    /// Discharge coefficient (effective/geometric flow).
+    pub cd: f64,
+    /// Velocity coefficient (thrust loss).
+    pub cv: f64,
+}
+
+/// The nozzle operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NozzleResult {
+    /// Mass flow the nozzle passes at these conditions, kg/s — the
+    /// flow-match residual compares this against the engine's flow.
+    pub w_capacity: f64,
+    /// Gross thrust, N.
+    pub gross_thrust: f64,
+    /// Exit velocity, m/s.
+    pub exit_velocity: f64,
+    /// Exit static pressure, Pa.
+    pub p_exit: f64,
+    /// Whether the throat is choked.
+    pub choked: bool,
+}
+
+impl Nozzle {
+    /// Build a nozzle.
+    pub fn new(area: f64, cd: f64, cv: f64) -> Self {
+        Self { area, cd, cv }
+    }
+
+    /// Critical (choking) pressure ratio Pt/P* at throat temperature.
+    fn critical_pr(g: f64) -> f64 {
+        ((g + 1.0) / 2.0).powf(g / (g - 1.0))
+    }
+
+    /// Evaluate the nozzle flowing `inlet` against ambient `p_amb`,
+    /// optionally with an area override (variable nozzle schedule).
+    pub fn operate(
+        &self,
+        inlet: &GasState,
+        p_amb: f64,
+        area_override: Option<f64>,
+    ) -> Result<NozzleResult, String> {
+        if inlet.pt <= p_amb {
+            return Err(format!(
+                "nozzle total pressure {:.0} Pa not above ambient {:.0} Pa",
+                inlet.pt, p_amb
+            ));
+        }
+        let area = area_override.unwrap_or(self.area);
+        let g = gamma(inlet.tt, inlet.far);
+        let npr = inlet.pt / p_amb;
+        let crit = Self::critical_pr(g);
+
+        if npr >= crit {
+            // Choked: sonic throat.
+            let t_throat = inlet.tt * 2.0 / (g + 1.0);
+            let p_throat = inlet.pt / crit;
+            let v = (g * R_GAS * t_throat).sqrt() * self.cv;
+            let rho = p_throat / (R_GAS * t_throat);
+            let w = self.cd * rho * v / self.cv * area;
+            let thrust = w * v + (p_throat - p_amb) * area;
+            Ok(NozzleResult {
+                w_capacity: w,
+                gross_thrust: thrust,
+                exit_velocity: v,
+                p_exit: p_throat,
+                choked: true,
+            })
+        } else {
+            // Subcritical: expand fully to ambient.
+            let t_exit = isentropic_temperature(inlet.tt, p_amb / inlet.pt, inlet.far);
+            let dh = enthalpy(inlet.tt, inlet.far) - enthalpy(t_exit, inlet.far);
+            let v = (2.0 * dh.max(0.0)).sqrt() * self.cv;
+            let rho = p_amb / (R_GAS * t_exit);
+            let w = self.cd * rho * v / self.cv * area;
+            Ok(NozzleResult {
+                w_capacity: w,
+                gross_thrust: w * v,
+                exit_velocity: v,
+                p_exit: p_amb,
+                choked: false,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::{P_STD, T_STD};
+
+    fn mixer_out() -> GasState {
+        GasState::new(100.0, 900.0, 2.2 * P_STD, 0.02)
+    }
+
+    #[test]
+    fn high_npr_chokes() {
+        let n = Nozzle::new(0.35, 0.98, 0.98);
+        let r = n.operate(&mixer_out(), P_STD, None).unwrap();
+        assert!(r.choked);
+        assert!(r.p_exit > P_STD, "underexpanded exit");
+        assert!(r.gross_thrust > 0.0);
+        assert!(r.exit_velocity > 400.0 && r.exit_velocity < 800.0, "v {}", r.exit_velocity);
+    }
+
+    #[test]
+    fn low_npr_flows_subcritically() {
+        let n = Nozzle::new(0.35, 0.98, 0.98);
+        let s = GasState::new(50.0, 500.0, 1.2 * P_STD, 0.0);
+        let r = n.operate(&s, P_STD, None).unwrap();
+        assert!(!r.choked);
+        assert!((r.p_exit - P_STD).abs() < 1e-9);
+        assert!(r.exit_velocity > 0.0);
+    }
+
+    #[test]
+    fn capacity_scales_with_area_and_pressure() {
+        let small = Nozzle::new(0.2, 0.98, 0.98);
+        let big = Nozzle::new(0.4, 0.98, 0.98);
+        let r_small = small.operate(&mixer_out(), P_STD, None).unwrap();
+        let r_big = big.operate(&mixer_out(), P_STD, None).unwrap();
+        assert!((r_big.w_capacity / r_small.w_capacity - 2.0).abs() < 1e-9);
+
+        let mut hi_p = mixer_out();
+        hi_p.pt *= 1.5;
+        let r_hi = small.operate(&hi_p, P_STD, None).unwrap();
+        assert!((r_hi.w_capacity / r_small.w_capacity - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_override_takes_effect() {
+        let n = Nozzle::new(0.3, 0.98, 0.98);
+        let base = n.operate(&mixer_out(), P_STD, None).unwrap();
+        let opened = n.operate(&mixer_out(), P_STD, Some(0.36)).unwrap();
+        assert!((opened.w_capacity / base.w_capacity - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_pressure_above_supply_rejected() {
+        let n = Nozzle::new(0.3, 0.98, 0.98);
+        let s = GasState::new(10.0, 400.0, 0.9 * P_STD, 0.0);
+        assert!(n.operate(&s, P_STD, None).is_err());
+    }
+
+    #[test]
+    fn choked_flow_matches_compressible_formula() {
+        // Cross-check against W = Cd·A·Pt/√(Tt)·√(γ/R)·(2/(γ+1))^((γ+1)/(2(γ-1))).
+        let n = Nozzle::new(0.35, 1.0, 1.0);
+        let s = GasState::new(100.0, T_STD, 10.0 * P_STD, 0.0);
+        let r = n.operate(&s, P_STD, None).unwrap();
+        let g = gamma(s.tt, 0.0);
+        let expect = n.area * s.pt / s.tt.sqrt()
+            * (g / R_GAS).sqrt()
+            * (2.0 / (g + 1.0)).powf((g + 1.0) / (2.0 * (g - 1.0)));
+        assert!((r.w_capacity - expect).abs() / expect < 1e-9, "{} vs {expect}", r.w_capacity);
+    }
+}

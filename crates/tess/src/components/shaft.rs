@@ -1,0 +1,89 @@
+//! Shaft: spool rotational dynamics.
+//!
+//! The shaft connects turbines to the compressors they drive. In steady
+//! state its power balance is a solver residual; in a transient the power
+//! imbalance accelerates the spool:
+//!
+//! ```text
+//! I·ω·dω/dt = P_turbine − P_compressor
+//! ```
+//!
+//! This is the physics behind the paper's `shaft` remote procedure, whose
+//! `dxspl` result is the spool acceleration computed from compressor and
+//! turbine energy terms, the correction factor, the spool speed, and the
+//! moment of inertia (the control panel's *moment inertia*, *spool speed*
+//! widgets).
+
+use serde::{Deserialize, Serialize};
+
+/// A spool with rotational inertia.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shaft {
+    /// Polar moment of inertia, kg·m².
+    pub inertia: f64,
+    /// Design mechanical speed, RPM.
+    pub design_rpm: f64,
+    /// Mechanical transmission efficiency (turbine→compressor).
+    pub mech_eff: f64,
+}
+
+impl Shaft {
+    /// Build a shaft.
+    pub fn new(inertia: f64, design_rpm: f64, mech_eff: f64) -> Self {
+        Self { inertia, design_rpm, mech_eff }
+    }
+
+    /// Spool acceleration in RPM/s at speed `n_rpm` for turbine power
+    /// `p_turb` and compressor demand `p_comp` (both W).
+    pub fn accel_rpm_per_s(&self, n_rpm: f64, p_turb: f64, p_comp: f64) -> f64 {
+        let omega = n_rpm.max(1.0) * std::f64::consts::PI / 30.0;
+        let net = self.mech_eff * p_turb - p_comp;
+        let domega = net / (self.inertia * omega);
+        domega * 30.0 / std::f64::consts::PI
+    }
+
+    /// Steady power-balance residual, normalized by compressor demand.
+    pub fn balance_residual(&self, p_turb: f64, p_comp: f64) -> f64 {
+        (self.mech_eff * p_turb - p_comp) / p_comp.abs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surplus_power_accelerates() {
+        let s = Shaft::new(10.0, 10_000.0, 0.99);
+        assert!(s.accel_rpm_per_s(10_000.0, 11.0e6, 10.0e6) > 0.0);
+        assert!(s.accel_rpm_per_s(10_000.0, 9.0e6, 10.0e6) < 0.0);
+    }
+
+    #[test]
+    fn balanced_shaft_is_steady() {
+        let s = Shaft::new(10.0, 10_000.0, 1.0);
+        assert_eq!(s.accel_rpm_per_s(10_000.0, 5.0e6, 5.0e6), 0.0);
+        assert_eq!(s.balance_residual(5.0e6, 5.0e6), 0.0);
+    }
+
+    #[test]
+    fn acceleration_scales_inversely_with_inertia_and_speed() {
+        let light = Shaft::new(5.0, 10_000.0, 1.0);
+        let heavy = Shaft::new(10.0, 10_000.0, 1.0);
+        let a_light = light.accel_rpm_per_s(10_000.0, 11.0e6, 10.0e6);
+        let a_heavy = heavy.accel_rpm_per_s(10_000.0, 11.0e6, 10.0e6);
+        assert!((a_light / a_heavy - 2.0).abs() < 1e-12);
+
+        let slow = heavy.accel_rpm_per_s(5_000.0, 11.0e6, 10.0e6);
+        let fast = heavy.accel_rpm_per_s(10_000.0, 11.0e6, 10.0e6);
+        assert!((slow / fast - 2.0).abs() < 1e-12, "same power, half speed, double accel");
+    }
+
+    #[test]
+    fn mechanical_loss_shifts_the_balance() {
+        let s = Shaft::new(10.0, 10_000.0, 0.98);
+        // With 2% loss, equal powers decelerate slightly.
+        assert!(s.accel_rpm_per_s(10_000.0, 10.0e6, 10.0e6) < 0.0);
+        assert!(s.balance_residual(10.0e6, 9.8e6).abs() < 1e-12);
+    }
+}

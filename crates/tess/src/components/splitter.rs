@@ -1,0 +1,53 @@
+//! Splitter: divides fan discharge into core and bypass streams.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::GasState;
+
+/// A flow splitter with a fixed bypass ratio (bypass flow / core flow).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Splitter {
+    /// Bypass ratio.
+    pub bypass_ratio: f64,
+}
+
+impl Splitter {
+    /// Build a splitter.
+    pub fn new(bypass_ratio: f64) -> Self {
+        assert!(bypass_ratio >= 0.0, "bypass ratio must be non-negative");
+        Self { bypass_ratio }
+    }
+
+    /// Split into (core, bypass).
+    pub fn split(&self, inlet: &GasState) -> (GasState, GasState) {
+        let core_w = inlet.w / (1.0 + self.bypass_ratio);
+        let core = GasState::new(core_w, inlet.tt, inlet.pt, inlet.far);
+        let bypass = GasState::new(inlet.w - core_w, inlet.tt, inlet.pt, inlet.far);
+        (core, bypass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_matches_bypass_ratio() {
+        let s = Splitter::new(0.7);
+        let inlet = GasState::new(102.0, 400.0, 3.0e5, 0.0);
+        let (core, bypass) = s.split(&inlet);
+        assert!((core.w + bypass.w - inlet.w).abs() < 1e-12);
+        assert!((bypass.w / core.w - 0.7).abs() < 1e-12);
+        assert_eq!(core.tt, inlet.tt);
+        assert_eq!(bypass.pt, inlet.pt);
+    }
+
+    #[test]
+    fn zero_bypass_sends_all_to_core() {
+        let s = Splitter::new(0.0);
+        let inlet = GasState::new(100.0, 400.0, 3.0e5, 0.0);
+        let (core, bypass) = s.split(&inlet);
+        assert_eq!(core.w, 100.0);
+        assert_eq!(bypass.w, 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Mean-line multistage compressor analysis — the high-fidelity model a
+//! user *zooms into*.
+//!
+//! The overall engine represents a compressor as one map point (overall
+//! pressure ratio + efficiency). Zooming replaces that single point with
+//! a stage-by-stage mean-line calculation: the total enthalpy rise is
+//! distributed over N stages with a loading profile (front stages work
+//! slightly harder at design), each stage's efficiency follows a parabola
+//! in its loading relative to nominal, and inter-stage states are exposed
+//! — the "essential data from a higher-level computation" the paper's
+//! zooming goal talks about.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{
+    enthalpy, isentropic_temperature, phi, temperature_from_enthalpy, GasState, R_GAS,
+};
+
+/// One stage's resolved operating state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageState {
+    /// 1-based stage number.
+    pub stage: usize,
+    /// Inlet total temperature, K.
+    pub tt_in: f64,
+    /// Exit total temperature, K.
+    pub tt_out: f64,
+    /// Inlet total pressure, Pa.
+    pub pt_in: f64,
+    /// Exit total pressure, Pa.
+    pub pt_out: f64,
+    /// Stage total-pressure ratio.
+    pub pr: f64,
+    /// Stage isentropic efficiency.
+    pub eff: f64,
+    /// Stage specific work, J/kg.
+    pub dh: f64,
+    /// Stage loading relative to its design loading.
+    pub loading: f64,
+}
+
+/// A mean-line stage stack calibrated to an overall design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStack {
+    /// Number of stages.
+    pub n_stages: usize,
+    /// Overall design pressure ratio.
+    pub design_pr: f64,
+    /// Overall design isentropic efficiency.
+    pub design_eff: f64,
+    /// Design inlet state used for calibration.
+    pub design_inlet: GasState,
+    /// Per-stage design work fractions (sum to 1).
+    work_fractions: Vec<f64>,
+    /// Per-stage peak (design) efficiencies, calibrated so the stack's
+    /// overall efficiency equals `design_eff` at design.
+    stage_eff: Vec<f64>,
+    /// Total design specific work, J/kg.
+    design_dh: f64,
+}
+
+impl StageStack {
+    /// Calibrate a stack of `n_stages` to hit exactly (`pr`, `eff`) at
+    /// the design inlet state.
+    pub fn calibrate(
+        n_stages: usize,
+        inlet: &GasState,
+        pr: f64,
+        eff: f64,
+    ) -> Result<Self, String> {
+        if n_stages == 0 {
+            return Err("stage stack needs at least one stage".into());
+        }
+        if pr <= 1.0 || !(0.0..=1.0).contains(&eff) {
+            return Err(format!("unphysical calibration target pr={pr} eff={eff}"));
+        }
+        // Total design work from the overall definition.
+        let t_out_s = isentropic_temperature(inlet.tt, pr, inlet.far);
+        let dh_total =
+            (enthalpy(t_out_s, inlet.far) - enthalpy(inlet.tt, inlet.far)) / eff;
+
+        // Loading profile: a gentle front-loading, normalized.
+        let raw: Vec<f64> = (0..n_stages)
+            .map(|i| 1.0 + 0.15 * (1.0 - 2.0 * i as f64 / (n_stages.max(2) - 1).max(1) as f64))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        let work_fractions: Vec<f64> = raw.iter().map(|w| w / total).collect();
+
+        // Each stage gets the same polytropic quality; solve for the
+        // stage efficiency that reproduces the overall efficiency by
+        // bisection on a common multiplier.
+        let overall_eff_for = |stage_eff: f64| -> Result<f64, String> {
+            let stack = Self {
+                n_stages,
+                design_pr: pr,
+                design_eff: eff,
+                design_inlet: *inlet,
+                work_fractions: work_fractions.clone(),
+                stage_eff: vec![stage_eff; n_stages],
+                design_dh: dh_total,
+            };
+            let states = stack.analyze(inlet, 1.0)?;
+            let pt_out = states.last().expect("stages").pt_out;
+            let overall_pr = pt_out / inlet.pt;
+            let t_s = isentropic_temperature(inlet.tt, overall_pr, inlet.far);
+            let dh_ideal = enthalpy(t_s, inlet.far) - enthalpy(inlet.tt, inlet.far);
+            Ok(dh_ideal / dh_total)
+        };
+        let (mut lo, mut hi) = (eff * 0.8, 1.0);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if overall_eff_for(mid)? < eff {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let stage_eff_val = 0.5 * (lo + hi);
+
+        // Now scale total work so the overall PR comes out exactly at the
+        // target (the efficiency calibration shifted it slightly).
+        let mut stack = Self {
+            n_stages,
+            design_pr: pr,
+            design_eff: eff,
+            design_inlet: *inlet,
+            work_fractions,
+            stage_eff: vec![stage_eff_val; n_stages],
+            design_dh: dh_total,
+        };
+        let (mut lo, mut hi) = (0.8 * dh_total, 1.2 * dh_total);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            stack.design_dh = mid;
+            let states = stack.analyze(inlet, 1.0)?;
+            let overall_pr = states.last().expect("stages").pt_out / inlet.pt;
+            if overall_pr < pr {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        stack.design_dh = 0.5 * (lo + hi);
+        Ok(stack)
+    }
+
+    /// Run the stage-by-stage analysis at a work level of
+    /// `work_fraction`× design (1.0 = the calibrated design point).
+    /// Returns the resolved state of every stage.
+    pub fn analyze(&self, inlet: &GasState, work_fraction: f64) -> Result<Vec<StageState>, String> {
+        if work_fraction <= 0.0 {
+            return Err(format!("work fraction {work_fraction} must be positive"));
+        }
+        let mut states = Vec::with_capacity(self.n_stages);
+        let mut tt = inlet.tt;
+        let mut pt = inlet.pt;
+        for i in 0..self.n_stages {
+            let dh = self.design_dh * self.work_fractions[i] * work_fraction;
+            // Off-design loading costs efficiency quadratically.
+            let loading = work_fraction;
+            let eff = (self.stage_eff[i] * (1.0 - 0.25 * (loading - 1.0) * (loading - 1.0)))
+                .clamp(0.2, 0.999);
+            let h_out = enthalpy(tt, inlet.far) + dh;
+            let tt_out = temperature_from_enthalpy(h_out, inlet.far);
+            // Stage PR from the isentropic fraction of the enthalpy rise:
+            // φ(T_out,ideal) − φ(T_in) = R ln(PR), with the ideal rise
+            // being eff·dh.
+            let h_ideal = enthalpy(tt, inlet.far) + eff * dh;
+            let tt_ideal = temperature_from_enthalpy(h_ideal, inlet.far);
+            let pr = ((phi(tt_ideal, inlet.far) - phi(tt, inlet.far)) / R_GAS).exp();
+            let pt_out = pt * pr;
+            states.push(StageState {
+                stage: i + 1,
+                tt_in: tt,
+                tt_out,
+                pt_in: pt,
+                pt_out,
+                pr,
+                eff,
+                dh,
+                loading,
+            });
+            tt = tt_out;
+            pt = pt_out;
+        }
+        Ok(states)
+    }
+
+    /// Overall (pr, eff) implied by a stage analysis — the data handed
+    /// back up to the lower-fidelity model.
+    pub fn overall(&self, states: &[StageState]) -> (f64, f64) {
+        let first = states.first().expect("stages");
+        let last = states.last().expect("stages");
+        let pr = last.pt_out / first.pt_in;
+        let t_s = isentropic_temperature(first.tt_in, pr, self.design_inlet.far);
+        let dh_ideal = enthalpy(t_s, self.design_inlet.far)
+            - enthalpy(first.tt_in, self.design_inlet.far);
+        let dh_actual: f64 = states.iter().map(|s| s.dh).sum();
+        (pr, dh_ideal / dh_actual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::{P_STD, T_STD};
+
+    fn hpc_inlet() -> GasState {
+        GasState::new(58.8, 420.0, 3.0 * P_STD, 0.0)
+    }
+
+    #[test]
+    fn calibration_reproduces_overall_point() {
+        let inlet = hpc_inlet();
+        let stack = StageStack::calibrate(10, &inlet, 8.0, 0.84).unwrap();
+        let states = stack.analyze(&inlet, 1.0).unwrap();
+        let (pr, eff) = stack.overall(&states);
+        assert!((pr - 8.0).abs() < 1e-6, "pr {pr}");
+        assert!((eff - 0.84).abs() < 1e-3, "eff {eff}");
+        assert_eq!(states.len(), 10);
+    }
+
+    #[test]
+    fn stage_states_are_monotone_and_consistent() {
+        let inlet = hpc_inlet();
+        let stack = StageStack::calibrate(8, &inlet, 8.0, 0.84).unwrap();
+        let states = stack.analyze(&inlet, 1.0).unwrap();
+        for w in states.windows(2) {
+            assert_eq!(w[0].tt_out, w[1].tt_in, "temperature chain");
+            assert_eq!(w[0].pt_out, w[1].pt_in, "pressure chain");
+        }
+        for s in &states {
+            assert!(s.tt_out > s.tt_in, "stage {} heats", s.stage);
+            assert!(s.pr > 1.0 && s.pr < 2.0, "stage {} PR {}", s.stage, s.pr);
+            assert!(s.eff > 0.8 && s.eff < 1.0);
+        }
+        // Front stages are loaded harder (front-loading profile).
+        assert!(states[0].dh > states.last().unwrap().dh);
+    }
+
+    #[test]
+    fn off_design_loading_costs_efficiency() {
+        let inlet = hpc_inlet();
+        let stack = StageStack::calibrate(8, &inlet, 8.0, 0.84).unwrap();
+        let design = stack.analyze(&inlet, 1.0).unwrap();
+        let overloaded = stack.analyze(&inlet, 1.2).unwrap();
+        let (_, eff_d) = stack.overall(&design);
+        let (pr_o, eff_o) = stack.overall(&overloaded);
+        assert!(eff_o < eff_d, "overloading hurts: {eff_o} vs {eff_d}");
+        assert!(pr_o > 8.0, "more work, more PR: {pr_o}");
+    }
+
+    #[test]
+    fn unphysical_calibration_rejected() {
+        let inlet = hpc_inlet();
+        assert!(StageStack::calibrate(0, &inlet, 8.0, 0.84).is_err());
+        assert!(StageStack::calibrate(8, &inlet, 0.9, 0.84).is_err());
+        assert!(StageStack::calibrate(8, &inlet, 8.0, 1.4).is_err());
+        let stack = StageStack::calibrate(8, &inlet, 8.0, 0.84).unwrap();
+        assert!(stack.analyze(&inlet, -1.0).is_err());
+    }
+
+    #[test]
+    fn single_stage_stack_degenerates_cleanly() {
+        let inlet = GasState::new(100.0, T_STD, P_STD, 0.0);
+        let stack = StageStack::calibrate(1, &inlet, 1.6, 0.88).unwrap();
+        let states = stack.analyze(&inlet, 1.0).unwrap();
+        assert_eq!(states.len(), 1);
+        let (pr, eff) = stack.overall(&states);
+        assert!((pr - 1.6).abs() < 1e-6);
+        assert!((eff - 0.88).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Turbine (HPT / LPT): map-driven expansion and work extraction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, T_STD};
+use crate::maps::TurbineMap;
+
+/// A map-scheduled turbine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Turbine {
+    /// Component name for diagnostics.
+    pub name: String,
+    /// Its performance map.
+    pub map: TurbineMap,
+    /// Mechanical speed at map speed 1.0, RPM.
+    pub design_rpm: f64,
+}
+
+/// The result of evaluating a turbine operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurbineResult {
+    /// Exit state.
+    pub exit: GasState,
+    /// Shaft power delivered, W.
+    pub power: f64,
+    /// Corrected flow the map passes at this (speed, expansion ratio).
+    pub wc_map: f64,
+    /// Isentropic efficiency in effect.
+    pub eff: f64,
+    /// Map-referred corrected speed fraction.
+    pub nc: f64,
+}
+
+impl Turbine {
+    /// Build a turbine around a map.
+    pub fn new(name: &str, map: TurbineMap, design_rpm: f64) -> Self {
+        Self { name: name.to_owned(), map, design_rpm }
+    }
+
+    /// Corrected-speed fraction at inlet temperature `tt`.
+    pub fn corrected_speed(&self, n_rpm: f64, tt: f64) -> f64 {
+        (n_rpm / self.design_rpm) / (tt / T_STD).sqrt()
+    }
+
+    /// Evaluate the operating point at mechanical speed `n_rpm` and total
+    /// expansion ratio `er = Pt_in / Pt_out > 1`.
+    pub fn operate(&self, inlet: &GasState, n_rpm: f64, er: f64) -> Result<TurbineResult, String> {
+        if er <= 1.0 {
+            return Err(format!("{}: expansion ratio {er} must exceed 1", self.name));
+        }
+        let nc = self.corrected_speed(n_rpm, inlet.tt);
+        let point = self
+            .map
+            .lookup(nc, er)
+            .map_err(|e| format!("{}: {e}", self.name))?;
+
+        let t_out_ideal = isentropic_temperature(inlet.tt, 1.0 / er, inlet.far);
+        let dh_ideal = enthalpy(inlet.tt, inlet.far) - enthalpy(t_out_ideal, inlet.far);
+        let dh = point.eff * dh_ideal;
+        let h_out = enthalpy(inlet.tt, inlet.far) - dh;
+        let tt_out = temperature_from_enthalpy(h_out, inlet.far);
+        let exit = GasState::new(inlet.w, tt_out, inlet.pt / er, inlet.far);
+        Ok(TurbineResult {
+            exit,
+            power: inlet.w * dh,
+            wc_map: point.wc,
+            eff: point.eff,
+            nc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hpt() -> Turbine {
+        Turbine::new("hpt", TurbineMap::synthetic("hpt", 25.0, 3.2, 0.88), 14_000.0)
+    }
+
+    fn hot_inlet() -> GasState {
+        GasState::new(70.0, 1600.0, 2.4e6, 0.025)
+    }
+
+    #[test]
+    fn expansion_cools_and_depressurizes() {
+        let t = hpt();
+        let inlet = hot_inlet();
+        let r = t.operate(&inlet, 14_000.0 * (1600.0f64 / T_STD).sqrt(), 3.2).unwrap();
+        assert!(r.exit.tt < inlet.tt);
+        assert!((r.exit.pt - inlet.pt / 3.2).abs() < 1.0);
+        assert!(r.power > 0.0);
+        // Shaft power for 70 kg/s across ER 3.2 from 1600 K: tens of MW.
+        assert!((20.0e6..60.0e6).contains(&r.power), "power {}", r.power);
+    }
+
+    #[test]
+    fn efficiency_reduces_extracted_work() {
+        let t = hpt();
+        let inlet = hot_inlet();
+        let n = 14_000.0 * (1600.0f64 / T_STD).sqrt();
+        let r = t.operate(&inlet, n, 3.2).unwrap();
+        let t_ideal = isentropic_temperature(inlet.tt, 1.0 / 3.2, inlet.far);
+        // Real exit is hotter than ideal exit (less work extracted).
+        assert!(r.exit.tt > t_ideal);
+    }
+
+    #[test]
+    fn invalid_expansion_ratio_rejected() {
+        let t = hpt();
+        assert!(t.operate(&hot_inlet(), 14_000.0, 0.8).is_err());
+        assert!(t.operate(&hot_inlet(), 14_000.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn flow_capacity_follows_map() {
+        let t = hpt();
+        let inlet = hot_inlet();
+        let n = 14_000.0 * (1600.0f64 / T_STD).sqrt();
+        let low = t.operate(&inlet, n, 2.0).unwrap();
+        let high = t.operate(&inlet, n, 3.2).unwrap();
+        assert!(high.wc_map > low.wc_map, "flow rises toward choke");
+    }
+}

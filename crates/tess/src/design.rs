@@ -1,0 +1,380 @@
+//! Cycle design: the forward design-point calculation.
+//!
+//! An engine model has to be *consistent* before it can be balanced: the
+//! component maps, turbine expansion ratios, and nozzle area must all
+//! agree at the design point, or the solver is chasing a contradiction.
+//! [`CycleDesign::design_point`] performs the classical forward cycle
+//! calculation — inlet → fan → split → HPC → bleed → combustor → HPT
+//! (sized to drive the HPC) → LPT (sized to drive the fan) → mixer →
+//! nozzle (area sized to pass the design flow) — and returns every
+//! station state and derived quantity. The engine builder then
+//! synthesizes maps anchored exactly at those values, which is what makes
+//! the Newton balance converge from the design guess in a handful of
+//! iterations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::{Bleed, Combustor, Duct, Inlet, MixingVolume, Nozzle, Splitter};
+use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, P_STD, T_STD};
+
+/// Design-point requirements and component quality assumptions for a
+/// twin-spool mixed-flow turbofan (F100 class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleDesign {
+    /// Total inlet mass flow, kg/s.
+    pub w2: f64,
+    /// Bypass ratio.
+    pub bpr: f64,
+    /// Fan pressure ratio.
+    pub fpr: f64,
+    /// High-pressure compressor pressure ratio.
+    pub hpc_pr: f64,
+    /// Combustor exit (turbine inlet) temperature, K.
+    pub t4: f64,
+    /// Fan polytropic quality, as isentropic efficiency at design.
+    pub fan_eff: f64,
+    /// HPC isentropic efficiency at design.
+    pub hpc_eff: f64,
+    /// HPT isentropic efficiency at design.
+    pub hpt_eff: f64,
+    /// LPT isentropic efficiency at design.
+    pub lpt_eff: f64,
+    /// Inlet ram recovery.
+    pub ram_recovery: f64,
+    /// Combustion efficiency.
+    pub comb_eta: f64,
+    /// Combustor pressure-loss fraction.
+    pub comb_dp: f64,
+    /// Bypass-duct pressure-loss fraction.
+    pub bypass_dp: f64,
+    /// Mixer pressure-loss fraction.
+    pub mixer_dp: f64,
+    /// Tailpipe pressure-loss fraction.
+    pub tailpipe_dp: f64,
+    /// Overboard bleed fraction at HPC exit.
+    pub bleed_frac: f64,
+    /// Mechanical efficiency of each spool.
+    pub mech_eff: f64,
+    /// Low spool design speed, RPM.
+    pub n1_design: f64,
+    /// High spool design speed, RPM.
+    pub n2_design: f64,
+    /// Low spool inertia, kg·m².
+    pub i1: f64,
+    /// High spool inertia, kg·m².
+    pub i2: f64,
+    /// Nozzle discharge coefficient.
+    pub nozzle_cd: f64,
+    /// Nozzle velocity coefficient.
+    pub nozzle_cv: f64,
+}
+
+impl CycleDesign {
+    /// A commercial high-bypass mixed-flow turbofan (CFM56-mixer class):
+    /// the second entry in the executive's "choice of complete engine
+    /// simulations". Bigger fan, modest fan pressure ratio, higher
+    /// overall pressure ratio, cooler turbine — trading specific thrust
+    /// for specific fuel consumption.
+    pub fn high_bypass_class() -> Self {
+        Self {
+            w2: 180.0,
+            bpr: 4.5,
+            fpr: 1.7,
+            hpc_pr: 14.0,
+            t4: 1450.0,
+            fan_eff: 0.89,
+            hpc_eff: 0.86,
+            hpt_eff: 0.89,
+            lpt_eff: 0.90,
+            ram_recovery: 0.995,
+            comb_eta: 0.998,
+            comb_dp: 0.04,
+            bypass_dp: 0.015,
+            mixer_dp: 0.008,
+            tailpipe_dp: 0.008,
+            bleed_frac: 0.02,
+            mech_eff: 0.99,
+            n1_design: 5_200.0,
+            n2_design: 14_500.0,
+            i1: 60.0,
+            i2: 8.0,
+            nozzle_cd: 0.985,
+            nozzle_cv: 0.985,
+        }
+    }
+
+    /// An F100-class low-bypass afterburning turbofan (afterburner dry).
+    pub fn f100_class() -> Self {
+        Self {
+            w2: 100.0,
+            bpr: 0.7,
+            fpr: 3.0,
+            hpc_pr: 8.0,
+            t4: 1600.0,
+            fan_eff: 0.86,
+            hpc_eff: 0.84,
+            hpt_eff: 0.88,
+            lpt_eff: 0.89,
+            ram_recovery: 0.99,
+            comb_eta: 0.995,
+            comb_dp: 0.05,
+            bypass_dp: 0.02,
+            mixer_dp: 0.01,
+            tailpipe_dp: 0.01,
+            bleed_frac: 0.03,
+            mech_eff: 0.99,
+            n1_design: 10_000.0,
+            n2_design: 14_000.0,
+            i1: 9.0,
+            i2: 4.5,
+            nozzle_cd: 0.98,
+            nozzle_cv: 0.98,
+        }
+    }
+}
+
+/// Everything the forward design calculation produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Engine face.
+    pub st2: GasState,
+    /// Fan exit (whole flow).
+    pub st21: GasState,
+    /// Core stream at HPC face.
+    pub st25: GasState,
+    /// Bypass stream after the bypass duct.
+    pub st16: GasState,
+    /// HPC exit.
+    pub st3: GasState,
+    /// After bleed extraction.
+    pub st3m: GasState,
+    /// Combustor exit.
+    pub st4: GasState,
+    /// HPT exit.
+    pub st45: GasState,
+    /// LPT exit.
+    pub st5: GasState,
+    /// Mixer exit.
+    pub st6: GasState,
+    /// Nozzle face.
+    pub st7: GasState,
+    /// Design fuel flow, kg/s.
+    pub wf: f64,
+    /// Fan shaft power, W.
+    pub p_fan: f64,
+    /// HPC shaft power, W.
+    pub p_hpc: f64,
+    /// HPT shaft power, W.
+    pub p_hpt: f64,
+    /// LPT shaft power, W.
+    pub p_lpt: f64,
+    /// HPT total expansion ratio.
+    pub er_hpt: f64,
+    /// LPT total expansion ratio.
+    pub er_lpt: f64,
+    /// Nozzle throat area, m².
+    pub nozzle_area: f64,
+    /// Net thrust at the (static, sea-level) design point, N.
+    pub thrust: f64,
+    /// Thrust-specific fuel consumption, kg/(N·s).
+    pub sfc: f64,
+}
+
+/// Compression through a given PR at a given isentropic efficiency.
+fn compress(inlet: &GasState, pr: f64, eff: f64) -> (GasState, f64) {
+    let t2s = isentropic_temperature(inlet.tt, pr, inlet.far);
+    let dh = (enthalpy(t2s, inlet.far) - enthalpy(inlet.tt, inlet.far)) / eff;
+    let tt = temperature_from_enthalpy(enthalpy(inlet.tt, inlet.far) + dh, inlet.far);
+    (GasState::new(inlet.w, tt, inlet.pt * pr, inlet.far), inlet.w * dh)
+}
+
+/// Find the turbine expansion ratio delivering specific work `dh_needed`
+/// at efficiency `eff`, by bisection (Δh is monotone in ER).
+fn expansion_ratio_for_work(inlet: &GasState, dh_needed: f64, eff: f64) -> Result<f64, String> {
+    let dh_at = |er: f64| {
+        let ts = isentropic_temperature(inlet.tt, 1.0 / er, inlet.far);
+        eff * (enthalpy(inlet.tt, inlet.far) - enthalpy(ts, inlet.far))
+    };
+    let (mut lo, mut hi) = (1.01, 12.0);
+    if dh_at(hi) < dh_needed {
+        return Err(format!(
+            "turbine cannot deliver {dh_needed:.0} J/kg even at ER {hi}"
+        ));
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if dh_at(mid) < dh_needed {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Turbine exit state after removing specific work `dh` across `er`.
+fn expand(inlet: &GasState, er: f64, dh: f64) -> GasState {
+    let tt = temperature_from_enthalpy(enthalpy(inlet.tt, inlet.far) - dh, inlet.far);
+    GasState::new(inlet.w, tt, inlet.pt / er, inlet.far)
+}
+
+impl CycleDesign {
+    /// Run the forward design calculation at sea-level static standard
+    /// day.
+    pub fn design_point(&self) -> Result<DesignPoint, String> {
+        self.forward_cycle(self.w2, self.t4)
+    }
+
+    /// The forward cycle calculation at an arbitrary inlet flow and
+    /// turbine-inlet temperature — the paper's **level 1** fidelity: a
+    /// steady-state thermodynamic model with fixed component qualities
+    /// and no component maps.
+    pub fn forward_cycle(&self, w2: f64, t4: f64) -> Result<DesignPoint, String> {
+        let inlet = Inlet::new(self.ram_recovery);
+        let st2 = inlet.capture(T_STD, P_STD, 0.0, w2);
+
+        let (st21, p_fan) = compress(&st2, self.fpr, self.fan_eff);
+        let (core, bypass) = Splitter::new(self.bpr).split(&st21);
+        let st25 = core;
+        let st16 = Duct::new(self.bypass_dp).flow(&bypass, 0.0);
+
+        let (st3, p_hpc) = compress(&st25, self.hpc_pr, self.hpc_eff);
+        let (st3m, _bleed_flow) = Bleed::new(self.bleed_frac).extract(&st3);
+
+        let combustor = Combustor::new(self.comb_eta, self.comb_dp);
+        let wf = combustor.fuel_for_exit_temperature(&st3m, t4)?;
+        let st4 = combustor.burn(&st3m, wf)?;
+
+        // Size the HPT to drive the HPC, the LPT to drive the fan.
+        let dh_hpt = p_hpc / self.mech_eff / st4.w;
+        let er_hpt = expansion_ratio_for_work(&st4, dh_hpt, self.hpt_eff)?;
+        let st45 = expand(&st4, er_hpt, dh_hpt);
+        let p_hpt = dh_hpt * st4.w;
+
+        let dh_lpt = p_fan / self.mech_eff / st45.w;
+        let er_lpt = expansion_ratio_for_work(&st45, dh_lpt, self.lpt_eff)?;
+        let st5 = expand(&st45, er_lpt, dh_lpt);
+        let p_lpt = dh_lpt * st45.w;
+
+        let st6 = MixingVolume::new(0.6, self.mixer_dp).mix(&st5, &st16);
+        let st7 = Duct::new(self.tailpipe_dp).flow(&st6, 0.0);
+
+        // Size the nozzle throat to pass exactly the design flow.
+        let probe = Nozzle::new(1.0, self.nozzle_cd, self.nozzle_cv)
+            .operate(&st7, P_STD, None)?;
+        let nozzle_area = st7.w / probe.w_capacity;
+        let nozzle = Nozzle::new(nozzle_area, self.nozzle_cd, self.nozzle_cv);
+        let nz = nozzle.operate(&st7, P_STD, None)?;
+
+        let thrust = nz.gross_thrust; // static: no ram drag
+        Ok(DesignPoint {
+            st2,
+            st21,
+            st25,
+            st16,
+            st3,
+            st3m,
+            st4,
+            st45,
+            st5,
+            st6,
+            st7,
+            wf,
+            p_fan,
+            p_hpc,
+            p_hpt,
+            p_lpt,
+            er_hpt,
+            er_lpt,
+            nozzle_area,
+            thrust,
+            sfc: wf / thrust,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp() -> DesignPoint {
+        CycleDesign::f100_class().design_point().unwrap()
+    }
+
+    #[test]
+    fn stations_are_thermodynamically_ordered() {
+        let d = dp();
+        assert!(d.st21.tt > d.st2.tt, "fan heats");
+        assert!(d.st3.tt > d.st25.tt, "HPC heats");
+        assert!((d.st4.tt - 1600.0).abs() < 0.5, "TIT hit: {}", d.st4.tt);
+        assert!(d.st45.tt < d.st4.tt, "HPT cools");
+        assert!(d.st5.tt < d.st45.tt, "LPT cools");
+        assert!(d.st21.pt > d.st2.pt);
+        assert!(d.st3.pt > d.st21.pt);
+        assert!(d.st4.pt < d.st3.pt, "combustor loses pressure");
+        assert!(d.st5.pt < d.st45.pt);
+    }
+
+    #[test]
+    fn mass_books_balance() {
+        let d = dp();
+        // Core + bypass = inlet flow.
+        assert!((d.st25.w + d.st16.w / 1.0 - d.w_total_check()).abs() < 1e-9);
+        // Nozzle flow = inlet − bleed + fuel.
+        let expect = 100.0 - d.st3.w * 0.03 + d.wf;
+        assert!((d.st7.w - expect).abs() < 1e-9, "{} vs {expect}", d.st7.w);
+    }
+
+    impl DesignPoint {
+        fn w_total_check(&self) -> f64 {
+            self.st2.w
+        }
+    }
+
+    #[test]
+    fn turbines_exactly_drive_their_spools() {
+        let d = dp();
+        let mech = 0.99;
+        assert!((d.p_hpt * mech - d.p_hpc).abs() / d.p_hpc < 1e-9);
+        assert!((d.p_lpt * mech - d.p_fan).abs() / d.p_fan < 1e-9);
+    }
+
+    #[test]
+    fn overall_numbers_in_f100_ballpark() {
+        let d = dp();
+        // ~100 kg/s low-bypass mixed turbofan, dry: thrust 60–90 kN,
+        // SFC 0.55–0.95 kg/(daN·h) → 1.5e-5..2.7e-5 kg/(N·s).
+        assert!((50_000.0..100_000.0).contains(&d.thrust), "thrust {}", d.thrust);
+        assert!((1.2e-5..3.0e-5).contains(&d.sfc), "sfc {}", d.sfc);
+        assert!((1.6..3.6).contains(&d.er_hpt), "er_hpt {}", d.er_hpt);
+        assert!((1.4..4.0).contains(&d.er_lpt), "er_lpt {}", d.er_lpt);
+        assert!((0.08..0.5).contains(&d.nozzle_area), "area {}", d.nozzle_area);
+        assert!((0.8..3.0).contains(&d.wf), "wf {}", d.wf);
+    }
+
+    #[test]
+    fn nozzle_area_passes_design_flow_exactly() {
+        let d = dp();
+        let nz = Nozzle::new(d.nozzle_area, 0.98, 0.98)
+            .operate(&d.st7, P_STD, None)
+            .unwrap();
+        assert!((nz.w_capacity - d.st7.w).abs() / d.st7.w < 1e-9);
+    }
+
+    #[test]
+    fn hotter_t4_needs_more_fuel_and_makes_more_thrust() {
+        let mut hot = CycleDesign::f100_class();
+        hot.t4 = 1700.0;
+        let base = dp();
+        let h = hot.design_point().unwrap();
+        assert!(h.wf > base.wf);
+        assert!(h.thrust > base.thrust);
+    }
+
+    #[test]
+    fn impossible_turbine_demand_is_an_error() {
+        let mut bad = CycleDesign::f100_class();
+        bad.t4 = 700.0; // below the HPC exit temperature: cannot "burn" to it
+        assert!(bad.design_point().is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Fidelity levels and zooming.
+//!
+//! NPSS models engines at five levels of fidelity, from a steady-state
+//! thermodynamic model (level 1) up to three-dimensional time-accurate
+//! codes, with *zooming* — integrating codes at different fidelity into
+//! one simulation — as a major goal. This module provides the two ends
+//! this reproduction supports and the glue between them:
+//!
+//! * [`Level1Cycle`] — the level-1 model: a steady thermodynamic cycle
+//!   with fixed component qualities and simple throttle laws, no maps,
+//!   no dynamics (it is the forward design calculation applied
+//!   off-design);
+//! * the map-based [`Turbofan`](crate::engine::Turbofan) engine with
+//!   transients is the mid-fidelity system model;
+//! * [`ZoomedCompressor`] — zooming *into* one component: the engine's
+//!   balanced boundary conditions feed a stage-by-stage mean-line
+//!   analysis ([`StageStack`](crate::components::stage_stack::StageStack)),
+//!   and the stage results are checked for consistency against the map
+//!   point they refine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::stage_stack::{StageStack, StageState};
+use crate::design::{CycleDesign, DesignPoint};
+use crate::engine::OperatingPoint;
+
+/// The level-1 steady-state thermodynamic model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Level1Cycle {
+    /// The design parameters this model is built from.
+    pub cycle: CycleDesign,
+}
+
+/// One level-1 throttle point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Level1Point {
+    /// Spool-speed fraction the point corresponds to.
+    pub n_frac: f64,
+    /// The cycle solution.
+    pub cycle: DesignPoint,
+}
+
+impl Level1Cycle {
+    /// Build from design parameters.
+    pub fn new(cycle: CycleDesign) -> Self {
+        Self { cycle }
+    }
+
+    /// Evaluate the level-1 model at a spool-speed fraction `n_frac`
+    /// (1.0 = design). Simple similarity laws stand in for the maps:
+    /// corrected flow scales with speed, pressure-rise with speed
+    /// squared, and the throttle line pulls turbine-inlet temperature
+    /// down quadratically.
+    pub fn at_speed(&self, n_frac: f64) -> Result<Level1Point, String> {
+        if !(0.3..=1.15).contains(&n_frac) {
+            return Err(format!("level-1 speed fraction {n_frac} outside model range"));
+        }
+        let mut c = self.cycle.clone();
+        c.w2 = self.cycle.w2 * n_frac;
+        c.fpr = 1.0 + (self.cycle.fpr - 1.0) * n_frac * n_frac;
+        c.hpc_pr = 1.0 + (self.cycle.hpc_pr - 1.0) * n_frac * n_frac;
+        let t4 = self.cycle.t4 * (0.70 + 0.30 * n_frac * n_frac);
+        let cycle = c.forward_cycle(c.w2, t4)?;
+        Ok(Level1Point { n_frac, cycle })
+    }
+
+    /// A throttle sweep (the level-1 "engine deck").
+    pub fn sweep(&self, fractions: &[f64]) -> Result<Vec<Level1Point>, String> {
+        fractions.iter().map(|&n| self.at_speed(n)).collect()
+    }
+}
+
+/// A zoomed view of the high-pressure compressor: the map point refined
+/// into per-stage detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoomedCompressor {
+    /// The calibrated stage stack.
+    pub stack: StageStack,
+    /// The stage states at the zoomed operating point.
+    pub stages: Vec<StageState>,
+    /// Overall PR implied by the stage analysis.
+    pub overall_pr: f64,
+    /// Overall efficiency implied by the stage analysis.
+    pub overall_eff: f64,
+    /// The map-level PR the stages refine (from the engine balance).
+    pub map_pr: f64,
+}
+
+/// Zoom into the HPC at a balanced engine operating point: calibrate an
+/// `n_stages` mean-line stack at the engine's design and analyze it at
+/// the point's actual work level.
+pub fn zoom_hpc(
+    engine: &crate::engine::Turbofan,
+    point: &OperatingPoint,
+    n_stages: usize,
+) -> Result<ZoomedCompressor, String> {
+    let design_inlet = engine.design.st25;
+    let stack = StageStack::calibrate(
+        n_stages,
+        &design_inlet,
+        engine.cycle.hpc_pr,
+        engine.cycle.hpc_eff,
+    )?;
+    // Work level relative to design, from the balanced powers.
+    let work_fraction =
+        (point.p_hpc / point.st25.w) / (engine.design.p_hpc / engine.design.st25.w);
+    let stages = stack.analyze(&point.st25, work_fraction)?;
+    let (overall_pr, overall_eff) = stack.overall(&stages);
+    let map_pr = point.st3.pt / point.st25.pt;
+    Ok(ZoomedCompressor { stack, stages, overall_pr, overall_eff, map_pr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SteadyMethod, Turbofan};
+
+    #[test]
+    fn level1_matches_design_at_full_speed() {
+        let l1 = Level1Cycle::new(CycleDesign::f100_class());
+        let p = l1.at_speed(1.0).unwrap();
+        let d = CycleDesign::f100_class().design_point().unwrap();
+        assert!((p.cycle.thrust - d.thrust).abs() / d.thrust < 1e-9);
+        assert!((p.cycle.wf - d.wf).abs() / d.wf < 1e-9);
+    }
+
+    #[test]
+    fn level1_throttle_sweep_is_monotone() {
+        let l1 = Level1Cycle::new(CycleDesign::f100_class());
+        let sweep = l1.sweep(&[0.85, 0.9, 0.95, 1.0]).unwrap();
+        for w in sweep.windows(2) {
+            assert!(w[1].cycle.thrust > w[0].cycle.thrust, "thrust rises with speed");
+            assert!(w[1].cycle.wf > w[0].cycle.wf, "fuel rises with speed");
+        }
+        assert!(l1.at_speed(0.1).is_err());
+    }
+
+    #[test]
+    fn level1_tracks_full_model_near_design() {
+        // The "compromise between fidelity levels": at matched spool
+        // speed the level-1 deck should be within ~10% of the map-based
+        // model near design.
+        let engine = Turbofan::f100().unwrap();
+        let full = engine.balance(0.97 * engine.design.wf, SteadyMethod::NewtonRaphson).unwrap();
+        let n_frac = full.point.n1 / engine.cycle.n1_design;
+        let l1 = Level1Cycle::new(CycleDesign::f100_class());
+        let p = l1.at_speed(n_frac).unwrap();
+        let rel = (p.cycle.thrust - full.point.thrust).abs() / full.point.thrust;
+        assert!(rel < 0.10, "level-1 off by {rel:.3} at n = {n_frac:.3}");
+    }
+
+    #[test]
+    fn zoom_refines_the_map_point_consistently() {
+        let engine = Turbofan::f100().unwrap();
+        let rep = engine.balance(engine.design.wf, SteadyMethod::NewtonRaphson).unwrap();
+        let zoom = zoom_hpc(&engine, &rep.point, 9).unwrap();
+        assert_eq!(zoom.stages.len(), 9);
+        // At design the stage stack reproduces the map point closely.
+        assert!(
+            (zoom.overall_pr - zoom.map_pr).abs() / zoom.map_pr < 0.02,
+            "stack PR {} vs map PR {}",
+            zoom.overall_pr,
+            zoom.map_pr
+        );
+        assert!((zoom.overall_eff - engine.cycle.hpc_eff).abs() < 0.01);
+        // Inter-stage data is the zoom's value: monotone compression.
+        for w in zoom.stages.windows(2) {
+            assert!(w[1].pt_in > w[0].pt_in);
+        }
+    }
+
+    #[test]
+    fn zoom_off_design_shows_loading_shift() {
+        let engine = Turbofan::f100().unwrap();
+        let rep = engine.balance(0.9 * engine.design.wf, SteadyMethod::NewtonRaphson).unwrap();
+        let zoom = zoom_hpc(&engine, &rep.point, 9).unwrap();
+        // Part power: stages are unloaded relative to design.
+        assert!(zoom.stages[0].loading < 1.0, "loading {}", zoom.stages[0].loading);
+    }
+}

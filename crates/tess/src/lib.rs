@@ -1,0 +1,61 @@
+//! # TESS — the Turbofan Engine System Simulator
+//!
+//! A complete one-dimensional engine simulation in the spirit of the
+//! system the NPSS prototype executive was tested with: each principal
+//! engine component is a model ([`components`]) exchanging gas-path
+//! states; compressors and turbines run on tabulated performance maps
+//! ([`maps`]) loaded from map files; a **system** layer balances the
+//! engine at an operating point with a steady-state solver and then
+//! integrates transients ([`engine`], [`transient`]).
+//!
+//! Solver menu, matching the choices in the TESS system module's control
+//! panel:
+//!
+//! * steady state — Newton–Raphson ([`solver::newton`]) or fourth-order
+//!   Runge–Kutta pseudo-transient relaxation;
+//! * transient — Modified (Improved) Euler, fourth-order Runge–Kutta,
+//!   Adams (AB/AM predictor-corrector), or Gear (BDF) from
+//!   [`solver::ode`].
+//!
+//! Thermodynamics ([`gas`]) use a temperature-dependent specific heat with
+//! proper enthalpy/entropy integrals, so component models behave like
+//! their textbook counterparts rather than constant-γ toys.
+//!
+//! # Example
+//!
+//! Balance the F100-class engine and run a short throttle transient:
+//!
+//! ```
+//! use tess::engine::{SteadyMethod, Turbofan};
+//! use tess::schedules::Schedule;
+//! use tess::transient::{TransientMethod, TransientRun};
+//!
+//! let engine = Turbofan::f100().unwrap();
+//! let report = engine.balance(engine.design.wf, SteadyMethod::NewtonRaphson).unwrap();
+//! assert!(report.residual_norm < 1e-8);
+//!
+//! let wf = engine.design.wf;
+//! let fuel = Schedule::new(vec![(0.0, 0.92 * wf), (0.05, 0.92 * wf), (0.2, wf)]).unwrap();
+//! let mut run = TransientRun::new(engine, fuel, TransientMethod::ImprovedEuler, 0.02);
+//! let result = run.run(0.3).unwrap();
+//! assert!(result.last().thrust > result.samples[0].thrust, "spool-up raises thrust");
+//! ```
+
+pub mod atmosphere;
+pub mod components;
+pub mod design;
+pub mod engine;
+pub mod fidelity;
+pub mod gas;
+pub mod linalg;
+pub mod maps;
+pub mod schedules;
+pub mod solver;
+pub mod transient;
+
+pub use design::{CycleDesign, DesignPoint};
+pub use engine::{BalanceReport, OperatingPoint, SteadyMethod, Turbofan};
+pub use gas::GasState;
+pub use maps::{CompressorMap, TurbineMap};
+pub use schedules::Schedule;
+pub use transient::{TransientMethod, TransientResult, TransientRun};

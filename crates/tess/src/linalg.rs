@@ -1,0 +1,203 @@
+//! Minimal dense linear algebra for the solvers: LU factorization with
+//! partial pivoting, sized for the small systems (≤ ~10 unknowns) the
+//! engine balance produces.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested rows (must be rectangular).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == n_cols), "ragged rows");
+        Self { n_rows, n_cols, data: rows.concat() }
+    }
+
+    /// Rows count.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Columns count.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols);
+        (0..self.n_rows)
+            .map(|i| (0..self.n_cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+/// Error from a singular (or numerically singular) system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Singular;
+
+impl std::fmt::Display for Singular {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for Singular {}
+
+/// Solve `A x = b` in place via LU with partial pivoting. `a` is consumed
+/// as workspace.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, Singular> {
+    let n = a.n_rows();
+    assert_eq!(a.n_cols(), n, "square systems only");
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, a[(r, col)].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        if pivot_val < 1e-300 {
+            return Err(Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot_row, j)];
+                a[(pivot_row, j)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let f = a[(r, col)] / a[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[(r, j)] -= f * a[(col, j)];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in i + 1..n {
+            s -= a[(i, j)] * x[j];
+        }
+        x[i] = s / a[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Euclidean norm.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve(a, b).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(Singular));
+    }
+
+    #[test]
+    fn identity_and_mul_vec() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(a.n_cols(), 2);
+    }
+
+    #[test]
+    fn residual_of_solution_is_tiny() {
+        // A mildly ill-conditioned 5x5.
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..5).map(|j| 1.0 / (1.0 + i as f64 + j as f64)).collect())
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let b = vec![1.0, 0.0, 2.0, -1.0, 0.5];
+        let x = solve(a.clone(), b.clone()).unwrap();
+        let r: Vec<f64> = a
+            .mul_vec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(ax, bi)| ax - bi)
+            .collect();
+        assert!(norm2(&r) < 1e-8, "residual {r:?}");
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+}

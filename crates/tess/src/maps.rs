@@ -1,0 +1,450 @@
+//! Compressor and turbine performance maps.
+//!
+//! TESS selects performance maps for the compressor and turbine modules
+//! through a file-browser widget; the maps are tabular data read from map
+//! files. This module provides:
+//!
+//! * the map structures with bilinear interpolation over their grids;
+//! * a **synthetic map generator** — the substitution for the proprietary
+//!   component maps the real system loaded — producing realistic shapes
+//!   (flow and pressure ratio growing with corrected speed, efficiency
+//!   islands peaked at design) calibrated so the design point sits at
+//!   exactly the requested flow/PR/efficiency;
+//! * a text **map-file format** (writer and parser) so maps genuinely
+//!   travel through per-host file stores.
+//!
+//! Compressor maps are parameterized by corrected speed `nc` (fraction of
+//! design) and beta line `β ∈ [0,1]` (0 = surge side / high PR, 1 = choke
+//! side / high flow). Turbine maps by `nc` and expansion ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular table with bilinear interpolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2D {
+    /// Row coordinates (ascending).
+    pub rows: Vec<f64>,
+    /// Column coordinates (ascending).
+    pub cols: Vec<f64>,
+    /// Values, row-major: `values[i][j]` at `(rows[i], cols[j])`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Table2D {
+    /// Build after validating shape and monotonicity.
+    pub fn new(rows: Vec<f64>, cols: Vec<f64>, values: Vec<Vec<f64>>) -> Result<Self, String> {
+        if rows.len() < 2 || cols.len() < 2 {
+            return Err("table needs at least a 2x2 grid".into());
+        }
+        if !rows.windows(2).all(|w| w[0] < w[1]) || !cols.windows(2).all(|w| w[0] < w[1]) {
+            return Err("table coordinates must be strictly ascending".into());
+        }
+        if values.len() != rows.len() || values.iter().any(|r| r.len() != cols.len()) {
+            return Err("table values shape mismatch".into());
+        }
+        Ok(Self { rows, cols, values })
+    }
+
+    fn bracket(xs: &[f64], x: f64) -> Result<(usize, f64), String> {
+        let lo = *xs.first().unwrap();
+        let hi = *xs.last().unwrap();
+        // A small tolerance absorbs floating-point drift at the edges;
+        // genuinely off-table lookups are errors (off-map operating
+        // point), not silent extrapolations.
+        let tol = 1e-9 * (hi - lo).abs().max(1.0);
+        if x < lo - tol || x > hi + tol {
+            return Err(format!("coordinate {x} outside table range [{lo}, {hi}]"));
+        }
+        let x = x.clamp(lo, hi);
+        let i = match xs.iter().position(|&v| v >= x) {
+            Some(0) => 0,
+            Some(i) => i - 1,
+            None => xs.len() - 2,
+        };
+        let i = i.min(xs.len() - 2);
+        let frac = (x - xs[i]) / (xs[i + 1] - xs[i]);
+        Ok((i, frac))
+    }
+
+    /// Bilinear lookup; errors when off-table.
+    pub fn lookup(&self, row: f64, col: f64) -> Result<f64, String> {
+        let (i, fr) = Self::bracket(&self.rows, row)?;
+        let (j, fc) = Self::bracket(&self.cols, col)?;
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j + 1];
+        let v10 = self.values[i + 1][j];
+        let v11 = self.values[i + 1][j + 1];
+        Ok(v00 * (1.0 - fr) * (1.0 - fc)
+            + v01 * (1.0 - fr) * fc
+            + v10 * fr * (1.0 - fc)
+            + v11 * fr * fc)
+    }
+}
+
+/// A compressor (or fan) map: corrected flow, pressure ratio, and
+/// efficiency as functions of (corrected speed fraction, beta).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressorMap {
+    /// Map title (appears in the file header).
+    pub name: String,
+    /// Corrected flow table, kg/s.
+    pub wc: Table2D,
+    /// Total pressure ratio table.
+    pub pr: Table2D,
+    /// Isentropic efficiency table.
+    pub eff: Table2D,
+}
+
+/// One interpolated compressor operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressorPoint {
+    /// Corrected flow, kg/s.
+    pub wc: f64,
+    /// Pressure ratio.
+    pub pr: f64,
+    /// Isentropic efficiency.
+    pub eff: f64,
+}
+
+impl CompressorMap {
+    /// Generate a synthetic map hitting (`wc_d`, `pr_d`, `eff_d`) exactly
+    /// at `nc = 1, β = 0.5`.
+    pub fn synthetic(name: &str, wc_d: f64, pr_d: f64, eff_d: f64) -> Self {
+        let speeds: Vec<f64> = (0..=12).map(|i| 0.4 + 0.06 * i as f64).collect(); // 0.40..1.12
+        let betas: Vec<f64> = (0..=10).map(|i| 0.1 * i as f64).collect();
+        let mut wc = Vec::new();
+        let mut pr = Vec::new();
+        let mut eff = Vec::new();
+        for &nc in &speeds {
+            let mut wr = Vec::new();
+            let mut pr_row = Vec::new();
+            let mut er = Vec::new();
+            for &b in &betas {
+                // Flow rises with speed and toward the choke side.
+                wr.push(wc_d * nc.powf(1.1) * (0.8 + 0.4 * b));
+                // PR rises ~quadratically with speed, falls toward choke.
+                pr_row.push(1.0 + (pr_d - 1.0) * nc * nc * (1.3 - 0.6 * b));
+                // Efficiency island peaked at design speed and mid-beta.
+                er.push(
+                    (eff_d * (1.0 - 0.35 * (nc - 1.0) * (nc - 1.0))
+                        * (1.0 - 0.45 * (b - 0.5) * (b - 0.5)))
+                        .clamp(0.30, 0.95),
+                );
+            }
+            wc.push(wr);
+            pr.push(pr_row);
+            eff.push(er);
+        }
+        Self {
+            name: name.to_owned(),
+            wc: Table2D::new(speeds.clone(), betas.clone(), wc).expect("valid grid"),
+            pr: Table2D::new(speeds.clone(), betas.clone(), pr).expect("valid grid"),
+            eff: Table2D::new(speeds, betas, eff).expect("valid grid"),
+        }
+    }
+
+    /// Interpolate the operating point at (`nc`, `beta`).
+    pub fn lookup(&self, nc: f64, beta: f64) -> Result<CompressorPoint, String> {
+        Ok(CompressorPoint {
+            wc: self.wc.lookup(nc, beta)?,
+            pr: self.pr.lookup(nc, beta)?,
+            eff: self.eff.lookup(nc, beta)?,
+        })
+    }
+
+    /// Serialize to the TESS map-file text format.
+    pub fn to_map_file(&self) -> String {
+        let mut out = format!("# TESS compressor map: {}\n", self.name);
+        write_table(&mut out, "wc", &self.wc);
+        write_table(&mut out, "pr", &self.pr);
+        write_table(&mut out, "eff", &self.eff);
+        out
+    }
+
+    /// Parse the map-file text format.
+    pub fn from_map_file(src: &str) -> Result<Self, String> {
+        let name = parse_title(src, "compressor")?;
+        let wc = parse_table(src, "wc")?;
+        let pr = parse_table(src, "pr")?;
+        let eff = parse_table(src, "eff")?;
+        Ok(Self { name, wc, pr, eff })
+    }
+}
+
+/// A turbine map: corrected flow and efficiency as functions of
+/// (corrected speed fraction, expansion ratio Pt_in/Pt_out).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TurbineMap {
+    /// Map title.
+    pub name: String,
+    /// Corrected flow table, kg/s.
+    pub wc: Table2D,
+    /// Isentropic efficiency table.
+    pub eff: Table2D,
+}
+
+/// One interpolated turbine operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurbinePoint {
+    /// Corrected flow, kg/s.
+    pub wc: f64,
+    /// Isentropic efficiency.
+    pub eff: f64,
+}
+
+impl TurbineMap {
+    /// Generate a synthetic turbine map hitting (`wc_d`, `eff_d`) exactly
+    /// at design speed and design expansion ratio `er_d`.
+    ///
+    /// The flow law follows Stodola's ellipse: flow rises with expansion
+    /// ratio and chokes; speed dependence is weak.
+    pub fn synthetic(name: &str, wc_d: f64, er_d: f64, eff_d: f64) -> Self {
+        let speeds: Vec<f64> = (0..=8).map(|i| 0.4 + 0.1 * i as f64).collect(); // 0.4..1.2
+        let er_max = (er_d * 2.0).max(er_d + 1.5);
+        // The grid passes exactly through er_d so the design point is an
+        // interpolation node (the anchoring the engine builder relies on).
+        let mut ers: Vec<f64> = (0..=7)
+            .map(|i| 1.02 + (er_d - 1.02) * i as f64 / 7.0)
+            .collect();
+        ers.extend((1..=7).map(|i| er_d + (er_max - er_d) * i as f64 / 7.0));
+        let stodola = |er: f64| (1.0 - (1.0 / (er * er)).min(1.0)).max(1e-6).sqrt();
+        let norm = stodola(er_d);
+        let mut wc = Vec::new();
+        let mut eff = Vec::new();
+        for &nc in &speeds {
+            let mut wr = Vec::new();
+            let mut er_row = Vec::new();
+            for &er in &ers {
+                // Weak speed dependence on swallowing capacity.
+                wr.push(wc_d * stodola(er) / norm * (1.0 - 0.05 * (nc - 1.0)));
+                er_row.push(
+                    (eff_d * (1.0 - 0.30 * (nc - 1.0) * (nc - 1.0))
+                        * (1.0 - 0.08 * (er / er_d - 1.0) * (er / er_d - 1.0)))
+                        .clamp(0.30, 0.95),
+                );
+            }
+            wc.push(wr);
+            eff.push(er_row);
+        }
+        Self {
+            name: name.to_owned(),
+            wc: Table2D::new(speeds.clone(), ers.clone(), wc).expect("valid grid"),
+            eff: Table2D::new(speeds, ers, eff).expect("valid grid"),
+        }
+    }
+
+    /// Interpolate the operating point at (`nc`, expansion ratio `er`).
+    pub fn lookup(&self, nc: f64, er: f64) -> Result<TurbinePoint, String> {
+        Ok(TurbinePoint { wc: self.wc.lookup(nc, er)?, eff: self.eff.lookup(nc, er)? })
+    }
+
+    /// Serialize to the TESS map-file text format.
+    pub fn to_map_file(&self) -> String {
+        let mut out = format!("# TESS turbine map: {}\n", self.name);
+        write_table(&mut out, "wc", &self.wc);
+        write_table(&mut out, "eff", &self.eff);
+        out
+    }
+
+    /// Parse the map-file text format.
+    pub fn from_map_file(src: &str) -> Result<Self, String> {
+        let name = parse_title(src, "turbine")?;
+        let wc = parse_table(src, "wc")?;
+        let eff = parse_table(src, "eff")?;
+        Ok(Self { name, wc, eff })
+    }
+}
+
+fn write_table(out: &mut String, tag: &str, t: &Table2D) {
+    out.push_str(&format!("table {tag}\n"));
+    out.push_str("rows");
+    for r in &t.rows {
+        out.push_str(&format!(" {r:.10}"));
+    }
+    out.push('\n');
+    out.push_str("cols");
+    for c in &t.cols {
+        out.push_str(&format!(" {c:.10}"));
+    }
+    out.push('\n');
+    for row in &t.values {
+        out.push_str("  ");
+        for v in row {
+            out.push_str(&format!(" {v:.10}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+}
+
+fn parse_title(src: &str, kind: &str) -> Result<String, String> {
+    let first = src.lines().next().unwrap_or_default();
+    let marker = format!("# TESS {kind} map: ");
+    first
+        .strip_prefix(&marker)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("not a TESS {kind} map file"))
+}
+
+fn parse_floats(line: &str, skip: usize) -> Result<Vec<f64>, String> {
+    line.split_whitespace()
+        .skip(skip)
+        .map(|t| t.parse::<f64>().map_err(|e| format!("bad number '{t}': {e}")))
+        .collect()
+}
+
+fn parse_table(src: &str, tag: &str) -> Result<Table2D, String> {
+    let mut lines = src.lines();
+    // Find the table header.
+    for line in lines.by_ref() {
+        if line.trim() == format!("table {tag}") {
+            break;
+        }
+    }
+    let rows_line = lines.next().ok_or_else(|| format!("table {tag}: missing rows"))?;
+    if !rows_line.starts_with("rows") {
+        return Err(format!("table {tag}: expected 'rows' line"));
+    }
+    let rows = parse_floats(rows_line, 1)?;
+    let cols_line = lines.next().ok_or_else(|| format!("table {tag}: missing cols"))?;
+    if !cols_line.starts_with("cols") {
+        return Err(format!("table {tag}: expected 'cols' line"));
+    }
+    let cols = parse_floats(cols_line, 1)?;
+    let mut values = Vec::new();
+    for line in lines {
+        if line.trim() == "end" {
+            return Table2D::new(rows, cols, values);
+        }
+        values.push(parse_floats(line, 0)?);
+    }
+    Err(format!("table {tag}: missing 'end'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_interpolates_bilinearly() {
+        let t = Table2D::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![vec![0.0, 1.0], vec![2.0, 3.0]],
+        )
+        .unwrap();
+        assert_eq!(t.lookup(0.0, 0.0).unwrap(), 0.0);
+        assert_eq!(t.lookup(1.0, 1.0).unwrap(), 3.0);
+        assert_eq!(t.lookup(0.5, 0.5).unwrap(), 1.5);
+        assert_eq!(t.lookup(0.25, 0.75).unwrap(), 0.25 * 2.0 + 0.75 * 1.0);
+    }
+
+    #[test]
+    fn table_rejects_off_grid_lookup() {
+        let t = Table2D::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![vec![0.0, 1.0], vec![2.0, 3.0]],
+        )
+        .unwrap();
+        assert!(t.lookup(-0.1, 0.5).is_err());
+        assert!(t.lookup(0.5, 1.1).is_err());
+    }
+
+    #[test]
+    fn table_rejects_bad_shapes() {
+        assert!(Table2D::new(vec![0.0], vec![0.0, 1.0], vec![vec![1.0, 2.0]]).is_err());
+        assert!(Table2D::new(
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+        )
+        .is_err());
+        assert!(Table2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn synthetic_compressor_hits_design_point() {
+        let m = CompressorMap::synthetic("fan", 100.0, 3.0, 0.86);
+        let p = m.lookup(1.0, 0.5).unwrap();
+        assert!((p.wc - 100.0).abs() < 1e-6, "wc {}", p.wc);
+        assert!((p.pr - 3.0).abs() < 1e-6, "pr {}", p.pr);
+        assert!((p.eff - 0.86).abs() < 1e-6, "eff {}", p.eff);
+    }
+
+    #[test]
+    fn compressor_map_shapes_are_physical() {
+        let m = CompressorMap::synthetic("hpc", 30.0, 8.0, 0.84);
+        // Flow and PR rise with speed at fixed beta.
+        let lo = m.lookup(0.7, 0.5).unwrap();
+        let hi = m.lookup(1.05, 0.5).unwrap();
+        assert!(hi.wc > lo.wc);
+        assert!(hi.pr > lo.pr);
+        // Along a speed line: more beta = more flow, less PR.
+        let surge = m.lookup(1.0, 0.1).unwrap();
+        let choke = m.lookup(1.0, 0.9).unwrap();
+        assert!(choke.wc > surge.wc);
+        assert!(surge.pr > choke.pr);
+        // Efficiency peaks near design.
+        let design = m.lookup(1.0, 0.5).unwrap();
+        assert!(design.eff > m.lookup(0.6, 0.5).unwrap().eff);
+        assert!(design.eff > m.lookup(1.0, 0.95).unwrap().eff);
+    }
+
+    #[test]
+    fn synthetic_turbine_hits_design_point() {
+        let m = TurbineMap::synthetic("hpt", 25.0, 3.2, 0.88);
+        let p = m.lookup(1.0, 3.2).unwrap();
+        assert!((p.wc - 25.0).abs() < 1e-6, "wc {}", p.wc);
+        assert!((p.eff - 0.88).abs() < 1e-6, "eff {}", p.eff);
+    }
+
+    #[test]
+    fn turbine_flow_chokes_with_expansion_ratio() {
+        let m = TurbineMap::synthetic("lpt", 25.0, 3.0, 0.89);
+        let w_low = m.lookup(1.0, 1.5).unwrap().wc;
+        let w_mid = m.lookup(1.0, 3.0).unwrap().wc;
+        let w_high = m.lookup(1.0, 5.0).unwrap().wc;
+        assert!(w_low < w_mid, "flow should rise toward choke");
+        // Beyond design the ellipse flattens: increase is small.
+        assert!((w_high - w_mid) / w_mid < 0.10, "{w_mid} -> {w_high}");
+    }
+
+    #[test]
+    fn compressor_map_file_round_trips() {
+        let m = CompressorMap::synthetic("fan", 100.0, 3.0, 0.86);
+        let text = m.to_map_file();
+        let back = CompressorMap::from_map_file(&text).unwrap();
+        assert_eq!(back.name, m.name);
+        // Interpolation results agree everywhere we probe.
+        for nc in [0.5, 0.8, 1.0, 1.1] {
+            for b in [0.0, 0.3, 0.7, 1.0] {
+                let a = m.lookup(nc, b).unwrap();
+                let c = back.lookup(nc, b).unwrap();
+                assert!((a.wc - c.wc).abs() < 1e-6);
+                assert!((a.pr - c.pr).abs() < 1e-6);
+                assert!((a.eff - c.eff).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn turbine_map_file_round_trips() {
+        let m = TurbineMap::synthetic("hpt", 25.0, 3.2, 0.88);
+        let text = m.to_map_file();
+        let back = TurbineMap::from_map_file(&text).unwrap();
+        let a = m.lookup(0.9, 2.5).unwrap();
+        let c = back.lookup(0.9, 2.5).unwrap();
+        assert!((a.wc - c.wc).abs() < 1e-6);
+        assert!((a.eff - c.eff).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_file_parser_rejects_garbage() {
+        assert!(CompressorMap::from_map_file("not a map").is_err());
+        assert!(TurbineMap::from_map_file("# TESS turbine map: x\ntable wc\nrows 1 2\n").is_err());
+        // Compressor parser refuses a turbine file.
+        let t = TurbineMap::synthetic("t", 25.0, 3.0, 0.88).to_map_file();
+        assert!(CompressorMap::from_map_file(&t).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Numerical solvers: Newton–Raphson for steady-state balancing and the
+//! transient integrator menu.
+
+pub mod newton;
+pub mod ode;
+
+pub use newton::{newton_solve, NewtonError, NewtonOptions, NewtonReport};
+pub use ode::{AdamsBashforthMoulton, GearBdf2, ImprovedEuler, Integrator, RungeKutta4};

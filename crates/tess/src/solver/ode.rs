@@ -1,0 +1,422 @@
+//! The transient integrator menu.
+//!
+//! The TESS system module lets the user choose the transient solution
+//! method: **Modified (Improved) Euler**, **fourth-order Runge–Kutta**,
+//! **Adams** (Adams–Bashforth–Moulton predictor-corrector), or **Gear**
+//! (backward differentiation, for stiffness). All four are implemented
+//! against a common single-step interface so the engine transient loop is
+//! method-agnostic.
+
+use crate::linalg::{solve, Matrix};
+
+/// The right-hand side of an ODE system: `dydt = f(t, y)`.
+///
+/// Evaluations may fail (an engine operating point can fall off its maps);
+/// failures abort the step.
+pub type Rhs<'a> = &'a mut dyn FnMut(f64, &[f64], &mut [f64]) -> Result<(), String>;
+
+/// A single-step (or multi-step with internal history) integrator.
+pub trait Integrator {
+    /// Display name, as it would appear in the solver widget.
+    fn name(&self) -> &'static str;
+
+    /// Formal order of accuracy.
+    fn order(&self) -> usize;
+
+    /// Forget internal history (call when restarting a transient or
+    /// changing the step size for multi-step methods).
+    fn reset(&mut self);
+
+    /// Advance `y` from `t` to `t + dt` in place.
+    fn step(&mut self, f: Rhs<'_>, t: f64, y: &mut [f64], dt: f64) -> Result<(), String>;
+}
+
+fn axpy(y: &[f64], a: f64, x: &[f64]) -> Vec<f64> {
+    y.iter().zip(x).map(|(yi, xi)| yi + a * xi).collect()
+}
+
+/// Modified (Improved) Euler — Heun's second-order predictor-corrector.
+#[derive(Debug, Default, Clone)]
+pub struct ImprovedEuler;
+
+impl Integrator for ImprovedEuler {
+    fn name(&self) -> &'static str {
+        "Improved Euler"
+    }
+
+    fn order(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) {}
+
+    fn step(&mut self, f: Rhs<'_>, t: f64, y: &mut [f64], dt: f64) -> Result<(), String> {
+        let n = y.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        f(t, y, &mut k1)?;
+        let yp = axpy(y, dt, &k1);
+        f(t + dt, &yp, &mut k2)?;
+        for i in 0..n {
+            y[i] += dt / 2.0 * (k1[i] + k2[i]);
+        }
+        Ok(())
+    }
+}
+
+/// Classic fourth-order Runge–Kutta.
+#[derive(Debug, Default, Clone)]
+pub struct RungeKutta4;
+
+impl Integrator for RungeKutta4 {
+    fn name(&self) -> &'static str {
+        "Fourth-order Runge-Kutta"
+    }
+
+    fn order(&self) -> usize {
+        4
+    }
+
+    fn reset(&mut self) {}
+
+    fn step(&mut self, f: Rhs<'_>, t: f64, y: &mut [f64], dt: f64) -> Result<(), String> {
+        let n = y.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        f(t, y, &mut k1)?;
+        f(t + dt / 2.0, &axpy(y, dt / 2.0, &k1), &mut k2)?;
+        f(t + dt / 2.0, &axpy(y, dt / 2.0, &k2), &mut k3)?;
+        f(t + dt, &axpy(y, dt, &k3), &mut k4)?;
+        for i in 0..n {
+            y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        Ok(())
+    }
+}
+
+/// Adams–Bashforth–Moulton fourth-order predictor-corrector (PECE), with
+/// Runge–Kutta startup for the first three steps. Assumes a fixed step
+/// size between resets.
+#[derive(Debug, Default, Clone)]
+pub struct AdamsBashforthMoulton {
+    /// Derivative history, most recent last: f(t_{n-3}) … f(t_n).
+    history: Vec<Vec<f64>>,
+    last_dt: Option<f64>,
+}
+
+impl Integrator for AdamsBashforthMoulton {
+    fn name(&self) -> &'static str {
+        "Adams"
+    }
+
+    fn order(&self) -> usize {
+        4
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.last_dt = None;
+    }
+
+    fn step(&mut self, f: Rhs<'_>, t: f64, y: &mut [f64], dt: f64) -> Result<(), String> {
+        if let Some(prev) = self.last_dt {
+            if (prev - dt).abs() > 1e-12 * dt.abs().max(1.0) {
+                // Step size changed: history is invalid.
+                self.reset();
+            }
+        }
+        self.last_dt = Some(dt);
+
+        let n = y.len();
+        let mut fn_now = vec![0.0; n];
+        f(t, y, &mut fn_now)?;
+
+        if self.history.len() < 3 {
+            // Startup: single-step RK4 while building history.
+            self.history.push(fn_now);
+            let mut rk = RungeKutta4;
+            return rk.step(f, t, y, dt);
+        }
+
+        self.history.push(fn_now);
+        if self.history.len() > 4 {
+            self.history.remove(0);
+        }
+        let h = &self.history;
+        let (f3, f2, f1, f0) = (&h[0], &h[1], &h[2], &h[3]); // f0 = newest
+
+        // AB4 predictor.
+        let mut yp = vec![0.0; n];
+        for i in 0..n {
+            yp[i] = y[i]
+                + dt / 24.0 * (55.0 * f0[i] - 59.0 * f1[i] + 37.0 * f2[i] - 9.0 * f3[i]);
+        }
+        // Evaluate at the predicted point, then AM4 corrector.
+        let mut fp = vec![0.0; n];
+        f(t + dt, &yp, &mut fp)?;
+        for i in 0..n {
+            y[i] += dt / 24.0 * (9.0 * fp[i] + 19.0 * f0[i] - 5.0 * f1[i] + f2[i]);
+        }
+        Ok(())
+    }
+}
+
+/// Gear's method: second-order backward differentiation (BDF2), implicit,
+/// with a finite-difference Newton solve per step and a backward-Euler
+/// first step. The stable choice for stiff spool/volume dynamics.
+#[derive(Debug, Default, Clone)]
+pub struct GearBdf2 {
+    /// y_{n-1}, for the two-step formula.
+    prev: Option<Vec<f64>>,
+    last_dt: Option<f64>,
+}
+
+impl GearBdf2 {
+    /// Solve `y_new - beta*dt*f(t_new, y_new) = rhs` by damped Newton with
+    /// a finite-difference Jacobian.
+    fn implicit_solve(
+        f: Rhs<'_>,
+        t_new: f64,
+        beta: f64,
+        dt: f64,
+        rhs: &[f64],
+        guess: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        let n = rhs.len();
+        let mut y = guess.to_vec();
+        let mut fy = vec![0.0; n];
+        for _ in 0..30 {
+            f(t_new, &y, &mut fy)?;
+            let g: Vec<f64> = (0..n).map(|i| y[i] - beta * dt * fy[i] - rhs[i]).collect();
+            let gnorm = g.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let scale = 1.0 + y.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if gnorm < 1e-12 * scale {
+                return Ok(y);
+            }
+            // J = I - beta*dt*df/dy via forward differences.
+            let mut jac = Matrix::identity(n);
+            let mut fp = vec![0.0; n];
+            for j in 0..n {
+                let h = 1e-7 * y[j].abs().max(1e-4);
+                let mut yp = y.clone();
+                yp[j] += h;
+                f(t_new, &yp, &mut fp)?;
+                for i in 0..n {
+                    jac[(i, j)] -= beta * dt * (fp[i] - fy[i]) / h;
+                }
+            }
+            let dy = solve(jac, g.iter().map(|x| -x).collect())
+                .map_err(|_| "singular Jacobian in Gear step".to_string())?;
+            for i in 0..n {
+                y[i] += dy[i];
+            }
+        }
+        Err("Gear corrector did not converge".to_string())
+    }
+}
+
+impl Integrator for GearBdf2 {
+    fn name(&self) -> &'static str {
+        "Gear"
+    }
+
+    fn order(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) {
+        self.prev = None;
+        self.last_dt = None;
+    }
+
+    fn step(&mut self, f: Rhs<'_>, t: f64, y: &mut [f64], dt: f64) -> Result<(), String> {
+        if let Some(prev_dt) = self.last_dt {
+            if (prev_dt - dt).abs() > 1e-12 * dt.abs().max(1.0) {
+                self.reset();
+            }
+        }
+        self.last_dt = Some(dt);
+
+        let y_n = y.to_vec();
+        let y_new = match &self.prev {
+            None => {
+                // Backward Euler startup: y1 - dt f(t1, y1) = y0.
+                Self::implicit_solve(f, t + dt, 1.0, dt, &y_n, &y_n)?
+            }
+            Some(y_nm1) => {
+                // BDF2: y_{n+1} - (2/3)dt f = (4 y_n - y_{n-1})/3.
+                let rhs: Vec<f64> = y_n
+                    .iter()
+                    .zip(y_nm1)
+                    .map(|(a, b)| (4.0 * a - b) / 3.0)
+                    .collect();
+                Self::implicit_solve(f, t + dt, 2.0 / 3.0, dt, &rhs, &y_n)?
+            }
+        };
+        self.prev = Some(y_n);
+        y.copy_from_slice(&y_new);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Integrate y' = f over [0, 1] with fixed steps, returning y(1).
+    fn run(integ: &mut dyn Integrator, f: Rhs<'_>, y0: &[f64], steps: usize) -> Vec<f64> {
+        integ.reset();
+        let dt = 1.0 / steps as f64;
+        let mut y = y0.to_vec();
+        let mut t = 0.0;
+        for _ in 0..steps {
+            integ.step(f, t, &mut y, dt).unwrap();
+            t += dt;
+        }
+        y
+    }
+
+    /// Error of integrating y' = -y, y(0)=1 to t=1 (exact: e^-1).
+    fn decay_error(integ: &mut dyn Integrator, steps: usize) -> f64 {
+        let mut f = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -y[0];
+            Ok(())
+        };
+        let y = run(integ, &mut f, &[1.0], steps);
+        (y[0] - (-1.0f64).exp()).abs()
+    }
+
+    fn observed_order(integ: &mut dyn Integrator) -> f64 {
+        let e1 = decay_error(integ, 40);
+        let e2 = decay_error(integ, 80);
+        (e1 / e2).log2()
+    }
+
+    #[test]
+    fn improved_euler_is_second_order() {
+        let p = observed_order(&mut ImprovedEuler);
+        assert!((1.7..2.3).contains(&p), "observed order {p}");
+    }
+
+    #[test]
+    fn rk4_is_fourth_order() {
+        let p = observed_order(&mut RungeKutta4);
+        assert!((3.6..4.4).contains(&p), "observed order {p}");
+    }
+
+    #[test]
+    fn adams_is_high_order() {
+        let p = observed_order(&mut AdamsBashforthMoulton::default());
+        assert!(p > 3.0, "observed order {p}");
+    }
+
+    #[test]
+    fn gear_is_second_order() {
+        let p = observed_order(&mut GearBdf2::default());
+        assert!((1.6..2.4).contains(&p), "observed order {p}");
+    }
+
+    #[test]
+    fn all_methods_agree_on_smooth_problem() {
+        // y' = cos(t), y(0) = 0 → y(1) = sin(1).
+        let exact = 1.0f64.sin();
+        let methods: Vec<Box<dyn Integrator>> = vec![
+            Box::new(ImprovedEuler),
+            Box::new(RungeKutta4),
+            Box::new(AdamsBashforthMoulton::default()),
+            Box::new(GearBdf2::default()),
+        ];
+        for mut m in methods {
+            let mut f = |t: f64, _y: &[f64], d: &mut [f64]| {
+                d[0] = t.cos();
+                Ok(())
+            };
+            let y = run(m.as_mut(), &mut f, &[0.0], 200);
+            assert!(
+                (y[0] - exact).abs() < 1e-3,
+                "{}: {} vs {exact}",
+                m.name(),
+                y[0]
+            );
+        }
+    }
+
+    #[test]
+    fn gear_is_stable_where_rk4_explodes() {
+        // Stiff decay y' = -1000 y with dt = 0.01 (RK4 stability limit is
+        // |λ| dt ≲ 2.78, here λ dt = -10).
+        let mut f = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -1000.0 * y[0];
+            Ok(())
+        };
+        let rk = run(&mut RungeKutta4, &mut f, &[1.0], 100);
+        assert!(rk[0].abs() > 1.0, "RK4 should be unstable here, got {}", rk[0]);
+        let gear = run(&mut GearBdf2::default(), &mut f, &[1.0], 100);
+        assert!(gear[0].abs() < 1e-3, "Gear should decay, got {}", gear[0]);
+    }
+
+    #[test]
+    fn coupled_oscillator_energy_roughly_conserved_by_rk4() {
+        // y'' = -y as a system; energy drift over one period should be
+        // tiny for RK4 at this resolution.
+        let mut f = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = y[1];
+            d[1] = -y[0];
+            Ok(())
+        };
+        let mut y = vec![1.0, 0.0];
+        let steps = 1000;
+        let dt = std::f64::consts::TAU / steps as f64;
+        let mut t = 0.0;
+        let mut rk = RungeKutta4;
+        for _ in 0..steps {
+            rk.step(&mut f, t, &mut y, dt).unwrap();
+            t += dt;
+        }
+        assert!((y[0] - 1.0).abs() < 1e-6, "after one period: {y:?}");
+        assert!(y[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn rhs_failure_aborts_step() {
+        let mut f = |_t: f64, _y: &[f64], _d: &mut [f64]| Err("off the map".to_string());
+        let mut y = vec![1.0];
+        for mut m in [
+            Box::new(ImprovedEuler) as Box<dyn Integrator>,
+            Box::new(RungeKutta4),
+            Box::new(AdamsBashforthMoulton::default()),
+            Box::new(GearBdf2::default()),
+        ] {
+            assert!(m.step(&mut f, 0.0, &mut y, 0.1).is_err(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn adams_resets_on_step_size_change() {
+        let mut abm = AdamsBashforthMoulton::default();
+        let mut f = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -y[0];
+            Ok(())
+        };
+        let mut y = vec![1.0];
+        for i in 0..5 {
+            abm.step(&mut f, i as f64 * 0.1, &mut y, 0.1).unwrap();
+        }
+        assert_eq!(abm.history.len(), 4);
+        // Changing dt must clear stale history (then rebuild).
+        abm.step(&mut f, 0.5, &mut y, 0.05).unwrap();
+        assert!(abm.history.len() <= 1, "history was {}", abm.history.len());
+    }
+
+    #[test]
+    fn names_and_orders_match_menu() {
+        assert_eq!(ImprovedEuler.name(), "Improved Euler");
+        assert_eq!(RungeKutta4.name(), "Fourth-order Runge-Kutta");
+        assert_eq!(AdamsBashforthMoulton::default().name(), "Adams");
+        assert_eq!(GearBdf2::default().name(), "Gear");
+        assert_eq!(RungeKutta4.order(), 4);
+        assert_eq!(GearBdf2::default().order(), 2);
+    }
+}

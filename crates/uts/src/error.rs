@@ -1,0 +1,79 @@
+//! Error type shared by every UTS layer.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by specification parsing, wire encoding/decoding, native
+/// conversion, or signature checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A syntax error in a specification file, with line/column and message.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A value did not conform to the type it was being encoded as.
+    TypeMismatch {
+        /// The type demanded by the specification.
+        expected: String,
+        /// The type of the value actually supplied.
+        found: String,
+    },
+    /// A numeric value representable on the source architecture exceeds the
+    /// range of the wire (or destination) representation.
+    ///
+    /// Per the paper, out-of-range Cray values are treated as an **error**
+    /// rather than converted to IEEE infinity; this variant carries the
+    /// offending value rendered as text.
+    OutOfRange {
+        /// What was being converted (e.g. `"integer"`, `"float"`).
+        what: &'static str,
+        /// The offending value, as text.
+        value: String,
+        /// The architecture or representation that could not hold it.
+        target: String,
+    },
+    /// The wire byte stream was truncated or corrupt.
+    Wire(String),
+    /// An import specification is incompatible with the matching export.
+    SignatureMismatch(String),
+    /// An array had a different length than its declared bound.
+    ArityMismatch {
+        /// Declared element count.
+        expected: usize,
+        /// Supplied element count.
+        found: usize,
+    },
+    /// Anything else (I/O on spec files, etc.).
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, col, msg } => {
+                write!(f, "spec parse error at {line}:{col}: {msg}")
+            }
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::OutOfRange { what, value, target } => {
+                write!(f, "{what} value {value} out of range for {target}")
+            }
+            Error::Wire(msg) => write!(f, "wire format error: {msg}"),
+            Error::SignatureMismatch(msg) => write!(f, "signature mismatch: {msg}"),
+            Error::ArityMismatch { expected, found } => {
+                write!(f, "array arity mismatch: declared {expected}, got {found}")
+            }
+            Error::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

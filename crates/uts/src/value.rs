@@ -1,0 +1,295 @@
+//! Runtime values carried through the UTS conversion pipeline.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::types::Type;
+
+/// A dynamically-typed value, the in-memory endpoint of every conversion.
+///
+/// `Value` is what user code hands to a client stub and what a server stub
+/// hands to the procedure implementation. Between the two ends the value
+/// exists only as native-format bytes and wire-format bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A wire `integer`. Stored as `i64` so that architectures with wider
+    /// native integers (the Cray) can represent values that will later fail
+    /// the wire range check — exactly the failure the paper discusses.
+    Integer(i64),
+    /// Single-precision float.
+    Float(f32),
+    /// Double-precision float.
+    Double(f64),
+    /// A single octet.
+    Byte(u8),
+    /// A truth value.
+    Boolean(bool),
+    /// A character string.
+    String(String),
+    /// A fixed-length array.
+    Array(Vec<Value>),
+    /// A record: named fields in declaration order.
+    Record(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Check that this value conforms to `ty`, recursively.
+    pub fn conforms_to(&self, ty: &Type) -> bool {
+        match (self, ty) {
+            (Value::Integer(_), Type::Integer) => true,
+            (Value::Float(_), Type::Float) => true,
+            (Value::Double(_), Type::Double) => true,
+            (Value::Byte(_), Type::Byte) => true,
+            (Value::Boolean(_), Type::Boolean) => true,
+            (Value::String(_), Type::String) => true,
+            (Value::Array(items), Type::Array { len, elem }) => {
+                items.len() == *len && items.iter().all(|v| v.conforms_to(elem))
+            }
+            (Value::Record(vals), Type::Record { fields }) => {
+                vals.len() == fields.len()
+                    && vals
+                        .iter()
+                        .zip(fields)
+                        .all(|((vn, v), (fn_, ft))| vn == fn_ && v.conforms_to(ft))
+            }
+            _ => false,
+        }
+    }
+
+    /// Require conformance, producing a descriptive error otherwise.
+    pub fn expect_type(&self, ty: &Type) -> Result<()> {
+        if self.conforms_to(ty) {
+            Ok(())
+        } else {
+            Err(Error::TypeMismatch {
+                expected: ty.describe(),
+                found: self.describe(),
+            })
+        }
+    }
+
+    /// A short description of the value's shape for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Value::Integer(_) => "integer".into(),
+            Value::Float(_) => "float".into(),
+            Value::Double(_) => "double".into(),
+            Value::Byte(_) => "byte".into(),
+            Value::Boolean(_) => "boolean".into(),
+            Value::String(_) => "string".into(),
+            Value::Array(items) => match items.first() {
+                Some(v) => format!("array[{}] of {}", items.len(), v.describe()),
+                None => "array[0]".into(),
+            },
+            Value::Record(fields) => format!("record with {} fields", fields.len()),
+        }
+    }
+
+    /// A neutral "zero" value of the given type, used to pre-populate `res`
+    /// parameters before a call completes.
+    pub fn zero_of(ty: &Type) -> Value {
+        match ty {
+            Type::Integer => Value::Integer(0),
+            Type::Float => Value::Float(0.0),
+            Type::Double => Value::Double(0.0),
+            Type::Byte => Value::Byte(0),
+            Type::Boolean => Value::Boolean(false),
+            Type::String => Value::String(String::new()),
+            Type::Array { len, elem } => {
+                Value::Array((0..*len).map(|_| Value::zero_of(elem)).collect())
+            }
+            Type::Record { fields } => Value::Record(
+                fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), Value::zero_of(t)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Convenience accessor: the value as `f64` if it is any numeric type.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x as f64),
+            Value::Double(x) => Some(*x),
+            Value::Byte(b) => Some(*b as f64),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the value as `i64` if it is an integer or byte.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            Value::Byte(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for a float array (`array[N] of float`),
+    /// the workhorse type of the TESS interfaces.
+    pub fn as_f32_slice(&self) -> Option<Vec<f32>> {
+        match self {
+            Value::Array(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Float(x) => Some(*x),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for a double array (`array[N] of double`).
+    pub fn as_f64_slice(&self) -> Option<Vec<f64>> {
+        match self {
+            Value::Array(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Double(x) => Some(*x),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+
+    /// Build an `array of double` from a slice.
+    pub fn doubles(xs: &[f64]) -> Value {
+        Value::Array(xs.iter().map(|&x| Value::Double(x)).collect())
+    }
+
+    /// Build an `array of float` from a slice.
+    pub fn floats(xs: &[f32]) -> Value {
+        Value::Array(xs.iter().map(|&x| Value::Float(x)).collect())
+    }
+}
+
+/// `Display` renders values in a compact literal-ish syntax used by traces.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}f"),
+            Value::Double(x) => write!(f, "{x}"),
+            Value::Byte(b) => write!(f, "0x{b:02x}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn farr(xs: &[f32]) -> Value {
+        Value::floats(xs)
+    }
+
+    #[test]
+    fn conformance_scalars() {
+        assert!(Value::Integer(7).conforms_to(&Type::Integer));
+        assert!(!Value::Integer(7).conforms_to(&Type::Float));
+        assert!(Value::Float(1.5).conforms_to(&Type::Float));
+        assert!(!Value::Float(1.5).conforms_to(&Type::Double));
+        assert!(Value::String("hi".into()).conforms_to(&Type::String));
+    }
+
+    #[test]
+    fn conformance_array_checks_length_and_elements() {
+        let t = Type::Array { len: 3, elem: Box::new(Type::Float) };
+        assert!(farr(&[1.0, 2.0, 3.0]).conforms_to(&t));
+        assert!(!farr(&[1.0, 2.0]).conforms_to(&t));
+        let mixed = Value::Array(vec![Value::Float(1.0), Value::Double(2.0), Value::Float(3.0)]);
+        assert!(!mixed.conforms_to(&t));
+    }
+
+    #[test]
+    fn conformance_record_checks_names_and_order() {
+        let t = Type::Record {
+            fields: vec![("a".into(), Type::Integer), ("b".into(), Type::Double)],
+        };
+        let good = Value::Record(vec![
+            ("a".into(), Value::Integer(1)),
+            ("b".into(), Value::Double(2.0)),
+        ]);
+        assert!(good.conforms_to(&t));
+        let reordered = Value::Record(vec![
+            ("b".into(), Value::Double(2.0)),
+            ("a".into(), Value::Integer(1)),
+        ]);
+        assert!(!reordered.conforms_to(&t));
+    }
+
+    #[test]
+    fn zero_of_conforms() {
+        let t = Type::Record {
+            fields: vec![
+                ("xs".into(), Type::Array { len: 4, elem: Box::new(Type::Float) }),
+                ("n".into(), Type::Integer),
+                ("name".into(), Type::String),
+            ],
+        };
+        assert!(Value::zero_of(&t).conforms_to(&t));
+    }
+
+    #[test]
+    fn expect_type_reports_mismatch() {
+        let err = Value::Integer(1).expect_type(&Type::Double).unwrap_err();
+        match err {
+            Error::TypeMismatch { expected, found } => {
+                assert_eq!(expected, "double");
+                assert_eq!(found, "integer");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Value::Integer(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::String("x".into()).as_f64(), None);
+        assert_eq!(Value::Integer(3).as_i64(), Some(3));
+        assert_eq!(Value::Double(3.0).as_i64(), None);
+    }
+
+    #[test]
+    fn slice_accessors() {
+        assert_eq!(farr(&[1.0, 2.0]).as_f32_slice(), Some(vec![1.0, 2.0]));
+        assert_eq!(Value::doubles(&[1.0]).as_f64_slice(), Some(vec![1.0]));
+        assert_eq!(Value::doubles(&[1.0]).as_f32_slice(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(farr(&[1.0, 2.5]).to_string(), "[1f, 2.5f]");
+        assert_eq!(Value::Byte(255).to_string(), "0xff");
+        let rec = Value::Record(vec![("a".into(), Value::Integer(1))]);
+        assert_eq!(rec.to_string(), "{a: 1}");
+    }
+}

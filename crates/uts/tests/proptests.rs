@@ -1,0 +1,211 @@
+//! Property-based tests for the UTS conversion pipeline.
+
+use proptest::prelude::*;
+
+use uts::native::{cray, decode_native, encode_native, through_native, vax};
+use uts::wire::{WireReader, WireWriter};
+use uts::{Architecture, Type, Value};
+
+/// Strategy for a type tree of bounded depth with no strings (used where a
+/// fixed wire size matters) or with strings.
+fn arb_type(allow_string: bool) -> impl Strategy<Value = Type> {
+    let leaf = if allow_string {
+        prop_oneof![
+            Just(Type::Integer),
+            Just(Type::Float),
+            Just(Type::Double),
+            Just(Type::Byte),
+            Just(Type::Boolean),
+            Just(Type::String),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            Just(Type::Integer),
+            Just(Type::Float),
+            Just(Type::Double),
+            Just(Type::Byte),
+            Just(Type::Boolean),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (1usize..5, inner.clone())
+                .prop_map(|(len, elem)| Type::Array { len, elem: Box::new(elem) }),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 1..4).prop_map(|fields| {
+                // Deduplicate field names to keep the type well-formed.
+                let mut seen = std::collections::HashSet::new();
+                let fields = fields
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (n, t))| {
+                        let name = if seen.insert(n.clone()) { n } else { format!("{n}{i}") };
+                        (name, t)
+                    })
+                    .collect();
+                Type::Record { fields }
+            }),
+        ]
+    })
+}
+
+/// Generate a value conforming to `ty`, with numeric magnitudes kept within
+/// the VAX range so every architecture can represent them.
+fn arb_value_of(ty: &Type) -> BoxedStrategy<Value> {
+    match ty {
+        Type::Integer => (i32::MIN..=i32::MAX).prop_map(|i| Value::Integer(i as i64)).boxed(),
+        Type::Float => (-1.0e30f32..1.0e30).prop_map(Value::Float).boxed(),
+        Type::Double => (-1.0e30f64..1.0e30).prop_map(Value::Double).boxed(),
+        Type::Byte => any::<u8>().prop_map(Value::Byte).boxed(),
+        Type::Boolean => any::<bool>().prop_map(Value::Boolean).boxed(),
+        Type::String => "[ -~]{0,20}".prop_map(Value::String).boxed(),
+        Type::Array { len, elem } => {
+            proptest::collection::vec(arb_value_of(elem), *len).prop_map(Value::Array).boxed()
+        }
+        Type::Record { fields } => {
+            let strategies: Vec<BoxedStrategy<(String, Value)>> = fields
+                .iter()
+                .map(|(n, t)| {
+                    let name = n.clone();
+                    arb_value_of(t).prop_map(move |v| (name.clone(), v)).boxed()
+                })
+                .collect();
+            strategies.prop_map(Value::Record).boxed()
+        }
+    }
+}
+
+fn arb_typed_value(allow_string: bool) -> impl Strategy<Value = (Type, Value)> {
+    arb_type(allow_string).prop_flat_map(|ty| {
+        let t2 = ty.clone();
+        arb_value_of(&ty).prop_map(move |v| (t2.clone(), v))
+    })
+}
+
+proptest! {
+    /// Any well-typed value survives the wire format unchanged.
+    #[test]
+    fn wire_round_trip((ty, v) in arb_typed_value(true)) {
+        let mut w = WireWriter::new();
+        w.put(&v, &ty).unwrap();
+        let mut r = WireReader::new(w.finish());
+        let back = r.get(&ty).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// On architectures whose formats are IEEE, passing through the native
+    /// representation is the identity.
+    #[test]
+    fn native_identity_on_ieee((ty, v) in arb_typed_value(true)) {
+        for arch in [
+            Architecture::SunSparc10,
+            Architecture::Sgi4D,
+            Architecture::IbmRs6000,
+            Architecture::IntelI860,
+            Architecture::Cm5Node,
+        ] {
+            prop_assert_eq!(through_native(&v, &ty, arch).unwrap(), v.clone());
+        }
+    }
+
+    /// Native encode/decode round-trips byte-exactly on every architecture
+    /// for values every architecture can hold (range-limited generator).
+    #[test]
+    fn native_decode_inverts_encode((ty, v) in arb_typed_value(true)) {
+        for arch in Architecture::ALL {
+            let first = through_native(&v, &ty, arch).unwrap();
+            // A second pass must be a fixed point: precision loss happens
+            // at most once.
+            let mut buf = Vec::new();
+            encode_native(&first, &ty, arch, &mut buf).unwrap();
+            let second = decode_native(&buf, &ty, arch).unwrap();
+            prop_assert_eq!(second, first, "arch={}", arch);
+        }
+    }
+
+    /// The Cray codec is exact for every f32 (24-bit significands fit the
+    /// 48-bit Cray mantissa).
+    #[test]
+    fn cray_exact_for_f32(x in any::<f32>()) {
+        prop_assume!(x.is_finite());
+        let w = cray::encode(x as f64).unwrap();
+        let back = cray::decode(w).unwrap();
+        prop_assert_eq!(back as f32, x);
+    }
+
+    /// Cray round-trip of f64 is within one unit of the 48th mantissa bit.
+    #[test]
+    fn cray_f64_error_bounded(x in -1.0e300f64..1.0e300) {
+        let w = cray::encode(x).unwrap();
+        let back = cray::decode(w).unwrap();
+        if x == 0.0 {
+            prop_assert_eq!(back, 0.0);
+        } else {
+            prop_assert!(((back - x) / x).abs() <= 2f64.powi(-47));
+        }
+    }
+
+    /// The Cray encoding preserves ordering (it is sign-magnitude with a
+    /// biased exponent, so the word ordering matches numeric ordering for
+    /// positive values).
+    #[test]
+    fn cray_order_preserving(a in 1.0e-30f64..1.0e30, b in 1.0e-30f64..1.0e30) {
+        let wa = cray::encode(a).unwrap();
+        let wb = cray::encode(b).unwrap();
+        let (da, db) = (cray::decode(wa).unwrap(), cray::decode(wb).unwrap());
+        if da < db {
+            prop_assert!(wa < wb);
+        } else if da > db {
+            prop_assert!(wa > wb);
+        }
+    }
+
+    /// VAX F is exact for all f32 within its exponent range.
+    #[test]
+    fn vax_f_exact_in_range(x in -1.0e38f32..1.0e38) {
+        prop_assume!(x == 0.0 || x.abs() >= 1.0e-37);
+        let b = vax::encode_f(x).unwrap();
+        prop_assert_eq!(vax::decode_f(b).unwrap(), x);
+    }
+
+    /// VAX D is exact for all f64 within its exponent range.
+    #[test]
+    fn vax_d_exact_in_range(x in -1.0e38f64..1.0e38) {
+        prop_assume!(x == 0.0 || x.abs() >= 1.0e-37);
+        let b = vax::encode_d(x).unwrap();
+        prop_assert_eq!(vax::decode_d(b).unwrap(), x);
+    }
+
+    /// Decoding random bytes as wire data either fails cleanly or yields a
+    /// value that re-encodes without panicking (no UB, no panic on garbage).
+    #[test]
+    fn wire_decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = WireReader::new(bytes::Bytes::from(bytes));
+        if let Ok(v) = r.get_any() {
+            let mut w = WireWriter::new();
+            let _ = w.put_unchecked(&v);
+        }
+    }
+}
+
+/// Spec parser: pretty-printing a parsed signature and re-parsing it yields
+/// the same parameters.
+#[test]
+fn spec_signature_reparse_round_trip() {
+    let src = r#"
+export everything prog(
+    "a" val integer,
+    "b" res float,
+    "c" var double,
+    "d" val array[3] of array[2] of byte,
+    "e" val record ("x" double, "flags" array[4] of boolean) end,
+    "f" res string)
+"#;
+    let file = uts::parse_spec_file(src).unwrap();
+    let spec = &file.decls[0];
+    let rendered = format!("export everything {}", spec.signature());
+    let reparsed = uts::parse_spec_file(&rendered).unwrap();
+    assert_eq!(reparsed.decls[0].params, spec.params);
+}

@@ -1,0 +1,66 @@
+//! Testing operation of the engine in the presence of failures.
+//!
+//! The simulation-executive goal list includes testing "operation of the
+//! engine in the presence of failures". This example flies the balanced
+//! F100 at a steady throttle and injects three failures in sequence —
+//! combustor degradation, a bleed valve stuck open, and fan damage —
+//! showing the spool and thrust response to each.
+//!
+//! Run with: `cargo run --release --example failures`
+
+use npss_sim::tess::engine::Turbofan;
+use npss_sim::tess::schedules::Schedule;
+use npss_sim::tess::transient::{FailureEvent, TransientMethod, TransientRun};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Turbofan::f100()?;
+    let wf = 0.95 * engine.design.wf;
+
+    let mut run = TransientRun::new(
+        engine,
+        Schedule::constant(wf),
+        TransientMethod::RungeKutta4,
+        0.02,
+    )
+    .with_failure(0.5, FailureEvent::CombustorDegradation(0.90))
+    .with_failure(1.2, FailureEvent::BleedStuckOpen(0.08))
+    .with_failure(1.9, FailureEvent::FanDamage(-5.0));
+
+    let result = run.run(2.6).map_err(to_err)?;
+
+    println!("F100 at constant fuel {wf:.3} kg/s with injected failures:\n");
+    println!("  t = 0.5 s  combustor efficiency x0.90");
+    println!("  t = 1.2 s  bleed valve stuck open at 8%");
+    println!("  t = 1.9 s  fan damage (-5 deg effective stator)\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>11} {:>9} {:>10}",
+        "t (s)", "N1 (RPM)", "N2 (RPM)", "thrust kN", "T4 (K)", "W2 (kg/s)"
+    );
+    for s in result.samples.iter().step_by(5) {
+        let marker = match s.t {
+            t if (0.48..0.56).contains(&t) => "  <- combustor degrades",
+            t if (1.18..1.26).contains(&t) => "  <- bleed sticks open",
+            t if (1.88..1.96).contains(&t) => "  <- fan damaged",
+            _ => "",
+        };
+        println!(
+            "{:>6.2} {:>10.1} {:>10.1} {:>11.2} {:>9.1} {:>10.1}{marker}",
+            s.t,
+            s.n1,
+            s.n2,
+            s.thrust / 1e3,
+            s.t4,
+            s.w2
+        );
+    }
+    println!(
+        "\nnet effect: thrust {:.1} kN -> {:.1} kN",
+        result.samples[0].thrust / 1e3,
+        result.last().thrust / 1e3
+    );
+    Ok(())
+}
+
+fn to_err(e: String) -> Box<dyn std::error::Error> {
+    e.into()
+}

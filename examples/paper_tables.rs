@@ -1,0 +1,47 @@
+//! Regenerate the paper's evaluation: Table 1 and Table 2.
+//!
+//! Runs the individual adapted-module tests on the five machine/network
+//! combinations (Table 1) and the combined six-remote-instance test
+//! (Table 2), printing the same rows the paper reports plus the measured
+//! columns the simulation adds (call counts, simulated per-call cost, and
+//! the remote-equals-local verification).
+//!
+//! Run with: `cargo run --release --example paper_tables`
+
+use std::sync::Arc;
+
+use npss_sim::npss::experiments::{table1, table2};
+use npss_sim::schooner::Schooner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sch = Arc::new(Schooner::standard()?);
+
+    println!("== Table 1: TESS and Schooner individual module tests ==\n");
+    let cfg = table1::Table1Config::default();
+    println!(
+        "(steady-state balance + {:.1} s transient, {} method)\n",
+        cfg.t_end, cfg.method
+    );
+    let rows = table1::run_table1(&sch, &cfg).map_err(to_err)?;
+    println!("{}", table1::render_table1(&rows));
+
+    let all_match = rows.iter().all(table1::Table1Row::matches_local);
+    println!(
+        "all {} runs converged and matched the local baseline: {}\n",
+        rows.len(),
+        if all_match { "yes" } else { "NO" }
+    );
+
+    println!("== Table 2: TESS and Schooner combined test ==\n");
+    let report = table2::run_table2(&sch, &table2::Table2Config::default()).map_err(to_err)?;
+    println!("{}", table2::render_table2(&report));
+    println!(
+        "total remote calls: {}; slowest module line simulated time: {:.2} s",
+        report.total_calls, report.total_virtual_seconds
+    );
+    Ok(())
+}
+
+fn to_err(e: String) -> Box<dyn std::error::Error> {
+    e.into()
+}

@@ -1,0 +1,25 @@
+//! # npss-sim — the assembled reproduction
+//!
+//! Umbrella crate re-exporting the subsystems so the examples and
+//! integration tests have one import surface:
+//!
+//! * [`uts`] — the Universal Type System (spec language, wire format,
+//!   per-architecture conversion);
+//! * [`netsim`] — the simulated two-site network testbed;
+//! * [`hetsim`] — the simulated heterogeneous machines;
+//! * [`schooner`] — the heterogeneous RPC facility (Manager, Servers,
+//!   lines, migration, shared procedures);
+//! * [`avs`] — the dataflow execution framework (Network Editor, widgets,
+//!   scheduler);
+//! * [`tess`] — the Turbofan Engine System Simulator;
+//! * [`npss`] — the prototype simulation executive combining them.
+//!
+//! Start with `examples/quickstart.rs`, then `examples/f100_engine.rs`.
+
+pub use avs;
+pub use hetsim;
+pub use netsim;
+pub use npss;
+pub use schooner;
+pub use tess;
+pub use uts;

@@ -1,0 +1,189 @@
+//! `npss-sim` — command-line front end to the reproduction.
+//!
+//! ```text
+//! npss-sim testbed                      describe the simulated testbed
+//! npss-sim table1 [SECONDS]             regenerate Table 1
+//! npss-sim table2 [SECONDS]             regenerate Table 2
+//! npss-sim fig1                         Figure 1 control-transfer trace
+//! npss-sim f100 [SECONDS] [slot=machine ...]
+//!                                       run the F100 network, optionally
+//!                                       placing adapted modules remotely
+//! npss-sim costs                        per-machine-pair RPC costs
+//! ```
+
+use std::sync::Arc;
+
+use npss_sim::npss::experiments::{fig1, table1, table2};
+use npss_sim::npss::f100::{F100Network, RemotePlacement};
+use npss_sim::schooner::Schooner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> String {
+    "usage: npss-sim <testbed|table1|table2|fig1|f100|costs> [args]\n\
+     \n\
+     testbed                 describe the simulated two-site testbed\n\
+     table1 [SECONDS]        regenerate Table 1 (default 1.0 s transient)\n\
+     table2 [SECONDS]        regenerate Table 2 (default 1.0 s transient)\n\
+     fig1                    Figure 1 control-transfer trace\n\
+     f100 [SECONDS] [slot=machine ...]   run the F100 network\n\
+     costs                   per-machine-pair RPC cost table"
+        .to_owned()
+}
+
+fn world() -> Result<Arc<Schooner>, String> {
+    Ok(Arc::new(Schooner::standard().map_err(|e| e.to_string())?))
+}
+
+fn parse_seconds(args: &[String], default: f64) -> f64 {
+    args.first().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "testbed" => cmd_testbed(),
+        "table1" => cmd_table1(parse_seconds(&args[1..], 1.0)),
+        "table2" => cmd_table2(parse_seconds(&args[1..], 1.0)),
+        "fig1" => cmd_fig1(),
+        "f100" => cmd_f100(&args[1..]),
+        "costs" => cmd_costs(),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn cmd_testbed() -> Result<(), String> {
+    let sch = world()?;
+    let ctx = sch.ctx();
+    println!("The simulated NPSS testbed (NASA Lewis Research Center + U. of Arizona)\n");
+    println!(
+        "{:<16} {:<14} {:<12} {:>10}",
+        "host", "machine", "arch", "MFLOP/s"
+    );
+    for host in ctx.park.hosts() {
+        let m = ctx.park.machine(host).expect("listed host");
+        println!(
+            "{:<16} {:<14} {:<12} {:>10.0}",
+            host,
+            m.description,
+            m.arch.to_string(),
+            m.speed_mflops
+        );
+    }
+    println!("\nnetwork classes between example pairs:");
+    for (a, b) in [
+        ("lerc-sparc10", "lerc-sgi-4d480"),
+        ("lerc-sparc10", "lerc-cray-ymp"),
+        ("ua-sparc10", "lerc-rs6000"),
+    ] {
+        let class = npss_sim::npss::experiments::network_class(&sch, a, b);
+        let t = ctx.net.transfer_seconds(a, b, 256).map_err(|e| e.to_string())?;
+        println!("  {a:<16} <-> {b:<16} {class:<34} ({:.2} ms / 256 B)", t * 1e3);
+    }
+    Ok(())
+}
+
+fn cmd_table1(seconds: f64) -> Result<(), String> {
+    let sch = world()?;
+    let cfg = table1::Table1Config { t_end: seconds, dt: 0.02, method: "Modified Euler".into() };
+    println!("Table 1 (steady balance + {seconds} s transient):\n");
+    let rows = table1::run_table1(&sch, &cfg)?;
+    println!("{}", table1::render_table1(&rows));
+    Ok(())
+}
+
+fn cmd_table2(seconds: f64) -> Result<(), String> {
+    let sch = world()?;
+    let report = table2::run_table2(&sch, &table2::Table2Config { t_end: seconds, dt: 0.02 })?;
+    println!("{}", table2::render_table2(&report));
+    Ok(())
+}
+
+fn cmd_fig1() -> Result<(), String> {
+    let sch = world()?;
+    println!("{}", fig1::run_fig1_program(&sch)?);
+    Ok(())
+}
+
+fn cmd_costs() -> Result<(), String> {
+    let sch = world()?;
+    let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
+    let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let costs = fig1::measure_pair_costs(&sch, &refs, 10)?;
+    println!(
+        "{:<16} {:<16} {:<34} {:>10}",
+        "caller", "callee", "network", "ms/call"
+    );
+    for c in costs {
+        println!(
+            "{:<16} {:<16} {:<34} {:>10.3}",
+            c.from, c.to, c.network, c.per_call_ms
+        );
+    }
+    Ok(())
+}
+
+fn cmd_f100(args: &[String]) -> Result<(), String> {
+    let mut seconds = 1.0;
+    let mut placement = RemotePlacement::all_local();
+    for a in args {
+        if let Ok(s) = a.parse::<f64>() {
+            seconds = s;
+        } else if let Some((slot, machine)) = a.split_once('=') {
+            placement = placement.with(slot, machine);
+        } else {
+            return Err(format!("cannot parse argument '{a}' (want SECONDS or slot=machine)"));
+        }
+    }
+
+    let sch = world()?;
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10")?;
+    net.apply_placement(&placement)?;
+    if !placement.entries.is_empty() {
+        println!("placements:");
+        for (slot, machine) in &placement.entries {
+            println!("  {slot} -> {machine}");
+        }
+        println!();
+    }
+    let result = net.run("Modified Euler", seconds, 0.02)?;
+    println!(
+        "{:>6} {:>10} {:>10} {:>11} {:>9}",
+        "t (s)", "N1 (RPM)", "N2 (RPM)", "thrust kN", "T4 (K)"
+    );
+    let step = (result.samples.len() / 12).max(1);
+    for s in result.samples.iter().step_by(step) {
+        println!(
+            "{:>6.2} {:>10.1} {:>10.1} {:>11.2} {:>9.1}",
+            s.t,
+            s.n1,
+            s.n2,
+            s.thrust / 1e3,
+            s.t4
+        );
+    }
+    println!("\nremote computation report:");
+    for row in net.report() {
+        println!(
+            "  {:<18} {:<16} {:>7} calls {:>12.3} sim s",
+            row.module, row.location, row.calls, row.virtual_seconds
+        );
+    }
+    Ok(())
+}

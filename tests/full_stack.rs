@@ -1,0 +1,101 @@
+//! Cross-crate integration: saved networks reload against the persistent
+//! Manager, failures surface cleanly, and the executive engine matches
+//! the pure-TESS engine when everything is local.
+
+use std::sync::Arc;
+
+use npss_sim::npss::engine_exec::ExecutiveEngine;
+use npss_sim::npss::f100::F100Network;
+use npss_sim::schooner::Schooner;
+use npss_sim::tess::engine::{SteadyMethod, Turbofan};
+use npss_sim::tess::schedules::Schedule;
+use npss_sim::tess::transient::TransientMethod;
+
+#[test]
+fn saved_network_reloads_and_reruns_under_the_same_manager() {
+    let sch = Arc::new(Schooner::standard().unwrap());
+
+    // Run 1: build, place a module remotely, run.
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    net.place("nozzle", "lerc-sgi-4d420").unwrap();
+    let first = net.run("Modified Euler", 0.1, 0.02).unwrap();
+    let saved = net.save();
+    drop(net);
+
+    // Run 2: reload the same model; the persistent Manager serves the new
+    // lines without a restart.
+    let mut net2 = F100Network::restore(&saved, sch.clone(), "ua-sparc10").unwrap();
+    // The remote placement widget value survived the save.
+    let widget = net2.editor.widget(net2.id("nozzle"), "remote machine").unwrap();
+    assert_eq!(widget.as_choice(), Some("lerc-sgi-4d420"));
+    let second = net2.run("Modified Euler", 0.1, 0.02).unwrap();
+
+    let diff = npss_sim::npss::experiments::max_rel_diff(&first, &second);
+    assert!(diff < 1e-9, "reloaded model deviates by {diff}");
+}
+
+#[test]
+fn executive_all_local_matches_pure_tess_engine() {
+    // The executive engine (components routed through Value-typed
+    // procedure calls at single precision) must track the double-precision
+    // TESS engine closely — same physics, different arithmetic path.
+    let engine = Turbofan::f100().unwrap();
+    let wf = engine.design.wf;
+    let fuel = Schedule::new(vec![(0.0, 0.92 * wf), (0.05, 0.92 * wf), (0.25, wf)]).unwrap();
+
+    let mut tess_run = npss_sim::tess::transient::TransientRun::new(
+        Turbofan::f100().unwrap(),
+        fuel.clone(),
+        TransientMethod::ImprovedEuler,
+        0.02,
+    );
+    let reference = tess_run.run(0.3).unwrap();
+
+    let mut exec = ExecutiveEngine::all_local(engine).unwrap();
+    let result = exec
+        .run_transient(&fuel, TransientMethod::ImprovedEuler, 0.02, 0.3)
+        .unwrap();
+
+    for (a, b) in reference.samples.iter().zip(&result.samples) {
+        let dn1 = (a.n1 - b.n1).abs() / a.n1;
+        let dthrust = (a.thrust - b.thrust).abs() / a.thrust;
+        assert!(dn1 < 2e-3, "N1 diverged at t={}: {} vs {}", a.t, a.n1, b.n1);
+        assert!(dthrust < 5e-3, "thrust diverged at t={}", a.t);
+    }
+}
+
+#[test]
+fn downed_remote_machine_fails_the_run_cleanly() {
+    let sch = Arc::new(Schooner::standard().unwrap());
+    let mut net = F100Network::build(sch.clone(), "ua-sparc10").unwrap();
+    net.place("combustor", "lerc-rs6000").unwrap();
+    // A successful run first.
+    net.run("Modified Euler", 0.05, 0.01).unwrap();
+
+    // The remote machine goes down; the next run must fail with a
+    // described error, not hang or panic.
+    sch.ctx().net.set_host_up("lerc-rs6000", false);
+    let err = net.run("Modified Euler", 0.05, 0.01).unwrap_err();
+    assert!(
+        err.contains("down") || err.contains("failed") || err.contains("balance"),
+        "unexpected error text: {err}"
+    );
+
+    // Machine returns; the executive recovers on a fresh run.
+    sch.ctx().net.set_host_up("lerc-rs6000", true);
+    net.run("Modified Euler", 0.05, 0.01).unwrap();
+}
+
+#[test]
+fn balance_then_transient_regression_values() {
+    // Regression pin for the F100-class design so physics changes are
+    // noticed: thrust and spool speeds at the balanced design point.
+    let engine = Turbofan::f100().unwrap();
+    let rep = engine.balance(engine.design.wf, SteadyMethod::NewtonRaphson).unwrap();
+    let p = &rep.point;
+    assert!((p.thrust / engine.design.thrust - 1.0).abs() < 1e-3);
+    assert!((60_000.0..90_000.0).contains(&p.thrust), "thrust {}", p.thrust);
+    assert!((p.n1 / 10_000.0 - 1.0).abs() < 1e-3, "n1 {}", p.n1);
+    assert!((p.n2 / 14_000.0 - 1.0).abs() < 1e-3, "n2 {}", p.n2);
+    assert!((1500.0..1700.0).contains(&p.st4.tt), "T4 {}", p.st4.tt);
+}

@@ -1,0 +1,53 @@
+//! Table 1 reproduction: each adapted module, tested separately on every
+//! machine/network combination, converges and matches the local baseline.
+//! (The full-length transient version lives in the bench harness; this
+//! integration test runs a shortened transient.)
+
+use std::sync::Arc;
+
+use npss_sim::npss::experiments::table1::{
+    run_table1, Table1Config, TABLE1_COMBOS, TABLE1_MODULES,
+};
+use npss_sim::schooner::Schooner;
+
+#[test]
+fn table1_all_rows_converge_and_match() {
+    let sch = Arc::new(Schooner::standard().unwrap());
+    let cfg = Table1Config { t_end: 0.16, dt: 0.02, method: "Modified Euler".into() };
+    let rows = run_table1(&sch, &cfg).unwrap();
+    assert_eq!(rows.len(), TABLE1_COMBOS.len() * TABLE1_MODULES.len());
+    for row in &rows {
+        assert!(row.converged, "{row:?}");
+        assert!(
+            row.max_rel_diff < 1e-6,
+            "module {} on {} deviated by {}",
+            row.module,
+            row.remote_machine,
+            row.max_rel_diff
+        );
+        assert!(row.calls > 0, "{row:?}");
+        assert!(row.virtual_seconds > 0.0, "{row:?}");
+    }
+
+    // The network classes named in the paper's third column all occur.
+    let classes: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.network.as_str()).collect();
+    assert!(classes.contains("local Ethernet"));
+    assert!(classes.contains("same building, multiple gateways"));
+    assert!(classes.contains("via Internet"));
+
+    // Cost ordering: Ethernet < building gateways < Internet (per call).
+    let mean = |class: &str| {
+        let sel: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.network == class)
+            .map(|r| r.per_call_ms)
+            .collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    let lan = mean("local Ethernet");
+    let building = mean("same building, multiple gateways");
+    let wan = mean("via Internet");
+    assert!(lan < building, "lan {lan} < building {building}");
+    assert!(building < wan, "building {building} < wan {wan}");
+}

@@ -1,0 +1,47 @@
+//! Table 2 reproduction: the combined test with six remote module
+//! instances, verified against the original local-compute-only versions.
+
+use std::sync::Arc;
+
+use npss_sim::npss::experiments::table2::{render_table2, run_table2, Table2Config};
+use npss_sim::schooner::Schooner;
+
+#[test]
+fn table2_combined_test_matches_local_baseline() {
+    let sch = Arc::new(Schooner::standard().unwrap());
+    let cfg = Table2Config { t_end: 0.3, dt: 0.02 };
+    let report = run_table2(&sch, &cfg).unwrap();
+
+    // The paper's verification: results equal the local-only run.
+    assert!(
+        report.matches_local(),
+        "remote configuration deviates by {}",
+        report.max_rel_diff
+    );
+
+    // Six remote module instances, grouped into the paper's four rows.
+    assert_eq!(report.rows.iter().map(|r| r.instances).sum::<usize>(), 6);
+    let find = |module: &str| report.rows.iter().find(|r| r.module == module).unwrap();
+    assert_eq!(find("combustor").remote_machine, "ua-sgi-4d340");
+    assert_eq!(find("combustor").instances, 1);
+    assert_eq!(find("duct").remote_machine, "lerc-cray-ymp");
+    assert_eq!(find("duct").instances, 2);
+    assert_eq!(find("nozzle").remote_machine, "lerc-sgi-4d420");
+    assert_eq!(find("shaft").remote_machine, "lerc-rs6000");
+    assert_eq!(find("shaft").instances, 2);
+
+    // The cross-country modules pay Internet prices; the local-site
+    // combustor does not.
+    let comb = find("combustor");
+    let duct = find("duct");
+    let comb_per_call = comb.virtual_seconds / comb.calls as f64;
+    let duct_per_call = duct.virtual_seconds / duct.calls as f64;
+    assert!(
+        duct_per_call > comb_per_call * 3.0,
+        "duct {duct_per_call} s/call vs combustor {comb_per_call} s/call"
+    );
+
+    let rendered = render_table2(&report);
+    assert!(rendered.contains("lerc-cray-ymp"), "{rendered}");
+    assert!(rendered.contains("MATCH"), "{rendered}");
+}

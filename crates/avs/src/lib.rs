@@ -69,6 +69,7 @@
 //! assert_eq!(editor.output(d, "out"), Some(&Value::Double(10.0)));
 //! ```
 
+pub mod json;
 pub mod library;
 pub mod module;
 pub mod network;

@@ -10,8 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::Json;
 use crate::module::AvsModule;
 use crate::network::{ModuleId, NetworkEditor};
 use crate::widget::Widget;
@@ -40,8 +39,7 @@ impl ModuleLibrary {
         type_name: &str,
         factory: impl Fn() -> Box<dyn AvsModule> + Send + Sync + 'static,
     ) {
-        self.factories
-            .insert(type_name.to_owned(), Arc::new(move |_| factory()));
+        self.factories.insert(type_name.to_owned(), Arc::new(move |_| factory()));
     }
 
     /// Register a module type whose factory receives the instance name.
@@ -76,7 +74,7 @@ impl ModuleLibrary {
 }
 
 /// One saved module instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavedModule {
     /// Instance name in the workspace.
     pub instance_name: String,
@@ -87,7 +85,7 @@ pub struct SavedModule {
 }
 
 /// One saved connection (by instance names, stable across reloads).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SavedConnection {
     /// Source instance name.
     pub from: String,
@@ -102,7 +100,7 @@ pub struct SavedConnection {
 }
 
 /// A saved network: what the Network Editor writes to disk.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct NetworkDescription {
     /// Saved modules in placement order.
     pub modules: Vec<SavedModule>,
@@ -176,12 +174,71 @@ impl NetworkDescription {
 
     /// Serialize to the saved-file format (JSON).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("description is serializable")
+        let s = |s: &String| Json::Str(s.clone());
+        let modules = self
+            .modules
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("instance_name", s(&m.instance_name)),
+                    ("type_name", s(&m.type_name)),
+                    ("widgets", Json::Arr(m.widgets.iter().map(Widget::to_json).collect())),
+                ])
+            })
+            .collect();
+        let connections = self
+            .connections
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("from", s(&c.from)),
+                    ("from_port", s(&c.from_port)),
+                    ("to", s(&c.to)),
+                    ("to_port", s(&c.to_port)),
+                    ("delayed", Json::Bool(c.delayed)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("modules", Json::Arr(modules)), ("connections", Json::Arr(connections))])
+            .pretty()
     }
 
     /// Parse the saved-file format.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| format!("invalid network file: {e}"))
+        let bad = |e: String| format!("invalid network file: {e}");
+        let doc = Json::parse(s).map_err(bad)?;
+        let arr_of = |key: &str| -> Result<&[Json], String> {
+            doc.need(key)
+                .and_then(|v| v.as_arr().ok_or_else(|| format!("member '{key}' is not an array")))
+                .map_err(bad)
+        };
+        let mut modules = Vec::new();
+        for m in arr_of("modules")? {
+            let widgets = m
+                .need("widgets")
+                .and_then(|w| w.as_arr().ok_or_else(|| "member 'widgets' is not an array".into()))
+                .map_err(bad)?
+                .iter()
+                .map(Widget::from_json)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(bad)?;
+            modules.push(SavedModule {
+                instance_name: m.str_of("instance_name").map_err(bad)?,
+                type_name: m.str_of("type_name").map_err(bad)?,
+                widgets,
+            });
+        }
+        let mut connections = Vec::new();
+        for c in arr_of("connections")? {
+            connections.push(SavedConnection {
+                from: c.str_of("from").map_err(bad)?,
+                from_port: c.str_of("from_port").map_err(bad)?,
+                to: c.str_of("to").map_err(bad)?,
+                to_port: c.str_of("to_port").map_err(bad)?,
+                delayed: c.bool_of("delayed").map_err(bad)?,
+            });
+        }
+        Ok(Self { modules, connections })
     }
 }
 

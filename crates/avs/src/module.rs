@@ -14,13 +14,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use uts::Value;
 
 use crate::widget::Widget;
 
 /// A declared input or output port.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortSpec {
     /// Port name, unique among the module's ports of that direction.
     pub name: String,
@@ -36,7 +35,7 @@ impl PortSpec {
 }
 
 /// The declaration a module makes when placed in a network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModuleSpec {
     /// The module's type name (shared by all instances).
     pub type_name: String,
@@ -109,9 +108,7 @@ impl<'a> ComputeCtx<'a> {
 
     /// Value on an input port, or an error naming the port.
     pub fn require_input(&self, name: &str) -> Result<&Value, String> {
-        self.inputs
-            .get(name)
-            .ok_or_else(|| format!("input port '{name}' has no data"))
+        self.inputs.get(name).ok_or_else(|| format!("input port '{name}' has no data"))
     }
 
     /// The widget with the given name.
@@ -205,7 +202,8 @@ mod tests {
         inputs.insert("b".to_owned(), Value::Double(2.0));
         let widgets = vec![Widget::dial("bias", -10.0, 10.0, 0.5)];
         let mut outputs = HashMap::new();
-        let mut ctx = ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 3 };
+        let mut ctx =
+            ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 3 };
         assert_eq!(ctx.iteration(), 3);
         Adder.compute(&mut ctx).unwrap();
         assert_eq!(outputs["sum"], Value::Double(3.5));
@@ -216,7 +214,8 @@ mod tests {
         let inputs = HashMap::new();
         let widgets = vec![Widget::dial("bias", -10.0, 10.0, 0.0)];
         let mut outputs = HashMap::new();
-        let mut ctx = ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 0 };
+        let mut ctx =
+            ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 0 };
         let err = Adder.compute(&mut ctx).unwrap_err();
         assert!(err.contains("'a'"), "{err}");
     }
@@ -226,7 +225,8 @@ mod tests {
         let inputs = HashMap::new();
         let widgets: Vec<Widget> = vec![];
         let mut outputs = HashMap::new();
-        let ctx = ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 0 };
+        let ctx =
+            ComputeCtx { inputs: &inputs, widgets: &widgets, outputs: &mut outputs, iteration: 0 };
         assert!(ctx.widget_number("zz").is_err());
         assert!(ctx.widget_text("zz").is_err());
         assert!(ctx.widget_choice("zz").is_err());

@@ -115,35 +115,23 @@ impl NetworkEditor {
     }
 
     pub(crate) fn instance(&self, id: ModuleId) -> Result<&Instance, String> {
-        self.slots
-            .get(id.0)
-            .and_then(Option::as_ref)
-            .ok_or_else(|| format!("no module {id:?}"))
+        self.slots.get(id.0).and_then(Option::as_ref).ok_or_else(|| format!("no module {id:?}"))
     }
 
     pub(crate) fn instance_mut(&mut self, id: ModuleId) -> Result<&mut Instance, String> {
-        self.slots
-            .get_mut(id.0)
-            .and_then(Option::as_mut)
-            .ok_or_else(|| format!("no module {id:?}"))
+        self.slots.get_mut(id.0).and_then(Option::as_mut).ok_or_else(|| format!("no module {id:?}"))
     }
 
     /// Look up a placed module by instance name.
     pub fn find(&self, instance_name: &str) -> Option<ModuleId> {
         self.slots.iter().enumerate().find_map(|(i, s)| {
-            s.as_ref()
-                .filter(|inst| inst.name == instance_name)
-                .map(|_| ModuleId(i))
+            s.as_ref().filter(|inst| inst.name == instance_name).map(|_| ModuleId(i))
         })
     }
 
     /// All live module ids, in placement order.
     pub fn module_ids(&self) -> Vec<ModuleId> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| ModuleId(i)))
-            .collect()
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| ModuleId(i))).collect()
     }
 
     /// Instance name of a module.
@@ -158,11 +146,7 @@ impl NetworkEditor {
 
     /// How many times a module has executed.
     pub fn exec_count(&self, id: ModuleId) -> u64 {
-        self.slots
-            .get(id.0)
-            .and_then(Option::as_ref)
-            .map(|i| i.exec_count)
-            .unwrap_or(0)
+        self.slots.get(id.0).and_then(Option::as_ref).map(|i| i.exec_count).unwrap_or(0)
     }
 
     /// Current value on an output port.
@@ -221,11 +205,7 @@ impl NetworkEditor {
                 ));
             }
         }
-        if self
-            .connections
-            .iter()
-            .any(|c| c.to == to && c.to_port == to_port)
-        {
+        if self.connections.iter().any(|c| c.to == to && c.to_port == to_port) {
             return Err(format!(
                 "input port '{to_port}' of '{}' is already connected",
                 self.instance(to)?.name
@@ -290,12 +270,7 @@ impl NetworkEditor {
 
     /// Read a widget's current state.
     pub fn widget(&self, id: ModuleId, widget_name: &str) -> Option<&Widget> {
-        self.slots
-            .get(id.0)?
-            .as_ref()?
-            .widgets
-            .iter()
-            .find(|w| w.name() == widget_name)
+        self.slots.get(id.0)?.as_ref()?.widgets.iter().find(|w| w.name() == widget_name)
     }
 
     /// The control panel (all widgets) of a module.
@@ -320,11 +295,7 @@ impl NetworkEditor {
                 }
             }
         }
-        let mut ready: Vec<ModuleId> = ids
-            .iter()
-            .copied()
-            .filter(|i| indegree[i] == 0)
-            .collect();
+        let mut ready: Vec<ModuleId> = ids.iter().copied().filter(|i| indegree[i] == 0).collect();
         ready.sort();
         let mut order = Vec::with_capacity(ids.len());
         while let Some(id) = ready.pop() {
@@ -354,10 +325,7 @@ impl NetworkEditor {
                 if c.to == id {
                     let src = self.name_of(c.from).unwrap_or("?");
                     let marker = if c.delayed { " (delayed)" } else { "" };
-                    out.push_str(&format!(
-                        "    {src}.{} -> {}{marker}\n",
-                        c.from_port, c.to_port
-                    ));
+                    out.push_str(&format!("    {src}.{} -> {}{marker}\n", c.from_port, c.to_port));
                 }
             }
         }

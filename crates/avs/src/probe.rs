@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use uts::Value;
 
 use crate::module::{AvsModule, ComputeCtx, ModuleSpec};
@@ -34,18 +34,19 @@ pub struct ProbeHandle {
 impl ProbeHandle {
     /// All observations so far.
     pub fn series(&self) -> Vec<Observation> {
-        self.series.lock().clone()
+        self.series.lock().unwrap().clone()
     }
 
     /// The most recent observation.
     pub fn latest(&self) -> Option<Observation> {
-        self.series.lock().last().cloned()
+        self.series.lock().unwrap().last().cloned()
     }
 
     /// Numeric view of the series (non-numeric observations skipped).
     pub fn numbers(&self) -> Vec<(u64, f64)> {
         self.series
             .lock()
+            .unwrap()
             .iter()
             .filter_map(|o| o.value.as_f64().map(|v| (o.iteration, v)))
             .collect()
@@ -53,7 +54,7 @@ impl ProbeHandle {
 
     /// Drop recorded history.
     pub fn clear(&self) {
-        self.series.lock().clear();
+        self.series.lock().unwrap().clear();
     }
 }
 
@@ -68,18 +69,13 @@ impl Probe {
     /// and its reader.
     pub fn new(kind: &str) -> (Self, ProbeHandle) {
         let series = Arc::new(Mutex::new(Vec::new()));
-        (
-            Self { kind: kind.to_owned(), series: series.clone() },
-            ProbeHandle { series },
-        )
+        (Self { kind: kind.to_owned(), series: series.clone() }, ProbeHandle { series })
     }
 }
 
 impl AvsModule for Probe {
     fn spec(&self) -> ModuleSpec {
-        ModuleSpec::new("probe")
-            .input("in", &self.kind)
-            .widget(Widget::toggle("recording", true))
+        ModuleSpec::new("probe").input("in", &self.kind).widget(Widget::toggle("recording", true))
     }
 
     fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
@@ -89,6 +85,7 @@ impl AvsModule for Probe {
         if let Some(v) = ctx.input("in") {
             self.series
                 .lock()
+                .unwrap()
                 .push(Observation { iteration: ctx.iteration(), value: v.clone() });
         }
         Ok(())

@@ -78,9 +78,8 @@ impl Scheduler {
     /// Run one scheduling pass.
     pub fn step(&mut self, editor: &mut NetworkEditor) -> Result<ExecReport, ModuleError> {
         self.iteration += 1;
-        let order = editor
-            .topo_order_immediate()
-            .expect("editor enforces immediate-graph acyclicity");
+        let order =
+            editor.topo_order_immediate().expect("editor enforces immediate-graph acyclicity");
 
         // Snapshot outputs for delayed edges: they see last iteration.
         let mut delayed_snapshot: HashMap<(ModuleId, String), Value> = HashMap::new();
@@ -96,12 +95,8 @@ impl Scheduler {
         for id in order {
             // Gather this module's inputs.
             let mut inputs: HashMap<String, Value> = HashMap::new();
-            let conns: Vec<_> = editor
-                .connections()
-                .iter()
-                .filter(|c| c.to == id)
-                .cloned()
-                .collect();
+            let conns: Vec<_> =
+                editor.connections().iter().filter(|c| c.to == id).cloned().collect();
             for c in conns {
                 let v = if c.delayed {
                     delayed_snapshot.get(&(c.from, c.from_port.clone())).cloned()
@@ -201,10 +196,7 @@ mod tests {
     struct Relax;
     impl AvsModule for Relax {
         fn spec(&self) -> ModuleSpec {
-            ModuleSpec::new("relax")
-                .input("in", "flow")
-                .input("fb", "flow")
-                .output("out", "flow")
+            ModuleSpec::new("relax").input("in", "flow").input("fb", "flow").output("out", "flow")
         }
         fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
             let x = ctx.require_input("in")?.as_f64().ok_or("nan")?;

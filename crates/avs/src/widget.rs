@@ -7,10 +7,10 @@
 //! radio-button widget to choose the remote machine and a type-in widget
 //! for the executable's pathname.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// A control-panel widget with its current value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Widget {
     /// A rotary dial over a continuous range.
     Dial {
@@ -67,7 +67,7 @@ pub enum Widget {
 }
 
 /// A user input directed at a widget.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WidgetInput {
     /// Set a dial or slider value (clamped to its range).
     Number(f64),
@@ -167,10 +167,7 @@ impl Widget {
                 *on = *b;
                 Ok(())
             }
-            (w, input) => Err(format!(
-                "input {input:?} does not fit widget '{}'",
-                w.name()
-            )),
+            (w, input) => Err(format!("input {input:?} does not fit widget '{}'", w.name())),
         }
     }
 }
@@ -209,6 +206,79 @@ impl Widget {
     /// A toggle.
     pub fn toggle(name: &str, on: bool) -> Self {
         Widget::Toggle { name: name.to_owned(), on }
+    }
+}
+
+/// Saved-file (JSON) form: one object tagged by a `kind` member.
+impl Widget {
+    /// Encode for the saved-network file format.
+    pub fn to_json(&self) -> Json {
+        let s = |s: &str| Json::Str(s.to_owned());
+        match self {
+            Widget::Dial { name, min, max, value } => Json::obj(vec![
+                ("kind", s("dial")),
+                ("name", s(name)),
+                ("min", Json::Num(*min)),
+                ("max", Json::Num(*max)),
+                ("value", Json::Num(*value)),
+            ]),
+            Widget::Slider { name, min, max, value } => Json::obj(vec![
+                ("kind", s("slider")),
+                ("name", s(name)),
+                ("min", Json::Num(*min)),
+                ("max", Json::Num(*max)),
+                ("value", Json::Num(*value)),
+            ]),
+            Widget::TypeIn { name, text } => {
+                Json::obj(vec![("kind", s("type_in")), ("name", s(name)), ("text", s(text))])
+            }
+            Widget::RadioButtons { name, choices, selected } => Json::obj(vec![
+                ("kind", s("radio")),
+                ("name", s(name)),
+                ("choices", Json::Arr(choices.iter().map(|c| s(c)).collect())),
+                ("selected", Json::Num(*selected as f64)),
+            ]),
+            Widget::FileBrowser { name, path } => {
+                Json::obj(vec![("kind", s("file_browser")), ("name", s(name)), ("path", s(path))])
+            }
+            Widget::Toggle { name, on } => {
+                Json::obj(vec![("kind", s("toggle")), ("name", s(name)), ("on", Json::Bool(*on))])
+            }
+        }
+    }
+
+    /// Decode from the saved-network file format.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let kind = j.str_of("kind")?;
+        let name = j.str_of("name")?;
+        match kind.as_str() {
+            "dial" => Ok(Widget::Dial {
+                name,
+                min: j.f64_of("min")?,
+                max: j.f64_of("max")?,
+                value: j.f64_of("value")?,
+            }),
+            "slider" => Ok(Widget::Slider {
+                name,
+                min: j.f64_of("min")?,
+                max: j.f64_of("max")?,
+                value: j.f64_of("value")?,
+            }),
+            "type_in" => Ok(Widget::TypeIn { name, text: j.str_of("text")? }),
+            "radio" => {
+                let choices = j
+                    .need("choices")?
+                    .as_arr()
+                    .ok_or("member 'choices' is not an array")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_owned).ok_or("choice is not a string"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Widget::RadioButtons { name, choices, selected: j.usize_of("selected")? })
+            }
+            "file_browser" => Ok(Widget::FileBrowser { name, path: j.str_of("path")? }),
+            "toggle" => Ok(Widget::Toggle { name, on: j.bool_of("on")? }),
+            k => Err(format!("unknown widget kind '{k}'")),
+        }
     }
 }
 
@@ -271,10 +341,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let w = Widget::radio("solver", &["Newton-Raphson", "Runge-Kutta"], 1);
-        let json = serde_json::to_string(&w).unwrap();
-        let back: Widget = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, w);
+    fn json_round_trip() {
+        let widgets = [
+            Widget::radio("solver", &["Newton-Raphson", "Runge-Kutta"], 1),
+            Widget::dial("inertia", 0.0, 10.0, 5.5),
+            Widget::slider("gain", -1.0, 1.0, 0.25),
+            Widget::type_in("pathname", "/npss/shaft"),
+            Widget::file_browser("map", "/maps/fan.map"),
+            Widget::toggle("afterburner", true),
+        ];
+        for w in widgets {
+            let json = w.to_json().pretty();
+            let back = Widget::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, w);
+        }
     }
 }

@@ -1,9 +1,40 @@
-//! Property-based tests of the dataflow scheduler over random DAGs.
-
-use proptest::prelude::*;
+//! Randomized tests of the dataflow scheduler over random DAGs.
+//!
+//! These were property-based tests; they now draw their cases from a
+//! deterministic SplitMix64 generator so the sweep needs no external
+//! crates and replays identically on every run.
 
 use avs::{AvsModule, ComputeCtx, ModuleSpec, NetworkEditor, Scheduler, Widget, WidgetInput};
 use uts::Value;
+
+/// Deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
 
 /// A module that sums its (up to 3) inputs and adds a widget offset.
 struct SumNode;
@@ -38,33 +69,31 @@ struct DagSpec {
     offsets: Vec<f64>,
 }
 
-fn arb_dag() -> impl Strategy<Value = DagSpec> {
-    (2usize..9).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0usize..n, 0usize..n, 0usize..3), 0..(2 * n));
-        let offsets = proptest::collection::vec(-10.0f64..10.0, n);
-        (Just(n), edges, offsets).prop_map(|(n, raw, offsets)| {
-            // Keep only forward edges and at most one per (to, port).
-            let mut seen = std::collections::HashSet::new();
-            let edges = raw
-                .into_iter()
-                .filter_map(|(a, b, p)| {
-                    let (from, to) = if a < b { (a, b) } else { (b, a) };
-                    if from == to {
-                        return None;
-                    }
-                    seen.insert((to, p)).then_some((from, to, p))
-                })
-                .collect();
-            DagSpec { n, edges, offsets }
-        })
-    })
+fn gen_dag(g: &mut Gen) -> DagSpec {
+    let n = 2 + g.below(7);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for _ in 0..g.below(2 * n) {
+        let a = g.below(n);
+        let b = g.below(n);
+        let p = g.below(3);
+        // Keep only forward edges and at most one per (to, port).
+        let (from, to) = if a < b { (a, b) } else { (b, a) };
+        if from == to {
+            continue;
+        }
+        if seen.insert((to, p)) {
+            edges.push((from, to, p));
+        }
+    }
+    let offsets = (0..n).map(|_| g.range(-10.0, 10.0)).collect();
+    DagSpec { n, edges, offsets }
 }
 
 fn build(dag: &DagSpec) -> (NetworkEditor, Vec<avs::ModuleId>) {
     let mut ed = NetworkEditor::new();
-    let ids: Vec<_> = (0..dag.n)
-        .map(|i| ed.add_module(&format!("n{i}"), Box::new(SumNode)).unwrap())
-        .collect();
+    let ids: Vec<_> =
+        (0..dag.n).map(|i| ed.add_module(&format!("n{i}"), Box::new(SumNode)).unwrap()).collect();
     for &(from, to, port) in &dag.edges {
         let port_name = ["a", "b", "c"][port];
         ed.connect(ids[from], "out", ids[to], port_name).unwrap();
@@ -86,33 +115,38 @@ fn reference_value(dag: &DagSpec, node: usize) -> f64 {
     total
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// One settle computes exactly the recursive dataflow value at every
-    /// node, and a second settle executes nothing (fixed point).
-    #[test]
-    fn scheduler_computes_dataflow_fixed_point(dag in arb_dag()) {
+/// One settle computes exactly the recursive dataflow value at every
+/// node, and a second settle executes nothing (fixed point).
+#[test]
+fn scheduler_computes_dataflow_fixed_point() {
+    let mut g = Gen::new(41);
+    for _ in 0..64 {
+        let dag = gen_dag(&mut g);
         let (mut ed, ids) = build(&dag);
         let mut sched = Scheduler::new();
         sched.settle(&mut ed, 50).unwrap();
         for (i, id) in ids.iter().enumerate() {
             let got = ed.output(*id, "out").and_then(Value::as_f64).unwrap();
             let want = reference_value(&dag, i);
-            prop_assert!((got - want).abs() < 1e-9, "node {i}: {got} vs {want}");
+            assert!((got - want).abs() < 1e-9, "node {i}: {got} vs {want}");
         }
-        prop_assert_eq!(sched.settle(&mut ed, 50).unwrap(), 0, "must be quiescent");
+        assert_eq!(sched.settle(&mut ed, 50).unwrap(), 0, "must be quiescent");
     }
+}
 
-    /// Changing one widget re-executes only the affected cone and the
-    /// result matches the reference again.
-    #[test]
-    fn widget_change_recomputes_correctly(dag in arb_dag(), node_sel in any::<prop::sample::Index>(), new_off in -50.0f64..50.0) {
+/// Changing one widget re-executes only the affected cone and the result
+/// matches the reference again.
+#[test]
+fn widget_change_recomputes_correctly() {
+    let mut g = Gen::new(42);
+    for _ in 0..64 {
+        let dag = gen_dag(&mut g);
+        let node = g.below(dag.n);
+        let new_off = g.range(-50.0, 50.0);
         let (mut ed, ids) = build(&dag);
         let mut sched = Scheduler::new();
         sched.settle(&mut ed, 50).unwrap();
 
-        let node = node_sel.index(dag.n);
         ed.set_widget(ids[node], "offset", WidgetInput::Number(new_off)).unwrap();
         sched.settle(&mut ed, 50).unwrap();
 
@@ -121,25 +155,28 @@ proptest! {
         for (i, id) in ids.iter().enumerate() {
             let got = ed.output(*id, "out").and_then(Value::as_f64).unwrap();
             let want = reference_value(&dag2, i);
-            prop_assert!((got - want).abs() < 1e-9, "node {i} after change");
+            assert!((got - want).abs() < 1e-9, "node {i} after change");
         }
     }
+}
 
-    /// The topological order the editor computes respects every edge.
-    #[test]
-    fn topo_order_respects_edges(dag in arb_dag()) {
-        let (ed, ids) = build(&dag);
+/// The topological order the editor computes respects every edge.
+#[test]
+fn topo_order_respects_edges() {
+    let mut g = Gen::new(43);
+    for _ in 0..64 {
+        let dag = gen_dag(&mut g);
+        let (mut ed, ids) = build(&dag);
         let mut sched = Scheduler::new();
-        let mut ed = ed;
         let report = sched.step(&mut ed).unwrap();
         // Every module executed on the first pass, in an order where
         // sources precede sinks.
-        prop_assert_eq!(report.executed.len(), dag.n);
+        assert_eq!(report.executed.len(), dag.n);
         let pos = |name: &str| report.executed.iter().position(|n| n == name).unwrap();
         for &(from, to, _) in &dag.edges {
             let nf = format!("n{from}");
             let nt = format!("n{to}");
-            prop_assert!(pos(&nf) < pos(&nt), "edge {from}->{to} violated");
+            assert!(pos(&nf) < pos(&nt), "edge {from}->{to} violated");
         }
         let _ = ids;
     }

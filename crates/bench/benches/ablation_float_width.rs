@@ -12,9 +12,8 @@ use schooner::stub::CompiledStub;
 use uts::{Architecture, Value};
 
 fn stub_for(ty: &str, len: usize) -> CompiledStub {
-    let src = format!(
-        r#"export f prog("xs" val array[{len}] of {ty}, "ys" res array[{len}] of {ty})"#
-    );
+    let src =
+        format!(r#"export f prog("xs" val array[{len}] of {ty}, "ys" res array[{len}] of {ty})"#);
     let file = uts::parse_spec_file(&src).unwrap();
     CompiledStub::compile(&file.decls[0])
 }

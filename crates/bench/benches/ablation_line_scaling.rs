@@ -33,14 +33,10 @@ fn bench_line_scaling(c: &mut Criterion) {
         }
         // Measure a cached call (steady state) and a fresh mapping via a
         // brand-new line (Manager lookup under n_lines live databases).
-        group.bench_with_input(
-            BenchmarkId::new("cached_call", n_lines),
-            &n_lines,
-            |b, _| {
-                let line = lines.last_mut().unwrap();
-                b.iter(|| line.call("echo", &[Value::Double(1.0)]).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cached_call", n_lines), &n_lines, |b, _| {
+            let line = lines.last_mut().unwrap();
+            b.iter(|| line.call("echo", &[Value::Double(1.0)]).unwrap());
+        });
         group.bench_with_input(BenchmarkId::new("fresh_map", n_lines), &n_lines, |b, _| {
             b.iter(|| {
                 let mut l = sch.open_line("prober", "lerc-sparc10").unwrap();

@@ -28,9 +28,7 @@ fn stateful_image(len: usize) -> ProgramImage {
                 },
                 |buf: &Vec<f64>| vec![Value::doubles(buf)],
                 |vals: Vec<Value>| {
-                    vals.first()
-                        .and_then(Value::as_f64_slice)
-                        .ok_or_else(|| "bad state".to_string())
+                    vals.first().and_then(Value::as_f64_slice).ok_or_else(|| "bad state".into())
                 },
             ))
         })

@@ -34,12 +34,8 @@ fn bench_rpc_vs_mp(c: &mut Criterion) {
 
     // --- Schooner RPC path ---
     let sch = bench::world();
-    sch.install_program(
-        npss::procs::SHAFT_PATH,
-        npss::procs::shaft_image(),
-        &["lerc-rs6000"],
-    )
-    .unwrap();
+    sch.install_program(npss::procs::SHAFT_PATH, npss::procs::shaft_image(), &["lerc-rs6000"])
+        .unwrap();
     let mut line = sch.open_line("rpc-shaft", "lerc-sparc10").unwrap();
     line.start_remote(npss::procs::SHAFT_PATH, "lerc-rs6000").unwrap();
     let args = shaft_args_values();
@@ -55,8 +51,7 @@ fn bench_rpc_vs_mp(c: &mut Criterion) {
     let master = mp.register("lerc-sparc10").unwrap();
     let worker_tid = TaskId(master.tid().0 + 1);
     mp.spawn("lerc-rs6000", move |ctx| {
-        loop {
-            let Ok(msg) = ctx.recv(1, Duration::from_secs(10)) else { break };
+        while let Ok(msg) = ctx.recv(1, Duration::from_secs(10)) {
             if msg.payload.is_empty() {
                 break; // shutdown convention: empty payload
             }
@@ -71,14 +66,9 @@ fn bench_rpc_vs_mp(c: &mut Criterion) {
             let ecorr = ub.unpack_f32().unwrap() as f64;
             let xspool = ub.unpack_f32().unwrap() as f64;
             let xmyi = ub.unpack_f32().unwrap() as f64;
-            let dxspl = npss::procs::shaft_math::accel(
-                ecom[0] as f64,
-                etur[0] as f64,
-                ecorr,
-                xspool,
-                xmyi,
-            )
-            .unwrap();
+            let dxspl =
+                npss::procs::shaft_math::accel(ecom[0] as f64, etur[0] as f64, ecorr, xspool, xmyi)
+                    .unwrap();
             ctx.compute(20_000.0);
             let mut pb = PackBuffer::new(ctx.arch());
             pb.pack_f32(dxspl as f32);
@@ -111,7 +101,9 @@ fn bench_rpc_vs_mp(c: &mut Criterion) {
     group.finish();
 
     println!("\n=== Ablation A7: what the RPC glue costs ===\n");
-    println!("request payload bytes: Schooner (tagged IR) {rpc_bytes}, mplite (raw native) {mp_bytes}");
+    println!(
+        "request payload bytes: Schooner (tagged IR) {rpc_bytes}, mplite (raw native) {mp_bytes}"
+    );
     println!(
         "Schooner adds self-describing tags, bind-time type checks, name service, and\n\
          per-line cleanup; mplite requires the user to track task ids, sender\n\

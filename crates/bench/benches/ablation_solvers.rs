@@ -46,13 +46,9 @@ fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers");
     group.sample_size(10);
     for m in methods {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(m.display_name()),
-            &m,
-            |b, &m| {
-                b.iter(|| final_n1(m, 0.02));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(m.display_name()), &m, |b, &m| {
+            b.iter(|| final_n1(m, 0.02));
+        });
     }
     group.finish();
 }

@@ -24,10 +24,7 @@ fn bench_fig1(c: &mut Criterion) {
     .expect("pair costs");
     println!("{:<16} {:<16} {:<34} {:>10}", "caller", "callee", "network", "ms/call");
     for pc in &costs {
-        println!(
-            "{:<16} {:<16} {:<34} {:>10.3}",
-            pc.from, pc.to, pc.network, pc.per_call_ms
-        );
+        println!("{:<16} {:<16} {:<34} {:>10.3}", pc.from, pc.to, pc.network, pc.per_call_ms);
     }
 
     // Wall-clock RPC latency per network class.

@@ -16,10 +16,7 @@ fn regenerate() -> Vec<Table1Row> {
     let cfg = Table1Config::default();
     let rows = run_table1(&sch, &cfg).expect("table 1 sweep");
     println!("\n=== Table 1: TESS and Schooner individual module tests ===");
-    println!(
-        "(steady-state balance + {:.1} s transient, {})\n",
-        cfg.t_end, cfg.method
-    );
+    println!("(steady-state balance + {:.1} s transient, {})\n", cfg.t_end, cfg.method);
     println!("{}", render_table1(&rows));
     let all = rows.iter().all(Table1Row::matches_local);
     println!("all runs converged and matched the local baseline: {all}\n");
@@ -54,10 +51,8 @@ fn bench_table1(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut net = F100Network::build(sch.clone(), avs).unwrap();
-                net.apply_placement(
-                    &RemotePlacement::all_local().with("low speed shaft", remote),
-                )
-                .unwrap();
+                net.apply_placement(&RemotePlacement::all_local().with("low speed shaft", remote))
+                    .unwrap();
                 net.run("Modified Euler", 0.1, 0.02).unwrap()
             });
         });

@@ -18,18 +18,12 @@ pub fn world() -> Arc<Schooner> {
 
 /// A tiny echo image for RPC microbenchmarks.
 pub fn echo_image() -> ProgramImage {
-    ProgramImage::new(
-        "echo",
-        r#"export echo prog("x" val double, "y" res double)"#,
-    )
-    .expect("spec parses")
-    .with_procedure("echo", || {
-        Box::new(FnProcedure::with_flops(
-            |args: &[Value]| Ok(vec![args[0].clone()]),
-            1_000.0,
-        ))
-    })
-    .expect("echo declared")
+    ProgramImage::new("echo", r#"export echo prog("x" val double, "y" res double)"#)
+        .expect("spec parses")
+        .with_procedure("echo", || {
+            Box::new(FnProcedure::with_flops(|args: &[Value]| Ok(vec![args[0].clone()]), 1_000.0))
+        })
+        .expect("echo declared")
 }
 
 /// A payload-heavy image for marshaling benchmarks: echoes an array.
@@ -40,10 +34,7 @@ pub fn payload_image(len: usize) -> ProgramImage {
     ProgramImage::new("payload", &spec)
         .expect("spec parses")
         .with_procedure("blast", || {
-            Box::new(FnProcedure::with_flops(
-                |args: &[Value]| Ok(vec![args[0].clone()]),
-                10_000.0,
-            ))
+            Box::new(FnProcedure::with_flops(|args: &[Value]| Ok(vec![args[0].clone()]), 10_000.0))
         })
         .expect("blast declared")
 }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 type FileMap = HashMap<(String, String), Arc<Vec<u8>>>;
 
@@ -30,31 +30,28 @@ impl FileStore {
     pub fn write(&self, host: &str, path: &str, contents: impl Into<Vec<u8>>) {
         self.inner
             .write()
+            .unwrap()
             .insert((host.to_owned(), path.to_owned()), Arc::new(contents.into()));
     }
 
     /// Read a file from `host` at `path`.
     pub fn read(&self, host: &str, path: &str) -> Option<Arc<Vec<u8>>> {
-        self.inner.read().get(&(host.to_owned(), path.to_owned())).cloned()
+        self.inner.read().unwrap().get(&(host.to_owned(), path.to_owned())).cloned()
     }
 
     /// Read a file as UTF-8 text.
     pub fn read_text(&self, host: &str, path: &str) -> Option<String> {
-        self.read(host, path)
-            .and_then(|b| String::from_utf8(b.as_ref().clone()).ok())
+        self.read(host, path).and_then(|b| String::from_utf8(b.as_ref().clone()).ok())
     }
 
     /// True when the file exists on that host.
     pub fn exists(&self, host: &str, path: &str) -> bool {
-        self.inner.read().contains_key(&(host.to_owned(), path.to_owned()))
+        self.inner.read().unwrap().contains_key(&(host.to_owned(), path.to_owned()))
     }
 
     /// Remove a file; returns whether it existed.
     pub fn remove(&self, host: &str, path: &str) -> bool {
-        self.inner
-            .write()
-            .remove(&(host.to_owned(), path.to_owned()))
-            .is_some()
+        self.inner.write().unwrap().remove(&(host.to_owned(), path.to_owned())).is_some()
     }
 
     /// List paths on a host (sorted), like a directory browser widget.
@@ -62,6 +59,7 @@ impl FileStore {
         let mut v: Vec<String> = self
             .inner
             .read()
+            .unwrap()
             .keys()
             .filter(|(h, _)| h == host)
             .map(|(_, p)| p.clone())
@@ -77,9 +75,7 @@ impl FileStore {
             Some(c) => c,
             None => return false,
         };
-        self.inner
-            .write()
-            .insert((to_host.to_owned(), path.to_owned()), contents);
+        self.inner.write().unwrap().insert((to_host.to_owned(), path.to_owned()), contents);
         true
     }
 }

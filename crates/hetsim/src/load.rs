@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Shared, mutable load state. Load is a non-negative "competing jobs"
 /// figure: effective speed = nominal / (1 + load).
@@ -25,17 +25,17 @@ impl LoadModel {
 
     /// Current load of `host` (0 when never set).
     pub fn get(&self, host: &str) -> f64 {
-        self.inner.read().get(host).copied().unwrap_or(0.0)
+        self.inner.read().unwrap().get(host).copied().unwrap_or(0.0)
     }
 
     /// Set the load of `host`; negative values clamp to 0.
     pub fn set(&self, host: &str, load: f64) {
-        self.inner.write().insert(host.to_owned(), load.max(0.0));
+        self.inner.write().unwrap().insert(host.to_owned(), load.max(0.0));
     }
 
     /// Add to the load of `host` (may be negative; clamps at 0).
     pub fn add(&self, host: &str, delta: f64) -> f64 {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().unwrap();
         let entry = map.entry(host.to_owned()).or_insert(0.0);
         *entry = (*entry + delta).max(0.0);
         *entry
@@ -43,15 +43,16 @@ impl LoadModel {
 
     /// The host with the lowest load among `candidates` (ties broken by
     /// name for determinism). `None` if `candidates` is empty.
-    pub fn least_loaded<'a>(&self, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
-        let map = self.inner.read();
-        candidates
-            .into_iter()
-            .min_by(|a, b| {
-                let la = map.get(*a).copied().unwrap_or(0.0);
-                let lb = map.get(*b).copied().unwrap_or(0.0);
-                la.partial_cmp(&lb).unwrap().then_with(|| a.cmp(b))
-            })
+    pub fn least_loaded<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = &'a str>,
+    ) -> Option<&'a str> {
+        let map = self.inner.read().unwrap();
+        candidates.into_iter().min_by(|a, b| {
+            let la = map.get(*a).copied().unwrap_or(0.0);
+            let lb = map.get(*b).copied().unwrap_or(0.0);
+            la.partial_cmp(&lb).unwrap().then_with(|| a.cmp(b))
+        })
     }
 }
 

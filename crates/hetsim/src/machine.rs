@@ -3,13 +3,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use uts::Architecture;
 
 use crate::load::LoadModel;
 
 /// A machine available to run remote procedures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// Topology host name (e.g. `lerc-cray-ymp`).
     pub host: String,
@@ -51,9 +50,7 @@ impl MachinePark {
     pub fn new(machines: impl IntoIterator<Item = Machine>) -> Self {
         let machines: HashMap<String, Machine> =
             machines.into_iter().map(|m| (m.host.clone(), m)).collect();
-        Self {
-            inner: Arc::new(ParkInner { machines, load: LoadModel::new() }),
-        }
+        Self { inner: Arc::new(ParkInner { machines, load: LoadModel::new() }) }
     }
 
     /// Look up a machine by host name.

@@ -29,9 +29,9 @@ use std::time::Duration;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hetsim::MachinePark;
 use netsim::{Endpoint, NetError, Network, Topology, VirtualClock};
-use parking_lot::Mutex;
-use uts::native::{cray, vax};
+use std::sync::Mutex;
 use uts::arch::{FloatRepr, IntRepr};
+use uts::native::{cray, vax};
 use uts::Architecture;
 
 /// Task identifier (PVM's "tid").
@@ -71,12 +71,12 @@ impl PackBuffer {
         match self.arch.float_repr() {
             FloatRepr::IeeeBig => self.buf.put_slice(&v.to_be_bytes()),
             FloatRepr::IeeeLittle => self.buf.put_slice(&v.to_le_bytes()),
-            FloatRepr::Cray => self
-                .buf
-                .put_slice(&cray::encode(v as f64).expect("f32 fits Cray").to_be_bytes()),
-            FloatRepr::Vax => self
-                .buf
-                .put_slice(&vax::encode_f(v).expect("finite f32 in VAX range")),
+            FloatRepr::Cray => {
+                self.buf.put_slice(&cray::encode(v as f64).expect("f32 fits Cray").to_be_bytes())
+            }
+            FloatRepr::Vax => {
+                self.buf.put_slice(&vax::encode_f(v).expect("finite f32 in VAX range"))
+            }
         }
         self
     }
@@ -223,7 +223,7 @@ impl TaskCtx {
     /// The architecture of another task (the receiver must track this to
     /// unpack correctly; mplite at least lets you ask).
     pub fn arch_of(&self, tid: TaskId) -> Option<Architecture> {
-        self.registry.lock().addr_of.get(&tid).map(|(_, a)| *a)
+        self.registry.lock().unwrap().addr_of.get(&tid).map(|(_, a)| *a)
     }
 
     /// Send a packed buffer to a task with a tag.
@@ -231,6 +231,7 @@ impl TaskCtx {
         let addr = self
             .registry
             .lock()
+            .unwrap()
             .addr_of
             .get(&to)
             .map(|(a, _)| a.clone())
@@ -239,9 +240,7 @@ impl TaskCtx {
         framed.put_u64(self.tid.0);
         framed.put_u32(tag);
         framed.put_slice(&payload);
-        self.endpoint
-            .send(&addr, framed.freeze(), self.clock.now())
-            .map_err(|e| e.to_string())?;
+        self.endpoint.send(&addr, framed.freeze(), self.clock.now()).map_err(|e| e.to_string())?;
         Ok(())
     }
 
@@ -295,13 +294,10 @@ impl MpSystem {
     /// program.
     pub fn register(&self, host: &str) -> Result<TaskCtx, String> {
         let tid = TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed));
-        let arch = self
-            .park
-            .arch_of(host)
-            .ok_or_else(|| format!("unknown host '{host}'"))?;
+        let arch = self.park.arch_of(host).ok_or_else(|| format!("unknown host '{host}'"))?;
         let addr = format!("{host}:mp-{}", tid.0);
         let endpoint = self.net.register(addr.clone()).map_err(|e| e.to_string())?;
-        self.registry.lock().addr_of.insert(tid, (addr, arch));
+        self.registry.lock().unwrap().addr_of.insert(tid, (addr, arch));
         Ok(TaskCtx {
             tid,
             arch,
@@ -325,13 +321,13 @@ impl MpSystem {
             .name(format!("mplite-{}", tid.0))
             .spawn(move || body(ctx))
             .map_err(|e| e.to_string())?;
-        self.handles.lock().push(handle);
+        self.handles.lock().unwrap().push(handle);
         Ok(tid)
     }
 
     /// Wait for every spawned task to finish.
     pub fn join_all(&self) {
-        for h in self.handles.lock().drain(..) {
+        for h in self.handles.lock().unwrap().drain(..) {
             let _ = h.join();
         }
     }

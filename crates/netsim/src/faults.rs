@@ -1,0 +1,273 @@
+//! Deterministic fault injection driven by virtual time.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, when and where the network
+//! misbehaves: per-link message-drop probabilities, timed partitions
+//! between host groups, hosts that flap down for a window, and latency
+//! spikes that stretch transfer times. The plan is installed on a
+//! [`Network`](crate::Network) and consulted on every send.
+//!
+//! Two properties make the injection reproducible:
+//!
+//! * **Virtual-time windows.** Partitions, flaps, and spikes are keyed on
+//!   the *virtual* instant a message is sent, not wall-clock time, so a
+//!   run that advances its clocks identically sees identical faults — and
+//!   a caller that backs off past a window's end deterministically finds
+//!   the network healed.
+//! * **Counter-seeded drops.** Probabilistic drops hash `(seed, link,
+//!   message ordinal)` through SplitMix64 instead of sampling a global
+//!   RNG, so the n-th message on a link is dropped or delivered
+//!   identically on every repeat of the run, regardless of thread
+//!   interleaving elsewhere.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::transport::NetError;
+
+/// Advance a SplitMix64 state and return the next 64-bit output.
+pub(crate) fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    *state = z ^ (z >> 31);
+}
+
+/// Hash arbitrary bytes into a SplitMix64-mixed value.
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        splitmix64(&mut h);
+    }
+    h
+}
+
+/// Probabilistic message loss on the (undirected) pair `a`–`b`.
+#[derive(Debug, Clone)]
+struct DropRule {
+    a: String,
+    b: String,
+    probability: f64,
+}
+
+/// No traffic between group `a` and group `b` during the window.
+#[derive(Debug, Clone)]
+struct Partition {
+    a: Vec<String>,
+    b: Vec<String>,
+    from: f64,
+    until: f64,
+}
+
+/// A host that is down during the window.
+#[derive(Debug, Clone)]
+struct HostFlap {
+    host: String,
+    from: f64,
+    until: f64,
+}
+
+/// Transfer times multiplied and padded during the window.
+#[derive(Debug, Clone)]
+struct LatencySpike {
+    from: f64,
+    until: f64,
+    factor: f64,
+    extra_s: f64,
+}
+
+/// A pre-declared, seeded schedule of network faults.
+///
+/// Build one with the chained constructors, then install it with
+/// [`Network::set_fault_plan`](crate::Network::set_fault_plan):
+///
+/// ```
+/// use netsim::FaultPlan;
+///
+/// let plan = FaultPlan::new(0xF00D)
+///     .drop_between("lerc-sparc10", "lerc-cray-ymp", 0.2)
+///     .partition(&["ua-sparc10"], &["lerc-sparc10"], 1.0, 4.0)
+///     .host_flap("lerc-rs6000", 2.0, 3.0)
+///     .latency_spike(5.0, 6.0, 4.0, 0.010);
+/// # let _ = plan;
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    drops: Vec<DropRule>,
+    partitions: Vec<Partition>,
+    flaps: Vec<HostFlap>,
+    spikes: Vec<LatencySpike>,
+    /// Per-directed-pair ordinal of drop-eligible messages, so repeats of
+    /// an identical send sequence see identical drops.
+    counters: Mutex<HashMap<(String, String), u64>>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Drop each message between hosts `a` and `b` (either direction)
+    /// with the given probability.
+    pub fn drop_between(mut self, a: &str, b: &str, probability: f64) -> Self {
+        self.drops.push(DropRule {
+            a: a.to_owned(),
+            b: b.to_owned(),
+            probability: probability.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Cut all traffic between the two host groups over `[from, until)`
+    /// virtual seconds.
+    pub fn partition(mut self, a: &[&str], b: &[&str], from: f64, until: f64) -> Self {
+        self.partitions.push(Partition {
+            a: a.iter().map(|s| s.to_string()).collect(),
+            b: b.iter().map(|s| s.to_string()).collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Take `host` down over `[from, until)` virtual seconds.
+    pub fn host_flap(mut self, host: &str, from: f64, until: f64) -> Self {
+        self.flaps.push(HostFlap { host: host.to_owned(), from, until });
+        self
+    }
+
+    /// Stretch every transfer sent during `[from, until)`: the transfer
+    /// time is multiplied by `factor` and padded by `extra_s` seconds.
+    pub fn latency_spike(mut self, from: f64, until: f64, factor: f64, extra_s: f64) -> Self {
+        self.spikes.push(LatencySpike { from, until, factor, extra_s: extra_s.max(0.0) });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide the fate of a message sent from `from_host` to `to_host` at
+    /// virtual time `t`. `Ok(())` means the message goes through.
+    pub fn check_send(&self, from_host: &str, to_host: &str, t: f64) -> Result<(), NetError> {
+        for flap in &self.flaps {
+            if t >= flap.from && t < flap.until {
+                if flap.host == from_host {
+                    return Err(NetError::HostDown(from_host.to_owned()));
+                }
+                if flap.host == to_host {
+                    return Err(NetError::HostDown(to_host.to_owned()));
+                }
+            }
+        }
+        for p in &self.partitions {
+            if t >= p.from && t < p.until && severed(p, from_host, to_host) {
+                return Err(NetError::Unreachable {
+                    from: from_host.to_owned(),
+                    to: to_host.to_owned(),
+                });
+            }
+        }
+        for rule in &self.drops {
+            if rule.probability > 0.0 && pair_matches(rule, from_host, to_host) {
+                let n = {
+                    let mut counters = self.counters.lock().unwrap();
+                    let n = counters.entry((from_host.to_owned(), to_host.to_owned())).or_insert(0);
+                    *n += 1;
+                    *n
+                };
+                let mut h = hash_bytes(self.seed, from_host.as_bytes());
+                h = hash_bytes(h, to_host.as_bytes());
+                h ^= n;
+                splitmix64(&mut h);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < rule.probability {
+                    return Err(NetError::Dropped {
+                        from: from_host.to_owned(),
+                        to: to_host.to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply any active latency spike to a base transfer time.
+    pub fn adjust_transfer(&self, t: f64, transfer: f64) -> f64 {
+        let mut out = transfer;
+        for s in &self.spikes {
+            if t >= s.from && t < s.until {
+                out = out * s.factor + s.extra_s;
+            }
+        }
+        out
+    }
+}
+
+fn pair_matches(rule: &DropRule, from: &str, to: &str) -> bool {
+    (rule.a == from && rule.b == to) || (rule.a == to && rule.b == from)
+}
+
+fn severed(p: &Partition, from: &str, to: &str) -> bool {
+    let (fa, fb) = (p.a.iter().any(|h| h == from), p.b.iter().any(|h| h == from));
+    let (ta, tb) = (p.a.iter().any(|h| h == to), p.b.iter().any(|h| h == to));
+    (fa && tb) || (fb && ta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_windowed_and_directionless() {
+        let plan = FaultPlan::new(1).partition(&["a"], &["b", "c"], 1.0, 2.0);
+        assert!(plan.check_send("a", "b", 0.5).is_ok());
+        assert!(matches!(plan.check_send("a", "b", 1.0), Err(NetError::Unreachable { .. })));
+        assert!(matches!(plan.check_send("c", "a", 1.9), Err(NetError::Unreachable { .. })));
+        assert!(plan.check_send("b", "c", 1.5).is_ok(), "same side stays connected");
+        assert!(plan.check_send("a", "b", 2.0).is_ok(), "window is half-open");
+    }
+
+    #[test]
+    fn flaps_hit_both_directions() {
+        let plan = FaultPlan::new(1).host_flap("b", 0.0, 1.0);
+        assert!(matches!(plan.check_send("a", "b", 0.1), Err(NetError::HostDown(h)) if h == "b"));
+        assert!(matches!(plan.check_send("b", "a", 0.1), Err(NetError::HostDown(h)) if h == "b"));
+        assert!(plan.check_send("a", "b", 1.0).is_ok());
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_probabilistic() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).drop_between("a", "b", 0.3);
+            (0..200).map(|_| plan.check_send("a", "b", 0.0).is_ok()).collect()
+        };
+        let first = outcomes(7);
+        assert_eq!(first, outcomes(7), "same seed, same fate sequence");
+        assert_ne!(first, outcomes(8), "different seed, different fates");
+        let delivered = first.iter().filter(|&&ok| ok).count();
+        assert!((100..=180).contains(&delivered), "~30% dropped, got {delivered}/200");
+    }
+
+    #[test]
+    fn unrelated_links_see_no_drops() {
+        let plan = FaultPlan::new(3).drop_between("a", "b", 1.0);
+        for _ in 0..20 {
+            assert!(plan.check_send("a", "c", 0.0).is_ok());
+        }
+        assert!(plan.check_send("b", "a", 0.0).is_err(), "rule is symmetric");
+    }
+
+    #[test]
+    fn latency_spikes_stretch_transfers_in_window() {
+        let plan = FaultPlan::new(1).latency_spike(1.0, 2.0, 3.0, 0.5);
+        assert_eq!(plan.adjust_transfer(0.0, 0.1), 0.1);
+        let spiked = plan.adjust_transfer(1.5, 0.1);
+        assert!((spiked - 0.8).abs() < 1e-12);
+        assert_eq!(plan.adjust_transfer(2.0, 0.1), 0.1);
+    }
+}

@@ -18,11 +18,13 @@
 //! wide-area latencies still run in milliseconds of wall-clock time while
 //! reporting wide-area numbers.
 
+pub mod faults;
 pub mod sites;
 pub mod time;
 pub mod topology;
 pub mod transport;
 
+pub use faults::FaultPlan;
 pub use sites::{npss_testbed, HostSpec, Site};
 pub use time::VirtualClock;
 pub use topology::{Link, NodeId, NodeKind, Topology};

@@ -10,12 +10,10 @@
 //!   `lerc-convex` (two gateway crossings);
 //! * **via Internet** — anything between `lerc-*` and `ua-*`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::topology::{Link, NodeKind, Topology};
 
 /// Which site a host belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Site {
     /// NASA Lewis Research Center, Cleveland.
     LewisResearchCenter,
@@ -34,7 +32,7 @@ impl Site {
 }
 
 /// A host in the standard testbed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostSpec {
     /// Topology node name.
     pub name: &'static str,
@@ -171,10 +169,7 @@ mod tests {
     #[test]
     fn host_spec_lookup() {
         assert_eq!(host_spec("lerc-cray-ymp").unwrap().machine, "Cray YMP");
-        assert_eq!(
-            host_spec("ua-sparc10").unwrap().site,
-            Site::UniversityOfArizona
-        );
+        assert_eq!(host_spec("ua-sparc10").unwrap().site, Site::UniversityOfArizona);
         assert!(host_spec("nonesuch").is_none());
     }
 

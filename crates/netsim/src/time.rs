@@ -65,12 +65,8 @@ impl VirtualClock {
         let target = to_nanos(secs);
         let mut cur = self.nanos.load(Ordering::Acquire);
         while cur < target {
-            match self.nanos.compare_exchange_weak(
-                cur,
-                target,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.nanos.compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return to_secs(target),
                 Err(actual) => cur = actual,
             }

@@ -14,14 +14,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a node within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 /// What a node is; only hosts run processes, the rest forward traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// A machine that can run Schooner processes.
     Host,
@@ -32,7 +30,7 @@ pub enum NodeKind {
 }
 
 /// An undirected link with fixed latency and bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// One-way propagation + processing latency in seconds.
     pub latency_s: f64,
@@ -64,14 +62,14 @@ impl Link {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Node {
     name: String,
     kind: NodeKind,
 }
 
 /// The network graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     by_name: HashMap<String, NodeId>,
@@ -89,10 +87,7 @@ impl Topology {
     /// Add a node; names must be unique.
     pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "duplicate node name '{name}'"
-        );
+        assert!(!self.by_name.contains_key(&name), "duplicate node name '{name}'");
         let id = NodeId(self.nodes.len());
         self.by_name.insert(name.clone(), id);
         self.nodes.push(Node { name, kind });
@@ -144,10 +139,7 @@ impl Topology {
 
     /// All host names.
     pub fn hosts(&self) -> impl Iterator<Item = &str> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind == NodeKind::Host)
-            .map(|n| n.name.as_str())
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).map(|n| n.name.as_str())
     }
 
     /// Minimum-latency route from `from` to `to`, as the list of links

@@ -11,13 +11,13 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
 
+use crate::faults::FaultPlan;
 use crate::topology::Topology;
 
 /// Transport errors.
@@ -33,6 +33,13 @@ pub enum NetError {
     Unreachable { from: String, to: String },
     /// The receiving endpoint was dropped.
     Disconnected(String),
+    /// The message was lost by injected fault (see [`FaultPlan`]).
+    Dropped {
+        /// Sending host.
+        from: String,
+        /// Receiving host.
+        to: String,
+    },
     /// No message arrived within the receive timeout.
     Timeout,
 }
@@ -47,6 +54,9 @@ impl fmt::Display for NetError {
                 write!(f, "no route from '{from}' to '{to}'")
             }
             NetError::Disconnected(a) => write!(f, "endpoint '{a}' has gone away"),
+            NetError::Dropped { from, to } => {
+                write!(f, "message from '{from}' to '{to}' lost by fault injection")
+            }
             NetError::Timeout => write!(f, "receive timed out"),
         }
     }
@@ -87,8 +97,12 @@ impl NetworkStats {
 
 struct NetInner {
     topo: RwLock<Topology>,
-    endpoints: RwLock<HashMap<String, Sender<Envelope>>>,
+    /// Registered endpoints. The `u64` is a registration id so a stale
+    /// [`Endpoint`]'s Drop cannot tear down a re-registered address.
+    endpoints: RwLock<HashMap<String, (u64, Sender<Envelope>)>>,
     down_hosts: RwLock<HashMap<String, bool>>,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    next_ep: AtomicU64,
     stats: NetworkStats,
 }
 
@@ -111,6 +125,8 @@ impl Network {
                 topo: RwLock::new(topo),
                 endpoints: RwLock::new(HashMap::new()),
                 down_hosts: RwLock::new(HashMap::new()),
+                faults: RwLock::new(None),
+                next_ep: AtomicU64::new(1),
                 stats: NetworkStats::default(),
             }),
         }
@@ -122,41 +138,53 @@ impl Network {
     pub fn register(&self, addr: impl Into<String>) -> Result<Endpoint, NetError> {
         let addr = addr.into();
         let host = host_of(&addr).to_owned();
-        if self.inner.topo.read().node(&host).is_none() {
+        if self.inner.topo.read().unwrap().node(&host).is_none() {
             return Err(NetError::UnknownHost(host));
         }
-        let (tx, rx) = unbounded();
-        self.inner.endpoints.write().insert(addr.clone(), tx.clone());
-        Ok(Endpoint { addr, host, rx, tx, net: self.clone() })
+        let (tx, rx) = channel();
+        let id = self.inner.next_ep.fetch_add(1, Ordering::Relaxed);
+        self.inner.endpoints.write().unwrap().insert(addr.clone(), (id, tx));
+        Ok(Endpoint { addr, host, rx, id, net: self.clone() })
     }
 
     /// Remove an endpoint registration.
     pub fn unregister(&self, addr: &str) {
-        self.inner.endpoints.write().remove(addr);
+        self.inner.endpoints.write().unwrap().remove(addr);
     }
 
     /// True when an endpoint is registered at `addr`.
     pub fn is_registered(&self, addr: &str) -> bool {
-        self.inner.endpoints.read().contains_key(addr)
+        self.inner.endpoints.read().unwrap().contains_key(addr)
     }
 
     /// Mark a host up or down. Sends to or from a down host fail.
     pub fn set_host_up(&self, host: &str, up: bool) {
-        self.inner.down_hosts.write().insert(host.to_owned(), !up);
+        self.inner.down_hosts.write().unwrap().insert(host.to_owned(), !up);
     }
 
     fn is_down(&self, host: &str) -> bool {
-        self.inner.down_hosts.read().get(host).copied().unwrap_or(false)
+        self.inner.down_hosts.read().unwrap().get(host).copied().unwrap_or(false)
+    }
+
+    /// Install (or replace) the deterministic fault-injection plan. The
+    /// plan is consulted on every subsequent send. `None` heals the
+    /// network.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.faults.write().unwrap() = plan.map(Arc::new);
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.inner.faults.read().unwrap().clone()
     }
 
     /// Mutate the topology (e.g. remove links for failure injection).
     pub fn with_topology_mut<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
-        f(&mut self.inner.topo.write())
+        f(&mut self.inner.topo.write().unwrap())
     }
 
     /// Read the topology.
     pub fn with_topology<R>(&self, f: impl FnOnce(&Topology) -> R) -> R {
-        f(&self.inner.topo.read())
+        f(&self.inner.topo.read().unwrap())
     }
 
     /// Transport statistics.
@@ -166,13 +194,11 @@ impl Network {
 
     /// Virtual transfer time between two hosts for a payload size.
     pub fn transfer_seconds(&self, from: &str, to: &str, bytes: usize) -> Result<f64, NetError> {
-        let topo = self.inner.topo.read();
+        let topo = self.inner.topo.read().unwrap();
         let f = topo.node(from).ok_or_else(|| NetError::UnknownHost(from.into()))?;
         let t = topo.node(to).ok_or_else(|| NetError::UnknownHost(to.into()))?;
-        topo.transfer_seconds(f, t, bytes).ok_or_else(|| NetError::Unreachable {
-            from: from.into(),
-            to: to.into(),
-        })
+        topo.transfer_seconds(f, t, bytes)
+            .ok_or_else(|| NetError::Unreachable { from: from.into(), to: to.into() })
     }
 
     /// Send `payload` from `from` (an address) to `to` (an address),
@@ -193,19 +219,23 @@ impl Network {
         if self.is_down(to_host) {
             return Err(NetError::HostDown(to_host.into()));
         }
-        let transfer = self.transfer_seconds(from_host, to_host, payload.len())?;
+        let plan = self.fault_plan();
+        if let Some(plan) = &plan {
+            plan.check_send(from_host, to_host, sent_at)?;
+        }
+        let mut transfer = self.transfer_seconds(from_host, to_host, payload.len())?;
+        if let Some(plan) = &plan {
+            transfer = plan.adjust_transfer(sent_at, transfer);
+        }
         let arrive_at = sent_at + transfer;
         let tx = {
-            let eps = self.inner.endpoints.read();
-            eps.get(to).cloned().ok_or_else(|| NetError::UnknownAddress(to.into()))?
+            let eps = self.inner.endpoints.read().unwrap();
+            eps.get(to)
+                .map(|(_, tx)| tx.clone())
+                .ok_or_else(|| NetError::UnknownAddress(to.into()))?
         };
-        let env = Envelope {
-            from: from.to_owned(),
-            to: to.to_owned(),
-            payload,
-            sent_at,
-            arrive_at,
-        };
+        let env =
+            Envelope { from: from.to_owned(), to: to.to_owned(), payload, sent_at, arrive_at };
         let bytes = env.payload.len() as u64;
         tx.send(env).map_err(|_| NetError::Disconnected(to.into()))?;
         self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
@@ -219,9 +249,9 @@ pub struct Endpoint {
     addr: String,
     host: String,
     rx: Receiver<Envelope>,
-    /// Sender half of our own channel, kept for identity comparison so a
+    /// Our registration id, kept for identity comparison so a
     /// re-registered address is not torn down by the old endpoint's Drop.
-    tx: Sender<Envelope>,
+    id: u64,
     net: Network,
 }
 
@@ -265,9 +295,9 @@ impl Drop for Endpoint {
     fn drop(&mut self) {
         // Only remove the registration if it still points at us; a
         // re-registration may have replaced it.
-        let mut eps = self.net.inner.endpoints.write();
-        if let Some(tx) = eps.get(&self.addr) {
-            if tx.same_channel(&self.tx) {
+        let mut eps = self.net.inner.endpoints.write().unwrap();
+        if let Some((id, _)) = eps.get(&self.addr) {
+            if *id == self.id {
                 eps.remove(&self.addr);
             }
         }
@@ -396,6 +426,38 @@ mod tests {
             net.send("a:x", "b:svc", Bytes::new(), 0.0),
             Err(NetError::UnknownAddress(_))
         ));
+    }
+
+    #[test]
+    fn fault_plan_gates_sends_by_virtual_time() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        net.set_fault_plan(Some(
+            FaultPlan::new(1).partition(&["a"], &["b"], 1.0, 2.0).host_flap("c", 0.0, 5.0),
+        ));
+        assert!(net.send("a:x", "b:svc", Bytes::new(), 0.5).is_ok());
+        assert!(matches!(
+            net.send("a:x", "b:svc", Bytes::new(), 1.5),
+            Err(NetError::Unreachable { .. })
+        ));
+        assert!(matches!(
+            net.send("c:x", "b:svc", Bytes::new(), 1.5),
+            Err(NetError::HostDown(h)) if h == "c"
+        ));
+        // Backing off past the window heals the link.
+        assert!(net.send("a:x", "b:svc", Bytes::new(), 2.0).is_ok());
+        net.set_fault_plan(None);
+        assert!(net.send("c:x", "b:svc", Bytes::new(), 1.5).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_latency_spike_stretches_arrivals() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        let base = net.send("a:x", "b:svc", Bytes::from_static(&[0; 100]), 0.0).unwrap();
+        net.set_fault_plan(Some(FaultPlan::new(1).latency_spike(10.0, 11.0, 2.0, 0.5)));
+        let spiked = net.send("a:x", "b:svc", Bytes::from_static(&[0; 100]), 10.0).unwrap();
+        assert!((spiked - 10.0 - (2.0 * base + 0.5)).abs() < 1e-9);
     }
 
     #[test]

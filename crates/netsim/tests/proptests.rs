@@ -1,102 +1,141 @@
-//! Property-based tests of the network simulation.
-
-use proptest::prelude::*;
+//! Randomized tests of the network simulation.
+//!
+//! These were property-based tests; they now draw their cases from a
+//! deterministic SplitMix64 generator so the sweep needs no external
+//! crates and replays identically on every run.
 
 use netsim::{npss_testbed, Link, NodeKind, Topology, VirtualClock};
+
+/// Deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 fn testbed_hosts() -> Vec<String> {
     npss_testbed().hosts().map(str::to_owned).collect()
 }
 
-proptest! {
-    /// Transfer time between testbed hosts is symmetric (undirected
-    /// links) and strictly increasing in payload size.
-    #[test]
-    fn transfer_symmetric_and_monotone(
-        ai in any::<prop::sample::Index>(),
-        bi in any::<prop::sample::Index>(),
-        small in 1usize..10_000,
-        extra in 1usize..100_000,
-    ) {
-        let topo = npss_testbed();
-        let hosts = testbed_hosts();
-        let a = topo.node(&hosts[ai.index(hosts.len())]).unwrap();
-        let b = topo.node(&hosts[bi.index(hosts.len())]).unwrap();
+/// Transfer time between testbed hosts is symmetric (undirected links)
+/// and strictly increasing in payload size.
+#[test]
+fn transfer_symmetric_and_monotone() {
+    let mut g = Gen::new(21);
+    let topo = npss_testbed();
+    let hosts = testbed_hosts();
+    for _ in 0..200 {
+        let a = topo.node(&hosts[g.below(hosts.len())]).unwrap();
+        let b = topo.node(&hosts[g.below(hosts.len())]).unwrap();
+        let small = 1 + g.below(10_000);
+        let extra = 1 + g.below(100_000);
         let ab = topo.transfer_seconds(a, b, small).unwrap();
         let ba = topo.transfer_seconds(b, a, small).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
+        assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
         if a != b {
             let bigger = topo.transfer_seconds(a, b, small + extra).unwrap();
-            prop_assert!(bigger > ab);
+            assert!(bigger > ab);
         }
     }
+}
 
-    /// Triangle-ish sanity: the direct route is never more expensive
-    /// than the latency sum through any intermediate host (Dijkstra
-    /// optimality over the latency metric).
-    #[test]
-    fn routing_is_latency_optimal(
-        ai in any::<prop::sample::Index>(),
-        bi in any::<prop::sample::Index>(),
-        ci in any::<prop::sample::Index>(),
-    ) {
-        let topo = npss_testbed();
-        let hosts = testbed_hosts();
-        let a = topo.node(&hosts[ai.index(hosts.len())]).unwrap();
-        let b = topo.node(&hosts[bi.index(hosts.len())]).unwrap();
-        let c = topo.node(&hosts[ci.index(hosts.len())]).unwrap();
-        let lat = |x, y| -> f64 {
-            topo.route(x, y).unwrap().iter().map(|l: &Link| l.latency_s).sum()
-        };
-        prop_assert!(lat(a, b) <= lat(a, c) + lat(c, b) + 1e-12);
+/// Triangle-ish sanity: the direct route is never more expensive than the
+/// latency sum through any intermediate host (Dijkstra optimality over
+/// the latency metric).
+#[test]
+fn routing_is_latency_optimal() {
+    let mut g = Gen::new(22);
+    let topo = npss_testbed();
+    let hosts = testbed_hosts();
+    for _ in 0..200 {
+        let a = topo.node(&hosts[g.below(hosts.len())]).unwrap();
+        let b = topo.node(&hosts[g.below(hosts.len())]).unwrap();
+        let c = topo.node(&hosts[g.below(hosts.len())]).unwrap();
+        let lat =
+            |x, y| -> f64 { topo.route(x, y).unwrap().iter().map(|l: &Link| l.latency_s).sum() };
+        assert!(lat(a, b) <= lat(a, c) + lat(c, b) + 1e-12);
     }
+}
 
-    /// Random link removal never produces a panic, and connectivity is
-    /// monotone: removing links cannot create a route.
-    #[test]
-    fn link_removal_is_safe(removals in proptest::collection::vec((0usize..30, 0usize..30), 0..10)) {
+/// Random link removal never produces a panic, and connectivity is
+/// monotone: removing links cannot create a route.
+#[test]
+fn link_removal_is_safe() {
+    let mut g = Gen::new(23);
+    for _ in 0..100 {
         let mut topo = npss_testbed();
         let hosts = testbed_hosts();
         let a = topo.node(&hosts[0]).unwrap();
         let b = topo.node(&hosts[hosts.len() - 1]).unwrap();
         let before = topo.transfer_seconds(a, b, 100);
-        for (x, y) in removals {
+        for _ in 0..g.below(10) {
+            let x = g.below(30);
+            let y = g.below(30);
             if x < topo.len() && y < topo.len() && x != y {
                 topo.remove_links(netsim::NodeId(x), netsim::NodeId(y));
             }
         }
         let after = topo.transfer_seconds(a, b, 100);
         if before.is_none() {
-            prop_assert!(after.is_none());
+            assert!(after.is_none());
         }
         if let (Some(t0), Some(t1)) = (before, after) {
-            prop_assert!(t1 >= t0 - 1e-12, "removal cannot speed things up");
+            assert!(t1 >= t0 - 1e-12, "removal cannot speed things up");
         }
     }
+}
 
-    /// The virtual clock is monotone under any interleaving of advance
-    /// and merge.
-    #[test]
-    fn clock_monotone(ops in proptest::collection::vec((any::<bool>(), 0.0f64..10.0), 0..50)) {
+/// The virtual clock is monotone under any interleaving of advance and
+/// merge.
+#[test]
+fn clock_monotone() {
+    let mut g = Gen::new(24);
+    for _ in 0..100 {
         let c = VirtualClock::new();
         let mut last = 0.0;
-        for (is_merge, x) in ops {
-            let now = if is_merge { c.merge(x) } else { c.advance(x) };
-            prop_assert!(now >= last - 1e-12);
+        for _ in 0..g.below(50) {
+            let x = 10.0 * g.unit();
+            let now = if g.flag() { c.merge(x) } else { c.advance(x) };
+            assert!(now >= last - 1e-12);
             last = now;
         }
     }
+}
 
-    /// Building arbitrary small topologies and routing over them is
-    /// total (no panics, routes only between connected components).
-    #[test]
-    fn random_topologies_route_safely(
-        n in 2usize..10,
-        links in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
-    ) {
+/// Building arbitrary small topologies and routing over them is total
+/// (no panics, routes only between connected components).
+#[test]
+fn random_topologies_route_safely() {
+    let mut g = Gen::new(25);
+    for _ in 0..100 {
+        let n = 2 + g.below(8);
         let mut t = Topology::new();
         let ids: Vec<_> = (0..n).map(|i| t.add_node(format!("h{i}"), NodeKind::Host)).collect();
-        for (a, b) in links {
+        for _ in 0..g.below(20) {
+            let a = g.below(10);
+            let b = g.below(10);
             if a < n && b < n && a != b {
                 t.add_link(ids[a], ids[b], Link::ethernet());
             }
@@ -105,9 +144,9 @@ proptest! {
             for &b in &ids {
                 let r = t.route(a, b);
                 let ts = t.transfer_seconds(a, b, 100);
-                prop_assert_eq!(r.is_some(), ts.is_some());
+                assert_eq!(r.is_some(), ts.is_some());
                 if a == b {
-                    prop_assert_eq!(ts, Some(0.0));
+                    assert_eq!(ts, Some(0.0));
                 }
             }
         }

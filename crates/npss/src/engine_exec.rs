@@ -22,7 +22,7 @@ use tess::solver::newton::{newton_solve, NewtonOptions};
 use tess::transient::{TransientMethod, TransientResult, TransientSample};
 use uts::Value;
 
-use crate::exec::{flow_to_value, value_to_flow, ComponentCall, LocalExec, RemoteExec};
+use crate::exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
 use crate::procs;
 
 /// A component executor: local baseline or Schooner-remote.
@@ -35,7 +35,7 @@ pub enum Exec {
 }
 
 impl Exec {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, ExecError> {
         match self {
             Exec::Local(e) => e.call(name, args),
             Exec::Remote(e) => e.call(name, args),
@@ -274,10 +274,8 @@ impl ExecutiveEngine {
         flow: &tess::GasState,
         dp: f64,
     ) -> Result<tess::GasState, String> {
-        let out = exec.call(
-            "duct",
-            &[flow_to_value(flow), Value::Float(dp as f32), Value::Float(0.0)],
-        )?;
+        let out =
+            exec.call("duct", &[flow_to_value(flow), Value::Float(dp as f32), Value::Float(0.0)])?;
         value_to_flow(&out[0])
     }
 
@@ -304,8 +302,7 @@ impl ExecutiveEngine {
         let nc_fan = e.fan.corrected_speed(n1, probe.tt);
         let fan_pt = e.fan.map.lookup(nc_fan, beta_fan).map_err(|err| format!("fan: {err}"))?;
         let wc_fan = fan_pt.wc * (1.0 + 0.008 * e.stators.fan_deg);
-        let w2 =
-            wc_fan * (probe.pt / tess::gas::P_STD) / (probe.tt / tess::gas::T_STD).sqrt();
+        let w2 = wc_fan * (probe.pt / tess::gas::P_STD) / (probe.tt / tess::gas::T_STD).sqrt();
         let st2 = tess::GasState::new(w2, probe.tt, probe.pt, 0.0);
 
         let fan_res = e.fan.operate(&st2, n1, beta_fan, e.stators.fan_deg)?;
@@ -363,15 +360,14 @@ impl ExecutiveEngine {
                 Value::Float(cy.nozzle_cv as f32),
             ],
         )?;
-        let nz = nz_out[0]
-            .as_f32_slice()
-            .ok_or_else(|| "nozl returned malformed result".to_string())?;
+        let nz =
+            nz_out[0].as_f32_slice().ok_or_else(|| "nozl returned malformed result".to_string())?;
         let (w_capacity, gross_thrust) = (nz[0] as f64, nz[1] as f64);
         let e = &self.engine;
         let r_noz = (w_capacity - st7.w) / e.design.st7.w;
 
-        let ram_drag = st2.w
-            * tess::components::Inlet::flight_velocity(e.flight.t_amb, e.flight.mach);
+        let ram_drag =
+            st2.w * tess::components::Inlet::flight_velocity(e.flight.t_amb, e.flight.mach);
         let thrust = gross_thrust - ram_drag;
 
         Ok(OperatingPoint {
@@ -464,15 +460,7 @@ impl ExecutiveEngine {
         }
         let n1d = self.engine.cycle.n1_design;
         let n2d = self.engine.cycle.n2_design;
-        let x0 = [
-            1.0,
-            1.0,
-            0.5,
-            0.5,
-            self.engine.design.er_hpt,
-            self.engine.design.er_lpt,
-            1.0,
-        ];
+        let x0 = [1.0, 1.0, 0.5, 0.5, self.engine.design.er_hpt, self.engine.design.er_lpt, 1.0];
         let opts = self.opts.newton();
         let report = newton_solve(
             |x: &[f64]| {
@@ -530,11 +518,7 @@ impl ExecutiveEngine {
             let op = self.solve_inner(y[0], y[1], fuel.at(t), &mut inner)?;
             samples.push(sample_of(t, &op));
         }
-        Ok(TransientResult {
-            samples,
-            method: method.display_name().to_owned(),
-            dt,
-        })
+        Ok(TransientResult { samples, method: method.display_name().to_owned(), dt })
     }
 }
 

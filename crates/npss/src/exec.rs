@@ -10,15 +10,78 @@
 //! produces **exactly** the same numbers as the local baseline — the
 //! comparison the paper used to verify the adapted modules.
 
-use schooner::{LineHandle, Procedure, ProgramImage};
+use schooner::{
+    CallPolicy, LineHandle, OnExhaustion, ProcFault, Procedure, ProgramImage, SchError,
+};
 use std::collections::HashMap;
+use std::fmt;
 use tess::gas::GasState;
 use uts::Value;
+
+/// A failure from a component executor.
+///
+/// Callers that care can distinguish a Schooner runtime problem (the
+/// retryable/fail-over layer has already run by the time this surfaces)
+/// from a fault raised by the procedure implementation itself, or a local
+/// configuration mistake. Everything renders as before, so string-level
+/// consumers keep working through the `From<ExecError> for String` impl.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The Schooner runtime failed the call (after any policy-driven
+    /// retries and failovers — see [`SchError::PolicyExhausted`]).
+    Sch(SchError),
+    /// The procedure implementation reported a fault.
+    Fault(ProcFault),
+    /// The executor is misconfigured (no such procedure or slot).
+    Config(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sch(e) => e.fmt(f),
+            ExecError::Fault(e) => e.fmt(f),
+            ExecError::Config(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SchError> for ExecError {
+    fn from(e: SchError) -> Self {
+        ExecError::Sch(e)
+    }
+}
+
+impl From<ProcFault> for ExecError {
+    fn from(e: ProcFault) -> Self {
+        ExecError::Fault(e)
+    }
+}
+
+impl From<String> for ExecError {
+    fn from(m: String) -> Self {
+        ExecError::Config(m)
+    }
+}
+
+impl From<&str> for ExecError {
+    fn from(m: &str) -> Self {
+        ExecError::Config(m.to_owned())
+    }
+}
+
+impl From<ExecError> for String {
+    fn from(e: ExecError) -> Self {
+        e.to_string()
+    }
+}
 
 /// Something that can execute an adapted module's procedures.
 pub trait ComponentCall: Send {
     /// Call procedure `name` with the input arguments; returns outputs.
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String>;
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, ExecError>;
 
     /// Where the computation runs, for reports ("local" or a host name).
     fn location(&self) -> String;
@@ -42,20 +105,18 @@ pub struct LocalExec {
 impl LocalExec {
     /// Instantiate the image locally.
     pub fn new(image: &ProgramImage) -> Result<Self, String> {
-        Ok(Self {
-            procs: image.instantiate().map_err(|e| e.to_string())?,
-            calls: 0,
-        })
+        Ok(Self { procs: image.instantiate().map_err(|e| e.to_string())?, calls: 0 })
     }
 }
 
 impl ComponentCall for LocalExec {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, ExecError> {
         self.calls += 1;
         self.procs
             .get_mut(name)
-            .ok_or_else(|| format!("no local procedure '{name}'"))?
+            .ok_or_else(|| ExecError::Config(format!("no local procedure '{name}'")))?
             .call(args)
+            .map_err(ExecError::Fault)
     }
 
     fn location(&self) -> String {
@@ -68,10 +129,24 @@ impl ComponentCall for LocalExec {
 }
 
 /// Remote execution through a Schooner line.
+///
+/// Every call runs under this executor's [`CallPolicy`]. When the policy
+/// asks for [`OnExhaustion::Degrade`] and a local fallback was supplied
+/// with [`RemoteExec::with_fallback`], an exhausted (or deadline-blown)
+/// call switches the executor permanently to the *original
+/// local-compute-only version*: configuration calls (`set…`) already made
+/// remotely are replayed into the fallback so it starts from the same
+/// parameters, the degradation is recorded in the [`schooner::Trace`],
+/// and the simulation continues on baseline numbers.
 pub struct RemoteExec {
     line: LineHandle,
     host: String,
     started_at: f64,
+    policy: CallPolicy,
+    fallback: Option<LocalExec>,
+    degraded: bool,
+    /// Successful `set…` (configuration) calls, kept for fallback replay.
+    config_log: Vec<(String, Vec<Value>)>,
 }
 
 impl RemoteExec {
@@ -82,7 +157,39 @@ impl RemoteExec {
     pub fn start(mut line: LineHandle, path: &str, machine: &str) -> Result<Self, String> {
         line.start_remote(path, machine).map_err(|e| e.to_string())?;
         let started_at = line.now();
-        Ok(Self { line, host: machine.to_owned(), started_at })
+        Ok(Self {
+            line,
+            host: machine.to_owned(),
+            started_at,
+            policy: CallPolicy::default(),
+            fallback: None,
+            degraded: false,
+            config_log: Vec::new(),
+        })
+    }
+
+    /// Use `policy` for every call made through this executor.
+    pub fn with_policy(mut self, policy: CallPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Keep a local baseline implementation to degrade to when the call
+    /// policy is exhausted. Only effective together with a policy that
+    /// says [`CallPolicy::degrade_on_exhaustion`].
+    pub fn with_fallback(mut self, fallback: LocalExec) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Whether this executor has degraded to its local fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &CallPolicy {
+        &self.policy
     }
 
     /// The underlying line (e.g. to move the procedure).
@@ -99,19 +206,58 @@ impl RemoteExec {
     pub fn quit(&mut self) {
         let _ = self.line.quit();
     }
+
+    /// Switch permanently to the local fallback, replaying recorded
+    /// configuration calls so it matches the remote instance's setup.
+    fn degrade(&mut self, cause: &SchError) -> Result<(), ExecError> {
+        let fallback = self.fallback.as_mut().expect("checked by caller");
+        for (name, args) in &self.config_log {
+            fallback.call(name, args)?;
+        }
+        self.degraded = true;
+        self.line.trace().record(
+            self.line.now(),
+            format!("line-{}", self.line.id()),
+            format!("degraded '{}' to local fallback after: {cause}", self.line.module()),
+        );
+        Ok(())
+    }
 }
 
 impl ComponentCall for RemoteExec {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
-        self.line.call(name, args).map_err(|e| e.to_string())
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, ExecError> {
+        if self.degraded {
+            return self.fallback.as_mut().expect("degraded implies fallback").call(name, args);
+        }
+        match self.line.call_with(name, args, &self.policy) {
+            Ok(out) => {
+                if name.to_ascii_lowercase().starts_with("set") {
+                    self.config_log.push((name.to_owned(), args.to_vec()));
+                }
+                Ok(out)
+            }
+            Err(e @ (SchError::PolicyExhausted { .. } | SchError::DeadlineExceeded { .. }))
+                if self.policy.on_exhaustion == OnExhaustion::Degrade
+                    && self.fallback.is_some() =>
+            {
+                self.degrade(&e)?;
+                self.call(name, args)
+            }
+            Err(e) => Err(ExecError::Sch(e)),
+        }
     }
 
     fn location(&self) -> String {
-        self.host.clone()
+        if self.degraded {
+            format!("local (degraded from {})", self.host)
+        } else {
+            self.host.clone()
+        }
     }
 
     fn calls(&self) -> u64 {
-        self.line.stats().calls
+        let local = self.fallback.as_ref().map_or(0, |f| f.calls());
+        self.line.stats().calls + local
     }
 
     fn elapsed_virtual(&self) -> f64 {
@@ -127,9 +273,7 @@ pub fn flow_to_value(s: &GasState) -> Value {
 
 /// Unpack a `[w, tt, pt, far]` quadruple.
 pub fn value_to_flow(v: &Value) -> Result<GasState, String> {
-    let xs = v
-        .as_f32_slice()
-        .ok_or_else(|| format!("expected array[4] of float, got {v}"))?;
+    let xs = v.as_f32_slice().ok_or_else(|| format!("expected array[4] of float, got {v}"))?;
     if xs.len() != 4 {
         return Err(format!("expected 4 flow components, got {}", xs.len()));
     }
@@ -147,11 +291,7 @@ mod tests {
         assert_eq!(exec.calls(), 0);
         exec.call(
             "duct",
-            &[
-                Value::floats(&[42.0, 390.0, 2.9e5, 0.0]),
-                Value::Float(0.02),
-                Value::Float(0.0),
-            ],
+            &[Value::floats(&[42.0, 390.0, 2.9e5, 0.0]), Value::Float(0.02), Value::Float(0.0)],
         )
         .unwrap();
         assert_eq!(exec.calls(), 1);

@@ -18,22 +18,19 @@ use uts::Value;
 /// A procedure image used by the Figure 1 program: `work(x) -> y` doing a
 /// fixed amount of simulated floating-point work.
 pub fn work_image(name: &str, flops: f64) -> ProgramImage {
-    ProgramImage::new(
-        name,
-        r#"export work prog("x" val double, "y" res double)"#,
-    )
-    .expect("spec parses")
-    .with_procedure("work", move || {
-        Box::new(FnProcedure::with_flops(
-            |args: &[Value]| {
-                let x = args[0].as_f64().ok_or("x not numeric")?;
-                // A deterministic stand-in computation.
-                Ok(vec![Value::Double(x * 1.0000001 + 1.0)])
-            },
-            flops,
-        ))
-    })
-    .expect("work declared")
+    ProgramImage::new(name, r#"export work prog("x" val double, "y" res double)"#)
+        .expect("spec parses")
+        .with_procedure("work", move || {
+            Box::new(FnProcedure::with_flops(
+                |args: &[Value]| {
+                    let x = args[0].as_f64().ok_or("x not numeric")?;
+                    // A deterministic stand-in computation.
+                    Ok(vec![Value::Double(x * 1.0000001 + 1.0)])
+                },
+                flops,
+            ))
+        })
+        .expect("work declared")
 }
 
 /// The sequential program of Figure 1: main on a workstation, procedure
@@ -114,9 +111,8 @@ pub fn measure_pair_costs(
             if from == to {
                 continue;
             }
-            let mut line = sch
-                .open_line(&format!("cost-{from}-{to}"), from)
-                .map_err(|e| e.to_string())?;
+            let mut line =
+                sch.open_line(&format!("cost-{from}-{to}"), from).map_err(|e| e.to_string())?;
             line.start_remote(image_path, to).map_err(|e| e.to_string())?;
             // Warm the binding cache so we measure steady-state calls.
             line.call("work", &[Value::Double(0.0)]).map_err(|e| e.to_string())?;

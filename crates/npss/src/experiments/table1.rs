@@ -122,16 +122,14 @@ pub fn run_table1(sch: &Arc<Schooner>, cfg: &Table1Config) -> Result<Vec<Table1R
                 Err(_) => (false, f64::INFINITY),
             };
             let report = net.report();
-            let stats = report
-                .iter()
-                .find(|r| r.module == slot)
-                .cloned()
-                .unwrap_or_else(|| crate::engine_exec::ExecReportRow {
+            let stats = report.iter().find(|r| r.module == slot).cloned().unwrap_or_else(|| {
+                crate::engine_exec::ExecReportRow {
                     module: slot.to_owned(),
                     location: combo.remote_machine.to_owned(),
                     calls: 0,
                     virtual_seconds: 0.0,
-                });
+                }
+            });
             rows.push(Table1Row {
                 avs_machine: combo.avs_machine.to_owned(),
                 remote_machine: combo.remote_machine.to_owned(),
@@ -178,7 +176,5 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 
 /// Sanity: the slots named in `ADAPTED_SLOTS` cover every Table 1 module.
 pub fn slots_cover_modules() -> bool {
-    TABLE1_MODULES
-        .iter()
-        .all(|m| ADAPTED_SLOTS.contains(&slot_for_module(m)))
+    TABLE1_MODULES.iter().all(|m| ADAPTED_SLOTS.contains(&slot_for_module(m)))
 }

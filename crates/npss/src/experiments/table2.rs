@@ -106,9 +106,8 @@ pub fn run_table2(sch: &Arc<Schooner>, cfg: &Table2Config) -> Result<Table2Repor
     let mut rows: Vec<Table2Row> = Vec::new();
     for r in report.iter().filter(|r| r.location != "local") {
         let mtype = module_type_of_slot(&r.module);
-        if let Some(row) = rows
-            .iter_mut()
-            .find(|row| row.module == mtype && row.remote_machine == r.location)
+        if let Some(row) =
+            rows.iter_mut().find(|row| row.module == mtype && row.remote_machine == r.location)
         {
             row.instances += 1;
             row.calls += r.calls;

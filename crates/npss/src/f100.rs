@@ -84,9 +84,7 @@ impl F100Network {
         ] {
             // Registering the same path twice across executives is fine;
             // the registry replaces the image.
-            schooner
-                .install_program(path, image, &host_refs)
-                .map_err(|e| e.to_string())?;
+            schooner.install_program(path, image, &host_refs).map_err(|e| e.to_string())?;
         }
 
         let services = ExecutiveServices::new(schooner, avs_host);
@@ -94,14 +92,12 @@ impl F100Network {
         let mut ids = HashMap::new();
 
         let add = |editor: &mut NetworkEditor,
-                       ids: &mut HashMap<String, ModuleId>,
-                       name: &str,
-                       kind: ComponentKind|
+                   ids: &mut HashMap<String, ModuleId>,
+                   name: &str,
+                   kind: ComponentKind|
          -> Result<(), String> {
-            let id = editor.add_module(
-                name,
-                Box::new(ComponentModule::new(name, kind, services.clone())),
-            )?;
+            let id = editor
+                .add_module(name, Box::new(ComponentModule::new(name, kind, services.clone())))?;
             ids.insert(name.to_owned(), id);
             Ok(())
         };
@@ -171,14 +167,17 @@ impl F100Network {
     /// complete or partial engine simulations" (e.g.
     /// `tess::CycleDesign::high_bypass_class()`).
     pub fn set_cycle(&self, cycle: tess::CycleDesign) {
-        *self.services.cycle.lock() = cycle;
+        *self.services.cycle.lock().unwrap() = cycle;
     }
 
     /// Select the remote machine for an adapted module (as the user would
     /// with the radio buttons); `"local"` restores the local version.
     pub fn place(&mut self, slot: &str, machine: &str) -> Result<(), String> {
-        self.editor
-            .set_widget(self.id(slot), "remote machine", WidgetInput::Choice(machine.to_owned()))
+        self.editor.set_widget(
+            self.id(slot),
+            "remote machine",
+            WidgetInput::Choice(machine.to_owned()),
+        )
     }
 
     /// Apply a whole placement.
@@ -203,26 +202,23 @@ impl F100Network {
             "transient method",
             WidgetInput::Choice(transient_method.to_owned()),
         )?;
-        self.editor
-            .set_widget(system, "transient seconds", WidgetInput::Number(t_end))?;
-        self.editor
-            .set_widget(system, "time step", WidgetInput::Text(format!("{dt}")))?;
+        self.editor.set_widget(system, "transient seconds", WidgetInput::Number(t_end))?;
+        self.editor.set_widget(system, "time step", WidgetInput::Text(format!("{dt}")))?;
         self.editor.set_widget(system, "run", WidgetInput::Bool(true))?;
-        self.scheduler
-            .settle(&mut self.editor, 50)
-            .map_err(|e| e.to_string())?;
+        self.scheduler.settle(&mut self.editor, 50).map_err(|e| e.to_string())?;
         // Disarm so widget fiddling doesn't re-trigger long runs.
         self.editor.set_widget(system, "run", WidgetInput::Bool(false))?;
         self.services
             .result
             .lock()
+            .unwrap()
             .clone()
             .ok_or_else(|| "system module produced no result".to_owned())
     }
 
     /// Executor statistics of the most recent run.
     pub fn report(&self) -> Vec<ExecReportRow> {
-        self.services.report.lock().clone()
+        self.services.report.lock().unwrap().clone()
     }
 
     /// Render the network structure (the headless Figure 2).

@@ -30,5 +30,5 @@ pub mod modules;
 pub mod procs;
 
 pub use engine_exec::{ExecutiveEngine, ExecutiveSolverOptions};
-pub use exec::{flow_to_value, value_to_flow, ComponentCall, LocalExec, RemoteExec};
+pub use exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
 pub use f100::{F100Network, RemotePlacement};

@@ -20,8 +20,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use avs::{AvsModule, ComputeCtx, ModuleSpec, Widget};
-use parking_lot::Mutex;
 use schooner::Schooner;
+use std::sync::Mutex;
 use tess::engine::Turbofan;
 use tess::schedules::Schedule;
 use tess::transient::{TransientMethod, TransientResult};
@@ -43,14 +43,8 @@ pub fn default_path_of_slot(slot: &str) -> &'static str {
 }
 
 /// The adapted-module placement slots of the F100 network.
-pub const ADAPTED_SLOTS: [&str; 6] = [
-    "bypass duct",
-    "tailpipe duct",
-    "combustor",
-    "nozzle",
-    "low speed shaft",
-    "high speed shaft",
-];
+pub const ADAPTED_SLOTS: [&str; 6] =
+    ["bypass duct", "tailpipe duct", "combustor", "nozzle", "low speed shaft", "high speed shaft"];
 
 /// Shared state connecting the modules of one executive instance.
 pub struct ExecutiveServices {
@@ -247,20 +241,12 @@ impl AvsModule for ComponentModule {
         if self.kind.adapted() {
             let machine = ctx.widget_choice("remote machine")?.to_owned();
             let path = ctx.widget_text("pathname")?.to_owned();
-            self.services
-                .placements
-                .lock()
-                .insert(self.slot.clone(), (machine, path));
+            self.services.placements.lock().unwrap().insert(self.slot.clone(), (machine, path));
         }
         // Publish physics widget values.
         {
-            let mut params = self.services.params.lock();
-            for w in [
-                "moment inertia",
-                "efficiency",
-                "pressure loss",
-                "area scale",
-            ] {
+            let mut params = self.services.params.lock().unwrap();
+            for w in ["moment inertia", "efficiency", "pressure loss", "area scale"] {
                 if let Some(v) = ctx.widget(w).and_then(Widget::as_number) {
                     params.insert((self.slot.clone(), w.to_owned()), v);
                 }
@@ -288,7 +274,7 @@ impl AvsModule for ComponentModule {
         // Module removed from the network: its placement disappears (the
         // Manager tears the line down when the system module's engine is
         // rebuilt or shut down).
-        self.services.placements.lock().remove(&self.slot);
+        self.services.placements.lock().unwrap().remove(&self.slot);
     }
 }
 
@@ -306,8 +292,8 @@ impl SystemModule {
     /// Build the executive engine from the current placements and
     /// operating conditions.
     fn build_engine(&self, altitude_m: f64, mach: f64) -> Result<ExecutiveEngine, String> {
-        let params = self.services.params.lock().clone();
-        let mut cycle = self.services.cycle.lock().clone();
+        let params = self.services.params.lock().unwrap().clone();
+        let mut cycle = self.services.cycle.lock().unwrap().clone();
         if let Some(i) = params.get(&("low speed shaft".to_owned(), "moment inertia".to_owned())) {
             cycle.i1 = *i;
         }
@@ -323,11 +309,10 @@ impl SystemModule {
         let mut engine = Turbofan::from_design(cycle)?;
         // Operating conditions: high or low altitude, flight Mach.
         let amb = tess::atmosphere::isa(altitude_m);
-        engine.flight =
-            tess::engine::FlightCondition { t_amb: amb.t, p_amb: amb.p, mach };
+        engine.flight = tess::engine::FlightCondition { t_amb: amb.t, p_amb: amb.p, mach };
         let mut exec = ExecutiveEngine::all_local(engine)?;
 
-        let placements = self.services.placements.lock().clone();
+        let placements = self.services.placements.lock().unwrap().clone();
         for (slot, (machine, path)) in placements {
             if machine == "local" {
                 // The pathname widget still selects the *code*: a
@@ -440,13 +425,13 @@ impl AvsModule for SystemModule {
         ])?;
         let result = exec.run_transient(&fuel, method, dt, t_end);
         // Always capture stats, then tear down remote lines.
-        *self.services.report.lock() = exec.report_rows();
+        *self.services.report.lock().unwrap() = exec.report_rows();
         exec.shutdown();
         let result = result?;
 
         ctx.set_output("thrust", Value::Double(result.last().thrust));
         ctx.set_output("n1", Value::Double(result.last().n1));
-        *self.services.result.lock() = Some(result);
+        *self.services.result.lock().unwrap() = Some(result);
         Ok(())
     }
 }

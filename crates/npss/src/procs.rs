@@ -123,9 +123,7 @@ fn get_i64(v: &Value, what: &str) -> Result<i64, String> {
 }
 
 fn get_f32x4(v: &Value, what: &str) -> Result<[f32; 4], String> {
-    let xs = v
-        .as_f32_slice()
-        .ok_or_else(|| format!("{what}: expected array[4] of float"))?;
+    let xs = v.as_f32_slice().ok_or_else(|| format!("{what}: expected array[4] of float"))?;
     xs.try_into().map_err(|_| format!("{what}: wrong length"))
 }
 
@@ -233,7 +231,7 @@ pub fn duct_image() -> ProgramImage {
                 |args: &[Value]| {
                     let dp = get_f32(&args[0], "dpfrac")?;
                     if !(0.0..1.0).contains(&dp) {
-                        return Err(format!("setduct: dpfrac {dp} out of range"));
+                        return Err(format!("setduct: dpfrac {dp} out of range").into());
                     }
                     Ok(vec![Value::Integer(1)])
                 },
@@ -340,10 +338,7 @@ mod tests {
         let file = uts::parse_spec_file(SHAFT_SPEC).unwrap();
         let shaft = file.find("shaft").unwrap();
         let names: Vec<&str> = shaft.params.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(
-            names,
-            ["ecom", "incom", "etur", "intur", "ecorr", "xspool", "xmyi", "dxspl"]
-        );
+        assert_eq!(names, ["ecom", "incom", "etur", "intur", "ecorr", "xspool", "xmyi", "dxspl"]);
         assert_eq!(shaft.output_params().count(), 1);
         let setshaft = file.find("setshaft").unwrap();
         assert_eq!(setshaft.params.len(), 5);
@@ -351,13 +346,7 @@ mod tests {
 
     #[test]
     fn all_images_validate() {
-        for img in [
-            shaft_image(),
-            duct_image(),
-            duct2_image(),
-            combustor_image(),
-            nozzle_image(),
-        ] {
+        for img in [shaft_image(), duct_image(), duct2_image(), combustor_image(), nozzle_image()] {
             img.validate().unwrap();
         }
     }
@@ -530,7 +519,7 @@ pub fn duct2_image() -> ProgramImage {
                 |args: &[Value]| {
                     let dp = get_f32(&args[0], "dpfrac")?;
                     if !(0.0..1.0).contains(&dp) {
-                        return Err(format!("setduct: dpfrac {dp} out of range"));
+                        return Err(format!("setduct: dpfrac {dp} out of range").into());
                     }
                     Ok(vec![Value::Integer(2)]) // version marker
                 },

@@ -162,10 +162,7 @@ fn operating_conditions_widgets_change_the_run() {
         altitude.last().thrust,
         sea_level.last().thrust
     );
-    assert!(
-        altitude.last().w2 < 0.7 * sea_level.last().w2,
-        "inlet flow must fall with density"
-    );
+    assert!(altitude.last().w2 < 0.7 * sea_level.last().w2, "inlet flow must fall with density");
 }
 
 #[test]

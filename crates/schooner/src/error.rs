@@ -34,6 +34,23 @@ pub enum SchError {
     /// Migration was requested for a procedure that declares state but the
     /// state transfer failed.
     StateTransfer(String),
+    /// A call's virtual-time deadline passed before an attempt succeeded.
+    DeadlineExceeded {
+        /// What was being called.
+        what: String,
+        /// The deadline, in virtual seconds since the call began.
+        deadline_s: f64,
+    },
+    /// A call policy ran out of retries and failover targets. The last
+    /// underlying error is preserved so callers can see *why*.
+    PolicyExhausted {
+        /// What was being called.
+        what: String,
+        /// Total attempts made (including the first).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<SchError>,
+    },
     /// Anything else.
     Other(String),
 }
@@ -58,6 +75,12 @@ impl fmt::Display for SchError {
             SchError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             SchError::ManagerUnavailable => write!(f, "Schooner Manager unavailable"),
             SchError::StateTransfer(msg) => write!(f, "state transfer failed: {msg}"),
+            SchError::DeadlineExceeded { what, deadline_s } => {
+                write!(f, "call '{what}' exceeded its {deadline_s} s virtual deadline")
+            }
+            SchError::PolicyExhausted { what, attempts, last } => {
+                write!(f, "call '{what}' failed after {attempts} attempts; last error: {last}")
+            }
             SchError::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -77,10 +100,40 @@ impl From<NetError> for SchError {
     }
 }
 
+impl From<crate::proc::ProcFault> for SchError {
+    fn from(f: crate::proc::ProcFault) -> Self {
+        SchError::RemoteFault(f.to_string())
+    }
+}
+
 impl SchError {
-    /// Render for crossing the wire inside an error reply.
-    pub fn to_wire_string(&self) -> String {
-        self.to_string()
+    /// True when the binding that produced this error is stale: the
+    /// process behind it is gone, so re-resolving through the Manager may
+    /// find a live replacement. This is safe to retry once even for
+    /// non-idempotent calls — the request never reached a live procedure.
+    pub fn is_stale_binding(&self) -> bool {
+        matches!(
+            self,
+            SchError::ProcessGone(_)
+                | SchError::Net(NetError::UnknownAddress(_))
+                | SchError::Net(NetError::Disconnected(_))
+        )
+    }
+
+    /// True when the failure is transient at the transport or Manager
+    /// level, so retrying an **idempotent** call may succeed. Remote
+    /// faults and protocol errors are excluded: those calls reached the
+    /// other side or indicate a bug, and retrying cannot help.
+    pub fn is_retryable(&self) -> bool {
+        self.is_stale_binding()
+            || matches!(
+                self,
+                SchError::ManagerUnavailable
+                    | SchError::Net(NetError::HostDown(_))
+                    | SchError::Net(NetError::Unreachable { .. })
+                    | SchError::Net(NetError::Dropped { .. })
+                    | SchError::Net(NetError::Timeout)
+            )
     }
 }
 
@@ -103,5 +156,34 @@ mod tests {
         assert!(matches!(u, SchError::Uts(_)));
         let n: SchError = NetError::Timeout.into();
         assert!(matches!(n, SchError::Net(_)));
+        let p: SchError = crate::proc::ProcFault::Failed("boom".into()).into();
+        assert_eq!(p, SchError::RemoteFault("boom".into()));
+    }
+
+    #[test]
+    fn retry_classification() {
+        assert!(SchError::ProcessGone("a:1".into()).is_stale_binding());
+        assert!(SchError::Net(NetError::Disconnected("a:1".into())).is_stale_binding());
+        assert!(!SchError::Net(NetError::HostDown("a".into())).is_stale_binding());
+        assert!(SchError::Net(NetError::HostDown("a".into())).is_retryable());
+        assert!(SchError::ManagerUnavailable.is_retryable());
+        assert!(
+            SchError::Net(NetError::Dropped { from: "a".into(), to: "b".into() }).is_retryable()
+        );
+        assert!(!SchError::RemoteFault("boom".into()).is_retryable());
+        assert!(!SchError::UnknownProcedure("f".into()).is_retryable());
+    }
+
+    #[test]
+    fn policy_errors_render_context() {
+        let e = SchError::PolicyExhausted {
+            what: "shaft".into(),
+            attempts: 4,
+            last: Box::new(SchError::Net(NetError::HostDown("cray".into()))),
+        };
+        let text = e.to_string();
+        assert!(text.contains("shaft") && text.contains("4") && text.contains("cray"));
+        let d = SchError::DeadlineExceeded { what: "shaft".into(), deadline_s: 2.5 };
+        assert!(d.to_string().contains("2.5"));
     }
 }

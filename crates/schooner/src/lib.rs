@@ -73,6 +73,7 @@ pub mod error;
 pub mod line;
 pub mod manager;
 pub mod message;
+pub mod policy;
 pub mod proc;
 pub mod program;
 pub mod server;
@@ -81,8 +82,27 @@ pub mod system;
 pub mod trace;
 
 pub use error::{SchError, SchResult};
-pub use line::{LineHandle, LineId};
-pub use proc::{FnProcedure, Procedure, StatefulProcedure};
+pub use line::{LineHandle, LineId, LineStats};
+pub use message::{FaultCode, WireFault};
+pub use policy::{CallPolicy, OnExhaustion};
+pub use proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
 pub use program::{ProgramImage, ProgramRegistry};
 pub use system::{Schooner, SchoonerConfig};
 pub use trace::{Event, Trace};
+
+/// The common imports for programs built on Schooner.
+///
+/// ```
+/// use schooner::prelude::*;
+/// let _policy = CallPolicy::new().retries(2).idempotent(true);
+/// ```
+pub mod prelude {
+    pub use crate::error::{SchError, SchResult};
+    pub use crate::line::{LineHandle, LineId, LineStats};
+    pub use crate::policy::{CallPolicy, OnExhaustion};
+    pub use crate::proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
+    pub use crate::program::ProgramImage;
+    pub use crate::system::{Schooner, SchoonerConfig};
+    pub use crate::trace::Trace;
+    pub use uts::Value;
+}

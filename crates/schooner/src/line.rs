@@ -23,17 +23,14 @@ use uts::spec::ProcSpec;
 use uts::{Architecture, Value};
 
 use crate::error::{SchError, SchResult};
-use crate::message::{MapInfo, Msg, StartedInfo};
+use crate::message::{FaultCode, MapInfo, Msg, StartedInfo, WireFault};
+use crate::policy::{CallPolicy, JitterRng};
 use crate::stub::CompiledStub;
 use crate::system::RuntimeCtx;
+use crate::trace::Trace;
 
 /// Identifier of a line, assigned by the Manager.
 pub type LineId = u64;
-
-/// Reply text a process sends for calls caught in its shutdown drain;
-/// the client recognizes it and falls back to the Manager for a fresh
-/// location (the stale-cache path of migration).
-pub const GONE_FAULT: &str = "#process-gone";
 
 /// A resolved, cached binding to a remote procedure.
 #[derive(Debug, Clone)]
@@ -56,6 +53,10 @@ pub struct LineStats {
     pub manager_lookups: u64,
     /// Calls that had to retry after finding a stale binding.
     pub stale_retries: u64,
+    /// Retries driven by an explicit [`CallPolicy`] (backoff pauses).
+    pub policy_retries: u64,
+    /// Successful migration-based failovers driven by a [`CallPolicy`].
+    pub failovers: u64,
 }
 
 /// A module's handle on its line.
@@ -150,6 +151,12 @@ impl LineHandle {
         self.stats
     }
 
+    /// The shared event trace (retries, failovers, and degradations are
+    /// recorded here alongside ordinary call events).
+    pub fn trace(&self) -> &Trace {
+        &self.ctx.trace
+    }
+
     /// Register import specifications for later calls. Calls to
     /// procedures without a registered import use the export specification
     /// unchecked (the import-equals-export common case).
@@ -189,8 +196,7 @@ impl LineHandle {
             self.await_reply(|m| matches!(m, Msg::StartReply { req: r, .. } if *r == req))?;
         match reply {
             Msg::StartReply { result, .. } => {
-                let StartedInfo { proc_names, addr, .. } =
-                    result.map_err(SchError::Other)?;
+                let StartedInfo { proc_names, addr, .. } = result.map_err(WireFault::into_error)?;
                 self.ctx.trace.record(
                     self.clock.now(),
                     format!("line-{}", self.id),
@@ -204,31 +210,135 @@ impl LineHandle {
 
     /// Invoke a remote procedure with the input arguments (`val`/`var`
     /// parameters in spec order); returns the outputs (`res`/`var`).
+    ///
+    /// Equivalent to [`LineHandle::call_with`] under the default
+    /// [`CallPolicy`]: one stale-cache retry, no deadline, no failover.
     pub fn call(&mut self, name: &str, args: &[Value]) -> SchResult<Vec<Value>> {
+        self.call_with(name, args, &CallPolicy::default())
+    }
+
+    /// Invoke a remote procedure under an explicit [`CallPolicy`].
+    ///
+    /// The policy controls the whole fault-handling lifecycle, all in
+    /// virtual time:
+    ///
+    /// * a **deadline** bounds the call's total virtual duration —
+    ///   crossing it returns [`SchError::DeadlineExceeded`];
+    /// * failures the policy classifies as retryable (stale bindings
+    ///   always; any transient transport fault when the call is declared
+    ///   idempotent) are retried up to `max_retries` times per binding,
+    ///   separated by exponential **backoff** pauses with seeded jitter;
+    /// * once a binding's retries are exhausted, each **failover** machine
+    ///   is tried in turn by migrating the procedure there via the
+    ///   Manager ([`LineHandle::move_procedure`]) and starting a fresh
+    ///   retry budget;
+    /// * when everything is exhausted the caller receives
+    ///   [`SchError::PolicyExhausted`] carrying the attempt count and the
+    ///   final underlying error. Degradation-aware callers (see
+    ///   `npss::exec::RemoteExec`) may then substitute a local baseline if
+    ///   the policy says [`OnExhaustion::Degrade`](crate::OnExhaustion).
+    ///
+    /// Errors outside the policy's retry set — remote faults, type
+    /// mismatches, unknown names — are returned immediately, untouched.
+    pub fn call_with(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        policy: &CallPolicy,
+    ) -> SchResult<Vec<Value>> {
         self.ensure_live()?;
         let key = name.to_ascii_lowercase();
-        if !self.cache.contains_key(&key) {
-            let binding = self.map_via_manager(name)?;
-            self.cache.insert(key.clone(), binding);
-        }
-        match self.attempt_call(&key, args) {
-            Err(e) if Self::is_stale(&e) => {
-                // Stale cache after a move or restart: re-query the
-                // Manager and retry once.
+        let started = self.clock.now();
+        let mut rng = JitterRng::new(policy.seed, name);
+        let mut failover = policy.failover.iter();
+        let mut backoff = policy.backoff_initial_s;
+        let mut attempts: u32 = 0;
+        let mut attempts_here: u32 = 0;
+        loop {
+            if let Some(limit) = policy.deadline_s {
+                if self.clock.now() - started > limit {
+                    return Err(SchError::DeadlineExceeded {
+                        what: name.to_owned(),
+                        deadline_s: limit,
+                    });
+                }
+            }
+            attempts += 1;
+            attempts_here += 1;
+            let err = match self.resolve_and_call(&key, name, args) {
+                Ok(out) => return Ok(out),
+                Err(e) => e,
+            };
+            if err.is_stale_binding() {
+                // The process behind the cached address is gone; the next
+                // resolve falls back to the Manager for a fresh location.
                 self.stats.stale_retries += 1;
                 self.cache.remove(&key);
-                let binding = self.map_via_manager(name)?;
-                self.cache.insert(key.clone(), binding);
-                self.attempt_call(&key, args)
             }
-            other => other,
+            if !policy.retries_error(&err) {
+                return Err(err);
+            }
+            if attempts_here > policy.max_retries {
+                let mut moved = false;
+                for target in failover.by_ref() {
+                    self.ctx.trace.record(
+                        self.clock.now(),
+                        format!("line-{}", self.id),
+                        format!("failover: moving '{name}' to {target} after: {err}"),
+                    );
+                    match self.move_procedure(name, target) {
+                        Ok(()) => {
+                            self.stats.failovers += 1;
+                            moved = true;
+                            break;
+                        }
+                        Err(move_err) => {
+                            self.ctx.trace.record(
+                                self.clock.now(),
+                                format!("line-{}", self.id),
+                                format!("failover to {target} failed: {move_err}"),
+                            );
+                        }
+                    }
+                }
+                if !moved {
+                    return Err(SchError::PolicyExhausted {
+                        what: name.to_owned(),
+                        attempts,
+                        last: Box::new(err),
+                    });
+                }
+                attempts_here = 0;
+                backoff = policy.backoff_initial_s;
+                continue;
+            }
+            if backoff > 0.0 {
+                let pause = backoff * (1.0 + policy.jitter_frac * rng.next_unit());
+                self.clock.advance(pause);
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    format!("line-{}", self.id),
+                    format!("retry {attempts_here} of '{name}' after {pause:.3}s backoff: {err}"),
+                );
+                backoff = (backoff * policy.backoff_multiplier).min(policy.backoff_max_s);
+            } else {
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    format!("line-{}", self.id),
+                    format!("retry {attempts_here} of '{name}': {err}"),
+                );
+            }
+            self.stats.policy_retries += 1;
         }
     }
 
-    fn is_stale(e: &SchError) -> bool {
-        matches!(e, SchError::ProcessGone(_))
-            || matches!(e, SchError::Net(NetError::UnknownAddress(_)))
-            || matches!(e, SchError::Net(NetError::Disconnected(_)))
+    /// One resolution-plus-call attempt against the current cache.
+    fn resolve_and_call(&mut self, key: &str, name: &str, args: &[Value]) -> SchResult<Vec<Value>> {
+        if !self.cache.contains_key(key) {
+            let binding = self.map_via_manager(name)?;
+            self.cache.insert(key.to_owned(), binding);
+        }
+        self.attempt_call(key, args)
     }
 
     fn attempt_call(&mut self, key: &str, args: &[Value]) -> SchResult<Vec<Value>> {
@@ -255,10 +365,12 @@ impl LineHandle {
         match reply {
             Msg::CallReply { result, .. } => {
                 let bytes = result.map_err(|e| {
-                    if e == GONE_FAULT {
+                    if e.code == FaultCode::ProcessGone {
+                        // Prefer the address we actually dialled: it is
+                        // the cache entry that went stale.
                         SchError::ProcessGone(binding.addr.clone())
                     } else {
-                        SchError::RemoteFault(e)
+                        e.into_error()
                     }
                 })?;
                 self.stats.calls += 1;
@@ -293,7 +405,7 @@ impl LineHandle {
             self.await_reply(|m| matches!(m, Msg::MoveReply { req: r, .. } if *r == req))?;
         match reply {
             Msg::MoveReply { result, .. } => {
-                let info = result.map_err(SchError::Other)?;
+                let info = result.map_err(WireFault::into_error)?;
                 self.install_binding(name, info)?;
                 Ok(())
             }
@@ -374,11 +486,8 @@ impl LineHandle {
 
     fn map_via_manager(&mut self, name: &str) -> SchResult<Binding> {
         self.stats.manager_lookups += 1;
-        let import_spec = self
-            .imports
-            .get(&name.to_ascii_lowercase())
-            .map(|d| d.to_source())
-            .unwrap_or_default();
+        let import_spec =
+            self.imports.get(&name.to_ascii_lowercase()).map(|d| d.to_source()).unwrap_or_default();
         let req = self.fresh_req();
         self.send_manager(&Msg::MapRequest {
             req,
@@ -387,17 +496,10 @@ impl LineHandle {
             import_spec,
             reply_to: self.endpoint.addr().to_owned(),
         })?;
-        let reply =
-            self.await_reply(|m| matches!(m, Msg::MapReply { req: r, .. } if *r == req))?;
+        let reply = self.await_reply(|m| matches!(m, Msg::MapReply { req: r, .. } if *r == req))?;
         match reply {
             Msg::MapReply { result, .. } => {
-                let info = result.map_err(|e| {
-                    if e.contains("no procedure") {
-                        SchError::UnknownProcedure(name.to_owned())
-                    } else {
-                        SchError::Other(e)
-                    }
-                })?;
+                let info = result.map_err(WireFault::into_error)?;
                 self.binding_from_info(info)
             }
             _ => unreachable!("await_reply predicate"),
@@ -432,12 +534,8 @@ impl Drop for LineHandle {
             let req = self.next_req;
             let _ = self.endpoint.send(
                 &self.manager,
-                Msg::IQuit {
-                    req,
-                    line: self.id,
-                    reply_to: self.endpoint.addr().to_owned(),
-                }
-                .encode(),
+                Msg::IQuit { req, line: self.id, reply_to: self.endpoint.addr().to_owned() }
+                    .encode(),
                 self.clock.now(),
             );
         }

@@ -28,7 +28,7 @@ use uts::check::check_import_against_export;
 use uts::spec::{Direction, ProcSpec};
 
 use crate::error::{SchError, SchResult};
-use crate::message::{MapInfo, Msg, StartedInfo};
+use crate::message::{MapInfo, Msg, StartedInfo, WireFault};
 use crate::system::{manager_addr, server_addr, RuntimeCtx};
 
 /// Handle to the running Manager thread.
@@ -47,12 +47,8 @@ impl ManagerHandle {
     /// knows about and every Server) and wait for it to finish.
     pub fn shutdown(mut self, ctx: &RuntimeCtx) {
         let host = self.addr.split(':').next().unwrap_or_default().to_owned();
-        let _ = ctx.net.send(
-            &format!("{host}:system"),
-            &self.addr,
-            Msg::ManagerShutdown.encode(),
-            0.0,
-        );
+        let _ =
+            ctx.net.send(&format!("{host}:system"), &self.addr, Msg::ManagerShutdown.encode(), 0.0);
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -135,9 +131,8 @@ impl NameDb {
             if entry.addr == old_addr {
                 entry.addr = new_addr.to_owned();
                 entry.host = new_host.to_owned();
-                if let Some(n) = name_map
-                    .iter()
-                    .find(|n| n.eq_ignore_ascii_case(&entry.remote_name))
+                if let Some(n) =
+                    name_map.iter().find(|n| n.eq_ignore_ascii_case(&entry.remote_name))
                 {
                     entry.remote_name = n.clone();
                 }
@@ -227,7 +222,8 @@ impl ManagerWorker {
             Msg::OpenLine { req, module, reply_to } => {
                 let line = self.next_line;
                 self.next_line += 1;
-                self.lines.insert(line, LineState { module: module.clone(), db: NameDb::default() });
+                self.lines
+                    .insert(line, LineState { module: module.clone(), db: NameDb::default() });
                 self.ctx.trace.record(
                     self.clock.now(),
                     "manager",
@@ -236,15 +232,13 @@ impl ManagerWorker {
                 let _ = self.send(&reply_to, &Msg::LineOpened { req, line });
             }
             Msg::StartRequest { req, line, path, host, shared, reply_to } => {
-                let result = self
-                    .handle_start(line, &path, &host, shared)
-                    .map_err(|e| e.to_wire_string());
+                let result =
+                    self.handle_start(line, &path, &host, shared).map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::StartReply { req, result });
             }
             Msg::MapRequest { req, line, name, import_spec, reply_to } => {
-                let result = self
-                    .handle_map(line, &name, &import_spec)
-                    .map_err(|e| e.to_wire_string());
+                let result =
+                    self.handle_map(line, &name, &import_spec).map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::MapReply { req, result });
             }
             Msg::IQuit { req, line, reply_to } => {
@@ -252,9 +246,8 @@ impl ManagerWorker {
                 let _ = self.send(&reply_to, &Msg::IQuitAck { req });
             }
             Msg::MoveRequest { req, line, name, target_host, reply_to } => {
-                let result = self
-                    .handle_move(line, &name, &target_host)
-                    .map_err(|e| e.to_wire_string());
+                let result =
+                    self.handle_move(line, &name, &target_host).map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::MoveReply { req, result });
             }
             Msg::ManagerShutdown => {
@@ -296,11 +289,8 @@ impl ManagerWorker {
         // Parse the export spec and pre-check for duplicates before
         // mutating any table.
         let spec = uts::parse_spec_file(&info.spec_src)?;
-        let db = if shared {
-            &self.shared
-        } else {
-            &self.lines.get(&line).expect("checked above").db
-        };
+        let db =
+            if shared { &self.shared } else { &self.lines.get(&line).expect("checked above").db };
         for decl in &spec.decls {
             if decl.direction != Direction::Export {
                 continue;
@@ -363,11 +353,10 @@ impl ManagerWorker {
                 reply_to: self.endpoint.addr().to_owned(),
             },
         )?;
-        let reply = self.await_reply(
-            |m| matches!(m, Msg::ProcessStarted { req: r, .. } if *r == req),
-        )?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::ProcessStarted { req: r, .. } if *r == req))?;
         match reply {
-            Msg::ProcessStarted { result, .. } => result.map_err(SchError::Other),
+            Msg::ProcessStarted { result, .. } => result.map_err(WireFault::into_error),
             _ => unreachable!("await_reply predicate"),
         }
     }
@@ -381,22 +370,17 @@ impl ManagerWorker {
         } else {
             return Err(SchError::UnknownLine(line));
         }
-        self.shared
-            .get(name)
-            .ok_or_else(|| SchError::UnknownProcedure(name.to_owned()))
+        self.shared.get(name).ok_or_else(|| SchError::UnknownProcedure(name.to_owned()))
     }
 
     fn handle_map(&mut self, line: u64, name: &str, import_spec: &str) -> SchResult<MapInfo> {
         let entry = self.lookup(line, name)?.clone();
         if !import_spec.is_empty() {
             let imports = uts::parse_spec_file(import_spec)?;
-            let import = imports
-                .decls
-                .iter()
-                .find(|d| d.name.eq_ignore_ascii_case(name))
-                .ok_or_else(|| {
-                    SchError::Other(format!("import spec does not declare '{name}'"))
-                })?;
+            let import =
+                imports.decls.iter().find(|d| d.name.eq_ignore_ascii_case(name)).ok_or_else(
+                    || SchError::Other(format!("import spec does not declare '{name}'")),
+                )?;
             check_import_against_export(import, &entry.spec)?;
         }
         self.ctx.trace.record(
@@ -447,10 +431,7 @@ impl ManagerWorker {
 
         // Does any procedure of that process declare migration state?
         let db = if in_shared { &self.shared } else { &self.lines[&line].db };
-        let has_state = db
-            .map
-            .values()
-            .any(|e| e.addr == old_addr && !e.spec.state.is_empty());
+        let has_state = db.map.values().any(|e| e.addr == old_addr && !e.spec.state.is_empty());
 
         // Capture state from the old instance before it is shut down.
         let state_blob = if has_state {
@@ -459,11 +440,11 @@ impl ManagerWorker {
                 &old_addr,
                 &Msg::GetState { req, reply_to: self.endpoint.addr().to_owned() },
             )?;
-            let reply = self
-                .await_reply(|m| matches!(m, Msg::StateReply { req: r, .. } if *r == req))?;
+            let reply =
+                self.await_reply(|m| matches!(m, Msg::StateReply { req: r, .. } if *r == req))?;
             match reply {
                 Msg::StateReply { result, .. } => {
-                    Some(result.map_err(SchError::StateTransfer)?)
+                    Some(result.map_err(|wf| SchError::StateTransfer(wf.detail))?)
                 }
                 _ => unreachable!(),
             }
@@ -482,10 +463,12 @@ impl ManagerWorker {
                 &info.addr,
                 &Msg::SetState { req, state: blob, reply_to: self.endpoint.addr().to_owned() },
             )?;
-            let reply = self
-                .await_reply(|m| matches!(m, Msg::SetStateAck { req: r, .. } if *r == req))?;
+            let reply =
+                self.await_reply(|m| matches!(m, Msg::SetStateAck { req: r, .. } if *r == req))?;
             match reply {
-                Msg::SetStateAck { result, .. } => result.map_err(SchError::StateTransfer)?,
+                Msg::SetStateAck { result, .. } => {
+                    result.map_err(|wf| SchError::StateTransfer(wf.detail))?
+                }
                 _ => unreachable!(),
             }
         }

@@ -11,6 +11,149 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::{SchError, SchResult};
 
+/// Machine-readable classification of a fault crossing the wire.
+///
+/// Replies used to carry bare strings; retry logic needs to distinguish
+/// "the process is gone" from "the implementation raised a fault", so
+/// error replies now carry a code plus the human-readable detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// No procedure with the requested name is visible.
+    UnknownProcedure,
+    /// The line id is not known to the Manager.
+    UnknownLine,
+    /// The executable path is not installed on the target host.
+    UnknownExecutable,
+    /// A procedure with this name already exists in the line.
+    Duplicate,
+    /// The procedure implementation reported a failure.
+    RemoteFault,
+    /// The process addressed is gone (shut down, migrated away, died).
+    ProcessGone,
+    /// Migration state capture or install failed.
+    StateTransfer,
+    /// A message could not be decoded.
+    Protocol,
+    /// The Manager (or another required service) is unavailable.
+    Unavailable,
+    /// Anything else; the detail string carries the description.
+    Other,
+}
+
+impl FaultCode {
+    /// All codes, for exhaustive encode/decode testing.
+    pub const ALL: [FaultCode; 10] = [
+        FaultCode::UnknownProcedure,
+        FaultCode::UnknownLine,
+        FaultCode::UnknownExecutable,
+        FaultCode::Duplicate,
+        FaultCode::RemoteFault,
+        FaultCode::ProcessGone,
+        FaultCode::StateTransfer,
+        FaultCode::Protocol,
+        FaultCode::Unavailable,
+        FaultCode::Other,
+    ];
+
+    fn to_u8(self) -> u8 {
+        match self {
+            FaultCode::UnknownProcedure => 1,
+            FaultCode::UnknownLine => 2,
+            FaultCode::UnknownExecutable => 3,
+            FaultCode::Duplicate => 4,
+            FaultCode::RemoteFault => 5,
+            FaultCode::ProcessGone => 6,
+            FaultCode::StateTransfer => 7,
+            FaultCode::Protocol => 8,
+            FaultCode::Unavailable => 9,
+            FaultCode::Other => 10,
+        }
+    }
+
+    fn from_u8(b: u8) -> FaultCode {
+        match b {
+            1 => FaultCode::UnknownProcedure,
+            2 => FaultCode::UnknownLine,
+            3 => FaultCode::UnknownExecutable,
+            4 => FaultCode::Duplicate,
+            5 => FaultCode::RemoteFault,
+            6 => FaultCode::ProcessGone,
+            7 => FaultCode::StateTransfer,
+            8 => FaultCode::Protocol,
+            9 => FaultCode::Unavailable,
+            // Forward compatibility: an unknown code is still an error.
+            _ => FaultCode::Other,
+        }
+    }
+}
+
+/// A typed fault inside an error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// What kind of failure this is.
+    pub code: FaultCode,
+    /// Human-readable detail (for [`FaultCode::RemoteFault`], the bare
+    /// message the procedure implementation raised).
+    pub detail: String,
+}
+
+impl WireFault {
+    /// Build a fault.
+    pub fn new(code: FaultCode, detail: impl Into<String>) -> Self {
+        Self { code, detail: detail.into() }
+    }
+
+    /// Reconstruct the typed error on the caller's side.
+    pub fn into_error(self) -> SchError {
+        match self.code {
+            FaultCode::UnknownProcedure => SchError::UnknownProcedure(self.detail),
+            FaultCode::UnknownLine => {
+                let id = self.detail.parse().unwrap_or(0);
+                SchError::UnknownLine(id)
+            }
+            FaultCode::RemoteFault => SchError::RemoteFault(self.detail),
+            FaultCode::ProcessGone => SchError::ProcessGone(self.detail),
+            FaultCode::StateTransfer => SchError::StateTransfer(self.detail),
+            FaultCode::Protocol => SchError::Protocol(self.detail),
+            FaultCode::Unavailable => SchError::ManagerUnavailable,
+            // UnknownExecutable and Duplicate carry their rendered text:
+            // the caller keeps the description without re-parsing fields.
+            FaultCode::UnknownExecutable | FaultCode::Duplicate | FaultCode::Other => {
+                SchError::Other(self.detail)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl From<&SchError> for WireFault {
+    fn from(e: &SchError) -> Self {
+        match e {
+            SchError::UnknownProcedure(name) => {
+                WireFault::new(FaultCode::UnknownProcedure, name.clone())
+            }
+            SchError::UnknownLine(id) => WireFault::new(FaultCode::UnknownLine, id.to_string()),
+            SchError::UnknownExecutable { .. } => {
+                WireFault::new(FaultCode::UnknownExecutable, e.to_string())
+            }
+            SchError::DuplicateProcedure { .. } => {
+                WireFault::new(FaultCode::Duplicate, e.to_string())
+            }
+            SchError::RemoteFault(msg) => WireFault::new(FaultCode::RemoteFault, msg.clone()),
+            SchError::ProcessGone(addr) => WireFault::new(FaultCode::ProcessGone, addr.clone()),
+            SchError::StateTransfer(msg) => WireFault::new(FaultCode::StateTransfer, msg.clone()),
+            SchError::Protocol(msg) => WireFault::new(FaultCode::Protocol, msg.clone()),
+            SchError::ManagerUnavailable => WireFault::new(FaultCode::Unavailable, e.to_string()),
+            _ => WireFault::new(FaultCode::Other, e.to_string()),
+        }
+    }
+}
+
 /// Information returned when a process has been started.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StartedInfo {
@@ -48,12 +191,12 @@ pub enum Msg {
     /// shared procedure when `shared`).
     StartRequest { req: u64, line: u64, path: String, host: String, shared: bool, reply_to: String },
     /// Reply to [`Msg::StartRequest`].
-    StartReply { req: u64, result: Result<StartedInfo, String> },
+    StartReply { req: u64, result: Result<StartedInfo, WireFault> },
     /// Resolve a procedure name visible to `line`; carries the import
     /// spec so the Manager can type-check the binding.
     MapRequest { req: u64, line: u64, name: String, import_spec: String, reply_to: String },
     /// Reply to [`Msg::MapRequest`].
-    MapReply { req: u64, result: Result<MapInfo, String> },
+    MapReply { req: u64, result: Result<MapInfo, WireFault> },
     /// A module is going away; terminate the remote procedures of its
     /// line only (`sch_i_quit`).
     IQuit { req: u64, line: u64, reply_to: String },
@@ -63,7 +206,7 @@ pub enum Msg {
     /// `shared`) to `target_host`.
     MoveRequest { req: u64, line: u64, name: String, target_host: String, reply_to: String },
     /// Reply to [`Msg::MoveRequest`].
-    MoveReply { req: u64, result: Result<MapInfo, String> },
+    MoveReply { req: u64, result: Result<MapInfo, WireFault> },
     /// Terminate the Manager (explicit, since the Manager is persistent).
     ManagerShutdown,
 
@@ -71,7 +214,7 @@ pub enum Msg {
     /// Ask the Server to instantiate `path` as a process.
     StartProcess { req: u64, line: u64, path: String, reply_to: String },
     /// Reply to [`Msg::StartProcess`].
-    ProcessStarted { req: u64, result: Result<StartedInfo, String> },
+    ProcessStarted { req: u64, result: Result<StartedInfo, WireFault> },
     /// Terminate the Server.
     ServerShutdown,
 
@@ -79,15 +222,15 @@ pub enum Msg {
     /// Invoke `proc_name` with wire-encoded input arguments.
     CallRequest { call: u64, line: u64, proc_name: String, args: Bytes, reply_to: String },
     /// Wire-encoded output results, or a fault.
-    CallReply { call: u64, result: Result<Bytes, String> },
+    CallReply { call: u64, result: Result<Bytes, WireFault> },
     /// Collect migration state (wire-encoded state variables).
     GetState { req: u64, reply_to: String },
     /// Reply to [`Msg::GetState`].
-    StateReply { req: u64, result: Result<Bytes, String> },
+    StateReply { req: u64, result: Result<Bytes, WireFault> },
     /// Install migration state into a freshly started process.
     SetState { req: u64, state: Bytes, reply_to: String },
     /// Reply to [`Msg::SetState`].
-    SetStateAck { req: u64, result: Result<(), String> },
+    SetStateAck { req: u64, result: Result<(), WireFault> },
     /// Terminate the process.
     ProcShutdown,
 }
@@ -167,7 +310,11 @@ impl Reader {
     }
 }
 
-fn put_result<T>(buf: &mut BytesMut, r: &Result<T, String>, put_ok: impl FnOnce(&mut BytesMut, &T)) {
+fn put_result<T>(
+    buf: &mut BytesMut,
+    r: &Result<T, WireFault>,
+    put_ok: impl FnOnce(&mut BytesMut, &T),
+) {
     match r {
         Ok(v) => {
             buf.put_u8(1);
@@ -175,15 +322,22 @@ fn put_result<T>(buf: &mut BytesMut, r: &Result<T, String>, put_ok: impl FnOnce(
         }
         Err(e) => {
             buf.put_u8(0);
-            put_str(buf, e);
+            buf.put_u8(e.code.to_u8());
+            put_str(buf, &e.detail);
         }
     }
 }
 
-fn get_result<T>(r: &mut Reader, get_ok: impl FnOnce(&mut Reader) -> SchResult<T>) -> SchResult<Result<T, String>> {
+fn get_result<T>(
+    r: &mut Reader,
+    get_ok: impl FnOnce(&mut Reader) -> SchResult<T>,
+) -> SchResult<Result<T, WireFault>> {
     match r.u8()? {
         1 => Ok(Ok(get_ok(r)?)),
-        0 => Ok(Err(r.str()?)),
+        0 => {
+            let code = FaultCode::from_u8(r.u8()?);
+            Ok(Err(WireFault { code, detail: r.str()? }))
+        }
         other => Err(SchError::Protocol(format!("invalid result tag {other}"))),
     }
 }
@@ -355,7 +509,9 @@ impl Msg {
                 shared: r.u8()? != 0,
                 reply_to: r.str()?,
             },
-            T_START_REPLY => Msg::StartReply { req: r.u64()?, result: get_result(&mut r, get_started)? },
+            T_START_REPLY => {
+                Msg::StartReply { req: r.u64()?, result: get_result(&mut r, get_started)? }
+            }
             T_MAP_REQUEST => Msg::MapRequest {
                 req: r.u64()?,
                 line: r.u64()?,
@@ -363,7 +519,9 @@ impl Msg {
                 import_spec: r.str()?,
                 reply_to: r.str()?,
             },
-            T_MAP_REPLY => Msg::MapReply { req: r.u64()?, result: get_result(&mut r, get_mapinfo)? },
+            T_MAP_REPLY => {
+                Msg::MapReply { req: r.u64()?, result: get_result(&mut r, get_mapinfo)? }
+            }
             T_IQUIT => Msg::IQuit { req: r.u64()?, line: r.u64()?, reply_to: r.str()? },
             T_IQUIT_ACK => Msg::IQuitAck { req: r.u64()? },
             T_MOVE_REQUEST => Msg::MoveRequest {
@@ -373,7 +531,9 @@ impl Msg {
                 target_host: r.str()?,
                 reply_to: r.str()?,
             },
-            T_MOVE_REPLY => Msg::MoveReply { req: r.u64()?, result: get_result(&mut r, get_mapinfo)? },
+            T_MOVE_REPLY => {
+                Msg::MoveReply { req: r.u64()?, result: get_result(&mut r, get_mapinfo)? }
+            }
             T_MANAGER_SHUTDOWN => Msg::ManagerShutdown,
             T_START_PROCESS => Msg::StartProcess {
                 req: r.u64()?,
@@ -392,20 +552,17 @@ impl Msg {
                 args: r.bytes()?,
                 reply_to: r.str()?,
             },
-            T_CALL_REPLY => Msg::CallReply {
-                call: r.u64()?,
-                result: get_result(&mut r, |r| r.bytes())?,
-            },
+            T_CALL_REPLY => {
+                Msg::CallReply { call: r.u64()?, result: get_result(&mut r, |r| r.bytes())? }
+            }
             T_GET_STATE => Msg::GetState { req: r.u64()?, reply_to: r.str()? },
-            T_STATE_REPLY => Msg::StateReply {
-                req: r.u64()?,
-                result: get_result(&mut r, |r| r.bytes())?,
-            },
+            T_STATE_REPLY => {
+                Msg::StateReply { req: r.u64()?, result: get_result(&mut r, |r| r.bytes())? }
+            }
             T_SET_STATE => Msg::SetState { req: r.u64()?, state: r.bytes()?, reply_to: r.str()? },
-            T_SET_STATE_ACK => Msg::SetStateAck {
-                req: r.u64()?,
-                result: get_result(&mut r, |_| Ok(()))?,
-            },
+            T_SET_STATE_ACK => {
+                Msg::SetStateAck { req: r.u64()?, result: get_result(&mut r, |_| Ok(()))? }
+            }
             T_PROC_SHUTDOWN => Msg::ProcShutdown,
             other => return Err(SchError::Protocol(format!("unknown message tag {other}"))),
         };
@@ -449,7 +606,10 @@ mod tests {
                 proc_names: vec!["F".into(), "G".into()],
             }),
         });
-        round_trip(Msg::StartReply { req: 2, result: Err("no such file".into()) });
+        round_trip(Msg::StartReply {
+            req: 2,
+            result: Err(WireFault::new(FaultCode::Other, "no such file")),
+        });
         round_trip(Msg::MapRequest {
             req: 3,
             line: 7,
@@ -465,7 +625,10 @@ mod tests {
                 export_spec: "export SHAFT prog()".into(),
             }),
         });
-        round_trip(Msg::MapReply { req: 3, result: Err("unknown".into()) });
+        round_trip(Msg::MapReply {
+            req: 3,
+            result: Err(WireFault::new(FaultCode::UnknownProcedure, "unknown")),
+        });
         round_trip(Msg::IQuit { req: 4, line: 7, reply_to: "a:1".into() });
         round_trip(Msg::IQuitAck { req: 4 });
         round_trip(Msg::MoveRequest {
@@ -475,7 +638,10 @@ mod tests {
             target_host: "lerc-rs6000".into(),
             reply_to: "a:1".into(),
         });
-        round_trip(Msg::MoveReply { req: 5, result: Err("gone".into()) });
+        round_trip(Msg::MoveReply {
+            req: 5,
+            result: Err(WireFault::new(FaultCode::ProcessGone, "cray:proc-3")),
+        });
         round_trip(Msg::ManagerShutdown);
         round_trip(Msg::StartProcess {
             req: 6,
@@ -483,7 +649,10 @@ mod tests {
             path: "/npss/shaft".into(),
             reply_to: "mgr".into(),
         });
-        round_trip(Msg::ProcessStarted { req: 6, result: Err("not installed".into()) });
+        round_trip(Msg::ProcessStarted {
+            req: 6,
+            result: Err(WireFault::new(FaultCode::UnknownExecutable, "not installed")),
+        });
         round_trip(Msg::ServerShutdown);
         round_trip(Msg::CallRequest {
             call: 9,
@@ -493,13 +662,40 @@ mod tests {
             reply_to: "a:1".into(),
         });
         round_trip(Msg::CallReply { call: 9, result: Ok(Bytes::from_static(&[4, 5])) });
-        round_trip(Msg::CallReply { call: 9, result: Err("fault".into()) });
+        round_trip(Msg::CallReply {
+            call: 9,
+            result: Err(WireFault::new(FaultCode::RemoteFault, "fault")),
+        });
         round_trip(Msg::GetState { req: 10, reply_to: "mgr".into() });
         round_trip(Msg::StateReply { req: 10, result: Ok(Bytes::from_static(&[7])) });
         round_trip(Msg::SetState { req: 11, state: Bytes::new(), reply_to: "mgr".into() });
         round_trip(Msg::SetStateAck { req: 11, result: Ok(()) });
-        round_trip(Msg::SetStateAck { req: 11, result: Err("type".into()) });
+        round_trip(Msg::SetStateAck {
+            req: 11,
+            result: Err(WireFault::new(FaultCode::StateTransfer, "type")),
+        });
         round_trip(Msg::ProcShutdown);
+    }
+
+    #[test]
+    fn fault_codes_round_trip_and_reconstruct() {
+        for code in FaultCode::ALL {
+            round_trip(Msg::CallReply { call: 1, result: Err(WireFault::new(code, "detail")) });
+        }
+        let e = WireFault::new(FaultCode::UnknownProcedure, "shaft").into_error();
+        assert_eq!(e, SchError::UnknownProcedure("shaft".into()));
+        let e = WireFault::new(FaultCode::UnknownLine, "17").into_error();
+        assert_eq!(e, SchError::UnknownLine(17));
+        let e = WireFault::new(FaultCode::Unavailable, "anything").into_error();
+        assert_eq!(e, SchError::ManagerUnavailable);
+        let round = WireFault::from(&SchError::ProcessGone("a:p".into())).into_error();
+        assert_eq!(round, SchError::ProcessGone("a:p".into()));
+        let text_kept = WireFault::from(&SchError::UnknownExecutable {
+            path: "/npss/shaft".into(),
+            host: "cray".into(),
+        })
+        .into_error();
+        assert!(text_kept.to_string().contains("/npss/shaft"));
     }
 
     #[test]

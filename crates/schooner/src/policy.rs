@@ -1,0 +1,266 @@
+//! Call policies: per-call robustness controls.
+//!
+//! The original library call (`sch_call`) had one behaviour: try the
+//! cached binding, and on a stale-cache fault re-ask the Manager once.
+//! That is still the default, but callers that know more about their
+//! procedure — that it is idempotent, that a replica host exists, that a
+//! baseline implementation can stand in — can say so with a
+//! [`CallPolicy`] and get deadline enforcement, bounded retries with
+//! exponential backoff, and automatic migration-based failover, all in
+//! **virtual time** so runs stay deterministic.
+//!
+//! ```
+//! use schooner::{CallPolicy, OnExhaustion};
+//!
+//! let policy = CallPolicy::new()
+//!     .deadline_s(120.0)
+//!     .retries(3)
+//!     .backoff(0.5, 2.0, 10.0)
+//!     .jitter(0.25)
+//!     .idempotent(true)
+//!     .failover(["lerc-cray"])
+//!     .degrade_on_exhaustion();
+//! assert_eq!(policy.on_exhaustion, OnExhaustion::Degrade);
+//! ```
+
+use crate::error::SchError;
+
+/// What the caller wants once a policy runs out of retries and failover
+/// targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnExhaustion {
+    /// Surface [`SchError::PolicyExhausted`] to the caller.
+    #[default]
+    Error,
+    /// The caller holds a local substitute for the remote procedure;
+    /// layers that understand degradation (such as
+    /// `npss::exec::RemoteExec`) switch to it instead of failing. The
+    /// Schooner line itself still reports exhaustion — degradation is the
+    /// *caller's* move.
+    Degrade,
+}
+
+/// A policy governing one remote call (or a family of calls).
+///
+/// Policies are plain data: build one with the fluent methods, keep it
+/// around, pass it to [`LineHandle::call_with`](crate::LineHandle::call_with)
+/// as often as needed. The [`Default`] policy reproduces the classic
+/// `call` behaviour: one stale-cache retry, no backoff, no deadline, no
+/// failover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallPolicy {
+    /// Virtual-time budget for the whole call, in seconds from the moment
+    /// it starts. `None` means no deadline.
+    pub deadline_s: Option<f64>,
+    /// Retries allowed per binding (the first attempt is not a retry).
+    pub max_retries: u32,
+    /// First backoff pause, in virtual seconds. Zero disables backoff.
+    pub backoff_initial_s: f64,
+    /// Growth factor applied to the pause after each retry.
+    pub backoff_multiplier: f64,
+    /// Upper bound on a single pause, in virtual seconds.
+    pub backoff_max_s: f64,
+    /// Random stretch applied to each pause: a pause is scaled by
+    /// `1 + jitter_frac * u` with `u` drawn uniformly from `[0, 1)`.
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream; the same seed gives the same pauses.
+    pub seed: u64,
+    /// Machines to migrate the procedure to, in order, once retries
+    /// against the current binding are exhausted.
+    pub failover: Vec<String>,
+    /// Whether the procedure may be safely re-executed. Idempotent calls
+    /// retry on any transient transport failure; non-idempotent calls
+    /// retry only when the request provably never reached a live
+    /// procedure (a stale binding).
+    pub idempotent: bool,
+    /// What to do when retries and failover targets are exhausted.
+    pub on_exhaustion: OnExhaustion,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        Self {
+            deadline_s: None,
+            max_retries: 1,
+            backoff_initial_s: 0.0,
+            backoff_multiplier: 2.0,
+            backoff_max_s: 30.0,
+            jitter_frac: 0.0,
+            seed: 0x5EED,
+            failover: Vec::new(),
+            idempotent: false,
+            on_exhaustion: OnExhaustion::Error,
+        }
+    }
+}
+
+impl CallPolicy {
+    /// The default policy (classic `call` behaviour).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a virtual-time deadline for the whole call.
+    pub fn deadline_s(mut self, seconds: f64) -> Self {
+        self.deadline_s = Some(seconds);
+        self
+    }
+
+    /// Set the number of retries allowed per binding.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Configure exponential backoff: first pause, growth factor, cap.
+    pub fn backoff(mut self, initial_s: f64, multiplier: f64, max_s: f64) -> Self {
+        self.backoff_initial_s = initial_s;
+        self.backoff_multiplier = multiplier;
+        self.backoff_max_s = max_s;
+        self
+    }
+
+    /// Set the jitter fraction applied to each backoff pause.
+    pub fn jitter(mut self, frac: f64) -> Self {
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Set the jitter seed (runs with equal seeds pause identically).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the ordered list of failover machines.
+    pub fn failover<I, S>(mut self, targets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.failover = targets.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declare whether the procedure may be safely re-executed.
+    pub fn idempotent(mut self, yes: bool) -> Self {
+        self.idempotent = yes;
+        self
+    }
+
+    /// On exhaustion, ask degradation-aware callers to fall back locally
+    /// instead of failing.
+    pub fn degrade_on_exhaustion(mut self) -> Self {
+        self.on_exhaustion = OnExhaustion::Degrade;
+        self
+    }
+
+    /// Whether this policy retries after `e`.
+    pub fn retries_error(&self, e: &SchError) -> bool {
+        if self.idempotent {
+            e.is_retryable()
+        } else {
+            e.is_stale_binding()
+        }
+    }
+}
+
+/// Deterministic jitter stream: a SplitMix64 generator seeded from the
+/// policy seed and the procedure name, so repeated runs — and calls to
+/// different procedures within a run — see independent but reproducible
+/// pause sequences regardless of thread interleaving.
+#[derive(Debug, Clone)]
+pub(crate) struct JitterRng {
+    state: u64,
+}
+
+impl JitterRng {
+    pub(crate) fn new(seed: u64, salt: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ seed;
+        for b in salt.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub(crate) fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::NetError;
+
+    #[test]
+    fn default_reproduces_classic_call_semantics() {
+        let p = CallPolicy::default();
+        assert_eq!(p.max_retries, 1);
+        assert_eq!(p.deadline_s, None);
+        assert_eq!(p.backoff_initial_s, 0.0);
+        assert!(p.failover.is_empty());
+        assert!(!p.idempotent);
+        assert_eq!(p.on_exhaustion, OnExhaustion::Error);
+        // Classic behaviour: retry only the stale-binding faults.
+        assert!(p.retries_error(&SchError::ProcessGone("a:1".into())));
+        assert!(!p.retries_error(&SchError::Net(NetError::HostDown("a".into()))));
+        assert!(!p.retries_error(&SchError::RemoteFault("boom".into())));
+    }
+
+    #[test]
+    fn idempotent_widens_the_retry_set() {
+        let p = CallPolicy::new().idempotent(true);
+        assert!(p.retries_error(&SchError::Net(NetError::HostDown("a".into()))));
+        assert!(p.retries_error(&SchError::ManagerUnavailable));
+        assert!(!p.retries_error(&SchError::RemoteFault("boom".into())));
+        assert!(!p.retries_error(&SchError::UnknownProcedure("f".into())));
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let p = CallPolicy::new()
+            .deadline_s(5.0)
+            .retries(7)
+            .backoff(0.25, 3.0, 8.0)
+            .jitter(0.5)
+            .seed(42)
+            .failover(["cray", "sparc"])
+            .idempotent(true)
+            .degrade_on_exhaustion();
+        assert_eq!(p.deadline_s, Some(5.0));
+        assert_eq!(p.max_retries, 7);
+        assert_eq!(p.backoff_initial_s, 0.25);
+        assert_eq!(p.backoff_multiplier, 3.0);
+        assert_eq!(p.backoff_max_s, 8.0);
+        assert_eq!(p.jitter_frac, 0.5);
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.failover, vec!["cray".to_owned(), "sparc".to_owned()]);
+        assert!(p.idempotent);
+        assert_eq!(p.on_exhaustion, OnExhaustion::Degrade);
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic_and_unit_range() {
+        let draw = |seed, salt: &str| {
+            let mut rng = JitterRng::new(seed, salt);
+            (0..16).map(|_| rng.next_unit()).collect::<Vec<_>>()
+        };
+        let a = draw(1, "shaft");
+        assert_eq!(a, draw(1, "shaft"), "same seed and salt replay exactly");
+        assert_ne!(a, draw(2, "shaft"), "seed changes the stream");
+        assert_ne!(a, draw(1, "inlet"), "salt changes the stream");
+        assert!(a.iter().all(|u| (0.0..1.0).contains(u)));
+        assert!(a.iter().any(|u| *u > 1e-6), "stream is not degenerate");
+    }
+}

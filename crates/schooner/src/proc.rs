@@ -11,18 +11,71 @@
 //!   in the spec's `state(...)` clause, packaged through UTS when the
 //!   procedure is moved (the paper's planned extension; stateless
 //!   procedures simply return an empty list).
+//!
+//! Failures inside a procedure body are reported as a typed
+//! [`ProcFault`]; the runtime carries the fault back to the caller, where
+//! it surfaces as [`SchError::RemoteFault`](crate::SchError::RemoteFault).
+
+use std::fmt;
 
 use uts::Value;
+
+/// A failure reported by a procedure implementation.
+///
+/// The distinction matters to retry logic: a procedure fault is the
+/// *implementation* speaking, so the call reached the remote side and
+/// must not be blindly retried — unlike transport-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcFault {
+    /// The arguments were malformed for this procedure.
+    BadArgument(String),
+    /// The computation itself failed.
+    Failed(String),
+    /// Migration state could not be installed.
+    BadState(String),
+}
+
+impl ProcFault {
+    /// The human-readable message, without the variant prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            ProcFault::BadArgument(m) | ProcFault::Failed(m) | ProcFault::BadState(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ProcFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for ProcFault {}
+
+impl From<String> for ProcFault {
+    fn from(m: String) -> Self {
+        ProcFault::Failed(m)
+    }
+}
+
+impl From<&str> for ProcFault {
+    fn from(m: &str) -> Self {
+        ProcFault::Failed(m.to_owned())
+    }
+}
+
+/// Result alias for procedure bodies.
+pub type ProcResult<T> = Result<T, ProcFault>;
 
 /// A callable procedure body.
 ///
 /// `call` receives the **input** parameters (`val` and `var`) in spec
 /// order and must return the **output** parameters (`res` and `var`) in
-/// spec order. Failures are reported as strings — they travel back to the
-/// caller as a remote fault.
+/// spec order. Failures are reported as a [`ProcFault`] — they travel
+/// back to the caller as a remote fault.
 pub trait Procedure: Send {
     /// Execute one call.
-    fn call(&mut self, args: &[Value]) -> Result<Vec<Value>, String>;
+    fn call(&mut self, args: &[Value]) -> ProcResult<Vec<Value>>;
 
     /// Estimated floating-point operations for one call with these
     /// arguments. Drives the virtual-time compute cost.
@@ -37,11 +90,11 @@ pub trait Procedure: Send {
 
     /// Install migration state captured by [`Procedure::get_state`] on a
     /// previous instance.
-    fn set_state(&mut self, _state: Vec<Value>) -> Result<(), String> {
+    fn set_state(&mut self, _state: Vec<Value>) -> ProcResult<()> {
         if _state.is_empty() {
             Ok(())
         } else {
-            Err("procedure is stateless but state was supplied".into())
+            Err(ProcFault::BadState("procedure is stateless but state was supplied".into()))
         }
     }
 }
@@ -54,7 +107,7 @@ pub struct FnProcedure<F> {
 
 impl<F> FnProcedure<F>
 where
-    F: FnMut(&[Value]) -> Result<Vec<Value>, String> + Send,
+    F: FnMut(&[Value]) -> ProcResult<Vec<Value>> + Send,
 {
     /// Wrap a closure with the default work model.
     pub fn new(f: F) -> Self {
@@ -69,9 +122,9 @@ where
 
 impl<F> Procedure for FnProcedure<F>
 where
-    F: FnMut(&[Value]) -> Result<Vec<Value>, String> + Send,
+    F: FnMut(&[Value]) -> ProcResult<Vec<Value>> + Send,
 {
-    fn call(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+    fn call(&mut self, args: &[Value]) -> ProcResult<Vec<Value>> {
         (self.f)(args)
     }
 
@@ -94,9 +147,9 @@ pub struct StatefulProcedure<S, F, G, H> {
 impl<S, F, G, H> StatefulProcedure<S, F, G, H>
 where
     S: Send,
-    F: FnMut(&mut S, &[Value]) -> Result<Vec<Value>, String> + Send,
+    F: FnMut(&mut S, &[Value]) -> ProcResult<Vec<Value>> + Send,
     G: Fn(&S) -> Vec<Value> + Send,
-    H: Fn(Vec<Value>) -> Result<S, String> + Send,
+    H: Fn(Vec<Value>) -> ProcResult<S> + Send,
 {
     /// Build a stateful procedure.
     pub fn new(state: S, step: F, to_values: G, from_values: H) -> Self {
@@ -113,11 +166,11 @@ where
 impl<S, F, G, H> Procedure for StatefulProcedure<S, F, G, H>
 where
     S: Send,
-    F: FnMut(&mut S, &[Value]) -> Result<Vec<Value>, String> + Send,
+    F: FnMut(&mut S, &[Value]) -> ProcResult<Vec<Value>> + Send,
     G: Fn(&S) -> Vec<Value> + Send,
-    H: Fn(Vec<Value>) -> Result<S, String> + Send,
+    H: Fn(Vec<Value>) -> ProcResult<S> + Send,
 {
-    fn call(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+    fn call(&mut self, args: &[Value]) -> ProcResult<Vec<Value>> {
         (self.step)(&mut self.state, args)
     }
 
@@ -129,8 +182,9 @@ where
         (self.to_values)(&self.state)
     }
 
-    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
-        self.state = (self.from_values)(state)?;
+    fn set_state(&mut self, state: Vec<Value>) -> ProcResult<()> {
+        self.state =
+            (self.from_values)(state).map_err(|f| ProcFault::BadState(f.message().to_owned()))?;
         Ok(())
     }
 }
@@ -150,7 +204,7 @@ mod tests {
         assert_eq!(p.flops(&[]), 50_000.0);
         assert!(p.get_state().is_empty());
         assert!(p.set_state(vec![]).is_ok());
-        assert!(p.set_state(vec![Value::Integer(1)]).is_err());
+        assert!(matches!(p.set_state(vec![Value::Integer(1)]), Err(ProcFault::BadState(_))));
     }
 
     #[test]
@@ -161,8 +215,10 @@ mod tests {
 
     #[test]
     fn fn_procedure_propagates_faults() {
-        let mut p = FnProcedure::new(|_: &[Value]| Err("boom".to_string()));
-        assert_eq!(p.call(&[]).unwrap_err(), "boom");
+        let mut p = FnProcedure::new(|_: &[Value]| Err("boom".into()));
+        let fault = p.call(&[]).unwrap_err();
+        assert_eq!(fault, ProcFault::Failed("boom".into()));
+        assert_eq!(fault.to_string(), "boom", "display is the bare message");
     }
 
     #[test]
@@ -176,9 +232,7 @@ mod tests {
                 },
                 |acc: &f64| vec![Value::Double(*acc)],
                 |vals: Vec<Value>| {
-                    vals.first()
-                        .and_then(Value::as_f64)
-                        .ok_or_else(|| "bad state".to_string())
+                    vals.first().and_then(Value::as_f64).ok_or_else(|| "bad state".into())
                 },
             )
         };
@@ -199,9 +253,9 @@ mod tests {
             0.0f64,
             |_: &mut f64, _: &[Value]| Ok(vec![]),
             |acc: &f64| vec![Value::Double(*acc)],
-            |vals: Vec<Value>| vals.first().and_then(Value::as_f64).ok_or_else(|| "bad".to_string()),
+            |vals: Vec<Value>| vals.first().and_then(Value::as_f64).ok_or_else(|| "bad".into()),
         );
-        assert!(p.set_state(vec![]).is_err());
+        assert!(matches!(p.set_state(vec![]), Err(ProcFault::BadState(_))));
         assert!(p.set_state(vec![Value::String("x".into())]).is_err());
     }
 }

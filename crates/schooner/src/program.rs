@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use hetsim::FileStore;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use uts::spec::{Direction, SpecFile};
 
 use crate::error::{SchError, SchResult};
@@ -107,11 +107,7 @@ impl ProgramImage {
     /// Instantiate all procedures (one process's worth of state).
     pub fn instantiate(&self) -> SchResult<HashMap<String, Box<dyn Procedure>>> {
         self.validate()?;
-        Ok(self
-            .factories
-            .iter()
-            .map(|(name, f)| (name.clone(), f()))
-            .collect())
+        Ok(self.factories.iter().map(|(name, f)| (name.clone(), f())).collect())
     }
 }
 
@@ -130,13 +126,13 @@ impl ProgramRegistry {
     /// Register an image under a pathname.
     pub fn register(&self, path: &str, image: ProgramImage) -> SchResult<()> {
         image.validate()?;
-        self.inner.write().insert(path.to_owned(), image);
+        self.inner.write().unwrap().insert(path.to_owned(), image);
         Ok(())
     }
 
     /// Fetch an image by pathname.
     pub fn get(&self, path: &str) -> Option<ProgramImage> {
-        self.inner.read().get(path).cloned()
+        self.inner.read().unwrap().get(path).cloned()
     }
 
     /// Install the image at `path` onto `host` (writes the executable
@@ -173,17 +169,14 @@ mod tests {
     use uts::Value;
 
     fn double_image() -> ProgramImage {
-        ProgramImage::new(
-            "doubler",
-            r#"export double prog("x" val double, "y" res double)"#,
-        )
-        .unwrap()
-        .with_procedure("double", || {
-            Box::new(FnProcedure::new(|args: &[Value]| {
-                Ok(vec![Value::Double(args[0].as_f64().unwrap() * 2.0)])
-            }))
-        })
-        .unwrap()
+        ProgramImage::new("doubler", r#"export double prog("x" val double, "y" res double)"#)
+            .unwrap()
+            .with_procedure("double", || {
+                Box::new(FnProcedure::new(|args: &[Value]| {
+                    Ok(vec![Value::Double(args[0].as_f64().unwrap() * 2.0)])
+                }))
+            })
+            .unwrap()
     }
 
     #[test]
@@ -241,19 +234,16 @@ mod tests {
 
     #[test]
     fn each_instantiation_is_independent_state() {
-        let img = ProgramImage::new(
-            "counter",
-            r#"export count prog("n" res integer)"#,
-        )
-        .unwrap()
-        .with_procedure("count", || {
-            let mut n = 0i64;
-            Box::new(FnProcedure::new(move |_args: &[Value]| {
-                n += 1;
-                Ok(vec![Value::Integer(n)])
-            }))
-        })
-        .unwrap();
+        let img = ProgramImage::new("counter", r#"export count prog("n" res integer)"#)
+            .unwrap()
+            .with_procedure("count", || {
+                let mut n = 0i64;
+                Box::new(FnProcedure::new(move |_args: &[Value]| {
+                    n += 1;
+                    Ok(vec![Value::Integer(n)])
+                }))
+            })
+            .unwrap();
 
         let mut a = img.instantiate().unwrap();
         let mut b = img.instantiate().unwrap();

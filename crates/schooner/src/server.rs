@@ -19,7 +19,7 @@ use netsim::{Endpoint, NetError, VirtualClock};
 use uts::Architecture;
 
 use crate::error::{SchError, SchResult};
-use crate::message::{Msg, StartedInfo};
+use crate::message::{FaultCode, Msg, StartedInfo, WireFault};
 use crate::proc::Procedure;
 use crate::stub::{marshal_state, unmarshal_state, CompiledStub};
 use crate::system::{server_addr, RuntimeCtx};
@@ -101,9 +101,7 @@ impl ServerWorker {
             match msg {
                 Msg::StartProcess { req, line, path, reply_to } => {
                     self.clock.advance(self.ctx.config.process_startup_s);
-                    let result = self
-                        .start_process(line, &path)
-                        .map_err(|e| e.to_wire_string());
+                    let result = self.start_process(line, &path).map_err(|e| WireFault::from(&e));
                     let reply = Msg::ProcessStarted { req, result };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
@@ -209,23 +207,21 @@ impl ProcessWorker {
             };
             match msg {
                 Msg::CallRequest { call, line, proc_name, args, reply_to } => {
-                    // A fault raised by the procedure body itself travels
-                    // as its bare message so the caller re-wraps it
-                    // exactly once.
-                    let result = self.serve_call(line, &proc_name, args).map_err(|e| match e {
-                        SchError::RemoteFault(m) => m,
-                        other => other.to_wire_string(),
-                    });
+                    // A fault raised by the procedure body travels with
+                    // the `RemoteFault` code and its bare message as the
+                    // detail, so the caller re-wraps it exactly once.
+                    let result =
+                        self.serve_call(line, &proc_name, args).map_err(|e| WireFault::from(&e));
                     let reply = Msg::CallReply { call, result };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
                 Msg::GetState { req, reply_to } => {
-                    let result = self.collect_state().map_err(|e| e.to_wire_string());
+                    let result = self.collect_state().map_err(|e| WireFault::from(&e));
                     let reply = Msg::StateReply { req, result };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
                 Msg::SetState { req, state, reply_to } => {
-                    let result = self.install_state(state).map_err(|e| e.to_wire_string());
+                    let result = self.install_state(state).map_err(|e| WireFault::from(&e));
                     let reply = Msg::SetStateAck { req, result };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
@@ -245,24 +241,32 @@ impl ProcessWorker {
 
     /// Calls that raced our shutdown (FIFO order is per-sender, so a
     /// caller may have posted a request while the Manager's `ProcShutdown`
-    /// was in flight) are answered with the distinguished gone-fault, which
-    /// the caller's stub recognizes and resolves by re-asking the Manager.
+    /// was in flight) are answered with a `ProcessGone` fault, which the
+    /// caller's stub recognizes and resolves by re-asking the Manager.
     fn drain_with_gone_faults(&mut self) {
         while let Some(env) = self.endpoint.try_recv() {
             if let Ok(msg) = Msg::decode(env.payload) {
                 let reply = match msg {
-                    Msg::CallRequest { call, reply_to, .. } => {
-                        Some((reply_to, Msg::CallReply {
+                    Msg::CallRequest { call, reply_to, .. } => Some((
+                        reply_to,
+                        Msg::CallReply {
                             call,
-                            result: Err(crate::line::GONE_FAULT.to_owned()),
-                        }))
-                    }
-                    Msg::GetState { req, reply_to } => {
-                        Some((reply_to, Msg::StateReply {
+                            result: Err(WireFault::new(
+                                FaultCode::ProcessGone,
+                                self.endpoint.addr(),
+                            )),
+                        },
+                    )),
+                    Msg::GetState { req, reply_to } => Some((
+                        reply_to,
+                        Msg::StateReply {
                             req,
-                            result: Err(crate::line::GONE_FAULT.to_owned()),
-                        }))
-                    }
+                            result: Err(WireFault::new(
+                                FaultCode::ProcessGone,
+                                self.endpoint.addr(),
+                            )),
+                        },
+                    )),
                     _ => None,
                 };
                 if let Some((to, m)) = reply {
@@ -300,12 +304,8 @@ impl ProcessWorker {
             .get_mut(proc_name)
             .ok_or_else(|| SchError::UnknownProcedure(proc_name.to_owned()))?;
         let flops = proc.flops(&values);
-        let results = proc.call(&values).map_err(SchError::RemoteFault)?;
-        let compute = self
-            .ctx
-            .park
-            .compute_seconds(&self.host, flops)
-            .unwrap_or(0.0);
+        let results = proc.call(&values).map_err(SchError::from)?;
+        let compute = self.ctx.park.compute_seconds(&self.host, flops).unwrap_or(0.0);
         self.clock.advance(compute);
         self.ctx.trace.record(
             self.clock.now(),
@@ -359,21 +359,17 @@ impl ProcessWorker {
 
             // State arrives keyed by the *source* process's folded names;
             // fold to our own convention via case-insensitive match.
-            let our_name = self
-                .stubs
-                .keys()
-                .find(|k| k.eq_ignore_ascii_case(&name))
-                .cloned()
-                .ok_or_else(|| {
-                    SchError::StateTransfer(format!("no procedure '{name}' in target process"))
-                })?;
+            let our_name =
+                self.stubs.keys().find(|k| k.eq_ignore_ascii_case(&name)).cloned().ok_or_else(
+                    || SchError::StateTransfer(format!("no procedure '{name}' in target process")),
+                )?;
             let stub = &self.stubs[&our_name];
             let values = unmarshal_state(&stub.spec.state, blob, self.arch)?;
             self.procs
                 .get_mut(&our_name)
                 .expect("stub/proc maps are parallel")
                 .set_state(values)
-                .map_err(SchError::StateTransfer)?;
+                .map_err(|f| SchError::StateTransfer(f.message().to_owned()))?;
         }
         Ok(())
     }

@@ -239,9 +239,8 @@ export shaft prog(
         let file =
             uts::parse_spec_file(r#"export f prog("n" val integer, "m" res integer)"#).unwrap();
         let stub = CompiledStub::compile(&file.decls[0]);
-        let err = stub
-            .marshal_inputs(&[Value::Integer(1 << 40)], Architecture::CrayYmp)
-            .unwrap_err();
+        let err =
+            stub.marshal_inputs(&[Value::Integer(1 << 40)], Architecture::CrayYmp).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
     }
 

@@ -121,11 +121,7 @@ impl Schooner {
     /// The standard NPSS world: the two-site testbed topology and machine
     /// park, Manager on the LeRC Sparc 10.
     pub fn standard() -> SchResult<Self> {
-        Self::new(
-            netsim::npss_testbed(),
-            hetsim::standard_park(),
-            SchoonerConfig::default(),
-        )
+        Self::new(netsim::npss_testbed(), hetsim::standard_park(), SchoonerConfig::default())
     }
 
     /// The standard world with a custom config.

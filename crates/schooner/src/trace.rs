@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One traced event.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,20 +55,20 @@ impl Trace {
     /// Record an event (no-op while disabled).
     pub fn record(&self, t: f64, who: impl Into<String>, what: impl Into<String>) {
         if self.is_enabled() {
-            self.events.lock().push(Event { t, who: who.into(), what: what.into() });
+            self.events.lock().unwrap().push(Event { t, who: who.into(), what: what.into() });
         }
     }
 
     /// Snapshot of all events, sorted by time (stable for ties).
     pub fn events(&self) -> Vec<Event> {
-        let mut v = self.events.lock().clone();
+        let mut v = self.events.lock().unwrap().clone();
         v.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
         v
     }
 
     /// Drop all recorded events.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.events.lock().unwrap().clear();
     }
 
     /// Render the trace as an indented control-flow listing.

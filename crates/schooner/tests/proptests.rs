@@ -1,135 +1,177 @@
-//! Property-based tests: the protocol codec is total and lossless, and
-//! the marshaling pipeline preserves values across random architecture
-//! pairs.
+//! Randomized tests: the protocol codec is total and lossless, and the
+//! marshaling pipeline preserves values across random architecture pairs.
+//!
+//! These were property-based tests; they now draw their cases from a
+//! deterministic SplitMix64 generator so the sweep needs no external
+//! crates and replays identically on every run.
 
 use bytes::Bytes;
-use proptest::prelude::*;
 
-use schooner::message::{MapInfo, Msg, StartedInfo};
+use schooner::message::{FaultCode, MapInfo, Msg, StartedInfo, WireFault};
 use schooner::stub::CompiledStub;
 use uts::{Architecture, Value};
 
-fn arb_arch() -> impl Strategy<Value = Architecture> {
-    prop::sample::select(Architecture::ALL.to_vec())
-}
+/// Deterministic case generator.
+struct Gen(u64);
 
-prop_compose! {
-    fn arb_started()(
-        addr in "[a-z0-9:-]{1,24}",
-        spec_src in "[ -~]{0,80}",
-        proc_names in proptest::collection::vec("[A-Za-z_]{1,12}", 0..4),
-    ) -> StartedInfo {
-        StartedInfo { addr, spec_src, proc_names }
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn printable(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| (0x20 + self.below(95) as u8) as char).collect()
+    }
+
+    fn ident(&mut self, max_len: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:-_";
+        let len = 1 + self.below(max_len);
+        (0..len).map(|_| ALPHABET[self.below(ALPHABET.len())] as char).collect()
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| self.below(256) as u8).collect()
     }
 }
 
-prop_compose! {
-    fn arb_mapinfo()(
-        addr in "[a-z0-9:-]{1,24}",
-        remote_name in "[A-Za-z_]{1,12}",
-        export_spec in "[ -~]{0,80}",
-    ) -> MapInfo {
-        MapInfo { addr, remote_name, export_spec }
+fn gen_fault(g: &mut Gen) -> WireFault {
+    let code = FaultCode::ALL[g.below(FaultCode::ALL.len())];
+    WireFault::new(code, g.printable(40))
+}
+
+fn gen_started(g: &mut Gen) -> StartedInfo {
+    StartedInfo {
+        addr: g.ident(24),
+        spec_src: g.printable(80),
+        proc_names: (0..g.below(4)).map(|_| g.ident(12)).collect(),
     }
 }
 
-fn arb_result_bytes() -> impl Strategy<Value = Result<Bytes, String>> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| Ok(Bytes::from(v))),
-        "[ -~]{0,40}".prop_map(Err),
-    ]
+fn gen_mapinfo(g: &mut Gen) -> MapInfo {
+    MapInfo { addr: g.ident(24), remote_name: g.ident(12), export_spec: g.printable(80) }
 }
 
-fn arb_msg() -> impl Strategy<Value = Msg> {
-    prop_oneof![
-        ( any::<u64>(), "[a-z ]{1,16}", "[a-z0-9:-]{1,16}" )
-            .prop_map(|(req, module, reply_to)| Msg::OpenLine { req, module, reply_to }),
-        (any::<u64>(), any::<u64>()).prop_map(|(req, line)| Msg::LineOpened { req, line }),
-        (
-            any::<u64>(),
-            any::<u64>(),
-            "[a-z/]{1,20}",
-            "[a-z0-9-]{1,16}",
-            any::<bool>(),
-            "[a-z0-9:-]{1,16}"
-        )
-            .prop_map(|(req, line, path, host, shared, reply_to)| Msg::StartRequest {
-                req,
-                line,
-                path,
-                host,
-                shared,
-                reply_to
-            }),
-        (any::<u64>(), prop_oneof![
-            arb_started().prop_map(Ok),
-            "[ -~]{0,40}".prop_map(Err),
-        ])
-            .prop_map(|(req, result)| Msg::StartReply { req, result }),
-        (any::<u64>(), any::<u64>(), "[A-Za-z_]{1,12}", "[ -~]{0,60}", "[a-z0-9:-]{1,16}")
-            .prop_map(|(req, line, name, import_spec, reply_to)| Msg::MapRequest {
-                req,
-                line,
-                name,
-                import_spec,
-                reply_to
-            }),
-        (any::<u64>(), prop_oneof![
-            arb_mapinfo().prop_map(Ok),
-            "[ -~]{0,40}".prop_map(Err),
-        ])
-            .prop_map(|(req, result)| Msg::MapReply { req, result }),
-        (any::<u64>(), any::<u64>(), "[a-z0-9:-]{1,16}")
-            .prop_map(|(req, line, reply_to)| Msg::IQuit { req, line, reply_to }),
-        any::<u64>().prop_map(|req| Msg::IQuitAck { req }),
-        (any::<u64>(), any::<u64>(), "[A-Za-z_]{1,12}", proptest::collection::vec(any::<u8>(), 0..48), "[a-z0-9:-]{1,16}")
-            .prop_map(|(call, line, proc_name, args, reply_to)| Msg::CallRequest {
-                call,
-                line,
-                proc_name,
-                args: Bytes::from(args),
-                reply_to
-            }),
-        (any::<u64>(), arb_result_bytes())
-            .prop_map(|(call, result)| Msg::CallReply { call, result }),
-        Just(Msg::ManagerShutdown),
-        Just(Msg::ServerShutdown),
-        Just(Msg::ProcShutdown),
-    ]
+fn gen_msg(g: &mut Gen) -> Msg {
+    match g.below(16) {
+        0 => Msg::OpenLine { req: g.next_u64(), module: g.ident(16), reply_to: g.ident(16) },
+        1 => Msg::LineOpened { req: g.next_u64(), line: g.next_u64() },
+        2 => Msg::StartRequest {
+            req: g.next_u64(),
+            line: g.next_u64(),
+            path: g.ident(20),
+            host: g.ident(16),
+            shared: g.flag(),
+            reply_to: g.ident(16),
+        },
+        3 => {
+            let result = if g.flag() { Ok(gen_started(g)) } else { Err(gen_fault(g)) };
+            Msg::StartReply { req: g.next_u64(), result }
+        }
+        4 => Msg::MapRequest {
+            req: g.next_u64(),
+            line: g.next_u64(),
+            name: g.ident(12),
+            import_spec: g.printable(60),
+            reply_to: g.ident(16),
+        },
+        5 => {
+            let result = if g.flag() { Ok(gen_mapinfo(g)) } else { Err(gen_fault(g)) };
+            Msg::MapReply { req: g.next_u64(), result }
+        }
+        6 => Msg::IQuit { req: g.next_u64(), line: g.next_u64(), reply_to: g.ident(16) },
+        7 => Msg::IQuitAck { req: g.next_u64() },
+        8 => Msg::CallRequest {
+            call: g.next_u64(),
+            line: g.next_u64(),
+            proc_name: g.ident(12),
+            args: Bytes::from(g.bytes(48)),
+            reply_to: g.ident(16),
+        },
+        9 => {
+            let result = if g.flag() { Ok(Bytes::from(g.bytes(64))) } else { Err(gen_fault(g)) };
+            Msg::CallReply { call: g.next_u64(), result }
+        }
+        10 => {
+            let result = if g.flag() { Ok(gen_mapinfo(g)) } else { Err(gen_fault(g)) };
+            Msg::MoveReply { req: g.next_u64(), result }
+        }
+        11 => {
+            let result = if g.flag() { Ok(Bytes::from(g.bytes(64))) } else { Err(gen_fault(g)) };
+            Msg::StateReply { req: g.next_u64(), result }
+        }
+        12 => {
+            let result = if g.flag() { Ok(()) } else { Err(gen_fault(g)) };
+            Msg::SetStateAck { req: g.next_u64(), result }
+        }
+        13 => Msg::ManagerShutdown,
+        14 => Msg::ServerShutdown,
+        _ => Msg::ProcShutdown,
+    }
 }
 
-proptest! {
-    /// Every protocol message survives encode/decode unchanged.
-    #[test]
-    fn message_codec_round_trips(msg in arb_msg()) {
+/// Every protocol message survives encode/decode unchanged.
+#[test]
+fn message_codec_round_trips() {
+    let mut g = Gen::new(31);
+    for _ in 0..400 {
+        let msg = gen_msg(&mut g);
         let encoded = msg.encode();
         let decoded = Msg::decode(encoded).unwrap();
-        prop_assert_eq!(decoded, msg);
+        assert_eq!(decoded, msg);
     }
+}
 
-    /// Random bytes never panic the decoder.
-    #[test]
-    fn message_decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+/// Random bytes never panic the decoder.
+#[test]
+fn message_decoder_total_on_garbage() {
+    let mut g = Gen::new(32);
+    for _ in 0..400 {
+        let bytes = g.bytes(128);
         let _ = Msg::decode(Bytes::from(bytes));
     }
+}
 
-    /// The full marshal pipeline (caller native → wire → callee native)
-    /// preserves single-precision payloads across every architecture
-    /// pair — the property the Table 1/2 exactness rests on.
-    #[test]
-    fn f32_payloads_survive_any_architecture_pair(
-        xs in proptest::collection::vec(-1.0e30f32..1.0e30, 4),
-        n in i32::MIN..i32::MAX,
-        from in arb_arch(),
-        to in arb_arch(),
-    ) {
-        let file = uts::parse_spec_file(
-            r#"export f prog("xs" val array[4] of float, "n" val integer, "y" res float)"#
-        ).unwrap();
-        let stub = CompiledStub::compile(&file.decls[0]);
+/// The full marshal pipeline (caller native → wire → callee native)
+/// preserves single-precision payloads across every architecture pair —
+/// the property the Table 1/2 exactness rests on.
+#[test]
+fn f32_payloads_survive_any_architecture_pair() {
+    let mut g = Gen::new(33);
+    let file = uts::parse_spec_file(
+        r#"export f prog("xs" val array[4] of float, "n" val integer, "y" res float)"#,
+    )
+    .unwrap();
+    let stub = CompiledStub::compile(&file.decls[0]);
+    for _ in 0..200 {
+        let xs: Vec<f32> = (0..4).map(|_| (2.0e30 * g.unit() - 1.0e30) as f32).collect();
+        let n = g.next_u64() as u32 as i32;
+        let from = Architecture::ALL[g.below(Architecture::ALL.len())];
+        let to = Architecture::ALL[g.below(Architecture::ALL.len())];
         let args = vec![Value::floats(&xs), Value::Integer(n as i64)];
         let wire = stub.marshal_inputs(&args, from).unwrap();
         let got = stub.unmarshal_inputs(wire, to).unwrap();
-        prop_assert_eq!(got, args, "{} -> {}", from, to);
+        assert_eq!(got, args, "{from} -> {to}");
     }
 }

@@ -3,26 +3,23 @@
 //! shutdown, migration (stateless and stateful), shared procedures, name
 //! synonyms, type checking, and failure behaviour.
 
-use schooner::{FnProcedure, ProgramImage, Schooner, SchError, StatefulProcedure};
+use schooner::{FnProcedure, ProgramImage, SchError, Schooner, StatefulProcedure};
 use uts::Value;
 
 /// `double(x) = 2x` as a remote procedure image.
 fn doubler_image() -> ProgramImage {
-    ProgramImage::new(
-        "doubler",
-        r#"export double prog("x" val float, "y" res float)"#,
-    )
-    .unwrap()
-    .with_procedure("double", || {
-        Box::new(FnProcedure::new(|args: &[Value]| {
-            let x = match args[0] {
-                Value::Float(x) => x,
-                _ => return Err("bad arg".into()),
-            };
-            Ok(vec![Value::Float(x * 2.0)])
-        }))
-    })
-    .unwrap()
+    ProgramImage::new("doubler", r#"export double prog("x" val float, "y" res float)"#)
+        .unwrap()
+        .with_procedure("double", || {
+            Box::new(FnProcedure::new(|args: &[Value]| {
+                let x = match args[0] {
+                    Value::Float(x) => x,
+                    _ => return Err("bad arg".into()),
+                };
+                Ok(vec![Value::Float(x * 2.0)])
+            }))
+        })
+        .unwrap()
 }
 
 /// A stateful running-sum procedure with a `state(...)` clause, for
@@ -41,9 +38,7 @@ fn accumulator_image() -> ProgramImage {
                 Ok(vec![Value::Double(*total)])
             },
             |total: &f64| vec![Value::Double(*total)],
-            |vals: Vec<Value>| {
-                vals.first().and_then(Value::as_f64).ok_or_else(|| "bad state".to_string())
-            },
+            |vals: Vec<Value>| vals.first().and_then(Value::as_f64).ok_or("bad state".into()),
         ))
     })
     .unwrap()
@@ -51,15 +46,12 @@ fn accumulator_image() -> ProgramImage {
 
 /// An integer echo, for range-failure tests.
 fn echo_int_image() -> ProgramImage {
-    ProgramImage::new(
-        "echo-int",
-        r#"export echo prog("n" val integer, "m" res integer)"#,
-    )
-    .unwrap()
-    .with_procedure("echo", || {
-        Box::new(FnProcedure::new(|args: &[Value]| Ok(vec![args[0].clone()])))
-    })
-    .unwrap()
+    ProgramImage::new("echo-int", r#"export echo prog("n" val integer, "m" res integer)"#)
+        .unwrap()
+        .with_procedure("echo", || {
+            Box::new(FnProcedure::new(|args: &[Value]| Ok(vec![args[0].clone()])))
+        })
+        .unwrap()
 }
 
 #[test]
@@ -112,12 +104,8 @@ fn calling_unstarted_procedure_fails() {
 #[test]
 fn duplicate_name_within_line_rejected_across_lines_allowed() {
     let sch = Schooner::standard().unwrap();
-    sch.install_program(
-        "/npss/doubler",
-        doubler_image(),
-        &["lerc-sgi-4d480", "lerc-rs6000"],
-    )
-    .unwrap();
+    sch.install_program("/npss/doubler", doubler_image(), &["lerc-sgi-4d480", "lerc-rs6000"])
+        .unwrap();
 
     let mut line1 = sch.open_line("m1", "lerc-sparc10").unwrap();
     line1.start_remote("/npss/doubler", "lerc-sgi-4d480").unwrap();
@@ -125,30 +113,20 @@ fn duplicate_name_within_line_rejected_across_lines_allowed() {
     let err = line1.start_remote("/npss/doubler", "lerc-rs6000").unwrap_err();
     assert!(err.to_string().contains("already registered"), "{err}");
     // First instance still works.
-    assert_eq!(
-        line1.call("double", &[Value::Float(2.0)]).unwrap(),
-        vec![Value::Float(4.0)]
-    );
+    assert_eq!(line1.call("double", &[Value::Float(2.0)]).unwrap(), vec![Value::Float(4.0)]);
 
     // Another line may use the same procedure name: its own instance.
     let mut line2 = sch.open_line("m2", "lerc-sparc10").unwrap();
     line2.start_remote("/npss/doubler", "lerc-rs6000").unwrap();
-    assert_eq!(
-        line2.call("double", &[Value::Float(3.0)]).unwrap(),
-        vec![Value::Float(6.0)]
-    );
+    assert_eq!(line2.call("double", &[Value::Float(3.0)]).unwrap(), vec![Value::Float(6.0)]);
     sch.shutdown();
 }
 
 #[test]
 fn per_line_shutdown_leaves_other_lines_running() {
     let sch = Schooner::standard().unwrap();
-    sch.install_program(
-        "/npss/doubler",
-        doubler_image(),
-        &["lerc-sgi-4d480", "lerc-rs6000"],
-    )
-    .unwrap();
+    sch.install_program("/npss/doubler", doubler_image(), &["lerc-sgi-4d480", "lerc-rs6000"])
+        .unwrap();
     let mut line1 = sch.open_line("m1", "lerc-sparc10").unwrap();
     let mut line2 = sch.open_line("m2", "lerc-sparc10").unwrap();
     line1.start_remote("/npss/doubler", "lerc-sgi-4d480").unwrap();
@@ -159,10 +137,7 @@ fn per_line_shutdown_leaves_other_lines_running() {
     // Deleting module 1 (sch_i_quit) kills only line 1's procedures.
     line1.quit().unwrap();
     assert!(line1.call("double", &[Value::Float(1.0)]).is_err());
-    assert_eq!(
-        line2.call("double", &[Value::Float(5.0)]).unwrap(),
-        vec![Value::Float(10.0)]
-    );
+    assert_eq!(line2.call("double", &[Value::Float(5.0)]).unwrap(), vec![Value::Float(10.0)]);
     sch.shutdown();
 }
 
@@ -189,14 +164,8 @@ fn cray_fortran_names_are_case_synonyms() {
     // The Cray's compiler upper-cased the exported name...
     assert_eq!(names, vec!["DOUBLE".to_owned()]);
     // ...but callers may use either case.
-    assert_eq!(
-        line.call("double", &[Value::Float(2.0)]).unwrap(),
-        vec![Value::Float(4.0)]
-    );
-    assert_eq!(
-        line.call("DOUBLE", &[Value::Float(4.0)]).unwrap(),
-        vec![Value::Float(8.0)]
-    );
+    assert_eq!(line.call("double", &[Value::Float(2.0)]).unwrap(), vec![Value::Float(4.0)]);
+    assert_eq!(line.call("DOUBLE", &[Value::Float(4.0)]).unwrap(), vec![Value::Float(8.0)]);
     sch.shutdown();
 }
 
@@ -208,8 +177,7 @@ fn import_type_check_rejects_mismatch() {
     line.start_remote("/npss/doubler", "lerc-sgi-4d480").unwrap();
     // Wrong type in the import specification: the Manager's bind-time
     // check must reject it.
-    line.register_imports(r#"import double prog("x" val double, "y" res float)"#)
-        .unwrap();
+    line.register_imports(r#"import double prog("x" val double, "y" res float)"#).unwrap();
     let err = line.call("double", &[Value::Double(1.0)]).unwrap_err();
     assert!(err.to_string().contains("differs from export"), "{err}");
     sch.shutdown();
@@ -221,12 +189,8 @@ fn import_subset_is_accepted() {
     sch.install_program("/npss/doubler", doubler_image(), &["lerc-sgi-4d480"]).unwrap();
     let mut line = sch.open_line("m", "lerc-sparc10").unwrap();
     line.start_remote("/npss/doubler", "lerc-sgi-4d480").unwrap();
-    line.register_imports(r#"import double prog("x" val float, "y" res float)"#)
-        .unwrap();
-    assert_eq!(
-        line.call("double", &[Value::Float(1.0)]).unwrap(),
-        vec![Value::Float(2.0)]
-    );
+    line.register_imports(r#"import double prog("x" val float, "y" res float)"#).unwrap();
+    assert_eq!(line.call("double", &[Value::Float(1.0)]).unwrap(), vec![Value::Float(2.0)]);
     sch.shutdown();
 }
 
@@ -237,10 +201,7 @@ fn out_of_range_cray_integer_is_an_error() {
     let mut line = sch.open_line("m", "lerc-sparc10").unwrap();
     line.start_remote("/npss/echo", "lerc-cray-ymp").unwrap();
     // In-range is fine.
-    assert_eq!(
-        line.call("echo", &[Value::Integer(123)]).unwrap(),
-        vec![Value::Integer(123)]
-    );
+    assert_eq!(line.call("echo", &[Value::Integer(123)]).unwrap(), vec![Value::Integer(123)]);
     // A value only the Cray's 64-bit word can hold cannot cross the wire.
     let err = line.call("echo", &[Value::Integer(1 << 40)]).unwrap_err();
     assert!(err.to_string().contains("out of range"), "{err}");
@@ -251,9 +212,7 @@ fn out_of_range_cray_integer_is_an_error() {
 fn remote_fault_propagates_with_message() {
     let image = ProgramImage::new("faulty", "export boom prog()")
         .unwrap()
-        .with_procedure("boom", || {
-            Box::new(FnProcedure::new(|_: &[Value]| Err("it broke".to_string())))
-        })
+        .with_procedure("boom", || Box::new(FnProcedure::new(|_: &[Value]| Err("it broke".into()))))
         .unwrap();
     let sch = Schooner::standard().unwrap();
     sch.install_program("/npss/faulty", image, &["lerc-sgi-4d480"]).unwrap();
@@ -267,35 +226,21 @@ fn remote_fault_propagates_with_message() {
 #[test]
 fn stateless_migration_keeps_procedure_callable() {
     let sch = Schooner::standard().unwrap();
-    sch.install_program(
-        "/npss/doubler",
-        doubler_image(),
-        &["lerc-sgi-4d480", "lerc-rs6000"],
-    )
-    .unwrap();
+    sch.install_program("/npss/doubler", doubler_image(), &["lerc-sgi-4d480", "lerc-rs6000"])
+        .unwrap();
     let mut line = sch.open_line("m", "lerc-sparc10").unwrap();
     line.start_remote("/npss/doubler", "lerc-sgi-4d480").unwrap();
-    assert_eq!(
-        line.call("double", &[Value::Float(1.0)]).unwrap(),
-        vec![Value::Float(2.0)]
-    );
+    assert_eq!(line.call("double", &[Value::Float(1.0)]).unwrap(), vec![Value::Float(2.0)]);
     line.move_procedure("double", "lerc-rs6000").unwrap();
-    assert_eq!(
-        line.call("double", &[Value::Float(2.0)]).unwrap(),
-        vec![Value::Float(4.0)]
-    );
+    assert_eq!(line.call("double", &[Value::Float(2.0)]).unwrap(), vec![Value::Float(4.0)]);
     sch.shutdown();
 }
 
 #[test]
 fn stateful_migration_transfers_state_across_architectures() {
     let sch = Schooner::standard().unwrap();
-    sch.install_program(
-        "/npss/accum",
-        accumulator_image(),
-        &["lerc-cray-ymp", "lerc-rs6000"],
-    )
-    .unwrap();
+    sch.install_program("/npss/accum", accumulator_image(), &["lerc-cray-ymp", "lerc-rs6000"])
+        .unwrap();
     let mut line = sch.open_line("m", "lerc-sparc10").unwrap();
     line.start_remote("/npss/accum", "lerc-cray-ymp").unwrap();
     line.call("accum", &[Value::Double(1.5)]).unwrap();
@@ -312,12 +257,8 @@ fn stateful_migration_transfers_state_across_architectures() {
 #[test]
 fn shared_procedure_is_visible_to_all_lines_and_stale_caches_recover() {
     let sch = Schooner::standard().unwrap();
-    sch.install_program(
-        "/npss/accum",
-        accumulator_image(),
-        &["lerc-sgi-4d480", "lerc-rs6000"],
-    )
-    .unwrap();
+    sch.install_program("/npss/accum", accumulator_image(), &["lerc-sgi-4d480", "lerc-rs6000"])
+        .unwrap();
 
     let mut owner = sch.open_line("owner", "lerc-sparc10").unwrap();
     owner.start_shared("/npss/accum", "lerc-sgi-4d480").unwrap();
@@ -343,12 +284,8 @@ fn shared_procedure_is_visible_to_all_lines_and_stale_caches_recover() {
 #[test]
 fn wan_calls_cost_more_virtual_time_than_lan_calls() {
     let sch = Schooner::standard().unwrap();
-    sch.install_program(
-        "/npss/doubler",
-        doubler_image(),
-        &["lerc-sgi-4d480", "ua-sgi-4d340"],
-    )
-    .unwrap();
+    sch.install_program("/npss/doubler", doubler_image(), &["lerc-sgi-4d480", "ua-sgi-4d340"])
+        .unwrap();
 
     // LAN: module at LeRC calls SGI at LeRC.
     let mut lan = sch.open_line("lan", "lerc-sparc10").unwrap();
@@ -368,10 +305,7 @@ fn wan_calls_cost_more_virtual_time_than_lan_calls() {
     }
     let wan_elapsed = wan.now() - t0;
 
-    assert!(
-        wan_elapsed > lan_elapsed * 5.0,
-        "WAN {wan_elapsed}s should dwarf LAN {lan_elapsed}s"
-    );
+    assert!(wan_elapsed > lan_elapsed * 5.0, "WAN {wan_elapsed}s should dwarf LAN {lan_elapsed}s");
     sch.shutdown();
 }
 
@@ -387,10 +321,7 @@ fn downed_host_fails_calls_until_it_returns() {
     assert!(line.call("double", &[Value::Float(1.0)]).is_err());
 
     sch.ctx().net.set_host_up("lerc-sgi-4d480", true);
-    assert_eq!(
-        line.call("double", &[Value::Float(3.0)]).unwrap(),
-        vec![Value::Float(6.0)]
-    );
+    assert_eq!(line.call("double", &[Value::Float(3.0)]).unwrap(), vec![Value::Float(6.0)]);
     sch.shutdown();
 }
 
@@ -441,10 +372,7 @@ fn manager_is_persistent_across_runs() {
     // Run 2: the same Manager serves a fresh load of the model.
     let mut line = sch.open_line("run2", "lerc-sparc10").unwrap();
     line.start_remote("/npss/doubler", "lerc-sgi-4d480").unwrap();
-    assert_eq!(
-        line.call("double", &[Value::Float(7.0)]).unwrap(),
-        vec![Value::Float(14.0)]
-    );
+    assert_eq!(line.call("double", &[Value::Float(7.0)]).unwrap(), vec![Value::Float(14.0)]);
     sch.shutdown();
 }
 

@@ -1,12 +1,10 @@
 //! Bleed: extraction of a fraction of the flow (customer bleed, turbine
 //! cooling air).
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::GasState;
 
 /// A bleed port extracting a fixed fraction of the incoming flow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bleed {
     /// Fraction of the incoming flow extracted (0..1).
     pub fraction: f64,

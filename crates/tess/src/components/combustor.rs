@@ -1,11 +1,9 @@
 //! Combustor: heat addition with combustion efficiency and pressure loss.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{temperature_from_enthalpy, GasState, FUEL_LHV};
 
 /// A combustor burning kerosene-type fuel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Combustor {
     /// Combustion efficiency (fraction of LHV released).
     pub eta: f64,
@@ -46,10 +44,7 @@ impl Combustor {
         tt_target: f64,
     ) -> Result<f64, String> {
         if tt_target <= inlet.tt {
-            return Err(format!(
-                "target {tt_target} K not above inlet {} K",
-                inlet.tt
-            ));
+            return Err(format!("target {tt_target} K not above inlet {} K", inlet.tt));
         }
         let (mut lo, mut hi) = (0.0, 0.06 * inlet.w);
         for _ in 0..80 {

@@ -1,13 +1,11 @@
 //! Compressor (fan / LPC / HPC): map-driven compression with variable
 //! stator geometry.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, T_STD};
 use crate::maps::CompressorMap;
 
 /// A map-scheduled compressor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Compressor {
     /// Component name for diagnostics.
     pub name: String,
@@ -61,10 +59,7 @@ impl Compressor {
         stator_deg: f64,
     ) -> Result<CompressorResult, String> {
         let nc = self.corrected_speed(n_rpm, inlet.tt);
-        let point = self
-            .map
-            .lookup(nc, beta)
-            .map_err(|e| format!("{}: {e}", self.name))?;
+        let point = self.map.lookup(nc, beta).map_err(|e| format!("{}: {e}", self.name))?;
         let wc_map = point.wc * (1.0 + 0.008 * stator_deg);
         let eff = (point.eff * (1.0 - 2.0e-4 * stator_deg * stator_deg)).clamp(0.2, 0.99);
 
@@ -74,14 +69,7 @@ impl Compressor {
         let h2 = enthalpy(inlet.tt, inlet.far) + dh;
         let tt2 = temperature_from_enthalpy(h2, inlet.far);
         let exit = GasState::new(inlet.w, tt2, inlet.pt * point.pr, inlet.far);
-        Ok(CompressorResult {
-            exit,
-            power: inlet.w * dh,
-            wc_map,
-            pr: point.pr,
-            eff,
-            nc,
-        })
+        Ok(CompressorResult { exit, power: inlet.w * dh, wc_map, pr: point.pr, eff, nc })
     }
 }
 

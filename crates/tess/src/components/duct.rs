@@ -1,12 +1,10 @@
 //! Duct: total-pressure loss and optional heat addition (afterburner).
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{temperature_from_enthalpy, GasState};
 
 /// A connecting duct with friction loss; with `q > 0` it doubles as a
 /// simple afterburner/heated duct model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Duct {
     /// Total-pressure loss fraction (ΔPt/Pt).
     pub dp_frac: f64,

@@ -1,11 +1,9 @@
 //! Inlet: ram compression and recovery.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{gamma, GasState};
 
 /// An inlet with a (sub-unity) total-pressure ram recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Inlet {
     /// Total-pressure recovery Pt2/Pt0 (1.0 = lossless).
     pub ram_recovery: f64,

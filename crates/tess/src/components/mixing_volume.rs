@@ -1,8 +1,6 @@
 //! Mixing volume: inter-component plenum where streams merge and mass can
 //! be stored during transients.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{GasState, R_GAS};
 
 /// A plenum joining two streams.
@@ -11,7 +9,7 @@ use crate::gas::{GasState, R_GAS};
 /// flow-weighted total-pressure blend and a mixing loss. For transients,
 /// [`MixingVolume::dpdt`] gives the pressure-storage derivative used when
 /// volume dynamics are enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixingVolume {
     /// Plenum volume, m³ (only used by the storage dynamics).
     pub volume: f64,

@@ -1,13 +1,9 @@
 //! Convergent exhaust nozzle: choking, thrust, and flow capacity.
 
-use serde::{Deserialize, Serialize};
-
-use crate::gas::{
-    enthalpy, gamma, isentropic_temperature, GasState, R_GAS,
-};
+use crate::gas::{enthalpy, gamma, isentropic_temperature, GasState, R_GAS};
 
 /// A convergent nozzle with (possibly variable) throat area.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Nozzle {
     /// Geometric throat area, m².
     pub area: f64,

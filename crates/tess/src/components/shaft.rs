@@ -14,10 +14,8 @@
 //! moment of inertia (the control panel's *moment inertia*, *spool speed*
 //! widgets).
 
-use serde::{Deserialize, Serialize};
-
 /// A spool with rotational inertia.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Shaft {
     /// Polar moment of inertia, kg·m².
     pub inertia: f64,

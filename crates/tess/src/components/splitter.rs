@@ -1,11 +1,9 @@
 //! Splitter: divides fan discharge into core and bypass streams.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::GasState;
 
 /// A flow splitter with a fixed bypass ratio (bypass flow / core flow).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Splitter {
     /// Bypass ratio.
     pub bypass_ratio: f64,

@@ -10,14 +10,12 @@
 //! — the "essential data from a higher-level computation" the paper's
 //! zooming goal talks about.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{
     enthalpy, isentropic_temperature, phi, temperature_from_enthalpy, GasState, R_GAS,
 };
 
 /// One stage's resolved operating state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageState {
     /// 1-based stage number.
     pub stage: usize,
@@ -40,7 +38,7 @@ pub struct StageState {
 }
 
 /// A mean-line stage stack calibrated to an overall design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageStack {
     /// Number of stages.
     pub n_stages: usize,
@@ -62,12 +60,7 @@ pub struct StageStack {
 impl StageStack {
     /// Calibrate a stack of `n_stages` to hit exactly (`pr`, `eff`) at
     /// the design inlet state.
-    pub fn calibrate(
-        n_stages: usize,
-        inlet: &GasState,
-        pr: f64,
-        eff: f64,
-    ) -> Result<Self, String> {
+    pub fn calibrate(n_stages: usize, inlet: &GasState, pr: f64, eff: f64) -> Result<Self, String> {
         if n_stages == 0 {
             return Err("stage stack needs at least one stage".into());
         }
@@ -76,8 +69,7 @@ impl StageStack {
         }
         // Total design work from the overall definition.
         let t_out_s = isentropic_temperature(inlet.tt, pr, inlet.far);
-        let dh_total =
-            (enthalpy(t_out_s, inlet.far) - enthalpy(inlet.tt, inlet.far)) / eff;
+        let dh_total = (enthalpy(t_out_s, inlet.far) - enthalpy(inlet.tt, inlet.far)) / eff;
 
         // Loading profile: a gentle front-loading, normalized.
         let raw: Vec<f64> = (0..n_stages)
@@ -193,8 +185,8 @@ impl StageStack {
         let last = states.last().expect("stages");
         let pr = last.pt_out / first.pt_in;
         let t_s = isentropic_temperature(first.tt_in, pr, self.design_inlet.far);
-        let dh_ideal = enthalpy(t_s, self.design_inlet.far)
-            - enthalpy(first.tt_in, self.design_inlet.far);
+        let dh_ideal =
+            enthalpy(t_s, self.design_inlet.far) - enthalpy(first.tt_in, self.design_inlet.far);
         let dh_actual: f64 = states.iter().map(|s| s.dh).sum();
         (pr, dh_ideal / dh_actual)
     }

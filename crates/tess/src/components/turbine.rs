@@ -1,12 +1,10 @@
 //! Turbine (HPT / LPT): map-driven expansion and work extraction.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, T_STD};
 use crate::maps::TurbineMap;
 
 /// A map-scheduled turbine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Turbine {
     /// Component name for diagnostics.
     pub name: String,
@@ -49,10 +47,7 @@ impl Turbine {
             return Err(format!("{}: expansion ratio {er} must exceed 1", self.name));
         }
         let nc = self.corrected_speed(n_rpm, inlet.tt);
-        let point = self
-            .map
-            .lookup(nc, er)
-            .map_err(|e| format!("{}: {e}", self.name))?;
+        let point = self.map.lookup(nc, er).map_err(|e| format!("{}: {e}", self.name))?;
 
         let t_out_ideal = isentropic_temperature(inlet.tt, 1.0 / er, inlet.far);
         let dh_ideal = enthalpy(inlet.tt, inlet.far) - enthalpy(t_out_ideal, inlet.far);
@@ -60,13 +55,7 @@ impl Turbine {
         let h_out = enthalpy(inlet.tt, inlet.far) - dh;
         let tt_out = temperature_from_enthalpy(h_out, inlet.far);
         let exit = GasState::new(inlet.w, tt_out, inlet.pt / er, inlet.far);
-        Ok(TurbineResult {
-            exit,
-            power: inlet.w * dh,
-            wc_map: point.wc,
-            eff: point.eff,
-            nc,
-        })
+        Ok(TurbineResult { exit, power: inlet.w * dh, wc_map: point.wc, eff: point.eff, nc })
     }
 }
 

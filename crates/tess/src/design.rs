@@ -12,14 +12,14 @@
 //! the Newton balance converge from the design guess in a handful of
 //! iterations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::components::{Bleed, Combustor, Duct, Inlet, MixingVolume, Nozzle, Splitter};
-use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, P_STD, T_STD};
+use crate::gas::{
+    enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, P_STD, T_STD,
+};
 
 /// Design-point requirements and component quality assumptions for a
 /// twin-spool mixed-flow turbofan (F100 class).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CycleDesign {
     /// Total inlet mass flow, kg/s.
     pub w2: f64,
@@ -134,7 +134,7 @@ impl CycleDesign {
 }
 
 /// Everything the forward design calculation produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// Engine face.
     pub st2: GasState,
@@ -197,9 +197,7 @@ fn expansion_ratio_for_work(inlet: &GasState, dh_needed: f64, eff: f64) -> Resul
     };
     let (mut lo, mut hi) = (1.01, 12.0);
     if dh_at(hi) < dh_needed {
-        return Err(format!(
-            "turbine cannot deliver {dh_needed:.0} J/kg even at ER {hi}"
-        ));
+        return Err(format!("turbine cannot deliver {dh_needed:.0} J/kg even at ER {hi}"));
     }
     for _ in 0..100 {
         let mid = 0.5 * (lo + hi);
@@ -260,8 +258,7 @@ impl CycleDesign {
         let st7 = Duct::new(self.tailpipe_dp).flow(&st6, 0.0);
 
         // Size the nozzle throat to pass exactly the design flow.
-        let probe = Nozzle::new(1.0, self.nozzle_cd, self.nozzle_cv)
-            .operate(&st7, P_STD, None)?;
+        let probe = Nozzle::new(1.0, self.nozzle_cd, self.nozzle_cv).operate(&st7, P_STD, None)?;
         let nozzle_area = st7.w / probe.w_capacity;
         let nozzle = Nozzle::new(nozzle_area, self.nozzle_cd, self.nozzle_cv);
         let nz = nozzle.operate(&st7, P_STD, None)?;
@@ -355,9 +352,7 @@ mod tests {
     #[test]
     fn nozzle_area_passes_design_flow_exactly() {
         let d = dp();
-        let nz = Nozzle::new(d.nozzle_area, 0.98, 0.98)
-            .operate(&d.st7, P_STD, None)
-            .unwrap();
+        let nz = Nozzle::new(d.nozzle_area, 0.98, 0.98).operate(&d.st7, P_STD, None).unwrap();
         assert!((nz.w_capacity - d.st7.w).abs() / d.st7.w < 1e-9);
     }
 

@@ -15,8 +15,6 @@
 //! transient relaxation, the two steady-state choices in the system
 //! module's control panel.
 
-use serde::{Deserialize, Serialize};
-
 use crate::components::{
     Bleed, Combustor, Compressor, Duct, Inlet, MixingVolume, Nozzle, Shaft, Splitter, Turbine,
 };
@@ -27,7 +25,7 @@ use crate::solver::newton::{newton_solve, NewtonOptions};
 use crate::solver::ode::{Integrator, RungeKutta4};
 
 /// Ambient/flight condition for a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlightCondition {
     /// Ambient static temperature, K.
     pub t_amb: f64,
@@ -45,7 +43,7 @@ impl FlightCondition {
 }
 
 /// Stator-vane settings driven by the transient control schedules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StatorSettings {
     /// Fan inlet guide vane angle, degrees from nominal.
     pub fan_deg: f64,
@@ -103,7 +101,7 @@ pub struct OperatingPoint {
 }
 
 /// Steady-state solution method (the system module's widget).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SteadyMethod {
     /// Newton–Raphson on the full six-unknown match problem.
     NewtonRaphson,
@@ -180,12 +178,8 @@ impl Turbofan {
         );
         // Turbine map speeds are referred to their design *inlet*
         // temperatures so that nc = 1 at design.
-        let hpt_map = TurbineMap::synthetic(
-            "hpt",
-            design.st4.corrected_flow(),
-            design.er_hpt,
-            cycle.hpt_eff,
-        );
+        let hpt_map =
+            TurbineMap::synthetic("hpt", design.st4.corrected_flow(), design.er_hpt, cycle.hpt_eff);
         let lpt_map = TurbineMap::synthetic(
             "lpt",
             design.st45.corrected_flow(),
@@ -198,30 +192,14 @@ impl Turbofan {
             // temperatures so nc = 1 at the design point (the fan sees
             // T_STD at the sea-level-static design, the HPC sees the fan
             // exit temperature).
-            fan: Compressor::new(
-                "fan",
-                fan_map,
-                cycle.n1_design / (design.st2.tt / T_STD).sqrt(),
-            ),
+            fan: Compressor::new("fan", fan_map, cycle.n1_design / (design.st2.tt / T_STD).sqrt()),
             splitter: Splitter::new(cycle.bpr),
             bypass_duct: Duct::new(cycle.bypass_dp),
-            hpc: Compressor::new(
-                "hpc",
-                hpc_map,
-                cycle.n2_design / (design.st25.tt / T_STD).sqrt(),
-            ),
+            hpc: Compressor::new("hpc", hpc_map, cycle.n2_design / (design.st25.tt / T_STD).sqrt()),
             bleed: Bleed::new(cycle.bleed_frac),
             combustor: Combustor::new(cycle.comb_eta, cycle.comb_dp),
-            hpt: Turbine::new(
-                "hpt",
-                hpt_map,
-                cycle.n2_design / (design.st4.tt / T_STD).sqrt(),
-            ),
-            lpt: Turbine::new(
-                "lpt",
-                lpt_map,
-                cycle.n1_design / (design.st45.tt / T_STD).sqrt(),
-            ),
+            hpt: Turbine::new("hpt", hpt_map, cycle.n2_design / (design.st4.tt / T_STD).sqrt()),
+            lpt: Turbine::new("lpt", lpt_map, cycle.n1_design / (design.st45.tt / T_STD).sqrt()),
             mixer: MixingVolume::new(0.6, cycle.mixer_dp),
             tailpipe: Duct::new(cycle.tailpipe_dp),
             nozzle: Nozzle::new(design.nozzle_area, cycle.nozzle_cd, cycle.nozzle_cv),
@@ -251,7 +229,13 @@ impl Turbofan {
     /// split floats off-design so the mixer pressure balance can hold).
     /// Every flow/pressure/work relation is applied; the five match
     /// residuals report how inconsistent `x` still is.
-    pub fn evaluate(&self, n1: f64, n2: f64, wf: f64, x: &[f64; 5]) -> Result<OperatingPoint, String> {
+    pub fn evaluate(
+        &self,
+        n1: f64,
+        n2: f64,
+        wf: f64,
+        x: &[f64; 5],
+    ) -> Result<OperatingPoint, String> {
         let [beta_fan, beta_hpc, er_hpt, er_lpt, bpr_frac] = *x;
         if !(0.1..=8.0).contains(&bpr_frac) {
             return Err(format!("bypass-ratio fraction {bpr_frac} outside model range"));
@@ -263,11 +247,7 @@ impl Turbofan {
         // demands.
         let probe = self.inlet.capture(self.flight.t_amb, self.flight.p_amb, self.flight.mach, 1.0);
         let nc_fan = self.fan.corrected_speed(n1, probe.tt);
-        let fan_pt = self
-            .fan
-            .map
-            .lookup(nc_fan, beta_fan)
-            .map_err(|e| format!("fan: {e}"))?;
+        let fan_pt = self.fan.map.lookup(nc_fan, beta_fan).map_err(|e| format!("fan: {e}"))?;
         let wc_fan = fan_pt.wc * (1.0 + 0.008 * self.stators.fan_deg);
         let w2 = wc_fan * (probe.pt / P_STD) / (probe.tt / T_STD).sqrt();
         let st2 = GasState::new(w2, probe.tt, probe.pt, 0.0);
@@ -371,18 +351,9 @@ impl Turbofan {
     fn balance_newton(&self, wf: f64) -> Result<BalanceReport, String> {
         let n1d = self.cycle.n1_design;
         let n2d = self.cycle.n2_design;
-        let x0 = [
-            1.0,
-            1.0,
-            0.5,
-            0.5,
-            self.design.er_hpt,
-            self.design.er_lpt,
-            1.0,
-        ];
+        let x0 = [1.0, 1.0, 0.5, 0.5, self.design.er_hpt, self.design.er_lpt, 1.0];
         let f = |x: &[f64]| -> Result<Vec<f64>, String> {
-            let op =
-                self.evaluate(x[0] * n1d, x[1] * n2d, wf, &[x[2], x[3], x[4], x[5], x[6]])?;
+            let op = self.evaluate(x[0] * n1d, x[1] * n2d, wf, &[x[2], x[3], x[4], x[5], x[6]])?;
             let r_lp = self.lp_shaft.balance_residual(op.p_lpt, op.p_fan);
             let r_hp = self.hp_shaft.balance_residual(op.p_hpt, op.p_hpc);
             let mut r = op.flow_residuals.to_vec();
@@ -456,12 +427,7 @@ mod tests {
     fn design_point_is_an_exact_solution() {
         let e = engine();
         let op = e
-            .evaluate(
-                e.cycle.n1_design,
-                e.cycle.n2_design,
-                e.design.wf,
-                &e.design_inner_guess(),
-            )
+            .evaluate(e.cycle.n1_design, e.cycle.n2_design, e.design.wf, &e.design_inner_guess())
             .unwrap();
         for (i, r) in op.flow_residuals.iter().enumerate() {
             assert!(r.abs() < 1e-6, "residual {i} = {r}");
@@ -576,9 +542,7 @@ mod engine_choice_tests {
         let military = Turbofan::f100().unwrap();
         let commercial = Turbofan::from_design(CycleDesign::high_bypass_class()).unwrap();
         let m = military.balance(military.design.wf, SteadyMethod::NewtonRaphson).unwrap();
-        let c = commercial
-            .balance(commercial.design.wf, SteadyMethod::NewtonRaphson)
-            .unwrap();
+        let c = commercial.balance(commercial.design.wf, SteadyMethod::NewtonRaphson).unwrap();
         let sfc_m = m.point.sfc;
         let sfc_c = c.point.sfc;
         assert!(
@@ -587,10 +551,7 @@ mod engine_choice_tests {
         );
         let specific_thrust_m = m.point.thrust / m.point.st2.w;
         let specific_thrust_c = c.point.thrust / c.point.st2.w;
-        assert!(
-            specific_thrust_c < specific_thrust_m,
-            "and produce less thrust per kg/s of air"
-        );
+        assert!(specific_thrust_c < specific_thrust_m, "and produce less thrust per kg/s of air");
     }
 
     #[test]
@@ -599,8 +560,7 @@ mod engine_choice_tests {
         use crate::transient::{TransientMethod, TransientRun};
         let engine = Turbofan::from_design(CycleDesign::high_bypass_class()).unwrap();
         let wf = engine.design.wf;
-        let fuel =
-            Schedule::new(vec![(0.0, 0.93 * wf), (0.05, 0.93 * wf), (0.3, wf)]).unwrap();
+        let fuel = Schedule::new(vec![(0.0, 0.93 * wf), (0.05, 0.93 * wf), (0.3, wf)]).unwrap();
         let mut run = TransientRun::new(engine, fuel, TransientMethod::ImprovedEuler, 0.02);
         let r = run.run(0.6).unwrap();
         assert!(r.last().n1 > r.samples[0].n1);

@@ -18,21 +18,19 @@
 //!   and the stage results are checked for consistency against the map
 //!   point they refine.
 
-use serde::{Deserialize, Serialize};
-
 use crate::components::stage_stack::{StageStack, StageState};
 use crate::design::{CycleDesign, DesignPoint};
 use crate::engine::OperatingPoint;
 
 /// The level-1 steady-state thermodynamic model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Level1Cycle {
     /// The design parameters this model is built from.
     pub cycle: CycleDesign,
 }
 
 /// One level-1 throttle point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Level1Point {
     /// Spool-speed fraction the point corresponds to.
     pub n_frac: f64,
@@ -95,15 +93,10 @@ pub fn zoom_hpc(
     n_stages: usize,
 ) -> Result<ZoomedCompressor, String> {
     let design_inlet = engine.design.st25;
-    let stack = StageStack::calibrate(
-        n_stages,
-        &design_inlet,
-        engine.cycle.hpc_pr,
-        engine.cycle.hpc_eff,
-    )?;
+    let stack =
+        StageStack::calibrate(n_stages, &design_inlet, engine.cycle.hpc_pr, engine.cycle.hpc_eff)?;
     // Work level relative to design, from the balanced powers.
-    let work_fraction =
-        (point.p_hpc / point.st25.w) / (engine.design.p_hpc / engine.design.st25.w);
+    let work_fraction = (point.p_hpc / point.st25.w) / (engine.design.p_hpc / engine.design.st25.w);
     let stages = stack.analyze(&point.st25, work_fraction)?;
     let (overall_pr, overall_eff) = stack.overall(&stages);
     let map_pr = point.st3.pt / point.st25.pt;

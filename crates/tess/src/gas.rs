@@ -16,8 +16,6 @@
 //!
 //! All units SI: K, Pa, kg/s, J/kg, W.
 
-use serde::{Deserialize, Serialize};
-
 /// Gas constant of air and (approximately) of lean combustion products.
 pub const R_GAS: f64 = 287.05;
 
@@ -117,7 +115,7 @@ pub fn isentropic_temperature(t1: f64, pr: f64, far: f64) -> f64 {
 }
 
 /// A gas-path station state: what flows between engine components.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GasState {
     /// Mass flow, kg/s.
     pub w: f64,

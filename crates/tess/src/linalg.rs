@@ -46,9 +46,7 @@ impl Matrix {
     /// Matrix-vector product.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_cols);
-        (0..self.n_rows)
-            .map(|i| (0..self.n_cols).map(|j| self[(i, j)] * x[j]).sum())
-            .collect()
+        (0..self.n_rows).map(|i| (0..self.n_cols).map(|j| self[(i, j)] * x[j]).sum()).collect()
     }
 }
 
@@ -140,11 +138,8 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, 1.0, -1.0],
-            vec![-3.0, -1.0, 2.0],
-            vec![-2.0, 1.0, 2.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]]);
         let b = vec![8.0, -11.0, -3.0];
         let x = solve(a, b).unwrap();
         let expect = [2.0, 3.0, -1.0];
@@ -179,18 +174,12 @@ mod tests {
     #[test]
     fn residual_of_solution_is_tiny() {
         // A mildly ill-conditioned 5x5.
-        let rows: Vec<Vec<f64>> = (0..5)
-            .map(|i| (0..5).map(|j| 1.0 / (1.0 + i as f64 + j as f64)).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..5).map(|i| (0..5).map(|j| 1.0 / (1.0 + i as f64 + j as f64)).collect()).collect();
         let a = Matrix::from_rows(&rows);
         let b = vec![1.0, 0.0, 2.0, -1.0, 0.5];
         let x = solve(a.clone(), b.clone()).unwrap();
-        let r: Vec<f64> = a
-            .mul_vec(&x)
-            .iter()
-            .zip(&b)
-            .map(|(ax, bi)| ax - bi)
-            .collect();
+        let r: Vec<f64> = a.mul_vec(&x).iter().zip(&b).map(|(ax, bi)| ax - bi).collect();
         assert!(norm2(&r) < 1e-8, "residual {r:?}");
     }
 

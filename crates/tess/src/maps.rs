@@ -17,10 +17,8 @@
 //! design) and beta line `β ∈ [0,1]` (0 = surge side / high PR, 1 = choke
 //! side / high flow). Turbine maps by `nc` and expansion ratio.
 
-use serde::{Deserialize, Serialize};
-
 /// A rectangular table with bilinear interpolation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2D {
     /// Row coordinates (ascending).
     pub rows: Vec<f64>,
@@ -83,7 +81,7 @@ impl Table2D {
 
 /// A compressor (or fan) map: corrected flow, pressure ratio, and
 /// efficiency as functions of (corrected speed fraction, beta).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressorMap {
     /// Map title (appears in the file header).
     pub name: String,
@@ -126,7 +124,8 @@ impl CompressorMap {
                 pr_row.push(1.0 + (pr_d - 1.0) * nc * nc * (1.3 - 0.6 * b));
                 // Efficiency island peaked at design speed and mid-beta.
                 er.push(
-                    (eff_d * (1.0 - 0.35 * (nc - 1.0) * (nc - 1.0))
+                    (eff_d
+                        * (1.0 - 0.35 * (nc - 1.0) * (nc - 1.0))
                         * (1.0 - 0.45 * (b - 0.5) * (b - 0.5)))
                         .clamp(0.30, 0.95),
                 );
@@ -173,7 +172,7 @@ impl CompressorMap {
 
 /// A turbine map: corrected flow and efficiency as functions of
 /// (corrected speed fraction, expansion ratio Pt_in/Pt_out).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TurbineMap {
     /// Map title.
     pub name: String,
@@ -203,9 +202,7 @@ impl TurbineMap {
         let er_max = (er_d * 2.0).max(er_d + 1.5);
         // The grid passes exactly through er_d so the design point is an
         // interpolation node (the anchoring the engine builder relies on).
-        let mut ers: Vec<f64> = (0..=7)
-            .map(|i| 1.02 + (er_d - 1.02) * i as f64 / 7.0)
-            .collect();
+        let mut ers: Vec<f64> = (0..=7).map(|i| 1.02 + (er_d - 1.02) * i as f64 / 7.0).collect();
         ers.extend((1..=7).map(|i| er_d + (er_max - er_d) * i as f64 / 7.0));
         let stodola = |er: f64| (1.0 - (1.0 / (er * er)).min(1.0)).max(1e-6).sqrt();
         let norm = stodola(er_d);
@@ -218,7 +215,8 @@ impl TurbineMap {
                 // Weak speed dependence on swallowing capacity.
                 wr.push(wc_d * stodola(er) / norm * (1.0 - 0.05 * (nc - 1.0)));
                 er_row.push(
-                    (eff_d * (1.0 - 0.30 * (nc - 1.0) * (nc - 1.0))
+                    (eff_d
+                        * (1.0 - 0.30 * (nc - 1.0) * (nc - 1.0))
                         * (1.0 - 0.08 * (er / er_d - 1.0) * (er / er_d - 1.0)))
                         .clamp(0.30, 0.95),
                 );
@@ -327,12 +325,8 @@ mod tests {
 
     #[test]
     fn table_interpolates_bilinearly() {
-        let t = Table2D::new(
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-            vec![vec![0.0, 1.0], vec![2.0, 3.0]],
-        )
-        .unwrap();
+        let t = Table2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![0.0, 1.0], vec![2.0, 3.0]])
+            .unwrap();
         assert_eq!(t.lookup(0.0, 0.0).unwrap(), 0.0);
         assert_eq!(t.lookup(1.0, 1.0).unwrap(), 3.0);
         assert_eq!(t.lookup(0.5, 0.5).unwrap(), 1.5);
@@ -341,12 +335,8 @@ mod tests {
 
     #[test]
     fn table_rejects_off_grid_lookup() {
-        let t = Table2D::new(
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-            vec![vec![0.0, 1.0], vec![2.0, 3.0]],
-        )
-        .unwrap();
+        let t = Table2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![0.0, 1.0], vec![2.0, 3.0]])
+            .unwrap();
         assert!(t.lookup(-0.1, 0.5).is_err());
         assert!(t.lookup(0.5, 1.1).is_err());
     }
@@ -354,12 +344,8 @@ mod tests {
     #[test]
     fn table_rejects_bad_shapes() {
         assert!(Table2D::new(vec![0.0], vec![0.0, 1.0], vec![vec![1.0, 2.0]]).is_err());
-        assert!(Table2D::new(
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
-        )
-        .is_err());
+        assert!(Table2D::new(vec![1.0, 0.0], vec![0.0, 1.0], vec![vec![1.0, 2.0], vec![3.0, 4.0]])
+            .is_err());
         assert!(Table2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![1.0, 2.0]]).is_err());
     }
 

@@ -7,10 +7,8 @@
 //! piecewise-linear interpolation through user breakpoints, held constant
 //! beyond the ends.
 
-use serde::{Deserialize, Serialize};
-
 /// A piecewise-linear time schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Breakpoints `(t, value)` in strictly ascending time order.
     points: Vec<(f64, f64)>,

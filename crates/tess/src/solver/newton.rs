@@ -94,7 +94,12 @@ pub fn newton_solve(
 
     for iter in 0..opts.max_iters {
         if rnorm <= opts.tol {
-            return Ok(NewtonReport { x, residual_norm: rnorm, iterations: iter, evaluations: evals });
+            return Ok(NewtonReport {
+                x,
+                residual_norm: rnorm,
+                iterations: iter,
+                evaluations: evals,
+            });
         }
 
         // Forward-difference Jacobian, column per unknown.
@@ -110,8 +115,7 @@ pub fn newton_solve(
         }
 
         let rhs: Vec<f64> = r.iter().map(|v| -v).collect();
-        let dx = solve(jac, rhs)
-            .map_err(|_| NewtonError::SingularJacobian { iteration: iter })?;
+        let dx = solve(jac, rhs).map_err(|_| NewtonError::SingularJacobian { iteration: iter })?;
 
         // Backtracking line search: accept the first step that reduces
         // the residual norm; infeasible evaluations also trigger
@@ -153,12 +157,7 @@ pub fn newton_solve(
     }
 
     if rnorm <= opts.tol {
-        Ok(NewtonReport {
-            x,
-            residual_norm: rnorm,
-            iterations: opts.max_iters,
-            evaluations: evals,
-        })
+        Ok(NewtonReport { x, residual_norm: rnorm, iterations: opts.max_iters, evaluations: evals })
     } else {
         Err(NewtonError::NoConvergence { iterations: opts.max_iters, residual_norm: rnorm })
     }
@@ -180,9 +179,7 @@ mod tests {
     #[test]
     fn solves_coupled_nonlinear_system() {
         // x² + y² = 4, x·y = 1 (solution near (1.93, 0.52)).
-        let f = |x: &[f64]| {
-            Ok(vec![x[0] * x[0] + x[1] * x[1] - 4.0, x[0] * x[1] - 1.0])
-        };
+        let f = |x: &[f64]| Ok(vec![x[0] * x[0] + x[1] * x[1] - 4.0, x[0] * x[1] - 1.0]);
         let rep = newton_solve(f, &[2.0, 0.3], &NewtonOptions::default()).unwrap();
         let (x, y) = (rep.x[0], rep.x[1]);
         assert!((x * x + y * y - 4.0).abs() < 1e-7);
@@ -214,10 +211,7 @@ mod tests {
         // Depending on where the iteration lands, failure may surface as
         // exhausted iterations or as a singular Jacobian at the minimum.
         assert!(
-            matches!(
-                err,
-                NewtonError::NoConvergence { .. } | NewtonError::SingularJacobian { .. }
-            ),
+            matches!(err, NewtonError::NoConvergence { .. } | NewtonError::SingularJacobian { .. }),
             "{err}"
         );
     }

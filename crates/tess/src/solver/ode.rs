@@ -150,8 +150,7 @@ impl Integrator for AdamsBashforthMoulton {
         // AB4 predictor.
         let mut yp = vec![0.0; n];
         for i in 0..n {
-            yp[i] = y[i]
-                + dt / 24.0 * (55.0 * f0[i] - 59.0 * f1[i] + 37.0 * f2[i] - 9.0 * f3[i]);
+            yp[i] = y[i] + dt / 24.0 * (55.0 * f0[i] - 59.0 * f1[i] + 37.0 * f2[i] - 9.0 * f3[i]);
         }
         // Evaluate at the predicted point, then AM4 corrector.
         let mut fp = vec![0.0; n];
@@ -247,11 +246,8 @@ impl Integrator for GearBdf2 {
             }
             Some(y_nm1) => {
                 // BDF2: y_{n+1} - (2/3)dt f = (4 y_n - y_{n-1})/3.
-                let rhs: Vec<f64> = y_n
-                    .iter()
-                    .zip(y_nm1)
-                    .map(|(a, b)| (4.0 * a - b) / 3.0)
-                    .collect();
+                let rhs: Vec<f64> =
+                    y_n.iter().zip(y_nm1).map(|(a, b)| (4.0 * a - b) / 3.0).collect();
                 Self::implicit_solve(f, t + dt, 2.0 / 3.0, dt, &rhs, &y_n)?
             }
         };
@@ -334,12 +330,7 @@ mod tests {
                 Ok(())
             };
             let y = run(m.as_mut(), &mut f, &[0.0], 200);
-            assert!(
-                (y[0] - exact).abs() < 1e-3,
-                "{}: {} vs {exact}",
-                m.name(),
-                y[0]
-            );
+            assert!((y[0] - exact).abs() < 1e-3, "{}: {} vs {exact}", m.name(), y[0]);
         }
     }
 

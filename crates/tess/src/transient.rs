@@ -7,16 +7,12 @@
 //! imbalances into accelerations. Fuel flow and stator angles follow
 //! their transient control schedules.
 
-use serde::{Deserialize, Serialize};
-
 use crate::engine::{OperatingPoint, SteadyMethod, Turbofan};
 use crate::schedules::Schedule;
-use crate::solver::ode::{
-    AdamsBashforthMoulton, GearBdf2, ImprovedEuler, Integrator, RungeKutta4,
-};
+use crate::solver::ode::{AdamsBashforthMoulton, GearBdf2, ImprovedEuler, Integrator, RungeKutta4};
 
 /// Transient integrator choice (the system module's widget).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransientMethod {
     /// Modified (Improved) Euler.
     ImprovedEuler,
@@ -51,7 +47,7 @@ impl TransientMethod {
 }
 
 /// One recorded sample of a transient.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransientSample {
     /// Time since transient start, s.
     pub t: f64,
@@ -70,7 +66,7 @@ pub struct TransientSample {
 }
 
 /// A complete transient trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransientResult {
     /// Samples at every accepted step (including t = 0).
     pub samples: Vec<TransientSample>,
@@ -112,7 +108,7 @@ fn interp(samples: &[TransientSample], t: f64, get: impl Fn(&TransientSample) ->
 
 /// A failure injected at a point in transient time — the executive's
 /// "test operation of the engine in the presence of failures".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FailureEvent {
     /// Combustor degradation: efficiency multiplied by the factor.
     CombustorDegradation(f64),
@@ -185,11 +181,8 @@ impl TransientRun {
 
     fn apply_flight(engine: &mut Turbofan, altitude: &Schedule, mach: &Schedule, t: f64) {
         let amb = crate::atmosphere::isa(altitude.at(t));
-        engine.flight = crate::engine::FlightCondition {
-            t_amb: amb.t,
-            p_amb: amb.p,
-            mach: mach.at(t),
-        };
+        engine.flight =
+            crate::engine::FlightCondition { t_amb: amb.t, p_amb: amb.p, mach: mach.at(t) };
     }
 
     /// Apply any failures whose time has come; returns how many fired.
@@ -278,11 +271,7 @@ impl TransientRun {
             let op = self.engine.solve_inner(y[0], y[1], self.fuel.at(t), &mut inner)?;
             samples.push(sample_of(t, &op));
         }
-        Ok(TransientResult {
-            samples,
-            method: self.method.display_name().to_owned(),
-            dt: self.dt,
-        })
+        Ok(TransientResult { samples, method: self.method.display_name().to_owned(), dt: self.dt })
     }
 }
 
@@ -307,8 +296,8 @@ mod tests {
         let engine = Turbofan::f100().unwrap();
         // Start at 92% fuel, snap toward design fuel at t = 0.1 s.
         let wf_d = engine.design.wf;
-        let fuel = Schedule::new(vec![(0.0, 0.92 * wf_d), (0.1, 0.92 * wf_d), (0.3, wf_d)])
-            .unwrap();
+        let fuel =
+            Schedule::new(vec![(0.0, 0.92 * wf_d), (0.1, 0.92 * wf_d), (0.3, wf_d)]).unwrap();
         (engine, fuel)
     }
 
@@ -343,10 +332,7 @@ mod tests {
         }
         let (_, n1_ref, thrust_ref) = finals[1]; // RK4 as reference
         for (name, n1, thrust) in &finals {
-            assert!(
-                (n1 - n1_ref).abs() / n1_ref < 2e-3,
-                "{name}: N1 {n1} vs {n1_ref}"
-            );
+            assert!((n1 - n1_ref).abs() / n1_ref < 2e-3, "{name}: N1 {n1} vs {n1_ref}");
             assert!(
                 (thrust - thrust_ref).abs() / thrust_ref < 1e-2,
                 "{name}: thrust {thrust} vs {thrust_ref}"
@@ -359,20 +345,11 @@ mod tests {
         let engine = Turbofan::f100().unwrap();
         let wf = engine.design.wf;
         let n1d = engine.cycle.n1_design;
-        let mut run = TransientRun::new(
-            engine,
-            Schedule::constant(wf),
-            TransientMethod::RungeKutta4,
-            0.02,
-        );
+        let mut run =
+            TransientRun::new(engine, Schedule::constant(wf), TransientMethod::RungeKutta4, 0.02);
         let r = run.run(0.5).unwrap();
         for s in &r.samples {
-            assert!(
-                (s.n1 - n1d).abs() / n1d < 2e-3,
-                "drifted to {} at t={}",
-                s.n1,
-                s.t
-            );
+            assert!((s.n1 - n1d).abs() / n1d < 2e-3, "drifted to {} at t={}", s.n1, s.t);
         }
     }
 
@@ -391,12 +368,8 @@ mod tests {
     fn stator_schedule_participates() {
         let engine = Turbofan::f100().unwrap();
         let wf = engine.design.wf;
-        let mut run = TransientRun::new(
-            engine,
-            Schedule::constant(wf),
-            TransientMethod::ImprovedEuler,
-            0.02,
-        );
+        let mut run =
+            TransientRun::new(engine, Schedule::constant(wf), TransientMethod::ImprovedEuler, 0.02);
         // Close the HPC stators over the transient.
         run.hpc_stators = Schedule::ramp(0.0, 0.0, 0.4, -6.0);
         let r = run.run(0.5).unwrap();
@@ -414,18 +387,14 @@ mod flight_tests {
     fn climbing_flight_profile_reduces_thrust() {
         let engine = Turbofan::f100().unwrap();
         let wf = 0.9 * engine.design.wf;
-        let mut run = TransientRun::new(
-            engine,
-            Schedule::constant(wf),
-            TransientMethod::ImprovedEuler,
-            0.02,
-        )
-        .with_flight_profile(
-            // A compressed "climb": sea level to 3 km over the transient,
-            // accelerating to Mach 0.4.
-            Schedule::ramp(0.0, 0.0, 0.6, 3000.0),
-            Schedule::ramp(0.0, 0.0, 0.6, 0.4),
-        );
+        let mut run =
+            TransientRun::new(engine, Schedule::constant(wf), TransientMethod::ImprovedEuler, 0.02)
+                .with_flight_profile(
+                    // A compressed "climb": sea level to 3 km over the transient,
+                    // accelerating to Mach 0.4.
+                    Schedule::ramp(0.0, 0.0, 0.6, 3000.0),
+                    Schedule::ramp(0.0, 0.0, 0.6, 0.4),
+                );
         let r = run.run(0.6).unwrap();
         let first = &r.samples[0];
         let last = r.last();
@@ -442,13 +411,9 @@ mod flight_tests {
     fn flight_profile_starts_balanced_at_initial_condition() {
         let engine = Turbofan::f100().unwrap();
         let wf = 0.6 * engine.design.wf;
-        let mut run = TransientRun::new(
-            engine,
-            Schedule::constant(wf),
-            TransientMethod::ImprovedEuler,
-            0.02,
-        )
-        .with_flight_profile(Schedule::constant(5000.0), Schedule::constant(0.6));
+        let mut run =
+            TransientRun::new(engine, Schedule::constant(wf), TransientMethod::ImprovedEuler, 0.02)
+                .with_flight_profile(Schedule::constant(5000.0), Schedule::constant(0.6));
         let r = run.run(0.2).unwrap();
         // Constant condition + constant fuel: the spool stays put.
         let drift = (r.last().n1 - r.samples[0].n1).abs() / r.samples[0].n1;
@@ -464,18 +429,12 @@ mod failure_tests {
     fn steady_run() -> TransientRun {
         let engine = Turbofan::f100().unwrap();
         let wf = 0.95 * engine.design.wf;
-        TransientRun::new(
-            engine,
-            Schedule::constant(wf),
-            TransientMethod::ImprovedEuler,
-            0.02,
-        )
+        TransientRun::new(engine, Schedule::constant(wf), TransientMethod::ImprovedEuler, 0.02)
     }
 
     #[test]
     fn combustor_degradation_cuts_thrust_and_t4() {
-        let mut run = steady_run()
-            .with_failure(0.2, FailureEvent::CombustorDegradation(0.85));
+        let mut run = steady_run().with_failure(0.2, FailureEvent::CombustorDegradation(0.85));
         let r = run.run(0.8).unwrap();
         let before = r.thrust_at(0.18);
         let after = r.last().thrust;

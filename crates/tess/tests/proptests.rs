@@ -1,143 +1,199 @@
-//! Property-based tests of the TESS numerics.
-
-use proptest::prelude::*;
+//! Randomized tests of the TESS numerics.
+//!
+//! These were property-based tests; they now draw their cases from a
+//! deterministic SplitMix64 generator so the sweep needs no external
+//! crates and replays identically on every run.
 
 use tess::components::stage_stack::StageStack;
-use tess::gas::{
-    self, enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState,
-};
+use tess::gas::{self, enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState};
 use tess::maps::{CompressorMap, Table2D, TurbineMap};
 use tess::schedules::Schedule;
 
-proptest! {
-    /// h(T) and T(h) are mutually inverse over the working range for any
-    /// fuel-air ratio.
-    #[test]
-    fn enthalpy_inversion(t in 220.0f64..2500.0, far in 0.0f64..0.06) {
+/// Deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
+
+/// h(T) and T(h) are mutually inverse over the working range for any
+/// fuel-air ratio.
+#[test]
+fn enthalpy_inversion() {
+    let mut g = Gen::new(11);
+    for _ in 0..400 {
+        let t = g.range(220.0, 2500.0);
+        let far = g.range(0.0, 0.06);
         let h = enthalpy(t, far);
         let back = temperature_from_enthalpy(h, far);
-        prop_assert!((back - t).abs() < 1e-6, "{back} vs {t}");
+        assert!((back - t).abs() < 1e-6, "{back} vs {t}");
     }
+}
 
-    /// Isentropic compression then expansion by the same ratio is the
-    /// identity (within the gas model's working range; the compressed
-    /// temperature must stay below the model's 3500 K ceiling).
-    #[test]
-    fn isentropic_invertible(t in 230.0f64..1600.0, pr in 1.01f64..30.0, far in 0.0f64..0.05) {
+/// Isentropic compression then expansion by the same ratio is the
+/// identity (within the gas model's working range; the compressed
+/// temperature must stay below the model's 3500 K ceiling).
+#[test]
+fn isentropic_invertible() {
+    let mut g = Gen::new(12);
+    for _ in 0..400 {
+        let t = g.range(230.0, 1600.0);
+        let pr = g.range(1.01, 30.0);
+        let far = g.range(0.0, 0.05);
         let up = isentropic_temperature(t, pr, far);
-        prop_assume!(up < 3400.0);
+        if up >= 3400.0 {
+            continue;
+        }
         let back = isentropic_temperature(up, 1.0 / pr, far);
-        prop_assert!((back - t).abs() < 1e-6);
-        prop_assert!(up > t, "compression heats");
+        assert!((back - t).abs() < 1e-6);
+        assert!(up > t, "compression heats");
     }
+}
 
-    /// Mixing conserves mass and enthalpy for arbitrary stream pairs.
-    #[test]
-    fn mixing_conserves(
-        w1 in 1.0f64..200.0, t1 in 250.0f64..2000.0, p1 in 0.5e5f64..3.0e6, far1 in 0.0f64..0.05,
-        w2 in 1.0f64..200.0, t2 in 250.0f64..2000.0, p2 in 0.5e5f64..3.0e6,
-    ) {
+/// Mixing conserves mass and enthalpy for arbitrary stream pairs.
+#[test]
+fn mixing_conserves() {
+    let mut g = Gen::new(13);
+    for _ in 0..400 {
+        let (w1, t1, p1, far1) = (
+            g.range(1.0, 200.0),
+            g.range(250.0, 2000.0),
+            g.range(0.5e5, 3.0e6),
+            g.range(0.0, 0.05),
+        );
+        let (w2, t2, p2) = (g.range(1.0, 200.0), g.range(250.0, 2000.0), g.range(0.5e5, 3.0e6));
         let a = GasState::new(w1, t1, p1, far1);
         let b = GasState::new(w2, t2, p2, 0.0);
         let m = a.mix_with(&b);
-        prop_assert!((m.w - (w1 + w2)).abs() < 1e-9);
+        assert!((m.w - (w1 + w2)).abs() < 1e-9);
         let h_in = a.w * a.h() + b.w * b.h();
         let h_out = m.w * m.h();
-        prop_assert!((h_in - h_out).abs() <= 1e-6 * h_in.abs().max(1.0));
-        prop_assert!(m.tt <= t1.max(t2) + 1e-9);
-        prop_assert!(m.tt >= t1.min(t2) - 1e-9);
+        assert!((h_in - h_out).abs() <= 1e-6 * h_in.abs().max(1.0));
+        assert!(m.tt <= t1.max(t2) + 1e-9);
+        assert!(m.tt >= t1.min(t2) - 1e-9);
     }
+}
 
-    /// Bilinear interpolation stays within the envelope of its corner
-    /// values.
-    #[test]
-    fn table_interpolation_bounded(
-        vals in proptest::collection::vec(-100.0f64..100.0, 4),
-        r in 0.0f64..1.0,
-        c in 0.0f64..1.0,
-    ) {
+/// Bilinear interpolation stays within the envelope of its corner values.
+#[test]
+fn table_interpolation_bounded() {
+    let mut g = Gen::new(14);
+    for _ in 0..400 {
+        let vals: Vec<f64> = (0..4).map(|_| g.range(-100.0, 100.0)).collect();
+        let r = g.unit();
+        let c = g.unit();
         let t = Table2D::new(
             vec![0.0, 1.0],
             vec![0.0, 1.0],
             vec![vec![vals[0], vals[1]], vec![vals[2], vals[3]]],
-        ).unwrap();
+        )
+        .unwrap();
         let v = t.lookup(r, c).unwrap();
         let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
+}
 
-    /// Synthetic compressor maps are well-behaved over their whole grid:
-    /// finite, PR > 1, efficiency in (0, 1).
-    #[test]
-    fn compressor_map_lookup_total(
-        wc in 10.0f64..200.0,
-        pr in 1.5f64..20.0,
-        eff in 0.7f64..0.92,
-        nc in 0.4f64..1.12,
-        beta in 0.0f64..1.0,
-    ) {
+/// Synthetic compressor maps are well-behaved over their whole grid:
+/// finite, PR > 1, efficiency in (0, 1).
+#[test]
+fn compressor_map_lookup_total() {
+    let mut g = Gen::new(15);
+    for _ in 0..200 {
+        let wc = g.range(10.0, 200.0);
+        let pr = g.range(1.5, 20.0);
+        let eff = g.range(0.7, 0.92);
+        let nc = g.range(0.4, 1.12);
+        let beta = g.unit();
         let m = CompressorMap::synthetic("m", wc, pr, eff);
         let p = m.lookup(nc, beta).unwrap();
-        prop_assert!(p.wc.is_finite() && p.wc > 0.0);
-        prop_assert!(p.pr > 1.0);
-        prop_assert!(p.eff > 0.0 && p.eff < 1.0);
+        assert!(p.wc.is_finite() && p.wc > 0.0);
+        assert!(p.pr > 1.0);
+        assert!(p.eff > 0.0 && p.eff < 1.0);
     }
+}
 
-    /// Map files round-trip through text for random design parameters.
-    #[test]
-    fn map_files_round_trip(
-        wc in 10.0f64..200.0,
-        er in 1.5f64..6.0,
-        eff in 0.75f64..0.92,
-    ) {
+/// Map files round-trip through text for random design parameters.
+#[test]
+fn map_files_round_trip() {
+    let mut g = Gen::new(16);
+    for _ in 0..100 {
+        let wc = g.range(10.0, 200.0);
+        let er = g.range(1.5, 6.0);
+        let eff = g.range(0.75, 0.92);
         let t = TurbineMap::synthetic("t", wc, er, eff);
         let back = TurbineMap::from_map_file(&t.to_map_file()).unwrap();
         let a = t.lookup(0.95, er).unwrap();
         let b = back.lookup(0.95, er).unwrap();
-        prop_assert!((a.wc - b.wc).abs() < 1e-6);
-        prop_assert!((a.eff - b.eff).abs() < 1e-6);
+        assert!((a.wc - b.wc).abs() < 1e-6);
+        assert!((a.eff - b.eff).abs() < 1e-6);
     }
+}
 
-    /// Schedules stay within the envelope of their breakpoint values and
-    /// hit every breakpoint exactly.
-    #[test]
-    fn schedule_envelope(
-        pts in proptest::collection::vec((0.0f64..100.0, -50.0f64..50.0), 1..8),
-        t in -10.0f64..110.0,
-    ) {
-        // Sort and dedup times to build a valid schedule.
-        let mut pts = pts;
+/// Schedules stay within the envelope of their breakpoint values and hit
+/// every breakpoint exactly.
+#[test]
+fn schedule_envelope() {
+    let mut g = Gen::new(17);
+    for _ in 0..400 {
+        let mut pts: Vec<(f64, f64)> =
+            (0..1 + g.below(7)).map(|_| (g.range(0.0, 100.0), g.range(-50.0, 50.0))).collect();
+        let t = g.range(-10.0, 110.0);
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
         let s = Schedule::new(pts.clone()).unwrap();
         let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let v = s.at(t);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
         for (bt, bv) in &pts {
-            prop_assert!((s.at(*bt) - bv).abs() < 1e-12);
+            assert!((s.at(*bt) - bv).abs() < 1e-12);
         }
     }
+}
 
-    /// Stage stacks calibrate to arbitrary reasonable targets and their
-    /// stage chain is always consistent.
-    #[test]
-    fn stage_stack_calibration_total(
-        n in 1usize..14,
-        pr in 1.3f64..16.0,
-        eff in 0.75f64..0.92,
-        tt in 280.0f64..700.0,
-    ) {
+/// Stage stacks calibrate to arbitrary reasonable targets and their stage
+/// chain is always consistent.
+#[test]
+fn stage_stack_calibration_total() {
+    let mut g = Gen::new(18);
+    for _ in 0..64 {
+        let n = 1 + g.below(13);
+        let pr = g.range(1.3, 16.0);
+        let eff = g.range(0.75, 0.92);
+        let tt = g.range(280.0, 700.0);
         let inlet = GasState::new(50.0, tt, 2.0 * gas::P_STD, 0.0);
         let stack = StageStack::calibrate(n, &inlet, pr, eff).unwrap();
         let states = stack.analyze(&inlet, 1.0).unwrap();
         let (got_pr, got_eff) = stack.overall(&states);
-        prop_assert!((got_pr - pr).abs() / pr < 1e-4, "pr {got_pr} vs {pr}");
-        prop_assert!((got_eff - eff).abs() < 5e-3, "eff {got_eff} vs {eff}");
+        assert!((got_pr - pr).abs() / pr < 1e-4, "pr {got_pr} vs {pr}");
+        assert!((got_eff - eff).abs() < 5e-3, "eff {got_eff} vs {eff}");
         for w in states.windows(2) {
-            prop_assert!((w[0].tt_out - w[1].tt_in).abs() < 1e-9);
-            prop_assert!((w[0].pt_out - w[1].pt_in).abs() < 1e-9);
+            assert!((w[0].tt_out - w[1].tt_in).abs() < 1e-9);
+            assert!((w[0].pt_out - w[1].pt_in).abs() < 1e-9);
         }
     }
 }

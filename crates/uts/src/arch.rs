@@ -9,10 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Integer representation of an architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IntRepr {
     /// 32-bit two's complement, big-endian byte order.
     I32Big,
@@ -34,7 +32,7 @@ impl IntRepr {
 }
 
 /// Floating-point format family of an architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FloatRepr {
     /// IEEE-754, big-endian byte order (SPARC, MIPS, POWER).
     IeeeBig,
@@ -52,7 +50,7 @@ pub enum FloatRepr {
 }
 
 /// The case a machine's Fortran compiler forces on external names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FortranCase {
     /// Names are folded to lower case (most compilers).
     Lower,
@@ -71,7 +69,7 @@ impl FortranCase {
 }
 
 /// A machine architecture from the NPSS test environment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Architecture {
     /// Sun SPARCstation 10 — big-endian IEEE workstation.
     SunSparc10,

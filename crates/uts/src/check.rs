@@ -93,10 +93,7 @@ pub fn check_call_args(spec: &ProcSpec, args: &[Value]) -> Result<()> {
     }
     for (p, v) in inputs.iter().zip(args) {
         v.expect_type(&p.ty).map_err(|e| {
-            Error::SignatureMismatch(format!(
-                "argument \"{}\" of '{}': {e}",
-                p.name, spec.name
-            ))
+            Error::SignatureMismatch(format!("argument \"{}\" of '{}': {e}", p.name, spec.name))
         })?;
     }
     Ok(())
@@ -116,10 +113,7 @@ pub fn check_call_results(spec: &ProcSpec, results: &[Value]) -> Result<()> {
     }
     for (p, v) in outputs.iter().zip(results) {
         v.expect_type(&p.ty).map_err(|e| {
-            Error::SignatureMismatch(format!(
-                "result \"{}\" of '{}': {e}",
-                p.name, spec.name
-            ))
+            Error::SignatureMismatch(format!("result \"{}\" of '{}': {e}", p.name, spec.name))
         })?;
     }
     Ok(())
@@ -152,10 +146,7 @@ export shaft prog(
         let imp = export(&SHAFT.replace("export", "import"));
         let checked = check_import_against_export(&imp, &exp).unwrap();
         assert!(checked.exact);
-        assert_eq!(
-            checked.export_to_import,
-            (0..8).map(Some).collect::<Vec<_>>()
-        );
+        assert_eq!(checked.export_to_import, (0..8).map(Some).collect::<Vec<_>>());
     }
 
     #[test]

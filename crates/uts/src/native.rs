@@ -189,12 +189,7 @@ pub mod vax {
         let sign = u16::from(x.is_sign_negative());
         let word0: u16 = (sign << 15) | ((e as u16) << 7) | ((frac >> 16) as u16);
         let word1: u16 = (frac & 0xFFFF) as u16;
-        Ok([
-            (word0 & 0xFF) as u8,
-            (word0 >> 8) as u8,
-            (word1 & 0xFF) as u8,
-            (word1 >> 8) as u8,
-        ])
+        Ok([(word0 & 0xFF) as u8, (word0 >> 8) as u8, (word1 & 0xFF) as u8, (word1 >> 8) as u8])
     }
 
     /// Decode VAX F_floating bytes into an `f32`.
@@ -300,7 +295,12 @@ pub mod vax {
 
 /// Append the native encoding of `value` (which must conform to `ty`) for
 /// the given architecture to `out`.
-pub fn encode_native(value: &Value, ty: &Type, arch: Architecture, out: &mut Vec<u8>) -> Result<()> {
+pub fn encode_native(
+    value: &Value,
+    ty: &Type,
+    arch: Architecture,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     value.expect_type(ty)?;
     encode_native_unchecked(value, arch, out)
 }
@@ -442,10 +442,7 @@ pub fn decode_native(buf: &[u8], ty: &Type, arch: Architecture) -> Result<Value>
     let mut cursor = buf;
     let v = decode_native_inner(&mut cursor, ty, arch)?;
     if !cursor.is_empty() {
-        return Err(Error::Wire(format!(
-            "{} trailing native bytes on {arch}",
-            cursor.len()
-        )));
+        return Err(Error::Wire(format!("{} trailing native bytes on {arch}", cursor.len())));
     }
     Ok(v)
 }
@@ -708,9 +705,8 @@ mod tests {
 
     #[test]
     fn through_native_convex_exact_in_range() {
-        let ty = Type::Record {
-            fields: vec![("f".into(), Type::Float), ("d".into(), Type::Double)],
-        };
+        let ty =
+            Type::Record { fields: vec![("f".into(), Type::Float), ("d".into(), Type::Double)] };
         let v = Value::Record(vec![
             ("f".into(), Value::Float(0.125)),
             ("d".into(), Value::Double(98.6)),

@@ -31,13 +31,11 @@
 //! migration: it lists the state variables whose values are packaged
 //! through UTS when a procedure instance is moved between machines.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Error, Result};
 use crate::types::{ParamMode, Type};
 
 /// Whether a declaration offers a procedure or consumes one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// `export`: this side implements the procedure.
     Export,
@@ -46,7 +44,7 @@ pub enum Direction {
 }
 
 /// One named, moded, typed parameter of a procedure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Parameter {
     /// The quoted parameter name from the spec.
     pub name: String,
@@ -57,7 +55,7 @@ pub struct Parameter {
 }
 
 /// A parsed `export`/`import` declaration for one procedure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcSpec {
     /// Export or import.
     pub direction: Direction,
@@ -83,11 +81,8 @@ impl ProcSpec {
 
     /// A canonical textual signature used for equality diagnostics.
     pub fn signature(&self) -> String {
-        let parts: Vec<String> = self
-            .params
-            .iter()
-            .map(|p| format!("\"{}\" {} {}", p.name, p.mode, p.ty))
-            .collect();
+        let parts: Vec<String> =
+            self.params.iter().map(|p| format!("\"{}\" {} {}", p.name, p.mode, p.ty)).collect();
         format!("prog({})", parts.join(", "))
     }
 
@@ -100,11 +95,8 @@ impl ProcSpec {
         };
         let mut out = format!("{dir} {} {}", self.name, self.signature());
         if !self.state.is_empty() {
-            let parts: Vec<String> = self
-                .state
-                .iter()
-                .map(|(n, t)| format!("\"{n}\" {t}"))
-                .collect();
+            let parts: Vec<String> =
+                self.state.iter().map(|(n, t)| format!("\"{n}\" {t}")).collect();
             out.push_str(&format!(" state({})", parts.join(", ")));
         }
         out
@@ -112,7 +104,7 @@ impl ProcSpec {
 }
 
 /// All declarations parsed from one specification file.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpecFile {
     /// Declarations in file order.
     pub decls: Vec<ProcSpec>,
@@ -286,11 +278,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err_at(&self, msg: impl Into<String>) -> Error {
-        Error::Parse {
-            line: self.lookahead.line,
-            col: self.lookahead.col,
-            msg: msg.into(),
-        }
+        Error::Parse { line: self.lookahead.line, col: self.lookahead.col, msg: msg.into() }
     }
 
     fn advance(&mut self) -> Result<Token> {
@@ -459,9 +447,9 @@ impl<'a> Parser<'a> {
                     decls.push(self.parse_decl(Direction::Import)?);
                 }
                 other => {
-                    return Err(self.err_at(format!(
-                        "expected 'export' or 'import', found {other:?}"
-                    )))
+                    return Err(
+                        self.err_at(format!("expected 'export' or 'import', found {other:?}"))
+                    )
                 }
             }
         }
@@ -638,8 +626,8 @@ import probe prog()
 
     #[test]
     fn signature_rendering() {
-        let file = parse_spec_file(r#"export f prog("x" val array[2] of float, "y" res double)"#)
-            .unwrap();
+        let file =
+            parse_spec_file(r#"export f prog("x" val array[2] of float, "y" res double)"#).unwrap();
         assert_eq!(
             file.decls[0].signature(),
             "prog(\"x\" val array[2] of float, \"y\" res double)"

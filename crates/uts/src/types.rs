@@ -9,10 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A UTS type as written in a specification file.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// 32-bit signed integer on the wire. Architectures whose native
     /// integer is wider (the Cray's 64-bit word) must range-check on encode.
@@ -106,7 +104,7 @@ impl fmt::Display for Type {
 ///
 /// `val` parameters travel caller→callee, `res` parameters callee→caller,
 /// and `var` (value/result) parameters travel both ways.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParamMode {
     /// Input only.
     Val,
@@ -164,9 +162,8 @@ mod tests {
 
     #[test]
     fn display_record() {
-        let t = Type::Record {
-            fields: vec![("x".into(), Type::Double), ("n".into(), Type::Integer)],
-        };
+        let t =
+            Type::Record { fields: vec![("x".into(), Type::Double), ("n".into(), Type::Integer)] };
         assert_eq!(t.to_string(), "record (\"x\" double, \"n\" integer) end");
     }
 
@@ -194,13 +191,10 @@ mod tests {
     #[test]
     fn fixed_wire_size_structured() {
         assert_eq!(arr(4, Type::Float).fixed_wire_size(), Some(16));
-        let rec = Type::Record {
-            fields: vec![("a".into(), Type::Double), ("b".into(), Type::Integer)],
-        };
+        let rec =
+            Type::Record { fields: vec![("a".into(), Type::Double), ("b".into(), Type::Integer)] };
         assert_eq!(rec.fixed_wire_size(), Some(12));
-        let with_string = Type::Record {
-            fields: vec![("a".into(), Type::String)],
-        };
+        let with_string = Type::Record { fields: vec![("a".into(), Type::String)] };
         assert_eq!(with_string.fixed_wire_size(), None);
         assert_eq!(arr(3, Type::String).fixed_wire_size(), None);
     }

@@ -61,10 +61,7 @@ impl Value {
         if self.conforms_to(ty) {
             Ok(())
         } else {
-            Err(Error::TypeMismatch {
-                expected: ty.describe(),
-                found: self.describe(),
-            })
+            Err(Error::TypeMismatch { expected: ty.describe(), found: self.describe() })
         }
     }
 
@@ -98,12 +95,9 @@ impl Value {
             Type::Array { len, elem } => {
                 Value::Array((0..*len).map(|_| Value::zero_of(elem)).collect())
             }
-            Type::Record { fields } => Value::Record(
-                fields
-                    .iter()
-                    .map(|(n, t)| (n.clone(), Value::zero_of(t)))
-                    .collect(),
-            ),
+            Type::Record { fields } => {
+                Value::Record(fields.iter().map(|(n, t)| (n.clone(), Value::zero_of(t))).collect())
+            }
         }
     }
 
@@ -229,18 +223,13 @@ mod tests {
 
     #[test]
     fn conformance_record_checks_names_and_order() {
-        let t = Type::Record {
-            fields: vec![("a".into(), Type::Integer), ("b".into(), Type::Double)],
-        };
-        let good = Value::Record(vec![
-            ("a".into(), Value::Integer(1)),
-            ("b".into(), Value::Double(2.0)),
-        ]);
+        let t =
+            Type::Record { fields: vec![("a".into(), Type::Integer), ("b".into(), Type::Double)] };
+        let good =
+            Value::Record(vec![("a".into(), Value::Integer(1)), ("b".into(), Value::Double(2.0))]);
         assert!(good.conforms_to(&t));
-        let reordered = Value::Record(vec![
-            ("b".into(), Value::Double(2.0)),
-            ("a".into(), Value::Integer(1)),
-        ]);
+        let reordered =
+            Value::Record(vec![("b".into(), Value::Double(2.0)), ("a".into(), Value::Integer(1))]);
         assert!(!reordered.conforms_to(&t));
     }
 

@@ -1,104 +1,128 @@
-//! Property-based tests for the UTS conversion pipeline.
-
-use proptest::prelude::*;
+//! Randomized tests of the UTS conversion pipeline.
+//!
+//! These were property-based tests; they now draw their cases from a
+//! deterministic SplitMix64 generator so the sweep needs no external
+//! crates and replays identically on every run.
 
 use uts::native::{cray, decode_native, encode_native, through_native, vax};
 use uts::wire::{WireReader, WireWriter};
 use uts::{Architecture, Type, Value};
 
-/// Strategy for a type tree of bounded depth with no strings (used where a
-/// fixed wire size matters) or with strings.
-fn arb_type(allow_string: bool) -> impl Strategy<Value = Type> {
-    let leaf = if allow_string {
-        prop_oneof![
-            Just(Type::Integer),
-            Just(Type::Float),
-            Just(Type::Double),
-            Just(Type::Byte),
-            Just(Type::Boolean),
-            Just(Type::String),
-        ]
-        .boxed()
-    } else {
-        prop_oneof![
-            Just(Type::Integer),
-            Just(Type::Float),
-            Just(Type::Double),
-            Just(Type::Byte),
-            Just(Type::Boolean),
-        ]
-        .boxed()
-    };
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (1usize..5, inner.clone())
-                .prop_map(|(len, elem)| Type::Array { len, elem: Box::new(elem) }),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 1..4).prop_map(|fields| {
-                // Deduplicate field names to keep the type well-formed.
-                let mut seen = std::collections::HashSet::new();
-                let fields = fields
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (n, t))| {
-                        let name = if seen.insert(n.clone()) { n } else { format!("{n}{i}") };
-                        (name, t)
-                    })
-                    .collect();
-                Type::Record { fields }
-            }),
-        ]
-    })
-}
+/// Deterministic case generator.
+struct Gen(u64);
 
-/// Generate a value conforming to `ty`, with numeric magnitudes kept within
-/// the VAX range so every architecture can represent them.
-fn arb_value_of(ty: &Type) -> BoxedStrategy<Value> {
-    match ty {
-        Type::Integer => (i32::MIN..=i32::MAX).prop_map(|i| Value::Integer(i as i64)).boxed(),
-        Type::Float => (-1.0e30f32..1.0e30).prop_map(Value::Float).boxed(),
-        Type::Double => (-1.0e30f64..1.0e30).prop_map(Value::Double).boxed(),
-        Type::Byte => any::<u8>().prop_map(Value::Byte).boxed(),
-        Type::Boolean => any::<bool>().prop_map(Value::Boolean).boxed(),
-        Type::String => "[ -~]{0,20}".prop_map(Value::String).boxed(),
-        Type::Array { len, elem } => {
-            proptest::collection::vec(arb_value_of(elem), *len).prop_map(Value::Array).boxed()
-        }
-        Type::Record { fields } => {
-            let strategies: Vec<BoxedStrategy<(String, Value)>> = fields
-                .iter()
-                .map(|(n, t)| {
-                    let name = n.clone();
-                    arb_value_of(t).prop_map(move |v| (name.clone(), v)).boxed()
-                })
-                .collect();
-            strategies.prop_map(Value::Record).boxed()
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Log-uniform magnitude with a random sign: `±10^[lo_exp, hi_exp)`.
+    fn signed_mag(&mut self, lo_exp: f64, hi_exp: f64) -> f64 {
+        let mag = 10f64.powf(self.range(lo_exp, hi_exp));
+        if self.flag() {
+            mag
+        } else {
+            -mag
         }
     }
 }
 
-fn arb_typed_value(allow_string: bool) -> impl Strategy<Value = (Type, Value)> {
-    arb_type(allow_string).prop_flat_map(|ty| {
-        let t2 = ty.clone();
-        arb_value_of(&ty).prop_map(move |v| (t2.clone(), v))
-    })
+/// A random type tree of bounded depth, optionally including strings
+/// (excluded where a fixed wire size matters).
+fn gen_type(g: &mut Gen, depth: usize, allow_string: bool) -> Type {
+    let scalars = if allow_string { 6 } else { 5 };
+    let choices = if depth == 0 { scalars } else { scalars + 2 };
+    match g.below(choices) {
+        0 => Type::Integer,
+        1 => Type::Float,
+        2 => Type::Double,
+        3 => Type::Byte,
+        4 => Type::Boolean,
+        5 if allow_string => Type::String,
+        n if n == scalars => Type::Array {
+            len: 1 + g.below(4),
+            elem: Box::new(gen_type(g, depth - 1, allow_string)),
+        },
+        _ => Type::Record {
+            fields: (0..1 + g.below(3))
+                .map(|i| (format!("f{i}"), gen_type(g, depth - 1, allow_string)))
+                .collect(),
+        },
+    }
 }
 
-proptest! {
-    /// Any well-typed value survives the wire format unchanged.
-    #[test]
-    fn wire_round_trip((ty, v) in arb_typed_value(true)) {
+/// A value conforming to `ty`, with numeric magnitudes kept within the
+/// VAX range so every architecture can represent them.
+fn gen_value(g: &mut Gen, ty: &Type) -> Value {
+    match ty {
+        Type::Integer => Value::Integer(g.next_u64() as u32 as i32 as i64),
+        Type::Float => Value::Float(g.range(-1.0e30, 1.0e30) as f32),
+        Type::Double => Value::Double(g.range(-1.0e30, 1.0e30)),
+        Type::Byte => Value::Byte(g.below(256) as u8),
+        Type::Boolean => Value::Boolean(g.flag()),
+        Type::String => {
+            let len = g.below(21);
+            Value::String((0..len).map(|_| (0x20 + g.below(95) as u8) as char).collect())
+        }
+        Type::Array { len, elem } => Value::Array((0..*len).map(|_| gen_value(g, elem)).collect()),
+        Type::Record { fields } => {
+            Value::Record(fields.iter().map(|(n, t)| (n.clone(), gen_value(g, t))).collect())
+        }
+    }
+}
+
+fn gen_typed_value(g: &mut Gen, allow_string: bool) -> (Type, Value) {
+    let ty = gen_type(g, 3, allow_string);
+    let v = gen_value(g, &ty);
+    (ty, v)
+}
+
+/// Any well-typed value survives the wire format unchanged.
+#[test]
+fn wire_round_trip() {
+    let mut g = Gen::new(1);
+    for _ in 0..200 {
+        let (ty, v) = gen_typed_value(&mut g, true);
         let mut w = WireWriter::new();
         w.put(&v, &ty).unwrap();
         let mut r = WireReader::new(w.finish());
         let back = r.get(&ty).unwrap();
-        prop_assert_eq!(back, v);
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(back, v);
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    /// On architectures whose formats are IEEE, passing through the native
-    /// representation is the identity.
-    #[test]
-    fn native_identity_on_ieee((ty, v) in arb_typed_value(true)) {
+/// On architectures whose formats are IEEE, passing through the native
+/// representation is the identity.
+#[test]
+fn native_identity_on_ieee() {
+    let mut g = Gen::new(2);
+    for _ in 0..200 {
+        let (ty, v) = gen_typed_value(&mut g, true);
         for arch in [
             Architecture::SunSparc10,
             Architecture::Sgi4D,
@@ -106,14 +130,18 @@ proptest! {
             Architecture::IntelI860,
             Architecture::Cm5Node,
         ] {
-            prop_assert_eq!(through_native(&v, &ty, arch).unwrap(), v.clone());
+            assert_eq!(through_native(&v, &ty, arch).unwrap(), v);
         }
     }
+}
 
-    /// Native encode/decode round-trips byte-exactly on every architecture
-    /// for values every architecture can hold (range-limited generator).
-    #[test]
-    fn native_decode_inverts_encode((ty, v) in arb_typed_value(true)) {
+/// Native encode/decode round-trips byte-exactly on every architecture
+/// for values every architecture can hold (range-limited generator).
+#[test]
+fn native_decode_inverts_encode() {
+    let mut g = Gen::new(3);
+    for _ in 0..200 {
+        let (ty, v) = gen_typed_value(&mut g, true);
         for arch in Architecture::ALL {
             let first = through_native(&v, &ty, arch).unwrap();
             // A second pass must be a fixed point: precision loss happens
@@ -121,67 +149,94 @@ proptest! {
             let mut buf = Vec::new();
             encode_native(&first, &ty, arch, &mut buf).unwrap();
             let second = decode_native(&buf, &ty, arch).unwrap();
-            prop_assert_eq!(second, first, "arch={}", arch);
+            assert_eq!(second, first, "arch={arch}");
         }
     }
+}
 
-    /// The Cray codec is exact for every f32 (24-bit significands fit the
-    /// 48-bit Cray mantissa).
-    #[test]
-    fn cray_exact_for_f32(x in any::<f32>()) {
-        prop_assume!(x.is_finite());
+/// The Cray codec is exact for every f32 (24-bit significands fit the
+/// 48-bit Cray mantissa).
+#[test]
+fn cray_exact_for_f32() {
+    let mut g = Gen::new(4);
+    let mut tested = 0;
+    while tested < 400 {
+        let x = f32::from_bits(g.next_u64() as u32);
+        if !x.is_finite() {
+            continue;
+        }
+        tested += 1;
         let w = cray::encode(x as f64).unwrap();
         let back = cray::decode(w).unwrap();
-        prop_assert_eq!(back as f32, x);
+        assert_eq!(back as f32, x);
     }
+}
 
-    /// Cray round-trip of f64 is within one unit of the 48th mantissa bit.
-    #[test]
-    fn cray_f64_error_bounded(x in -1.0e300f64..1.0e300) {
+/// Cray round-trip of f64 is within one unit of the 48th mantissa bit.
+#[test]
+fn cray_f64_error_bounded() {
+    let mut g = Gen::new(5);
+    assert_eq!(cray::decode(cray::encode(0.0).unwrap()).unwrap(), 0.0);
+    for _ in 0..400 {
+        let x = g.signed_mag(-250.0, 250.0);
         let w = cray::encode(x).unwrap();
         let back = cray::decode(w).unwrap();
-        if x == 0.0 {
-            prop_assert_eq!(back, 0.0);
-        } else {
-            prop_assert!(((back - x) / x).abs() <= 2f64.powi(-47));
-        }
+        assert!(((back - x) / x).abs() <= 2f64.powi(-47), "{back} vs {x}");
     }
+}
 
-    /// The Cray encoding preserves ordering (it is sign-magnitude with a
-    /// biased exponent, so the word ordering matches numeric ordering for
-    /// positive values).
-    #[test]
-    fn cray_order_preserving(a in 1.0e-30f64..1.0e30, b in 1.0e-30f64..1.0e30) {
+/// The Cray encoding preserves ordering (it is sign-magnitude with a
+/// biased exponent, so the word ordering matches numeric ordering for
+/// positive values).
+#[test]
+fn cray_order_preserving() {
+    let mut g = Gen::new(6);
+    for _ in 0..400 {
+        let a = 10f64.powf(g.range(-30.0, 30.0));
+        let b = 10f64.powf(g.range(-30.0, 30.0));
         let wa = cray::encode(a).unwrap();
         let wb = cray::encode(b).unwrap();
         let (da, db) = (cray::decode(wa).unwrap(), cray::decode(wb).unwrap());
         if da < db {
-            prop_assert!(wa < wb);
+            assert!(wa < wb);
         } else if da > db {
-            prop_assert!(wa > wb);
+            assert!(wa > wb);
         }
     }
+}
 
-    /// VAX F is exact for all f32 within its exponent range.
-    #[test]
-    fn vax_f_exact_in_range(x in -1.0e38f32..1.0e38) {
-        prop_assume!(x == 0.0 || x.abs() >= 1.0e-37);
+/// VAX F is exact for all f32 within its exponent range.
+#[test]
+fn vax_f_exact_in_range() {
+    let mut g = Gen::new(7);
+    assert_eq!(vax::decode_f(vax::encode_f(0.0).unwrap()).unwrap(), 0.0);
+    for _ in 0..400 {
+        let x = g.signed_mag(-36.0, 37.5) as f32;
         let b = vax::encode_f(x).unwrap();
-        prop_assert_eq!(vax::decode_f(b).unwrap(), x);
+        assert_eq!(vax::decode_f(b).unwrap(), x);
     }
+}
 
-    /// VAX D is exact for all f64 within its exponent range.
-    #[test]
-    fn vax_d_exact_in_range(x in -1.0e38f64..1.0e38) {
-        prop_assume!(x == 0.0 || x.abs() >= 1.0e-37);
+/// VAX D is exact for all f64 within its exponent range.
+#[test]
+fn vax_d_exact_in_range() {
+    let mut g = Gen::new(8);
+    assert_eq!(vax::decode_d(vax::encode_d(0.0).unwrap()).unwrap(), 0.0);
+    for _ in 0..400 {
+        let x = g.signed_mag(-36.0, 38.0);
         let b = vax::encode_d(x).unwrap();
-        prop_assert_eq!(vax::decode_d(b).unwrap(), x);
+        assert_eq!(vax::decode_d(b).unwrap(), x);
     }
+}
 
-    /// Decoding random bytes as wire data either fails cleanly or yields a
-    /// value that re-encodes without panicking (no UB, no panic on garbage).
-    #[test]
-    fn wire_decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Decoding random bytes as wire data either fails cleanly or yields a
+/// value that re-encodes without panicking (no UB, no panic on garbage).
+#[test]
+fn wire_decoder_total_on_garbage() {
+    let mut g = Gen::new(9);
+    for _ in 0..400 {
+        let len = g.below(64);
+        let bytes: Vec<u8> = (0..len).map(|_| g.below(256) as u8).collect();
         let mut r = WireReader::new(bytes::Bytes::from(bytes));
         if let Ok(v) = r.get_any() {
             let mut w = WireWriter::new();

@@ -61,10 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== Where the remote computations ran ==\n");
-    println!(
-        "{:<18} {:<16} {:>8} {:>14}",
-        "module", "location", "calls", "sim seconds"
-    );
+    println!("{:<18} {:<16} {:>8} {:>14}", "module", "location", "calls", "sim seconds");
     for row in net.report() {
         println!(
             "{:<18} {:<16} {:>8} {:>14.3}",

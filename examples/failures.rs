@@ -1,33 +1,50 @@
 //! Testing operation of the engine in the presence of failures.
 //!
 //! The simulation-executive goal list includes testing "operation of the
-//! engine in the presence of failures". This example flies the balanced
-//! F100 at a steady throttle and injects three failures in sequence —
-//! combustor degradation, a bleed valve stuck open, and fan damage —
-//! showing the spool and thrust response to each.
+//! engine in the presence of failures". This example exercises failures
+//! at all three layers of the reproduction:
+//!
+//! 1. **Physics** — the balanced F100 at a steady throttle with injected
+//!    component failures (combustor degradation, stuck bleed, fan damage);
+//! 2. **Network** — a remote call surviving a timed partition through an
+//!    idempotent [`CallPolicy`] with exponential backoff in virtual time;
+//! 3. **Distribution** — an engine transient whose remote combustor host
+//!    dies mid-run: the call policy exhausts, the executor degrades to the
+//!    original local-compute-only version, and the transient completes —
+//!    with the switch recorded in the trace.
 //!
 //! Run with: `cargo run --release --example failures`
 
+use npss_sim::netsim::FaultPlan;
+use npss_sim::npss::procs::combustor_image;
+use npss_sim::npss::{ExecutiveEngine, LocalExec, RemoteExec};
+use npss_sim::schooner::{CallPolicy, FnProcedure, ProgramImage, Schooner};
 use npss_sim::tess::engine::Turbofan;
 use npss_sim::tess::schedules::Schedule;
 use npss_sim::tess::transient::{FailureEvent, TransientMethod, TransientRun};
+use npss_sim::uts::Value;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    physics_failures()?;
+    partition_survival()?;
+    degraded_transient()?;
+    Ok(())
+}
+
+/// Part 1: component failures inside the engine model itself.
+fn physics_failures() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Turbofan::f100()?;
     let wf = 0.95 * engine.design.wf;
 
-    let mut run = TransientRun::new(
-        engine,
-        Schedule::constant(wf),
-        TransientMethod::RungeKutta4,
-        0.02,
-    )
-    .with_failure(0.5, FailureEvent::CombustorDegradation(0.90))
-    .with_failure(1.2, FailureEvent::BleedStuckOpen(0.08))
-    .with_failure(1.9, FailureEvent::FanDamage(-5.0));
+    let mut run =
+        TransientRun::new(engine, Schedule::constant(wf), TransientMethod::RungeKutta4, 0.02)
+            .with_failure(0.5, FailureEvent::CombustorDegradation(0.90))
+            .with_failure(1.2, FailureEvent::BleedStuckOpen(0.08))
+            .with_failure(1.9, FailureEvent::FanDamage(-5.0));
 
     let result = run.run(2.6).map_err(to_err)?;
 
+    println!("== part 1: engine-physics failures ==\n");
     println!("F100 at constant fuel {wf:.3} kg/s with injected failures:\n");
     println!("  t = 0.5 s  combustor efficiency x0.90");
     println!("  t = 1.2 s  bleed valve stuck open at 8%");
@@ -54,13 +71,118 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "\nnet effect: thrust {:.1} kN -> {:.1} kN",
+        "\nnet effect: thrust {:.1} kN -> {:.1} kN\n",
         result.samples[0].thrust / 1e3,
         result.last().thrust / 1e3
     );
     Ok(())
 }
 
+/// Part 2: a remote call rides out a timed network partition.
+fn partition_survival() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== part 2: surviving a timed partition ==\n");
+
+    let sch = Schooner::standard().map_err(to_err2)?;
+    sch.ctx().trace.set_enabled(true);
+    let image = ProgramImage::new("cal", r#"export cal prog("x" val float, "y" res float)"#)
+        .map_err(to_err2)?
+        .with_procedure("cal", || {
+            Box::new(FnProcedure::new(|args: &[Value]| {
+                let x = match args[0] {
+                    Value::Float(x) => x,
+                    _ => return Err("bad arg".into()),
+                };
+                Ok(vec![Value::Float(x * 1.8 + 32.0)])
+            }))
+        })
+        .map_err(to_err2)?;
+    sch.install_program("/x/cal", image, &["lerc-sgi-4d480"]).map_err(to_err2)?;
+    let mut line = sch.open_line("demo", "ua-sparc10").map_err(to_err2)?;
+    line.start_remote("/x/cal", "lerc-sgi-4d480").map_err(to_err2)?;
+
+    // Sever the Arizona site from the serving host for the next 2.5
+    // virtual seconds.
+    let t0 = line.now();
+    sch.ctx().net.set_fault_plan(Some(FaultPlan::new(0xF001).partition(
+        &["ua-sparc10"],
+        &["lerc-sgi-4d480"],
+        0.0,
+        t0 + 2.5,
+    )));
+    println!("partition: ua-sparc10 <-/-> lerc-sgi-4d480 until t = {:.2}s", t0 + 2.5);
+
+    let policy = CallPolicy::new().idempotent(true).retries(5).backoff(1.0, 2.0, 8.0);
+    let out = line.call_with("cal", &[Value::Float(100.0)], &policy).map_err(to_err2)?;
+    println!("cal(100) = {:?} after the partition healed at t = {:.2}s", out[0], line.now());
+
+    for event in sch.ctx().trace.render().lines().filter(|l| l.contains("retry")) {
+        println!("  trace: {event}");
+    }
+    sch.ctx().net.set_fault_plan(None);
+    sch.shutdown();
+    println!();
+    Ok(())
+}
+
+/// Part 3: the combustor host dies mid-transient; the executive degrades
+/// that one module to its local baseline and finishes the run.
+fn degraded_transient() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== part 3: transient completing through local-fallback degradation ==\n");
+
+    let sch = Schooner::standard().map_err(to_err2)?;
+    sch.ctx().trace.set_enabled(true);
+    sch.install_program("/npss/comb", combustor_image(), &["ua-sgi-4d340"]).map_err(to_err2)?;
+
+    let line = sch.open_line("combustor", "ua-sparc10").map_err(to_err2)?;
+    let policy = CallPolicy::new()
+        .idempotent(true)
+        .retries(2)
+        .backoff(0.2, 2.0, 2.0)
+        .degrade_on_exhaustion();
+    let exec = RemoteExec::start(line, "/npss/comb", "ua-sgi-4d340")?
+        .with_policy(policy)
+        .with_fallback(LocalExec::new(&combustor_image())?);
+
+    let mut engine = ExecutiveEngine::all_local(Turbofan::f100()?)?;
+    engine.set_remote("combustor", exec)?;
+    engine.setup()?;
+    let wf = engine.engine.design.wf;
+
+    // The remote host dies before the run starts; every combustor call
+    // would fail forever, so the policy exhausts once and the executor
+    // switches permanently to the local baseline.
+    sch.ctx().net.set_host_up("ua-sgi-4d340", false);
+    println!("ua-sgi-4d340 (remote combustor host) goes down; starting transient...");
+
+    let result = engine.run_transient(
+        &Schedule::constant(0.95 * wf),
+        TransientMethod::RungeKutta4,
+        0.02,
+        0.4,
+    )?;
+    println!(
+        "transient completed: {} samples, thrust {:.1} kN -> {:.1} kN",
+        result.samples.len(),
+        result.samples[0].thrust / 1e3,
+        result.last().thrust / 1e3
+    );
+
+    println!("\nexecutor report:");
+    for row in engine.report_rows() {
+        println!("  {:<18} {:<34} {:>6} calls", row.module, row.location, row.calls);
+    }
+    for event in sch.ctx().trace.render().lines().filter(|l| l.contains("degraded")) {
+        println!("\ntrace: {event}");
+    }
+    engine.shutdown();
+    sch.shutdown();
+    Ok(())
+}
+
 fn to_err(e: String) -> Box<dyn std::error::Error> {
     e.into()
+}
+
+fn to_err2(e: npss_sim::schooner::SchError) -> Box<dyn std::error::Error> {
+    e.to_string().into()
 }

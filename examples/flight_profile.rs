@@ -16,17 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Turbofan::f100()?;
     let wf = 0.95 * engine.design.wf;
 
-    let mut run = TransientRun::new(
-        engine,
-        Schedule::constant(wf),
-        TransientMethod::RungeKutta4,
-        0.02,
-    )
-    .with_flight_profile(
-        // Climb profile, compressed into 2 s of engine time.
-        Schedule::new(vec![(0.0, 0.0), (0.4, 0.0), (2.0, 6000.0)])?,
-        Schedule::new(vec![(0.0, 0.0), (0.4, 0.2), (2.0, 0.8)])?,
-    );
+    let mut run =
+        TransientRun::new(engine, Schedule::constant(wf), TransientMethod::RungeKutta4, 0.02)
+            .with_flight_profile(
+                // Climb profile, compressed into 2 s of engine time.
+                Schedule::new(vec![(0.0, 0.0), (0.4, 0.0), (2.0, 6000.0)])?,
+                Schedule::new(vec![(0.0, 0.0), (0.4, 0.2), (2.0, 0.8)])?,
+            );
 
     let result = run.run(2.0).map_err(to_err)?;
     println!("F100 climb: sea-level static -> 6 km / M 0.8 (constant fuel {wf:.3} kg/s)\n");

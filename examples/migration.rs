@@ -47,11 +47,7 @@ fn integrator_image() -> ProgramImage {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sch = Arc::new(Schooner::standard()?);
-    sch.install_program(
-        "/demo/integrator",
-        integrator_image(),
-        &["lerc-rs6000", "lerc-convex"],
-    )?;
+    sch.install_program("/demo/integrator", integrator_image(), &["lerc-rs6000", "lerc-convex"])?;
 
     // The owner starts the integrator as a *shared* procedure so a second
     // line can use it too.
@@ -71,13 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Load spikes on the RS6000 — time to move.
     sch.ctx().park.load().set("lerc-rs6000", 8.0);
     let busy = sch.ctx().park.load().get("lerc-rs6000");
-    let target = sch
-        .ctx()
-        .park
-        .load()
-        .least_loaded(["lerc-rs6000", "lerc-convex"])
-        .unwrap()
-        .to_owned();
+    let target =
+        sch.ctx().park.load().least_loaded(["lerc-rs6000", "lerc-convex"]).unwrap().to_owned();
     println!("RS6000 load is now {busy}; least-loaded candidate: {target}");
 
     println!("moving the integrator (state travels through UTS) ...");

@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Table 1: TESS and Schooner individual module tests ==\n");
     let cfg = table1::Table1Config::default();
-    println!(
-        "(steady-state balance + {:.1} s transient, {} method)\n",
-        cfg.t_end, cfg.method
-    );
+    println!("(steady-state balance + {:.1} s transient, {} method)\n", cfg.t_end, cfg.method);
     let rows = table1::run_table1(&sch, &cfg).map_err(to_err)?;
     println!("{}", table1::render_table1(&rows));
 

@@ -68,10 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .map_err(|e| e.to_string())?;
     println!("{:<16} {:<16} {:<34} {:>10}", "caller", "callee", "network", "ms/call");
     for c in costs {
-        println!(
-            "{:<16} {:<16} {:<34} {:>10.3}",
-            c.from, c.to, c.network, c.per_call_ms
-        );
+        println!("{:<16} {:<16} {:<34} {:>10.3}", c.from, c.to, c.network, c.per_call_ms);
     }
     Ok(())
 }

@@ -1,0 +1,212 @@
+//! Minimal local implementation of the parts of the `criterion` bench
+//! harness this workspace uses, so benches build and run without
+//! registry access.
+//!
+//! This is a timing loop, not a statistics engine: each benchmark runs a
+//! fixed sample count and reports the mean wall-clock time per iteration.
+//! The API mirrors `criterion` 0.5 closely enough that the bench sources
+//! compile unchanged.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: u64,
+}
+
+impl Bencher {
+    /// Time `f`, reporting the mean over the sample count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        let mean = total / self.samples.max(1) as u32;
+        println!("    {:>12?} /iter over {} iters", mean, self.samples);
+    }
+}
+
+/// The bench context passed to each registered function.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for compatibility; sampling here is count-based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { c: self, sample_size: None }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let n = self.sample_size;
+        run_one(&id.into(), n, f);
+        self
+    }
+}
+
+/// A named set of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Accepted for compatibility; sampling here is count-based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), self.samples(), f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.into(), self.samples(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn samples(&self) -> u64 {
+        self.sample_size.unwrap_or(self.c.sample_size)
+    }
+}
+
+fn run_one(id: &BenchmarkId, samples: u64, mut f: impl FnMut(&mut Bencher)) {
+    println!("  bench: {}", id.label);
+    let mut b = Bencher { samples };
+    f(&mut b);
+}
+
+/// Collect bench functions into a runnable group, as `criterion` does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(1));
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| 2 * 2));
+        let mut hits = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(9), &9usize, |b, &n| {
+            hits += 1;
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(hits, 1);
+    }
+}

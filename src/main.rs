@@ -72,10 +72,7 @@ fn cmd_testbed() -> Result<(), String> {
     let sch = world()?;
     let ctx = sch.ctx();
     println!("The simulated NPSS testbed (NASA Lewis Research Center + U. of Arizona)\n");
-    println!(
-        "{:<16} {:<14} {:<12} {:>10}",
-        "host", "machine", "arch", "MFLOP/s"
-    );
+    println!("{:<16} {:<14} {:<12} {:>10}", "host", "machine", "arch", "MFLOP/s");
     for host in ctx.park.hosts() {
         let m = ctx.park.machine(host).expect("listed host");
         println!(
@@ -126,15 +123,9 @@ fn cmd_costs() -> Result<(), String> {
     let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
     let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
     let costs = fig1::measure_pair_costs(&sch, &refs, 10)?;
-    println!(
-        "{:<16} {:<16} {:<34} {:>10}",
-        "caller", "callee", "network", "ms/call"
-    );
+    println!("{:<16} {:<16} {:<34} {:>10}", "caller", "callee", "network", "ms/call");
     for c in costs {
-        println!(
-            "{:<16} {:<16} {:<34} {:>10.3}",
-            c.from, c.to, c.network, c.per_call_ms
-        );
+        println!("{:<16} {:<16} {:<34} {:>10.3}", c.from, c.to, c.network, c.per_call_ms);
     }
     Ok(())
 }

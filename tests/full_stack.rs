@@ -52,9 +52,7 @@ fn executive_all_local_matches_pure_tess_engine() {
     let reference = tess_run.run(0.3).unwrap();
 
     let mut exec = ExecutiveEngine::all_local(engine).unwrap();
-    let result = exec
-        .run_transient(&fuel, TransientMethod::ImprovedEuler, 0.02, 0.3)
-        .unwrap();
+    let result = exec.run_transient(&fuel, TransientMethod::ImprovedEuler, 0.02, 0.3).unwrap();
 
     for (a, b) in reference.samples.iter().zip(&result.samples) {
         let dn1 = (a.n1 - b.n1).abs() / a.n1;

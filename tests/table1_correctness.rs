@@ -38,11 +38,8 @@ fn table1_all_rows_converge_and_match() {
 
     // Cost ordering: Ethernet < building gateways < Internet (per call).
     let mean = |class: &str| {
-        let sel: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.network == class)
-            .map(|r| r.per_call_ms)
-            .collect();
+        let sel: Vec<f64> =
+            rows.iter().filter(|r| r.network == class).map(|r| r.per_call_ms).collect();
         sel.iter().sum::<f64>() / sel.len() as f64
     };
     let lan = mean("local Ethernet");

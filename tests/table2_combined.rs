@@ -13,11 +13,7 @@ fn table2_combined_test_matches_local_baseline() {
     let report = run_table2(&sch, &cfg).unwrap();
 
     // The paper's verification: results equal the local-only run.
-    assert!(
-        report.matches_local(),
-        "remote configuration deviates by {}",
-        report.max_rel_diff
-    );
+    assert!(report.matches_local(), "remote configuration deviates by {}", report.max_rel_diff);
 
     // Six remote module instances, grouped into the paper's four rows.
     assert_eq!(report.rows.iter().map(|r| r.instances).sum::<usize>(), 6);

@@ -77,6 +77,17 @@ struct LatencySpike {
     extra_s: f64,
 }
 
+/// A host crash: the host is down over `[at, restart)` and — unlike a
+/// flap — every process that was running on it loses its state. A crash
+/// with no matching [`FaultPlan::host_restart`] keeps the host down for
+/// the rest of the run (`restart == +inf`).
+#[derive(Debug, Clone)]
+struct HostCrash {
+    host: String,
+    at: f64,
+    restart: f64,
+}
+
 /// A pre-declared, seeded schedule of network faults.
 ///
 /// Build one with the chained constructors, then install it with
@@ -99,6 +110,7 @@ pub struct FaultPlan {
     partitions: Vec<Partition>,
     flaps: Vec<HostFlap>,
     spikes: Vec<LatencySpike>,
+    crashes: Vec<HostCrash>,
     /// Per-directed-pair ordinal of drop-eligible messages, so repeats of
     /// an identical send sequence see identical drops.
     counters: Mutex<HashMap<(String, String), u64>>,
@@ -133,10 +145,52 @@ impl FaultPlan {
         self
     }
 
-    /// Take `host` down over `[from, until)` virtual seconds.
+    /// Take `host` down over `[from, until)` virtual seconds. A flap is
+    /// *amnesia-free*: processes on the host keep their state and resume
+    /// answering when the window closes.
     pub fn host_flap(mut self, host: &str, from: f64, until: f64) -> Self {
         self.flaps.push(HostFlap { host: host.to_owned(), from, until });
         self
+    }
+
+    /// Crash `host` at virtual time `at`. Unlike [`host_flap`], a crash
+    /// destroys the state of every process on the host: even after a
+    /// matching [`host_restart`] brings the host back up, endpoints born
+    /// before the crash stay dead ([`crash_count`] lets the transport
+    /// fence them). Without a restart the host never comes back.
+    ///
+    /// [`host_flap`]: FaultPlan::host_flap
+    /// [`host_restart`]: FaultPlan::host_restart
+    /// [`crash_count`]: FaultPlan::crash_count
+    pub fn host_crash(mut self, host: &str, at: f64) -> Self {
+        self.crashes.push(HostCrash { host: host.to_owned(), at, restart: f64::INFINITY });
+        self
+    }
+
+    /// Bring a crashed host back up at virtual time `at`: closes the most
+    /// recent still-open crash window for `host`. The rebooted host is
+    /// empty — previously running processes do not come back with it.
+    pub fn host_restart(mut self, host: &str, at: f64) -> Self {
+        if let Some(c) = self
+            .crashes
+            .iter_mut()
+            .rev()
+            .find(|c| c.host == host && c.restart == f64::INFINITY && c.at <= at)
+        {
+            c.restart = at;
+        }
+        self
+    }
+
+    /// Number of crash windows for `host` that have *started* at or
+    /// before virtual time `t` (the window open boundary is inclusive,
+    /// matching [`check_send`]'s `[at, restart)` semantics). Two equal
+    /// counts taken at an endpoint's birth and at a send instant prove no
+    /// crash separated them.
+    ///
+    /// [`check_send`]: FaultPlan::check_send
+    pub fn crash_count(&self, host: &str, t: f64) -> u32 {
+        self.crashes.iter().filter(|c| c.host == host && t >= c.at).count() as u32
     }
 
     /// Stretch every transfer sent during `[from, until)`: the transfer
@@ -153,7 +207,23 @@ impl FaultPlan {
 
     /// Decide the fate of a message sent from `from_host` to `to_host` at
     /// virtual time `t`. `Ok(())` means the message goes through.
+    ///
+    /// Every fault window is **half-open**: a fault is active for
+    /// `t >= from && t < until`. A message sent at exactly `t == from`
+    /// sees the fault; one sent at exactly `t == until` sees a healed
+    /// network. Backing off to a window's `until` instant is therefore
+    /// always sufficient to clear it.
     pub fn check_send(&self, from_host: &str, to_host: &str, t: f64) -> Result<(), NetError> {
+        for c in &self.crashes {
+            if t >= c.at && t < c.restart {
+                if c.host == from_host {
+                    return Err(NetError::HostDown(from_host.to_owned()));
+                }
+                if c.host == to_host {
+                    return Err(NetError::HostDown(to_host.to_owned()));
+                }
+            }
+        }
         for flap in &self.flaps {
             if t >= flap.from && t < flap.until {
                 if flap.host == from_host {
@@ -260,6 +330,35 @@ mod tests {
             assert!(plan.check_send("a", "c", 0.0).is_ok());
         }
         assert!(plan.check_send("b", "a", 0.0).is_err(), "rule is symmetric");
+    }
+
+    #[test]
+    fn crash_without_restart_is_permanent() {
+        let plan = FaultPlan::new(1).host_crash("b", 2.0);
+        assert!(plan.check_send("a", "b", 1.9).is_ok());
+        assert!(matches!(plan.check_send("a", "b", 2.0), Err(NetError::HostDown(h)) if h == "b"));
+        assert!(matches!(plan.check_send("b", "a", 1e9), Err(NetError::HostDown(h)) if h == "b"));
+    }
+
+    #[test]
+    fn restart_closes_the_latest_open_crash() {
+        let plan = FaultPlan::new(1).host_crash("b", 2.0).host_restart("b", 3.0);
+        assert!(matches!(plan.check_send("a", "b", 2.5), Err(NetError::HostDown(_))));
+        assert!(plan.check_send("a", "b", 3.0).is_ok(), "crash window is half-open");
+    }
+
+    #[test]
+    fn crash_count_distinguishes_incarnations() {
+        let plan = FaultPlan::new(1)
+            .host_crash("b", 2.0)
+            .host_restart("b", 3.0)
+            .host_crash("b", 5.0)
+            .host_restart("b", 6.0);
+        assert_eq!(plan.crash_count("b", 0.0), 0);
+        assert_eq!(plan.crash_count("b", 2.0), 1, "open boundary is inclusive");
+        assert_eq!(plan.crash_count("b", 4.0), 1);
+        assert_eq!(plan.crash_count("b", 7.0), 2);
+        assert_eq!(plan.crash_count("a", 7.0), 0, "other hosts unaffected");
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod topology;
 pub mod transport;
 
 pub use faults::FaultPlan;
-pub use sites::{npss_testbed, HostSpec, Site};
+pub use sites::{npss_testbed, replica_of, HostSpec, Site};
 pub use time::VirtualClock;
 pub use topology::{Link, NodeId, NodeKind, Topology};
 pub use transport::{Endpoint, Envelope, NetError, Network, NetworkStats};

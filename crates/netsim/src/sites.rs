@@ -108,6 +108,25 @@ pub fn host_spec(name: &str) -> Option<&'static HostSpec> {
     TESTBED_HOSTS.iter().find(|h| h.name == name)
 }
 
+/// The designated recovery replica for a testbed host: the nearest
+/// machine on the same subnet, where a supervised procedure can be
+/// respawned after its home host crashes. Pairs are mutual within each
+/// subnet; the Cray's replica is the Convex sitting next to it in the
+/// supercomputer center, etc.
+pub fn replica_of(host: &str) -> Option<&'static str> {
+    Some(match host {
+        "lerc-sparc10" => "lerc-sgi-4d480",
+        "lerc-sgi-4d480" => "lerc-sgi-4d420",
+        "lerc-sgi-4d420" => "lerc-sgi-4d480",
+        "lerc-cray-ymp" => "lerc-convex",
+        "lerc-convex" => "lerc-rs6000",
+        "lerc-rs6000" => "lerc-convex",
+        "ua-sparc10" => "ua-sgi-4d340",
+        "ua-sgi-4d340" => "ua-sparc10",
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +190,20 @@ mod tests {
         assert_eq!(host_spec("lerc-cray-ymp").unwrap().machine, "Cray YMP");
         assert_eq!(host_spec("ua-sparc10").unwrap().site, Site::UniversityOfArizona);
         assert!(host_spec("nonesuch").is_none());
+    }
+
+    #[test]
+    fn replicas_are_testbed_hosts_on_a_reachable_path() {
+        let t = npss_testbed();
+        for h in TESTBED_HOSTS {
+            let r = replica_of(h.name).expect("every testbed host has a replica");
+            assert_ne!(r, h.name);
+            assert!(host_spec(r).is_some(), "replica {r} must be a testbed host");
+            let a = t.node(h.name).unwrap();
+            let b = t.node(r).unwrap();
+            assert!(t.transfer_seconds(a, b, 1).is_some());
+        }
+        assert!(replica_of("nonesuch").is_none());
     }
 
     #[test]

@@ -95,11 +95,23 @@ impl NetworkStats {
     }
 }
 
+/// One registered endpoint.
+struct EpEntry {
+    /// Registration id, so a stale [`Endpoint`]'s Drop cannot tear down a
+    /// re-registered address.
+    id: u64,
+    /// Virtual birth time for crash fencing: a process endpoint created
+    /// at `birth` stops existing once a [`FaultPlan`] crash window opens
+    /// on its host after `birth`. `None` for durable endpoints
+    /// (managers, servers, lines) that model the *infrastructure*, which
+    /// restarts with the host, rather than a process instance.
+    birth: Option<f64>,
+    tx: Sender<Envelope>,
+}
+
 struct NetInner {
     topo: RwLock<Topology>,
-    /// Registered endpoints. The `u64` is a registration id so a stale
-    /// [`Endpoint`]'s Drop cannot tear down a re-registered address.
-    endpoints: RwLock<HashMap<String, (u64, Sender<Envelope>)>>,
+    endpoints: RwLock<HashMap<String, EpEntry>>,
     down_hosts: RwLock<HashMap<String, bool>>,
     faults: RwLock<Option<Arc<FaultPlan>>>,
     next_ep: AtomicU64,
@@ -136,14 +148,31 @@ impl Network {
     /// exist in the topology. Re-registering an address replaces the old
     /// endpoint (its receiver starts seeing `Disconnected`).
     pub fn register(&self, addr: impl Into<String>) -> Result<Endpoint, NetError> {
-        let addr = addr.into();
+        self.register_inner(addr.into(), None)
+    }
+
+    /// Register a **process** endpoint born at virtual time `birth_t`.
+    /// Process endpoints are subject to crash fencing: once a
+    /// [`FaultPlan`] crash window opens on their host after `birth_t`,
+    /// sends to them fail with [`NetError::UnknownAddress`] — the
+    /// process's state died with the host, so the address no longer
+    /// names anything, even after the host restarts.
+    pub fn register_process(
+        &self,
+        addr: impl Into<String>,
+        birth_t: f64,
+    ) -> Result<Endpoint, NetError> {
+        self.register_inner(addr.into(), Some(birth_t))
+    }
+
+    fn register_inner(&self, addr: String, birth: Option<f64>) -> Result<Endpoint, NetError> {
         let host = host_of(&addr).to_owned();
         if self.inner.topo.read().unwrap().node(&host).is_none() {
             return Err(NetError::UnknownHost(host));
         }
         let (tx, rx) = channel();
         let id = self.inner.next_ep.fetch_add(1, Ordering::Relaxed);
-        self.inner.endpoints.write().unwrap().insert(addr.clone(), (id, tx));
+        self.inner.endpoints.write().unwrap().insert(addr.clone(), EpEntry { id, birth, tx });
         Ok(Endpoint { addr, host, rx, id, net: self.clone() })
     }
 
@@ -230,9 +259,16 @@ impl Network {
         let arrive_at = sent_at + transfer;
         let tx = {
             let eps = self.inner.endpoints.read().unwrap();
-            eps.get(to)
-                .map(|(_, tx)| tx.clone())
-                .ok_or_else(|| NetError::UnknownAddress(to.into()))?
+            let entry = eps.get(to).ok_or_else(|| NetError::UnknownAddress(to.into()))?;
+            // Crash fencing: a process endpoint born before a crash of
+            // its host no longer exists — the address resolves to
+            // nothing, which the RPC layer classifies as a stale binding.
+            if let (Some(birth), Some(plan)) = (entry.birth, &plan) {
+                if plan.crash_count(to_host, sent_at) > plan.crash_count(to_host, birth) {
+                    return Err(NetError::UnknownAddress(to.into()));
+                }
+            }
+            entry.tx.clone()
         };
         let env =
             Envelope { from: from.to_owned(), to: to.to_owned(), payload, sent_at, arrive_at };
@@ -296,8 +332,8 @@ impl Drop for Endpoint {
         // Only remove the registration if it still points at us; a
         // re-registration may have replaced it.
         let mut eps = self.net.inner.endpoints.write().unwrap();
-        if let Some((id, _)) = eps.get(&self.addr) {
-            if *id == self.id {
+        if let Some(entry) = eps.get(&self.addr) {
+            if entry.id == self.id {
                 eps.remove(&self.addr);
             }
         }
@@ -458,6 +494,34 @@ mod tests {
         net.set_fault_plan(Some(FaultPlan::new(1).latency_spike(10.0, 11.0, 2.0, 0.5)));
         let spiked = net.send("a:x", "b:svc", Bytes::from_static(&[0; 100]), 10.0).unwrap();
         assert!((spiked - 10.0 - (2.0 * base + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_fences_process_endpoints_but_not_durable_ones() {
+        let net = net3();
+        let _proc = net.register_process("b:proc-1", 0.0).unwrap();
+        let _srv = net.register("b:server").unwrap();
+        net.set_fault_plan(Some(FaultPlan::new(1).host_crash("b", 1.0).host_restart("b", 2.0)));
+
+        // Before the crash both are reachable.
+        assert!(net.send("a:x", "b:proc-1", Bytes::new(), 0.5).is_ok());
+        assert!(net.send("a:x", "b:server", Bytes::new(), 0.5).is_ok());
+        // During the window the host is down for everyone.
+        assert!(matches!(
+            net.send("a:x", "b:proc-1", Bytes::new(), 1.5),
+            Err(NetError::HostDown(_))
+        ));
+        // After the restart the durable endpoint answers again, but the
+        // process endpoint died with the host.
+        assert!(net.send("a:x", "b:server", Bytes::new(), 2.5).is_ok());
+        assert_eq!(
+            net.send("a:x", "b:proc-1", Bytes::new(), 2.5),
+            Err(NetError::UnknownAddress("b:proc-1".into()))
+        );
+        // A replacement process born after the restart is reachable.
+        let _proc2 = net.register_process("b:proc-2", 2.2).unwrap();
+        assert!(net.send("a:x", "b:proc-2", Bytes::new(), 2.5).is_ok());
+        net.set_fault_plan(None);
     }
 
     #[test]

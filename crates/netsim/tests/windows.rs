@@ -1,0 +1,93 @@
+//! Fault-window boundary semantics.
+//!
+//! Every timed fault in a [`FaultPlan`] is **half-open**: active for
+//! `t >= from && t < until`. These tests pin the exact boundary instants
+//! for each fault kind — a message sent at precisely `t == from` sees the
+//! fault, one sent at precisely `t == until` sees a healed network — so a
+//! caller that backs off to a window's end is deterministically clear of
+//! it. The same seeded plan must give the same verdicts on every run.
+
+use netsim::{FaultPlan, NetError};
+
+const FROM: f64 = 1.25;
+const UNTIL: f64 = 2.75;
+
+#[test]
+fn partition_boundaries_are_half_open() {
+    let plan = FaultPlan::new(9).partition(&["a"], &["b"], FROM, UNTIL);
+    assert!(plan.check_send("a", "b", FROM - 1e-9).is_ok(), "just before `from` is healthy");
+    assert!(
+        matches!(plan.check_send("a", "b", FROM), Err(NetError::Unreachable { .. })),
+        "exactly `from` is inside the window"
+    );
+    assert!(
+        matches!(plan.check_send("b", "a", UNTIL - 1e-9), Err(NetError::Unreachable { .. })),
+        "just before `until` is still inside"
+    );
+    assert!(plan.check_send("a", "b", UNTIL).is_ok(), "exactly `until` is healed");
+}
+
+#[test]
+fn host_flap_boundaries_are_half_open() {
+    let plan = FaultPlan::new(9).host_flap("b", FROM, UNTIL);
+    assert!(plan.check_send("a", "b", FROM - 1e-9).is_ok());
+    assert!(matches!(plan.check_send("a", "b", FROM), Err(NetError::HostDown(h)) if h == "b"));
+    assert!(matches!(plan.check_send("b", "a", UNTIL - 1e-9), Err(NetError::HostDown(_))));
+    assert!(plan.check_send("a", "b", UNTIL).is_ok());
+    assert!(plan.check_send("b", "a", UNTIL).is_ok());
+}
+
+#[test]
+fn crash_window_boundaries_are_half_open() {
+    let plan = FaultPlan::new(9).host_crash("b", FROM).host_restart("b", UNTIL);
+    assert!(plan.check_send("a", "b", FROM - 1e-9).is_ok());
+    assert!(matches!(plan.check_send("a", "b", FROM), Err(NetError::HostDown(h)) if h == "b"));
+    assert!(matches!(plan.check_send("b", "a", UNTIL - 1e-9), Err(NetError::HostDown(_))));
+    assert!(plan.check_send("a", "b", UNTIL).is_ok(), "restart instant itself is up");
+    // The crash still counts once its window has opened, even after the
+    // restart: that is what fences pre-crash endpoints forever.
+    assert_eq!(plan.crash_count("b", FROM - 1e-9), 0);
+    assert_eq!(plan.crash_count("b", FROM), 1, "open boundary inclusive");
+    assert_eq!(plan.crash_count("b", UNTIL + 10.0), 1);
+}
+
+#[test]
+fn latency_spike_boundaries_are_half_open() {
+    let plan = FaultPlan::new(9).latency_spike(FROM, UNTIL, 2.0, 0.5);
+    assert_eq!(plan.adjust_transfer(FROM - 1e-9, 0.1), 0.1);
+    assert!((plan.adjust_transfer(FROM, 0.1) - 0.7).abs() < 1e-12, "`from` is spiked");
+    assert!((plan.adjust_transfer(UNTIL - 1e-9, 0.1) - 0.7).abs() < 1e-12);
+    assert_eq!(plan.adjust_transfer(UNTIL, 0.1), 0.1, "`until` is back to normal");
+}
+
+#[test]
+fn zero_width_window_is_inert() {
+    // from == until leaves no instant satisfying t >= from && t < until.
+    let plan = FaultPlan::new(9)
+        .partition(&["a"], &["b"], FROM, FROM)
+        .host_flap("b", FROM, FROM)
+        .latency_spike(FROM, FROM, 10.0, 1.0);
+    assert!(plan.check_send("a", "b", FROM).is_ok());
+    assert_eq!(plan.adjust_transfer(FROM, 0.1), 0.1);
+}
+
+#[test]
+fn boundary_verdicts_are_deterministic_across_runs() {
+    let verdicts = |seed: u64| -> Vec<bool> {
+        let plan = FaultPlan::new(seed)
+            .partition(&["a"], &["b"], FROM, UNTIL)
+            .host_flap("c", FROM, UNTIL)
+            .host_crash("d", FROM)
+            .host_restart("d", UNTIL)
+            .drop_between("a", "c", 0.4);
+        let instants = [0.0, FROM - 1e-9, FROM, (FROM + UNTIL) / 2.0, UNTIL - 1e-9, UNTIL, 9.0];
+        let mut out = Vec::new();
+        for t in instants {
+            out.push(plan.check_send("a", "b", t).is_ok());
+            out.push(plan.check_send("a", "c", t).is_ok());
+            out.push(plan.check_send("a", "d", t).is_ok());
+        }
+        out
+    };
+    assert_eq!(verdicts(41), verdicts(41), "same seed, same boundary fates");
+}

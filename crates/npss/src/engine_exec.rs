@@ -133,8 +133,27 @@ pub struct ExecutiveEngine {
     pub hp_shaft: Exec,
     /// Solver options.
     pub opts: ExecutiveSolverOptions,
+    /// Solver steps between checkpoint barriers in
+    /// [`ExecutiveEngine::run_transient`]; 0 disables checkpointing and
+    /// crash recovery (the default, preserving the plain failure path).
+    pub checkpoint_interval: usize,
+    /// Recovery attempts allowed per `run_transient` call.
+    pub max_recoveries: u32,
+    /// Recoveries performed by the most recent `run_transient` call.
+    pub recoveries: u32,
     ecorr_lp: Option<f32>,
     ecorr_hp: Option<f32>,
+}
+
+/// Engine-side state retained at a checkpoint barrier: everything the
+/// transient loop needs to resume from that solver step. Remote-process
+/// state is checkpointed separately through the Manager.
+struct TransientCheckpoint {
+    t: f64,
+    step: usize,
+    y: [f64; 2],
+    inner: [f64; 5],
+    samples_len: usize,
 }
 
 impl ExecutiveEngine {
@@ -149,6 +168,9 @@ impl ExecutiveEngine {
             lp_shaft: Exec::Local(LocalExec::new(&procs::shaft_image())?),
             hp_shaft: Exec::Local(LocalExec::new(&procs::shaft_image())?),
             opts: ExecutiveSolverOptions::default(),
+            checkpoint_interval: 0,
+            max_recoveries: 2,
+            recoveries: 0,
             ecorr_lp: None,
             ecorr_hp: None,
         })
@@ -484,8 +506,60 @@ impl ExecutiveEngine {
         )
     }
 
+    /// Ask the Manager to checkpoint every remote component's `state(...)`
+    /// variables, best effort: a failure only means the retained snapshot
+    /// is one barrier older. Stateless procedures checkpoint as 0 bytes.
+    pub fn checkpoint_remotes(&mut self) {
+        for (proc_name, e) in [
+            ("duct", &mut self.bypass_duct),
+            ("duct", &mut self.tailpipe),
+            ("comb", &mut self.combustor),
+            ("nozl", &mut self.nozzle),
+            ("shaft", &mut self.lp_shaft),
+            ("shaft", &mut self.hp_shaft),
+        ] {
+            if let Exec::Remote(r) = e {
+                let _ = r.checkpoint(proc_name);
+            }
+        }
+    }
+
+    /// Record a supervision note in the shared trace via the first remote
+    /// executor's line (no-op in an all-local configuration).
+    fn record_note(&mut self, note: String) {
+        for e in [
+            &mut self.bypass_duct,
+            &mut self.tailpipe,
+            &mut self.combustor,
+            &mut self.nozzle,
+            &mut self.lp_shaft,
+            &mut self.hp_shaft,
+        ] {
+            if let Exec::Remote(r) = e {
+                let line = r.line_mut();
+                let now = line.now();
+                line.trace().record(now, "executive", note);
+                return;
+            }
+        }
+    }
+
     /// Balance at the initial fuel, then run a transient with the chosen
     /// method: the executive's equivalent of a full TESS run.
+    ///
+    /// With [`ExecutiveEngine::checkpoint_interval`] > 0 the loop places a
+    /// **checkpoint barrier** every that-many solver steps: the engine
+    /// retains its resume state (time, spool speeds, inner-solution guess,
+    /// sample count) and the Manager snapshots every remote component's
+    /// `state(...)` variables. If a step then fails — e.g. a host crash
+    /// outlives the call policy's retries — the transient rolls back to
+    /// the latest barrier and re-runs from there (up to
+    /// [`ExecutiveEngine::max_recoveries`] times) instead of aborting.
+    /// For the single-step methods (Improved Euler, Runge–Kutta 4) the
+    /// integrator carries no history across steps, so a recovered run
+    /// produces **bit-identical** samples to an uninterrupted one; the
+    /// multi-step methods restart their history at the barrier, the same
+    /// reset semantics TESS applies at failure events.
     pub fn run_transient(
         &mut self,
         fuel: &Schedule,
@@ -502,21 +576,72 @@ impl ExecutiveEngine {
         let mut samples = vec![sample_of(0.0, &initial)];
         let steps = (t_end / dt).round() as usize;
         let mut t = 0.0;
-        for _ in 0..steps {
-            {
-                let inner_ref = &mut inner;
-                let mut f = |tau: f64, y: &[f64], d: &mut [f64]| -> Result<(), String> {
-                    let op = self.solve_inner(y[0], y[1], fuel.at(tau), inner_ref)?;
-                    let (a1, a2) = self.spool_accels(&op)?;
-                    d[0] = a1;
-                    d[1] = a2;
-                    Ok(())
-                };
-                integrator.step(&mut f, t, &mut y, dt)?;
+        let mut step = 0;
+        self.recoveries = 0;
+        let mut checkpoint = if self.checkpoint_interval > 0 {
+            self.checkpoint_remotes();
+            Some(TransientCheckpoint { t, step, y, inner, samples_len: samples.len() })
+        } else {
+            None
+        };
+        while step < steps {
+            let outcome: Result<TransientSample, String> = (|| {
+                {
+                    let inner_ref = &mut inner;
+                    let mut f = |tau: f64, y: &[f64], d: &mut [f64]| -> Result<(), String> {
+                        let op = self.solve_inner(y[0], y[1], fuel.at(tau), inner_ref)?;
+                        let (a1, a2) = self.spool_accels(&op)?;
+                        d[0] = a1;
+                        d[1] = a2;
+                        Ok(())
+                    };
+                    integrator.step(&mut f, t, &mut y, dt)?;
+                }
+                let op = self.solve_inner(y[0], y[1], fuel.at(t + dt), &mut inner)?;
+                Ok(sample_of(t + dt, &op))
+            })();
+            match outcome {
+                Ok(sample) => {
+                    t += dt;
+                    step += 1;
+                    samples.push(sample);
+                    if let Some(cp) = checkpoint.as_mut() {
+                        if step % self.checkpoint_interval == 0 && step < steps {
+                            self.checkpoint_remotes();
+                            *cp = TransientCheckpoint {
+                                t,
+                                step,
+                                y,
+                                inner,
+                                samples_len: samples.len(),
+                            };
+                        }
+                    }
+                }
+                Err(e) => {
+                    let Some(cp) = checkpoint.as_ref() else { return Err(e) };
+                    if self.recoveries >= self.max_recoveries {
+                        return Err(format!(
+                            "transient failed after {} recoveries: {e}",
+                            self.recoveries
+                        ));
+                    }
+                    self.recoveries += 1;
+                    t = cp.t;
+                    step = cp.step;
+                    y = cp.y;
+                    inner = cp.inner;
+                    samples.truncate(cp.samples_len);
+                    integrator = method.integrator();
+                    self.record_note(format!(
+                        "step {} failed ({e}); resuming from checkpoint at t={t:.3} \
+                         (recovery {} of {})",
+                        step + 1,
+                        self.recoveries,
+                        self.max_recoveries
+                    ));
+                }
             }
-            t += dt;
-            let op = self.solve_inner(y[0], y[1], fuel.at(t), &mut inner)?;
-            samples.push(sample_of(t, &op));
         }
         Ok(TransientResult { samples, method: method.display_name().to_owned(), dt })
     }

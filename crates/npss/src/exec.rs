@@ -207,6 +207,17 @@ impl RemoteExec {
         let _ = self.line.quit();
     }
 
+    /// Ask the Manager to checkpoint the remote process exporting `name`:
+    /// its `state(...)` variables are captured architecture-neutrally and
+    /// retained for crash recovery. Returns the snapshot size in bytes
+    /// (0 for stateless procedures, or after degrading to the fallback).
+    pub fn checkpoint(&mut self, name: &str) -> Result<u64, ExecError> {
+        if self.degraded {
+            return Ok(0);
+        }
+        self.line.checkpoint(name).map_err(ExecError::Sch)
+    }
+
     /// Switch permanently to the local fallback, replaying recorded
     /// configuration calls so it matches the remote instance's setup.
     fn degrade(&mut self, cause: &SchError) -> Result<(), ExecError> {

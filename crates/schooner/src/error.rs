@@ -51,6 +51,11 @@ pub enum SchError {
         /// The error from the final attempt.
         last: Box<SchError>,
     },
+    /// The procedure's host crashed and its supervision policy chose to
+    /// escalate the failure to the caller instead of recovering. Not
+    /// retryable: the supervisor has already decided no replacement will
+    /// appear.
+    Escalated(String),
     /// Anything else.
     Other(String),
 }
@@ -80,6 +85,9 @@ impl fmt::Display for SchError {
             }
             SchError::PolicyExhausted { what, attempts, last } => {
                 write!(f, "call '{what}' failed after {attempts} attempts; last error: {last}")
+            }
+            SchError::Escalated(what) => {
+                write!(f, "supervision escalated the failure of '{what}' to the caller")
             }
             SchError::Other(msg) => write!(f, "{msg}"),
         }
@@ -172,6 +180,8 @@ mod tests {
         );
         assert!(!SchError::RemoteFault("boom".into()).is_retryable());
         assert!(!SchError::UnknownProcedure("f".into()).is_retryable());
+        assert!(!SchError::Escalated("shaft".into()).is_retryable());
+        assert!(!SchError::Escalated("shaft".into()).is_stale_binding());
     }
 
     #[test]

@@ -33,7 +33,11 @@
 //!   transfer extension driven by `state(...)` clauses in the spec;
 //!   callers' stale name caches recover by falling back to the Manager;
 //! * **shared procedures** — started outside any line, callable from all,
-//!   with the per-line database consulted first.
+//!   with the per-line database consulted first;
+//! * **supervised execution** — heartbeat health monitoring, per-path
+//!   recovery policies, incarnation fencing of pre-crash replies, and
+//!   checkpoint/restore of `state(...)` variables through the Manager
+//!   ([`supervise`]).
 //!
 //! # Example
 //!
@@ -78,6 +82,7 @@ pub mod proc;
 pub mod program;
 pub mod server;
 pub mod stub;
+pub mod supervise;
 pub mod system;
 pub mod trace;
 
@@ -87,6 +92,7 @@ pub use message::{FaultCode, WireFault};
 pub use policy::{CallPolicy, OnExhaustion};
 pub use proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
 pub use program::{ProgramImage, ProgramRegistry};
+pub use supervise::{CheckpointStore, Health, HealthMonitor, SupervisionPolicy};
 pub use system::{Schooner, SchoonerConfig};
 pub use trace::{Event, Trace};
 
@@ -102,6 +108,7 @@ pub mod prelude {
     pub use crate::policy::{CallPolicy, OnExhaustion};
     pub use crate::proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
     pub use crate::program::ProgramImage;
+    pub use crate::supervise::SupervisionPolicy;
     pub use crate::system::{Schooner, SchoonerConfig};
     pub use crate::trace::Trace;
     pub use uts::Value;

@@ -38,6 +38,9 @@ struct Binding {
     addr: String,
     remote_name: String,
     stub: CompiledStub,
+    /// Incarnation of the process instance this binding points at;
+    /// replies stamped with an older incarnation are fenced.
+    incarnation: u64,
 }
 
 /// Cumulative transport statistics for one line.
@@ -57,6 +60,9 @@ pub struct LineStats {
     pub policy_retries: u64,
     /// Successful migration-based failovers driven by a [`CallPolicy`].
     pub failovers: u64,
+    /// Replies discarded because they were stamped by an incarnation
+    /// older than the current binding (delayed pre-crash answers).
+    pub fenced_replies: u64,
 }
 
 /// A module's handle on its line.
@@ -71,6 +77,9 @@ pub struct LineHandle {
     clock: VirtualClock,
     imports: HashMap<String, ProcSpec>,
     cache: HashMap<String, Binding>,
+    /// Address of the last binding that failed with a stale error,
+    /// reported to the Manager on the next lookup so it can probe it.
+    suspect: Option<String>,
     next_req: u64,
     stats: LineStats,
     quit_sent: bool,
@@ -102,6 +111,7 @@ impl LineHandle {
             clock: VirtualClock::new(),
             imports: HashMap::new(),
             cache: HashMap::new(),
+            suspect: None,
             next_req: 1,
             stats: LineStats::default(),
             quit_sent: false,
@@ -271,8 +281,12 @@ impl LineHandle {
             };
             if err.is_stale_binding() {
                 // The process behind the cached address is gone; the next
-                // resolve falls back to the Manager for a fresh location.
+                // resolve falls back to the Manager for a fresh location,
+                // carrying the failed address so the Manager can probe it.
                 self.stats.stale_retries += 1;
+                if let Some(addr) = stale_addr(&err) {
+                    self.suspect = Some(addr);
+                }
                 self.cache.remove(&key);
             }
             if !policy.retries_error(&err) {
@@ -360,8 +374,7 @@ impl LineHandle {
             format!("call {} -> {}", binding.remote_name, binding.addr),
         );
         self.endpoint.send(&binding.addr, msg.encode(), self.clock.now())?;
-        let reply =
-            self.await_reply(|m| matches!(m, Msg::CallReply { call: c, .. } if *c == call))?;
+        let reply = self.await_call_reply(call, binding.incarnation)?;
         match reply {
             Msg::CallReply { result, .. } => {
                 let bytes = result.map_err(|e| {
@@ -387,6 +400,70 @@ impl LineHandle {
             }
             _ => unreachable!("await_reply predicate"),
         }
+    }
+
+    /// Block until the `CallReply` for `call` arrives. Replies stamped by
+    /// an incarnation older than `min_incarnation` are **fenced** —
+    /// discarded and counted — *before* call-id matching, so a delayed
+    /// answer from a pre-crash instance can never satisfy a call made to
+    /// its successor. Other non-matching messages are stale and dropped.
+    fn await_call_reply(&mut self, call: u64, min_incarnation: u64) -> SchResult<Msg> {
+        let deadline = std::time::Instant::now() + self.ctx.config.reply_timeout;
+        loop {
+            if std::time::Instant::now() > deadline {
+                return Err(SchError::ManagerUnavailable);
+            }
+            let env = match self.endpoint.recv(Duration::from_millis(50)) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            self.clock.merge(env.arrive_at);
+            let Ok(msg) = Msg::decode(env.payload) else { continue };
+            if let Msg::CallReply { call: c, incarnation, .. } = &msg {
+                if *incarnation > 0 && *incarnation < min_incarnation {
+                    self.stats.fenced_replies += 1;
+                    self.ctx.trace.record(
+                        self.clock.now(),
+                        format!("line-{}", self.id),
+                        format!(
+                            "fenced reply from incarnation {incarnation} (binding is {min_incarnation})"
+                        ),
+                    );
+                    continue;
+                }
+                if *c == call {
+                    return Ok(msg);
+                }
+            }
+        }
+    }
+
+    /// Ask the Manager to capture a checkpoint of the process exporting
+    /// `name`: its `state(...)` variables are marshaled architecture-
+    /// neutrally and retained for crash recovery. Returns the snapshot
+    /// size in bytes — 0 for a process declaring no state.
+    pub fn checkpoint(&mut self, name: &str) -> SchResult<u64> {
+        self.ensure_live()?;
+        let req = self.fresh_req();
+        self.send_manager(&Msg::CheckpointRequest {
+            req,
+            line: self.id,
+            name: name.to_owned(),
+            reply_to: self.endpoint.addr().to_owned(),
+        })?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::CheckpointReply { req: r, .. } if *r == req))?;
+        match reply {
+            Msg::CheckpointReply { result, .. } => result.map_err(WireFault::into_error),
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
+    /// The network address this line receives replies on. Exposed so
+    /// fault-injection tests can forge delayed messages to it.
+    pub fn reply_addr(&self) -> &str {
+        self.endpoint.addr()
     }
 
     /// Move the named procedure's process to `target_machine`. Stale
@@ -489,11 +566,13 @@ impl LineHandle {
         let import_spec =
             self.imports.get(&name.to_ascii_lowercase()).map(|d| d.to_source()).unwrap_or_default();
         let req = self.fresh_req();
+        let suspect_addr = self.suspect.take().unwrap_or_default();
         self.send_manager(&Msg::MapRequest {
             req,
             line: self.id,
             name: name.to_owned(),
             import_spec,
+            suspect_addr,
             reply_to: self.endpoint.addr().to_owned(),
         })?;
         let reply = self.await_reply(|m| matches!(m, Msg::MapReply { req: r, .. } if *r == req))?;
@@ -516,6 +595,7 @@ impl LineHandle {
             addr: info.addr,
             remote_name: info.remote_name,
             stub: CompiledStub::compile(spec),
+            incarnation: info.incarnation,
         })
     }
 
@@ -523,6 +603,16 @@ impl LineHandle {
         let binding = self.binding_from_info(info)?;
         self.cache.insert(name.to_ascii_lowercase(), binding);
         Ok(())
+    }
+}
+
+/// The failed remote address inside a stale-binding error, if it names one.
+fn stale_addr(err: &SchError) -> Option<String> {
+    match err {
+        SchError::ProcessGone(addr)
+        | SchError::Net(NetError::UnknownAddress(addr))
+        | SchError::Net(NetError::Disconnected(addr)) => Some(addr.clone()),
+        _ => None,
     }
 }
 

@@ -29,6 +29,7 @@ use uts::spec::{Direction, ProcSpec};
 
 use crate::error::{SchError, SchResult};
 use crate::message::{MapInfo, Msg, StartedInfo, WireFault};
+use crate::supervise::{CheckpointStore, Health, HealthMonitor, Snapshot, SupervisionPolicy};
 use crate::system::{manager_addr, server_addr, RuntimeCtx};
 
 /// Handle to the running Manager thread.
@@ -59,6 +60,7 @@ impl ManagerHandle {
 pub fn spawn_manager(ctx: RuntimeCtx) -> SchResult<ManagerHandle> {
     let addr = manager_addr(&ctx.config.manager_host);
     let endpoint = ctx.net.register(addr.clone())?;
+    let monitor = HealthMonitor::new(ctx.config.heartbeat_miss_threshold);
     let worker = ManagerWorker {
         ctx,
         endpoint,
@@ -66,8 +68,11 @@ pub fn spawn_manager(ctx: RuntimeCtx) -> SchResult<ManagerHandle> {
         lines: HashMap::new(),
         shared: NameDb::default(),
         backlog: VecDeque::new(),
+        monitor,
+        checkpoints: CheckpointStore::new(),
         next_line: 1,
         next_req: 1,
+        next_incarnation: 1,
     };
     let join = std::thread::Builder::new()
         .name("schooner-manager".to_owned())
@@ -90,6 +95,8 @@ struct ProcEntry {
     remote_name: String,
     /// The export specification.
     spec: ProcSpec,
+    /// Incarnation of the instance currently serving this entry.
+    incarnation: u64,
 }
 
 /// A name database: keys are case-folded so that upper- and lower-case
@@ -126,11 +133,19 @@ impl NameDb {
 
     /// Rebind every entry that pointed at `old_addr` to a new location.
     /// `name_map` maps case-folded original names to the new remote names.
-    fn rebind(&mut self, old_addr: &str, new_addr: &str, new_host: &str, name_map: &[String]) {
+    fn rebind(
+        &mut self,
+        old_addr: &str,
+        new_addr: &str,
+        new_host: &str,
+        name_map: &[String],
+        new_incarnation: u64,
+    ) {
         for entry in self.map.values_mut() {
             if entry.addr == old_addr {
                 entry.addr = new_addr.to_owned();
                 entry.host = new_host.to_owned();
+                entry.incarnation = new_incarnation;
                 if let Some(n) =
                     name_map.iter().find(|n| n.eq_ignore_ascii_case(&entry.remote_name))
                 {
@@ -156,8 +171,14 @@ struct ManagerWorker {
     shared: NameDb,
     /// Messages received while awaiting a specific reply.
     backlog: VecDeque<Msg>,
+    /// Heartbeat accounting for supervised addresses.
+    monitor: HealthMonitor,
+    /// Latest `state(...)` snapshot per supervised process.
+    checkpoints: CheckpointStore,
     next_line: u64,
     next_req: u64,
+    /// Strictly increasing instance counter for every process started.
+    next_incarnation: u64,
 }
 
 impl ManagerWorker {
@@ -236,10 +257,15 @@ impl ManagerWorker {
                     self.handle_start(line, &path, &host, shared).map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::StartReply { req, result });
             }
-            Msg::MapRequest { req, line, name, import_spec, reply_to } => {
-                let result =
-                    self.handle_map(line, &name, &import_spec).map_err(|e| WireFault::from(&e));
+            Msg::MapRequest { req, line, name, import_spec, suspect_addr, reply_to } => {
+                let result = self
+                    .handle_map(line, &name, &import_spec, &suspect_addr)
+                    .map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::MapReply { req, result });
+            }
+            Msg::CheckpointRequest { req, line, name, reply_to } => {
+                let result = self.handle_checkpoint(line, &name).map_err(|e| WireFault::from(&e));
+                let _ = self.send(&reply_to, &Msg::CheckpointReply { req, result });
             }
             Msg::IQuit { req, line, reply_to } => {
                 self.shutdown_line(line);
@@ -325,6 +351,7 @@ impl ManagerWorker {
                     path: path.to_owned(),
                     remote_name,
                     spec: decl.clone(),
+                    incarnation: info.incarnation,
                 },
             );
         }
@@ -342,14 +369,19 @@ impl ManagerWorker {
     }
 
     /// Ask the Server on `host` to start a process and wait for its reply.
+    /// Every start — initial, migration, or crash recovery — gets a fresh,
+    /// strictly larger incarnation number.
     fn start_process_on(&mut self, line: u64, path: &str, host: &str) -> SchResult<StartedInfo> {
         let req = self.fresh_req();
+        let incarnation = self.next_incarnation;
+        self.next_incarnation += 1;
         self.send(
             &server_addr(host),
             &Msg::StartProcess {
                 req,
                 line,
                 path: path.to_owned(),
+                incarnation,
                 reply_to: self.endpoint.addr().to_owned(),
             },
         )?;
@@ -361,20 +393,52 @@ impl ManagerWorker {
         }
     }
 
-    /// Resolve a name for a line: its own database first, then shared.
-    fn lookup(&self, line: u64, name: &str) -> SchResult<&ProcEntry> {
+    /// Resolve a name for a line — its own database first, then shared —
+    /// returning a clone of the entry and whether it is shared.
+    fn locate(&self, line: u64, name: &str) -> SchResult<(ProcEntry, bool)> {
         if let Some(state) = self.lines.get(&line) {
             if let Some(e) = state.db.get(name) {
-                return Ok(e);
+                return Ok((e.clone(), false));
             }
         } else {
             return Err(SchError::UnknownLine(line));
         }
-        self.shared.get(name).ok_or_else(|| SchError::UnknownProcedure(name.to_owned()))
+        self.shared
+            .get(name)
+            .map(|e| (e.clone(), true))
+            .ok_or_else(|| SchError::UnknownProcedure(name.to_owned()))
     }
 
-    fn handle_map(&mut self, line: u64, name: &str, import_spec: &str) -> SchResult<MapInfo> {
-        let entry = self.lookup(line, name)?.clone();
+    fn handle_map(
+        &mut self,
+        line: u64,
+        name: &str,
+        import_spec: &str,
+        suspect_addr: &str,
+    ) -> SchResult<MapInfo> {
+        let (mut entry, in_shared) = self.locate(line, name)?;
+
+        // A caller reported the current binding unreachable. Probe it
+        // with a heartbeat; only a dead verdict triggers recovery, so
+        // one slandered healthy process is never restarted.
+        if !suspect_addr.is_empty() && suspect_addr == entry.addr {
+            let verdict = match self.monitor.health(&entry.addr) {
+                Health::Dead => Health::Dead,
+                _ => self.probe(&entry.addr.clone()),
+            };
+            match verdict {
+                Health::Healthy => {}
+                Health::Suspect(_) => {
+                    // Below the declare-dead threshold: make the caller
+                    // back off and retry rather than recovering early.
+                    return Err(SchError::ProcessGone(entry.addr));
+                }
+                Health::Dead => {
+                    entry = self.recover(line, in_shared, name, &entry)?;
+                }
+            }
+        }
+
         if !import_spec.is_empty() {
             let imports = uts::parse_spec_file(import_spec)?;
             let import =
@@ -392,13 +456,207 @@ impl ManagerWorker {
             addr: entry.addr.clone(),
             remote_name: entry.remote_name.clone(),
             export_spec: entry.spec.to_source(),
+            incarnation: entry.incarnation,
         })
+    }
+
+    /// Send one heartbeat to `addr` and update the monitor with the
+    /// outcome. A vanished endpoint is dead on the spot; an unreachable
+    /// host or a silent process counts as one missed beat.
+    fn probe(&mut self, addr: &str) -> Health {
+        let req = self.fresh_req();
+        let ping = Msg::Ping { req, reply_to: self.endpoint.addr().to_owned() };
+        match self.endpoint.send(addr, ping.encode(), self.clock.now()) {
+            Err(NetError::UnknownAddress(_)) | Err(NetError::Disconnected(_)) => {
+                // The endpoint itself is gone (the process died with its
+                // host): no amount of waiting will bring a beat back.
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    "manager",
+                    format!("heartbeat probe of {addr}: endpoint gone"),
+                );
+                return Health::Dead;
+            }
+            Err(_) => return self.record_probe_miss(addr),
+            Ok(_) => {}
+        }
+        match self.await_reply(|m| matches!(m, Msg::Pong { req: r, .. } if *r == req)) {
+            Ok(_) => {
+                self.monitor.record_beat(addr);
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    "manager",
+                    format!("heartbeat from {addr} answered"),
+                );
+                Health::Healthy
+            }
+            Err(_) => self.record_probe_miss(addr),
+        }
+    }
+
+    fn record_probe_miss(&mut self, addr: &str) -> Health {
+        let verdict = self.monitor.record_miss(addr);
+        let (n, t) = match verdict {
+            Health::Suspect(n) => (n, self.monitor.threshold()),
+            _ => (self.monitor.threshold(), self.monitor.threshold()),
+        };
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!("heartbeat miss {n}/{t} for {addr}"),
+        );
+        verdict
+    }
+
+    /// Run the supervision policy for a process declared dead: respawn it
+    /// (in place or on a replica) under a fresh incarnation, restore its
+    /// latest checkpoint, and rebind the mapping tables. Returns the
+    /// rebound entry for `name`.
+    fn recover(
+        &mut self,
+        line: u64,
+        in_shared: bool,
+        name: &str,
+        dead: &ProcEntry,
+    ) -> SchResult<ProcEntry> {
+        let old_addr = dead.addr.clone();
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!("declared {old_addr} dead (incarnation {})", dead.incarnation),
+        );
+        let candidates: Vec<String> = match self.ctx.supervision.get(&dead.path) {
+            SupervisionPolicy::Escalate => {
+                self.ctx.trace.record(
+                    self.clock.now(),
+                    "manager",
+                    format!("escalating failure of '{name}' to the caller"),
+                );
+                return Err(SchError::Escalated(name.to_owned()));
+            }
+            SupervisionPolicy::RestartInPlace => vec![dead.host.clone()],
+            SupervisionPolicy::MigrateTo(hosts) => {
+                let mut v = hosts;
+                v.push(dead.host.clone());
+                v
+            }
+        };
+
+        let proc_line = if in_shared { 0 } else { line };
+        let mut started = None;
+        for host in &candidates {
+            match self.start_process_on(proc_line, &dead.path, host) {
+                Ok(info) => {
+                    started = Some((info, host.clone()));
+                    break;
+                }
+                Err(e) => {
+                    self.ctx.trace.record(
+                        self.clock.now(),
+                        "manager",
+                        format!("respawn of '{}' on {host} failed: {e}", dead.path),
+                    );
+                }
+            }
+        }
+        let Some((info, new_host)) = started else {
+            // Every candidate host refused (e.g. still inside the crash
+            // window). Report the old address as gone — that class stays
+            // retryable across the wire, so the caller's backoff keeps
+            // driving recovery until a respawn succeeds.
+            return Err(SchError::ProcessGone(old_addr));
+        };
+
+        // Restore the latest checkpoint, if one was captured.
+        if let Some(snap) = self.checkpoints.get(proc_line, &dead.path) {
+            let req = self.fresh_req();
+            self.send(
+                &info.addr,
+                &Msg::SetState {
+                    req,
+                    state: snap.state.clone(),
+                    reply_to: self.endpoint.addr().to_owned(),
+                },
+            )?;
+            let reply =
+                self.await_reply(|m| matches!(m, Msg::SetStateAck { req: r, .. } if *r == req))?;
+            match reply {
+                Msg::SetStateAck { result, .. } => {
+                    result.map_err(|wf| SchError::StateTransfer(wf.detail))?
+                }
+                _ => unreachable!(),
+            }
+            self.ctx.trace.record(
+                self.clock.now(),
+                "manager",
+                format!("restored '{}' from checkpoint taken at t={:.6}", dead.path, snap.taken_at),
+            );
+        }
+
+        let db = if in_shared {
+            &mut self.shared
+        } else {
+            &mut self.lines.get_mut(&line).expect("present").db
+        };
+        db.rebind(&old_addr, &info.addr, &new_host, &info.proc_names, info.incarnation);
+        let rebound = db.get(name).expect("entry survived rebind").clone();
+        self.monitor.forget(&old_addr);
+        // Best effort: if the death verdict was a false positive (the old
+        // instance survives behind a healed link), terminate it so it
+        // cannot answer for its successor.
+        let _ = self.send(&old_addr, &Msg::ProcShutdown);
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!(
+                "respawned '{}' on {new_host} as incarnation {} at {}",
+                dead.path, info.incarnation, info.addr
+            ),
+        );
+        Ok(rebound)
+    }
+
+    /// Capture a snapshot of the `state(...)` variables of the process
+    /// exporting `name` and retain it for crash recovery. Returns the
+    /// snapshot size in bytes (0 for a process declaring no state).
+    fn handle_checkpoint(&mut self, line: u64, name: &str) -> SchResult<u64> {
+        let (entry, in_shared) = self.locate(line, name)?;
+        let proc_line = if in_shared { 0 } else { line };
+        let db = if in_shared { &self.shared } else { &self.lines[&line].db };
+        let has_state = db.map.values().any(|e| e.addr == entry.addr && !e.spec.state.is_empty());
+        if !has_state {
+            return Ok(0);
+        }
+        let req = self.fresh_req();
+        self.send(&entry.addr, &Msg::GetState { req, reply_to: self.endpoint.addr().to_owned() })?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::StateReply { req: r, .. } if *r == req))?;
+        let state = match reply {
+            Msg::StateReply { result, .. } => {
+                result.map_err(|wf| SchError::StateTransfer(wf.detail))?
+            }
+            _ => unreachable!(),
+        };
+        let n = state.len() as u64;
+        self.checkpoints.put(
+            proc_line,
+            &entry.path,
+            Snapshot { state, taken_at: self.clock.now(), incarnation: entry.incarnation },
+        );
+        self.ctx.trace.record(
+            self.clock.now(),
+            "manager",
+            format!("checkpointed '{name}' ({n} bytes) at t={:.6}", self.clock.now()),
+        );
+        Ok(n)
     }
 
     /// Terminate the remote procedures of one line only.
     fn shutdown_line(&mut self, line: u64) {
         if let Some(state) = self.lines.remove(&line) {
+            self.checkpoints.forget_line(line);
             for addr in state.db.addrs() {
+                self.monitor.forget(&addr);
                 let _ = self.send(&addr, &Msg::ProcShutdown);
             }
             self.ctx.trace.record(
@@ -483,8 +741,9 @@ impl ManagerWorker {
         } else {
             &mut self.lines.get_mut(&line).expect("present").db
         };
-        db.rebind(&old_addr, &info.addr, target_host, &info.proc_names);
+        db.rebind(&old_addr, &info.addr, target_host, &info.proc_names, info.incarnation);
         let rebound = db.get(name).expect("entry survived rebind").clone();
+        self.monitor.forget(&old_addr);
         self.ctx.trace.record(
             self.clock.now(),
             "manager",
@@ -494,6 +753,7 @@ impl ManagerWorker {
             addr: rebound.addr,
             remote_name: rebound.remote_name,
             export_spec: rebound.spec.to_source(),
+            incarnation: rebound.incarnation,
         })
     }
 }

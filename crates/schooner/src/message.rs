@@ -36,13 +36,16 @@ pub enum FaultCode {
     Protocol,
     /// The Manager (or another required service) is unavailable.
     Unavailable,
+    /// The supervision policy for a crashed procedure is to escalate the
+    /// failure to the caller instead of recovering.
+    Escalated,
     /// Anything else; the detail string carries the description.
     Other,
 }
 
 impl FaultCode {
     /// All codes, for exhaustive encode/decode testing.
-    pub const ALL: [FaultCode; 10] = [
+    pub const ALL: [FaultCode; 11] = [
         FaultCode::UnknownProcedure,
         FaultCode::UnknownLine,
         FaultCode::UnknownExecutable,
@@ -52,6 +55,7 @@ impl FaultCode {
         FaultCode::StateTransfer,
         FaultCode::Protocol,
         FaultCode::Unavailable,
+        FaultCode::Escalated,
         FaultCode::Other,
     ];
 
@@ -67,6 +71,7 @@ impl FaultCode {
             FaultCode::Protocol => 8,
             FaultCode::Unavailable => 9,
             FaultCode::Other => 10,
+            FaultCode::Escalated => 11,
         }
     }
 
@@ -81,6 +86,7 @@ impl FaultCode {
             7 => FaultCode::StateTransfer,
             8 => FaultCode::Protocol,
             9 => FaultCode::Unavailable,
+            11 => FaultCode::Escalated,
             // Forward compatibility: an unknown code is still an error.
             _ => FaultCode::Other,
         }
@@ -116,6 +122,7 @@ impl WireFault {
             FaultCode::StateTransfer => SchError::StateTransfer(self.detail),
             FaultCode::Protocol => SchError::Protocol(self.detail),
             FaultCode::Unavailable => SchError::ManagerUnavailable,
+            FaultCode::Escalated => SchError::Escalated(self.detail),
             // UnknownExecutable and Duplicate carry their rendered text:
             // the caller keeps the description without re-parsing fields.
             FaultCode::UnknownExecutable | FaultCode::Duplicate | FaultCode::Other => {
@@ -149,6 +156,7 @@ impl From<&SchError> for WireFault {
             SchError::StateTransfer(msg) => WireFault::new(FaultCode::StateTransfer, msg.clone()),
             SchError::Protocol(msg) => WireFault::new(FaultCode::Protocol, msg.clone()),
             SchError::ManagerUnavailable => WireFault::new(FaultCode::Unavailable, e.to_string()),
+            SchError::Escalated(msg) => WireFault::new(FaultCode::Escalated, msg.clone()),
             _ => WireFault::new(FaultCode::Other, e.to_string()),
         }
     }
@@ -164,6 +172,10 @@ pub struct StartedInfo {
     /// Exported procedure names, as the target compiler produced them
     /// (i.e. after Fortran case folding).
     pub proc_names: Vec<String>,
+    /// Manager-assigned incarnation number of this process instance.
+    /// Strictly increasing across respawns, so replies from a pre-crash
+    /// instance can be fenced by comparison.
+    pub incarnation: u64,
 }
 
 /// Information returned by a successful name mapping.
@@ -176,6 +188,8 @@ pub struct MapInfo {
     pub remote_name: String,
     /// Source text of the matching export specification.
     pub export_spec: String,
+    /// Incarnation of the process currently exporting the procedure.
+    pub incarnation: u64,
 }
 
 /// A protocol message.
@@ -193,8 +207,18 @@ pub enum Msg {
     /// Reply to [`Msg::StartRequest`].
     StartReply { req: u64, result: Result<StartedInfo, WireFault> },
     /// Resolve a procedure name visible to `line`; carries the import
-    /// spec so the Manager can type-check the binding.
-    MapRequest { req: u64, line: u64, name: String, import_spec: String, reply_to: String },
+    /// spec so the Manager can type-check the binding. A non-empty
+    /// `suspect_addr` reports the address the caller just failed to
+    /// reach, prompting the Manager's health monitor to probe it before
+    /// answering.
+    MapRequest {
+        req: u64,
+        line: u64,
+        name: String,
+        import_spec: String,
+        suspect_addr: String,
+        reply_to: String,
+    },
     /// Reply to [`Msg::MapRequest`].
     MapReply { req: u64, result: Result<MapInfo, WireFault> },
     /// A module is going away; terminate the remote procedures of its
@@ -211,8 +235,9 @@ pub enum Msg {
     ManagerShutdown,
 
     // ----- Manager ↔ Server -----
-    /// Ask the Server to instantiate `path` as a process.
-    StartProcess { req: u64, line: u64, path: String, reply_to: String },
+    /// Ask the Server to instantiate `path` as a process, stamped with
+    /// the Manager-assigned `incarnation`.
+    StartProcess { req: u64, line: u64, path: String, incarnation: u64, reply_to: String },
     /// Reply to [`Msg::StartProcess`].
     ProcessStarted { req: u64, result: Result<StartedInfo, WireFault> },
     /// Terminate the Server.
@@ -221,8 +246,11 @@ pub enum Msg {
     // ----- caller ↔ process -----
     /// Invoke `proc_name` with wire-encoded input arguments.
     CallRequest { call: u64, line: u64, proc_name: String, args: Bytes, reply_to: String },
-    /// Wire-encoded output results, or a fault.
-    CallReply { call: u64, result: Result<Bytes, WireFault> },
+    /// Wire-encoded output results, or a fault. `incarnation` identifies
+    /// the process instance that answered (0 when unknown, e.g. a
+    /// transport-level fault synthesized outside any process); callers
+    /// fence replies whose incarnation predates their current binding.
+    CallReply { call: u64, incarnation: u64, result: Result<Bytes, WireFault> },
     /// Collect migration state (wire-encoded state variables).
     GetState { req: u64, reply_to: String },
     /// Reply to [`Msg::GetState`].
@@ -233,6 +261,19 @@ pub enum Msg {
     SetStateAck { req: u64, result: Result<(), WireFault> },
     /// Terminate the process.
     ProcShutdown,
+
+    // ----- supervision -----
+    /// Health probe (Manager → process): "are you alive?".
+    Ping { req: u64, reply_to: String },
+    /// Probe answer, carrying the responding instance's incarnation.
+    Pong { req: u64, incarnation: u64 },
+    /// Ask the Manager to checkpoint the named procedure of `line`: pull
+    /// its `state(...)` variables via GetState and retain the
+    /// architecture-neutral snapshot for crash recovery.
+    CheckpointRequest { req: u64, line: u64, name: String, reply_to: String },
+    /// Reply to [`Msg::CheckpointRequest`]; `Ok(n)` is the size in bytes
+    /// of the retained snapshot (0 for stateless procedures).
+    CheckpointReply { req: u64, result: Result<u64, WireFault> },
 }
 
 const T_OPEN_LINE: u8 = 1;
@@ -256,6 +297,10 @@ const T_STATE_REPLY: u8 = 18;
 const T_SET_STATE: u8 = 19;
 const T_SET_STATE_ACK: u8 = 20;
 const T_PROC_SHUTDOWN: u8 = 21;
+const T_PING: u8 = 22;
+const T_PONG: u8 = 23;
+const T_CHECKPOINT_REQUEST: u8 = 24;
+const T_CHECKPOINT_REPLY: u8 = 25;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
@@ -345,6 +390,7 @@ fn get_result<T>(
 fn put_started(buf: &mut BytesMut, info: &StartedInfo) {
     put_str(buf, &info.addr);
     put_str(buf, &info.spec_src);
+    buf.put_u64(info.incarnation);
     buf.put_u16(info.proc_names.len() as u16);
     for n in &info.proc_names {
         put_str(buf, n);
@@ -354,6 +400,7 @@ fn put_started(buf: &mut BytesMut, info: &StartedInfo) {
 fn get_started(r: &mut Reader) -> SchResult<StartedInfo> {
     let addr = r.str()?;
     let spec_src = r.str()?;
+    let incarnation = r.u64()?;
     let n = {
         r.need(2)?;
         r.buf.get_u16() as usize
@@ -362,17 +409,23 @@ fn get_started(r: &mut Reader) -> SchResult<StartedInfo> {
     for _ in 0..n {
         proc_names.push(r.str()?);
     }
-    Ok(StartedInfo { addr, spec_src, proc_names })
+    Ok(StartedInfo { addr, spec_src, proc_names, incarnation })
 }
 
 fn put_mapinfo(buf: &mut BytesMut, info: &MapInfo) {
     put_str(buf, &info.addr);
     put_str(buf, &info.remote_name);
     put_str(buf, &info.export_spec);
+    buf.put_u64(info.incarnation);
 }
 
 fn get_mapinfo(r: &mut Reader) -> SchResult<MapInfo> {
-    Ok(MapInfo { addr: r.str()?, remote_name: r.str()?, export_spec: r.str()? })
+    Ok(MapInfo {
+        addr: r.str()?,
+        remote_name: r.str()?,
+        export_spec: r.str()?,
+        incarnation: r.u64()?,
+    })
 }
 
 impl Msg {
@@ -405,12 +458,13 @@ impl Msg {
                 b.put_u64(*req);
                 put_result(&mut b, result, put_started);
             }
-            Msg::MapRequest { req, line, name, import_spec, reply_to } => {
+            Msg::MapRequest { req, line, name, import_spec, suspect_addr, reply_to } => {
                 b.put_u8(T_MAP_REQUEST);
                 b.put_u64(*req);
                 b.put_u64(*line);
                 put_str(&mut b, name);
                 put_str(&mut b, import_spec);
+                put_str(&mut b, suspect_addr);
                 put_str(&mut b, reply_to);
             }
             Msg::MapReply { req, result } => {
@@ -442,11 +496,12 @@ impl Msg {
                 put_result(&mut b, result, put_mapinfo);
             }
             Msg::ManagerShutdown => b.put_u8(T_MANAGER_SHUTDOWN),
-            Msg::StartProcess { req, line, path, reply_to } => {
+            Msg::StartProcess { req, line, path, incarnation, reply_to } => {
                 b.put_u8(T_START_PROCESS);
                 b.put_u64(*req);
                 b.put_u64(*line);
                 put_str(&mut b, path);
+                b.put_u64(*incarnation);
                 put_str(&mut b, reply_to);
             }
             Msg::ProcessStarted { req, result } => {
@@ -463,9 +518,10 @@ impl Msg {
                 put_bytes(&mut b, args);
                 put_str(&mut b, reply_to);
             }
-            Msg::CallReply { call, result } => {
+            Msg::CallReply { call, incarnation, result } => {
                 b.put_u8(T_CALL_REPLY);
                 b.put_u64(*call);
+                b.put_u64(*incarnation);
                 put_result(&mut b, result, put_bytes);
             }
             Msg::GetState { req, reply_to } => {
@@ -490,6 +546,28 @@ impl Msg {
                 put_result(&mut b, result, |_, ()| {});
             }
             Msg::ProcShutdown => b.put_u8(T_PROC_SHUTDOWN),
+            Msg::Ping { req, reply_to } => {
+                b.put_u8(T_PING);
+                b.put_u64(*req);
+                put_str(&mut b, reply_to);
+            }
+            Msg::Pong { req, incarnation } => {
+                b.put_u8(T_PONG);
+                b.put_u64(*req);
+                b.put_u64(*incarnation);
+            }
+            Msg::CheckpointRequest { req, line, name, reply_to } => {
+                b.put_u8(T_CHECKPOINT_REQUEST);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, name);
+                put_str(&mut b, reply_to);
+            }
+            Msg::CheckpointReply { req, result } => {
+                b.put_u8(T_CHECKPOINT_REPLY);
+                b.put_u64(*req);
+                put_result(&mut b, result, |b, n| b.put_u64(*n));
+            }
         }
         b.freeze()
     }
@@ -517,6 +595,7 @@ impl Msg {
                 line: r.u64()?,
                 name: r.str()?,
                 import_spec: r.str()?,
+                suspect_addr: r.str()?,
                 reply_to: r.str()?,
             },
             T_MAP_REPLY => {
@@ -539,6 +618,7 @@ impl Msg {
                 req: r.u64()?,
                 line: r.u64()?,
                 path: r.str()?,
+                incarnation: r.u64()?,
                 reply_to: r.str()?,
             },
             T_PROCESS_STARTED => {
@@ -552,9 +632,11 @@ impl Msg {
                 args: r.bytes()?,
                 reply_to: r.str()?,
             },
-            T_CALL_REPLY => {
-                Msg::CallReply { call: r.u64()?, result: get_result(&mut r, |r| r.bytes())? }
-            }
+            T_CALL_REPLY => Msg::CallReply {
+                call: r.u64()?,
+                incarnation: r.u64()?,
+                result: get_result(&mut r, |r| r.bytes())?,
+            },
             T_GET_STATE => Msg::GetState { req: r.u64()?, reply_to: r.str()? },
             T_STATE_REPLY => {
                 Msg::StateReply { req: r.u64()?, result: get_result(&mut r, |r| r.bytes())? }
@@ -564,6 +646,17 @@ impl Msg {
                 Msg::SetStateAck { req: r.u64()?, result: get_result(&mut r, |_| Ok(()))? }
             }
             T_PROC_SHUTDOWN => Msg::ProcShutdown,
+            T_PING => Msg::Ping { req: r.u64()?, reply_to: r.str()? },
+            T_PONG => Msg::Pong { req: r.u64()?, incarnation: r.u64()? },
+            T_CHECKPOINT_REQUEST => Msg::CheckpointRequest {
+                req: r.u64()?,
+                line: r.u64()?,
+                name: r.str()?,
+                reply_to: r.str()?,
+            },
+            T_CHECKPOINT_REPLY => {
+                Msg::CheckpointReply { req: r.u64()?, result: get_result(&mut r, |r| r.u64())? }
+            }
             other => return Err(SchError::Protocol(format!("unknown message tag {other}"))),
         };
         if r.buf.remaining() != 0 {
@@ -604,6 +697,7 @@ mod tests {
                 addr: "cray:proc-3".into(),
                 spec_src: "export f prog()".into(),
                 proc_names: vec!["F".into(), "G".into()],
+                incarnation: 4,
             }),
         });
         round_trip(Msg::StartReply {
@@ -615,6 +709,7 @@ mod tests {
             line: 7,
             name: "shaft".into(),
             import_spec: "import shaft prog()".into(),
+            suspect_addr: "cray:proc-3".into(),
             reply_to: "a:1".into(),
         });
         round_trip(Msg::MapReply {
@@ -623,6 +718,7 @@ mod tests {
                 addr: "cray:proc-3".into(),
                 remote_name: "SHAFT".into(),
                 export_spec: "export SHAFT prog()".into(),
+                incarnation: 9,
             }),
         });
         round_trip(Msg::MapReply {
@@ -647,6 +743,7 @@ mod tests {
             req: 6,
             line: 7,
             path: "/npss/shaft".into(),
+            incarnation: 2,
             reply_to: "mgr".into(),
         });
         round_trip(Msg::ProcessStarted {
@@ -661,9 +758,14 @@ mod tests {
             args: Bytes::from_static(&[1, 2, 3]),
             reply_to: "a:1".into(),
         });
-        round_trip(Msg::CallReply { call: 9, result: Ok(Bytes::from_static(&[4, 5])) });
         round_trip(Msg::CallReply {
             call: 9,
+            incarnation: 3,
+            result: Ok(Bytes::from_static(&[4, 5])),
+        });
+        round_trip(Msg::CallReply {
+            call: 9,
+            incarnation: 0,
             result: Err(WireFault::new(FaultCode::RemoteFault, "fault")),
         });
         round_trip(Msg::GetState { req: 10, reply_to: "mgr".into() });
@@ -675,12 +777,29 @@ mod tests {
             result: Err(WireFault::new(FaultCode::StateTransfer, "type")),
         });
         round_trip(Msg::ProcShutdown);
+        round_trip(Msg::Ping { req: 12, reply_to: "mgr".into() });
+        round_trip(Msg::Pong { req: 12, incarnation: 5 });
+        round_trip(Msg::CheckpointRequest {
+            req: 13,
+            line: 7,
+            name: "shaft".into(),
+            reply_to: "a:1".into(),
+        });
+        round_trip(Msg::CheckpointReply { req: 13, result: Ok(64) });
+        round_trip(Msg::CheckpointReply {
+            req: 13,
+            result: Err(WireFault::new(FaultCode::StateTransfer, "no state")),
+        });
     }
 
     #[test]
     fn fault_codes_round_trip_and_reconstruct() {
         for code in FaultCode::ALL {
-            round_trip(Msg::CallReply { call: 1, result: Err(WireFault::new(code, "detail")) });
+            round_trip(Msg::CallReply {
+                call: 1,
+                incarnation: 0,
+                result: Err(WireFault::new(code, "detail")),
+            });
         }
         let e = WireFault::new(FaultCode::UnknownProcedure, "shaft").into_error();
         assert_eq!(e, SchError::UnknownProcedure("shaft".into()));

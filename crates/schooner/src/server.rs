@@ -99,9 +99,11 @@ impl ServerWorker {
                 Err(_) => continue,
             };
             match msg {
-                Msg::StartProcess { req, line, path, reply_to } => {
+                Msg::StartProcess { req, line, path, incarnation, reply_to } => {
                     self.clock.advance(self.ctx.config.process_startup_s);
-                    let result = self.start_process(line, &path).map_err(|e| WireFault::from(&e));
+                    let result = self
+                        .start_process(line, &path, incarnation)
+                        .map_err(|e| WireFault::from(&e));
                     let reply = Msg::ProcessStarted { req, result };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
@@ -116,7 +118,7 @@ impl ServerWorker {
         }
     }
 
-    fn start_process(&mut self, line: u64, path: &str) -> SchResult<StartedInfo> {
+    fn start_process(&mut self, line: u64, path: &str, incarnation: u64) -> SchResult<StartedInfo> {
         let image = self.ctx.registry.resolve(&self.ctx.files, path, &self.host)?;
         let arch = self
             .ctx
@@ -144,12 +146,15 @@ impl ServerWorker {
         names.sort();
 
         let addr = format!("{}:proc-{}", self.host, PROC_COUNTER.fetch_add(1, Ordering::Relaxed));
-        let endpoint = self.ctx.net.register(addr.clone())?;
+        // Processes are born at the server's current virtual time; the
+        // transport fences their endpoint if the host crashes later.
+        let endpoint = self.ctx.net.register_process(addr.clone(), self.clock.now())?;
         let worker = ProcessWorker {
             ctx: self.ctx.clone(),
             host: self.host.clone(),
             arch,
             line,
+            incarnation,
             endpoint,
             clock: VirtualClock::starting_at(self.clock.now()),
             procs: folded,
@@ -170,7 +175,12 @@ impl ServerWorker {
             .map_err(|e| SchError::Other(format!("cannot spawn process thread: {e}")))?;
         self.children.push(join);
 
-        Ok(StartedInfo { addr, spec_src: image.spec_src().to_owned(), proc_names: names })
+        Ok(StartedInfo {
+            addr,
+            spec_src: image.spec_src().to_owned(),
+            proc_names: names,
+            incarnation,
+        })
     }
 }
 
@@ -182,6 +192,9 @@ struct ProcessWorker {
     arch: Architecture,
     /// Owning line; 0 means shared (callable from any line).
     line: u64,
+    /// Manager-assigned incarnation of this instance, stamped into every
+    /// reply so callers can fence pre-crash answers.
+    incarnation: u64,
     endpoint: Endpoint,
     clock: VirtualClock,
     procs: HashMap<String, Box<dyn Procedure>>,
@@ -212,7 +225,11 @@ impl ProcessWorker {
                     // detail, so the caller re-wraps it exactly once.
                     let result =
                         self.serve_call(line, &proc_name, args).map_err(|e| WireFault::from(&e));
-                    let reply = Msg::CallReply { call, result };
+                    let reply = Msg::CallReply { call, incarnation: self.incarnation, result };
+                    let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
+                }
+                Msg::Ping { req, reply_to } => {
+                    let reply = Msg::Pong { req, incarnation: self.incarnation };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
                 Msg::GetState { req, reply_to } => {
@@ -251,6 +268,7 @@ impl ProcessWorker {
                         reply_to,
                         Msg::CallReply {
                             call,
+                            incarnation: self.incarnation,
                             result: Err(WireFault::new(
                                 FaultCode::ProcessGone,
                                 self.endpoint.addr(),

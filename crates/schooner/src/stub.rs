@@ -262,6 +262,55 @@ export shaft prog(
         assert!(marshal_state(&types, &[], Architecture::SunSparc10).is_err());
     }
 
+    /// A checkpoint captured on any architecture restores bit-exactly on
+    /// any other — the property crash recovery of distributed transients
+    /// rests on. The values sit at the edges of the cross-architecture
+    /// range: the Cray word caps the mantissa at 48 bits, the VAX F/D
+    /// formats cap the exponent near ±2^127.
+    #[test]
+    fn checkpoint_state_survives_every_architecture_pair() {
+        let mant48 = (1u64 << 48) - 1; // widest mantissa every format holds
+        let big = mant48 as f64 * 2f64.powi(78); // ~3.0e37, near the VAX ceiling
+        let tiny = 2f64.powi(-120); // near the VAX floor
+        let types = vec![
+            ("t".to_owned(), Type::Double),
+            ("edges".to_owned(), Type::Array { len: 4, elem: Box::new(Type::Double) }),
+            ("gains".to_owned(), Type::Array { len: 3, elem: Box::new(Type::Float) }),
+            ("steps".to_owned(), Type::Integer),
+        ];
+        let values = vec![
+            Value::Double(0.125),
+            Value::doubles(&[big, -big, tiny, -tiny]),
+            Value::floats(&[8.5e37, -8.5e37, 1.2e-38]),
+            Value::Integer(i32::MAX as i64),
+        ];
+        for from in Architecture::ALL {
+            for to in Architecture::ALL {
+                let wire = marshal_state(&types, &values, from).unwrap();
+                let got = unmarshal_state(&types, wire.clone(), to).unwrap();
+                assert_eq!(got, values, "{from} -> {to}");
+                // Re-checkpointing a restored instance produces the same
+                // wire bytes, so relays through third hosts stay exact.
+                let rewire = marshal_state(&types, &got, to).unwrap();
+                assert_eq!(rewire, wire, "{from} -> {to} re-marshal");
+            }
+        }
+    }
+
+    /// Doubles with more than 48 significant bits cannot survive a Cray
+    /// restore exactly: the low bits round away, silently, exactly as a
+    /// real Cray computation would have produced them.
+    #[test]
+    fn cray_restore_rounds_to_its_48_bit_mantissa() {
+        let types = vec![("x".to_owned(), Type::Double)];
+        let fine = f64::from_bits(0x3FF0_0000_0000_000F); // 1 + 15 * 2^-52
+        let wire = marshal_state(&types, &[Value::Double(fine)], Architecture::SunSparc10).unwrap();
+        let got = unmarshal_state(&types, wire, Architecture::CrayYmp).unwrap();
+        let Value::Double(x) = got[0] else { panic!("{got:?}") };
+        assert_ne!(x, fine, "the low mantissa bits do not fit the Cray word");
+        assert!((x - fine).abs() < 1e-12, "rounding is to nearest: {x}");
+    }
+
     #[test]
     fn trailing_bytes_rejected_in_unmarshal() {
         let stub = shaft_stub();

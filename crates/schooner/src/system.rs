@@ -18,6 +18,7 @@ use crate::line::LineHandle;
 use crate::manager::{spawn_manager, ManagerHandle};
 use crate::program::{ProgramImage, ProgramRegistry};
 use crate::server::{spawn_server, Server};
+use crate::supervise::{SupervisionMap, SupervisionPolicy};
 use crate::trace::Trace;
 
 /// Address of the Manager process for the program rooted at `host`.
@@ -44,6 +45,9 @@ pub struct SchoonerConfig {
     pub per_scalar_flops: f64,
     /// Virtual seconds a Server spends forking a new process.
     pub process_startup_s: f64,
+    /// Consecutive heartbeat misses before the Manager declares a
+    /// suspect process dead and runs its supervision policy.
+    pub heartbeat_miss_threshold: u32,
 }
 
 impl Default for SchoonerConfig {
@@ -54,6 +58,7 @@ impl Default for SchoonerConfig {
             manager_overhead_s: 0.4e-3,
             per_scalar_flops: 80.0,
             process_startup_s: 30e-3,
+            heartbeat_miss_threshold: 2,
         }
     }
 }
@@ -71,6 +76,9 @@ pub struct RuntimeCtx {
     pub registry: ProgramRegistry,
     /// Event trace sink.
     pub trace: Trace,
+    /// Per-executable supervision policies, consulted by the Manager
+    /// when a supervised process dies.
+    pub supervision: SupervisionMap,
     /// Cost-model configuration.
     pub config: Arc<SchoonerConfig>,
 }
@@ -95,6 +103,7 @@ impl Schooner {
             files: FileStore::new(),
             registry: ProgramRegistry::new(),
             trace: Trace::new(),
+            supervision: SupervisionMap::new(),
             config: Arc::new(config),
         };
         let hosts: Vec<String> = ctx
@@ -151,6 +160,13 @@ impl Schooner {
             self.ctx.registry.install(&self.ctx.files, path, h)?;
         }
         Ok(())
+    }
+
+    /// Install the supervision policy applied when a process started
+    /// from `path` is declared dead. Paths without a policy restart in
+    /// place.
+    pub fn set_supervision_policy(&self, path: &str, policy: SupervisionPolicy) {
+        self.ctx.supervision.set(path, policy);
     }
 
     /// Register a module with the Manager and open a new line for it. The

@@ -59,10 +59,12 @@ impl Trace {
         }
     }
 
-    /// Snapshot of all events, sorted by time (stable for ties).
+    /// Snapshot of all events, sorted by time (stable for ties). Uses a
+    /// total order on `f64` so a NaN timestamp — however a component
+    /// manages to produce one — sorts to the end instead of panicking.
     pub fn events(&self) -> Vec<Event> {
         let mut v = self.events.lock().unwrap().clone();
-        v.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        v.sort_by(|a, b| a.t.total_cmp(&b.t));
         v
     }
 
@@ -101,6 +103,20 @@ mod tests {
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].who, "a");
         assert_eq!(ev[1].who, "b");
+    }
+
+    #[test]
+    fn nan_timestamps_do_not_panic_the_sort() {
+        let t = Trace::enabled();
+        t.record(f64::NAN, "broken", "nan stamp");
+        t.record(1.0, "a", "x");
+        t.record(f64::NAN, "broken", "another");
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].who, "a", "finite times sort before NaN");
+        assert!(ev[1].t.is_nan() && ev[2].t.is_nan());
+        // render() goes through the same sort.
+        assert!(t.render().contains("nan stamp"));
     }
 
     #[test]

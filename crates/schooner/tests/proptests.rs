@@ -66,15 +66,21 @@ fn gen_started(g: &mut Gen) -> StartedInfo {
         addr: g.ident(24),
         spec_src: g.printable(80),
         proc_names: (0..g.below(4)).map(|_| g.ident(12)).collect(),
+        incarnation: g.next_u64(),
     }
 }
 
 fn gen_mapinfo(g: &mut Gen) -> MapInfo {
-    MapInfo { addr: g.ident(24), remote_name: g.ident(12), export_spec: g.printable(80) }
+    MapInfo {
+        addr: g.ident(24),
+        remote_name: g.ident(12),
+        export_spec: g.printable(80),
+        incarnation: g.next_u64(),
+    }
 }
 
 fn gen_msg(g: &mut Gen) -> Msg {
-    match g.below(16) {
+    match g.below(20) {
         0 => Msg::OpenLine { req: g.next_u64(), module: g.ident(16), reply_to: g.ident(16) },
         1 => Msg::LineOpened { req: g.next_u64(), line: g.next_u64() },
         2 => Msg::StartRequest {
@@ -94,6 +100,7 @@ fn gen_msg(g: &mut Gen) -> Msg {
             line: g.next_u64(),
             name: g.ident(12),
             import_spec: g.printable(60),
+            suspect_addr: g.ident(16),
             reply_to: g.ident(16),
         },
         5 => {
@@ -111,7 +118,7 @@ fn gen_msg(g: &mut Gen) -> Msg {
         },
         9 => {
             let result = if g.flag() { Ok(Bytes::from(g.bytes(64))) } else { Err(gen_fault(g)) };
-            Msg::CallReply { call: g.next_u64(), result }
+            Msg::CallReply { call: g.next_u64(), incarnation: g.next_u64(), result }
         }
         10 => {
             let result = if g.flag() { Ok(gen_mapinfo(g)) } else { Err(gen_fault(g)) };
@@ -127,7 +134,19 @@ fn gen_msg(g: &mut Gen) -> Msg {
         }
         13 => Msg::ManagerShutdown,
         14 => Msg::ServerShutdown,
-        _ => Msg::ProcShutdown,
+        15 => Msg::ProcShutdown,
+        16 => Msg::Ping { req: g.next_u64(), reply_to: g.ident(16) },
+        17 => Msg::Pong { req: g.next_u64(), incarnation: g.next_u64() },
+        18 => Msg::CheckpointRequest {
+            req: g.next_u64(),
+            line: g.next_u64(),
+            name: g.ident(12),
+            reply_to: g.ident(16),
+        },
+        _ => {
+            let result = if g.flag() { Ok(g.next_u64()) } else { Err(gen_fault(g)) };
+            Msg::CheckpointReply { req: g.next_u64(), result }
+        }
     }
 }
 

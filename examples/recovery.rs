@@ -1,0 +1,167 @@
+//! Checkpoint/restart of a distributed transient.
+//!
+//! The Table-2 configuration — TESS on the UA Sparc 10 with six remote
+//! module instances, both ducts on the LeRC Cray Y-MP — runs a one-second
+//! F100 transient while the Cray **crashes mid-run**, destroying both
+//! duct processes. The call policy exhausts inside the crash window, the
+//! failed solver step rolls the transient back to its latest checkpoint
+//! barrier, and once the Cray reboots the Manager's supervision declares
+//! the old processes dead and respawns them under fresh incarnations.
+//! The recovered run is verified **bit-identical** to an uninterrupted
+//! one: with single-step integration, stateless adapted procedures, and
+//! exact f32 marshaling, recovery leaves no numeric fingerprint.
+//!
+//! Every timing decision is made in virtual time from a seeded fault
+//! plan, so this example prints the same transcript on every run.
+//!
+//! Run with: `cargo run --release --example recovery`
+
+use npss_sim::netsim::FaultPlan;
+use npss_sim::npss::engine_exec::Exec;
+use npss_sim::npss::{procs, ExecutiveEngine, RemoteExec};
+use npss_sim::schooner::{CallPolicy, Schooner};
+use npss_sim::tess::engine::Turbofan;
+use npss_sim::tess::schedules::Schedule;
+use npss_sim::tess::transient::{TransientMethod, TransientResult};
+
+const T_END: f64 = 1.0;
+const DT: f64 = 0.02;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== checkpoint/restart of the Table-2 transient ==\n");
+
+    // Reference: the same placement, never interrupted.
+    let sch = world()?;
+    let mut engine = table2_engine(&sch)?;
+    let t_start = vnow(&mut engine);
+    let reference = run(&mut engine)?;
+    let t_stop = vnow(&mut engine);
+    engine.shutdown();
+    sch.shutdown();
+    println!(
+        "reference run: {} samples over {:.1}s of engine time \
+         ({:.1} virtual seconds of distributed execution)",
+        reference.samples.len(),
+        T_END,
+        t_stop - t_start
+    );
+
+    // Faulted run: the Cray crashes a little past mid-run and reboots
+    // 0.35 virtual seconds later. The two-attempt call policy cannot
+    // ride that out, so the transient must fall back to its barriers.
+    let t_crash = t_start + 0.55 * (t_stop - t_start);
+    let sch = world()?;
+    sch.ctx().trace.set_enabled(true);
+    let mut engine = table2_engine(&sch)?;
+    sch.ctx().net.set_fault_plan(Some(
+        FaultPlan::new(0xF100)
+            .host_crash("lerc-cray-ymp", t_crash)
+            .host_restart("lerc-cray-ymp", t_crash + 0.35),
+    ));
+    println!(
+        "\ncrash scheduled: lerc-cray-ymp (both duct instances) down at \
+         t = {t_crash:.2}s, rebooting at t = {:.2}s\n",
+        t_crash + 0.35
+    );
+
+    let recovered = run(&mut engine)?;
+    println!(
+        "faulted run completed: {} samples, {} checkpoint rollback(s)\n",
+        recovered.samples.len(),
+        engine.recoveries
+    );
+
+    println!("supervision trace:");
+    let rendered = sch.ctx().trace.render();
+    for line in rendered.lines().filter(|l| {
+        ["resuming from checkpoint", "declared", "respawned", "heartbeat", "escalating"]
+            .iter()
+            .any(|k| l.contains(k))
+    }) {
+        println!("  {line}");
+    }
+
+    // The verification criterion, bit for bit.
+    let mut worst: u64 = 0;
+    for (a, b) in recovered.samples.iter().zip(&reference.samples) {
+        for (x, y) in [
+            (a.t, b.t),
+            (a.n1, b.n1),
+            (a.n2, b.n2),
+            (a.wf, b.wf),
+            (a.thrust, b.thrust),
+            (a.t4, b.t4),
+            (a.w2, b.w2),
+        ] {
+            worst = worst.max(x.to_bits().abs_diff(y.to_bits()));
+        }
+    }
+    let identical = recovered.samples.len() == reference.samples.len() && worst == 0;
+    println!(
+        "\nrecovered vs uninterrupted: {} samples each, max ULP distance {worst} -> {}",
+        recovered.samples.len(),
+        if identical { "BIT-IDENTICAL" } else { "MISMATCH" }
+    );
+    if !identical {
+        return Err("recovered transient deviates from the uninterrupted run".into());
+    }
+
+    engine.shutdown();
+    sch.ctx().net.set_fault_plan(None);
+    sch.shutdown();
+    Ok(())
+}
+
+fn world() -> Result<Schooner, Box<dyn std::error::Error>> {
+    let sch = Schooner::standard().map_err(|e| e.to_string())?;
+    let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
+    let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    for (path, image) in [
+        (procs::SHAFT_PATH, procs::shaft_image()),
+        (procs::DUCT_PATH, procs::duct_image()),
+        (procs::COMBUSTOR_PATH, procs::combustor_image()),
+        (procs::NOZZLE_PATH, procs::nozzle_image()),
+    ] {
+        sch.install_program(path, image, &host_refs).map_err(|e| e.to_string())?;
+    }
+    Ok(sch)
+}
+
+/// The Table-2 placement with checkpoint barriers every five solver
+/// steps and a deliberately short-fused call policy.
+fn table2_engine(sch: &Schooner) -> Result<ExecutiveEngine, Box<dyn std::error::Error>> {
+    let policy = CallPolicy::new().idempotent(true).retries(1).backoff(0.1, 2.0, 0.1);
+    let mut exec = ExecutiveEngine::all_local(Turbofan::f100()?)?;
+    for (slot, path, machine) in [
+        ("combustor", procs::COMBUSTOR_PATH, "ua-sgi-4d340"),
+        ("bypass duct", procs::DUCT_PATH, "lerc-cray-ymp"),
+        ("tailpipe duct", procs::DUCT_PATH, "lerc-cray-ymp"),
+        ("nozzle", procs::NOZZLE_PATH, "lerc-sgi-4d420"),
+        ("low speed shaft", procs::SHAFT_PATH, "lerc-rs6000"),
+        ("high speed shaft", procs::SHAFT_PATH, "lerc-rs6000"),
+    ] {
+        let line = sch.open_line(slot, "ua-sparc10").map_err(|e| e.to_string())?;
+        let remote = RemoteExec::start(line, path, machine)?.with_policy(policy.clone());
+        exec.set_remote(slot, remote)?;
+    }
+    exec.checkpoint_interval = 5;
+    exec.max_recoveries = 20;
+    Ok(exec)
+}
+
+fn vnow(exec: &mut ExecutiveEngine) -> f64 {
+    match &mut exec.bypass_duct {
+        Exec::Remote(r) => r.line_mut().now(),
+        Exec::Local(_) => unreachable!("table2 places the bypass duct remotely"),
+    }
+}
+
+fn run(exec: &mut ExecutiveEngine) -> Result<TransientResult, Box<dyn std::error::Error>> {
+    let wf_ref = exec.engine.design.wf;
+    let fuel = Schedule::new(vec![
+        (0.0, 0.92 * wf_ref),
+        (0.1 * T_END, 0.92 * wf_ref),
+        (0.4 * T_END, wf_ref),
+    ])?;
+    Ok(exec.run_transient(&fuel, TransientMethod::ImprovedEuler, DT, T_END)?)
+}

@@ -104,6 +104,15 @@ fn bench_rpc_vs_mp(c: &mut Criterion) {
     println!(
         "request payload bytes: Schooner (tagged IR) {rpc_bytes}, mplite (raw native) {mp_bytes}"
     );
+    let m = mp.metrics();
+    println!(
+        "mplite traffic (from the metrics registry): {} sends / {} user bytes out, \
+         {} recvs / {} user bytes in",
+        m.counter("mp.send.messages"),
+        m.counter("mp.send.bytes"),
+        m.counter("mp.recv.messages"),
+        m.counter("mp.recv.bytes"),
+    );
     println!(
         "Schooner adds self-describing tags, bind-time type checks, name service, and\n\
          per-line cleanup; mplite requires the user to track task ids, sender\n\

@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hetsim::MachinePark;
-use netsim::{Endpoint, NetError, Network, Topology, VirtualClock};
+use netsim::{Endpoint, MetricsRegistry, NetError, Network, Topology, VirtualClock};
 use std::sync::Mutex;
 use uts::arch::{FloatRepr, IntRepr};
 use uts::native::{cray, vax};
@@ -196,6 +196,7 @@ pub struct TaskCtx {
     clock: VirtualClock,
     park: MachinePark,
     registry: Arc<Mutex<Registry>>,
+    metrics: MetricsRegistry,
 }
 
 impl TaskCtx {
@@ -236,11 +237,16 @@ impl TaskCtx {
             .get(&to)
             .map(|(a, _)| a.clone())
             .ok_or_else(|| format!("no task {to:?}"))?;
+        let user_bytes = payload.len() as u64;
         let mut framed = BytesMut::with_capacity(payload.len() + 12);
         framed.put_u64(self.tid.0);
         framed.put_u32(tag);
         framed.put_slice(&payload);
         self.endpoint.send(&addr, framed.freeze(), self.clock.now()).map_err(|e| e.to_string())?;
+        // User-payload accounting (frame header excluded), comparable to
+        // Schooner's rpc.request_bytes in the A7 ablation.
+        self.metrics.counter_add("mp.send.messages", 1);
+        self.metrics.counter_add("mp.send.bytes", user_bytes);
         Ok(())
     }
 
@@ -267,6 +273,8 @@ impl TaskCtx {
             if msg_tag != tag {
                 continue;
             }
+            self.metrics.counter_add("mp.recv.messages", 1);
+            self.metrics.counter_add("mp.recv.bytes", payload.remaining() as u64);
             return Ok(MpMessage { from, tag: msg_tag, payload, arrive_at: env.arrive_at });
         }
     }
@@ -306,6 +314,7 @@ impl MpSystem {
             clock: VirtualClock::new(),
             park: self.park.clone(),
             registry: self.registry.clone(),
+            metrics: self.net.metrics().clone(),
         })
     }
 
@@ -323,6 +332,13 @@ impl MpSystem {
             .map_err(|e| e.to_string())?;
         self.handles.lock().unwrap().push(handle);
         Ok(tid)
+    }
+
+    /// The world's metrics registry: per-link transport counters plus
+    /// the `mp.send.*` / `mp.recv.*` message and user-byte totals every
+    /// task records into it.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.net.metrics()
     }
 
     /// Wait for every spawned task to finish.
@@ -409,6 +425,27 @@ mod tests {
         let mut ub = UnpackBuffer::new(a.arch(), msg.payload);
         assert_eq!(ub.unpack_int().unwrap(), 2);
         assert!(b.recv(1, Duration::from_millis(100)).is_err(), "tag-1 was discarded");
+    }
+
+    #[test]
+    fn metrics_count_messages_and_user_bytes() {
+        let mp = MpSystem::standard();
+        let a = mp.register("lerc-sparc10").unwrap();
+        let b = mp.register("lerc-sgi-4d480").unwrap();
+        let mut pb = PackBuffer::new(a.arch());
+        pb.pack_int(1).pack_f32(2.0);
+        let payload = pb.finish();
+        let n = payload.len() as u64;
+        a.send(b.tid(), 3, payload).unwrap();
+        b.recv(3, Duration::from_secs(2)).unwrap();
+        let m = mp.metrics();
+        assert_eq!(m.counter("mp.send.messages"), 1);
+        assert_eq!(m.counter("mp.send.bytes"), n, "frame header excluded");
+        assert_eq!(m.counter("mp.recv.messages"), 1);
+        assert_eq!(m.counter("mp.recv.bytes"), n);
+        // The transport's own per-link counter sees the framed message.
+        assert_eq!(m.counter("net.msg.lerc-sparc10->lerc-sgi-4d480"), 1);
+        assert_eq!(m.counter("net.bytes.lerc-sparc10->lerc-sgi-4d480"), n + 12);
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! University of Arizona. This crate replaces those physical networks with
 //! an in-process simulation that preserves their *cost structure*:
 //!
-//! * a [`Topology`](topology::Topology) of hosts, subnet switches, and
+//! * a [`Topology`] of hosts, subnet switches, and
 //!   gateway routers connected by links with latency and bandwidth;
 //! * shortest-path routing and store-and-forward transfer-time accounting;
-//! * a reliable, ordered [`transport`](transport) built on channels, where
+//! * a reliable, ordered [`transport`] built on channels, where
 //!   every message carries the **virtual time** at which it arrives;
 //! * failure injection: hosts can go down, links can be removed, sites can
 //!   be partitioned.
@@ -19,12 +19,14 @@
 //! reporting wide-area numbers.
 
 pub mod faults;
+pub mod metrics;
 pub mod sites;
 pub mod time;
 pub mod topology;
 pub mod transport;
 
 pub use faults::FaultPlan;
+pub use metrics::{Histogram, MetricsRegistry};
 pub use sites::{npss_testbed, replica_of, HostSpec, Site};
 pub use time::VirtualClock;
 pub use topology::{Link, NodeId, NodeKind, Topology};

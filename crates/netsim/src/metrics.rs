@@ -1,0 +1,346 @@
+//! Deterministic metrics: named counters and virtual-time histograms.
+//!
+//! The registry is the bottom layer of the observability substrate. It
+//! lives in `netsim` because the transport is the lowest instrumented
+//! layer and every higher crate (`schooner`, `mplite`, `npss`) already
+//! depends on `netsim`; `schooner::obs` re-exports it as the canonical
+//! handle. Everything it records is keyed by **name** and measured in
+//! **virtual time**, so two runs of the same seeded simulation produce
+//! byte-identical [`MetricsRegistry::snapshot_json`] exports — the
+//! determinism tests depend on this, which is also why keys must never
+//! embed process-unique identifiers (host names and line-relative call
+//! ids are fine; global process counters are not).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Upper bounds (seconds, virtual time) of the histogram's log-scale
+/// buckets; an implicit `+inf` bucket catches the rest. The range spans
+/// sub-microsecond local calls up to tens-of-seconds WAN retries.
+pub const BUCKET_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// One named distribution of virtual-time durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations, in virtual seconds.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Occupancy per bucket: `buckets[i]` counts observations at or
+    /// below `BUCKET_BOUNDS[i]`; the final slot is the `+inf` overflow.
+    pub buckets: [u64; BUCKET_BOUNDS.len() + 1],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKET_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        let slot = BUCKET_BOUNDS.iter().position(|&b| v <= b).unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[slot] += 1;
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shared registry of named counters and virtual-time histograms.
+/// Cloning is cheap; all clones share storage.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    store: Arc<Mutex<Store>>,
+}
+
+/// Take the guard even when a previous holder panicked: metrics are
+/// monotonic aggregates, so a half-applied update is still usable and a
+/// poisoned lock must not cascade the panic into every later reader.
+fn lock(store: &Mutex<Store>) -> MutexGuard<'_, Store> {
+    store.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter, creating it at zero first.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut s = lock(&self.store);
+        match s.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                s.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 when it has never been touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.store).counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one virtual-time duration into the named histogram.
+    pub fn observe(&self, name: &str, seconds: f64) {
+        let mut s = lock(&self.store);
+        match s.histograms.get_mut(name) {
+            Some(h) => h.observe(seconds),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(seconds);
+                s.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Snapshot of a histogram, if it has ever been observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.store).histograms.get(name).cloned()
+    }
+
+    /// Names of all counters whose name starts with `prefix`, in sorted
+    /// order (pass `""` for everything).
+    pub fn counter_names(&self, prefix: &str) -> Vec<String> {
+        lock(&self.store).counters.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+    }
+
+    /// Names of all histograms whose name starts with `prefix`, sorted.
+    pub fn histogram_names(&self, prefix: &str) -> Vec<String> {
+        lock(&self.store).histograms.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+    }
+
+    /// Forget everything (fresh-world tests).
+    pub fn clear(&self) {
+        let mut s = lock(&self.store);
+        s.counters.clear();
+        s.histograms.clear();
+    }
+
+    /// Deterministic JSON export: keys in sorted (BTreeMap) order,
+    /// floats in Rust's shortest-roundtrip `Display` form, two-space
+    /// indentation. Identical simulations yield identical bytes.
+    pub fn snapshot_json(&self) -> String {
+        let s = lock(&self.store);
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &s.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: {value}", json_string(name));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        first = true;
+        for (name, h) in &s.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                json_string(name),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max)
+            );
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Escape a metric name as a JSON string literal. Names are ASCII
+/// identifiers with `.`, `->`, and host punctuation, but escape the
+/// general cases anyway so the export is always valid JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float for JSON. JSON has no infinities; an empty histogram
+/// never reaches the export path, but clamp defensively to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers like `3` are valid JSON numbers already.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("rpc.calls"), 0);
+        m.counter_add("rpc.calls", 2);
+        m.counter_add("rpc.calls", 3);
+        assert_eq!(m.counter("rpc.calls"), 5);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m.counter_add("x", 1);
+        m2.counter_add("x", 1);
+        assert_eq!(m.counter("x"), 2);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", 0.002);
+        m.observe("lat", 0.5);
+        m.observe("lat", 0.0005);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 0.5025).abs() < 1e-12);
+        assert_eq!(h.min, 0.0005);
+        assert_eq!(h.max, 0.5);
+        assert!((h.mean() - 0.5025 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale_with_overflow() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", 5e-7); // <= 1e-6 -> bucket 0
+        m.observe("lat", 5e-3); // <= 1e-2 -> bucket 4
+        m.observe("lat", 100.0); // overflow
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len()], 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let m = MetricsRegistry::new();
+        m.counter_add("zeta", 1);
+        m.counter_add("alpha", 2);
+        m.observe("lat.b->a", 0.25);
+        let a = m.snapshot_json();
+        let b = m.snapshot_json();
+        assert_eq!(a, b);
+        let alpha = a.find("\"alpha\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counters must be name-sorted");
+        assert!(a.contains("\"lat.b->a\""));
+        assert!(a.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.snapshot_json(), "{\n  \"counters\": {},\n  \"histograms\": {}\n}\n");
+    }
+
+    #[test]
+    fn prefix_queries_filter_names() {
+        let m = MetricsRegistry::new();
+        m.counter_add("net.msg.a->b", 1);
+        m.counter_add("net.bytes.a->b", 64);
+        m.counter_add("rpc.calls", 1);
+        m.observe("rpc.call_s.a->b", 0.1);
+        assert_eq!(m.counter_names("net."), vec!["net.bytes.a->b", "net.msg.a->b"]);
+        assert_eq!(m.counter_names(""), vec!["net.bytes.a->b", "net.msg.a->b", "rpc.calls"]);
+        assert_eq!(m.histogram_names("rpc."), vec!["rpc.call_s.a->b"]);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = MetricsRegistry::new();
+        m.counter_add("x", 1);
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.store.lock().unwrap();
+            panic!("poison the registry lock");
+        })
+        .join();
+        // Readers and writers keep working after the panic.
+        m.counter_add("x", 1);
+        assert_eq!(m.counter("x"), 2);
+        assert!(m.snapshot_json().contains("\"x\": 2"));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let m = MetricsRegistry::new();
+        m.counter_add("x", 1);
+        m.observe("y", 1.0);
+        m.clear();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.histogram("y").is_none());
+    }
+}

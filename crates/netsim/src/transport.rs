@@ -18,6 +18,7 @@ use std::time::Duration;
 use bytes::Bytes;
 
 use crate::faults::FaultPlan;
+use crate::metrics::MetricsRegistry;
 use crate::topology::Topology;
 
 /// Transport errors.
@@ -116,6 +117,7 @@ struct NetInner {
     faults: RwLock<Option<Arc<FaultPlan>>>,
     next_ep: AtomicU64,
     stats: NetworkStats,
+    metrics: MetricsRegistry,
 }
 
 /// Handle to the shared simulated network. Cloning is cheap.
@@ -140,6 +142,7 @@ impl Network {
                 faults: RwLock::new(None),
                 next_ep: AtomicU64::new(1),
                 stats: NetworkStats::default(),
+                metrics: MetricsRegistry::new(),
             }),
         }
     }
@@ -221,6 +224,13 @@ impl Network {
         &self.inner.stats
     }
 
+    /// The network's metrics registry. Higher layers (Schooner's `obs`,
+    /// mplite) adopt this same registry so one snapshot covers the whole
+    /// stack.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
     /// Virtual transfer time between two hosts for a payload size.
     pub fn transfer_seconds(&self, from: &str, to: &str, bytes: usize) -> Result<f64, NetError> {
         let topo = self.inner.topo.read().unwrap();
@@ -240,8 +250,33 @@ impl Network {
         payload: Bytes,
         sent_at: f64,
     ) -> Result<f64, NetError> {
-        let from_host = host_of(from);
-        let to_host = host_of(to);
+        let from_host = host_of(from).to_owned();
+        let to_host = host_of(to).to_owned();
+        let nbytes = payload.len() as u64;
+        let result = self.send_inner(from, to, &from_host, &to_host, payload, sent_at);
+        let m = &self.inner.metrics;
+        match &result {
+            Ok(_) => {
+                m.counter_add(&format!("net.msg.{from_host}->{to_host}"), 1);
+                m.counter_add(&format!("net.bytes.{from_host}->{to_host}"), nbytes);
+            }
+            Err(NetError::Dropped { .. }) => m.counter_add("net.fault.dropped", 1),
+            Err(NetError::Unreachable { .. }) => m.counter_add("net.fault.partitioned", 1),
+            Err(NetError::HostDown(_)) => m.counter_add("net.fault.hostdown", 1),
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn send_inner(
+        &self,
+        from: &str,
+        to: &str,
+        from_host: &str,
+        to_host: &str,
+        payload: Bytes,
+        sent_at: f64,
+    ) -> Result<f64, NetError> {
         if self.is_down(from_host) {
             return Err(NetError::HostDown(from_host.into()));
         }
@@ -265,6 +300,7 @@ impl Network {
             // nothing, which the RPC layer classifies as a stale binding.
             if let (Some(birth), Some(plan)) = (entry.birth, &plan) {
                 if plan.crash_count(to_host, sent_at) > plan.crash_count(to_host, birth) {
+                    self.inner.metrics.counter_add("net.fault.fenced", 1);
                     return Err(NetError::UnknownAddress(to.into()));
                 }
             }
@@ -449,6 +485,27 @@ mod tests {
         net.send("a:x", "b:svc", Bytes::from_static(&[0; 64]), 0.0).unwrap();
         net.send("a:x", "b:svc", Bytes::from_static(&[0; 36]), 0.0).unwrap();
         assert_eq!(net.stats().snapshot(), (2, 100));
+    }
+
+    #[test]
+    fn metrics_record_per_link_traffic_and_faults() {
+        let net = net3();
+        let _pb = net.register("b:svc").unwrap();
+        net.send("a:x", "b:svc", Bytes::from_static(&[0; 64]), 0.0).unwrap();
+        net.send("a:x", "b:svc", Bytes::from_static(&[0; 36]), 0.0).unwrap();
+        assert_eq!(net.metrics().counter("net.msg.a->b"), 2);
+        assert_eq!(net.metrics().counter("net.bytes.a->b"), 100);
+        net.set_host_up("b", false);
+        let _ = net.send("a:x", "b:svc", Bytes::new(), 0.0);
+        assert_eq!(net.metrics().counter("net.fault.hostdown"), 1);
+        net.set_host_up("b", true);
+        net.with_topology_mut(|t| {
+            let b = t.node("b").unwrap();
+            let sw = t.node("sw").unwrap();
+            t.remove_links(b, sw);
+        });
+        let _ = net.send("a:x", "b:svc", Bytes::new(), 0.0);
+        assert_eq!(net.metrics().counter("net.fault.partitioned"), 1);
     }
 
     #[test]

@@ -524,9 +524,9 @@ impl ExecutiveEngine {
         }
     }
 
-    /// Record a supervision note in the shared trace via the first remote
-    /// executor's line (no-op in an all-local configuration).
-    fn record_note(&mut self, note: String) {
+    /// The first remote executor's line — the engine's conduit to the
+    /// world's observability sink (`None` in an all-local configuration).
+    fn first_remote_line(&mut self) -> Option<&mut schooner::LineHandle> {
         for e in [
             &mut self.bypass_duct,
             &mut self.tailpipe,
@@ -536,11 +536,18 @@ impl ExecutiveEngine {
             &mut self.hp_shaft,
         ] {
             if let Exec::Remote(r) = e {
-                let line = r.line_mut();
-                let now = line.now();
-                line.trace().record(now, "executive", note);
-                return;
+                return Some(r.line_mut());
             }
+        }
+        None
+    }
+
+    /// Emit an engine-level event through the first remote executor's
+    /// line (no-op in an all-local configuration).
+    fn emit_event(&mut self, kind: schooner::EventKind) {
+        if let Some(line) = self.first_remote_line() {
+            let now = line.now();
+            line.obs().emit(now, kind);
         }
     }
 
@@ -580,6 +587,7 @@ impl ExecutiveEngine {
         self.recoveries = 0;
         let mut checkpoint = if self.checkpoint_interval > 0 {
             self.checkpoint_remotes();
+            self.emit_event(schooner::EventKind::Barrier { step, t });
             Some(TransientCheckpoint { t, step, y, inner, samples_len: samples.len() })
         } else {
             None
@@ -605,17 +613,17 @@ impl ExecutiveEngine {
                     t += dt;
                     step += 1;
                     samples.push(sample);
-                    if let Some(cp) = checkpoint.as_mut() {
-                        if step % self.checkpoint_interval == 0 && step < steps {
-                            self.checkpoint_remotes();
-                            *cp = TransientCheckpoint {
-                                t,
-                                step,
-                                y,
-                                inner,
-                                samples_len: samples.len(),
-                            };
-                        }
+                    if checkpoint.is_some() && step % self.checkpoint_interval == 0 && step < steps
+                    {
+                        self.checkpoint_remotes();
+                        self.emit_event(schooner::EventKind::Barrier { step, t });
+                        checkpoint = Some(TransientCheckpoint {
+                            t,
+                            step,
+                            y,
+                            inner,
+                            samples_len: samples.len(),
+                        });
                     }
                 }
                 Err(e) => {
@@ -633,13 +641,16 @@ impl ExecutiveEngine {
                     inner = cp.inner;
                     samples.truncate(cp.samples_len);
                     integrator = method.integrator();
-                    self.record_note(format!(
-                        "step {} failed ({e}); resuming from checkpoint at t={t:.3} \
-                         (recovery {} of {})",
-                        step + 1,
-                        self.recoveries,
-                        self.max_recoveries
-                    ));
+                    if let Some(line) = self.first_remote_line() {
+                        line.obs().metrics().counter_add("engine.rollbacks", 1);
+                    }
+                    self.emit_event(schooner::EventKind::Rollback {
+                        step: step + 1,
+                        cause: e,
+                        t,
+                        recovery: self.recoveries,
+                        max: self.max_recoveries,
+                    });
                 }
             }
         }

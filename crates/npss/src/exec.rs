@@ -226,10 +226,15 @@ impl RemoteExec {
             fallback.call(name, args)?;
         }
         self.degraded = true;
-        self.line.trace().record(
+        let obs = self.line.obs();
+        obs.metrics().counter_add("exec.degrades", 1);
+        obs.emit(
             self.line.now(),
-            format!("line-{}", self.line.id()),
-            format!("degraded '{}' to local fallback after: {cause}", self.line.module()),
+            schooner::EventKind::Degraded {
+                line: self.line.id(),
+                module: self.line.module().to_owned(),
+                cause: cause.to_string(),
+            },
         );
         Ok(())
     }

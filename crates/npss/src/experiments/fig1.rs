@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use schooner::{FnProcedure, ProgramImage, Schooner};
+use schooner::{CallSpan, FnProcedure, Phase, ProgramImage, Schooner};
 use uts::Value;
 
 /// A procedure image used by the Figure 1 program: `work(x) -> y` doing a
@@ -72,16 +72,41 @@ pub fn run_fig1_program(sch: &Arc<Schooner>) -> Result<String, String> {
     line3.start_remote("/fig1/p3", "lerc-convex").map_err(|e| e.to_string())?;
     let _ = line3.call("work", &[x]).map_err(|e| e.to_string())?;
 
+    let line_ids = [line.id(), line2.id(), line3.id()];
     line.quit().map_err(|e| e.to_string())?;
     line2.quit().map_err(|e| e.to_string())?;
     line3.quit().map_err(|e| e.to_string())?;
 
-    let rendered = ctx.trace.render();
+    let mut rendered = ctx.trace.render();
     ctx.trace.set_enabled(false);
+
+    // Where the time goes when control crosses machines — straight from
+    // the call spans, not from parsing the trace text.
+    rendered.push_str("\nper-call phase breakdown (virtual ms, from call spans):\n");
+    rendered.push_str(&format!(
+        "{:<6} {:<30} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "proc", "machines", "marshal", "transmit", "compute", "reply", "unmarsh", "total"
+    ));
+    for id in line_ids {
+        for s in ctx.obs.spans_for_line(id) {
+            rendered.push_str(&format!(
+                "{:<6} {:<30} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                s.proc,
+                format!("{} -> {}", s.from_host, s.to_host),
+                s.phase(Phase::Marshal) * 1e3,
+                s.phase(Phase::Transmit) * 1e3,
+                s.phase(Phase::Compute) * 1e3,
+                s.phase(Phase::Reply) * 1e3,
+                s.phase(Phase::Unmarshal) * 1e3,
+                s.total() * 1e3,
+            ));
+        }
+    }
     Ok(rendered)
 }
 
-/// Per-machine-pair call cost measurement.
+/// Per-machine-pair call cost measurement, with the per-phase breakdown
+/// aggregated from the call spans of the measured line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairCost {
     /// Caller host.
@@ -92,10 +117,30 @@ pub struct PairCost {
     pub network: String,
     /// Mean virtual milliseconds per call (small payload).
     pub per_call_ms: f64,
+    /// Mean milliseconds marshaling arguments at the caller.
+    pub marshal_ms: f64,
+    /// Mean milliseconds the request spent on the wire.
+    pub transmit_ms: f64,
+    /// Mean milliseconds of server-side unmarshal + execute + marshal.
+    pub compute_ms: f64,
+    /// Mean milliseconds the reply spent on the wire.
+    pub reply_ms: f64,
+    /// Mean milliseconds unmarshaling results at the caller.
+    pub unmarshal_ms: f64,
+}
+
+/// Mean milliseconds of one phase over a set of spans.
+fn mean_phase_ms(spans: &[CallSpan], phase: Phase) -> f64 {
+    if spans.is_empty() {
+        return 0.0;
+    }
+    spans.iter().map(|s| s.phase(phase)).sum::<f64>() * 1e3 / spans.len() as f64
 }
 
 /// Measure the virtual round-trip cost of a small RPC for each (caller,
-/// callee) pair drawn from `hosts`.
+/// callee) pair drawn from `hosts`. Both the per-call mean and its phase
+/// breakdown come from the line's completed call spans — the first
+/// (cache-warming) call is excluded so the numbers are steady-state.
 pub fn measure_pair_costs(
     sch: &Arc<Schooner>,
     hosts: &[&str],
@@ -116,17 +161,31 @@ pub fn measure_pair_costs(
             line.start_remote(image_path, to).map_err(|e| e.to_string())?;
             // Warm the binding cache so we measure steady-state calls.
             line.call("work", &[Value::Double(0.0)]).map_err(|e| e.to_string())?;
-            let t0 = line.now();
             for i in 0..calls_per_pair {
                 line.call("work", &[Value::Double(i as f64)]).map_err(|e| e.to_string())?;
             }
-            let elapsed = line.now() - t0;
+            let spans = line.obs().spans_for_line(line.id());
             line.quit().map_err(|e| e.to_string())?;
+            // Spans sort by call id; index 0 is the warm-up call.
+            let steady = spans.get(1..).unwrap_or_default();
+            if steady.len() != calls_per_pair {
+                return Err(format!(
+                    "expected {calls_per_pair} steady-state spans for {from}->{to}, got {}",
+                    steady.len()
+                ));
+            }
+            let mean_total_ms =
+                steady.iter().map(CallSpan::total).sum::<f64>() * 1e3 / steady.len() as f64;
             out.push(PairCost {
                 from: from.to_owned(),
                 to: to.to_owned(),
                 network: super::network_class(sch, from, to),
-                per_call_ms: elapsed * 1e3 / calls_per_pair as f64,
+                per_call_ms: mean_total_ms,
+                marshal_ms: mean_phase_ms(steady, Phase::Marshal),
+                transmit_ms: mean_phase_ms(steady, Phase::Transmit),
+                compute_ms: mean_phase_ms(steady, Phase::Compute),
+                reply_ms: mean_phase_ms(steady, Phase::Reply),
+                unmarshal_ms: mean_phase_ms(steady, Phase::Unmarshal),
             });
         }
     }

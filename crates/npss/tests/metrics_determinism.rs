@@ -1,0 +1,121 @@
+//! The metrics registry is part of the deterministic surface: two
+//! identical seeded runs — including fault injection and the recovery
+//! machinery it triggers — must export **byte-identical** JSON
+//! snapshots. The determinism CI relies on this the same way it relies
+//! on the event transcripts, and the `costs --metrics` output would be
+//! useless for regression diffing otherwise.
+//!
+//! Metric keys are aggregated per *host pair* (never per process
+//! address), so respawned incarnations with fresh proc ids land in the
+//! same counters on every run.
+
+use netsim::FaultPlan;
+use npss::engine_exec::{Exec, ExecutiveEngine};
+use npss::procs;
+use npss::RemoteExec;
+use schooner::{CallPolicy, Schooner};
+use tess::engine::Turbofan;
+use tess::schedules::Schedule;
+use tess::transient::TransientMethod;
+
+const T_END: f64 = 0.4;
+const DT: f64 = 0.02;
+
+fn world() -> Schooner {
+    let sch = Schooner::standard().unwrap();
+    let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
+    let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    for (path, image) in [
+        (procs::SHAFT_PATH, procs::shaft_image()),
+        (procs::DUCT_PATH, procs::duct_image()),
+        (procs::COMBUSTOR_PATH, procs::combustor_image()),
+        (procs::NOZZLE_PATH, procs::nozzle_image()),
+    ] {
+        sch.install_program(path, image, &host_refs).unwrap();
+    }
+    sch
+}
+
+fn table2_engine(sch: &Schooner, policy: &CallPolicy) -> ExecutiveEngine {
+    let mut exec = ExecutiveEngine::all_local(Turbofan::f100().unwrap()).unwrap();
+    for (slot, path, machine) in [
+        ("combustor", procs::COMBUSTOR_PATH, "ua-sgi-4d340"),
+        ("bypass duct", procs::DUCT_PATH, "lerc-cray-ymp"),
+        ("tailpipe duct", procs::DUCT_PATH, "lerc-cray-ymp"),
+        ("nozzle", procs::NOZZLE_PATH, "lerc-sgi-4d420"),
+        ("low speed shaft", procs::SHAFT_PATH, "lerc-rs6000"),
+        ("high speed shaft", procs::SHAFT_PATH, "lerc-rs6000"),
+    ] {
+        let line = sch.open_line(slot, "ua-sparc10").unwrap();
+        let remote = RemoteExec::start(line, path, machine).unwrap().with_policy(policy.clone());
+        exec.set_remote(slot, remote).unwrap();
+    }
+    exec.checkpoint_interval = 4;
+    exec
+}
+
+fn fuel_schedule(engine: &Turbofan) -> Schedule {
+    let wf_ref = engine.design.wf;
+    Schedule::new(vec![(0.0, 0.92 * wf_ref), (0.1 * T_END, 0.92 * wf_ref), (0.4 * T_END, wf_ref)])
+        .unwrap()
+}
+
+fn vnow(exec: &mut ExecutiveEngine) -> f64 {
+    match &mut exec.bypass_duct {
+        Exec::Remote(r) => r.line_mut().now(),
+        Exec::Local(_) => unreachable!("table2 places the bypass duct remotely"),
+    }
+}
+
+/// One complete seeded faulty run in a fresh world, returning the
+/// metrics snapshot taken after shutdown. The Cray crashes mid-run and
+/// reboots inside the call policy's backoff budget, so the snapshot
+/// covers retries, supervision probes, a respawn, and the resumed
+/// transient — the full recovery surface.
+fn faulty_run_snapshot(crash_window: Option<(f64, f64)>) -> (String, f64, f64) {
+    let policy = CallPolicy::new().idempotent(true).retries(12).backoff(0.25, 2.0, 4.0);
+    let sch = world();
+    let mut exec = table2_engine(&sch, &policy);
+    let t_start = vnow(&mut exec);
+    if let Some((t_crash, t_restart)) = crash_window {
+        sch.ctx().net.set_fault_plan(Some(
+            FaultPlan::new(0xF1D0)
+                .host_crash("lerc-cray-ymp", t_crash)
+                .host_restart("lerc-cray-ymp", t_restart),
+        ));
+    }
+    let fuel = fuel_schedule(&exec.engine);
+    exec.run_transient(&fuel, TransientMethod::ImprovedEuler, DT, T_END).unwrap();
+    let t_stop = vnow(&mut exec);
+    exec.shutdown();
+    sch.ctx().net.set_fault_plan(None);
+    let snapshot = sch.ctx().obs.metrics().snapshot_json();
+    sch.shutdown();
+    (snapshot, t_start, t_stop)
+}
+
+/// Two independent worlds running the same seeded faulty transient must
+/// export byte-identical metrics snapshots.
+#[test]
+fn faulty_table2_metrics_snapshots_are_byte_identical() {
+    // Learn the run's virtual-time span from a clean run, then schedule
+    // the crash a little past mid-run in both faulted worlds.
+    let (clean, t_start, t_stop) = faulty_run_snapshot(None);
+    let t_crash = t_start + 0.55 * (t_stop - t_start);
+    let window = Some((t_crash, t_crash + 2.0));
+
+    let (a, _, _) = faulty_run_snapshot(window);
+    let (b, _, _) = faulty_run_snapshot(window);
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        assert_eq!(la, lb, "snapshots diverge at line {i}");
+    }
+    assert_eq!(a, b, "seeded faulty runs must export identical metrics snapshots");
+
+    // The faulted snapshot must actually record the fault machinery —
+    // otherwise this test could pass vacuously on two empty registries.
+    assert_ne!(a, clean, "the crash window must leave a mark on the metrics");
+    assert!(a.contains("\"net.fault.hostdown\""), "expected host-down drops in:\n{a}");
+    assert!(a.contains("\"rpc.retries.policy\""), "expected policy retries in:\n{a}");
+    assert!(a.contains("\"rpc.calls\""), "expected call counters in:\n{a}");
+    assert!(a.contains("\"rpc.call_s.ua-sparc10->lerc-cray-ymp\""), "expected histograms in:\n{a}");
+}

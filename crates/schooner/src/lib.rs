@@ -25,7 +25,7 @@
 //!
 //! * **lines** — multiple sequential threads of control within one
 //!   program, each with its own procedure name database and its own
-//!   shutdown scope ([`line`]);
+//!   shutdown scope ([`mod@line`]);
 //! * the **dynamic startup protocol** — a newly-configured module contacts
 //!   the Manager at runtime and asks for a remote procedure to be started
 //!   on a specific machine ([`line::LineHandle::start_remote`]);
@@ -77,6 +77,7 @@ pub mod error;
 pub mod line;
 pub mod manager;
 pub mod message;
+pub mod obs;
 pub mod policy;
 pub mod proc;
 pub mod program;
@@ -89,6 +90,7 @@ pub mod trace;
 pub use error::{SchError, SchResult};
 pub use line::{LineHandle, LineId, LineStats};
 pub use message::{FaultCode, WireFault};
+pub use obs::{CallSpan, EventKind, Histogram, MetricsRegistry, Obs, ObsEvent, Phase};
 pub use policy::{CallPolicy, OnExhaustion};
 pub use proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
 pub use program::{ProgramImage, ProgramRegistry};
@@ -105,6 +107,7 @@ pub use trace::{Event, Trace};
 pub mod prelude {
     pub use crate::error::{SchError, SchResult};
     pub use crate::line::{LineHandle, LineId, LineStats};
+    pub use crate::obs::{CallSpan, EventKind, MetricsRegistry, Obs, Phase};
     pub use crate::policy::{CallPolicy, OnExhaustion};
     pub use crate::proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
     pub use crate::program::ProgramImage;

@@ -24,10 +24,16 @@ use uts::{Architecture, Value};
 
 use crate::error::{SchError, SchResult};
 use crate::message::{FaultCode, MapInfo, Msg, StartedInfo, WireFault};
+use crate::obs::{EventKind, Obs, Phase};
 use crate::policy::{CallPolicy, JitterRng};
 use crate::stub::CompiledStub;
 use crate::system::RuntimeCtx;
 use crate::trace::Trace;
+
+/// The host part of a `host:process` address.
+fn host_part(addr: &str) -> &str {
+    addr.split_once(':').map(|(h, _)| h).unwrap_or(addr)
+}
 
 /// Identifier of a line, assigned by the Manager.
 pub type LineId = u64;
@@ -167,6 +173,12 @@ impl LineHandle {
         &self.ctx.trace
     }
 
+    /// The shared observability sink: typed events, call spans keyed by
+    /// `(line, call id)`, and the world's metrics registry.
+    pub fn obs(&self) -> &Obs {
+        &self.ctx.obs
+    }
+
     /// Register import specifications for later calls. Calls to
     /// procedures without a registered import use the export specification
     /// unchecked (the import-equals-export common case).
@@ -207,10 +219,14 @@ impl LineHandle {
         match reply {
             Msg::StartReply { result, .. } => {
                 let StartedInfo { proc_names, addr, .. } = result.map_err(WireFault::into_error)?;
-                self.ctx.trace.record(
+                self.ctx.obs.emit(
                     self.clock.now(),
-                    format!("line-{}", self.id),
-                    format!("started '{path}' on {machine} at {addr}"),
+                    EventKind::RemoteStarted {
+                        line: self.id,
+                        path: path.to_owned(),
+                        machine: machine.to_owned(),
+                        addr,
+                    },
                 );
                 Ok(proc_names)
             }
@@ -284,6 +300,7 @@ impl LineHandle {
                 // resolve falls back to the Manager for a fresh location,
                 // carrying the failed address so the Manager can probe it.
                 self.stats.stale_retries += 1;
+                self.ctx.obs.metrics().counter_add("rpc.retries.stale", 1);
                 if let Some(addr) = stale_addr(&err) {
                     self.suspect = Some(addr);
                 }
@@ -295,22 +312,30 @@ impl LineHandle {
             if attempts_here > policy.max_retries {
                 let mut moved = false;
                 for target in failover.by_ref() {
-                    self.ctx.trace.record(
+                    self.ctx.obs.emit(
                         self.clock.now(),
-                        format!("line-{}", self.id),
-                        format!("failover: moving '{name}' to {target} after: {err}"),
+                        EventKind::FailoverMove {
+                            line: self.id,
+                            name: name.to_owned(),
+                            target: target.clone(),
+                            cause: err.to_string(),
+                        },
                     );
                     match self.move_procedure(name, target) {
                         Ok(()) => {
                             self.stats.failovers += 1;
+                            self.ctx.obs.metrics().counter_add("rpc.failovers", 1);
                             moved = true;
                             break;
                         }
                         Err(move_err) => {
-                            self.ctx.trace.record(
+                            self.ctx.obs.emit(
                                 self.clock.now(),
-                                format!("line-{}", self.id),
-                                format!("failover to {target} failed: {move_err}"),
+                                EventKind::FailoverFailed {
+                                    line: self.id,
+                                    target: target.clone(),
+                                    cause: move_err.to_string(),
+                                },
                             );
                         }
                     }
@@ -329,20 +354,31 @@ impl LineHandle {
             if backoff > 0.0 {
                 let pause = backoff * (1.0 + policy.jitter_frac * rng.next_unit());
                 self.clock.advance(pause);
-                self.ctx.trace.record(
+                self.ctx.obs.emit(
                     self.clock.now(),
-                    format!("line-{}", self.id),
-                    format!("retry {attempts_here} of '{name}' after {pause:.3}s backoff: {err}"),
+                    EventKind::CallRetry {
+                        line: self.id,
+                        attempt: attempts_here,
+                        name: name.to_owned(),
+                        backoff_s: Some(pause),
+                        cause: err.to_string(),
+                    },
                 );
                 backoff = (backoff * policy.backoff_multiplier).min(policy.backoff_max_s);
             } else {
-                self.ctx.trace.record(
+                self.ctx.obs.emit(
                     self.clock.now(),
-                    format!("line-{}", self.id),
-                    format!("retry {attempts_here} of '{name}': {err}"),
+                    EventKind::CallRetry {
+                        line: self.id,
+                        attempt: attempts_here,
+                        name: name.to_owned(),
+                        backoff_s: None,
+                        cause: err.to_string(),
+                    },
                 );
             }
             self.stats.policy_retries += 1;
+            self.ctx.obs.metrics().counter_add("rpc.retries.policy", 1);
         }
     }
 
@@ -357,9 +393,42 @@ impl LineHandle {
 
     fn attempt_call(&mut self, key: &str, args: &[Value]) -> SchResult<Vec<Value>> {
         let binding = self.cache.get(key).expect("binding inserted by caller").clone();
-        let wire = binding.stub.marshal_inputs(args, self.arch)?;
-        self.clock.advance(self.marshal_cost(binding.stub.input_scalars));
         let call = self.fresh_req();
+        let obs = self.ctx.obs.clone();
+        obs.span_start(
+            self.id,
+            call,
+            &binding.remote_name,
+            &self.host,
+            host_part(&binding.addr),
+            self.clock.now(),
+        );
+        let result = self.attempt_call_span(call, &binding, args);
+        match result {
+            Ok(out) => {
+                obs.span_end(self.id, call, self.clock.now());
+                Ok(out)
+            }
+            Err(e) => {
+                obs.span_abandon(self.id, call);
+                Err(e)
+            }
+        }
+    }
+
+    /// The body of one attempt, with every duration attributed to the
+    /// open span for `call`. Any error abandons the span in the caller.
+    fn attempt_call_span(
+        &mut self,
+        call: u64,
+        binding: &Binding,
+        args: &[Value],
+    ) -> SchResult<Vec<Value>> {
+        let obs = self.ctx.obs.clone();
+        let wire = binding.stub.marshal_inputs(args, self.arch)?;
+        let marshal_s = self.marshal_cost(binding.stub.input_scalars);
+        self.clock.advance(marshal_s);
+        obs.span_phase(self.id, call, Phase::Marshal, marshal_s);
         let request_bytes = wire.len() as u64;
         let msg = Msg::CallRequest {
             call,
@@ -368,12 +437,17 @@ impl LineHandle {
             args: wire,
             reply_to: self.endpoint.addr().to_owned(),
         };
-        self.ctx.trace.record(
+        obs.emit(
             self.clock.now(),
-            format!("line-{}", self.id),
-            format!("call {} -> {}", binding.remote_name, binding.addr),
+            EventKind::CallIssued {
+                line: self.id,
+                proc: binding.remote_name.clone(),
+                addr: binding.addr.clone(),
+            },
         );
-        self.endpoint.send(&binding.addr, msg.encode(), self.clock.now())?;
+        let sent_at = self.clock.now();
+        let arrive_at = self.endpoint.send(&binding.addr, msg.encode(), sent_at)?;
+        obs.span_phase(self.id, call, Phase::Transmit, arrive_at - sent_at);
         let reply = self.await_call_reply(call, binding.incarnation)?;
         match reply {
             Msg::CallReply { result, .. } => {
@@ -389,12 +463,21 @@ impl LineHandle {
                 self.stats.calls += 1;
                 self.stats.request_bytes += request_bytes;
                 self.stats.reply_bytes += bytes.len() as u64;
+                let m = obs.metrics();
+                m.counter_add("rpc.calls", 1);
+                m.counter_add("rpc.request_bytes", request_bytes);
+                m.counter_add("rpc.reply_bytes", bytes.len() as u64);
                 let out = binding.stub.unmarshal_outputs(bytes, self.arch)?;
-                self.clock.advance(self.marshal_cost(binding.stub.output_scalars));
-                self.ctx.trace.record(
+                let unmarshal_s = self.marshal_cost(binding.stub.output_scalars);
+                self.clock.advance(unmarshal_s);
+                obs.span_phase(self.id, call, Phase::Unmarshal, unmarshal_s);
+                obs.emit(
                     self.clock.now(),
-                    format!("line-{}", self.id),
-                    format!("return {} <- {}", binding.remote_name, binding.addr),
+                    EventKind::ReplyReceived {
+                        line: self.id,
+                        proc: binding.remote_name.clone(),
+                        addr: binding.addr.clone(),
+                    },
                 );
                 Ok(out)
             }
@@ -423,16 +506,24 @@ impl LineHandle {
             if let Msg::CallReply { call: c, incarnation, .. } = &msg {
                 if *incarnation > 0 && *incarnation < min_incarnation {
                     self.stats.fenced_replies += 1;
-                    self.ctx.trace.record(
+                    self.ctx.obs.metrics().counter_add("rpc.fenced_replies", 1);
+                    self.ctx.obs.emit(
                         self.clock.now(),
-                        format!("line-{}", self.id),
-                        format!(
-                            "fenced reply from incarnation {incarnation} (binding is {min_incarnation})"
-                        ),
+                        EventKind::ReplyFenced {
+                            line: self.id,
+                            incarnation: *incarnation,
+                            binding: min_incarnation,
+                        },
                     );
                     continue;
                 }
                 if *c == call {
+                    self.ctx.obs.span_phase(
+                        self.id,
+                        call,
+                        Phase::Reply,
+                        env.arrive_at - env.sent_at,
+                    );
                     return Ok(msg);
                 }
             }
@@ -563,6 +654,7 @@ impl LineHandle {
 
     fn map_via_manager(&mut self, name: &str) -> SchResult<Binding> {
         self.stats.manager_lookups += 1;
+        self.ctx.obs.metrics().counter_add("rpc.manager_lookups", 1);
         let import_spec =
             self.imports.get(&name.to_ascii_lowercase()).map(|d| d.to_source()).unwrap_or_default();
         let req = self.fresh_req();

@@ -29,6 +29,7 @@ use uts::spec::{Direction, ProcSpec};
 
 use crate::error::{SchError, SchResult};
 use crate::message::{MapInfo, Msg, StartedInfo, WireFault};
+use crate::obs::EventKind;
 use crate::supervise::{CheckpointStore, Health, HealthMonitor, Snapshot, SupervisionPolicy};
 use crate::system::{manager_addr, server_addr, RuntimeCtx};
 
@@ -245,11 +246,7 @@ impl ManagerWorker {
                 self.next_line += 1;
                 self.lines
                     .insert(line, LineState { module: module.clone(), db: NameDb::default() });
-                self.ctx.trace.record(
-                    self.clock.now(),
-                    "manager",
-                    format!("opened line {line} for module '{module}'"),
-                );
+                self.ctx.obs.emit(self.clock.now(), EventKind::LineOpened { line, module });
                 let _ = self.send(&reply_to, &Msg::LineOpened { req, line });
             }
             Msg::StartRequest { req, line, path, host, shared, reply_to } => {
@@ -288,7 +285,7 @@ impl ManagerWorker {
                 for host in self.ctx.park.hosts() {
                     let _ = self.send(&server_addr(host), &Msg::ServerShutdown);
                 }
-                self.ctx.trace.record(self.clock.now(), "manager", "shutdown".to_owned());
+                self.ctx.obs.emit(self.clock.now(), EventKind::ManagerShutdown);
                 return false;
             }
             // Stale replies from completed exchanges are ignored.
@@ -355,15 +352,14 @@ impl ManagerWorker {
                 },
             );
         }
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!(
-                "registered {} export(s) from '{path}' at {} ({})",
-                spec.decls.len(),
-                info.addr,
-                if shared { "shared".to_owned() } else { format!("line {line}") }
-            ),
+            EventKind::ExportsRegistered {
+                count: spec.decls.len(),
+                path: path.to_owned(),
+                addr: info.addr.clone(),
+                line: if shared { None } else { Some(line) },
+            },
         );
         Ok(info)
     }
@@ -447,10 +443,9 @@ impl ManagerWorker {
                 )?;
             check_import_against_export(import, &entry.spec)?;
         }
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!("mapped '{name}' for line {line} -> {}", entry.addr),
+            EventKind::Mapped { name: name.to_owned(), line, addr: entry.addr.clone() },
         );
         Ok(MapInfo {
             addr: entry.addr.clone(),
@@ -470,11 +465,9 @@ impl ManagerWorker {
             Err(NetError::UnknownAddress(_)) | Err(NetError::Disconnected(_)) => {
                 // The endpoint itself is gone (the process died with its
                 // host): no amount of waiting will bring a beat back.
-                self.ctx.trace.record(
-                    self.clock.now(),
-                    "manager",
-                    format!("heartbeat probe of {addr}: endpoint gone"),
-                );
+                self.ctx
+                    .obs
+                    .emit(self.clock.now(), EventKind::ProbeEndpointGone { addr: addr.to_owned() });
                 return Health::Dead;
             }
             Err(_) => return self.record_probe_miss(addr),
@@ -483,11 +476,9 @@ impl ManagerWorker {
         match self.await_reply(|m| matches!(m, Msg::Pong { req: r, .. } if *r == req)) {
             Ok(_) => {
                 self.monitor.record_beat(addr);
-                self.ctx.trace.record(
-                    self.clock.now(),
-                    "manager",
-                    format!("heartbeat from {addr} answered"),
-                );
+                self.ctx
+                    .obs
+                    .emit(self.clock.now(), EventKind::HeartbeatAnswered { addr: addr.to_owned() });
                 Health::Healthy
             }
             Err(_) => self.record_probe_miss(addr),
@@ -500,10 +491,9 @@ impl ManagerWorker {
             Health::Suspect(n) => (n, self.monitor.threshold()),
             _ => (self.monitor.threshold(), self.monitor.threshold()),
         };
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!("heartbeat miss {n}/{t} for {addr}"),
+            EventKind::HeartbeatMiss { n, threshold: t, addr: addr.to_owned() },
         );
         verdict
     }
@@ -520,18 +510,15 @@ impl ManagerWorker {
         dead: &ProcEntry,
     ) -> SchResult<ProcEntry> {
         let old_addr = dead.addr.clone();
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!("declared {old_addr} dead (incarnation {})", dead.incarnation),
+            EventKind::DeathVerdict { addr: old_addr.clone(), incarnation: dead.incarnation },
         );
         let candidates: Vec<String> = match self.ctx.supervision.get(&dead.path) {
             SupervisionPolicy::Escalate => {
-                self.ctx.trace.record(
-                    self.clock.now(),
-                    "manager",
-                    format!("escalating failure of '{name}' to the caller"),
-                );
+                self.ctx
+                    .obs
+                    .emit(self.clock.now(), EventKind::FailureEscalated { name: name.to_owned() });
                 return Err(SchError::Escalated(name.to_owned()));
             }
             SupervisionPolicy::RestartInPlace => vec![dead.host.clone()],
@@ -551,10 +538,13 @@ impl ManagerWorker {
                     break;
                 }
                 Err(e) => {
-                    self.ctx.trace.record(
+                    self.ctx.obs.emit(
                         self.clock.now(),
-                        "manager",
-                        format!("respawn of '{}' on {host} failed: {e}", dead.path),
+                        EventKind::RespawnFailed {
+                            path: dead.path.clone(),
+                            host: host.clone(),
+                            cause: e.to_string(),
+                        },
                     );
                 }
             }
@@ -586,10 +576,9 @@ impl ManagerWorker {
                 }
                 _ => unreachable!(),
             }
-            self.ctx.trace.record(
+            self.ctx.obs.emit(
                 self.clock.now(),
-                "manager",
-                format!("restored '{}' from checkpoint taken at t={:.6}", dead.path, snap.taken_at),
+                EventKind::CheckpointRestored { path: dead.path.clone(), taken_at: snap.taken_at },
             );
         }
 
@@ -605,13 +594,14 @@ impl ManagerWorker {
         // instance survives behind a healed link), terminate it so it
         // cannot answer for its successor.
         let _ = self.send(&old_addr, &Msg::ProcShutdown);
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!(
-                "respawned '{}' on {new_host} as incarnation {} at {}",
-                dead.path, info.incarnation, info.addr
-            ),
+            EventKind::Respawned {
+                path: dead.path.clone(),
+                host: new_host.clone(),
+                incarnation: info.incarnation,
+                addr: info.addr.clone(),
+            },
         );
         Ok(rebound)
     }
@@ -643,10 +633,9 @@ impl ManagerWorker {
             &entry.path,
             Snapshot { state, taken_at: self.clock.now(), incarnation: entry.incarnation },
         );
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!("checkpointed '{name}' ({n} bytes) at t={:.6}", self.clock.now()),
+            EventKind::Checkpointed { name: name.to_owned(), bytes: n, at: self.clock.now() },
         );
         Ok(n)
     }
@@ -659,10 +648,9 @@ impl ManagerWorker {
                 self.monitor.forget(&addr);
                 let _ = self.send(&addr, &Msg::ProcShutdown);
             }
-            self.ctx.trace.record(
+            self.ctx.obs.emit(
                 self.clock.now(),
-                "manager",
-                format!("line {line} ('{}') shut down", state.module),
+                EventKind::LineShutdown { line, module: state.module.clone() },
             );
         }
     }
@@ -744,10 +732,13 @@ impl ManagerWorker {
         db.rebind(&old_addr, &info.addr, target_host, &info.proc_names, info.incarnation);
         let rebound = db.get(name).expect("entry survived rebind").clone();
         self.monitor.forget(&old_addr);
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            "manager",
-            format!("moved '{name}' from {old_addr} to {}", info.addr),
+            EventKind::Moved {
+                name: name.to_owned(),
+                old: old_addr.clone(),
+                new: info.addr.clone(),
+            },
         );
         Ok(MapInfo {
             addr: rebound.addr,

@@ -1,0 +1,244 @@
+//! The typed observability substrate.
+//!
+//! One [`Obs`] handle per simulated world unifies the three kinds of
+//! instrumentation the runtime produces:
+//!
+//! * **events** — a time-ordered log of typed [`EventKind`] records
+//!   (RPC lifecycle, supervision, engine recovery), off by default and
+//!   rendered identically to the old stringly trace;
+//! * **spans** — per-call [`CallSpan`]s keyed by `(line, call id)` that
+//!   aggregate virtual-time durations per [`Phase`], feeding the
+//!   Figure-1 breakdowns and the `costs` CLI without string parsing;
+//! * **metrics** — the shared [`MetricsRegistry`] (adopted from the
+//!   world's [`Network`](netsim::Network), so transport counters land in
+//!   the same snapshot), always on, exported as deterministic JSON.
+//!
+//! The legacy [`Trace`](crate::Trace) API survives as a facade over the
+//! event log; existing call-sites and transcripts are unaffected.
+
+mod event;
+mod span;
+
+pub use event::{EventKind, ObsEvent};
+pub use span::{CallSpan, Phase, PHASES, PHASE_COUNT};
+
+pub use netsim::metrics::{Histogram, MetricsRegistry};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use span::SpanTable;
+
+struct ObsInner {
+    enabled: AtomicBool,
+    events: Mutex<Vec<ObsEvent>>,
+    spans: Mutex<SpanTable>,
+    metrics: MetricsRegistry,
+}
+
+/// Shared, cheaply cloneable observability sink. Event recording is
+/// disabled by default (like the old trace); spans and metrics are
+/// always on — they are aggregates, not logs, so their cost is a few
+/// arithmetic operations per call.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::with_metrics(MetricsRegistry::new())
+    }
+}
+
+/// Recover the guard even when a previous holder panicked: the sink
+/// holds append-only aggregates, so a half-pushed log is still readable
+/// and one panicking thread must not poison every later reader.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Obs {
+    /// A sink with its own private metrics registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink recording metrics into an existing registry — the world's
+    /// network registry, so transport and RPC metrics share a snapshot.
+    pub fn with_metrics(metrics: MetricsRegistry) -> Self {
+        Self {
+            inner: Arc::new(ObsInner {
+                enabled: AtomicBool::new(false),
+                events: Mutex::new(Vec::new()),
+                spans: Mutex::new(SpanTable::default()),
+                metrics,
+            }),
+        }
+    }
+
+    // ----- events -----
+
+    /// Turn event recording on or off (spans and metrics are unaffected).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Release);
+    }
+
+    /// Whether event recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record a typed event (no-op while disabled).
+    pub fn emit(&self, t: f64, kind: EventKind) {
+        if self.is_enabled() {
+            lock(&self.inner.events).push(ObsEvent { t, kind });
+        }
+    }
+
+    /// Snapshot of all events, sorted by time (stable for ties; NaN
+    /// timestamps sort last via `total_cmp` instead of panicking).
+    pub fn events(&self) -> Vec<ObsEvent> {
+        let mut v = lock(&self.inner.events).clone();
+        v.sort_by(|a, b| a.t.total_cmp(&b.t));
+        v
+    }
+
+    /// Drop all recorded events (spans and metrics are unaffected).
+    pub fn clear_events(&self) {
+        lock(&self.inner.events).clear();
+    }
+
+    // ----- spans -----
+
+    /// Open a call span keyed by `(line, call)`.
+    pub fn span_start(
+        &self,
+        line: u64,
+        call: u64,
+        proc: &str,
+        from_host: &str,
+        to_host: &str,
+        t: f64,
+    ) {
+        lock(&self.inner.spans).start(line, call, proc, from_host, to_host, t);
+    }
+
+    /// Attribute virtual seconds to one phase of an open span. Callable
+    /// from either side of the wire; a no-op when the span is gone.
+    pub fn span_phase(&self, line: u64, call: u64, phase: Phase, seconds: f64) {
+        lock(&self.inner.spans).phase(line, call, phase, seconds);
+    }
+
+    /// Close a span successfully, feeding the per-machine-pair latency
+    /// histogram `rpc.call_s.{from}->{to}`.
+    pub fn span_end(&self, line: u64, call: u64, t: f64) {
+        let ended = lock(&self.inner.spans).end(line, call, t);
+        if let Some(span) = ended {
+            self.inner
+                .metrics
+                .observe(&format!("rpc.call_s.{}->{}", span.from_host, span.to_host), span.total());
+        }
+    }
+
+    /// Drop the open span of a failed call attempt and count it.
+    pub fn span_abandon(&self, line: u64, call: u64) {
+        lock(&self.inner.spans).abandon(line, call);
+    }
+
+    /// All completed spans, sorted by `(line, call)` — a deterministic
+    /// order for identical simulations.
+    pub fn completed_spans(&self) -> Vec<CallSpan> {
+        lock(&self.inner.spans).completed()
+    }
+
+    /// Completed spans belonging to one line.
+    pub fn spans_for_line(&self, line: u64) -> Vec<CallSpan> {
+        let mut v = self.completed_spans();
+        v.retain(|s| s.line == line);
+        v
+    }
+
+    /// Number of spans abandoned by failed attempts.
+    pub fn abandoned_spans(&self) -> u64 {
+        lock(&self.inner.spans).abandoned()
+    }
+
+    /// Drop all span state (events and metrics are unaffected).
+    pub fn clear_spans(&self) {
+        lock(&self.inner.spans).clear();
+    }
+
+    // ----- metrics -----
+
+    /// The metrics registry this sink records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_gated_by_enabled() {
+        let obs = Obs::new();
+        obs.emit(1.0, EventKind::ManagerShutdown);
+        assert!(obs.events().is_empty());
+        obs.set_enabled(true);
+        obs.emit(2.0, EventKind::ManagerShutdown);
+        obs.emit(1.0, EventKind::Note { who: "a".into(), what: "first".into() });
+        let ev = obs.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].t, 1.0, "events sort by time");
+        obs.clear_events();
+        assert!(obs.events().is_empty());
+    }
+
+    #[test]
+    fn span_end_feeds_pair_histogram() {
+        let obs = Obs::new();
+        obs.span_start(1, 1, "duct", "ua-sparc10", "lerc-cray-ymp", 0.0);
+        obs.span_phase(1, 1, Phase::Compute, 0.01);
+        obs.span_end(1, 1, 0.05);
+        let h = obs.metrics().histogram("rpc.call_s.ua-sparc10->lerc-cray-ymp").unwrap();
+        assert_eq!(h.count, 1);
+        assert!((h.sum - 0.05).abs() < 1e-12);
+        assert_eq!(obs.completed_spans().len(), 1);
+        assert_eq!(obs.spans_for_line(1).len(), 1);
+        assert!(obs.spans_for_line(2).is_empty());
+    }
+
+    #[test]
+    fn abandoned_span_records_no_histogram() {
+        let obs = Obs::new();
+        obs.span_start(1, 1, "duct", "a", "b", 0.0);
+        obs.span_abandon(1, 1);
+        assert_eq!(obs.abandoned_spans(), 1);
+        assert!(obs.metrics().histogram("rpc.call_s.a->b").is_none());
+    }
+
+    #[test]
+    fn adopted_registry_is_shared() {
+        let reg = MetricsRegistry::new();
+        let obs = Obs::with_metrics(reg.clone());
+        obs.metrics().counter_add("x", 1);
+        assert_eq!(reg.counter("x"), 1);
+    }
+
+    #[test]
+    fn poisoned_event_lock_recovers() {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        obs.emit(1.0, EventKind::ManagerShutdown);
+        let obs2 = obs.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = obs2.inner.events.lock().unwrap();
+            panic!("poison the event lock");
+        })
+        .join();
+        obs.emit(2.0, EventKind::ManagerShutdown);
+        assert_eq!(obs.events().len(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hierarchical RPC call spans.
+//!
+//! Every remote call attempt opens a span keyed by `(line, call id)`.
+//! Both sides of the wire attribute virtual-time durations to it by
+//! [`Phase`]: the caller records marshal, transmit, reply-transit, and
+//! unmarshal time; the serving process records its compute time (the
+//! request message carries the line and call id, so the attribution
+//! needs no string matching). A span closes when the caller unmarshals
+//! the reply; attempts that error out are abandoned and counted, so the
+//! completed set holds exactly the successful calls. Figure-1 breakdowns
+//! and the `costs` CLI read these spans instead of parsing trace text.
+
+use std::collections::HashMap;
+
+/// A per-phase attribution slot within a call span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Caller-side argument marshaling into UTS wire format.
+    Marshal,
+    /// Request transit time across the simulated network.
+    Transmit,
+    /// Serving-side time: input conversion, procedure flops, output
+    /// conversion — everything charged at the remote process.
+    Compute,
+    /// Reply transit time back across the network.
+    Reply,
+    /// Caller-side result unmarshaling.
+    Unmarshal,
+}
+
+/// Number of [`Phase`] slots.
+pub const PHASE_COUNT: usize = 5;
+
+/// All phases, in lifecycle order.
+pub const PHASES: [Phase; PHASE_COUNT] =
+    [Phase::Marshal, Phase::Transmit, Phase::Compute, Phase::Reply, Phase::Unmarshal];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::Marshal => 0,
+            Phase::Transmit => 1,
+            Phase::Compute => 2,
+            Phase::Reply => 3,
+            Phase::Unmarshal => 4,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Marshal => "marshal",
+            Phase::Transmit => "transmit",
+            Phase::Compute => "compute",
+            Phase::Reply => "reply",
+            Phase::Unmarshal => "unmarshal",
+        }
+    }
+}
+
+/// One remote call's span: identity, endpoints, bounds, and the
+/// virtual-time durations attributed to each phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSpan {
+    /// Calling line.
+    pub line: u64,
+    /// The line's call id (unique within the line).
+    pub call: u64,
+    /// Remote procedure name.
+    pub proc: String,
+    /// Caller's host.
+    pub from_host: String,
+    /// Serving host.
+    pub to_host: String,
+    /// Caller's virtual time when the call began.
+    pub started_at: f64,
+    /// Caller's virtual time when the reply was unmarshaled.
+    pub ended_at: f64,
+    phases: [f64; PHASE_COUNT],
+}
+
+impl CallSpan {
+    /// Total virtual duration of the call at the caller.
+    pub fn total(&self) -> f64 {
+        self.ended_at - self.started_at
+    }
+
+    /// Virtual seconds attributed to one phase.
+    pub fn phase(&self, p: Phase) -> f64 {
+        self.phases[p.index()]
+    }
+
+    /// Total minus all attributed phases: protocol/bookkeeping residue.
+    pub fn overhead(&self) -> f64 {
+        self.total() - self.phases.iter().sum::<f64>()
+    }
+}
+
+/// Open and completed spans. Interior to [`Obs`](super::Obs), which
+/// wraps it in a poison-recovering mutex.
+#[derive(Debug, Default)]
+pub(crate) struct SpanTable {
+    open: HashMap<(u64, u64), CallSpan>,
+    done: Vec<CallSpan>,
+    abandoned: u64,
+}
+
+impl SpanTable {
+    pub(crate) fn start(
+        &mut self,
+        line: u64,
+        call: u64,
+        proc: &str,
+        from_host: &str,
+        to_host: &str,
+        t: f64,
+    ) {
+        self.open.insert(
+            (line, call),
+            CallSpan {
+                line,
+                call,
+                proc: proc.to_owned(),
+                from_host: from_host.to_owned(),
+                to_host: to_host.to_owned(),
+                started_at: t,
+                ended_at: t,
+                phases: [0.0; PHASE_COUNT],
+            },
+        );
+    }
+
+    /// Attribute `seconds` to `phase`; a no-op when no span is open for
+    /// the key (e.g. compute time of a call whose caller already gave
+    /// up).
+    pub(crate) fn phase(&mut self, line: u64, call: u64, phase: Phase, seconds: f64) {
+        if let Some(span) = self.open.get_mut(&(line, call)) {
+            span.phases[phase.index()] += seconds;
+        }
+    }
+
+    /// Close the span; returns it for histogram recording.
+    pub(crate) fn end(&mut self, line: u64, call: u64, t: f64) -> Option<CallSpan> {
+        let mut span = self.open.remove(&(line, call))?;
+        span.ended_at = t;
+        self.done.push(span.clone());
+        Some(span)
+    }
+
+    /// Drop the open span of a failed attempt.
+    pub(crate) fn abandon(&mut self, line: u64, call: u64) {
+        if self.open.remove(&(line, call)).is_some() {
+            self.abandoned += 1;
+        }
+    }
+
+    pub(crate) fn completed(&self) -> Vec<CallSpan> {
+        let mut v = self.done.clone();
+        v.sort_by_key(|s| (s.line, s.call));
+        v
+    }
+
+    pub(crate) fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.open.clear();
+        self.done.clear();
+        self.abandoned = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_lifecycle_accumulates_phases() {
+        let mut t = SpanTable::default();
+        t.start(1, 10, "duct", "ua-sparc10", "lerc-cray-ymp", 5.0);
+        t.phase(1, 10, Phase::Marshal, 0.001);
+        t.phase(1, 10, Phase::Transmit, 0.02);
+        t.phase(1, 10, Phase::Compute, 0.003);
+        t.phase(1, 10, Phase::Reply, 0.02);
+        t.phase(1, 10, Phase::Unmarshal, 0.001);
+        let span = t.end(1, 10, 5.05).unwrap();
+        assert_eq!(span.proc, "duct");
+        assert!((span.total() - 0.05).abs() < 1e-12);
+        assert!((span.phase(Phase::Transmit) - 0.02).abs() < 1e-12);
+        assert!((span.overhead() - (0.05 - 0.045)).abs() < 1e-12);
+        assert_eq!(t.completed().len(), 1);
+    }
+
+    #[test]
+    fn abandoned_spans_do_not_complete() {
+        let mut t = SpanTable::default();
+        t.start(1, 1, "p", "a", "b", 0.0);
+        t.abandon(1, 1);
+        assert!(t.end(1, 1, 1.0).is_none());
+        assert!(t.completed().is_empty());
+        assert_eq!(t.abandoned(), 1);
+        // Abandoning an unknown key is a no-op.
+        t.abandon(9, 9);
+        assert_eq!(t.abandoned(), 1);
+    }
+
+    #[test]
+    fn phase_on_missing_span_is_noop() {
+        let mut t = SpanTable::default();
+        t.phase(7, 7, Phase::Compute, 1.0);
+        assert!(t.completed().is_empty());
+    }
+
+    #[test]
+    fn completed_sorted_by_line_then_call() {
+        let mut t = SpanTable::default();
+        t.start(2, 1, "p", "a", "b", 0.0);
+        t.start(1, 2, "p", "a", "b", 0.0);
+        t.start(1, 1, "p", "a", "b", 0.0);
+        t.end(2, 1, 1.0);
+        t.end(1, 2, 1.0);
+        t.end(1, 1, 1.0);
+        let done = t.completed();
+        let keys: Vec<(u64, u64)> = done.iter().map(|s| (s.line, s.call)).collect();
+        assert_eq!(keys, vec![(1, 1), (1, 2), (2, 1)]);
+    }
+}

@@ -9,7 +9,7 @@
 //! serves calls until it is shut down or migrated away.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -20,12 +20,10 @@ use uts::Architecture;
 
 use crate::error::{SchError, SchResult};
 use crate::message::{FaultCode, Msg, StartedInfo, WireFault};
+use crate::obs::{EventKind, Phase};
 use crate::proc::Procedure;
 use crate::stub::{marshal_state, unmarshal_state, CompiledStub};
 use crate::system::{server_addr, RuntimeCtx};
-
-/// Global counter giving every process a unique address suffix.
-static PROC_COUNTER: AtomicU64 = AtomicU64::new(1);
 
 /// Handle to a running per-machine Server thread.
 pub struct Server {
@@ -145,7 +143,8 @@ impl ServerWorker {
         }
         names.sort();
 
-        let addr = format!("{}:proc-{}", self.host, PROC_COUNTER.fetch_add(1, Ordering::Relaxed));
+        let addr =
+            format!("{}:proc-{}", self.host, self.ctx.proc_counter.fetch_add(1, Ordering::Relaxed));
         // Processes are born at the server's current virtual time; the
         // transport fences their endpoint if the host crashes later.
         let endpoint = self.ctx.net.register_process(addr.clone(), self.clock.now())?;
@@ -161,10 +160,14 @@ impl ServerWorker {
             stubs,
             shutdown: self.shutdown.clone(),
         };
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            format!("server@{}", self.host),
-            format!("started process {addr} from '{path}' (line {line})"),
+            EventKind::ProcessSpawned {
+                host: self.host.clone(),
+                addr: addr.clone(),
+                path: path.to_owned(),
+                line,
+            },
         );
         let join = std::thread::Builder::new()
             .name(format!("schooner-{addr}"))
@@ -223,8 +226,13 @@ impl ProcessWorker {
                     // A fault raised by the procedure body travels with
                     // the `RemoteFault` code and its bare message as the
                     // detail, so the caller re-wraps it exactly once.
+                    let t0 = self.clock.now();
                     let result =
                         self.serve_call(line, &proc_name, args).map_err(|e| WireFault::from(&e));
+                    // Server-side unmarshal + execute + marshal, charged to
+                    // the caller's open span as the Compute phase (the
+                    // reply is sent after this, so the span is still open).
+                    self.ctx.obs.span_phase(line, call, Phase::Compute, self.clock.now() - t0);
                     let reply = Msg::CallReply { call, incarnation: self.incarnation, result };
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
@@ -243,10 +251,9 @@ impl ProcessWorker {
                     let _ = self.endpoint.send(&reply_to, reply.encode(), self.clock.now());
                 }
                 Msg::ProcShutdown => {
-                    self.ctx.trace.record(
+                    self.ctx.obs.emit(
                         self.clock.now(),
-                        self.endpoint.addr().to_owned(),
-                        "shutdown".to_owned(),
+                        EventKind::ProcessShutdown { addr: self.endpoint.addr().to_owned() },
                     );
                     break;
                 }
@@ -325,10 +332,14 @@ impl ProcessWorker {
         let results = proc.call(&values).map_err(SchError::from)?;
         let compute = self.ctx.park.compute_seconds(&self.host, flops).unwrap_or(0.0);
         self.clock.advance(compute);
-        self.ctx.trace.record(
+        self.ctx.obs.emit(
             self.clock.now(),
-            self.endpoint.addr().to_owned(),
-            format!("executed {proc_name} ({flops:.0} flops, {compute:.6}s)"),
+            EventKind::Computed {
+                addr: self.endpoint.addr().to_owned(),
+                proc: proc_name.to_owned(),
+                flops,
+                compute_s: compute,
+            },
         );
 
         let out = stub.marshal_outputs(&results, self.arch)?;

@@ -16,6 +16,7 @@ use netsim::{Network, Topology};
 use crate::error::{SchError, SchResult};
 use crate::line::LineHandle;
 use crate::manager::{spawn_manager, ManagerHandle};
+use crate::obs::Obs;
 use crate::program::{ProgramImage, ProgramRegistry};
 use crate::server::{spawn_server, Server};
 use crate::supervise::{SupervisionMap, SupervisionPolicy};
@@ -74,13 +75,23 @@ pub struct RuntimeCtx {
     pub files: FileStore,
     /// Registry of installable program images.
     pub registry: ProgramRegistry,
-    /// Event trace sink.
+    /// The typed observability sink: events, call spans, and the metrics
+    /// registry (shared with [`RuntimeCtx::net`]'s).
+    pub obs: Obs,
+    /// Event trace sink — the legacy facade over [`RuntimeCtx::obs`];
+    /// both views share storage.
     pub trace: Trace,
     /// Per-executable supervision policies, consulted by the Manager
     /// when a supervised process dies.
     pub supervision: SupervisionMap,
     /// Cost-model configuration.
     pub config: Arc<SchoonerConfig>,
+    /// World-local counter giving every process a unique address suffix.
+    /// Per-world (not process-global) so that two identical worlds built
+    /// in the same OS process number their processes identically — the
+    /// metrics snapshot and event transcript of a seeded run are then
+    /// byte-reproducible no matter how many worlds ran before it.
+    pub proc_counter: Arc<AtomicU64>,
 }
 
 /// A running Schooner world.
@@ -97,14 +108,20 @@ impl Schooner {
     /// on `config.manager_host`.
     pub fn new(topology: Topology, park: MachinePark, config: SchoonerConfig) -> SchResult<Self> {
         let net = Network::new(topology);
+        // The world's sink adopts the network's registry so transport
+        // counters and RPC metrics land in one snapshot; the legacy
+        // trace is a facade over the same event storage.
+        let obs = Obs::with_metrics(net.metrics().clone());
         let ctx = RuntimeCtx {
             net,
             park,
             files: FileStore::new(),
             registry: ProgramRegistry::new(),
-            trace: Trace::new(),
+            trace: Trace::from_obs(obs.clone()),
+            obs,
             supervision: SupervisionMap::new(),
             config: Arc::new(config),
+            proc_counter: Arc::new(AtomicU64::new(1)),
         };
         let hosts: Vec<String> = ctx
             .park

@@ -1,16 +1,20 @@
-//! Execution tracing.
+//! Execution tracing — the legacy facade over [`crate::obs`].
 //!
 //! The runtime can record an event log of cross-machine control transfer —
 //! the moving picture behind the paper's Figure 1. Events carry the
 //! virtual time at which they occurred, the component that emitted them,
 //! and a description; examples print them as a control-flow trace.
+//!
+//! Since the observability refactor the storage and typing live in
+//! [`Obs`]: runtime components emit typed [`EventKind`] variants, and
+//! this facade renders them back into the historical `(t, who, what)`
+//! string shape — byte-identically, so transcripts and their determinism
+//! checks are unaffected. `Trace::record` keeps working for free-form
+//! notes via [`EventKind::Note`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::obs::{EventKind, Obs};
 
-use std::sync::Mutex;
-
-/// One traced event.
+/// One traced event, in the legacy string shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Virtual time (seconds) of the event at the emitting component.
@@ -25,8 +29,7 @@ pub struct Event {
 /// while disabled is a no-op so tracing costs nothing unless wanted.
 #[derive(Clone, Default)]
 pub struct Trace {
-    events: Arc<Mutex<Vec<Event>>>,
-    enabled: Arc<AtomicBool>,
+    obs: Obs,
 }
 
 impl Trace {
@@ -42,35 +45,47 @@ impl Trace {
         t
     }
 
+    /// A facade over an existing observability sink: both views share
+    /// the same storage and enable flag.
+    pub fn from_obs(obs: Obs) -> Self {
+        Self { obs }
+    }
+
+    /// The underlying typed sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Turn recording on or off.
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, Ordering::Release);
+        self.obs.set_enabled(on);
     }
 
     /// Whether recording is on.
     pub fn is_enabled(&self) -> bool {
-        self.enabled.load(Ordering::Acquire)
+        self.obs.is_enabled()
     }
 
-    /// Record an event (no-op while disabled).
+    /// Record a free-form event (no-op while disabled).
     pub fn record(&self, t: f64, who: impl Into<String>, what: impl Into<String>) {
-        if self.is_enabled() {
-            self.events.lock().unwrap().push(Event { t, who: who.into(), what: what.into() });
-        }
+        self.obs.emit(t, EventKind::Note { who: who.into(), what: what.into() });
     }
 
-    /// Snapshot of all events, sorted by time (stable for ties). Uses a
-    /// total order on `f64` so a NaN timestamp — however a component
-    /// manages to produce one — sorts to the end instead of panicking.
+    /// Snapshot of all events rendered to the legacy string shape,
+    /// sorted by time (stable for ties). Uses a total order on `f64` so
+    /// a NaN timestamp — however a component manages to produce one —
+    /// sorts to the end instead of panicking.
     pub fn events(&self) -> Vec<Event> {
-        let mut v = self.events.lock().unwrap().clone();
-        v.sort_by(|a, b| a.t.total_cmp(&b.t));
-        v
+        self.obs
+            .events()
+            .into_iter()
+            .map(|e| Event { t: e.t, who: e.kind.who(), what: e.kind.to_string() })
+            .collect()
     }
 
     /// Drop all recorded events.
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        self.obs.clear_events();
     }
 
     /// Render the trace as an indented control-flow listing.
@@ -142,5 +157,34 @@ mod tests {
         let t2 = t.clone();
         t2.record(1.0, "a", "x");
         assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn typed_events_render_like_the_old_strings() {
+        let t = Trace::enabled();
+        t.obs().emit(
+            0.25,
+            EventKind::CallIssued {
+                line: 1,
+                proc: "DOUBLE".into(),
+                addr: "lerc-cray-ymp:proc-3".into(),
+            },
+        );
+        let ev = t.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].who, "line-1");
+        assert_eq!(ev[0].what, "call DOUBLE -> lerc-cray-ymp:proc-3");
+        assert!(t.render().contains("call DOUBLE -> lerc-cray-ymp:proc-3"));
+    }
+
+    #[test]
+    fn facade_shares_storage_with_obs() {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        let t = Trace::from_obs(obs.clone());
+        t.record(1.0, "a", "via facade");
+        assert_eq!(obs.events().len(), 1);
+        t.clear();
+        assert!(obs.events().is_empty());
     }
 }

@@ -14,7 +14,7 @@
 //!   transients is the mid-fidelity system model;
 //! * [`ZoomedCompressor`] — zooming *into* one component: the engine's
 //!   balanced boundary conditions feed a stage-by-stage mean-line
-//!   analysis ([`StageStack`](crate::components::stage_stack::StageStack)),
+//!   analysis ([`StageStack`]),
 //!   and the stage results are checked for consistency against the map
 //!   point they refine.
 

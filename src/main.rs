@@ -8,7 +8,8 @@
 //! npss-sim f100 [SECONDS] [slot=machine ...]
 //!                                       run the F100 network, optionally
 //!                                       placing adapted modules remotely
-//! npss-sim costs                        per-machine-pair RPC costs
+//! npss-sim costs [--metrics]            per-machine-pair RPC costs with a
+//!                                       span-derived phase breakdown
 //! ```
 
 use std::sync::Arc;
@@ -37,7 +38,8 @@ fn usage() -> String {
      table2 [SECONDS]        regenerate Table 2 (default 1.0 s transient)\n\
      fig1                    Figure 1 control-transfer trace\n\
      f100 [SECONDS] [slot=machine ...]   run the F100 network\n\
-     costs                   per-machine-pair RPC cost table"
+     costs [--metrics]       per-machine-pair RPC cost table with phase\n\
+     \u{20}                        breakdown; --metrics appends the JSON snapshot"
         .to_owned()
 }
 
@@ -59,7 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "table2" => cmd_table2(parse_seconds(&args[1..], 1.0)),
         "fig1" => cmd_fig1(),
         "f100" => cmd_f100(&args[1..]),
-        "costs" => cmd_costs(),
+        "costs" => cmd_costs(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -118,14 +120,41 @@ fn cmd_fig1() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_costs() -> Result<(), String> {
+fn cmd_costs(args: &[String]) -> Result<(), String> {
+    let dump_metrics = args.iter().any(|a| a == "--metrics");
     let sch = world()?;
     let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
     let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
     let costs = fig1::measure_pair_costs(&sch, &refs, 10)?;
-    println!("{:<16} {:<16} {:<34} {:>10}", "caller", "callee", "network", "ms/call");
+    println!(
+        "{:<16} {:<16} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "caller",
+        "callee",
+        "network",
+        "marshal",
+        "transmit",
+        "compute",
+        "reply",
+        "unmarsh",
+        "ms/call"
+    );
     for c in costs {
-        println!("{:<16} {:<16} {:<34} {:>10.3}", c.from, c.to, c.network, c.per_call_ms);
+        println!(
+            "{:<16} {:<16} {:<34} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            c.from,
+            c.to,
+            c.network,
+            c.marshal_ms,
+            c.transmit_ms,
+            c.compute_ms,
+            c.reply_ms,
+            c.unmarshal_ms,
+            c.per_call_ms
+        );
+    }
+    if dump_metrics {
+        println!("\nmetrics snapshot:");
+        print!("{}", sch.ctx().obs.metrics().snapshot_json());
     }
     Ok(())
 }

@@ -28,7 +28,9 @@ fn stateful_image(len: usize) -> ProgramImage {
                 },
                 |buf: &Vec<f64>| vec![Value::doubles(buf)],
                 |vals: Vec<Value>| {
-                    vals.first().and_then(Value::as_f64_slice).ok_or_else(|| "bad state".into())
+                    vals.first()
+                        .and_then(|v| v.as_doubles().map(|xs| xs.into_owned()))
+                        .ok_or_else(|| "bad state".into())
                 },
             ))
         })

@@ -62,9 +62,10 @@ fn bench_payload(c: &mut Criterion) {
     println!("\nlatency-floor ratio (internet/ethernet): {small_ratio:.1}x at 4 elems, {large_ratio:.1}x at 16k elems");
     assert!(small_ratio > large_ratio, "bandwidth term must narrow the gap");
 
-    // Wall-clock marshal+transport cost scaling (criterion).
+    // Wall-clock marshal+transport cost scaling (criterion). BENCH_QUICK
+    // trims the sample count for the CI smoke job.
     let mut group = c.benchmark_group("payload_size");
-    group.sample_size(20);
+    group.sample_size(if std::env::var("BENCH_QUICK").is_ok() { 5 } else { 20 });
     for &len in &[64usize, 4096] {
         let path = format!("/bench/payload{len}");
         sch.install_program(&path, bench::payload_image(len), &["lerc-sgi-4d480"]).unwrap();

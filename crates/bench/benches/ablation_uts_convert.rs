@@ -6,11 +6,21 @@
 //! paper's shaft argument list on the interesting architecture pairs —
 //! including the Cray and VAX codecs, which do real bit-field work — and
 //! compares against a memcpy-like same-format baseline.
+//!
+//! It also regenerates `BENCH_marshal.json`: a head-to-head of the
+//! legacy tagged codec (wire v1) against the compiled marshal plan
+//! (wire v2) on bulk double arrays, plus the fast-path hit rate a
+//! standard Schooner world achieves after bind-time negotiation. Run
+//! with `BENCH_QUICK=1` for the CI smoke configuration; set `BENCH_OUT`
+//! to redirect the JSON.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use schooner::stub::CompiledStub;
-use uts::{Architecture, Value};
+use schooner::{Schooner, SchoonerConfig};
+use uts::{Architecture, Value, WIRE_V1, WIRE_V2};
 
 fn shaft_stub() -> CompiledStub {
     let file = uts::parse_spec_file(npss::procs::SHAFT_SPEC).unwrap();
@@ -27,6 +37,167 @@ fn shaft_args() -> Vec<Value> {
         Value::Float(10_000.0),
         Value::Float(9.0),
     ]
+}
+
+/// A stub whose single input is `array[len] of double` — the payload
+/// shape the ISSUE's acceptance criterion targets.
+fn burst_stub(len: usize) -> CompiledStub {
+    let spec = format!(r#"export burst prog("xs" val array[{len}] of double)"#);
+    let file = uts::parse_spec_file(&spec).unwrap();
+    CompiledStub::compile(file.find("burst").unwrap())
+}
+
+/// Doubles exactly representable in every native format under test
+/// (Cray 48-bit mantissa, VAX D), so v1 and v2 round-trip identically.
+fn burst_args(len: usize) -> Vec<Value> {
+    let xs: Vec<f64> = (0..len).map(|i| 1.0 + (i % 128) as f64 * 0.125).collect();
+    vec![Value::doubles(&xs)]
+}
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok()
+}
+
+/// Mean ns per element over `iters` runs of `f`.
+fn time_per_elem(iters: usize, elems: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters.div_ceil(10) {
+        f(); // warm up
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / (iters * elems) as f64
+}
+
+struct Row {
+    pair: &'static str,
+    elems: usize,
+    bytes_v1: usize,
+    bytes_v2: usize,
+    v1_ns: f64,
+    v2_ns: f64,
+}
+
+/// Full round trip (marshal on `from`, unmarshal on `to`) per codec,
+/// returning one comparison row.
+fn compare(len: usize, from: Architecture, to: Architecture, pair: &'static str) -> Row {
+    let stub = burst_stub(len);
+    let args = burst_args(len);
+    let iters = if quick() { 20 } else { 200 };
+
+    let bytes_v1 = stub.marshal_inputs(&args, from).unwrap().len();
+    let bytes_v2 = stub.marshal_inputs_wire(&args, from, WIRE_V2).unwrap().len();
+
+    let v1_ns = time_per_elem(iters, len, || {
+        let wire = stub.marshal_inputs(&args, from).unwrap();
+        stub.unmarshal_inputs(wire, to).unwrap();
+    });
+    let v2_ns = time_per_elem(iters, len, || {
+        let wire = stub.marshal_inputs_wire(&args, from, WIRE_V2).unwrap();
+        stub.unmarshal_inputs_any(wire, to).unwrap();
+    });
+    Row { pair, elems: len, bytes_v1, bytes_v2, v1_ns, v2_ns }
+}
+
+/// Drive a few calls through a world and report the share of call
+/// payloads that took the compiled-plan fast path, as counted by the
+/// `uts.*` metrics.
+fn hit_rate(config: SchoonerConfig) -> f64 {
+    let sch = Schooner::standard_with(config).unwrap();
+    sch.install_program("/bench/hits", bench::payload_image(256), &["lerc-sgi-4d480"]).unwrap();
+    let mut line = sch.open_line("hits", "lerc-sparc10").unwrap();
+    line.start_remote("/bench/hits", "lerc-sgi-4d480").unwrap();
+    let xs = Value::floats(&vec![1.0f32; 256]);
+    for _ in 0..8 {
+        line.call("blast", std::slice::from_ref(&xs)).unwrap();
+    }
+    line.quit().unwrap();
+    let m = sch.ctx().obs.metrics();
+    let fast = m.counter("uts.fast_path_hits") as f64;
+    let legacy = m.counter("uts.legacy_path_hits") as f64;
+    fast / (fast + legacy)
+}
+
+fn bench_plan_vs_legacy() {
+    println!("\n=== Compiled marshal plan (wire v2) vs legacy tagged codec (wire v1) ===");
+    println!("payload: array of double, exact-representable values; round trip\n");
+
+    let sizes = [64usize, 512, 4096];
+    let mut rows = Vec::new();
+    for &len in &sizes {
+        rows.push(compare(len, Architecture::SunSparc10, Architecture::Sgi4D, "ieee_be->ieee_be"));
+    }
+    rows.push(compare(4096, Architecture::SunSparc10, Architecture::IntelI860, "ieee_be->ieee_le"));
+    rows.push(compare(4096, Architecture::SunSparc10, Architecture::CrayYmp, "ieee_be->cray"));
+    rows.push(compare(4096, Architecture::SunSparc10, Architecture::ConvexC220, "ieee_be->vax"));
+
+    println!(
+        "{:<18} {:>6} {:>9} {:>9} {:>12} {:>12} {:>9}",
+        "pair", "elems", "v1 bytes", "v2 bytes", "v1 ns/elem", "v2 ns/elem", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>6} {:>9} {:>9} {:>12.1} {:>12.1} {:>8.1}x",
+            r.pair,
+            r.elems,
+            r.bytes_v1,
+            r.bytes_v2,
+            r.v1_ns,
+            r.v2_ns,
+            r.v1_ns / r.v2_ns
+        );
+    }
+
+    let v2_rate = hit_rate(SchoonerConfig::default());
+    let v1_rate = hit_rate(SchoonerConfig { wire_version: WIRE_V1, ..Default::default() });
+    println!("\nfast-path hit rate: {v2_rate:.2} (standard world), {v1_rate:.2} (forced wire v1)");
+
+    // Acceptance criteria: >= 5x on the same-byte-order 4096-double
+    // round trip, and the conversion pairs must not regress.
+    let same = rows.iter().find(|r| r.pair == "ieee_be->ieee_be" && r.elems == 4096).unwrap();
+    let same_speedup = same.v1_ns / same.v2_ns;
+    assert!(
+        same_speedup >= 5.0,
+        "same-byte-order 4096-double speedup {same_speedup:.1}x is below the 5x floor"
+    );
+    for r in rows.iter().filter(|r| r.pair != "ieee_be->ieee_be") {
+        assert!(
+            r.v2_ns < r.v1_ns,
+            "{}: v2 ({:.1} ns/elem) must beat v1 ({:.1} ns/elem)",
+            r.pair,
+            r.v2_ns,
+            r.v1_ns
+        );
+    }
+    assert!((v2_rate - 1.0).abs() < f64::EPSILON, "negotiated world must take the fast path");
+    assert!(v1_rate == 0.0, "forced-v1 world must take the legacy path");
+
+    // Machine-readable record for the CI artifact.
+    let mut json = String::from("{\n  \"bench\": \"marshal_plan_vs_legacy\",\n");
+    json.push_str(&format!("  \"quick\": {},\n  \"rows\": [\n", quick()));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pair\": \"{}\", \"elems\": {}, \"v1_bytes\": {}, \"v2_bytes\": {}, \
+             \"v1_ns_per_elem\": {:.1}, \"v2_ns_per_elem\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.pair,
+            r.elems,
+            r.bytes_v1,
+            r.bytes_v2,
+            r.v1_ns,
+            r.v2_ns,
+            r.v1_ns / r.v2_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"fast_path_hit_rate\": {{\"negotiated\": {v2_rate:.2}, \"forced_v1\": {v1_rate:.2}}}\n}}\n"
+    ));
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_marshal.json").into()
+    });
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {out}");
 }
 
 fn bench_convert(c: &mut Criterion) {
@@ -54,6 +225,20 @@ fn bench_convert(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Same pairs through the compiled plan, for the criterion report.
+    let mut group = c.benchmark_group("uts_convert_plan");
+    for (from, to, label) in pairs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(from, to), |b, &(f, t)| {
+            b.iter(|| {
+                let wire = stub.marshal_inputs_wire(&args, f, WIRE_V2).unwrap();
+                stub.unmarshal_inputs_any(wire, t).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    bench_plan_vs_legacy();
 }
 
 criterion_group!(benches, bench_convert);

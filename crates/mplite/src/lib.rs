@@ -81,10 +81,34 @@ impl PackBuffer {
         self
     }
 
-    /// Pack a slice of floats.
+    /// Pack a slice of floats in one pass: the representation dispatch is
+    /// hoisted out of the loop and the buffer grows once, so the common
+    /// IEEE cases reduce to a single endian-converting sweep.
     pub fn pack_f32s(&mut self, vs: &[f32]) -> &mut Self {
-        for v in vs {
-            self.pack_f32(*v);
+        let width = if self.arch.float_repr() == FloatRepr::Cray { 8 } else { 4 };
+        self.buf.reserve(vs.len() * width);
+        match self.arch.float_repr() {
+            FloatRepr::IeeeBig => {
+                for v in vs {
+                    self.buf.put_slice(&v.to_be_bytes());
+                }
+            }
+            FloatRepr::IeeeLittle => {
+                for v in vs {
+                    self.buf.put_slice(&v.to_le_bytes());
+                }
+            }
+            FloatRepr::Cray => {
+                for v in vs {
+                    self.buf
+                        .put_slice(&cray::encode(*v as f64).expect("f32 fits Cray").to_be_bytes());
+                }
+            }
+            FloatRepr::Vax => {
+                for v in vs {
+                    self.buf.put_slice(&vax::encode_f(*v).expect("finite f32 in VAX range"));
+                }
+            }
         }
         self
     }
@@ -155,9 +179,39 @@ impl UnpackBuffer {
         }
     }
 
-    /// Unpack `n` floats.
+    /// Unpack `n` floats in one pass: the length check and representation
+    /// dispatch happen once, then a single sweep fills a pre-sized vector.
     pub fn unpack_f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
-        (0..n).map(|_| self.unpack_f32()).collect()
+        let width = if self.arch.float_repr() == FloatRepr::Cray { 8 } else { 4 };
+        if self.buf.remaining() < n * width {
+            return Err("unpack_f32s: buffer exhausted".into());
+        }
+        let mut out = Vec::with_capacity(n);
+        match self.arch.float_repr() {
+            FloatRepr::IeeeBig => {
+                for _ in 0..n {
+                    out.push(self.buf.get_f32());
+                }
+            }
+            FloatRepr::IeeeLittle => {
+                for _ in 0..n {
+                    out.push(self.buf.get_f32_le());
+                }
+            }
+            FloatRepr::Cray => {
+                for _ in 0..n {
+                    out.push(cray::decode(self.buf.get_u64()).map_err(|e| e.to_string())? as f32);
+                }
+            }
+            FloatRepr::Vax => {
+                for _ in 0..n {
+                    let mut b = [0u8; 4];
+                    self.buf.copy_to_slice(&mut b);
+                    out.push(vax::decode_f(b).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

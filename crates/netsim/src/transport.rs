@@ -252,14 +252,14 @@ impl Network {
     ) -> Result<f64, NetError> {
         let from_host = host_of(from).to_owned();
         let to_host = host_of(to).to_owned();
-        let nbytes = payload.len() as u64;
         let result = self.send_inner(from, to, &from_host, &to_host, payload, sent_at);
         let m = &self.inner.metrics;
         match &result {
-            Ok(_) => {
-                m.counter_add(&format!("net.msg.{from_host}->{to_host}"), 1);
-                m.counter_add(&format!("net.bytes.{from_host}->{to_host}"), nbytes);
-            }
+            // Successful sends are counted inside `send_inner`, *before*
+            // the envelope reaches the receiver's queue: the receiver may
+            // act on the message (and something may read the metrics)
+            // the moment it is delivered, so counting afterwards races.
+            Ok(_) => {}
             Err(NetError::Dropped { .. }) => m.counter_add("net.fault.dropped", 1),
             Err(NetError::Unreachable { .. }) => m.counter_add("net.fault.partitioned", 1),
             Err(NetError::HostDown(_)) => m.counter_add("net.fault.hostdown", 1),
@@ -309,9 +309,17 @@ impl Network {
         let env =
             Envelope { from: from.to_owned(), to: to.to_owned(), payload, sent_at, arrive_at };
         let bytes = env.payload.len() as u64;
-        tx.send(env).map_err(|_| NetError::Disconnected(to.into()))?;
+        // Count the message before it becomes visible to the receiver:
+        // delivery can immediately unblock the receiving thread, and a
+        // metrics snapshot taken right after must already include every
+        // message that caused the state it observes. (The rare
+        // disconnected-during-teardown failure below leaves the message
+        // counted as sent, which is the drop-like semantics we want.)
+        self.inner.metrics.counter_add(&format!("net.msg.{from_host}->{to_host}"), 1);
+        self.inner.metrics.counter_add(&format!("net.bytes.{from_host}->{to_host}"), bytes);
         self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.inner.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        tx.send(env).map_err(|_| NetError::Disconnected(to.into()))?;
         Ok(arrive_at)
     }
 }

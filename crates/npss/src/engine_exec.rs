@@ -383,7 +383,7 @@ impl ExecutiveEngine {
             ],
         )?;
         let nz =
-            nz_out[0].as_f32_slice().ok_or_else(|| "nozl returned malformed result".to_string())?;
+            nz_out[0].as_floats().ok_or_else(|| "nozl returned malformed result".to_string())?;
         let (w_capacity, gross_thrust) = (nz[0] as f64, nz[1] as f64);
         let e = &self.engine;
         let r_noz = (w_capacity - st7.w) / e.design.st7.w;

@@ -289,7 +289,7 @@ pub fn flow_to_value(s: &GasState) -> Value {
 
 /// Unpack a `[w, tt, pt, far]` quadruple.
 pub fn value_to_flow(v: &Value) -> Result<GasState, String> {
-    let xs = v.as_f32_slice().ok_or_else(|| format!("expected array[4] of float, got {v}"))?;
+    let xs = v.as_floats().ok_or_else(|| format!("expected array[4] of float, got {v}"))?;
     if xs.len() != 4 {
         return Err(format!("expected 4 flow components, got {}", xs.len()));
     }

@@ -123,8 +123,8 @@ fn get_i64(v: &Value, what: &str) -> Result<i64, String> {
 }
 
 fn get_f32x4(v: &Value, what: &str) -> Result<[f32; 4], String> {
-    let xs = v.as_f32_slice().ok_or_else(|| format!("{what}: expected array[4] of float"))?;
-    xs.try_into().map_err(|_| format!("{what}: wrong length"))
+    let xs = v.as_floats().ok_or_else(|| format!("{what}: expected array[4] of float"))?;
+    xs.as_ref().try_into().map_err(|_| format!("{what}: wrong length"))
 }
 
 /// Sum the first `n` entries of an energy array.
@@ -428,7 +428,7 @@ mod tests {
                 Value::Float(0.0),
             ])
             .unwrap();
-        let got = out[0].as_f32_slice().unwrap();
+        let got = out[0].as_floats().unwrap();
         let expect = Duct::new(0.02).flow(&GasState::new(42.0, 390.0, 2.9e5, 0.0), 0.0);
         assert!((got[2] as f64 - expect.pt).abs() / expect.pt < 1e-6);
         assert_eq!(got[0], 42.0);
@@ -448,7 +448,7 @@ mod tests {
                 Value::Float(0.05),
             ])
             .unwrap();
-        let flow = out[0].as_f32_slice().unwrap();
+        let flow = out[0].as_floats().unwrap();
         assert!(flow[1] > 1400.0, "hot exit {}", flow[1]);
         assert!((flow[0] - 58.3).abs() < 0.01);
 
@@ -464,7 +464,7 @@ mod tests {
                 Value::Float(0.98),
             ])
             .unwrap();
-        let nz = out[0].as_f32_slice().unwrap();
+        let nz = out[0].as_floats().unwrap();
         assert!(nz[0] > 0.0, "capacity");
         assert!(nz[1] > 0.0, "thrust");
         assert!(nz[2] > 300.0, "velocity {}", nz[2]);
@@ -562,7 +562,7 @@ mod duct2_tests {
                     Value::Float(0.0),
                 ])
                 .unwrap();
-            let f = out[0].as_f32_slice().unwrap();
+            let f = out[0].as_floats().unwrap();
             f[2] / 2.9e5 // Pt ratio
         };
         let at_ref = call(100.0);

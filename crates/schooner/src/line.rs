@@ -18,9 +18,10 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use bytes::{Bytes, BytesMut};
 use netsim::{Endpoint, NetError, VirtualClock};
 use uts::spec::ProcSpec;
-use uts::{Architecture, Value};
+use uts::{Architecture, Value, WIRE_V1, WIRE_V2};
 
 use crate::error::{SchError, SchResult};
 use crate::message::{FaultCode, MapInfo, Msg, StartedInfo, WireFault};
@@ -47,6 +48,8 @@ struct Binding {
     /// Incarnation of the process instance this binding points at;
     /// replies stamped with an older incarnation are fenced.
     incarnation: u64,
+    /// UTS wire version negotiated with the Manager for this binding.
+    wire: u8,
 }
 
 /// Cumulative transport statistics for one line.
@@ -89,6 +92,9 @@ pub struct LineHandle {
     next_req: u64,
     stats: LineStats,
     quit_sent: bool,
+    /// Scratch buffer reused for every request encode; its allocation
+    /// survives across calls so steady-state marshaling is copy-only.
+    encode_buf: BytesMut,
 }
 
 impl LineHandle {
@@ -121,6 +127,7 @@ impl LineHandle {
             next_req: 1,
             stats: LineStats::default(),
             quit_sent: false,
+            encode_buf: BytesMut::new(),
         };
         let req = handle.fresh_req();
         handle.send_manager(&Msg::OpenLine {
@@ -425,7 +432,14 @@ impl LineHandle {
         args: &[Value],
     ) -> SchResult<Vec<Value>> {
         let obs = self.ctx.obs.clone();
-        let wire = binding.stub.marshal_inputs(args, self.arch)?;
+        binding.stub.marshal_inputs_into(&mut self.encode_buf, args, self.arch, binding.wire)?;
+        let wire = Bytes::copy_from_slice(&self.encode_buf);
+        let m = obs.metrics();
+        m.counter_add("uts.encode_bytes", wire.len() as u64);
+        m.counter_add(
+            if binding.wire >= WIRE_V2 { "uts.fast_path_hits" } else { "uts.legacy_path_hits" },
+            1,
+        );
         let marshal_s = self.marshal_cost(binding.stub.input_scalars);
         self.clock.advance(marshal_s);
         obs.span_phase(self.id, call, Phase::Marshal, marshal_s);
@@ -467,7 +481,7 @@ impl LineHandle {
                 m.counter_add("rpc.calls", 1);
                 m.counter_add("rpc.request_bytes", request_bytes);
                 m.counter_add("rpc.reply_bytes", bytes.len() as u64);
-                let out = binding.stub.unmarshal_outputs(bytes, self.arch)?;
+                let (out, _ver) = binding.stub.unmarshal_outputs_any(bytes, self.arch)?;
                 let unmarshal_s = self.marshal_cost(binding.stub.output_scalars);
                 self.clock.advance(unmarshal_s);
                 obs.span_phase(self.id, call, Phase::Unmarshal, unmarshal_s);
@@ -567,6 +581,7 @@ impl LineHandle {
             line: self.id,
             name: name.to_owned(),
             target_host: target_machine.to_owned(),
+            max_wire: WIRE_V2,
             reply_to: self.endpoint.addr().to_owned(),
         })?;
         let reply =
@@ -665,6 +680,7 @@ impl LineHandle {
             name: name.to_owned(),
             import_spec,
             suspect_addr,
+            max_wire: WIRE_V2,
             reply_to: self.endpoint.addr().to_owned(),
         })?;
         let reply = self.await_reply(|m| matches!(m, Msg::MapReply { req: r, .. } if *r == req))?;
@@ -688,6 +704,9 @@ impl LineHandle {
             remote_name: info.remote_name,
             stub: CompiledStub::compile(spec),
             incarnation: info.incarnation,
+            // An out-of-range advertisement (future Manager) degrades to
+            // the highest version this library speaks.
+            wire: info.wire_version.clamp(WIRE_V1, WIRE_V2),
         })
     }
 

@@ -218,7 +218,21 @@ impl ManagerWorker {
 
     /// Wait for a reply satisfying `pred`, buffering everything else.
     fn await_reply(&mut self, pred: impl Fn(&Msg) -> bool) -> SchResult<Msg> {
-        let deadline = Instant::now() + self.ctx.config.reply_timeout;
+        self.await_reply_within(self.ctx.config.reply_timeout, pred)
+    }
+
+    /// [`Self::await_reply`] with an explicit wait budget. Paths that
+    /// run *while a caller is itself waiting on the Manager* (the
+    /// suspect-address probe) must use a budget well inside
+    /// `reply_timeout`, or the Manager's answer lands exactly on the
+    /// caller's own deadline and which side wins becomes a wall-clock
+    /// race.
+    fn await_reply_within(
+        &mut self,
+        timeout: Duration,
+        pred: impl Fn(&Msg) -> bool,
+    ) -> SchResult<Msg> {
+        let deadline = Instant::now() + timeout;
         loop {
             if Instant::now() > deadline {
                 return Err(SchError::ManagerUnavailable);
@@ -254,9 +268,9 @@ impl ManagerWorker {
                     self.handle_start(line, &path, &host, shared).map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::StartReply { req, result });
             }
-            Msg::MapRequest { req, line, name, import_spec, suspect_addr, reply_to } => {
+            Msg::MapRequest { req, line, name, import_spec, suspect_addr, max_wire, reply_to } => {
                 let result = self
-                    .handle_map(line, &name, &import_spec, &suspect_addr)
+                    .handle_map(line, &name, &import_spec, &suspect_addr, max_wire)
                     .map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::MapReply { req, result });
             }
@@ -268,9 +282,10 @@ impl ManagerWorker {
                 self.shutdown_line(line);
                 let _ = self.send(&reply_to, &Msg::IQuitAck { req });
             }
-            Msg::MoveRequest { req, line, name, target_host, reply_to } => {
-                let result =
-                    self.handle_move(line, &name, &target_host).map_err(|e| WireFault::from(&e));
+            Msg::MoveRequest { req, line, name, target_host, max_wire, reply_to } => {
+                let result = self
+                    .handle_move(line, &name, &target_host, max_wire)
+                    .map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::MoveReply { req, result });
             }
             Msg::ManagerShutdown => {
@@ -405,12 +420,19 @@ impl ManagerWorker {
             .ok_or_else(|| SchError::UnknownProcedure(name.to_owned()))
     }
 
+    /// Negotiate the UTS wire version of a binding: the caller's maximum
+    /// capped by the world's configured version, never below v1.
+    fn negotiate_wire(&self, max_wire: u8) -> u8 {
+        max_wire.min(self.ctx.config.wire_version).max(uts::WIRE_V1)
+    }
+
     fn handle_map(
         &mut self,
         line: u64,
         name: &str,
         import_spec: &str,
         suspect_addr: &str,
+        max_wire: u8,
     ) -> SchResult<MapInfo> {
         let (mut entry, in_shared) = self.locate(line, name)?;
 
@@ -452,6 +474,7 @@ impl ManagerWorker {
             remote_name: entry.remote_name.clone(),
             export_spec: entry.spec.to_source(),
             incarnation: entry.incarnation,
+            wire_version: self.negotiate_wire(max_wire),
         })
     }
 
@@ -473,7 +496,14 @@ impl ManagerWorker {
             Err(_) => return self.record_probe_miss(addr),
             Ok(_) => {}
         }
-        match self.await_reply(|m| matches!(m, Msg::Pong { req: r, .. } if *r == req)) {
+        // A live process answers a ping within milliseconds; only a dead
+        // one makes us wait. Budget a fraction of `reply_timeout` so the
+        // slandering caller (whose own reply deadline started ticking
+        // before this probe did) always hears our verdict in time.
+        let budget = self.ctx.config.reply_timeout / 4;
+        match self
+            .await_reply_within(budget, |m| matches!(m, Msg::Pong { req: r, .. } if *r == req))
+        {
             Ok(_) => {
                 self.monitor.record_beat(addr);
                 self.ctx
@@ -657,7 +687,13 @@ impl ManagerWorker {
 
     /// Move the process exporting `name` (visible to `line`) to
     /// `target_host`, transferring declared state.
-    fn handle_move(&mut self, line: u64, name: &str, target_host: &str) -> SchResult<MapInfo> {
+    fn handle_move(
+        &mut self,
+        line: u64,
+        name: &str,
+        target_host: &str,
+        max_wire: u8,
+    ) -> SchResult<MapInfo> {
         let (entry, in_shared) = {
             if let Some(state) = self.lines.get(&line) {
                 if let Some(e) = state.db.get(name) {
@@ -745,6 +781,7 @@ impl ManagerWorker {
             remote_name: rebound.remote_name,
             export_spec: rebound.spec.to_source(),
             incarnation: rebound.incarnation,
+            wire_version: self.negotiate_wire(max_wire),
         })
     }
 }

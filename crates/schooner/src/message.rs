@@ -190,6 +190,11 @@ pub struct MapInfo {
     pub export_spec: String,
     /// Incarnation of the process currently exporting the procedure.
     pub incarnation: u64,
+    /// Highest UTS wire version negotiated for this binding: the minimum
+    /// of the caller's maximum and the world's configured version. The
+    /// caller encodes call arguments with this codec; receivers sniff the
+    /// payload, so a lower version is always safe.
+    pub wire_version: u8,
 }
 
 /// A protocol message.
@@ -210,13 +215,15 @@ pub enum Msg {
     /// spec so the Manager can type-check the binding. A non-empty
     /// `suspect_addr` reports the address the caller just failed to
     /// reach, prompting the Manager's health monitor to probe it before
-    /// answering.
+    /// answering. `max_wire` is the highest UTS wire version the caller's
+    /// library speaks; the Manager answers with the negotiated minimum.
     MapRequest {
         req: u64,
         line: u64,
         name: String,
         import_spec: String,
         suspect_addr: String,
+        max_wire: u8,
         reply_to: String,
     },
     /// Reply to [`Msg::MapRequest`].
@@ -227,8 +234,16 @@ pub enum Msg {
     /// Acknowledgement of [`Msg::IQuit`].
     IQuitAck { req: u64 },
     /// Move a procedure of `line` (or a shared one, `line` = 0 with
-    /// `shared`) to `target_host`.
-    MoveRequest { req: u64, line: u64, name: String, target_host: String, reply_to: String },
+    /// `shared`) to `target_host`. `max_wire` renegotiates the wire
+    /// version for the rebound [`MapInfo`].
+    MoveRequest {
+        req: u64,
+        line: u64,
+        name: String,
+        target_host: String,
+        max_wire: u8,
+        reply_to: String,
+    },
     /// Reply to [`Msg::MoveRequest`].
     MoveReply { req: u64, result: Result<MapInfo, WireFault> },
     /// Terminate the Manager (explicit, since the Manager is persistent).
@@ -417,6 +432,7 @@ fn put_mapinfo(buf: &mut BytesMut, info: &MapInfo) {
     put_str(buf, &info.remote_name);
     put_str(buf, &info.export_spec);
     buf.put_u64(info.incarnation);
+    buf.put_u8(info.wire_version);
 }
 
 fn get_mapinfo(r: &mut Reader) -> SchResult<MapInfo> {
@@ -425,6 +441,7 @@ fn get_mapinfo(r: &mut Reader) -> SchResult<MapInfo> {
         remote_name: r.str()?,
         export_spec: r.str()?,
         incarnation: r.u64()?,
+        wire_version: r.u8()?,
     })
 }
 
@@ -458,13 +475,14 @@ impl Msg {
                 b.put_u64(*req);
                 put_result(&mut b, result, put_started);
             }
-            Msg::MapRequest { req, line, name, import_spec, suspect_addr, reply_to } => {
+            Msg::MapRequest { req, line, name, import_spec, suspect_addr, max_wire, reply_to } => {
                 b.put_u8(T_MAP_REQUEST);
                 b.put_u64(*req);
                 b.put_u64(*line);
                 put_str(&mut b, name);
                 put_str(&mut b, import_spec);
                 put_str(&mut b, suspect_addr);
+                b.put_u8(*max_wire);
                 put_str(&mut b, reply_to);
             }
             Msg::MapReply { req, result } => {
@@ -482,12 +500,13 @@ impl Msg {
                 b.put_u8(T_IQUIT_ACK);
                 b.put_u64(*req);
             }
-            Msg::MoveRequest { req, line, name, target_host, reply_to } => {
+            Msg::MoveRequest { req, line, name, target_host, max_wire, reply_to } => {
                 b.put_u8(T_MOVE_REQUEST);
                 b.put_u64(*req);
                 b.put_u64(*line);
                 put_str(&mut b, name);
                 put_str(&mut b, target_host);
+                b.put_u8(*max_wire);
                 put_str(&mut b, reply_to);
             }
             Msg::MoveReply { req, result } => {
@@ -596,6 +615,7 @@ impl Msg {
                 name: r.str()?,
                 import_spec: r.str()?,
                 suspect_addr: r.str()?,
+                max_wire: r.u8()?,
                 reply_to: r.str()?,
             },
             T_MAP_REPLY => {
@@ -608,6 +628,7 @@ impl Msg {
                 line: r.u64()?,
                 name: r.str()?,
                 target_host: r.str()?,
+                max_wire: r.u8()?,
                 reply_to: r.str()?,
             },
             T_MOVE_REPLY => {
@@ -710,6 +731,7 @@ mod tests {
             name: "shaft".into(),
             import_spec: "import shaft prog()".into(),
             suspect_addr: "cray:proc-3".into(),
+            max_wire: uts::WIRE_V2,
             reply_to: "a:1".into(),
         });
         round_trip(Msg::MapReply {
@@ -719,6 +741,7 @@ mod tests {
                 remote_name: "SHAFT".into(),
                 export_spec: "export SHAFT prog()".into(),
                 incarnation: 9,
+                wire_version: uts::WIRE_V2,
             }),
         });
         round_trip(Msg::MapReply {
@@ -732,6 +755,7 @@ mod tests {
             line: 7,
             name: "shaft".into(),
             target_host: "lerc-rs6000".into(),
+            max_wire: uts::WIRE_V1,
             reply_to: "a:1".into(),
         });
         round_trip(Msg::MoveReply {

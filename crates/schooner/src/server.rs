@@ -22,7 +22,7 @@ use crate::error::{SchError, SchResult};
 use crate::message::{FaultCode, Msg, StartedInfo, WireFault};
 use crate::obs::{EventKind, Phase};
 use crate::proc::Procedure;
-use crate::stub::{marshal_state, unmarshal_state, CompiledStub};
+use crate::stub::CompiledStub;
 use crate::system::{server_addr, RuntimeCtx};
 
 /// Handle to a running per-machine Server thread.
@@ -320,8 +320,10 @@ impl ProcessWorker {
             .get(proc_name)
             .ok_or_else(|| SchError::UnknownProcedure(proc_name.to_owned()))?
             .clone();
-        // Unmarshal through this machine's native format.
-        let values = stub.unmarshal_inputs(args, self.arch)?;
+        // Unmarshal through this machine's native format; the payload's
+        // leading byte says which wire codec the caller used, and the
+        // reply is encoded with the same one.
+        let (values, wire) = stub.unmarshal_inputs_any(args, self.arch)?;
         self.clock.advance(self.marshal_cost(stub.input_scalars));
 
         let proc = self
@@ -342,8 +344,14 @@ impl ProcessWorker {
             },
         );
 
-        let out = stub.marshal_outputs(&results, self.arch)?;
+        let out = stub.marshal_outputs_wire(&results, self.arch, wire)?;
         self.clock.advance(self.marshal_cost(stub.output_scalars));
+        let m = self.ctx.obs.metrics();
+        m.counter_add("uts.encode_bytes", out.len() as u64);
+        m.counter_add(
+            if wire >= uts::WIRE_V2 { "uts.fast_path_hits" } else { "uts.legacy_path_hits" },
+            1,
+        );
         Ok(out)
     }
 
@@ -357,7 +365,11 @@ impl ProcessWorker {
         for name in names {
             let stub = &self.stubs[name];
             let proc = &self.procs[name];
-            let blob = marshal_state(&stub.spec.state, &proc.get_state(), self.arch)?;
+            let blob = stub.marshal_state_wire(
+                &proc.get_state(),
+                self.arch,
+                self.ctx.config.wire_version,
+            )?;
             buf.put_u32(name.len() as u32);
             buf.put_slice(name.as_bytes());
             buf.put_u32(blob.len() as u32);
@@ -393,7 +405,9 @@ impl ProcessWorker {
                     || SchError::StateTransfer(format!("no procedure '{name}' in target process")),
                 )?;
             let stub = &self.stubs[&our_name];
-            let values = unmarshal_state(&stub.spec.state, blob, self.arch)?;
+            // Blobs are version-sniffed individually: a snapshot captured
+            // under v1 installs into a v2 world and vice versa.
+            let values = stub.unmarshal_state_any(blob, self.arch)?;
             self.procs
                 .get_mut(&our_name)
                 .expect("stub/proc maps are parallel")

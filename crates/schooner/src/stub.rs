@@ -10,12 +10,12 @@
 //! the way to and from the wire, so architecture range/precision semantics
 //! apply at exactly the points they did in the real system.
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use uts::check::{check_call_args, check_call_results};
 use uts::native::through_native;
 use uts::spec::ProcSpec;
 use uts::wire::{WireReader, WireWriter};
-use uts::{Architecture, Type, Value};
+use uts::{payload_version, Architecture, MarshalPlan, Type, Value, WIRE_V1, WIRE_V2};
 
 use crate::error::SchResult;
 
@@ -32,6 +32,12 @@ pub struct CompiledStub {
     pub input_scalars: usize,
     /// Scalar leaves across all outputs.
     pub output_scalars: usize,
+    /// Compiled wire-v2 plan for the input parameter list.
+    pub input_plan: MarshalPlan,
+    /// Compiled wire-v2 plan for the output parameter list.
+    pub output_plan: MarshalPlan,
+    /// Compiled wire-v2 plan for the `state(...)` variable list.
+    pub state_plan: MarshalPlan,
 }
 
 impl CompiledStub {
@@ -41,7 +47,19 @@ impl CompiledStub {
         let output_types: Vec<Type> = spec.output_params().map(|p| p.ty.clone()).collect();
         let input_scalars = input_types.iter().map(Type::scalar_count).sum();
         let output_scalars = output_types.iter().map(Type::scalar_count).sum();
-        Self { spec: spec.clone(), input_types, output_types, input_scalars, output_scalars }
+        let input_plan = MarshalPlan::compile(&input_types);
+        let output_plan = MarshalPlan::compile(&output_types);
+        let state_plan = MarshalPlan::compile(spec.state.iter().map(|(_, ty)| ty));
+        Self {
+            spec: spec.clone(),
+            input_types,
+            output_types,
+            input_scalars,
+            output_scalars,
+            input_plan,
+            output_plan,
+            state_plan,
+        }
     }
 
     /// Marshal input arguments on the **sending** side: validate against
@@ -86,6 +104,122 @@ impl CompiledStub {
             w.put(&native, ty)?;
         }
         Ok(w.finish())
+    }
+
+    /// Marshal input arguments under a negotiated wire version: v2 runs
+    /// the compiled [`MarshalPlan`] (bulk arrays, exact-size buffer),
+    /// anything else takes the legacy tagged path.
+    pub fn marshal_inputs_wire(
+        &self,
+        args: &[Value],
+        arch: Architecture,
+        wire: u8,
+    ) -> SchResult<Bytes> {
+        if wire >= WIRE_V2 {
+            check_call_args(&self.spec, args)?;
+            Ok(self.input_plan.encode(args, arch)?)
+        } else {
+            self.marshal_inputs(args, arch)
+        }
+    }
+
+    /// Like [`CompiledStub::marshal_inputs_wire`] but encoding into a
+    /// caller-owned scratch buffer, so a long-lived line reuses one
+    /// allocation across calls. The buffer is cleared first and holds the
+    /// full payload on return.
+    pub fn marshal_inputs_into(
+        &self,
+        buf: &mut BytesMut,
+        args: &[Value],
+        arch: Architecture,
+        wire: u8,
+    ) -> SchResult<()> {
+        if wire >= WIRE_V2 {
+            check_call_args(&self.spec, args)?;
+            self.input_plan.encode_into(buf, args, arch)?;
+        } else {
+            let legacy = self.marshal_inputs(args, arch)?;
+            buf.clear();
+            buf.put_slice(&legacy);
+        }
+        Ok(())
+    }
+
+    /// Unmarshal input arguments of either wire version: the payload's
+    /// leading byte says which codec produced it. Returns the values and
+    /// the version detected, so the callee can answer in kind.
+    pub fn unmarshal_inputs_any(
+        &self,
+        bytes: Bytes,
+        arch: Architecture,
+    ) -> SchResult<(Vec<Value>, u8)> {
+        if payload_version(&bytes) == WIRE_V2 {
+            Ok((self.input_plan.decode(bytes, arch)?, WIRE_V2))
+        } else {
+            Ok((self.unmarshal_inputs(bytes, arch)?, WIRE_V1))
+        }
+    }
+
+    /// Marshal result values under a negotiated wire version.
+    pub fn marshal_outputs_wire(
+        &self,
+        results: &[Value],
+        arch: Architecture,
+        wire: u8,
+    ) -> SchResult<Bytes> {
+        if wire >= WIRE_V2 {
+            check_call_results(&self.spec, results)?;
+            Ok(self.output_plan.encode(results, arch)?)
+        } else {
+            self.marshal_outputs(results, arch)
+        }
+    }
+
+    /// Unmarshal result values of either wire version (sniffed from the
+    /// payload, like [`CompiledStub::unmarshal_inputs_any`]).
+    pub fn unmarshal_outputs_any(
+        &self,
+        bytes: Bytes,
+        arch: Architecture,
+    ) -> SchResult<(Vec<Value>, u8)> {
+        if payload_version(&bytes) == WIRE_V2 {
+            Ok((self.output_plan.decode(bytes, arch)?, WIRE_V2))
+        } else {
+            Ok((self.unmarshal_outputs(bytes, arch)?, WIRE_V1))
+        }
+    }
+
+    /// Marshal this procedure's `state(...)` variables under a negotiated
+    /// wire version (checkpoints and migration state transfer).
+    pub fn marshal_state_wire(
+        &self,
+        values: &[Value],
+        arch: Architecture,
+        wire: u8,
+    ) -> SchResult<Bytes> {
+        if wire >= WIRE_V2 {
+            if self.spec.state.len() != values.len() {
+                return Err(crate::error::SchError::StateTransfer(format!(
+                    "spec declares {} state variables, procedure produced {}",
+                    self.spec.state.len(),
+                    values.len()
+                )));
+            }
+            Ok(self.state_plan.encode(values, arch)?)
+        } else {
+            marshal_state(&self.spec.state, values, arch)
+        }
+    }
+
+    /// Unmarshal `state(...)` variables of either wire version. Snapshots
+    /// taken before a version change restore unchanged: each blob is
+    /// sniffed independently.
+    pub fn unmarshal_state_any(&self, bytes: Bytes, arch: Architecture) -> SchResult<Vec<Value>> {
+        if payload_version(&bytes) == WIRE_V2 {
+            Ok(self.state_plan.decode(bytes, arch)?)
+        } else {
+            unmarshal_state(&self.spec.state, bytes, arch)
+        }
     }
 
     /// Unmarshal result values on the caller side.
@@ -309,6 +443,93 @@ export shaft prog(
         let Value::Double(x) = got[0] else { panic!("{got:?}") };
         assert_ne!(x, fine, "the low mantissa bits do not fit the Cray word");
         assert!((x - fine).abs() < 1e-12, "rounding is to nearest: {x}");
+    }
+
+    #[test]
+    fn wire_v2_inputs_round_trip_on_every_arch_pair() {
+        let stub = shaft_stub();
+        let args = shaft_args();
+        for from in Architecture::ALL {
+            for to in Architecture::ALL {
+                let wire = stub.marshal_inputs_wire(&args, from, WIRE_V2).unwrap();
+                assert_eq!(uts::payload_version(&wire), WIRE_V2);
+                let (got, ver) = stub.unmarshal_inputs_any(wire, to).unwrap();
+                assert_eq!(ver, WIRE_V2);
+                assert_eq!(got, args, "{from} -> {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn receiver_sniffs_either_wire_version() {
+        let stub = shaft_stub();
+        let args = shaft_args();
+        let v1 = stub.marshal_inputs_wire(&args, Architecture::SunSparc10, WIRE_V1).unwrap();
+        let v2 = stub.marshal_inputs_wire(&args, Architecture::SunSparc10, WIRE_V2).unwrap();
+        assert_ne!(v1, v2, "the codecs frame differently");
+        let (from_v1, ver1) = stub.unmarshal_inputs_any(v1, Architecture::CrayYmp).unwrap();
+        let (from_v2, ver2) = stub.unmarshal_inputs_any(v2, Architecture::CrayYmp).unwrap();
+        assert_eq!((ver1, ver2), (WIRE_V1, WIRE_V2));
+        assert_eq!(from_v1, from_v2);
+        assert_eq!(from_v1, args);
+    }
+
+    #[test]
+    fn v2_payload_is_smaller_for_arrays() {
+        let stub = shaft_stub();
+        let args = shaft_args();
+        let v1 = stub.marshal_inputs_wire(&args, Architecture::SunSparc10, WIRE_V1).unwrap();
+        let v2 = stub.marshal_inputs_wire(&args, Architecture::SunSparc10, WIRE_V2).unwrap();
+        assert!(v2.len() < v1.len(), "v2 {} vs v1 {}", v2.len(), v1.len());
+    }
+
+    #[test]
+    fn marshal_into_reuses_the_scratch_buffer() {
+        let stub = shaft_stub();
+        let args = shaft_args();
+        let mut buf = BytesMut::new();
+        stub.marshal_inputs_into(&mut buf, &args, Architecture::SunSparc10, WIRE_V2).unwrap();
+        let first = Bytes::copy_from_slice(&buf);
+        stub.marshal_inputs_into(&mut buf, &args, Architecture::SunSparc10, WIRE_V2).unwrap();
+        assert_eq!(&buf[..], &first[..], "re-encode is reproducible");
+        let direct = stub.marshal_inputs_wire(&args, Architecture::SunSparc10, WIRE_V2).unwrap();
+        assert_eq!(&buf[..], &direct[..]);
+        // The v1 fallback also lands in the same buffer.
+        stub.marshal_inputs_into(&mut buf, &args, Architecture::SunSparc10, WIRE_V1).unwrap();
+        let legacy = stub.marshal_inputs(&args, Architecture::SunSparc10).unwrap();
+        assert_eq!(&buf[..], &legacy[..]);
+    }
+
+    #[test]
+    fn outputs_cross_versions() {
+        let stub = shaft_stub();
+        let results = vec![Value::Float(-123.5)];
+        for wire in [WIRE_V1, WIRE_V2] {
+            let enc = stub.marshal_outputs_wire(&results, Architecture::CrayYmp, wire).unwrap();
+            let (got, ver) = stub.unmarshal_outputs_any(enc, Architecture::SunSparc10).unwrap();
+            assert_eq!(ver, wire);
+            assert_eq!(got, results);
+        }
+    }
+
+    #[test]
+    fn state_blobs_restore_across_versions_and_architectures() {
+        let file = uts::parse_spec_file(
+            r#"export h prog("x" val double, "y" res double)
+               state("t" double, "hist" array[3] of double)"#,
+        )
+        .unwrap();
+        let stub = CompiledStub::compile(&file.decls[0]);
+        let values = vec![Value::Double(1.5), Value::doubles(&[0.125, 0.25, 0.375])];
+        for wire in [WIRE_V1, WIRE_V2] {
+            let blob = stub.marshal_state_wire(&values, Architecture::CrayYmp, wire).unwrap();
+            let got = stub.unmarshal_state_any(blob, Architecture::ConvexC220).unwrap();
+            assert_eq!(got, values, "wire v{wire}");
+        }
+        // Arity mismatches are state-transfer errors under both codecs.
+        for wire in [WIRE_V1, WIRE_V2] {
+            assert!(stub.marshal_state_wire(&[], Architecture::SunSparc10, wire).is_err());
+        }
     }
 
     #[test]

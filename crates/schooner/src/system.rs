@@ -49,6 +49,11 @@ pub struct SchoonerConfig {
     /// Consecutive heartbeat misses before the Manager declares a
     /// suspect process dead and runs its supervision policy.
     pub heartbeat_miss_threshold: u32,
+    /// Highest UTS wire version this world's Manager hands out in
+    /// bindings (see [`uts::WIRE_V2`]). The negotiated version of any
+    /// binding is `min(caller max, this)`; set to [`uts::WIRE_V1`] to
+    /// force every call onto the legacy tagged codec.
+    pub wire_version: u8,
 }
 
 impl Default for SchoonerConfig {
@@ -60,6 +65,7 @@ impl Default for SchoonerConfig {
             per_scalar_flops: 80.0,
             process_startup_s: 30e-3,
             heartbeat_miss_threshold: 2,
+            wire_version: uts::WIRE_V2,
         }
     }
 }

@@ -27,7 +27,7 @@ export annotate prog(
                         Value::String(s) => s.clone(),
                         _ => return Err("name".into()),
                     };
-                    let values = fields[1].1.as_f64_slice().ok_or("values")?;
+                    let values = fields[1].1.as_doubles().ok_or("values")?.into_owned();
                     let valid = match fields[2].1 {
                         Value::Boolean(b) => b,
                         _ => return Err("valid".into()),

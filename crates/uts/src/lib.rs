@@ -16,7 +16,11 @@
 //!   exponent range forces the out-of-range policy described in the paper;
 //! * **signature checking** ([`check`]) used by the Schooner Manager to
 //!   type-check calls at runtime, including the subset rule that allows an
-//!   import specification to name a subset of an export's parameters.
+//!   import specification to name a subset of an export's parameters;
+//! * **compiled marshal plans** ([`plan`]) — the wire-v2 fast path that
+//!   compiles a signature once into a flat opcode sequence, packs scalar
+//!   arrays contiguously, and bypasses the native round-trip on IEEE
+//!   architectures while preserving v1 conversion semantics exactly.
 //!
 //! The flow of an argument value in a remote call is:
 //!
@@ -65,6 +69,7 @@ pub mod arch;
 pub mod check;
 pub mod error;
 pub mod native;
+pub mod plan;
 pub mod spec;
 pub mod types;
 pub mod value;
@@ -73,6 +78,7 @@ pub mod wire;
 pub use arch::Architecture;
 pub use check::{check_call_args, check_import_against_export, CheckedCall};
 pub use error::{Error, Result};
+pub use plan::{payload_version, MarshalPlan, WIRE_V1, WIRE_V2};
 pub use spec::{parse_spec_file, Direction, Parameter, ProcSpec, SpecFile};
 pub use types::{ParamMode, Type};
 pub use value::Value;

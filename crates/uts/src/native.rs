@@ -433,6 +433,28 @@ fn encode_native_unchecked(value: &Value, arch: Architecture, out: &mut Vec<u8>)
             }
             Ok(())
         }
+        Value::Integers(xs) => {
+            for &i in xs.iter() {
+                put_native_int(i, arch, out)?;
+            }
+            Ok(())
+        }
+        Value::Floats(xs) => {
+            for &x in xs.iter() {
+                put_native_f32(x, arch, out)?;
+            }
+            Ok(())
+        }
+        Value::Doubles(xs) => {
+            for &x in xs.iter() {
+                put_native_f64(x, arch, out)?;
+            }
+            Ok(())
+        }
+        Value::Bytes(bs) => {
+            out.extend_from_slice(bs);
+            Ok(())
+        }
     }
 }
 

@@ -1,0 +1,883 @@
+//! Compiled marshal plans and the v2 untagged wire format.
+//!
+//! The legacy (v1) codec interprets the `Type` tree for every value of
+//! every call: each array element is boxed as a [`Value`], recursively
+//! type-checked, converted through the sender's native format via an
+//! intermediate byte buffer, and emitted with its own tag byte. This
+//! module compiles a procedure signature **once** into a flat opcode
+//! sequence — a [`MarshalPlan`] — that the stubs then execute per call:
+//!
+//! * scalar arrays (`array[N] of float/double/integer/byte`) become a
+//!   single bulk opcode whose payload is packed contiguously, so endian
+//!   conversion is one vectorizable pass and IEEE architectures bypass
+//!   the native round-trip entirely (the paper's "perform only the
+//!   conversions necessary");
+//! * the plan carries an exact wire-size hint for string-free signatures,
+//!   so encode buffers are allocated once at the right size;
+//! * byte arrays decode as zero-copy [`Value::Bytes`] views into the
+//!   incoming message buffer.
+//!
+//! # The v2 wire format
+//!
+//! A v2 payload starts with the marker byte [`V2_MAGIC`] (`0xF2`), a value
+//! no v1 stream can begin with (v1 tags are `0x01..=0x08`), so receivers
+//! sniff the version per payload and fall back to the tagged v1 decoder
+//! for old senders. After the marker the values follow **untagged**, in
+//! signature order:
+//!
+//! ```text
+//! integer   4 bytes two's complement BE
+//! float     4 bytes IEEE-754 BE
+//! double    8 bytes IEEE-754 BE
+//! byte      1 byte
+//! boolean   1 byte (0 or 1)
+//! string    u32 BE length, then UTF-8 bytes
+//! arrays    elements back to back, no per-element framing
+//! records   fields back to back (names live in the plan, not the wire)
+//! ```
+//!
+//! Native-format semantics are preserved exactly: the encoder applies the
+//! sender architecture's conversion per scalar (identity for IEEE,
+//! [`crate::native::cray`]/[`crate::native::vax`] round-trips otherwise) and the decoder
+//! applies the receiver's, so every range and precision hazard of the v1
+//! pipeline occurs at the same place with the same error.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::arch::{Architecture, FloatRepr, IntRepr};
+use crate::error::{Error, Result};
+use crate::native::{cray, vax};
+use crate::types::Type;
+use crate::value::Value;
+use crate::wire::{WIRE_INTEGER_MAX, WIRE_INTEGER_MIN};
+
+/// The legacy self-describing tagged format.
+pub const WIRE_V1: u8 = 1;
+/// The plan-driven untagged format introduced by this module.
+pub const WIRE_V2: u8 = 2;
+/// First byte of every v2 payload; disjoint from the v1 tag space.
+pub const V2_MAGIC: u8 = 0xF2;
+
+/// Which wire version a payload was encoded with, sniffed from its first
+/// byte. An empty payload is a valid v1 encoding of zero values.
+pub fn payload_version(payload: &[u8]) -> u8 {
+    match payload.first() {
+        Some(&V2_MAGIC) => WIRE_V2,
+        _ => WIRE_V1,
+    }
+}
+
+/// One instruction of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// One 32-bit wire integer (range-checked against the sender's
+    /// native width).
+    Integer,
+    /// One IEEE-754 single.
+    Float,
+    /// One IEEE-754 double.
+    Double,
+    /// One octet.
+    Byte,
+    /// One truth value.
+    Boolean,
+    /// One length-prefixed UTF-8 string.
+    String,
+    /// Bulk `array[n] of integer`: `4*n` packed payload bytes.
+    IntegerArray(usize),
+    /// Bulk `array[n] of float`: `4*n` packed payload bytes.
+    FloatArray(usize),
+    /// Bulk `array[n] of double`: `8*n` packed payload bytes.
+    DoubleArray(usize),
+    /// Bulk `array[n] of byte`: `n` payload bytes, decoded zero-copy.
+    ByteArray(usize),
+    /// Bulk `array[n] of boolean`: `n` payload bytes, each 0 or 1.
+    BooleanArray(usize),
+    /// Structured array: the next `body` ops encode one element, run
+    /// `count` times.
+    Repeat {
+        /// Declared element count.
+        count: usize,
+        /// Number of ops in the element subtree.
+        body: usize,
+    },
+    /// Record of `nfields` fields; the field subtrees follow in order and
+    /// their names sit at `first_name..` in the plan's name table.
+    Record {
+        /// Index of the first field name in [`MarshalPlan`]'s name table.
+        first_name: usize,
+        /// Number of fields.
+        nfields: usize,
+    },
+}
+
+/// A compiled encoder/decoder for one ordered list of types (a procedure's
+/// input or output parameters, or its `state(...)` clause), built once per
+/// stub and executed per call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarshalPlan {
+    ops: Vec<Op>,
+    /// Record field names referenced by [`Op::Record`].
+    names: Vec<String>,
+    /// The compiled top-level types, kept for canonical mismatch errors.
+    types: Vec<Type>,
+    /// Op index one past each top-level value's subtree.
+    param_ends: Vec<usize>,
+    /// Encoded payload size in bytes including the marker; exact when
+    /// `exact`, otherwise a lower bound (signatures containing strings).
+    size_hint: usize,
+    exact: bool,
+    scalars: usize,
+}
+
+impl MarshalPlan {
+    /// Compile a plan for an ordered list of types.
+    pub fn compile<'a, I>(types: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Type>,
+    {
+        let mut plan = MarshalPlan {
+            ops: Vec::new(),
+            names: Vec::new(),
+            types: Vec::new(),
+            param_ends: Vec::new(),
+            size_hint: 1, // the V2_MAGIC marker
+            exact: true,
+            scalars: 0,
+        };
+        for ty in types {
+            compile_type(ty, &mut plan);
+            plan.param_ends.push(plan.ops.len());
+            plan.scalars += ty.scalar_count();
+            match ty.fixed_wire_size() {
+                Some(n) => plan.size_hint += n,
+                None => {
+                    // Lower bound: count the length prefixes of the
+                    // strings and the fixed remainder.
+                    plan.size_hint += lower_bound_size(ty);
+                    plan.exact = false;
+                }
+            }
+            plan.types.push(ty.clone());
+        }
+        plan
+    }
+
+    /// Number of top-level values this plan encodes.
+    pub fn param_count(&self) -> usize {
+        self.param_ends.len()
+    }
+
+    /// Total scalar leaves across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.scalars
+    }
+
+    /// Encoded v2 payload size in bytes (including the marker byte);
+    /// exact unless the signature contains strings, in which case it is a
+    /// lower bound.
+    pub fn size_hint(&self) -> usize {
+        self.size_hint
+    }
+
+    /// Whether [`MarshalPlan::size_hint`] is exact.
+    pub fn size_is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// The compiled opcode sequence (exposed for diagnostics and tests).
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Encode `values` as a v2 payload, applying `arch`'s native-format
+    /// conversion per scalar exactly as the v1 pipeline's
+    /// `through_native` + tagged encode would.
+    pub fn encode(&self, values: &[Value], arch: Architecture) -> Result<Bytes> {
+        let mut buf = BytesMut::with_capacity(self.size_hint);
+        self.encode_into(&mut buf, values, arch)?;
+        Ok(buf.freeze())
+    }
+
+    /// Encode into a caller-owned buffer (cleared first), so a long-lived
+    /// handle can reuse one allocation across calls. Returns the frozen
+    /// payload.
+    pub fn encode_into(
+        &self,
+        buf: &mut BytesMut,
+        values: &[Value],
+        arch: Architecture,
+    ) -> Result<()> {
+        if values.len() != self.param_ends.len() {
+            return Err(Error::Wire(format!(
+                "plan encodes {} values, got {}",
+                self.param_ends.len(),
+                values.len()
+            )));
+        }
+        buf.clear();
+        buf.reserve(self.size_hint);
+        buf.put_u8(V2_MAGIC);
+        let fp = float_pass(arch);
+        let mut pos = 0usize;
+        for (i, v) in values.iter().enumerate() {
+            if let Err(e) = encode_node(self, &mut pos, v, arch, fp, buf) {
+                // Regenerate the canonical mismatch message from the full
+                // type when the fast walk tripped on a shape error.
+                if matches!(e, Error::TypeMismatch { .. }) {
+                    v.expect_type(&self.types[i])?;
+                }
+                return Err(e);
+            }
+            debug_assert_eq!(pos, self.param_ends[i]);
+        }
+        Ok(())
+    }
+
+    /// Decode a v2 payload produced by [`MarshalPlan::encode`] for the
+    /// same signature, applying the **receiver** architecture's native
+    /// conversion per scalar. The marker byte must still be present.
+    pub fn decode(&self, buf: Bytes, arch: Architecture) -> Result<Vec<Value>> {
+        let mut cur = buf;
+        if cur.first() != Some(&V2_MAGIC) {
+            return Err(Error::Wire("payload is not wire v2 (missing marker)".into()));
+        }
+        cur.advance(1);
+        let fp = float_pass(arch);
+        let mut out = Vec::with_capacity(self.param_ends.len());
+        let mut pos = 0usize;
+        for _ in 0..self.param_ends.len() {
+            out.push(decode_node(self, &mut pos, fp, &mut cur)?);
+        }
+        if cur.remaining() != 0 {
+            return Err(Error::Wire(format!("{} trailing bytes after v2 decode", cur.remaining())));
+        }
+        Ok(out)
+    }
+}
+
+/// Lower bound on the v2 wire size of `ty` (strings counted as their
+/// 4-byte length prefix only).
+fn lower_bound_size(ty: &Type) -> usize {
+    match ty {
+        Type::String => 4,
+        Type::Array { len, elem } => len * lower_bound_size(elem),
+        Type::Record { fields } => fields.iter().map(|(_, t)| lower_bound_size(t)).sum(),
+        _ => ty.fixed_wire_size().unwrap_or(0),
+    }
+}
+
+fn compile_type(ty: &Type, plan: &mut MarshalPlan) {
+    match ty {
+        Type::Integer => plan.ops.push(Op::Integer),
+        Type::Float => plan.ops.push(Op::Float),
+        Type::Double => plan.ops.push(Op::Double),
+        Type::Byte => plan.ops.push(Op::Byte),
+        Type::Boolean => plan.ops.push(Op::Boolean),
+        Type::String => plan.ops.push(Op::String),
+        Type::Array { len, elem } => match **elem {
+            Type::Integer => plan.ops.push(Op::IntegerArray(*len)),
+            Type::Float => plan.ops.push(Op::FloatArray(*len)),
+            Type::Double => plan.ops.push(Op::DoubleArray(*len)),
+            Type::Byte => plan.ops.push(Op::ByteArray(*len)),
+            Type::Boolean => plan.ops.push(Op::BooleanArray(*len)),
+            _ => {
+                let at = plan.ops.len();
+                plan.ops.push(Op::Repeat { count: *len, body: 0 });
+                compile_type(elem, plan);
+                let body = plan.ops.len() - at - 1;
+                plan.ops[at] = Op::Repeat { count: *len, body };
+            }
+        },
+        Type::Record { fields } => {
+            let first_name = plan.names.len();
+            for (name, _) in fields {
+                plan.names.push(name.clone());
+            }
+            plan.ops.push(Op::Record { first_name, nfields: fields.len() });
+            for (_, fty) in fields {
+                compile_type(fty, plan);
+            }
+        }
+    }
+}
+
+/// How floats convert through a given architecture's native format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FloatPass {
+    /// IEEE either endianness: bit-identity (byte order is handled by the
+    /// canonical big-endian wire layer).
+    Identity,
+    /// Cray-1 single format: 48-bit mantissa rounding, wide exponent.
+    Cray,
+    /// VAX F/D floating: narrow exponent, overflow errors.
+    Vax,
+}
+
+fn float_pass(arch: Architecture) -> FloatPass {
+    match arch.float_repr() {
+        FloatRepr::IeeeBig | FloatRepr::IeeeLittle => FloatPass::Identity,
+        FloatRepr::Cray => FloatPass::Cray,
+        FloatRepr::Vax => FloatPass::Vax,
+    }
+}
+
+/// A single float through the architecture's native format, mirroring
+/// `put_native_f32` + `get_native_f32` without the byte buffer.
+fn conv_f32(x: f32, fp: FloatPass) -> Result<f32> {
+    match fp {
+        FloatPass::Identity => Ok(x),
+        FloatPass::Cray => {
+            let y = cray::decode(cray::encode(x as f64)?)?;
+            if y.is_finite() && y.abs() > f32::MAX as f64 {
+                return Err(Error::OutOfRange {
+                    what: "float",
+                    value: y.to_string(),
+                    target: "IEEE 754 single".into(),
+                });
+            }
+            Ok(y as f32)
+        }
+        FloatPass::Vax => vax::decode_f(vax::encode_f(x)?),
+    }
+}
+
+/// A single double through the architecture's native format.
+fn conv_f64(x: f64, fp: FloatPass) -> Result<f64> {
+    match fp {
+        FloatPass::Identity => Ok(x),
+        FloatPass::Cray => cray::decode(cray::encode(x)?),
+        FloatPass::Vax => vax::decode_d(vax::encode_d(x)?),
+    }
+}
+
+/// Range-check one integer against the sender's native width and the
+/// 32-bit wire format, with the same error text as the v1 pipeline.
+fn check_int(i: i64, arch: Architecture) -> Result<()> {
+    if (WIRE_INTEGER_MIN..=WIRE_INTEGER_MAX).contains(&i) {
+        return Ok(());
+    }
+    let target = match arch.int_repr() {
+        // The Cray's native word holds the value; the wire doesn't.
+        IntRepr::I64Cray => "32-bit wire integer".into(),
+        _ => format!("{arch} 32-bit integer"),
+    };
+    Err(Error::OutOfRange { what: "integer", value: i.to_string(), target })
+}
+
+/// A placeholder mismatch; the caller regenerates the canonical message
+/// via `expect_type` on the full parameter type.
+fn mismatch(op: &Op, v: &Value) -> Error {
+    Error::TypeMismatch { expected: format!("{op:?}"), found: v.describe() }
+}
+
+fn encode_node(
+    plan: &MarshalPlan,
+    pos: &mut usize,
+    v: &Value,
+    arch: Architecture,
+    fp: FloatPass,
+    out: &mut BytesMut,
+) -> Result<()> {
+    let op = &plan.ops[*pos];
+    *pos += 1;
+    match (op, v) {
+        (Op::Integer, Value::Integer(i)) => {
+            check_int(*i, arch)?;
+            out.put_i32(*i as i32);
+        }
+        (Op::Float, Value::Float(x)) => out.put_f32(conv_f32(*x, fp)?),
+        (Op::Double, Value::Double(x)) => out.put_f64(conv_f64(*x, fp)?),
+        (Op::Byte, Value::Byte(b)) => out.put_u8(*b),
+        (Op::Boolean, Value::Boolean(b)) => out.put_u8(u8::from(*b)),
+        (Op::String, Value::String(s)) => {
+            out.put_u32(s.len() as u32);
+            out.put_slice(s.as_bytes());
+        }
+        (Op::IntegerArray(n), Value::Integers(xs)) if xs.len() == *n => {
+            for &i in xs.iter() {
+                check_int(i, arch)?;
+                out.put_i32(i as i32);
+            }
+        }
+        (Op::FloatArray(n), Value::Floats(xs)) if xs.len() == *n => match fp {
+            // Same-byte-order bypass: one pass, no conversion calls.
+            FloatPass::Identity => {
+                for &x in xs.iter() {
+                    out.put_f32(x);
+                }
+            }
+            _ => {
+                for &x in xs.iter() {
+                    out.put_f32(conv_f32(x, fp)?);
+                }
+            }
+        },
+        (Op::DoubleArray(n), Value::Doubles(xs)) if xs.len() == *n => match fp {
+            FloatPass::Identity => {
+                for &x in xs.iter() {
+                    out.put_f64(x);
+                }
+            }
+            _ => {
+                for &x in xs.iter() {
+                    out.put_f64(conv_f64(x, fp)?);
+                }
+            }
+        },
+        (Op::ByteArray(n), Value::Bytes(bs)) if bs.len() == *n => out.put_slice(bs),
+        // Boxed arrays still ride the bulk opcode, one pass per element.
+        (
+            Op::IntegerArray(n)
+            | Op::FloatArray(n)
+            | Op::DoubleArray(n)
+            | Op::ByteArray(n)
+            | Op::BooleanArray(n),
+            Value::Array(items),
+        ) if items.len() == *n => {
+            for item in items {
+                match (op, item) {
+                    (Op::IntegerArray(_), Value::Integer(i)) => {
+                        check_int(*i, arch)?;
+                        out.put_i32(*i as i32);
+                    }
+                    (Op::FloatArray(_), Value::Float(x)) => out.put_f32(conv_f32(*x, fp)?),
+                    (Op::DoubleArray(_), Value::Double(x)) => out.put_f64(conv_f64(*x, fp)?),
+                    (Op::ByteArray(_), Value::Byte(b)) => out.put_u8(*b),
+                    (Op::BooleanArray(_), Value::Boolean(b)) => out.put_u8(u8::from(*b)),
+                    _ => return Err(mismatch(op, item)),
+                }
+            }
+        }
+        (Op::Repeat { count, body }, Value::Array(items)) if items.len() == *count => {
+            let start = *pos;
+            for item in items {
+                *pos = start;
+                encode_node(plan, pos, item, arch, fp, out)?;
+            }
+            *pos = start + body;
+        }
+        (Op::Record { nfields, .. }, Value::Record(fields)) if fields.len() == *nfields => {
+            for (_, fv) in fields {
+                encode_node(plan, pos, fv, arch, fp, out)?;
+            }
+        }
+        _ => return Err(mismatch(op, v)),
+    }
+    Ok(())
+}
+
+fn need(cur: &Bytes, n: usize, what: &str) -> Result<()> {
+    if cur.remaining() < n {
+        Err(Error::Wire(format!(
+            "truncated v2 stream: need {n} bytes for {what}, have {}",
+            cur.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_node(
+    plan: &MarshalPlan,
+    pos: &mut usize,
+    fp: FloatPass,
+    cur: &mut Bytes,
+) -> Result<Value> {
+    let op = plan.ops[*pos].clone();
+    *pos += 1;
+    match op {
+        Op::Integer => {
+            need(cur, 4, "integer")?;
+            // A 32-bit wire integer fits every native integer format.
+            Ok(Value::Integer(i64::from(cur.get_i32())))
+        }
+        Op::Float => {
+            need(cur, 4, "float")?;
+            Ok(Value::Float(conv_f32(cur.get_f32(), fp)?))
+        }
+        Op::Double => {
+            need(cur, 8, "double")?;
+            Ok(Value::Double(conv_f64(cur.get_f64(), fp)?))
+        }
+        Op::Byte => {
+            need(cur, 1, "byte")?;
+            Ok(Value::Byte(cur.get_u8()))
+        }
+        Op::Boolean => {
+            need(cur, 1, "boolean")?;
+            match cur.get_u8() {
+                0 => Ok(Value::Boolean(false)),
+                1 => Ok(Value::Boolean(true)),
+                other => Err(Error::Wire(format!("invalid boolean byte 0x{other:02x}"))),
+            }
+        }
+        Op::String => {
+            need(cur, 4, "string length")?;
+            let len = cur.get_u32() as usize;
+            need(cur, len, "string bytes")?;
+            let raw = cur.split_to(len);
+            let s = std::str::from_utf8(&raw)
+                .map_err(|e| Error::Wire(format!("invalid UTF-8 in string: {e}")))?;
+            Ok(Value::String(s.to_owned()))
+        }
+        Op::IntegerArray(n) => {
+            need(cur, 4 * n, "integer array")?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(i64::from(cur.get_i32()));
+            }
+            Ok(Value::Integers(xs.into()))
+        }
+        Op::FloatArray(n) => {
+            need(cur, 4 * n, "float array")?;
+            let mut xs = Vec::with_capacity(n);
+            match fp {
+                FloatPass::Identity => {
+                    for _ in 0..n {
+                        xs.push(cur.get_f32());
+                    }
+                }
+                _ => {
+                    for _ in 0..n {
+                        xs.push(conv_f32(cur.get_f32(), fp)?);
+                    }
+                }
+            }
+            Ok(Value::Floats(xs.into()))
+        }
+        Op::DoubleArray(n) => {
+            need(cur, 8 * n, "double array")?;
+            let mut xs = Vec::with_capacity(n);
+            match fp {
+                FloatPass::Identity => {
+                    for _ in 0..n {
+                        xs.push(cur.get_f64());
+                    }
+                }
+                _ => {
+                    for _ in 0..n {
+                        xs.push(conv_f64(cur.get_f64(), fp)?);
+                    }
+                }
+            }
+            Ok(Value::Doubles(xs.into()))
+        }
+        Op::ByteArray(n) => {
+            need(cur, n, "byte array")?;
+            // Zero-copy: the value aliases the message buffer.
+            Ok(Value::Bytes(cur.split_to(n)))
+        }
+        Op::BooleanArray(n) => {
+            need(cur, n, "boolean array")?;
+            let raw = cur.split_to(n);
+            let mut items = Vec::with_capacity(n);
+            for &b in raw.iter() {
+                match b {
+                    0 => items.push(Value::Boolean(false)),
+                    1 => items.push(Value::Boolean(true)),
+                    other => {
+                        return Err(Error::Wire(format!("invalid boolean byte 0x{other:02x}")))
+                    }
+                }
+            }
+            Ok(Value::Array(items))
+        }
+        Op::Repeat { count, body } => {
+            let start = *pos;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                *pos = start;
+                items.push(decode_node(plan, pos, fp, cur)?);
+            }
+            *pos = start + body;
+            Ok(Value::Array(items))
+        }
+        Op::Record { first_name, nfields } => {
+            let mut fields = Vec::with_capacity(nfields);
+            for i in 0..nfields {
+                let v = decode_node(plan, pos, fp, cur)?;
+                fields.push((plan.names[first_name + i].clone(), v));
+            }
+            Ok(Value::Record(fields))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::through_native;
+    use crate::wire::{decode_values, encode_values};
+
+    fn arr(len: usize, elem: Type) -> Type {
+        Type::Array { len, elem: Box::new(elem) }
+    }
+
+    /// The full v1 pipeline for one architecture pair, for parity checks.
+    fn v1_round_trip(
+        values: &[Value],
+        types: &[Type],
+        from: Architecture,
+        to: Architecture,
+    ) -> Result<Vec<Value>> {
+        let sent: Vec<Value> = values
+            .iter()
+            .zip(types)
+            .map(|(v, t)| through_native(v, t, from))
+            .collect::<Result<_>>()?;
+        let bytes = encode_values(&sent)?;
+        let refs: Vec<&Type> = types.iter().collect();
+        let recv = decode_values(bytes, &refs)?;
+        recv.iter().zip(types).map(|(v, t)| through_native(v, t, to)).collect()
+    }
+
+    fn v2_round_trip(
+        values: &[Value],
+        types: &[Type],
+        from: Architecture,
+        to: Architecture,
+    ) -> Result<Vec<Value>> {
+        let plan = MarshalPlan::compile(types);
+        let bytes = plan.encode(values, from)?;
+        assert_eq!(payload_version(&bytes), WIRE_V2);
+        plan.decode(bytes, to)
+    }
+
+    #[test]
+    fn compile_flattens_signature() {
+        let types = vec![
+            arr(4, Type::Float),
+            Type::Integer,
+            Type::Record {
+                fields: vec![("xs".into(), arr(2, Type::Double)), ("s".into(), Type::String)],
+            },
+            arr(2, arr(3, Type::Byte)),
+        ];
+        let plan = MarshalPlan::compile(&types);
+        assert_eq!(
+            plan.ops(),
+            &[
+                Op::FloatArray(4),
+                Op::Integer,
+                Op::Record { first_name: 0, nfields: 2 },
+                Op::DoubleArray(2),
+                Op::String,
+                Op::Repeat { count: 2, body: 1 },
+                Op::ByteArray(3),
+            ]
+        );
+        assert_eq!(plan.param_count(), 4);
+        assert_eq!(plan.scalar_count(), 4 + 1 + 3 + 6);
+        assert!(!plan.size_is_exact());
+        // marker + 16 + 4 + (16 + 4-byte string prefix) + 6
+        assert_eq!(plan.size_hint(), 1 + 16 + 4 + 16 + 4 + 6);
+    }
+
+    #[test]
+    fn exact_size_hint_matches_encoding() {
+        let types = vec![arr(16, Type::Double), Type::Integer, Type::Boolean];
+        let plan = MarshalPlan::compile(&types);
+        assert!(plan.size_is_exact());
+        let values = vec![Value::doubles(&[0.5; 16]), Value::Integer(-3), Value::Boolean(true)];
+        let bytes = plan.encode(&values, Architecture::SunSparc10).unwrap();
+        assert_eq!(bytes.len(), plan.size_hint());
+    }
+
+    #[test]
+    fn packed_and_boxed_encodings_are_identical() {
+        let types = vec![arr(3, Type::Float)];
+        let plan = MarshalPlan::compile(&types);
+        let packed =
+            plan.encode(&[Value::floats(&[1.0, -2.5, 3.25])], Architecture::Sgi4D).unwrap();
+        let boxed = plan
+            .encode(
+                &[Value::Array(vec![Value::Float(1.0), Value::Float(-2.5), Value::Float(3.25)])],
+                Architecture::Sgi4D,
+            )
+            .unwrap();
+        assert_eq!(packed, boxed);
+    }
+
+    #[test]
+    fn round_trip_matches_v1_on_every_arch_pair() {
+        let types = vec![
+            arr(8, Type::Double),
+            arr(5, Type::Float),
+            Type::Integer,
+            Type::Record {
+                fields: vec![
+                    ("name".into(), Type::String),
+                    ("flags".into(), arr(3, Type::Boolean)),
+                ],
+            },
+            arr(4, Type::Byte),
+        ];
+        let values = vec![
+            Value::doubles(&[0.0, 1.5, -2.25, 1.0e-8, 98.6, -1.0, 3.0, 0.125]),
+            Value::floats(&[1.0, -2.5, 3.25, 0.0, 42.0]),
+            Value::Integer(-7),
+            Value::Record(vec![
+                ("name".into(), Value::String("f100".into())),
+                (
+                    "flags".into(),
+                    Value::Array(vec![
+                        Value::Boolean(true),
+                        Value::Boolean(false),
+                        Value::Boolean(true),
+                    ]),
+                ),
+            ]),
+            Value::Bytes(Bytes::from(vec![1, 2, 3, 255])),
+        ];
+        for from in Architecture::ALL {
+            for to in Architecture::ALL {
+                let v1 = v1_round_trip(&values, &types, from, to).unwrap();
+                let v2 = v2_round_trip(&values, &types, from, to).unwrap();
+                assert_eq!(v1, v2, "{from} -> {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn cray_integer_fails_with_wire_range_error() {
+        let types = vec![Type::Integer];
+        let plan = MarshalPlan::compile(&types);
+        let err = plan.encode(&[Value::Integer(1 << 40)], Architecture::CrayYmp).unwrap_err();
+        match err {
+            Error::OutOfRange { target, .. } => assert_eq!(target, "32-bit wire integer"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = plan.encode(&[Value::Integer(1 << 40)], Architecture::SunSparc10).unwrap_err();
+        match err {
+            Error::OutOfRange { target, .. } => assert!(target.contains("32-bit integer")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vax_overflow_and_cray_rounding_match_v1() {
+        let types = vec![Type::Double];
+        // VAX overflow: error on encode, same as v1.
+        assert!(v2_round_trip(
+            &[Value::Double(1.0e300)],
+            &types,
+            Architecture::ConvexC220,
+            Architecture::SunSparc10
+        )
+        .is_err());
+        // Cray rounding to 48 bits matches the v1 result bit-for-bit.
+        let x = std::f64::consts::PI;
+        let v1 = v1_round_trip(
+            &[Value::Double(x)],
+            &types,
+            Architecture::CrayYmp,
+            Architecture::SunSparc10,
+        )
+        .unwrap();
+        let v2 = v2_round_trip(
+            &[Value::Double(x)],
+            &types,
+            Architecture::CrayYmp,
+            Architecture::SunSparc10,
+        )
+        .unwrap();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn byte_arrays_decode_zero_copy() {
+        let types = vec![arr(4, Type::Byte)];
+        let plan = MarshalPlan::compile(&types);
+        let bytes = plan
+            .encode(&[Value::Bytes(Bytes::from(vec![9, 8, 7, 6]))], Architecture::Sgi4D)
+            .unwrap();
+        let out = plan.decode(bytes, Architecture::Sgi4D).unwrap();
+        match &out[0] {
+            Value::Bytes(bs) => assert_eq!(&bs[..], &[9, 8, 7, 6]),
+            other => panic!("expected zero-copy bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_prefix() {
+        let types = vec![arr(3, Type::Double), Type::String, Type::Integer];
+        let plan = MarshalPlan::compile(&types);
+        let values = vec![
+            Value::doubles(&[1.0, 2.0, 3.0]),
+            Value::String("hello".into()),
+            Value::Integer(5),
+        ];
+        let bytes = plan.encode(&values, Architecture::SunSparc10).unwrap();
+        for cut in 0..bytes.len() {
+            let err = plan.decode(bytes.slice(0..cut), Architecture::SunSparc10);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.to_vec();
+        extended.push(0);
+        assert!(plan.decode(Bytes::from(extended), Architecture::SunSparc10).is_err());
+    }
+
+    #[test]
+    fn corrupt_boolean_and_utf8_rejected() {
+        let types = vec![Type::Boolean, Type::String];
+        let plan = MarshalPlan::compile(&types);
+        let values = vec![Value::Boolean(true), Value::String("aé".into())];
+        let bytes = plan.encode(&values, Architecture::SunSparc10).unwrap();
+        // Byte 1 is the boolean payload: 2 is invalid.
+        let mut corrupt = bytes.to_vec();
+        corrupt[1] = 2;
+        assert!(plan.decode(Bytes::from(corrupt), Architecture::SunSparc10).is_err());
+        // Clobber the continuation byte of the two-byte UTF-8 sequence.
+        let mut corrupt = bytes.to_vec();
+        let n = corrupt.len();
+        corrupt[n - 1] = 0xFF;
+        assert!(plan.decode(Bytes::from(corrupt), Architecture::SunSparc10).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_reports_canonical_error() {
+        let types = vec![arr(2, Type::Double)];
+        let plan = MarshalPlan::compile(&types);
+        let err = plan.encode(&[Value::floats(&[1.0, 2.0])], Architecture::Sgi4D).unwrap_err();
+        match err {
+            Error::TypeMismatch { expected, found } => {
+                assert_eq!(expected, "array[2] of double");
+                assert_eq!(found, "array[2] of float");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Wrong arity is rejected before any encoding.
+        assert!(plan.encode(&[], Architecture::Sgi4D).is_err());
+    }
+
+    #[test]
+    fn v1_payloads_are_never_mistaken_for_v2() {
+        let vals = vec![Value::Integer(1), Value::doubles(&[2.0])];
+        let bytes = encode_values(&vals).unwrap();
+        assert_eq!(payload_version(&bytes), WIRE_V1);
+        assert_eq!(payload_version(&[]), WIRE_V1);
+        let plan = MarshalPlan::compile(&[Type::Integer, arr(1, Type::Double)]);
+        assert!(plan.decode(bytes, Architecture::Sgi4D).is_err());
+    }
+
+    #[test]
+    fn nested_structured_arrays_round_trip() {
+        let inner = Type::Record {
+            fields: vec![("a".into(), Type::Integer), ("b".into(), arr(2, Type::Float))],
+        };
+        let types = vec![arr(3, inner)];
+        let mk = |k: i64| {
+            Value::Record(vec![
+                ("a".into(), Value::Integer(k)),
+                ("b".into(), Value::floats(&[k as f32, -k as f32])),
+            ])
+        };
+        let values = vec![Value::Array(vec![mk(1), mk(2), mk(3)])];
+        let plan = MarshalPlan::compile(&types);
+        let bytes = plan.encode(&values, Architecture::IntelI860).unwrap();
+        let out = plan.decode(bytes, Architecture::IntelI860).unwrap();
+        assert_eq!(out, values);
+    }
+}

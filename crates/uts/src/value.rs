@@ -1,6 +1,10 @@
 //! Runtime values carried through the UTS conversion pipeline.
 
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
 
 use crate::error::{Error, Result};
 use crate::types::Type;
@@ -10,7 +14,15 @@ use crate::types::Type;
 /// `Value` is what user code hands to a client stub and what a server stub
 /// hands to the procedure implementation. Between the two ends the value
 /// exists only as native-format bytes and wire-format bytes.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Scalar arrays have two interchangeable representations: the boxed
+/// [`Value::Array`] form (one `Value` per element) and the packed forms
+/// ([`Value::Floats`], [`Value::Doubles`], [`Value::Integers`],
+/// [`Value::Bytes`]) that hold the elements contiguously. The packed forms
+/// are what the marshal-plan fast path encodes and decodes in a single
+/// pass; equality treats a packed array and its boxed equivalent as the
+/// same value.
+#[derive(Debug, Clone)]
 pub enum Value {
     /// A wire `integer`. Stored as `i64` so that architectures with wider
     /// native integers (the Cray) can represent values that will later fail
@@ -26,10 +38,21 @@ pub enum Value {
     Boolean(bool),
     /// A character string.
     String(String),
-    /// A fixed-length array.
+    /// A fixed-length array, boxed element-wise.
     Array(Vec<Value>),
     /// A record: named fields in declaration order.
     Record(Vec<(String, Value)>),
+    /// Packed `array of integer`. Elements keep the full `i64` width so
+    /// Cray-originated values hit the same wire range check as the boxed
+    /// form.
+    Integers(Arc<[i64]>),
+    /// Packed `array of float`.
+    Floats(Arc<[f32]>),
+    /// Packed `array of double`.
+    Doubles(Arc<[f64]>),
+    /// Packed `array of byte`; a shared view, so decoding can alias the
+    /// incoming message buffer instead of copying element-by-element.
+    Bytes(Bytes),
 }
 
 impl Value {
@@ -44,6 +67,18 @@ impl Value {
             (Value::String(_), Type::String) => true,
             (Value::Array(items), Type::Array { len, elem }) => {
                 items.len() == *len && items.iter().all(|v| v.conforms_to(elem))
+            }
+            (Value::Integers(xs), Type::Array { len, elem }) => {
+                xs.len() == *len && **elem == Type::Integer
+            }
+            (Value::Floats(xs), Type::Array { len, elem }) => {
+                xs.len() == *len && **elem == Type::Float
+            }
+            (Value::Doubles(xs), Type::Array { len, elem }) => {
+                xs.len() == *len && **elem == Type::Double
+            }
+            (Value::Bytes(bs), Type::Array { len, elem }) => {
+                bs.len() == *len && **elem == Type::Byte
             }
             (Value::Record(vals), Type::Record { fields }) => {
                 vals.len() == fields.len()
@@ -78,12 +113,16 @@ impl Value {
                 Some(v) => format!("array[{}] of {}", items.len(), v.describe()),
                 None => "array[0]".into(),
             },
+            Value::Integers(xs) => format!("array[{}] of integer", xs.len()),
+            Value::Floats(xs) => format!("array[{}] of float", xs.len()),
+            Value::Doubles(xs) => format!("array[{}] of double", xs.len()),
+            Value::Bytes(bs) => format!("array[{}] of byte", bs.len()),
             Value::Record(fields) => format!("record with {} fields", fields.len()),
         }
     }
 
     /// A neutral "zero" value of the given type, used to pre-populate `res`
-    /// parameters before a call completes.
+    /// parameters before a call completes. Scalar arrays come back packed.
     pub fn zero_of(ty: &Type) -> Value {
         match ty {
             Type::Integer => Value::Integer(0),
@@ -92,9 +131,13 @@ impl Value {
             Type::Byte => Value::Byte(0),
             Type::Boolean => Value::Boolean(false),
             Type::String => Value::String(String::new()),
-            Type::Array { len, elem } => {
-                Value::Array((0..*len).map(|_| Value::zero_of(elem)).collect())
-            }
+            Type::Array { len, elem } => match **elem {
+                Type::Integer => Value::Integers(vec![0i64; *len].into()),
+                Type::Float => Value::Floats(vec![0f32; *len].into()),
+                Type::Double => Value::Doubles(vec![0f64; *len].into()),
+                Type::Byte => Value::Bytes(Bytes::from(vec![0u8; *len])),
+                _ => Value::Array((0..*len).map(|_| Value::zero_of(elem)).collect()),
+            },
             Type::Record { fields } => {
                 Value::Record(fields.iter().map(|(n, t)| (n.clone(), Value::zero_of(t))).collect())
             }
@@ -121,43 +164,126 @@ impl Value {
         }
     }
 
-    /// Convenience accessor for a float array (`array[N] of float`),
-    /// the workhorse type of the TESS interfaces.
-    pub fn as_f32_slice(&self) -> Option<Vec<f32>> {
+    /// Borrowing accessor for a float array (`array[N] of float`), the
+    /// workhorse type of the TESS interfaces. A packed [`Value::Floats`]
+    /// is returned as a borrowed slice with no copy; the boxed form still
+    /// has to gather its elements into an owned buffer.
+    pub fn as_floats(&self) -> Option<Cow<'_, [f32]>> {
         match self {
+            Value::Floats(xs) => Some(Cow::Borrowed(xs)),
             Value::Array(items) => items
                 .iter()
                 .map(|v| match v {
                     Value::Float(x) => Some(*x),
                     _ => None,
                 })
-                .collect(),
+                .collect::<Option<Vec<f32>>>()
+                .map(Cow::Owned),
             _ => None,
         }
     }
 
-    /// Convenience accessor for a double array (`array[N] of double`).
-    pub fn as_f64_slice(&self) -> Option<Vec<f64>> {
+    /// Borrowing accessor for a double array (`array[N] of double`).
+    pub fn as_doubles(&self) -> Option<Cow<'_, [f64]>> {
         match self {
+            Value::Doubles(xs) => Some(Cow::Borrowed(xs)),
             Value::Array(items) => items
                 .iter()
                 .map(|v| match v {
                     Value::Double(x) => Some(*x),
                     _ => None,
                 })
-                .collect(),
+                .collect::<Option<Vec<f64>>>()
+                .map(Cow::Owned),
             _ => None,
         }
     }
 
-    /// Build an `array of double` from a slice.
-    pub fn doubles(xs: &[f64]) -> Value {
-        Value::Array(xs.iter().map(|&x| Value::Double(x)).collect())
+    /// Borrowing accessor for a byte array (`array[N] of byte`).
+    pub fn as_bytes(&self) -> Option<Cow<'_, [u8]>> {
+        match self {
+            Value::Bytes(bs) => Some(Cow::Borrowed(bs)),
+            Value::Array(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Byte(b) => Some(*b),
+                    _ => None,
+                })
+                .collect::<Option<Vec<u8>>>()
+                .map(Cow::Owned),
+            _ => None,
+        }
     }
 
-    /// Build an `array of float` from a slice.
+    /// Build a packed `array of double` from a slice.
+    pub fn doubles(xs: &[f64]) -> Value {
+        Value::Doubles(xs.into())
+    }
+
+    /// Build a packed `array of float` from a slice.
     pub fn floats(xs: &[f32]) -> Value {
-        Value::Array(xs.iter().map(|&x| Value::Float(x)).collect())
+        Value::Floats(xs.into())
+    }
+
+    /// Build a packed `array of integer` from a slice.
+    pub fn integers(xs: &[i64]) -> Value {
+        Value::Integers(xs.into())
+    }
+
+    /// Number of elements, if this value is any array representation.
+    pub fn array_len(&self) -> Option<usize> {
+        match self {
+            Value::Array(items) => Some(items.len()),
+            Value::Integers(xs) => Some(xs.len()),
+            Value::Floats(xs) => Some(xs.len()),
+            Value::Doubles(xs) => Some(xs.len()),
+            Value::Bytes(bs) => Some(bs.len()),
+            _ => None,
+        }
+    }
+
+    /// Element `i` of any array representation, boxed. Used by equality
+    /// and display; panics on out-of-range like slice indexing does.
+    fn array_elem(&self, i: usize) -> Value {
+        match self {
+            Value::Array(items) => items[i].clone(),
+            Value::Integers(xs) => Value::Integer(xs[i]),
+            Value::Floats(xs) => Value::Float(xs[i]),
+            Value::Doubles(xs) => Value::Double(xs[i]),
+            Value::Bytes(bs) => Value::Byte(bs[i]),
+            _ => panic!("array_elem on non-array value"),
+        }
+    }
+}
+
+/// Equality is *representation-blind* for arrays: a packed
+/// [`Value::Doubles`] equals the boxed `Value::Array` holding the same
+/// doubles. This keeps the v1 (boxed) and v2 (packed) decode paths
+/// interchangeable for callers and tests.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Integer(a), Value::Integer(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => a == b,
+            (Value::Byte(a), Value::Byte(b)) => a == b,
+            (Value::Boolean(a), Value::Boolean(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Record(a), Value::Record(b)) => a == b,
+            (a, b) => match (a.array_len(), b.array_len()) {
+                (Some(n), Some(m)) => {
+                    // Same-representation packed pairs compare without boxing.
+                    match (a, b) {
+                        (Value::Integers(x), Value::Integers(y)) => x == y,
+                        (Value::Floats(x), Value::Floats(y)) => x == y,
+                        (Value::Doubles(x), Value::Doubles(y)) => x == y,
+                        (Value::Bytes(x), Value::Bytes(y)) => x == y,
+                        _ => n == m && (0..n).all(|i| a.array_elem(i) == b.array_elem(i)),
+                    }
+                }
+                _ => false,
+            },
+        }
     }
 }
 
@@ -171,13 +297,18 @@ impl fmt::Display for Value {
             Value::Byte(b) => write!(f, "0x{b:02x}"),
             Value::Boolean(b) => write!(f, "{b}"),
             Value::String(s) => write!(f, "{s:?}"),
-            Value::Array(items) => {
+            Value::Array(_)
+            | Value::Integers(_)
+            | Value::Floats(_)
+            | Value::Doubles(_)
+            | Value::Bytes(_) => {
+                let n = self.array_len().expect("array representation");
                 write!(f, "[")?;
-                for (i, v) in items.iter().enumerate() {
+                for i in 0..n {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{v}")?;
+                    write!(f, "{}", self.array_elem(i))?;
                 }
                 write!(f, "]")
             }
@@ -203,6 +334,10 @@ mod tests {
         Value::floats(xs)
     }
 
+    fn boxed_floats(xs: &[f32]) -> Value {
+        Value::Array(xs.iter().map(|&x| Value::Float(x)).collect())
+    }
+
     #[test]
     fn conformance_scalars() {
         assert!(Value::Integer(7).conforms_to(&Type::Integer));
@@ -216,9 +351,20 @@ mod tests {
     fn conformance_array_checks_length_and_elements() {
         let t = Type::Array { len: 3, elem: Box::new(Type::Float) };
         assert!(farr(&[1.0, 2.0, 3.0]).conforms_to(&t));
+        assert!(boxed_floats(&[1.0, 2.0, 3.0]).conforms_to(&t));
         assert!(!farr(&[1.0, 2.0]).conforms_to(&t));
         let mixed = Value::Array(vec![Value::Float(1.0), Value::Double(2.0), Value::Float(3.0)]);
         assert!(!mixed.conforms_to(&t));
+    }
+
+    #[test]
+    fn conformance_packed_checks_element_type() {
+        let t = Type::Array { len: 2, elem: Box::new(Type::Double) };
+        assert!(Value::doubles(&[1.0, 2.0]).conforms_to(&t));
+        assert!(!Value::floats(&[1.0, 2.0]).conforms_to(&t));
+        assert!(!Value::integers(&[1, 2]).conforms_to(&t));
+        let tb = Type::Array { len: 3, elem: Box::new(Type::Byte) };
+        assert!(Value::Bytes(Bytes::from(vec![1, 2, 3])).conforms_to(&tb));
     }
 
     #[test]
@@ -246,6 +392,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_of_scalar_arrays_is_packed() {
+        let t = Type::Array { len: 3, elem: Box::new(Type::Double) };
+        assert!(matches!(Value::zero_of(&t), Value::Doubles(_)));
+        let t = Type::Array { len: 3, elem: Box::new(Type::Byte) };
+        assert!(matches!(Value::zero_of(&t), Value::Bytes(_)));
+        let t = Type::Array { len: 2, elem: Box::new(Type::String) };
+        assert!(matches!(Value::zero_of(&t), Value::Array(_)));
+    }
+
+    #[test]
     fn expect_type_reports_mismatch() {
         let err = Value::Integer(1).expect_type(&Type::Double).unwrap_err();
         match err {
@@ -268,16 +424,42 @@ mod tests {
     }
 
     #[test]
-    fn slice_accessors() {
-        assert_eq!(farr(&[1.0, 2.0]).as_f32_slice(), Some(vec![1.0, 2.0]));
-        assert_eq!(Value::doubles(&[1.0]).as_f64_slice(), Some(vec![1.0]));
-        assert_eq!(Value::doubles(&[1.0]).as_f32_slice(), None);
+    fn slice_accessors_borrow_packed_forms() {
+        match farr(&[1.0, 2.0]).as_floats() {
+            Some(Cow::Borrowed(xs)) => assert_eq!(xs, &[1.0, 2.0]),
+            other => panic!("expected borrowed floats, got {other:?}"),
+        }
+        match boxed_floats(&[1.0, 2.0]).as_floats() {
+            Some(Cow::Owned(xs)) => assert_eq!(xs, vec![1.0, 2.0]),
+            other => panic!("expected owned floats, got {other:?}"),
+        }
+        assert_eq!(Value::doubles(&[1.0]).as_doubles().as_deref(), Some(&[1.0][..]));
+        assert_eq!(Value::doubles(&[1.0]).as_floats(), None);
+        assert_eq!(
+            Value::Bytes(Bytes::from(vec![7, 8])).as_bytes().as_deref(),
+            Some(&[7u8, 8][..])
+        );
+    }
+
+    #[test]
+    fn packed_and_boxed_arrays_compare_equal() {
+        assert_eq!(farr(&[1.0, 2.5]), boxed_floats(&[1.0, 2.5]));
+        assert_ne!(farr(&[1.0, 2.5]), boxed_floats(&[1.0, 2.0]));
+        assert_ne!(farr(&[1.0]), boxed_floats(&[1.0, 2.0]));
+        assert_eq!(
+            Value::Bytes(Bytes::from(vec![1, 2])),
+            Value::Array(vec![Value::Byte(1), Value::Byte(2)])
+        );
+        assert_ne!(Value::integers(&[1]), Value::floats(&[1.0]));
+        assert_ne!(farr(&[1.0]), Value::Record(vec![]));
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(farr(&[1.0, 2.5]).to_string(), "[1f, 2.5f]");
+        assert_eq!(boxed_floats(&[1.0, 2.5]).to_string(), "[1f, 2.5f]");
         assert_eq!(Value::Byte(255).to_string(), "0xff");
+        assert_eq!(Value::Bytes(Bytes::from(vec![255])).to_string(), "[0xff]");
         let rec = Value::Record(vec![("a".into(), Value::Integer(1))]);
         assert_eq!(rec.to_string(), "{a: 1}");
     }

@@ -55,6 +55,13 @@ impl WireWriter {
         Self { buf: BytesMut::with_capacity(128) }
     }
 
+    /// Create an empty writer with exact reserved capacity, typically from
+    /// a marshal plan's size hint, so large payloads encode without any
+    /// intermediate reallocation.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(n) }
+    }
+
     /// Append one value, checking it against its declared type.
     pub fn put(&mut self, value: &Value, ty: &Type) -> Result<()> {
         value.expect_type(ty)?;
@@ -111,6 +118,48 @@ impl WireWriter {
                     self.buf.put_u16(name.len() as u16);
                     self.buf.put_slice(name.as_bytes());
                     self.put_unchecked(v)?;
+                }
+            }
+            // Packed arrays emit byte-identical v1 streams to their boxed
+            // equivalents: the legacy format stays canonical regardless of
+            // the in-memory representation.
+            Value::Integers(xs) => {
+                self.buf.put_u8(TAG_ARRAY);
+                self.buf.put_u32(xs.len() as u32);
+                for &i in xs.iter() {
+                    if !(WIRE_INTEGER_MIN..=WIRE_INTEGER_MAX).contains(&i) {
+                        return Err(Error::OutOfRange {
+                            what: "integer",
+                            value: i.to_string(),
+                            target: "32-bit wire integer".into(),
+                        });
+                    }
+                    self.buf.put_u8(TAG_INTEGER);
+                    self.buf.put_i32(i as i32);
+                }
+            }
+            Value::Floats(xs) => {
+                self.buf.put_u8(TAG_ARRAY);
+                self.buf.put_u32(xs.len() as u32);
+                for &x in xs.iter() {
+                    self.buf.put_u8(TAG_FLOAT);
+                    self.buf.put_f32(x);
+                }
+            }
+            Value::Doubles(xs) => {
+                self.buf.put_u8(TAG_ARRAY);
+                self.buf.put_u32(xs.len() as u32);
+                for &x in xs.iter() {
+                    self.buf.put_u8(TAG_DOUBLE);
+                    self.buf.put_f64(x);
+                }
+            }
+            Value::Bytes(bs) => {
+                self.buf.put_u8(TAG_ARRAY);
+                self.buf.put_u32(bs.len() as u32);
+                for &b in bs.iter() {
+                    self.buf.put_u8(TAG_BYTE);
+                    self.buf.put_u8(b);
                 }
             }
         }
@@ -357,6 +406,33 @@ mod tests {
         // Extra trailing value fails.
         let types_short = [&Type::Integer];
         assert!(decode_values(buf, &types_short).is_err());
+    }
+
+    #[test]
+    fn packed_arrays_encode_byte_identically_to_boxed() {
+        let pairs = [
+            (
+                Value::floats(&[1.0, -2.5]),
+                Value::Array(vec![Value::Float(1.0), Value::Float(-2.5)]),
+            ),
+            (Value::doubles(&[3.25]), Value::Array(vec![Value::Double(3.25)])),
+            (Value::integers(&[7, -9]), Value::Array(vec![Value::Integer(7), Value::Integer(-9)])),
+            (
+                Value::Bytes(Bytes::from(vec![1, 255])),
+                Value::Array(vec![Value::Byte(1), Value::Byte(255)]),
+            ),
+        ];
+        for (packed, boxed) in pairs {
+            let mut wp = WireWriter::new();
+            wp.put_unchecked(&packed).unwrap();
+            let mut wb = WireWriter::new();
+            wb.put_unchecked(&boxed).unwrap();
+            assert_eq!(wp.finish(), wb.finish(), "{packed}");
+        }
+        // Packed integers hit the same wire range check as boxed ones.
+        let mut w = WireWriter::new();
+        let err = w.put_unchecked(&Value::integers(&[1 << 40])).unwrap_err();
+        assert!(matches!(err, Error::OutOfRange { what: "integer", .. }));
     }
 
     #[test]

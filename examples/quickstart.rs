@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?
     .with_procedure("scale", || {
         Box::new(FnProcedure::new(|args: &[Value]| {
-            let xs = args[0].as_f32_slice().ok_or("xs")?;
+            let xs = args[0].as_floats().ok_or("xs")?;
             let f = match args[1] {
                 Value::Float(f) => f,
                 _ => return Err("factor".into()),

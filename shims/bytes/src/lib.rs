@@ -168,6 +168,16 @@ impl BytesMut {
         let rest = self.data.split_off(at);
         Self { data: std::mem::replace(&mut self.data, rest) }
     }
+
+    /// Ensure room for `additional` more bytes without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Remove all bytes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {

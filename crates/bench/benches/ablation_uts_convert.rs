@@ -150,7 +150,7 @@ fn bench_plan_vs_legacy() {
     }
 
     let v2_rate = hit_rate(SchoonerConfig::default());
-    let v1_rate = hit_rate(SchoonerConfig { wire_version: WIRE_V1, ..Default::default() });
+    let v1_rate = hit_rate(SchoonerConfig::builder().wire_version(WIRE_V1).build());
     println!("\nfast-path hit rate: {v2_rate:.2} (standard world), {v1_rate:.2} (forced wire v1)");
 
     // Acceptance criteria: >= 5x on the same-byte-order 4096-double

@@ -22,7 +22,7 @@ use tess::solver::newton::{newton_solve, NewtonOptions};
 use tess::transient::{TransientMethod, TransientResult, TransientSample};
 use uts::Value;
 
-use crate::exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
+use crate::exec::{flow_to_value, value_to_flow, ComponentCall, LocalExec, RemoteExec};
 use crate::procs;
 
 /// A component executor: local baseline or Schooner-remote.
@@ -35,10 +35,10 @@ pub enum Exec {
 }
 
 impl Exec {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, ExecError> {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, String> {
         match self {
-            Exec::Local(e) => e.call(name, args),
-            Exec::Remote(e) => e.call(name, args),
+            Exec::Local(e) => e.call(name, args).map_err(|e| e.to_string()),
+            Exec::Remote(e) => e.call(name, args).map_err(|e| e.to_string()),
         }
     }
 
@@ -115,22 +115,30 @@ pub struct ExecReportRow {
     pub virtual_seconds: f64,
 }
 
+/// One adapted-module slot: its name, the gas-path procedure it serves,
+/// and the executor currently bound to it.
+struct SlotExec {
+    slot: &'static str,
+    proc: &'static str,
+    exec: Exec,
+}
+
+/// Index of each slot in [`ExecutiveEngine`]'s table; the table order is
+/// the deterministic call order of the gas path.
+const BYPASS_DUCT: usize = 0;
+const TAILPIPE: usize = 1;
+const COMBUSTOR: usize = 2;
+const NOZZLE: usize = 3;
+const LP_SHAFT: usize = 4;
+const HP_SHAFT: usize = 5;
+
 /// The executive's engine.
 pub struct ExecutiveEngine {
     /// The underlying engine model (local components + design data).
     pub engine: Turbofan,
-    /// Bypass-duct executor.
-    pub bypass_duct: Exec,
-    /// Tailpipe-duct executor.
-    pub tailpipe: Exec,
-    /// Combustor executor.
-    pub combustor: Exec,
-    /// Nozzle executor.
-    pub nozzle: Exec,
-    /// Low-spool shaft executor.
-    pub lp_shaft: Exec,
-    /// High-spool shaft executor.
-    pub hp_shaft: Exec,
+    /// The adapted-module slots, in gas-path order (see the index
+    /// constants); reach one with [`ExecutiveEngine::exec_mut`].
+    slots: Vec<SlotExec>,
     /// Solver options.
     pub opts: ExecutiveSolverOptions,
     /// Solver steps between checkpoint barriers in
@@ -159,14 +167,22 @@ struct TransientCheckpoint {
 impl ExecutiveEngine {
     /// All components local: the baseline configuration.
     pub fn all_local(engine: Turbofan) -> Result<Self, String> {
+        type SlotRow = (&'static str, &'static str, fn() -> schooner::ProgramImage);
+        let table: [SlotRow; 6] = [
+            ("bypass duct", "duct", procs::duct_image),
+            ("tailpipe duct", "duct", procs::duct_image),
+            ("combustor", "comb", procs::combustor_image),
+            ("nozzle", "nozl", procs::nozzle_image),
+            ("low speed shaft", "shaft", procs::shaft_image),
+            ("high speed shaft", "shaft", procs::shaft_image),
+        ];
+        let mut slots = Vec::with_capacity(table.len());
+        for (slot, proc, image) in table {
+            slots.push(SlotExec { slot, proc, exec: Exec::Local(LocalExec::new(&image())?) });
+        }
         Ok(Self {
             engine,
-            bypass_duct: Exec::Local(LocalExec::new(&procs::duct_image())?),
-            tailpipe: Exec::Local(LocalExec::new(&procs::duct_image())?),
-            combustor: Exec::Local(LocalExec::new(&procs::combustor_image())?),
-            nozzle: Exec::Local(LocalExec::new(&procs::nozzle_image())?),
-            lp_shaft: Exec::Local(LocalExec::new(&procs::shaft_image())?),
-            hp_shaft: Exec::Local(LocalExec::new(&procs::shaft_image())?),
+            slots,
             opts: ExecutiveSolverOptions::default(),
             checkpoint_interval: 0,
             max_recoveries: 2,
@@ -177,15 +193,14 @@ impl ExecutiveEngine {
     }
 
     fn slot_mut(&mut self, slot: &str) -> Result<&mut Exec, String> {
-        Ok(match slot {
-            "bypass duct" => &mut self.bypass_duct,
-            "tailpipe duct" => &mut self.tailpipe,
-            "combustor" => &mut self.combustor,
-            "nozzle" => &mut self.nozzle,
-            "low speed shaft" => &mut self.lp_shaft,
-            "high speed shaft" => &mut self.hp_shaft,
-            other => return Err(format!("no adapted module slot '{other}'")),
-        })
+        self.exec_mut(slot).ok_or_else(|| format!("no adapted module slot '{slot}'"))
+    }
+
+    /// The executor bound to an adapted-module slot (`"bypass duct"`,
+    /// `"tailpipe duct"`, `"combustor"`, `"nozzle"`, `"low speed shaft"`,
+    /// `"high speed shaft"`), or `None` for unknown slots.
+    pub fn exec_mut(&mut self, slot: &str) -> Option<&mut Exec> {
+        self.slots.iter_mut().find(|s| s.slot == slot).map(|s| &mut s.exec)
     }
 
     /// Replace one executor with a remote one (by adapted-module slot
@@ -210,35 +225,21 @@ impl ExecutiveEngine {
 
     /// Executor statistics for reports.
     pub fn report_rows(&self) -> Vec<ExecReportRow> {
-        [
-            ("bypass duct", &self.bypass_duct),
-            ("tailpipe duct", &self.tailpipe),
-            ("combustor", &self.combustor),
-            ("nozzle", &self.nozzle),
-            ("low speed shaft", &self.lp_shaft),
-            ("high speed shaft", &self.hp_shaft),
-        ]
-        .into_iter()
-        .map(|(name, e)| ExecReportRow {
-            module: name.to_owned(),
-            location: e.location(),
-            calls: e.calls(),
-            virtual_seconds: e.elapsed_virtual(),
-        })
-        .collect()
+        self.slots
+            .iter()
+            .map(|s| ExecReportRow {
+                module: s.slot.to_owned(),
+                location: s.exec.location(),
+                calls: s.exec.calls(),
+                virtual_seconds: s.exec.elapsed_virtual(),
+            })
+            .collect()
     }
 
     /// Tear down all remote lines.
     pub fn shutdown(&mut self) {
-        for e in [
-            &mut self.bypass_duct,
-            &mut self.tailpipe,
-            &mut self.combustor,
-            &mut self.nozzle,
-            &mut self.lp_shaft,
-            &mut self.hp_shaft,
-        ] {
-            e.quit();
+        for s in &mut self.slots {
+            s.exec.quit();
         }
     }
 
@@ -248,13 +249,13 @@ impl ExecutiveEngine {
     pub fn setup(&mut self) -> Result<(), String> {
         let cy = self.engine.cycle.clone();
         let d = self.engine.design.clone();
-        self.bypass_duct.call("setduct", &[Value::Float(cy.bypass_dp as f32)])?;
-        self.tailpipe.call("setduct", &[Value::Float(cy.tailpipe_dp as f32)])?;
-        self.combustor.call(
+        self.slots[BYPASS_DUCT].exec.call("setduct", &[Value::Float(cy.bypass_dp as f32)])?;
+        self.slots[TAILPIPE].exec.call("setduct", &[Value::Float(cy.tailpipe_dp as f32)])?;
+        self.slots[COMBUSTOR].exec.call(
             "setcomb",
             &[Value::Float(cy.comb_eta as f32), Value::Float(cy.comb_dp as f32)],
         )?;
-        self.nozzle.call(
+        self.slots[NOZZLE].exec.call(
             "setnozl",
             &[
                 Value::Float(d.nozzle_area as f32),
@@ -268,7 +269,7 @@ impl ExecutiveEngine {
                 other => Err(format!("setshaft returned {other:?}")),
             }
         };
-        let lp = self.lp_shaft.call(
+        let lp = self.slots[LP_SHAFT].exec.call(
             "setshaft",
             &[
                 Value::floats(&[d.p_fan as f32, 0.0, 0.0, 0.0]),
@@ -278,7 +279,7 @@ impl ExecutiveEngine {
             ],
         )?;
         self.ecorr_lp = Some(ecorr_of(lp)?);
-        let hp = self.hp_shaft.call(
+        let hp = self.slots[HP_SHAFT].exec.call(
             "setshaft",
             &[
                 Value::floats(&[d.p_hpc as f32, 0.0, 0.0, 0.0]),
@@ -332,7 +333,7 @@ impl ExecutiveEngine {
         let (st25, bypass) = tess::components::Splitter::new(bpr).split(&st21);
 
         // Adapted module: bypass duct.
-        let st16 = Self::call_duct(&mut self.bypass_duct, &bypass, cy.bypass_dp)?;
+        let st16 = Self::call_duct(&mut self.slots[BYPASS_DUCT].exec, &bypass, cy.bypass_dp)?;
 
         let e = &self.engine;
         let hpc_res = e.hpc.operate(&st25, n2, beta_hpc, e.stators.hpc_deg)?;
@@ -342,7 +343,7 @@ impl ExecutiveEngine {
         let (st3m, _) = e.bleed.extract(&st3);
 
         // Adapted module: combustor.
-        let comb_out = self.combustor.call(
+        let comb_out = self.slots[COMBUSTOR].exec.call(
             "comb",
             &[
                 flow_to_value(&st3m),
@@ -368,11 +369,11 @@ impl ExecutiveEngine {
         let st6 = e.mixer.mix(&st5, &st16);
 
         // Adapted module: tailpipe duct.
-        let st7 = Self::call_duct(&mut self.tailpipe, &st6, cy.tailpipe_dp)?;
+        let st7 = Self::call_duct(&mut self.slots[TAILPIPE].exec, &st6, cy.tailpipe_dp)?;
 
         // Adapted module: nozzle.
         let e = &self.engine;
-        let nz_out = self.nozzle.call(
+        let nz_out = self.slots[NOZZLE].exec.call(
             "nozl",
             &[
                 flow_to_value(&st7),
@@ -447,8 +448,10 @@ impl ExecutiveEngine {
                 other => Err(format!("shaft returned {other:?}")),
             }
         };
-        let a1 = shaft_call(&mut self.lp_shaft, op.p_fan, op.p_lpt, ecorr_lp, op.n1, i1)?;
-        let a2 = shaft_call(&mut self.hp_shaft, op.p_hpc, op.p_hpt, ecorr_hp, op.n2, i2)?;
+        let a1 =
+            shaft_call(&mut self.slots[LP_SHAFT].exec, op.p_fan, op.p_lpt, ecorr_lp, op.n1, i1)?;
+        let a2 =
+            shaft_call(&mut self.slots[HP_SHAFT].exec, op.p_hpc, op.p_hpt, ecorr_hp, op.n2, i2)?;
         Ok((a1, a2))
     }
 
@@ -510,16 +513,9 @@ impl ExecutiveEngine {
     /// variables, best effort: a failure only means the retained snapshot
     /// is one barrier older. Stateless procedures checkpoint as 0 bytes.
     pub fn checkpoint_remotes(&mut self) {
-        for (proc_name, e) in [
-            ("duct", &mut self.bypass_duct),
-            ("duct", &mut self.tailpipe),
-            ("comb", &mut self.combustor),
-            ("nozl", &mut self.nozzle),
-            ("shaft", &mut self.lp_shaft),
-            ("shaft", &mut self.hp_shaft),
-        ] {
-            if let Exec::Remote(r) = e {
-                let _ = r.checkpoint(proc_name);
+        for s in &mut self.slots {
+            if let Exec::Remote(r) = &mut s.exec {
+                let _ = r.checkpoint(s.proc);
             }
         }
     }
@@ -527,19 +523,10 @@ impl ExecutiveEngine {
     /// The first remote executor's line — the engine's conduit to the
     /// world's observability sink (`None` in an all-local configuration).
     fn first_remote_line(&mut self) -> Option<&mut schooner::LineHandle> {
-        for e in [
-            &mut self.bypass_duct,
-            &mut self.tailpipe,
-            &mut self.combustor,
-            &mut self.nozzle,
-            &mut self.lp_shaft,
-            &mut self.hp_shaft,
-        ] {
-            if let Exec::Remote(r) = e {
-                return Some(r.line_mut());
-            }
-        }
-        None
+        self.slots.iter_mut().find_map(|s| match &mut s.exec {
+            Exec::Remote(r) => Some(r.line_mut()),
+            Exec::Local(_) => None,
+        })
     }
 
     /// Emit an engine-level event through the first remote executor's

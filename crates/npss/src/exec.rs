@@ -23,8 +23,10 @@ use uts::Value;
 /// Callers that care can distinguish a Schooner runtime problem (the
 /// retryable/fail-over layer has already run by the time this surfaces)
 /// from a fault raised by the procedure implementation itself, or a local
-/// configuration mistake. Everything renders as before, so string-level
-/// consumers keep working through the `From<ExecError> for String` impl.
+/// configuration mistake. Configuration errors are constructed explicitly
+/// with [`ExecError::Config`]; the implicit string conversions of earlier
+/// releases are gone, so a stray `?` can no longer launder an arbitrary
+/// message into (or out of) the typed error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// The Schooner runtime failed the call (after any policy-driven
@@ -57,24 +59,6 @@ impl From<SchError> for ExecError {
 impl From<ProcFault> for ExecError {
     fn from(e: ProcFault) -> Self {
         ExecError::Fault(e)
-    }
-}
-
-impl From<String> for ExecError {
-    fn from(m: String) -> Self {
-        ExecError::Config(m)
-    }
-}
-
-impl From<&str> for ExecError {
-    fn from(m: &str) -> Self {
-        ExecError::Config(m.to_owned())
-    }
-}
-
-impl From<ExecError> for String {
-    fn from(e: ExecError) -> Self {
-        e.to_string()
     }
 }
 

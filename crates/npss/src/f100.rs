@@ -16,7 +16,7 @@ use schooner::Schooner;
 use tess::transient::TransientResult;
 
 use crate::engine_exec::ExecReportRow;
-use crate::modules::{ComponentKind, ComponentModule, ExecutiveServices, SystemModule};
+use crate::modules::{ComponentModule, ExecutiveServices, SystemModule};
 use crate::procs;
 
 /// A placement of adapted modules onto machines, for experiments.
@@ -94,28 +94,30 @@ impl F100Network {
         let add = |editor: &mut NetworkEditor,
                    ids: &mut HashMap<String, ModuleId>,
                    name: &str,
-                   kind: ComponentKind|
+                   type_name: &str|
          -> Result<(), String> {
-            let id = editor
-                .add_module(name, Box::new(ComponentModule::new(name, kind, services.clone())))?;
+            let id = editor.add_module(
+                name,
+                Box::new(ComponentModule::new(name, type_name, services.clone())),
+            )?;
             ids.insert(name.to_owned(), id);
             Ok(())
         };
 
-        add(&mut editor, &mut ids, "inlet", ComponentKind::Inlet)?;
-        add(&mut editor, &mut ids, "low pressure compressor", ComponentKind::Compressor)?;
-        add(&mut editor, &mut ids, "splitter", ComponentKind::Splitter)?;
-        add(&mut editor, &mut ids, "bypass duct", ComponentKind::Duct)?;
-        add(&mut editor, &mut ids, "high pressure compressor", ComponentKind::Compressor)?;
-        add(&mut editor, &mut ids, "bleed", ComponentKind::Bleed)?;
-        add(&mut editor, &mut ids, "combustor", ComponentKind::Combustor)?;
-        add(&mut editor, &mut ids, "high pressure turbine", ComponentKind::Turbine)?;
-        add(&mut editor, &mut ids, "low pressure turbine", ComponentKind::Turbine)?;
-        add(&mut editor, &mut ids, "mixing volume", ComponentKind::MixingVolume)?;
-        add(&mut editor, &mut ids, "tailpipe duct", ComponentKind::Duct)?;
-        add(&mut editor, &mut ids, "nozzle", ComponentKind::Nozzle)?;
-        add(&mut editor, &mut ids, "low speed shaft", ComponentKind::Shaft)?;
-        add(&mut editor, &mut ids, "high speed shaft", ComponentKind::Shaft)?;
+        add(&mut editor, &mut ids, "inlet", "inlet")?;
+        add(&mut editor, &mut ids, "low pressure compressor", "compressor")?;
+        add(&mut editor, &mut ids, "splitter", "splitter")?;
+        add(&mut editor, &mut ids, "bypass duct", "duct")?;
+        add(&mut editor, &mut ids, "high pressure compressor", "compressor")?;
+        add(&mut editor, &mut ids, "bleed", "bleed")?;
+        add(&mut editor, &mut ids, "combustor", "combustor")?;
+        add(&mut editor, &mut ids, "high pressure turbine", "turbine")?;
+        add(&mut editor, &mut ids, "low pressure turbine", "turbine")?;
+        add(&mut editor, &mut ids, "mixing volume", "mixing volume")?;
+        add(&mut editor, &mut ids, "tailpipe duct", "duct")?;
+        add(&mut editor, &mut ids, "nozzle", "nozzle")?;
+        add(&mut editor, &mut ids, "low speed shaft", "shaft")?;
+        add(&mut editor, &mut ids, "high speed shaft", "shaft")?;
 
         let system = editor.add_module("system", Box::new(SystemModule::new(services.clone())))?;
         ids.insert("system".to_owned(), system);
@@ -167,7 +169,7 @@ impl F100Network {
     /// complete or partial engine simulations" (e.g.
     /// `tess::CycleDesign::high_bypass_class()`).
     pub fn set_cycle(&self, cycle: tess::CycleDesign) {
-        *self.services.cycle.lock().unwrap() = cycle;
+        self.services.set_cycle(cycle);
     }
 
     /// Select the remote machine for an adapted module (as the user would
@@ -208,17 +210,12 @@ impl F100Network {
         self.scheduler.settle(&mut self.editor, 50).map_err(|e| e.to_string())?;
         // Disarm so widget fiddling doesn't re-trigger long runs.
         self.editor.set_widget(system, "run", WidgetInput::Bool(false))?;
-        self.services
-            .result
-            .lock()
-            .unwrap()
-            .clone()
-            .ok_or_else(|| "system module produced no result".to_owned())
+        self.services.result().ok_or_else(|| "system module produced no result".to_owned())
     }
 
     /// Executor statistics of the most recent run.
     pub fn report(&self) -> Vec<ExecReportRow> {
-        self.services.report.lock().unwrap().clone()
+        self.services.report()
     }
 
     /// Render the network structure (the headless Figure 2).
@@ -233,25 +230,15 @@ impl F100Network {
     }
 
     /// The module library that can rebuild saved NPSS networks for the
-    /// given executive services.
+    /// given executive services: one entry per component type in the
+    /// services' registry, plus the system module and the probe.
     pub fn module_library(services: Arc<ExecutiveServices>) -> ModuleLibrary {
-        use crate::modules::ComponentKind as K;
         let mut lib = ModuleLibrary::new();
-        for kind in [
-            K::Inlet,
-            K::Compressor,
-            K::Splitter,
-            K::Duct,
-            K::Bleed,
-            K::Combustor,
-            K::Turbine,
-            K::MixingVolume,
-            K::Shaft,
-            K::Nozzle,
-        ] {
+        for type_name in services.registry().type_names() {
             let services = services.clone();
-            lib.register_named(kind.type_name(), move |name| {
-                Box::new(ComponentModule::new(name, kind, services.clone()))
+            let tn = type_name.clone();
+            lib.register_named(&type_name, move |name| {
+                Box::new(ComponentModule::new(name, &tn, services.clone()))
             });
         }
         let services_sys = services;

@@ -22,6 +22,7 @@
 //! combinations) and Table 2 (the combined test with six remote module
 //! instances spread across both sites).
 
+pub mod bridge;
 pub mod engine_exec;
 pub mod exec;
 pub mod experiments;
@@ -29,6 +30,10 @@ pub mod f100;
 pub mod modules;
 pub mod procs;
 
+pub use bridge::{
+    component_image, component_path, install_component, ComponentProcedure, RemoteComponent,
+    COMPONENT_PROC,
+};
 pub use engine_exec::{ExecutiveEngine, ExecutiveSolverOptions};
 pub use exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
 pub use f100::{F100Network, RemotePlacement};

@@ -2,11 +2,17 @@
 //!
 //! Each principal engine component is an AVS module; an engine is
 //! constructed in the Network Editor by connecting the modules to
-//! represent the airflow through the engine. The four **adapted** modules
-//! (shaft, duct, combustor, nozzle) carry the two extra widgets from the
-//! paper — radio buttons selecting the machine on which to execute the
-//! remote procedure, and a type-in for its executable pathname — plus
-//! their physics widgets (the shaft's *moment inertia* and *spool speed*).
+//! represent the airflow through the engine. Which modules exist — their
+//! ports, physics widgets, and remote-execution affordances — is no
+//! longer hard-coded: every [`ComponentModule`] is driven by the
+//! [`tess::ComponentRegistry`] entry for its component type. The typed
+//! [`tess::ComponentSpec`] supplies the port list, the widget hints
+//! (dials, sliders, file browsers), and — for components that declare a
+//! `remote_path` — the two **adapted-module** widgets from the paper:
+//! radio buttons selecting the machine on which to execute the remote
+//! procedure, and a type-in for its executable pathname. Registering a
+//! new component type with [`ExecutiveServices::register_component`]
+//! makes it buildable in the Network Editor with no changes here.
 //!
 //! The **system** module provides the solver-selection widgets (steady
 //! state: Newton–Raphson or Fourth-order Runge–Kutta; transient: Modified
@@ -21,7 +27,10 @@ use std::sync::Arc;
 
 use avs::{AvsModule, ComputeCtx, ModuleSpec, Widget};
 use schooner::Schooner;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
+use tess::component::{
+    ComponentFactory, ComponentRegistry, ComponentSpec, PortDirection, WidgetHint,
+};
 use tess::engine::Turbofan;
 use tess::schedules::Schedule;
 use tess::transient::{TransientMethod, TransientResult};
@@ -29,52 +38,56 @@ use uts::Value;
 
 use crate::engine_exec::{ExecReportRow, ExecutiveEngine};
 use crate::exec::RemoteExec;
-use crate::procs;
-
-/// Default executable path of an adapted-module slot.
-pub fn default_path_of_slot(slot: &str) -> &'static str {
-    match slot {
-        "bypass duct" | "tailpipe duct" => procs::DUCT_PATH,
-        "combustor" => procs::COMBUSTOR_PATH,
-        "nozzle" => procs::NOZZLE_PATH,
-        "low speed shaft" | "high speed shaft" => procs::SHAFT_PATH,
-        _ => "",
-    }
-}
 
 /// The adapted-module placement slots of the F100 network.
 pub const ADAPTED_SLOTS: [&str; 6] =
     ["bypass duct", "tailpipe duct", "combustor", "nozzle", "low speed shaft", "high speed shaft"];
 
 /// Shared state connecting the modules of one executive instance.
+///
+/// The mutable pieces — the selected cycle, widget-driven placements and
+/// parameters, the latest result and report — live behind accessors, so
+/// every cross-module data flow is an explicit method call rather than a
+/// lock on a public field.
 pub struct ExecutiveServices {
     /// The Schooner world.
     pub schooner: Arc<Schooner>,
     /// Host the executive (the "AVS machine") runs on.
     pub avs_host: String,
-    /// The engine cycle to simulate — the "choice of complete engine
-    /// simulations" (defaults to the F100 class).
-    pub cycle: Mutex<tess::CycleDesign>,
-    /// Remote placements chosen through widgets: slot → (machine, path);
-    /// machine `"local"` means the original local-compute-only version.
-    pub placements: Mutex<HashMap<String, (String, String)>>,
-    /// Physics widget values: (slot, widget) → value.
-    pub params: Mutex<HashMap<(String, String), f64>>,
-    /// Most recent simulation result.
-    pub result: Mutex<Option<TransientResult>>,
-    /// Executor statistics of the most recent run.
-    pub report: Mutex<Vec<ExecReportRow>>,
+    registry: RwLock<ComponentRegistry>,
+    cycle: Mutex<tess::CycleDesign>,
+    /// slot → (machine, path); machine `"local"` means the original
+    /// local-compute-only version.
+    placements: Mutex<HashMap<String, (String, String)>>,
+    /// (slot, widget) → value.
+    params: Mutex<HashMap<(String, String), f64>>,
+    /// slot → registered component type name, for live modules.
+    module_types: Mutex<HashMap<String, String>>,
+    result: Mutex<Option<TransientResult>>,
+    report: Mutex<Vec<ExecReportRow>>,
 }
 
 impl ExecutiveServices {
-    /// Fresh services over a Schooner world.
+    /// Fresh services over a Schooner world, with the built-in component
+    /// registry.
     pub fn new(schooner: Arc<Schooner>, avs_host: &str) -> Arc<Self> {
+        Self::with_registry(schooner, avs_host, ComponentRegistry::builtin())
+    }
+
+    /// Fresh services with an explicit component registry.
+    pub fn with_registry(
+        schooner: Arc<Schooner>,
+        avs_host: &str,
+        registry: ComponentRegistry,
+    ) -> Arc<Self> {
         Arc::new(Self {
             schooner,
             avs_host: avs_host.to_owned(),
+            registry: RwLock::new(registry),
             cycle: Mutex::new(tess::CycleDesign::f100_class()),
             placements: Mutex::new(HashMap::new()),
             params: Mutex::new(HashMap::new()),
+            module_types: Mutex::new(HashMap::new()),
             result: Mutex::new(None),
             report: Mutex::new(Vec::new()),
         })
@@ -87,92 +100,147 @@ impl ExecutiveServices {
         v.extend(self.schooner.ctx().park.hosts().iter().map(|s| s.to_string()));
         v
     }
-}
 
-/// Which engine component a module models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ComponentKind {
-    /// Inlet.
-    Inlet,
-    /// Fan or high-pressure compressor.
-    Compressor,
-    /// Core/bypass splitter.
-    Splitter,
-    /// Connecting duct (adapted).
-    Duct,
-    /// Bleed port.
-    Bleed,
-    /// Combustor (adapted).
-    Combustor,
-    /// Turbine.
-    Turbine,
-    /// Mixing volume.
-    MixingVolume,
-    /// Spool shaft (adapted).
-    Shaft,
-    /// Exhaust nozzle (adapted).
-    Nozzle,
-}
-
-impl ComponentKind {
-    /// AVS module type name.
-    pub fn type_name(self) -> &'static str {
-        match self {
-            ComponentKind::Inlet => "inlet",
-            ComponentKind::Compressor => "compressor",
-            ComponentKind::Splitter => "splitter",
-            ComponentKind::Duct => "duct",
-            ComponentKind::Bleed => "bleed",
-            ComponentKind::Combustor => "combustor",
-            ComponentKind::Turbine => "turbine",
-            ComponentKind::MixingVolume => "mixing volume",
-            ComponentKind::Shaft => "shaft",
-            ComponentKind::Nozzle => "nozzle",
-        }
+    /// A snapshot of the component registry.
+    pub fn registry(&self) -> ComponentRegistry {
+        self.registry.read().unwrap().clone()
     }
 
-    /// Whether this module was adapted for remote execution.
-    pub fn adapted(self) -> bool {
-        matches!(
-            self,
-            ComponentKind::Duct
-                | ComponentKind::Combustor
-                | ComponentKind::Shaft
-                | ComponentKind::Nozzle
-        )
+    /// Register an additional component type; modules of that type can
+    /// then be added to networks served by these services. Returns the
+    /// registered type name.
+    pub fn register_component(&self, factory: ComponentFactory) -> Result<String, String> {
+        let type_name = factory().spec().type_name;
+        self.registry.write().unwrap().register(factory)?;
+        Ok(type_name)
     }
 
-    /// Default executable path for the adapted kinds.
-    pub fn default_path(self) -> &'static str {
-        match self {
-            ComponentKind::Duct => procs::DUCT_PATH,
-            ComponentKind::Combustor => procs::COMBUSTOR_PATH,
-            ComponentKind::Shaft => procs::SHAFT_PATH,
-            ComponentKind::Nozzle => procs::NOZZLE_PATH,
-            _ => "",
-        }
+    /// The typed spec of a registered component type.
+    pub fn component_spec(&self, type_name: &str) -> Option<ComponentSpec> {
+        self.registry.read().unwrap().spec(type_name)
+    }
+
+    /// The engine cycle selected for the next run.
+    pub fn cycle(&self) -> tess::CycleDesign {
+        self.cycle.lock().unwrap().clone()
+    }
+
+    /// Select the engine cycle to simulate — the "choice of complete
+    /// engine simulations" (defaults to the F100 class).
+    pub fn set_cycle(&self, cycle: tess::CycleDesign) {
+        *self.cycle.lock().unwrap() = cycle;
+    }
+
+    /// Current widget-driven placements: slot → (machine, path).
+    pub fn placements(&self) -> HashMap<String, (String, String)> {
+        self.placements.lock().unwrap().clone()
+    }
+
+    /// Record where a slot's computation runs and which executable serves
+    /// it (machine `"local"` selects the in-process version).
+    pub fn set_placement(&self, slot: &str, machine: &str, path: &str) {
+        self.placements
+            .lock()
+            .unwrap()
+            .insert(slot.to_owned(), (machine.to_owned(), path.to_owned()));
+    }
+
+    /// Forget a slot's placement (its module left the network).
+    pub fn remove_placement(&self, slot: &str) {
+        self.placements.lock().unwrap().remove(slot);
+    }
+
+    /// A physics-widget value published by a component module.
+    pub fn param(&self, slot: &str, widget: &str) -> Option<f64> {
+        self.params.lock().unwrap().get(&(slot.to_owned(), widget.to_owned())).copied()
+    }
+
+    /// Snapshot of all published physics-widget values.
+    pub fn params(&self) -> HashMap<(String, String), f64> {
+        self.params.lock().unwrap().clone()
+    }
+
+    /// Publish a physics-widget value.
+    pub fn set_param(&self, slot: &str, widget: &str, value: f64) {
+        self.params.lock().unwrap().insert((slot.to_owned(), widget.to_owned()), value);
+    }
+
+    /// Most recent simulation result, if a run has completed.
+    pub fn result(&self) -> Option<TransientResult> {
+        self.result.lock().unwrap().clone()
+    }
+
+    /// Store the result of a completed run.
+    pub fn set_result(&self, result: TransientResult) {
+        *self.result.lock().unwrap() = Some(result);
+    }
+
+    /// Executor statistics of the most recent run.
+    pub fn report(&self) -> Vec<ExecReportRow> {
+        self.report.lock().unwrap().clone()
+    }
+
+    /// Store the executor statistics of a completed run.
+    pub fn set_report(&self, rows: Vec<ExecReportRow>) {
+        *self.report.lock().unwrap() = rows;
+    }
+
+    /// The component type a live module slot was built from.
+    pub fn module_type_of(&self, slot: &str) -> Option<String> {
+        self.module_types.lock().unwrap().get(slot).cloned()
+    }
+
+    /// The default executable pathname of a slot: the `remote_path` its
+    /// component type declares (`None` for types without one, which never
+    /// show placement widgets).
+    pub fn default_path_of_slot(&self, slot: &str) -> Option<String> {
+        let type_name = self.module_type_of(slot)?;
+        self.component_spec(&type_name)?.remote_path
+    }
+
+    fn note_module_type(&self, slot: &str, type_name: &str) {
+        self.module_types.lock().unwrap().insert(slot.to_owned(), type_name.to_owned());
+    }
+
+    fn forget_module_type(&self, slot: &str) {
+        self.module_types.lock().unwrap().remove(slot);
     }
 }
 
-/// A component module instance.
+/// A component module instance, entirely described by the registered
+/// [`ComponentSpec`] of its type: ports, widgets, and remote-execution
+/// affordances all come from the spec, so a freshly registered component
+/// type is immediately buildable with no per-kind code.
 pub struct ComponentModule {
     /// Placement slot / instance role (e.g. "bypass duct").
     pub slot: String,
-    /// Component kind.
-    pub kind: ComponentKind,
+    type_name: String,
     services: Arc<ExecutiveServices>,
 }
 
 impl ComponentModule {
-    /// Build a component module for a slot.
-    pub fn new(slot: &str, kind: ComponentKind, services: Arc<ExecutiveServices>) -> Self {
-        Self { slot: slot.to_owned(), kind, services }
+    /// Build a module for `slot` backed by the registered component
+    /// `type_name`. The spec is resolved through the services' registry
+    /// on every use, so types registered after the module was created
+    /// (e.g. when restoring a saved network) still resolve.
+    pub fn new(slot: &str, type_name: &str, services: Arc<ExecutiveServices>) -> Self {
+        services.note_module_type(slot, type_name);
+        Self { slot: slot.to_owned(), type_name: type_name.to_owned(), services }
+    }
+
+    /// The registered component type this module instantiates.
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    fn component_spec(&self) -> Option<ComponentSpec> {
+        self.services.component_spec(&self.type_name)
     }
 
     fn descriptor(&self) -> Value {
         Value::Record(vec![
             ("name".to_owned(), Value::String(self.slot.clone())),
-            ("kind".to_owned(), Value::String(self.kind.type_name().to_owned())),
+            ("kind".to_owned(), Value::String(self.type_name.clone())),
         ])
     }
 }
@@ -192,80 +260,76 @@ fn chain(ctx: &ComputeCtx<'_>, inputs: &[&str], extra: Value) -> Value {
 
 impl AvsModule for ComponentModule {
     fn spec(&self) -> ModuleSpec {
-        let mut spec = ModuleSpec::new(self.kind.type_name());
-        spec = match self.kind {
-            ComponentKind::Inlet => spec.output("out", "engine-flow"),
-            ComponentKind::Splitter => spec
-                .input("in", "engine-flow")
-                .output("core", "engine-flow")
-                .output("bypass", "engine-flow"),
-            ComponentKind::MixingVolume => spec
-                .input("core", "engine-flow")
-                .input("bypass", "engine-flow")
-                .output("out", "engine-flow"),
-            ComponentKind::Shaft => spec
-                .input("comp", "engine-flow")
-                .input("turb", "engine-flow")
-                .output("out", "engine-flow"),
-            _ => spec.input("in", "engine-flow").output("out", "engine-flow"),
+        let mut spec = ModuleSpec::new(&self.type_name);
+        let Some(cspec) = self.component_spec() else {
+            // Unknown type: an empty panel; compute() reports the error.
+            return spec;
         };
-        if self.kind.adapted() {
-            // The two widgets the paper's adaptation added.
+        for port in &cspec.ports {
+            spec = match port.direction {
+                PortDirection::Input => spec.input(&port.name, "engine-flow"),
+                PortDirection::Output => spec.output(&port.name, "engine-flow"),
+            };
+        }
+        if let Some(default_path) = &cspec.remote_path {
+            // The two widgets the paper's adaptation added, for every
+            // component type that declares a remote executable.
             let machines = self.services.machine_choices();
             let refs: Vec<&str> = machines.iter().map(String::as_str).collect();
             spec = spec
                 .widget(Widget::radio("remote machine", &refs, 0))
-                .widget(Widget::type_in("pathname", self.kind.default_path()));
+                .widget(Widget::type_in("pathname", default_path));
         }
-        // Kind-specific physics widgets (the shaft control panel of
-        // Figure 2 shows moment inertia / spool speed / spool speed-op).
-        spec = match self.kind {
-            ComponentKind::Shaft => spec
-                .widget(Widget::dial("moment inertia", 0.5, 50.0, 9.0))
-                .widget(Widget::dial("spool speed", 1000.0, 20000.0, 10_000.0))
-                .widget(Widget::dial("spool speed-op", 1000.0, 20000.0, 10_000.0)),
-            ComponentKind::Combustor => spec
-                .widget(Widget::slider("efficiency", 0.8, 1.0, 0.995))
-                .widget(Widget::slider("pressure loss", 0.0, 0.2, 0.05)),
-            ComponentKind::Nozzle => spec.widget(Widget::slider("area scale", 0.5, 1.5, 1.0)),
-            ComponentKind::Compressor | ComponentKind::Turbine => {
-                spec.widget(Widget::file_browser("performance map", ""))
-            }
-            _ => spec,
-        };
+        // Physics widgets straight from the spec's typed hints (the shaft
+        // control panel of Figure 2 shows moment inertia / spool speed /
+        // spool speed-op).
+        for p in &cspec.params {
+            spec = spec.widget(match &p.hint {
+                WidgetHint::Dial { min, max, default } => {
+                    Widget::dial(&p.name, *min, *max, *default)
+                }
+                WidgetHint::Slider { min, max, default } => {
+                    Widget::slider(&p.name, *min, *max, *default)
+                }
+                WidgetHint::File { default } => Widget::file_browser(&p.name, default),
+            });
+        }
         spec
     }
 
     fn compute(&mut self, ctx: &mut ComputeCtx<'_>) -> Result<(), String> {
+        let cspec = self
+            .component_spec()
+            .ok_or_else(|| format!("no registered component type '{}'", self.type_name))?;
         // Record placement from the remote-machine widgets.
-        if self.kind.adapted() {
+        if cspec.remote_path.is_some() {
             let machine = ctx.widget_choice("remote machine")?.to_owned();
             let path = ctx.widget_text("pathname")?.to_owned();
-            self.services.placements.lock().unwrap().insert(self.slot.clone(), (machine, path));
+            self.services.set_placement(&self.slot, &machine, &path);
         }
-        // Publish physics widget values.
-        {
-            let mut params = self.services.params.lock().unwrap();
-            for w in ["moment inertia", "efficiency", "pressure loss", "area scale"] {
-                if let Some(v) = ctx.widget(w).and_then(Widget::as_number) {
-                    params.insert((self.slot.clone(), w.to_owned()), v);
-                }
+        // Publish every numeric physics-widget value the spec declares.
+        for p in &cspec.params {
+            if let Some(v) = ctx.widget(&p.name).and_then(Widget::as_number) {
+                self.services.set_param(&self.slot, &p.name, v);
             }
         }
-        // Pass the descriptor chain downstream.
-        let desc = self.descriptor();
-        match self.kind {
-            ComponentKind::Inlet => ctx.set_output("out", chain(ctx, &[], desc)),
-            ComponentKind::Splitter => {
-                let out = chain(ctx, &["in"], desc);
-                ctx.set_output("core", out.clone());
-                ctx.set_output("bypass", out);
-            }
-            ComponentKind::MixingVolume => {
-                ctx.set_output("out", chain(ctx, &["core", "bypass"], desc))
-            }
-            ComponentKind::Shaft => ctx.set_output("out", chain(ctx, &["comp", "turb"], desc)),
-            _ => ctx.set_output("out", chain(ctx, &["in"], desc)),
+        // Pass the descriptor chain downstream, fanning out to every
+        // declared output port.
+        let input_ports: Vec<&str> = cspec
+            .ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Input)
+            .map(|p| p.name.as_str())
+            .collect();
+        let out = chain(ctx, &input_ports, self.descriptor());
+        let output_ports: Vec<&str> = cspec
+            .ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Output)
+            .map(|p| p.name.as_str())
+            .collect();
+        for port in &output_ports {
+            ctx.set_output(port, out.clone());
         }
         Ok(())
     }
@@ -274,7 +338,8 @@ impl AvsModule for ComponentModule {
         // Module removed from the network: its placement disappears (the
         // Manager tears the line down when the system module's engine is
         // rebuilt or shut down).
-        self.services.placements.lock().unwrap().remove(&self.slot);
+        self.services.remove_placement(&self.slot);
+        self.services.forget_module_type(&self.slot);
     }
 }
 
@@ -292,8 +357,8 @@ impl SystemModule {
     /// Build the executive engine from the current placements and
     /// operating conditions.
     fn build_engine(&self, altitude_m: f64, mach: f64) -> Result<ExecutiveEngine, String> {
-        let params = self.services.params.lock().unwrap().clone();
-        let mut cycle = self.services.cycle.lock().unwrap().clone();
+        let params = self.services.params();
+        let mut cycle = self.services.cycle();
         if let Some(i) = params.get(&("low speed shaft".to_owned(), "moment inertia".to_owned())) {
             cycle.i1 = *i;
         }
@@ -312,14 +377,13 @@ impl SystemModule {
         engine.flight = tess::engine::FlightCondition { t_amb: amb.t, p_amb: amb.p, mach };
         let mut exec = ExecutiveEngine::all_local(engine)?;
 
-        let placements = self.services.placements.lock().unwrap().clone();
-        for (slot, (machine, path)) in placements {
+        for (slot, (machine, path)) in self.services.placements() {
             if machine == "local" {
                 // The pathname widget still selects the *code*: a
                 // non-default path substitutes a different local
                 // implementation for this component.
-                let default = crate::modules::default_path_of_slot(&slot);
-                if path != default {
+                let default = self.services.default_path_of_slot(&slot);
+                if default.as_deref() != Some(path.as_str()) {
                     let image = self
                         .services
                         .schooner
@@ -425,13 +489,13 @@ impl AvsModule for SystemModule {
         ])?;
         let result = exec.run_transient(&fuel, method, dt, t_end);
         // Always capture stats, then tear down remote lines.
-        *self.services.report.lock().unwrap() = exec.report_rows();
+        self.services.set_report(exec.report_rows());
         exec.shutdown();
         let result = result?;
 
         ctx.set_output("thrust", Value::Double(result.last().thrust));
         ctx.set_output("n1", Value::Double(result.last().n1));
-        *self.services.result.lock().unwrap() = Some(result);
+        self.services.set_result(result);
         Ok(())
     }
 }

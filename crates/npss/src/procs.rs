@@ -32,18 +32,19 @@
 //! single-precision-appropriate tolerances.
 
 use schooner::{FnProcedure, ProgramImage};
-use tess::components::{Combustor, Duct, Nozzle};
+use tess::components::{Combustor, Duct, Nozzle, Shaft};
 use tess::gas::GasState;
 use uts::Value;
 
-/// Standard installation path of the shaft image.
-pub const SHAFT_PATH: &str = "/npss/npss-shaft";
+/// Standard installation path of the shaft image (the component type's
+/// declared `remote_path`).
+pub const SHAFT_PATH: &str = Shaft::REMOTE_PATH;
 /// Standard installation path of the duct image.
-pub const DUCT_PATH: &str = "/npss/npss-duct";
+pub const DUCT_PATH: &str = Duct::REMOTE_PATH;
 /// Standard installation path of the combustor image.
-pub const COMBUSTOR_PATH: &str = "/npss/npss-comb";
+pub const COMBUSTOR_PATH: &str = Combustor::REMOTE_PATH;
 /// Standard installation path of the nozzle image.
-pub const NOZZLE_PATH: &str = "/npss/npss-nozl";
+pub const NOZZLE_PATH: &str = Nozzle::REMOTE_PATH;
 
 /// The shaft export specification, verbatim from the paper.
 pub const SHAFT_SPEC: &str = r#"

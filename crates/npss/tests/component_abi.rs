@@ -1,0 +1,274 @@
+//! Registry-built components on the Schooner RPC path.
+//!
+//! The tentpole acceptance criteria for the component ABI: a component
+//! registered through [`tess::ComponentRegistry`] runs **out-of-process**
+//! through Schooner with results bit-identical to the in-process factory
+//! instance, seeded runs replay byte-for-byte, stateful components
+//! checkpoint through the Manager's store and survive a host crash, and
+//! new component types become Network Editor modules without touching the
+//! executive's dispatch code.
+
+use netsim::FaultPlan;
+use npss::bridge::{install_component, RemoteComponent, COMPONENT_PROC};
+use npss::modules::{ComponentModule, ExecutiveServices};
+use schooner::{CallPolicy, Schooner};
+use std::sync::Arc;
+use tess::component::{flow_value, ComponentRegistry, EngineComponent};
+use uts::Value;
+
+/// Executive host (UA site) and an IEEE-double serving host (LeRC site),
+/// so marshaling is exact and f64 comparisons can demand bit identity.
+const AVS_HOST: &str = "ua-sparc10";
+const SERVE_HOST: &str = "lerc-rs6000";
+
+fn world() -> Schooner {
+    Schooner::standard().unwrap()
+}
+
+fn all_hosts(sch: &Schooner) -> Vec<String> {
+    sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect()
+}
+
+/// Deterministic SplitMix64, so the input sweep is seeded and identical
+/// across runs without any external RNG.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [lo, hi), from the top 53 bits.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+/// The seeded afterburner input sweep: wet and dry operating points.
+fn afterburner_sweep(seed: u64, n: usize) -> Vec<Vec<Value>> {
+    let mut rng = SplitMix64(seed);
+    (0..n)
+        .map(|i| {
+            let flow = tess::GasState::new(
+                rng.uniform(50.0, 90.0),
+                rng.uniform(700.0, 1000.0),
+                rng.uniform(1.5e5, 3.0e5),
+                rng.uniform(0.0, 0.025),
+            );
+            // Every fourth point is dry (wf = 0), exercising both paths.
+            let wf = if i % 4 == 0 { 0.0 } else { rng.uniform(0.3, 2.2) };
+            vec![flow_value(&flow), Value::Double(wf)]
+        })
+        .collect()
+}
+
+fn bits_of(values: &[Value]) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for v in values {
+        match v {
+            Value::Double(x) => bits.push(x.to_bits()),
+            other => {
+                let xs = other.as_doubles().unwrap_or_else(|| panic!("non-double value {other}"));
+                bits.extend(xs.iter().map(|x| x.to_bits()));
+            }
+        }
+    }
+    bits
+}
+
+/// One complete world: install the afterburner duct from the registry,
+/// start it on the RS6000, run the seeded sweep remotely and in-process,
+/// and return the remote outputs' bit patterns (after asserting
+/// remote ≡ local pointwise).
+fn afterburner_run(seed: u64) -> Vec<u64> {
+    let sch = world();
+    let registry = ComponentRegistry::builtin();
+    let hosts = all_hosts(&sch);
+    let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let path = install_component(&sch, &registry, "afterburner duct", &host_refs).unwrap();
+
+    let line = sch.open_line("afterburner duct", AVS_HOST).unwrap();
+    let mut remote =
+        RemoteComponent::start(line, &registry, "afterburner duct", &path, SERVE_HOST).unwrap();
+    let mut local = registry.create("afterburner duct").unwrap();
+
+    let mut all_bits = Vec::new();
+    for args in afterburner_sweep(seed, 24) {
+        let remote_out = remote.compute(&args).unwrap();
+        let local_out = local.compute(&args).unwrap();
+        assert_eq!(
+            bits_of(&remote_out),
+            bits_of(&local_out),
+            "out-of-process result must be bit-identical to the in-process instance"
+        );
+        all_bits.extend(bits_of(&remote_out));
+    }
+    assert_eq!(remote.host(), SERVE_HOST);
+    remote.destroy();
+    sch.shutdown();
+    all_bits
+}
+
+/// Acceptance: a registry component runs out-of-process via Schooner in a
+/// deterministic seeded test, bit-identical to in-process — and the whole
+/// seeded run replays identically in a fresh world.
+#[test]
+fn afterburner_runs_out_of_process_bit_identically() {
+    let first = afterburner_run(0x5EED_AB01);
+    let second = afterburner_run(0x5EED_AB01);
+    assert_eq!(first, second, "same seed must replay byte-for-byte");
+    assert!(!first.is_empty());
+}
+
+/// The heat exchanger is stateful (relaxed wall temperature + transfer
+/// count), so its checkpoints are non-empty and recovery is observable:
+/// after a host crash, the Manager respawns the process from the
+/// checkpointed `state(...)` variables and the continued sequence matches
+/// an uninterrupted in-process run bit-for-bit.
+#[test]
+fn stateful_component_checkpoint_survives_host_crash() {
+    let sch = world();
+    sch.ctx().trace.set_enabled(true);
+    let registry = ComponentRegistry::builtin();
+    let hosts = all_hosts(&sch);
+    let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let path = install_component(&sch, &registry, "heat exchanger", &host_refs).unwrap();
+
+    let line = sch.open_line("heat exchanger", AVS_HOST).unwrap();
+    let mut remote =
+        RemoteComponent::start(line, &registry, "heat exchanger", &path, SERVE_HOST).unwrap();
+    let mut reference = registry.create("heat exchanger").unwrap();
+
+    let sweep: Vec<Vec<Value>> = (0..10)
+        .map(|i| {
+            let hot = tess::GasState::new(70.0 + i as f64, 900.0 + 5.0 * i as f64, 2.5e5, 0.02);
+            let cold = tess::GasState::new(30.0, 400.0 + 2.0 * i as f64, 4.0e5, 0.0);
+            vec![flow_value(&hot), flow_value(&cold)]
+        })
+        .collect();
+
+    // Warm up the wall state, then checkpoint.
+    for args in &sweep[..6] {
+        let r = remote.compute(args).unwrap();
+        let l = reference.compute(args).unwrap();
+        assert_eq!(bits_of(&r), bits_of(&l));
+    }
+    let bytes = remote.checkpoint().unwrap();
+    assert!(bytes > 0, "a stateful component must checkpoint more than 0 bytes");
+
+    // Crash the serving host just after the checkpoint; it reboots two
+    // virtual seconds later, inside the retry policy's backoff budget.
+    let t_crash = remote.line_mut().now() + 0.05;
+    sch.ctx().net.set_fault_plan(Some(
+        FaultPlan::new(0xC0DE)
+            .host_crash(SERVE_HOST, t_crash)
+            .host_restart(SERVE_HOST, t_crash + 2.0),
+    ));
+
+    // Ride the crash with a retrying call, then continue plainly. The
+    // respawned incarnation restores the checkpointed wall temperature
+    // and transfer count, so every continued output matches the
+    // uninterrupted local reference exactly.
+    let policy = CallPolicy::new().idempotent(true).retries(12).backoff(0.25, 2.0, 4.0);
+    for (i, args) in sweep[6..].iter().enumerate() {
+        let r = if i == 0 {
+            remote.line_mut().call_with(COMPONENT_PROC, args, &policy).unwrap()
+        } else {
+            remote.compute(args).unwrap()
+        };
+        let l = reference.compute(args).unwrap();
+        assert_eq!(bits_of(&r), bits_of(&l), "post-recovery output {i} must be bit-identical");
+    }
+
+    let rendered = sch.ctx().trace.render();
+    assert!(rendered.contains("respawned"), "{rendered}");
+
+    remote.destroy();
+    sch.ctx().net.set_fault_plan(None);
+    sch.shutdown();
+}
+
+/// Migration: `move_to` carries the component's state to another machine
+/// through the same checkpoint machinery; the sequence continues as if
+/// nothing moved.
+#[test]
+fn stateful_component_state_migrates_with_move_to() {
+    let sch = world();
+    let registry = ComponentRegistry::builtin();
+    let hosts = all_hosts(&sch);
+    let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+    let path = install_component(&sch, &registry, "heat exchanger", &host_refs).unwrap();
+
+    let line = sch.open_line("heat exchanger", AVS_HOST).unwrap();
+    let mut remote =
+        RemoteComponent::start(line, &registry, "heat exchanger", &path, SERVE_HOST).unwrap();
+    let mut reference = registry.create("heat exchanger").unwrap();
+
+    let hot = tess::GasState::new(72.0, 910.0, 2.4e5, 0.02);
+    let cold = tess::GasState::new(31.0, 410.0, 3.9e5, 0.0);
+    let args = vec![flow_value(&hot), flow_value(&cold)];
+    for _ in 0..5 {
+        let r = remote.compute(&args).unwrap();
+        let l = reference.compute(&args).unwrap();
+        assert_eq!(bits_of(&r), bits_of(&l));
+    }
+
+    // Migrate to the other IEEE host mid-sequence.
+    remote.move_to("lerc-sgi-4d420").unwrap();
+    assert_eq!(remote.host(), "lerc-sgi-4d420");
+
+    for _ in 0..5 {
+        let r = remote.compute(&args).unwrap();
+        let l = reference.compute(&args).unwrap();
+        assert_eq!(bits_of(&r), bits_of(&l), "migrated instance must continue bit-identically");
+    }
+
+    remote.destroy();
+    sch.shutdown();
+}
+
+/// Acceptance: new component types become Network Editor modules through
+/// the registry alone — ports and widgets come from the typed spec, with
+/// zero changes to the executive's module code.
+#[test]
+fn new_component_types_are_modules_without_dispatch_changes() {
+    let sch = Arc::new(world());
+    let services = ExecutiveServices::new(sch, AVS_HOST);
+
+    // Both PR-introduced components resolve through the registry.
+    let hx = ComponentModule::new("recuperator", "heat exchanger", services.clone());
+    let spec = avs::AvsModule::spec(&hx);
+    let inputs: Vec<&str> = spec.inputs.iter().map(|p| p.name.as_str()).collect();
+    let outputs: Vec<&str> = spec.outputs.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(inputs, ["hot", "cold"]);
+    assert_eq!(outputs, ["hot out", "cold out"]);
+    let widget_names: Vec<&str> = spec.widgets.iter().map(|w| w.name()).collect();
+    assert!(widget_names.contains(&"effectiveness"), "{widget_names:?}");
+    // Declared remote_path ⇒ the paper's two adapted-module widgets.
+    assert!(widget_names.contains(&"remote machine"), "{widget_names:?}");
+    assert!(widget_names.contains(&"pathname"), "{widget_names:?}");
+
+    let ab = ComponentModule::new("reheat", "afterburner duct", services.clone());
+    let spec = avs::AvsModule::spec(&ab);
+    assert_eq!(spec.type_name, "afterburner duct");
+    assert!(spec.widgets.iter().any(|w| w.name() == "reheat efficiency"));
+
+    // And a type registered at runtime is immediately buildable too.
+    struct Probe;
+    impl EngineComponent for Probe {
+        fn spec(&self) -> tess::ComponentSpec {
+            tess::ComponentSpec::new("flow probe").port_in("in").port_out("out")
+        }
+        fn compute(&mut self, _args: &[Value]) -> Result<Vec<Value>, String> {
+            Ok(Vec::new())
+        }
+    }
+    services.register_component(Arc::new(|| Box::new(Probe))).unwrap();
+    let probe = ComponentModule::new("station 13 probe", "flow probe", services);
+    assert_eq!(avs::AvsModule::spec(&probe).type_name, "flow probe");
+}

@@ -95,7 +95,7 @@ pub use policy::{CallPolicy, OnExhaustion};
 pub use proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
 pub use program::{ProgramImage, ProgramRegistry};
 pub use supervise::{CheckpointStore, Health, HealthMonitor, SupervisionPolicy};
-pub use system::{Schooner, SchoonerConfig};
+pub use system::{Schooner, SchoonerConfig, SchoonerConfigBuilder};
 pub use trace::{Event, Trace};
 
 /// The common imports for programs built on Schooner.
@@ -112,7 +112,7 @@ pub mod prelude {
     pub use crate::proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
     pub use crate::program::ProgramImage;
     pub use crate::supervise::SupervisionPolicy;
-    pub use crate::system::{Schooner, SchoonerConfig};
+    pub use crate::system::{Schooner, SchoonerConfig, SchoonerConfigBuilder};
     pub use crate::trace::Trace;
     pub use uts::Value;
 }

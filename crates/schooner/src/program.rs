@@ -60,6 +60,25 @@ impl ProgramImage {
         })
     }
 
+    /// Create an image from already-built procedure declarations —
+    /// typically rendered from a component's typed `spec()` — instead of
+    /// specification source text. Each declaration is forced to `export`
+    /// and rendered through [`uts::spec::ProcSpec::to_source`], so the
+    /// image's `spec_src` stays a valid specification file that stubs can
+    /// be compiled from.
+    pub fn from_procs(name: impl Into<String>, procs: &[uts::ProcSpec]) -> SchResult<Self> {
+        let src = procs
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.direction = Direction::Export;
+                p.to_source()
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        Self::new(name, &src)
+    }
+
     /// Attach the implementation factory for an exported procedure.
     pub fn with_procedure(
         mut self,
@@ -186,6 +205,34 @@ mod tests {
         let mut procs = img.instantiate().unwrap();
         let out = procs.get_mut("double").unwrap().call(&[Value::Double(4.0)]).unwrap();
         assert_eq!(out, vec![Value::Double(8.0)]);
+    }
+
+    #[test]
+    fn from_procs_renders_a_parsable_spec() {
+        use uts::spec::{Direction, Parameter, ProcSpec};
+        use uts::{ParamMode, Type};
+
+        let proc = ProcSpec {
+            direction: Direction::Import, // forced to export by from_procs
+            name: "compute".into(),
+            params: vec![
+                Parameter { name: "x".into(), mode: ParamMode::Val, ty: Type::Double },
+                Parameter { name: "y".into(), mode: ParamMode::Res, ty: Type::Double },
+            ],
+            state: vec![("k".into(), Type::Double)],
+        };
+        let img = ProgramImage::from_procs("from-spec", &[proc])
+            .unwrap()
+            .with_procedure("compute", || {
+                Box::new(FnProcedure::new(|args: &[Value]| {
+                    Ok(vec![Value::Double(args[0].as_f64().unwrap() + 1.0)])
+                }))
+            })
+            .unwrap();
+        img.validate().unwrap();
+        assert!(img.spec_src().contains("state(\"k\" double)"), "{}", img.spec_src());
+        let parsed = uts::parse_spec_file(img.spec_src()).unwrap();
+        assert_eq!(parsed.decls[0].direction, Direction::Export);
     }
 
     #[test]

@@ -70,6 +70,70 @@ impl Default for SchoonerConfig {
     }
 }
 
+impl SchoonerConfig {
+    /// Start a builder from the defaults; override just the fields that
+    /// matter: `SchoonerConfig::builder().reply_timeout(..).build()`.
+    pub fn builder() -> SchoonerConfigBuilder {
+        SchoonerConfigBuilder { config: Self::default() }
+    }
+}
+
+/// Builder for [`SchoonerConfig`]: one chained setter per field over the
+/// default configuration.
+#[derive(Debug, Clone)]
+pub struct SchoonerConfigBuilder {
+    config: SchoonerConfig,
+}
+
+impl SchoonerConfigBuilder {
+    /// Host the Manager process runs on.
+    pub fn manager_host(mut self, host: &str) -> Self {
+        self.config.manager_host = host.to_owned();
+        self
+    }
+
+    /// Wall-clock bound on waiting for any reply.
+    pub fn reply_timeout(mut self, timeout: Duration) -> Self {
+        self.config.reply_timeout = timeout;
+        self
+    }
+
+    /// Virtual seconds of Manager bookkeeping per handled request.
+    pub fn manager_overhead_s(mut self, seconds: f64) -> Self {
+        self.config.manager_overhead_s = seconds;
+        self
+    }
+
+    /// Flops charged per scalar converted during marshaling.
+    pub fn per_scalar_flops(mut self, flops: f64) -> Self {
+        self.config.per_scalar_flops = flops;
+        self
+    }
+
+    /// Virtual seconds a Server spends forking a new process.
+    pub fn process_startup_s(mut self, seconds: f64) -> Self {
+        self.config.process_startup_s = seconds;
+        self
+    }
+
+    /// Consecutive heartbeat misses before a process is declared dead.
+    pub fn heartbeat_miss_threshold(mut self, misses: u32) -> Self {
+        self.config.heartbeat_miss_threshold = misses;
+        self
+    }
+
+    /// Highest UTS wire version the Manager hands out in bindings.
+    pub fn wire_version(mut self, version: u8) -> Self {
+        self.config.wire_version = version;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> SchoonerConfig {
+        self.config
+    }
+}
+
 /// Everything a runtime component needs to participate in the simulation.
 #[derive(Clone)]
 pub struct RuntimeCtx {
@@ -217,5 +281,33 @@ impl Schooner {
 impl Drop for Schooner {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_only_named_fields() {
+        let c = SchoonerConfig::builder()
+            .manager_host("ua-sparc10")
+            .reply_timeout(Duration::from_millis(500))
+            .wire_version(uts::WIRE_V1)
+            .build();
+        assert_eq!(c.manager_host, "ua-sparc10");
+        assert_eq!(c.reply_timeout, Duration::from_millis(500));
+        assert_eq!(c.wire_version, uts::WIRE_V1);
+        let d = SchoonerConfig::default();
+        assert_eq!(c.heartbeat_miss_threshold, d.heartbeat_miss_threshold);
+        assert_eq!(c.per_scalar_flops, d.per_scalar_flops);
+    }
+
+    #[test]
+    fn struct_literal_construction_still_compiles() {
+        // Deprecation path: all fields stay public for one release, so
+        // functional-update literals keep working.
+        let c = SchoonerConfig { wire_version: uts::WIRE_V1, ..SchoonerConfig::default() };
+        assert_eq!(c.wire_version, uts::WIRE_V1);
     }
 }

@@ -80,10 +80,7 @@ fn seeded_drops_replay_identically_across_runs() {
     let run = |seed: u64| -> (Vec<Vec<Value>>, u64, u64) {
         // A short reply timeout keeps dropped *replies* cheap: the caller
         // times out, classifies the loss as transient, and re-sends.
-        let config = SchoonerConfig {
-            reply_timeout: Duration::from_millis(250),
-            ..SchoonerConfig::default()
-        };
+        let config = SchoonerConfig::builder().reply_timeout(Duration::from_millis(250)).build();
         let sch = Schooner::standard_with(config).unwrap();
         sch.install_program("/x/cal", converter_image(), &["lerc-sgi-4d480"]).unwrap();
         let mut line = sch.open_line("m", "ua-sparc10").unwrap();

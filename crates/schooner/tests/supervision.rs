@@ -57,7 +57,7 @@ fn accumulator_image() -> ProgramImage {
 fn quick_config() -> SchoonerConfig {
     // A short wall-clock reply timeout keeps lost-message waits cheap;
     // every decision the tests assert on runs in virtual time.
-    SchoonerConfig { reply_timeout: Duration::from_millis(250), ..SchoonerConfig::default() }
+    SchoonerConfig::builder().reply_timeout(Duration::from_millis(250)).build()
 }
 
 /// A host crash mid-run destroys the accumulator's state; the Manager

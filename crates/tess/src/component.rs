@@ -1,0 +1,658 @@
+//! The engine-component ABI: a typed, registry-driven module boundary.
+//!
+//! The paper's NPSS prototype treats every engine component as an
+//! interchangeable module behind a uniform executive interface — the TESS
+//! control panel neither knows nor cares whether a combustor model is
+//! compiled in or served from a remote machine. This module reproduces
+//! that boundary as a first-class Rust trait:
+//!
+//! * [`EngineComponent`] — the five entry points every component model
+//!   implements: [`spec`](EngineComponent::spec) (a typed port/parameter
+//!   table rendered as UTS [`Type`]s), [`compute`](EngineComponent::compute),
+//!   [`get_state`](EngineComponent::get_state) /
+//!   [`set_state`](EngineComponent::set_state) (UTS-portable state, so a
+//!   component instance can be checkpointed or migrated), and
+//!   [`destroy`](EngineComponent::destroy).
+//! * [`ComponentSpec`] — the self-description: dataflow ports, control
+//!   widgets, typed compute arguments and results, and state variables.
+//!   [`ComponentSpec::proc_spec`] renders it as a UTS procedure
+//!   declaration, which is exactly what the Schooner RPC layer needs to
+//!   generate a compiled stub — an out-of-process component is served from
+//!   the same description as a compiled-in one.
+//! * [`ComponentRegistry`] — maps component type names to factories, so
+//!   hosts build components by name instead of matching on hand-written
+//!   enums.
+//!
+//! # Registering a custom component
+//!
+//! ```
+//! use tess::component::{ComponentRegistry, ComponentSpec, EngineComponent};
+//! use uts::{Type, Value};
+//!
+//! /// A trivial pressure-booster: multiplies one scalar by a gain.
+//! struct Booster {
+//!     gain: f64,
+//! }
+//!
+//! impl EngineComponent for Booster {
+//!     fn spec(&self) -> ComponentSpec {
+//!         ComponentSpec::new("booster")
+//!             .port_in("in")
+//!             .port_out("out")
+//!             .dial("gain", 1.0, 4.0, 2.0)
+//!             .input("pt", Type::Double, Value::Double(101_325.0))
+//!             .output("pt out", Type::Double)
+//!             .state_var("gain", Type::Double)
+//!     }
+//!
+//!     fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+//!         let pt = args[0].as_f64().ok_or("pt must be numeric")?;
+//!         Ok(vec![Value::Double(self.gain * pt)])
+//!     }
+//!
+//!     fn get_state(&self) -> Vec<Value> {
+//!         vec![Value::Double(self.gain)]
+//!     }
+//!
+//!     fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+//!         if state.len() != 1 {
+//!             return Err(format!("booster state has {} values, expected 1", state.len()));
+//!         }
+//!         self.gain = state[0].as_f64().ok_or("gain must be numeric")?;
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut reg = ComponentRegistry::builtin();
+//! reg.register(std::sync::Arc::new(|| Box::new(Booster { gain: 2.0 }))).unwrap();
+//! let mut c = reg.create("booster").unwrap();
+//! let out = c.compute(&[Value::Double(1000.0)]).unwrap();
+//! assert_eq!(out[0].as_f64(), Some(2000.0));
+//! tess::component::assert_component_contract(c.as_mut());
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::gas::GasState;
+use uts::spec::{Direction, Parameter, ProcSpec};
+use uts::{ParamMode, Type, Value};
+
+// ---------------------------------------------------------------------------
+// Spec model
+// ---------------------------------------------------------------------------
+
+/// Which way a dataflow port carries component descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDirection {
+    /// The port consumes an upstream connection.
+    Input,
+    /// The port offers a downstream connection.
+    Output,
+}
+
+/// One dataflow port of a component (the AVS network wiring surface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name, unique per direction within the component.
+    pub name: String,
+    /// Input or output.
+    pub direction: PortDirection,
+}
+
+/// How a tunable parameter should be presented on a control panel.
+///
+/// This is a host-neutral hint: the AVS host maps it onto the matching
+/// widget kind, a batch host may ignore it entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WidgetHint {
+    /// A rotary dial over `[min, max]`.
+    Dial {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+        /// Initial value.
+        default: f64,
+    },
+    /// A linear slider over `[min, max]`.
+    Slider {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+        /// Initial value.
+        default: f64,
+    },
+    /// A file-browser path entry.
+    File {
+        /// Initial path (may be empty).
+        default: String,
+    },
+}
+
+/// One tunable parameter of a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name as shown on the control panel.
+    pub name: String,
+    /// Presentation hint.
+    pub hint: WidgetHint,
+}
+
+/// One named, typed field of the compute signature or the state vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// UTS type.
+    pub ty: Type,
+}
+
+/// The complete self-description of an engine component type.
+///
+/// Built with the chained constructors ([`ComponentSpec::new`],
+/// [`port_in`](ComponentSpec::port_in), [`input`](ComponentSpec::input),
+/// …); consumed by hosts for wiring and widgets and by
+/// [`proc_spec`](ComponentSpec::proc_spec) for RPC stub generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// The registry type name (e.g. `"combustor"`, `"heat exchanger"`).
+    pub type_name: String,
+    /// Dataflow ports in declaration order.
+    pub ports: Vec<PortDecl>,
+    /// Control-panel parameters in declaration order.
+    pub params: Vec<ParamDecl>,
+    /// Typed `compute` arguments in call order.
+    pub inputs: Vec<FieldDecl>,
+    /// One example value per input, conforming to its type — exercised by
+    /// the conformance harness and usable as a smoke-test call.
+    pub examples: Vec<Value>,
+    /// Typed `compute` results in return order.
+    pub outputs: Vec<FieldDecl>,
+    /// State variables packaged by `get_state`/`set_state`, in order.
+    pub state: Vec<FieldDecl>,
+    /// Simulated floating-point cost of one `compute` call.
+    pub work_flops: f64,
+    /// Installation path when this component is served out-of-process
+    /// (`None` for components with no remote packaging).
+    pub remote_path: Option<String>,
+}
+
+impl ComponentSpec {
+    /// Start a spec for `type_name` with no ports, parameters, or fields.
+    pub fn new(type_name: &str) -> Self {
+        Self {
+            type_name: type_name.to_owned(),
+            ports: Vec::new(),
+            params: Vec::new(),
+            inputs: Vec::new(),
+            examples: Vec::new(),
+            outputs: Vec::new(),
+            state: Vec::new(),
+            work_flops: 50_000.0,
+            remote_path: None,
+        }
+    }
+
+    /// Declare an input port.
+    pub fn port_in(mut self, name: &str) -> Self {
+        self.ports.push(PortDecl { name: name.to_owned(), direction: PortDirection::Input });
+        self
+    }
+
+    /// Declare an output port.
+    pub fn port_out(mut self, name: &str) -> Self {
+        self.ports.push(PortDecl { name: name.to_owned(), direction: PortDirection::Output });
+        self
+    }
+
+    /// Declare a dial-style parameter.
+    pub fn dial(mut self, name: &str, min: f64, max: f64, default: f64) -> Self {
+        self.params.push(ParamDecl {
+            name: name.to_owned(),
+            hint: WidgetHint::Dial { min, max, default },
+        });
+        self
+    }
+
+    /// Declare a slider-style parameter.
+    pub fn slider(mut self, name: &str, min: f64, max: f64, default: f64) -> Self {
+        self.params.push(ParamDecl {
+            name: name.to_owned(),
+            hint: WidgetHint::Slider { min, max, default },
+        });
+        self
+    }
+
+    /// Declare a file-path parameter.
+    pub fn file(mut self, name: &str, default: &str) -> Self {
+        self.params.push(ParamDecl {
+            name: name.to_owned(),
+            hint: WidgetHint::File { default: default.to_owned() },
+        });
+        self
+    }
+
+    /// Declare a typed compute argument together with an example value.
+    pub fn input(mut self, name: &str, ty: Type, example: Value) -> Self {
+        self.inputs.push(FieldDecl { name: name.to_owned(), ty });
+        self.examples.push(example);
+        self
+    }
+
+    /// Declare a typed compute result.
+    pub fn output(mut self, name: &str, ty: Type) -> Self {
+        self.outputs.push(FieldDecl { name: name.to_owned(), ty });
+        self
+    }
+
+    /// Declare a state variable.
+    pub fn state_var(mut self, name: &str, ty: Type) -> Self {
+        self.state.push(FieldDecl { name: name.to_owned(), ty });
+        self
+    }
+
+    /// Set the simulated cost of one `compute` call.
+    pub fn flops(mut self, work_flops: f64) -> Self {
+        self.work_flops = work_flops;
+        self
+    }
+
+    /// Set the out-of-process installation path.
+    pub fn remote(mut self, path: &str) -> Self {
+        self.remote_path = Some(path.to_owned());
+        self
+    }
+
+    /// Render the compute signature as a UTS `export` declaration named
+    /// `proc_name`: inputs become `val` parameters, outputs become `res`
+    /// parameters, and state variables become the `state(...)` migration
+    /// clause. The result round-trips through `uts::parse_spec_file`, so
+    /// it is directly usable as a Schooner program specification.
+    pub fn proc_spec(&self, proc_name: &str) -> ProcSpec {
+        let mut params = Vec::with_capacity(self.inputs.len() + self.outputs.len());
+        for f in &self.inputs {
+            params.push(Parameter { name: f.name.clone(), mode: ParamMode::Val, ty: f.ty.clone() });
+        }
+        for f in &self.outputs {
+            params.push(Parameter { name: f.name.clone(), mode: ParamMode::Res, ty: f.ty.clone() });
+        }
+        ProcSpec {
+            direction: Direction::Export,
+            name: proc_name.to_owned(),
+            params,
+            state: self.state.iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
+        }
+    }
+
+    /// The type name with spaces replaced by dashes — usable as a program
+    /// name or a path segment (`"mixing volume"` → `"mixing-volume"`).
+    pub fn slug(&self) -> String {
+        self.type_name.replace(' ', "-")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------------
+
+/// A pluggable engine component model.
+///
+/// The five entry points mirror the AVS module lifecycle the paper builds
+/// on (description, computation, destruction) extended with the state
+/// portability the spec language's `state(...)` clause was designed for:
+/// `get_state` packages the component's mutable configuration as UTS
+/// values that `set_state` can restore — on this instance, on a fresh
+/// instance from the same factory, or on a remote instance reached over
+/// Schooner RPC.
+pub trait EngineComponent: Send {
+    /// The component's self-description. Must be stable for the lifetime
+    /// of the instance.
+    fn spec(&self) -> ComponentSpec;
+
+    /// Evaluate the model: `args` match `spec().inputs`, the result
+    /// matches `spec().outputs`, element for element.
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String>;
+
+    /// Package the mutable state as UTS values matching `spec().state`.
+    /// Stateless components return an empty vector (the default).
+    fn get_state(&self) -> Vec<Value> {
+        Vec::new()
+    }
+
+    /// Restore state previously produced by [`get_state`](Self::get_state).
+    /// The default accepts only the empty vector.
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("component holds no state, got {} values", state.len()))
+        }
+    }
+
+    /// Release resources. Must be idempotent; the default does nothing.
+    fn destroy(&mut self) {}
+}
+
+/// A factory producing fresh instances of one component type.
+pub type ComponentFactory = Arc<dyn Fn() -> Box<dyn EngineComponent> + Send + Sync>;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Maps component type names to factories.
+///
+/// The registry is the executive's only source of component knowledge:
+/// hosts enumerate [`type_names`](ComponentRegistry::type_names) to build
+/// module libraries and call [`create`](ComponentRegistry::create) to
+/// instantiate models, so adding a component type is a registration, not
+/// an executive code change.
+#[derive(Clone, Default)]
+pub struct ComponentRegistry {
+    factories: BTreeMap<String, ComponentFactory>,
+}
+
+impl ComponentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with every component type in
+    /// [`crate::components`].
+    pub fn builtin() -> Self {
+        use crate::components::{
+            AfterburnerDuct, Bleed, Combustor, Compressor, Duct, HeatExchanger, Inlet,
+            MixingVolume, Nozzle, Shaft, Splitter, StageStack, Turbine,
+        };
+        use crate::gas::{P_STD, T_STD};
+        use crate::maps::{CompressorMap, TurbineMap};
+
+        let mut reg = Self::new();
+        let mut add = |f: ComponentFactory| reg.register(f).expect("builtin names are unique");
+        add(Arc::new(|| Box::new(Inlet::new(0.99))));
+        add(Arc::new(|| {
+            Box::new(Compressor::new(
+                "compressor",
+                CompressorMap::synthetic("compressor", 100.0, 3.0, 0.86),
+                10_000.0,
+            ))
+        }));
+        add(Arc::new(|| Box::new(Splitter::new(0.7))));
+        add(Arc::new(|| Box::new(Duct::new(0.02))));
+        add(Arc::new(|| Box::new(Bleed::new(0.05))));
+        add(Arc::new(|| Box::new(Combustor::new(0.995, 0.05))));
+        add(Arc::new(|| {
+            Box::new(Turbine::new(
+                "turbine",
+                TurbineMap::synthetic("turbine", 25.0, 3.2, 0.88),
+                14_000.0,
+            ))
+        }));
+        add(Arc::new(|| Box::new(MixingVolume::new(0.5, 0.01))));
+        add(Arc::new(|| Box::new(Shaft::new(9.0, 10_000.0, 0.99))));
+        add(Arc::new(|| Box::new(Nozzle::new(0.35, 0.985, 0.99))));
+        add(Arc::new(|| {
+            let inlet = GasState::new(100.0, T_STD, P_STD, 0.0);
+            Box::new(StageStack::calibrate(8, &inlet, 8.0, 0.85).expect("design point calibrates"))
+        }));
+        add(Arc::new(|| Box::new(HeatExchanger::new(0.75, 0.02, 0.03))));
+        add(Arc::new(|| Box::new(AfterburnerDuct::new(0.01, 0.06, 0.92))));
+        reg
+    }
+
+    /// Register a factory. The type name is taken from the spec of a probe
+    /// instance; registering a name twice is an error.
+    pub fn register(&mut self, factory: ComponentFactory) -> Result<(), String> {
+        let name = factory().spec().type_name;
+        if name.is_empty() {
+            return Err("component type name must not be empty".into());
+        }
+        if self.factories.contains_key(&name) {
+            return Err(format!("component type {name:?} already registered"));
+        }
+        self.factories.insert(name, factory);
+        Ok(())
+    }
+
+    /// The factory for `type_name`, if registered.
+    pub fn factory(&self, type_name: &str) -> Option<&ComponentFactory> {
+        self.factories.get(type_name)
+    }
+
+    /// Instantiate a fresh component of `type_name`.
+    pub fn create(&self, type_name: &str) -> Option<Box<dyn EngineComponent>> {
+        self.factories.get(type_name).map(|f| f())
+    }
+
+    /// The spec of `type_name`, from a probe instance.
+    pub fn spec(&self, type_name: &str) -> Option<ComponentSpec> {
+        self.create(type_name).map(|c| c.spec())
+    }
+
+    /// Is `type_name` registered?
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.factories.contains_key(type_name)
+    }
+
+    /// All registered type names, sorted.
+    pub fn type_names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flow helpers
+// ---------------------------------------------------------------------------
+
+/// The UTS type of a gas-path state on the component boundary:
+/// `array[4] of double` carrying (w, Tt, Pt, FAR).
+pub fn flow_type() -> Type {
+    Type::Array { len: 4, elem: Box::new(Type::Double) }
+}
+
+/// Package a gas state as a UTS flow value.
+pub fn flow_value(s: &GasState) -> Value {
+    Value::doubles(&[s.w, s.tt, s.pt, s.far])
+}
+
+/// Unpack a UTS flow value produced by [`flow_value`].
+pub fn flow_from_value(v: &Value) -> Result<GasState, String> {
+    let xs = v.as_doubles().ok_or_else(|| format!("expected flow array, got {v:?}"))?;
+    if xs.len() != 4 {
+        return Err(format!("flow array has {} elements, expected 4", xs.len()));
+    }
+    Ok(GasState::new(xs[0], xs[1], xs[2], xs[3]))
+}
+
+/// Fetch argument `i` as an `f64`, with a named error.
+pub fn arg_f64(args: &[Value], i: usize, name: &str) -> Result<f64, String> {
+    args.get(i)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("argument {i} ({name}) missing or not numeric"))
+}
+
+/// Unpack exactly `N` scalar state values.
+pub fn state_scalars<const N: usize>(state: &[Value]) -> Result<[f64; N], String> {
+    if state.len() != N {
+        return Err(format!("state has {} values, expected {N}", state.len()));
+    }
+    let mut out = [0.0; N];
+    for (i, v) in state.iter().enumerate() {
+        out[i] = v.as_f64().ok_or_else(|| format!("state value {i} not numeric: {v:?}"))?;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Conformance harness
+// ---------------------------------------------------------------------------
+
+/// Assert the ABI contract on one component instance.
+///
+/// Checks, in order: the spec is well-formed (non-empty type name, one
+/// example per input, examples conform to the declared input types, the
+/// rendered procedure declaration round-trips through the spec-language
+/// parser); `get_state` matches the declared state table in arity and
+/// type; `compute` on the example inputs matches the declared outputs;
+/// computation is deterministic and state-restorable (restoring the
+/// pre-call state and recomputing reproduces the outputs bit for bit);
+/// state round-trips through `set_state`/`get_state`; an over-long state
+/// vector is rejected; and `destroy` is idempotent.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on any contract violation — this is a test
+/// harness, meant to run under `#[test]` over every registered component.
+pub fn assert_component_contract(c: &mut dyn EngineComponent) {
+    let spec = c.spec();
+    let name = spec.type_name.clone();
+    assert!(!name.is_empty(), "component type name must not be empty");
+    assert_eq!(spec.inputs.len(), spec.examples.len(), "{name}: one example per declared input");
+    for (f, ex) in spec.inputs.iter().zip(&spec.examples) {
+        assert!(
+            ex.conforms_to(&f.ty),
+            "{name}: example for input {:?} does not conform to {}",
+            f.name,
+            f.ty
+        );
+    }
+
+    // The rendered procedure declaration must round-trip through the
+    // spec-language parser — that is what makes the component servable
+    // over Schooner RPC.
+    let proc = spec.proc_spec("compute");
+    let src = proc.to_source();
+    let parsed = uts::parse_spec_file(&src)
+        .unwrap_or_else(|e| panic!("{name}: rendered spec does not parse: {e}\n{src}"));
+    assert_eq!(parsed.decls.len(), 1, "{name}: rendered spec declares one procedure");
+    assert_eq!(parsed.decls[0], proc, "{name}: rendered spec round-trips");
+
+    // State table agreement.
+    let s0 = c.get_state();
+    assert_eq!(s0.len(), spec.state.len(), "{name}: get_state arity matches declared state table");
+    for (f, v) in spec.state.iter().zip(&s0) {
+        assert!(
+            v.conforms_to(&f.ty),
+            "{name}: state value for {:?} does not conform to {}",
+            f.name,
+            f.ty
+        );
+    }
+
+    // Compute on the example inputs; outputs match the declared table.
+    let out1 = c
+        .compute(&spec.examples)
+        .unwrap_or_else(|e| panic!("{name}: compute on example inputs failed: {e}"));
+    assert_eq!(out1.len(), spec.outputs.len(), "{name}: compute arity matches declared outputs");
+    for (f, v) in spec.outputs.iter().zip(&out1) {
+        assert!(v.conforms_to(&f.ty), "{name}: output {:?} does not conform to {}", f.name, f.ty);
+    }
+    let s1 = c.get_state();
+
+    // Restoring the pre-call state and recomputing must reproduce both
+    // the outputs and the post-call state exactly — UTS `Value` equality
+    // is bitwise on scalars, so this is the bit-determinism guarantee the
+    // seeded distributed runs rely on.
+    c.set_state(s0.clone())
+        .unwrap_or_else(|e| panic!("{name}: set_state(get_state()) failed: {e}"));
+    let out2 = c
+        .compute(&spec.examples)
+        .unwrap_or_else(|e| panic!("{name}: recompute after state restore failed: {e}"));
+    assert_eq!(out1, out2, "{name}: compute is deterministic under state restore");
+    assert_eq!(s1, c.get_state(), "{name}: post-call state is reproducible");
+
+    // State round-trip.
+    c.set_state(s1.clone()).unwrap_or_else(|e| panic!("{name}: state round-trip failed: {e}"));
+    assert_eq!(s1, c.get_state(), "{name}: state survives a set/get round-trip");
+
+    // An over-long state vector must be rejected, not silently truncated.
+    let mut too_long = s1.clone();
+    too_long.push(Value::Integer(0));
+    assert!(c.set_state(too_long).is_err(), "{name}: over-long state vector must be rejected");
+    assert_eq!(s1, c.get_state(), "{name}: rejected set_state leaves state unchanged");
+
+    // Destroy is idempotent.
+    c.destroy();
+    c.destroy();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_enumerates_thirteen_builtins_sorted() {
+        let reg = ComponentRegistry::builtin();
+        let names = reg.type_names();
+        assert_eq!(names.len(), 13, "{names:?}");
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        for expected in [
+            "afterburner duct",
+            "bleed",
+            "combustor",
+            "compressor",
+            "duct",
+            "heat exchanger",
+            "inlet",
+            "mixing volume",
+            "nozzle",
+            "shaft",
+            "splitter",
+            "stage stack",
+            "turbine",
+        ] {
+            assert!(reg.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut reg = ComponentRegistry::builtin();
+        let dup: ComponentFactory = Arc::new(|| Box::new(crate::components::Duct::new(0.01)));
+        assert!(reg.register(dup).is_err());
+    }
+
+    #[test]
+    fn unknown_type_creates_nothing() {
+        let reg = ComponentRegistry::builtin();
+        assert!(reg.create("warp drive").is_none());
+        assert!(reg.spec("warp drive").is_none());
+        assert!(!reg.contains("warp drive"));
+    }
+
+    #[test]
+    fn flow_value_round_trips() {
+        let s = GasState::new(70.0, 1600.0, 2.4e6, 0.025);
+        let v = flow_value(&s);
+        assert!(v.conforms_to(&flow_type()));
+        let back = flow_from_value(&v).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn flow_from_value_rejects_wrong_shapes() {
+        assert!(flow_from_value(&Value::Double(1.0)).is_err());
+        assert!(flow_from_value(&Value::doubles(&[1.0, 2.0, 3.0])).is_err());
+    }
+
+    #[test]
+    fn proc_spec_renders_state_clause() {
+        let spec = ComponentSpec::new("demo")
+            .input("x", Type::Double, Value::Double(1.0))
+            .output("y", Type::Double)
+            .state_var("k", Type::Double);
+        let src = spec.proc_spec("compute").to_source();
+        assert!(src.contains("state(\"k\" double)"), "{src}");
+        assert!(src.starts_with("export compute"), "{src}");
+    }
+
+    #[test]
+    fn slug_replaces_spaces() {
+        assert_eq!(ComponentSpec::new("mixing volume").slug(), "mixing-volume");
+    }
+}

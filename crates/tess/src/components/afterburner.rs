@@ -1,0 +1,123 @@
+//! Afterburner duct: reheat between the turbine and the nozzle.
+//!
+//! Dry, it is a plain friction duct; lit, it burns additional fuel with a
+//! reheat efficiency and the (larger) wet pressure loss of the flame
+//! holders. Built entirely from the existing gas-path primitives and
+//! registered through the component ABI — no executive code knows it
+//! exists.
+
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
+use crate::components::{Combustor, Duct};
+use crate::gas::GasState;
+use uts::{Type, Value};
+
+/// A reheat duct downstream of the turbines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AfterburnerDuct {
+    /// Total-pressure loss fraction when unlit.
+    pub dp_dry: f64,
+    /// Total-pressure loss fraction when lit (flame-holder drag).
+    pub dp_wet: f64,
+    /// Reheat combustion efficiency.
+    pub eta_ab: f64,
+}
+
+impl AfterburnerDuct {
+    /// Build an afterburner duct.
+    pub fn new(dp_dry: f64, dp_wet: f64, eta_ab: f64) -> Self {
+        Self { dp_dry, dp_wet, eta_ab }
+    }
+
+    /// Pass the flow through, burning `wf_ab` kg/s of reheat fuel
+    /// (0 = dry).
+    pub fn operate(&self, inlet: &GasState, wf_ab: f64) -> Result<GasState, String> {
+        if wf_ab < 0.0 {
+            return Err(format!("negative reheat fuel flow {wf_ab}"));
+        }
+        if wf_ab == 0.0 {
+            return Ok(Duct::new(self.dp_dry).flow(inlet, 0.0));
+        }
+        Combustor::new(self.eta_ab, self.dp_wet).burn(inlet, wf_ab)
+    }
+}
+
+impl EngineComponent for AfterburnerDuct {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("afterburner duct")
+            .port_in("in")
+            .port_out("out")
+            .slider("reheat efficiency", 0.7, 1.0, 0.92)
+            .input("flow", flow_type(), flow_value(&GasState::new(70.0, 900.0, 2.6e5, 0.02)))
+            .input("wf ab", Type::Double, Value::Double(0.8))
+            .output("flow out", flow_type())
+            .state_var("dp dry", Type::Double)
+            .state_var("dp wet", Type::Double)
+            .state_var("eta ab", Type::Double)
+            .flops(150_000.0)
+            .remote("/npss/components/afterburner-duct")
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let wf_ab = arg_f64(args, 1, "wf ab")?;
+        Ok(vec![flow_value(&self.operate(&flow, wf_ab)?)])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.dp_dry), Value::Double(self.dp_wet), Value::Double(self.eta_ab)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [dp_dry, dp_wet, eta_ab] = state_scalars::<3>(&state)?;
+        if !(0.0..1.0).contains(&dp_dry) || !(0.0..1.0).contains(&dp_wet) {
+            return Err(format!("afterburner losses out of range: dry={dp_dry} wet={dp_wet}"));
+        }
+        if !(0.0..=1.0).contains(&eta_ab) {
+            return Err(format!("reheat efficiency {eta_ab} out of range"));
+        }
+        self.dp_dry = dp_dry;
+        self.dp_wet = dp_wet;
+        self.eta_ab = eta_ab;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn turbine_exit() -> GasState {
+        GasState::new(70.0, 900.0, 2.6e5, 0.02)
+    }
+
+    #[test]
+    fn dry_operation_is_a_friction_duct() {
+        let ab = AfterburnerDuct::new(0.01, 0.06, 0.92);
+        let inlet = turbine_exit();
+        let out = ab.operate(&inlet, 0.0).unwrap();
+        assert_eq!(out.tt, inlet.tt);
+        assert_eq!(out.w, inlet.w);
+        assert!((out.pt - inlet.pt * 0.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lit_operation_reheats_with_wet_loss() {
+        let ab = AfterburnerDuct::new(0.01, 0.06, 0.92);
+        let inlet = turbine_exit();
+        let out = ab.operate(&inlet, 0.8).unwrap();
+        assert!(out.tt > 1200.0, "reheat tt {}", out.tt);
+        assert!((out.w - inlet.w - 0.8).abs() < 1e-12);
+        assert!((out.pt - inlet.pt * 0.94).abs() < 1e-6, "wet loss applies");
+        assert!(out.far > inlet.far);
+    }
+
+    #[test]
+    fn unphysical_fuel_rejected() {
+        let ab = AfterburnerDuct::new(0.01, 0.06, 0.92);
+        assert!(ab.operate(&turbine_exit(), -0.1).is_err());
+        // Far beyond stoichiometric: the combustor model refuses.
+        assert!(ab.operate(&turbine_exit(), 10.0).is_err());
+    }
+}

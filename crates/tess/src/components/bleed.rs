@@ -1,7 +1,11 @@
 //! Bleed: extraction of a fraction of the flow (customer bleed, turbine
 //! cooling air).
 
+use crate::component::{
+    flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
 use crate::gas::GasState;
+use uts::{Type, Value};
 
 /// A bleed port extracting a fixed fraction of the incoming flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +28,38 @@ impl Bleed {
         let main = GasState::new(inlet.w - wb, inlet.tt, inlet.pt, inlet.far);
         let bleed = GasState::new(wb, inlet.tt, inlet.pt, inlet.far);
         (main, bleed)
+    }
+}
+
+impl EngineComponent for Bleed {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("bleed")
+            .port_in("in")
+            .port_out("out")
+            .input("flow", flow_type(), flow_value(&GasState::new(70.0, 800.0, 2.5e6, 0.0)))
+            .output("main flow", flow_type())
+            .output("bleed flow", flow_type())
+            .state_var("fraction", Type::Double)
+            .flops(15_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let (main, bleed) = self.extract(&flow);
+        Ok(vec![flow_value(&main), flow_value(&bleed)])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.fraction)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [f] = state_scalars::<1>(&state)?;
+        if !(0.0..1.0).contains(&f) {
+            return Err(format!("bleed fraction {f} out of range"));
+        }
+        self.fraction = f;
+        Ok(())
     }
 }
 

@@ -1,6 +1,10 @@
 //! Combustor: heat addition with combustion efficiency and pressure loss.
 
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
 use crate::gas::{temperature_from_enthalpy, GasState, FUEL_LHV};
+use uts::{Type, Value};
 
 /// A combustor burning kerosene-type fuel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,6 +16,10 @@ pub struct Combustor {
 }
 
 impl Combustor {
+    /// Installation path of the combustor's out-of-process packaging (the
+    /// paper's `npss-comb` executable).
+    pub const REMOTE_PATH: &'static str = "/npss/npss-comb";
+
     /// Build a combustor.
     pub fn new(eta: f64, dp_frac: f64) -> Self {
         Self { eta, dp_frac }
@@ -57,6 +65,43 @@ impl Combustor {
             }
         }
         Ok(0.5 * (lo + hi))
+    }
+}
+
+impl EngineComponent for Combustor {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("combustor")
+            .port_in("in")
+            .port_out("out")
+            .slider("efficiency", 0.8, 1.0, 0.995)
+            .slider("pressure loss", 0.0, 0.2, 0.05)
+            .input("flow", flow_type(), flow_value(&GasState::new(70.0, 800.0, 2.5e6, 0.0)))
+            .input("wf", Type::Double, Value::Double(1.5))
+            .output("flow out", flow_type())
+            .state_var("efficiency", Type::Double)
+            .state_var("pressure loss", Type::Double)
+            .flops(150_000.0)
+            .remote(Self::REMOTE_PATH)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let wf = arg_f64(args, 1, "wf")?;
+        Ok(vec![flow_value(&self.burn(&flow, wf)?)])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.eta), Value::Double(self.dp_frac)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [eta, dp] = state_scalars::<2>(&state)?;
+        if !(0.0..=1.0).contains(&eta) || !(0.0..1.0).contains(&dp) {
+            return Err(format!("combustor state out of range: eta={eta} dp={dp}"));
+        }
+        self.eta = eta;
+        self.dp_frac = dp;
+        Ok(())
     }
 }
 

@@ -1,8 +1,14 @@
 //! Compressor (fan / LPC / HPC): map-driven compression with variable
 //! stator geometry.
 
-use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, T_STD};
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
+use crate::gas::{
+    enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, P_STD, T_STD,
+};
 use crate::maps::CompressorMap;
+use uts::{Type, Value};
 
 /// A map-scheduled compressor.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,10 +79,59 @@ impl Compressor {
     }
 }
 
+impl EngineComponent for Compressor {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("compressor")
+            .port_in("in")
+            .port_out("out")
+            .file("performance map", "")
+            .input("flow", flow_type(), flow_value(&GasState::new(100.0, T_STD, P_STD, 0.0)))
+            .input("n rpm", Type::Double, Value::Double(10_000.0))
+            .input("beta", Type::Double, Value::Double(0.5))
+            .input("stator deg", Type::Double, Value::Double(0.0))
+            .output("exit flow", flow_type())
+            .output("power", Type::Double)
+            .output("wc map", Type::Double)
+            .output("pr", Type::Double)
+            .output("eff", Type::Double)
+            .output("nc", Type::Double)
+            .state_var("design rpm", Type::Double)
+            .flops(180_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let n_rpm = arg_f64(args, 1, "n rpm")?;
+        let beta = arg_f64(args, 2, "beta")?;
+        let stator = arg_f64(args, 3, "stator deg")?;
+        let r = self.operate(&flow, n_rpm, beta, stator)?;
+        Ok(vec![
+            flow_value(&r.exit),
+            Value::Double(r.power),
+            Value::Double(r.wc_map),
+            Value::Double(r.pr),
+            Value::Double(r.eff),
+            Value::Double(r.nc),
+        ])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.design_rpm)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [rpm] = state_scalars::<1>(&state)?;
+        if rpm <= 0.0 {
+            return Err(format!("design rpm {rpm} must be positive"));
+        }
+        self.design_rpm = rpm;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gas::{P_STD, T_STD};
 
     fn fan() -> Compressor {
         Compressor::new("fan", CompressorMap::synthetic("fan", 100.0, 3.0, 0.86), 10_000.0)

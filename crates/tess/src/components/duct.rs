@@ -1,6 +1,10 @@
 //! Duct: total-pressure loss and optional heat addition (afterburner).
 
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
 use crate::gas::{temperature_from_enthalpy, GasState};
+use uts::{Type, Value};
 
 /// A connecting duct with friction loss; with `q > 0` it doubles as a
 /// simple afterburner/heated duct model.
@@ -11,6 +15,10 @@ pub struct Duct {
 }
 
 impl Duct {
+    /// Installation path of the duct's out-of-process packaging (the
+    /// paper's `npss-duct` executable).
+    pub const REMOTE_PATH: &'static str = "/npss/npss-duct";
+
     /// Build a duct.
     pub fn new(dp_frac: f64) -> Self {
         Self { dp_frac }
@@ -25,6 +33,39 @@ impl Duct {
         let h = inlet.h() + q / inlet.w;
         let tt = temperature_from_enthalpy(h, inlet.far);
         GasState::new(inlet.w, tt, pt, inlet.far)
+    }
+}
+
+impl EngineComponent for Duct {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("duct")
+            .port_in("in")
+            .port_out("out")
+            .input("flow", flow_type(), flow_value(&GasState::new(40.0, 600.0, 8.0e5, 0.01)))
+            .input("q", Type::Double, Value::Double(0.0))
+            .output("flow out", flow_type())
+            .state_var("dp frac", Type::Double)
+            .flops(60_000.0)
+            .remote(Self::REMOTE_PATH)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let q = arg_f64(args, 1, "q")?;
+        Ok(vec![flow_value(&self.flow(&flow, q))])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.dp_frac)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [dp] = state_scalars::<1>(&state)?;
+        if !(0.0..1.0).contains(&dp) {
+            return Err(format!("dp frac {dp} out of range"));
+        }
+        self.dp_frac = dp;
+        Ok(())
     }
 }
 

@@ -1,6 +1,8 @@
 //! Inlet: ram compression and recovery.
 
-use crate::gas::{gamma, GasState};
+use crate::component::{arg_f64, flow_type, flow_value, ComponentSpec, EngineComponent};
+use crate::gas::{gamma, GasState, P_STD, T_STD};
+use uts::{Type, Value};
 
 /// An inlet with a (sub-unity) total-pressure ram recovery.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,10 +34,44 @@ impl Inlet {
     }
 }
 
+impl EngineComponent for Inlet {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("inlet")
+            .port_out("out")
+            .input("t amb", Type::Double, Value::Double(T_STD))
+            .input("p amb", Type::Double, Value::Double(P_STD))
+            .input("mach", Type::Double, Value::Double(0.0))
+            .input("w", Type::Double, Value::Double(100.0))
+            .output("flow", flow_type())
+            .state_var("ram recovery", Type::Double)
+            .flops(10_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let t_amb = arg_f64(args, 0, "t amb")?;
+        let p_amb = arg_f64(args, 1, "p amb")?;
+        let mach = arg_f64(args, 2, "mach")?;
+        let w = arg_f64(args, 3, "w")?;
+        Ok(vec![flow_value(&self.capture(t_amb, p_amb, mach, w))])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.ram_recovery)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [r] = crate::component::state_scalars::<1>(&state)?;
+        if !(0.0..=1.0).contains(&r) {
+            return Err(format!("ram recovery {r} out of range"));
+        }
+        self.ram_recovery = r;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gas::{P_STD, T_STD};
 
     #[test]
     fn static_capture_only_applies_recovery() {

@@ -1,7 +1,11 @@
 //! Mixing volume: inter-component plenum where streams merge and mass can
 //! be stored during transients.
 
+use crate::component::{
+    flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
 use crate::gas::{GasState, R_GAS};
+use uts::{Type, Value};
 
 /// A plenum joining two streams.
 ///
@@ -34,6 +38,41 @@ impl MixingVolume {
     /// imbalance between inflow and outflow, Pa/s.
     pub fn dpdt(&self, w_in: f64, w_out: f64, tt: f64) -> f64 {
         (w_in - w_out) * R_GAS * tt / self.volume
+    }
+}
+
+impl EngineComponent for MixingVolume {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("mixing volume")
+            .port_in("core")
+            .port_in("bypass")
+            .port_out("out")
+            .input("core flow", flow_type(), flow_value(&GasState::new(60.0, 900.0, 2.4e5, 0.02)))
+            .input("bypass flow", flow_type(), flow_value(&GasState::new(42.0, 390.0, 2.5e5, 0.0)))
+            .output("mixed flow", flow_type())
+            .state_var("volume", Type::Double)
+            .state_var("dp frac", Type::Double)
+            .flops(30_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let core = flow_from_value(args.first().ok_or("missing core flow argument")?)?;
+        let bypass = flow_from_value(args.get(1).ok_or("missing bypass flow argument")?)?;
+        Ok(vec![flow_value(&self.mix(&core, &bypass))])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.volume), Value::Double(self.dp_frac)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [volume, dp] = state_scalars::<2>(&state)?;
+        if volume <= 0.0 || !(0.0..1.0).contains(&dp) {
+            return Err(format!("mixing volume state out of range: V={volume} dp={dp}"));
+        }
+        self.volume = volume;
+        self.dp_frac = dp;
+        Ok(())
     }
 }
 

@@ -6,10 +6,12 @@
 //! HPC), splitter, duct, bleed, combustor, turbine (HPT/LPT), mixing
 //! volume, nozzle, and shaft.
 
+pub mod afterburner;
 pub mod bleed;
 pub mod combustor;
 pub mod compressor;
 pub mod duct;
+pub mod heat_exchanger;
 pub mod inlet;
 pub mod mixing_volume;
 pub mod nozzle;
@@ -18,10 +20,12 @@ pub mod splitter;
 pub mod stage_stack;
 pub mod turbine;
 
+pub use afterburner::AfterburnerDuct;
 pub use bleed::Bleed;
 pub use combustor::Combustor;
 pub use compressor::{Compressor, CompressorResult};
 pub use duct::Duct;
+pub use heat_exchanger::HeatExchanger;
 pub use inlet::Inlet;
 pub use mixing_volume::MixingVolume;
 pub use nozzle::{Nozzle, NozzleResult};

@@ -1,6 +1,10 @@
 //! Convergent exhaust nozzle: choking, thrust, and flow capacity.
 
-use crate::gas::{enthalpy, gamma, isentropic_temperature, GasState, R_GAS};
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
+use crate::gas::{enthalpy, gamma, isentropic_temperature, GasState, P_STD, R_GAS};
+use uts::{Type, Value};
 
 /// A convergent nozzle with (possibly variable) throat area.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +34,10 @@ pub struct NozzleResult {
 }
 
 impl Nozzle {
+    /// Installation path of the nozzle's out-of-process packaging (the
+    /// paper's `npss-nozl` executable).
+    pub const REMOTE_PATH: &'static str = "/npss/npss-nozl";
+
     /// Build a nozzle.
     pub fn new(area: f64, cd: f64, cv: f64) -> Self {
         Self { area, cd, cv }
@@ -92,10 +100,61 @@ impl Nozzle {
     }
 }
 
+impl EngineComponent for Nozzle {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("nozzle")
+            .port_in("in")
+            .port_out("out")
+            .slider("area scale", 0.5, 1.5, 1.0)
+            .input("flow", flow_type(), flow_value(&GasState::new(100.0, 900.0, 2.2e5, 0.02)))
+            .input("p amb", Type::Double, Value::Double(P_STD))
+            .input("area scale", Type::Double, Value::Double(1.0))
+            .output("w capacity", Type::Double)
+            .output("gross thrust", Type::Double)
+            .output("exit velocity", Type::Double)
+            .output("p exit", Type::Double)
+            .output("choked", Type::Boolean)
+            .state_var("area", Type::Double)
+            .state_var("cd", Type::Double)
+            .state_var("cv", Type::Double)
+            .flops(120_000.0)
+            .remote(Self::REMOTE_PATH)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let p_amb = arg_f64(args, 1, "p amb")?;
+        let scale = arg_f64(args, 2, "area scale")?;
+        let r = self.operate(&flow, p_amb, Some(self.area * scale))?;
+        Ok(vec![
+            Value::Double(r.w_capacity),
+            Value::Double(r.gross_thrust),
+            Value::Double(r.exit_velocity),
+            Value::Double(r.p_exit),
+            Value::Boolean(r.choked),
+        ])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.area), Value::Double(self.cd), Value::Double(self.cv)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [area, cd, cv] = state_scalars::<3>(&state)?;
+        if area <= 0.0 || !(0.0..=1.0).contains(&cd) || !(0.0..=1.0).contains(&cv) {
+            return Err(format!("nozzle state out of range: area={area} cd={cd} cv={cv}"));
+        }
+        self.area = area;
+        self.cd = cd;
+        self.cv = cv;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gas::{P_STD, T_STD};
+    use crate::gas::T_STD;
 
     fn mixer_out() -> GasState {
         GasState::new(100.0, 900.0, 2.2 * P_STD, 0.02)

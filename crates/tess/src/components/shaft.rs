@@ -14,6 +14,9 @@
 //! moment of inertia (the control panel's *moment inertia*, *spool speed*
 //! widgets).
 
+use crate::component::{arg_f64, state_scalars, ComponentSpec, EngineComponent};
+use uts::{Type, Value};
+
 /// A spool with rotational inertia.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Shaft {
@@ -26,6 +29,10 @@ pub struct Shaft {
 }
 
 impl Shaft {
+    /// Installation path of the shaft's out-of-process packaging (the
+    /// paper's `npss-shaft` executable).
+    pub const REMOTE_PATH: &'static str = "/npss/npss-shaft";
+
     /// Build a shaft.
     pub fn new(inertia: f64, design_rpm: f64, mech_eff: f64) -> Self {
         Self { inertia, design_rpm, mech_eff }
@@ -43,6 +50,55 @@ impl Shaft {
     /// Steady power-balance residual, normalized by compressor demand.
     pub fn balance_residual(&self, p_turb: f64, p_comp: f64) -> f64 {
         (self.mech_eff * p_turb - p_comp) / p_comp.abs().max(1.0)
+    }
+}
+
+impl EngineComponent for Shaft {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("shaft")
+            .port_in("comp")
+            .port_in("turb")
+            .port_out("out")
+            .dial("moment inertia", 0.5, 50.0, 9.0)
+            .dial("spool speed", 1000.0, 20_000.0, 10_000.0)
+            .dial("spool speed-op", 1000.0, 20_000.0, 10_000.0)
+            .input("n rpm", Type::Double, Value::Double(10_000.0))
+            .input("p turb", Type::Double, Value::Double(11.0e6))
+            .input("p comp", Type::Double, Value::Double(10.0e6))
+            .output("accel", Type::Double)
+            .state_var("moment inertia", Type::Double)
+            .state_var("design rpm", Type::Double)
+            .state_var("mech eff", Type::Double)
+            .flops(20_000.0)
+            .remote(Self::REMOTE_PATH)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let n_rpm = arg_f64(args, 0, "n rpm")?;
+        let p_turb = arg_f64(args, 1, "p turb")?;
+        let p_comp = arg_f64(args, 2, "p comp")?;
+        Ok(vec![Value::Double(self.accel_rpm_per_s(n_rpm, p_turb, p_comp))])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![
+            Value::Double(self.inertia),
+            Value::Double(self.design_rpm),
+            Value::Double(self.mech_eff),
+        ]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [inertia, design_rpm, mech_eff] = state_scalars::<3>(&state)?;
+        if inertia <= 0.0 || design_rpm <= 0.0 || !(0.0..=1.0).contains(&mech_eff) {
+            return Err(format!(
+                "shaft state out of range: inertia={inertia} rpm={design_rpm} eff={mech_eff}"
+            ));
+        }
+        self.inertia = inertia;
+        self.design_rpm = design_rpm;
+        self.mech_eff = mech_eff;
+        Ok(())
     }
 }
 

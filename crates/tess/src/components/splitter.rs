@@ -1,6 +1,10 @@
 //! Splitter: divides fan discharge into core and bypass streams.
 
+use crate::component::{
+    flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
 use crate::gas::GasState;
+use uts::{Type, Value};
 
 /// A flow splitter with a fixed bypass ratio (bypass flow / core flow).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +26,39 @@ impl Splitter {
         let core = GasState::new(core_w, inlet.tt, inlet.pt, inlet.far);
         let bypass = GasState::new(inlet.w - core_w, inlet.tt, inlet.pt, inlet.far);
         (core, bypass)
+    }
+}
+
+impl EngineComponent for Splitter {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("splitter")
+            .port_in("in")
+            .port_out("core")
+            .port_out("bypass")
+            .input("flow", flow_type(), flow_value(&GasState::new(102.0, 400.0, 3.0e5, 0.0)))
+            .output("core flow", flow_type())
+            .output("bypass flow", flow_type())
+            .state_var("bypass ratio", Type::Double)
+            .flops(15_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let (core, bypass) = self.split(&flow);
+        Ok(vec![flow_value(&core), flow_value(&bypass)])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.bypass_ratio)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [r] = state_scalars::<1>(&state)?;
+        if r < 0.0 {
+            return Err(format!("bypass ratio {r} must be non-negative"));
+        }
+        self.bypass_ratio = r;
+        Ok(())
     }
 }
 

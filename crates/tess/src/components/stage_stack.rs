@@ -10,9 +10,13 @@
 //! — the "essential data from a higher-level computation" the paper's
 //! zooming goal talks about.
 
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, ComponentSpec, EngineComponent,
+};
 use crate::gas::{
     enthalpy, isentropic_temperature, phi, temperature_from_enthalpy, GasState, R_GAS,
 };
+use uts::{Type, Value};
 
 /// One stage's resolved operating state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,6 +193,30 @@ impl StageStack {
             enthalpy(t_s, self.design_inlet.far) - enthalpy(first.tt_in, self.design_inlet.far);
         let dh_actual: f64 = states.iter().map(|s| s.dh).sum();
         (pr, dh_ideal / dh_actual)
+    }
+}
+
+impl EngineComponent for StageStack {
+    fn spec(&self) -> ComponentSpec {
+        ComponentSpec::new("stage stack")
+            .port_in("in")
+            .port_out("out")
+            .input("flow", flow_type(), flow_value(&self.design_inlet))
+            .input("work fraction", Type::Double, Value::Double(1.0))
+            .output("exit flow", flow_type())
+            .output("pr", Type::Double)
+            .output("eff", Type::Double)
+            .flops(600_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let work_fraction = arg_f64(args, 1, "work fraction")?;
+        let states = self.analyze(&flow, work_fraction)?;
+        let (pr, eff) = self.overall(&states);
+        let last = states.last().expect("at least one stage");
+        let exit = GasState::new(flow.w, last.tt_out, last.pt_out, flow.far);
+        Ok(vec![flow_value(&exit), Value::Double(pr), Value::Double(eff)])
     }
 }
 

@@ -1,7 +1,11 @@
 //! Turbine (HPT / LPT): map-driven expansion and work extraction.
 
+use crate::component::{
+    arg_f64, flow_from_value, flow_type, flow_value, state_scalars, ComponentSpec, EngineComponent,
+};
 use crate::gas::{enthalpy, isentropic_temperature, temperature_from_enthalpy, GasState, T_STD};
 use crate::maps::TurbineMap;
+use uts::{Type, Value};
 
 /// A map-scheduled turbine.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +60,55 @@ impl Turbine {
         let tt_out = temperature_from_enthalpy(h_out, inlet.far);
         let exit = GasState::new(inlet.w, tt_out, inlet.pt / er, inlet.far);
         Ok(TurbineResult { exit, power: inlet.w * dh, wc_map: point.wc, eff: point.eff, nc })
+    }
+}
+
+impl EngineComponent for Turbine {
+    fn spec(&self) -> ComponentSpec {
+        // Example speed puts the probe point at map corrected speed 1.0
+        // for the builtin 14 kRPM design at a 1600 K inlet.
+        let n_design = self.design_rpm * (1600.0f64 / T_STD).sqrt();
+        ComponentSpec::new("turbine")
+            .port_in("in")
+            .port_out("out")
+            .file("performance map", "")
+            .input("flow", flow_type(), flow_value(&GasState::new(70.0, 1600.0, 2.4e6, 0.025)))
+            .input("n rpm", Type::Double, Value::Double(n_design))
+            .input("er", Type::Double, Value::Double(3.2))
+            .output("exit flow", flow_type())
+            .output("power", Type::Double)
+            .output("wc map", Type::Double)
+            .output("eff", Type::Double)
+            .output("nc", Type::Double)
+            .state_var("design rpm", Type::Double)
+            .flops(180_000.0)
+    }
+
+    fn compute(&mut self, args: &[Value]) -> Result<Vec<Value>, String> {
+        let flow = flow_from_value(args.first().ok_or("missing flow argument")?)?;
+        let n_rpm = arg_f64(args, 1, "n rpm")?;
+        let er = arg_f64(args, 2, "er")?;
+        let r = self.operate(&flow, n_rpm, er)?;
+        Ok(vec![
+            flow_value(&r.exit),
+            Value::Double(r.power),
+            Value::Double(r.wc_map),
+            Value::Double(r.eff),
+            Value::Double(r.nc),
+        ])
+    }
+
+    fn get_state(&self) -> Vec<Value> {
+        vec![Value::Double(self.design_rpm)]
+    }
+
+    fn set_state(&mut self, state: Vec<Value>) -> Result<(), String> {
+        let [rpm] = state_scalars::<1>(&state)?;
+        if rpm <= 0.0 {
+            return Err(format!("design rpm {rpm} must be positive"));
+        }
+        self.design_rpm = rpm;
+        Ok(())
     }
 }
 

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod atmosphere;
+pub mod component;
 pub mod components;
 pub mod design;
 pub mod engine;
@@ -53,6 +54,9 @@ pub mod schedules;
 pub mod solver;
 pub mod transient;
 
+pub use component::{
+    assert_component_contract, ComponentFactory, ComponentRegistry, ComponentSpec, EngineComponent,
+};
 pub use design::{CycleDesign, DesignPoint};
 pub use engine::{BalanceReport, OperatingPoint, SteadyMethod, Turbofan};
 pub use gas::GasState;

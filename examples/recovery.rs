@@ -150,7 +150,7 @@ fn table2_engine(sch: &Schooner) -> Result<ExecutiveEngine, Box<dyn std::error::
 }
 
 fn vnow(exec: &mut ExecutiveEngine) -> f64 {
-    match &mut exec.bypass_duct {
+    match exec.exec_mut("bypass duct").expect("known slot") {
         Exec::Remote(r) => r.line_mut().now(),
         Exec::Local(_) => unreachable!("table2 places the bypass duct remotely"),
     }

@@ -1,0 +1,45 @@
+//! The ledger's typed error.
+
+use std::fmt;
+
+/// Why a journal could not be written or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// An I/O failure (message carries the `std::io::Error` rendering).
+    Io(String),
+    /// The journal holds bytes that can never have been a well-formed
+    /// record: a bad header, a CRC mismatch on a *complete* frame, a
+    /// sequence discontinuity, or an undecodable record body. `offset`
+    /// is the byte position of the offending frame (or field).
+    ///
+    /// Note the deliberate asymmetry with torn writes: a **truncated
+    /// final frame** — the expected residue of a crash mid-append — is
+    /// *not* an error; replay discards it and reports the tail length
+    /// in [`crate::Replay::torn_bytes`]. `Corrupt` means the file was
+    /// damaged in a way a single interrupted append cannot explain.
+    Corrupt {
+        /// Byte offset of the frame (or header field) that failed.
+        offset: u64,
+        /// What check failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(m) => write!(f, "ledger i/o: {m}"),
+            LedgerError::Corrupt { offset, reason } => {
+                write!(f, "ledger corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io(e.to_string())
+    }
+}

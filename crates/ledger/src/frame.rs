@@ -1,0 +1,190 @@
+//! On-disk framing: file header, frame header, CRC-32.
+//!
+//! A journal file is:
+//!
+//! ```text
+//! [8-byte magic "NPSSLEDG"] [u32 BE version]          -- file header
+//! [u32 BE len] [u32 BE crc32(body)] [body: len bytes] -- frame 0
+//! [u32 BE len] [u32 BE crc32(body)] [body: len bytes] -- frame 1
+//! ...
+//! ```
+//!
+//! All integers are big-endian. `len` counts the body only. The framing
+//! distinguishes two failure classes on read:
+//!
+//! * **torn** — the file ends before a frame completes (fewer than 8
+//!   header bytes remain, or fewer than `len` body bytes). This is what
+//!   a crash mid-append leaves behind; the reader discards the tail.
+//! * **corrupt** — a frame is complete but its CRC does not match the
+//!   body. An interrupted append cannot produce this (the CRC is
+//!   computed before any byte is written), so it is a typed error.
+
+use crate::error::LedgerError;
+
+/// File magic: identifies a ledger journal.
+pub const MAGIC: &[u8; 8] = b"NPSSLEDG";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Bytes in the file header (magic + version).
+pub const FILE_HEADER_LEN: usize = MAGIC.len() + 4;
+/// Bytes in each frame header (len + crc).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the same checksum zlib
+/// and PNG use. Implemented bitwise — frame bodies are small and this
+/// crate takes no dependencies.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encode the file header.
+pub fn file_header() -> Vec<u8> {
+    let mut out = Vec::with_capacity(FILE_HEADER_LEN);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out
+}
+
+/// Validate the file header at the start of `bytes`; returns the offset
+/// of the first frame.
+pub fn check_file_header(bytes: &[u8]) -> Result<usize, LedgerError> {
+    if bytes.len() < FILE_HEADER_LEN {
+        return Err(LedgerError::Corrupt {
+            offset: 0,
+            reason: format!("file header truncated: {} bytes, need {FILE_HEADER_LEN}", bytes.len()),
+        });
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(LedgerError::Corrupt { offset: 0, reason: "bad magic".into() });
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[MAGIC.len()..FILE_HEADER_LEN]);
+    let version = u32::from_be_bytes(v);
+    if version != VERSION {
+        return Err(LedgerError::Corrupt {
+            offset: MAGIC.len() as u64,
+            reason: format!("unsupported journal version {version} (expected {VERSION})"),
+        });
+    }
+    Ok(FILE_HEADER_LEN)
+}
+
+/// Frame one body: `[len][crc][body]`.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(body).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Outcome of reading one frame at `offset`.
+pub enum FrameRead<'a> {
+    /// A complete, CRC-valid frame; `next` is the offset after it.
+    Ok { body: &'a [u8], next: usize },
+    /// The file ends here — no more bytes at all.
+    End,
+    /// The file ends mid-frame: `tail` bytes of a torn final record.
+    Torn { tail: usize },
+}
+
+/// Read the frame starting at `offset`; CRC mismatch on a complete
+/// frame is `Err(Corrupt)`.
+pub fn read_frame(bytes: &[u8], offset: usize) -> Result<FrameRead<'_>, LedgerError> {
+    let remaining = bytes.len() - offset;
+    if remaining == 0 {
+        return Ok(FrameRead::End);
+    }
+    if remaining < FRAME_HEADER_LEN {
+        return Ok(FrameRead::Torn { tail: remaining });
+    }
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[offset..offset + 4]);
+    let len = u32::from_be_bytes(word) as usize;
+    word.copy_from_slice(&bytes[offset + 4..offset + 8]);
+    let crc_stored = u32::from_be_bytes(word);
+    if remaining < FRAME_HEADER_LEN + len {
+        return Ok(FrameRead::Torn { tail: remaining });
+    }
+    let body = &bytes[offset + FRAME_HEADER_LEN..offset + FRAME_HEADER_LEN + len];
+    let crc_actual = crc32(body);
+    if crc_actual != crc_stored {
+        return Err(LedgerError::Corrupt {
+            offset: offset as u64,
+            reason: format!(
+                "frame CRC mismatch (stored {crc_stored:08x}, computed {crc_actual:08x})"
+            ),
+        });
+    }
+    Ok(FrameRead::Ok { body, next: offset + FRAME_HEADER_LEN + len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let body = b"hello frames";
+        let mut file = file_header();
+        file.extend_from_slice(&encode_frame(body));
+        let first = check_file_header(&file).unwrap();
+        match read_frame(&file, first).unwrap() {
+            FrameRead::Ok { body: b, next } => {
+                assert_eq!(b, body);
+                assert_eq!(next, file.len());
+                assert!(matches!(read_frame(&file, next).unwrap(), FrameRead::End));
+            }
+            _ => panic!("expected a complete frame"),
+        }
+    }
+
+    #[test]
+    fn torn_and_corrupt_are_distinguished() {
+        let mut file = file_header();
+        file.extend_from_slice(&encode_frame(b"payload"));
+        let first = check_file_header(&file).unwrap();
+
+        // Truncated body: torn, not corrupt.
+        let torn = &file[..file.len() - 3];
+        assert!(matches!(read_frame(torn, first).unwrap(), FrameRead::Torn { .. }));
+
+        // Truncated header: torn.
+        let torn_hdr = &file[..first + 5];
+        assert!(matches!(read_frame(torn_hdr, first).unwrap(), FrameRead::Torn { tail: 5 }));
+
+        // Complete frame with a flipped body byte: corrupt.
+        let mut bad = file.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(read_frame(&bad, first), Err(LedgerError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn header_is_checked() {
+        assert!(check_file_header(b"short").is_err());
+        let mut bad = file_header();
+        bad[0] ^= 0xFF;
+        assert!(check_file_header(&bad).is_err());
+        let mut wrong_version = file_header();
+        let n = wrong_version.len();
+        wrong_version[n - 1] = 99;
+        assert!(check_file_header(&wrong_version).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! The journal writer, the replay reader, and the attach-once handle.
+
+use crate::error::LedgerError;
+use crate::frame::{self, FrameRead};
+use crate::record::{self, Record, RecordKind};
+use crate::sequencer::Sequencer;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An open journal: append-only writer over one file.
+///
+/// Cloning is cheap and shares the underlying file and sequencer, so
+/// many subsystems (obs sink, Manager, executive) can append to one
+/// journal; the internal mutex serializes appends so frames never
+/// interleave. Each append writes its complete frame in a single
+/// `write_all`, so the only partial frame a crash can leave is the
+/// final one — exactly the torn-tail case replay discards.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<JournalInner>>,
+    path: Arc<PathBuf>,
+}
+
+struct JournalInner {
+    file: File,
+    seq: Sequencer,
+}
+
+impl Journal {
+    /// Create (truncate) a fresh journal at `path`.
+    pub fn create(path: &Path) -> Result<Self, LedgerError> {
+        let mut file = File::create(path)?;
+        file.write_all(&frame::file_header())?;
+        Ok(Self {
+            inner: Arc::new(Mutex::new(JournalInner { file, seq: Sequencer::new() })),
+            path: Arc::new(path.to_path_buf()),
+        })
+    }
+
+    /// Open an existing journal for appending: replays it (validating
+    /// every frame), discards a torn tail by truncating the file back
+    /// to its last complete record, and resumes the sequencer.
+    pub fn open_append(path: &Path) -> Result<(Self, Replay), LedgerError> {
+        let replayed = replay(path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        if replayed.torn_bytes > 0 {
+            file.set_len(replayed.bytes_valid)?;
+        }
+        let (last_seq, last_t) = replayed.records.last().map_or((0, 0.0), |r| (r.seq, r.t));
+        let journal = Self {
+            inner: Arc::new(Mutex::new(JournalInner {
+                file,
+                seq: Sequencer::resuming(last_seq, last_t),
+            })),
+            path: Arc::new(path.to_path_buf()),
+        };
+        Ok((journal, replayed))
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record stamped with producer time `t`; returns the
+    /// assigned sequence id.
+    pub fn append(&self, t: f64, kind: RecordKind) -> Result<u64, LedgerError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (seq, t) = inner.seq.assign(t);
+        let body = record::encode_body(&Record { seq, t, kind });
+        let framed = frame::encode_frame(&body);
+        inner.file.write_all(&framed)?;
+        Ok(seq)
+    }
+
+    /// The most recently assigned sequence id (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).seq.last_seq()
+    }
+
+    /// Force the journal to stable storage (`fsync`).
+    pub fn sync(&self) -> Result<(), LedgerError> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Every complete, CRC-valid record, in sequence order.
+    pub records: Vec<Record>,
+    /// Bytes of a torn (truncated mid-write) final record that were
+    /// discarded; 0 for a cleanly closed journal.
+    pub torn_bytes: u64,
+    /// File length up to and including the last complete record.
+    pub bytes_valid: u64,
+}
+
+/// Replay a journal file into records.
+///
+/// * A **torn final record** — the file ends before the last frame
+///   completes — is discarded and reported via [`Replay::torn_bytes`];
+///   this is the normal residue of a crash mid-append.
+/// * A **complete frame with a CRC mismatch**, a bad header, an
+///   undecodable body, or a **sequence discontinuity** is
+///   [`LedgerError::Corrupt`]: damage no single interrupted append can
+///   explain.
+pub fn replay(path: &Path) -> Result<Replay, LedgerError> {
+    let bytes = std::fs::read(path)?;
+    let mut offset = frame::check_file_header(&bytes)?;
+    let mut records: Vec<Record> = Vec::new();
+    let mut torn_bytes = 0u64;
+    loop {
+        match frame::read_frame(&bytes, offset)? {
+            FrameRead::End => break,
+            FrameRead::Torn { tail } => {
+                torn_bytes = tail as u64;
+                break;
+            }
+            FrameRead::Ok { body, next } => {
+                let rec = record::decode_body(body, offset as u64)?;
+                let expected = records.last().map_or(1, |r| r.seq + 1);
+                if rec.seq != expected {
+                    return Err(LedgerError::Corrupt {
+                        offset: offset as u64,
+                        reason: format!(
+                            "sequence discontinuity: expected {expected}, found {}",
+                            rec.seq
+                        ),
+                    });
+                }
+                records.push(rec);
+                offset = next;
+            }
+        }
+    }
+    Ok(Replay { records, torn_bytes, bytes_valid: offset as u64 })
+}
+
+/// A cloneable, attach-once handle to a journal.
+///
+/// Subsystems hold a `LedgerHandle` unconditionally; until a journal
+/// is attached every append is a no-op, so the ledger costs nothing in
+/// worlds that never configure one. Attachment happens at most once
+/// per handle (per world); appends after attachment are best-effort —
+/// an I/O failure mid-run must not take the simulation down with it,
+/// so `append` reports success by `Some(seq)` rather than panicking.
+#[derive(Clone, Default)]
+pub struct LedgerHandle {
+    journal: Arc<OnceLock<Journal>>,
+}
+
+impl LedgerHandle {
+    /// A fresh, unattached handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a journal; fails if this handle already has one.
+    pub fn attach(&self, journal: Journal) -> Result<(), LedgerError> {
+        self.journal
+            .set(journal)
+            .map_err(|_| LedgerError::Io("a journal is already attached".into()))
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.get()
+    }
+
+    /// Whether a journal is attached.
+    pub fn is_attached(&self) -> bool {
+        self.journal.get().is_some()
+    }
+
+    /// Append if attached; `None` when unattached or on I/O failure.
+    pub fn append(&self, t: f64, kind: RecordKind) -> Option<u64> {
+        self.journal.get().and_then(|j| j.append(t, kind).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ledger-journal-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("round");
+        let j = Journal::create(&path).unwrap();
+        assert_eq!(j.append(1.0, RecordKind::Note { text: "a".into() }).unwrap(), 1);
+        assert_eq!(j.append(2.0, RecordKind::Note { text: "b".into() }).unwrap(), 2);
+        assert_eq!(j.last_seq(), 2);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.torn_bytes, 0);
+        assert_eq!(replayed.records[0].seq, 1);
+        assert_eq!(replayed.records[1].t, 2.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_resumes_sequence_and_truncates_torn_tail() {
+        let path = tmp("resume");
+        let j = Journal::create(&path).unwrap();
+        j.append(1.0, RecordKind::Note { text: "kept".into() }).unwrap();
+        j.append(2.0, RecordKind::Note { text: "also kept".into() }).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: chop 3 bytes into a new frame.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (j, replayed) = Journal::open_append(&path).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.torn_bytes, 3);
+        assert_eq!(j.append(3.0, RecordKind::Note { text: "after".into() }).unwrap(), 3);
+        let again = replay(&path).unwrap();
+        assert_eq!(again.records.len(), 3);
+        assert_eq!(again.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn handle_is_noop_until_attached_and_attaches_once() {
+        let h = LedgerHandle::new();
+        assert!(!h.is_attached());
+        assert_eq!(h.append(0.0, RecordKind::Note { text: "dropped".into() }), None);
+
+        let path = tmp("handle");
+        h.attach(Journal::create(&path).unwrap()).unwrap();
+        assert!(h.is_attached());
+        assert_eq!(h.append(0.0, RecordKind::Note { text: "kept".into() }), Some(1));
+        assert!(h.attach(Journal::create(&path).unwrap()).is_err());
+        // The clone shares the attachment.
+        let h2 = h.clone();
+        assert_eq!(h2.append(0.0, RecordKind::Note { text: "kept too".into() }), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! # ledger — the durable event ledger
+//!
+//! The NPSS executive of the paper assumes a long-lived Manager
+//! coordinating simulations across unreliable hosts. Everything the
+//! Manager knows — checkpoints, supervision verdicts, observability
+//! events, metrics — used to live in memory, so a Manager crash erased
+//! the very state that made the *rest* of the world fault-tolerant.
+//! This crate gives that state a life outside any single process: an
+//! **append-only, CRC-framed, strictly-sequenced journal** on disk.
+//!
+//! The pieces:
+//!
+//! * [`frame`] — the on-disk framing: a fixed file header followed by
+//!   `[len][crc32][body]` frames. A torn final frame (crash mid-write)
+//!   is detected and cleanly discarded on replay; a *complete* frame
+//!   whose CRC fails is a typed [`LedgerError::Corrupt`].
+//! * [`Sequencer`] — assigns strictly increasing record ids and clamps
+//!   virtual timestamps to be monotone non-decreasing.
+//! * [`Journal`] — the writer: every append frames one [`Record`] and
+//!   pushes it to the OS immediately (no userspace buffering), so the
+//!   journal is as fresh as the last completed syscall.
+//! * [`replay`] / [`Repository`] / [`Query`] — the readers: scan a
+//!   journal back into records, then answer range queries,
+//!   latest-checkpoint-per-path, retained-checkpoint sets (respecting
+//!   journaled evictions), and metrics as of a sequence point.
+//! * [`LedgerHandle`] — a cloneable attach-once handle that subsystems
+//!   hold whether or not a journal is configured; appends through an
+//!   unattached handle are no-ops, so journaling stays zero-setup for
+//!   worlds that do not want it.
+//!
+//! The crate is deliberately dependency-free (std only) and knows
+//! nothing about Schooner or the engine: payloads it cannot interpret
+//! (obs events, UTS-encoded checkpoint state) ride through as opaque
+//! bytes, and the crates that produced them decode them on the way out.
+
+pub mod error;
+pub mod frame;
+pub mod journal;
+pub mod query;
+pub mod record;
+pub mod repository;
+pub mod sequencer;
+
+pub use error::LedgerError;
+pub use journal::{replay, Journal, LedgerHandle, Replay};
+pub use query::Query;
+pub use record::{CheckpointRec, Record, RecordKind, RecordTag};
+pub use repository::Repository;
+pub use sequencer::Sequencer;

@@ -1,0 +1,80 @@
+//! Range/kind queries over a replayed journal.
+
+use crate::record::{Record, RecordTag};
+
+/// A filter over journal records: an inclusive sequence range and an
+/// optional set of record tags.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Lowest sequence id to include (0 = from the start).
+    pub from_seq: u64,
+    /// Highest sequence id to include (`None` = to the end).
+    pub to_seq: Option<u64>,
+    /// Tags to include (`None` = all kinds).
+    pub tags: Option<Vec<RecordTag>>,
+}
+
+impl Query {
+    /// Everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to records with `seq >= from`.
+    pub fn from(mut self, from: u64) -> Self {
+        self.from_seq = from;
+        self
+    }
+
+    /// Restrict to records with `seq <= to`.
+    pub fn to(mut self, to: u64) -> Self {
+        self.to_seq = Some(to);
+        self
+    }
+
+    /// Restrict to one more record kind (additive).
+    pub fn tag(mut self, tag: RecordTag) -> Self {
+        self.tags.get_or_insert_with(Vec::new).push(tag);
+        self
+    }
+
+    /// Does `rec` pass this filter?
+    pub fn matches(&self, rec: &Record) -> bool {
+        if rec.seq < self.from_seq {
+            return false;
+        }
+        if let Some(to) = self.to_seq {
+            if rec.seq > to {
+                return false;
+            }
+        }
+        match &self.tags {
+            None => true,
+            Some(tags) => tags.contains(&rec.kind.tag()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    fn rec(seq: u64, kind: RecordKind) -> Record {
+        Record { seq, t: seq as f64, kind }
+    }
+
+    #[test]
+    fn range_and_tag_filters_compose() {
+        let note = rec(5, RecordKind::Note { text: "n".into() });
+        let sample = rec(6, RecordKind::Sample { values: vec![1.0] });
+
+        assert!(Query::all().matches(&note));
+        assert!(!Query::all().from(6).matches(&note));
+        assert!(!Query::all().to(5).matches(&sample));
+        assert!(Query::all().from(5).to(6).matches(&sample));
+        assert!(Query::all().tag(RecordTag::Note).matches(&note));
+        assert!(!Query::all().tag(RecordTag::Note).matches(&sample));
+        assert!(Query::all().tag(RecordTag::Note).tag(RecordTag::Sample).matches(&sample));
+    }
+}

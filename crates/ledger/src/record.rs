@@ -1,0 +1,463 @@
+//! Ledger records: what the journal holds, and their binary bodies.
+//!
+//! A frame body is:
+//!
+//! ```text
+//! [u64 BE seq] [u64 BE t-bits] [u8 tag] [tag-specific fields]
+//! ```
+//!
+//! where `t-bits` is the virtual timestamp as IEEE-754 bits (exact
+//! round trip, no formatting). Variable-length fields are
+//! length-prefixed (`u32 BE`); `f64` sequences are stored as bit
+//! patterns so replayed numerics are bit-identical to the live run.
+//!
+//! The ledger does not interpret [`RecordKind::Event`] payloads or
+//! checkpoint `state` blobs — those are produced (and decoded) by the
+//! subsystems that own them. Everything else is self-describing.
+
+use crate::error::LedgerError;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Strictly increasing id, starting at 1, no gaps.
+    pub seq: u64,
+    /// Virtual timestamp assigned at append (monotone non-decreasing).
+    pub t: f64,
+    /// The payload.
+    pub kind: RecordKind,
+}
+
+/// Discriminates record kinds without carrying their payloads — the
+/// query API filters on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordTag {
+    /// An observability event ([`RecordKind::Event`]).
+    Event,
+    /// A checkpoint blob write ([`RecordKind::Checkpoint`]).
+    Checkpoint,
+    /// A retention eviction ([`RecordKind::CheckpointEvicted`]).
+    CheckpointEvicted,
+    /// A supervision verdict ([`RecordKind::Verdict`]).
+    Verdict,
+    /// A metrics registry snapshot ([`RecordKind::MetricsSnapshot`]).
+    MetricsSnapshot,
+    /// A transient checkpoint barrier ([`RecordKind::Barrier`]).
+    Barrier,
+    /// A transient sample ([`RecordKind::Sample`]).
+    Sample,
+    /// A transient rollback ([`RecordKind::Rollback`]).
+    Rollback,
+    /// Free-form annotation ([`RecordKind::Note`]).
+    Note,
+}
+
+/// The payload of one record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// An observability event, pre-encoded by its producer (the obs
+    /// layer's own codec); opaque to the ledger.
+    Event {
+        /// The encoded event.
+        payload: Vec<u8>,
+    },
+    /// A `CheckpointStore` write: the Manager captured a remote
+    /// process's `state(...)` variables.
+    Checkpoint {
+        /// Line that owns the process.
+        line: u64,
+        /// Program path of the checkpointed executable.
+        path: String,
+        /// Incarnation of the process the state came from.
+        incarnation: u64,
+        /// Virtual time the snapshot was taken.
+        taken_at: f64,
+        /// Architecture-neutral (UTS wire v2) state blob.
+        state: Vec<u8>,
+    },
+    /// Retention evicted the oldest checkpoint for a key; replaying
+    /// these alongside `Checkpoint` records reproduces the live
+    /// store's retained set exactly.
+    CheckpointEvicted {
+        /// Line of the evicted snapshot.
+        line: u64,
+        /// Program path of the evicted snapshot.
+        path: String,
+        /// `taken_at` of the evicted snapshot (identifies it uniquely
+        /// within its key, since snapshot times strictly increase).
+        taken_at: f64,
+    },
+    /// A supervision verdict over a process.
+    Verdict {
+        /// The process address ("host:pid" rendering).
+        addr: String,
+        /// Its incarnation.
+        incarnation: u64,
+        /// What supervision decided ("dead", "escalated", …).
+        verdict: String,
+    },
+    /// A deterministic `MetricsRegistry` snapshot (the same JSON the
+    /// live registry renders).
+    MetricsSnapshot {
+        /// `snapshot_json()` output at this sequence point.
+        json: String,
+    },
+    /// A transient checkpoint barrier: the executive's resume state.
+    Barrier {
+        /// Solver step the barrier sits at.
+        step: u64,
+        /// Engine time at the barrier.
+        t_engine: f64,
+        /// Samples accumulated so far (resume truncates to this).
+        samples_len: u64,
+        /// Engine resume state: `[n1, n2, inner0..inner4]`.
+        state: Vec<f64>,
+    },
+    /// One accepted transient sample `[t, n1, n2, wf, thrust, t4, w2]`.
+    Sample {
+        /// The sample row, bit-exact.
+        values: Vec<f64>,
+    },
+    /// The transient rolled back to its latest barrier.
+    Rollback {
+        /// The step that failed.
+        step: u64,
+        /// Engine time rolled back to.
+        t_engine: f64,
+        /// Sample count after truncation.
+        samples_len: u64,
+    },
+    /// Free-form annotation.
+    Note {
+        /// The text.
+        text: String,
+    },
+}
+
+impl RecordKind {
+    /// This payload's tag.
+    pub fn tag(&self) -> RecordTag {
+        match self {
+            RecordKind::Event { .. } => RecordTag::Event,
+            RecordKind::Checkpoint { .. } => RecordTag::Checkpoint,
+            RecordKind::CheckpointEvicted { .. } => RecordTag::CheckpointEvicted,
+            RecordKind::Verdict { .. } => RecordTag::Verdict,
+            RecordKind::MetricsSnapshot { .. } => RecordTag::MetricsSnapshot,
+            RecordKind::Barrier { .. } => RecordTag::Barrier,
+            RecordKind::Sample { .. } => RecordTag::Sample,
+            RecordKind::Rollback { .. } => RecordTag::Rollback,
+            RecordKind::Note { .. } => RecordTag::Note,
+        }
+    }
+}
+
+/// A borrowed view of one checkpoint record, as returned by the
+/// repository's checkpoint queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRec<'a> {
+    /// Sequence id of the journal record.
+    pub seq: u64,
+    /// Line that owns the process.
+    pub line: u64,
+    /// Program path.
+    pub path: &'a str,
+    /// Incarnation the state came from.
+    pub incarnation: u64,
+    /// Virtual time the snapshot was taken.
+    pub taken_at: f64,
+    /// The state blob.
+    pub state: &'a [u8],
+}
+
+const TAG_EVENT: u8 = 1;
+const TAG_CHECKPOINT: u8 = 2;
+const TAG_CHECKPOINT_EVICTED: u8 = 3;
+const TAG_VERDICT: u8 = 4;
+const TAG_METRICS_SNAPSHOT: u8 = 5;
+const TAG_BARRIER: u8 = 6;
+const TAG_SAMPLE: u8 = 7;
+const TAG_ROLLBACK: u8 = 8;
+const TAG_NOTE: u8 = 9;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.extend_from_slice(&(xs.len() as u32).to_be_bytes());
+    for &x in xs {
+        put_f64(out, x);
+    }
+}
+
+/// Encode one record as a frame body.
+pub fn encode_body(rec: &Record) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, rec.seq);
+    put_f64(&mut out, rec.t);
+    match &rec.kind {
+        RecordKind::Event { payload } => {
+            out.push(TAG_EVENT);
+            put_bytes(&mut out, payload);
+        }
+        RecordKind::Checkpoint { line, path, incarnation, taken_at, state } => {
+            out.push(TAG_CHECKPOINT);
+            put_u64(&mut out, *line);
+            put_str(&mut out, path);
+            put_u64(&mut out, *incarnation);
+            put_f64(&mut out, *taken_at);
+            put_bytes(&mut out, state);
+        }
+        RecordKind::CheckpointEvicted { line, path, taken_at } => {
+            out.push(TAG_CHECKPOINT_EVICTED);
+            put_u64(&mut out, *line);
+            put_str(&mut out, path);
+            put_f64(&mut out, *taken_at);
+        }
+        RecordKind::Verdict { addr, incarnation, verdict } => {
+            out.push(TAG_VERDICT);
+            put_str(&mut out, addr);
+            put_u64(&mut out, *incarnation);
+            put_str(&mut out, verdict);
+        }
+        RecordKind::MetricsSnapshot { json } => {
+            out.push(TAG_METRICS_SNAPSHOT);
+            put_str(&mut out, json);
+        }
+        RecordKind::Barrier { step, t_engine, samples_len, state } => {
+            out.push(TAG_BARRIER);
+            put_u64(&mut out, *step);
+            put_f64(&mut out, *t_engine);
+            put_u64(&mut out, *samples_len);
+            put_f64s(&mut out, state);
+        }
+        RecordKind::Sample { values } => {
+            out.push(TAG_SAMPLE);
+            put_f64s(&mut out, values);
+        }
+        RecordKind::Rollback { step, t_engine, samples_len } => {
+            out.push(TAG_ROLLBACK);
+            put_u64(&mut out, *step);
+            put_f64(&mut out, *t_engine);
+            put_u64(&mut out, *samples_len);
+        }
+        RecordKind::Note { text } => {
+            out.push(TAG_NOTE);
+            put_str(&mut out, text);
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    frame_offset: u64,
+}
+
+impl<'a> Reader<'a> {
+    fn corrupt(&self, what: &str) -> LedgerError {
+        LedgerError::Corrupt {
+            offset: self.frame_offset,
+            reason: format!("record body truncated reading {what}"),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], LedgerError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(self.corrupt(what));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, LedgerError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, LedgerError> {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(self.take(4, what)?);
+        Ok(u32::from_be_bytes(w))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, LedgerError> {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(self.take(8, what)?);
+        Ok(u64::from_be_bytes(w))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, LedgerError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, LedgerError> {
+        let n = self.u32(what)? as usize;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, LedgerError> {
+        let raw = self.bytes(what)?;
+        String::from_utf8(raw).map_err(|_| LedgerError::Corrupt {
+            offset: self.frame_offset,
+            reason: format!("invalid UTF-8 in {what}"),
+        })
+    }
+
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, LedgerError> {
+        let n = self.u32(what)? as usize;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Decode one frame body back into a record. `frame_offset` is the
+/// byte position of the frame in the file, for error reporting.
+pub fn decode_body(body: &[u8], frame_offset: u64) -> Result<Record, LedgerError> {
+    let mut r = Reader { bytes: body, pos: 0, frame_offset };
+    let seq = r.u64("seq")?;
+    let t = r.f64("t")?;
+    let tag = r.u8("tag")?;
+    let kind = match tag {
+        TAG_EVENT => RecordKind::Event { payload: r.bytes("event payload")? },
+        TAG_CHECKPOINT => RecordKind::Checkpoint {
+            line: r.u64("checkpoint line")?,
+            path: r.str("checkpoint path")?,
+            incarnation: r.u64("checkpoint incarnation")?,
+            taken_at: r.f64("checkpoint taken_at")?,
+            state: r.bytes("checkpoint state")?,
+        },
+        TAG_CHECKPOINT_EVICTED => RecordKind::CheckpointEvicted {
+            line: r.u64("eviction line")?,
+            path: r.str("eviction path")?,
+            taken_at: r.f64("eviction taken_at")?,
+        },
+        TAG_VERDICT => RecordKind::Verdict {
+            addr: r.str("verdict addr")?,
+            incarnation: r.u64("verdict incarnation")?,
+            verdict: r.str("verdict text")?,
+        },
+        TAG_METRICS_SNAPSHOT => RecordKind::MetricsSnapshot { json: r.str("metrics json")? },
+        TAG_BARRIER => RecordKind::Barrier {
+            step: r.u64("barrier step")?,
+            t_engine: r.f64("barrier t")?,
+            samples_len: r.u64("barrier samples_len")?,
+            state: r.f64s("barrier state")?,
+        },
+        TAG_SAMPLE => RecordKind::Sample { values: r.f64s("sample values")? },
+        TAG_ROLLBACK => RecordKind::Rollback {
+            step: r.u64("rollback step")?,
+            t_engine: r.f64("rollback t")?,
+            samples_len: r.u64("rollback samples_len")?,
+        },
+        TAG_NOTE => RecordKind::Note { text: r.str("note text")? },
+        other => {
+            return Err(LedgerError::Corrupt {
+                offset: frame_offset,
+                reason: format!("unknown record tag {other}"),
+            })
+        }
+    };
+    if r.pos != body.len() {
+        return Err(LedgerError::Corrupt {
+            offset: frame_offset,
+            reason: format!("{} trailing bytes after record body", body.len() - r.pos),
+        });
+    }
+    Ok(Record { seq, t, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<RecordKind> {
+        vec![
+            RecordKind::Event { payload: vec![1, 2, 3, 255] },
+            RecordKind::Checkpoint {
+                line: 7,
+                path: "/npss/modules/shaft".into(),
+                incarnation: 3,
+                taken_at: 12.5,
+                state: vec![0xDE, 0xAD],
+            },
+            RecordKind::CheckpointEvicted {
+                line: 7,
+                path: "/npss/modules/shaft".into(),
+                taken_at: 4.25,
+            },
+            RecordKind::Verdict {
+                addr: "lerc-cray-ymp:12".into(),
+                incarnation: 2,
+                verdict: "dead".into(),
+            },
+            RecordKind::MetricsSnapshot { json: "{\"counters\":{}}".into() },
+            RecordKind::Barrier {
+                step: 10,
+                t_engine: 0.2,
+                samples_len: 11,
+                state: vec![1.0, -2.5, 0.1, 0.2, 0.3, 0.4, 0.5],
+            },
+            RecordKind::Sample { values: vec![0.02, 9000.0, 12000.0, 1.25, 65000.0, 1600.0, 90.0] },
+            RecordKind::Rollback { step: 11, t_engine: 0.2, samples_len: 11 },
+            RecordKind::Note { text: "hello, journal".into() },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for (i, kind) in samples().into_iter().enumerate() {
+            let rec = Record { seq: i as u64 + 1, t: 0.5 * i as f64, kind };
+            let body = encode_body(&rec);
+            let back = decode_body(&body, 0).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_corrupt() {
+        let rec = Record { seq: 1, t: 0.0, kind: RecordKind::Note { text: "truncate me".into() } };
+        let body = encode_body(&rec);
+        for cut in 0..body.len() {
+            let err = decode_body(&body[..cut], 42);
+            assert!(
+                matches!(err, Err(LedgerError::Corrupt { offset: 42, .. })),
+                "cut at {cut} must be Corrupt, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let rec = Record { seq: 1, t: 0.0, kind: RecordKind::Note { text: "x".into() } };
+        let mut body = encode_body(&rec);
+        body.push(0);
+        assert!(matches!(decode_body(&body, 0), Err(LedgerError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt() {
+        let mut body = Vec::new();
+        super::put_u64(&mut body, 1);
+        super::put_f64(&mut body, 0.0);
+        body.push(200);
+        assert!(matches!(decode_body(&body, 0), Err(LedgerError::Corrupt { .. })));
+    }
+}

@@ -520,6 +520,18 @@ impl ExecutiveEngine {
         }
     }
 
+    /// Push the latest retained checkpoint of every remote component back
+    /// into its current instance, best effort — the inverse of
+    /// [`ExecutiveEngine::checkpoint_remotes`], used by journal-driven
+    /// recovery after `Schooner::seed_recovery` repopulated the store.
+    pub fn restore_remotes(&mut self) {
+        for s in &mut self.slots {
+            if let Exec::Remote(r) = &mut s.exec {
+                let _ = r.restore(s.proc);
+            }
+        }
+    }
+
     /// The first remote executor's line — the engine's conduit to the
     /// world's observability sink (`None` in an all-local configuration).
     fn first_remote_line(&mut self) -> Option<&mut schooner::LineHandle> {
@@ -535,6 +547,56 @@ impl ExecutiveEngine {
         if let Some(line) = self.first_remote_line() {
             let now = line.now();
             line.obs().emit(now, kind);
+        }
+    }
+
+    /// Append a typed record to the world's attached journal (no-op in an
+    /// all-local configuration or when no journal is attached).
+    fn journal(&mut self, kind: ledger::RecordKind) {
+        if let Some(line) = self.first_remote_line() {
+            let now = line.now();
+            let obs = line.obs();
+            if obs.ledger().is_attached() {
+                obs.ledger().append(now, kind);
+            }
+        }
+    }
+
+    /// Journal one accepted transient sample, field-for-field in f64 bits
+    /// so replay reconstructs it exactly.
+    fn journal_sample(&mut self, s: &TransientSample) {
+        self.journal(ledger::RecordKind::Sample {
+            values: vec![s.t, s.n1, s.n2, s.wf, s.thrust, s.t4, s.w2],
+        });
+    }
+
+    /// Journal a checkpoint barrier (the engine-side resume state) plus a
+    /// metrics snapshot at the same sequence point, so `costs --journal`
+    /// can answer "as of the latest barrier" from the file alone.
+    fn journal_barrier(
+        &mut self,
+        step: usize,
+        t: f64,
+        samples_len: usize,
+        y: &[f64; 2],
+        inner: &[f64; 5],
+    ) {
+        let mut state = Vec::with_capacity(7);
+        state.extend_from_slice(y);
+        state.extend_from_slice(inner);
+        self.journal(ledger::RecordKind::Barrier {
+            step: step as u64,
+            t_engine: t,
+            samples_len: samples_len as u64,
+            state,
+        });
+        if let Some(line) = self.first_remote_line() {
+            let now = line.now();
+            let obs = line.obs();
+            if obs.ledger().is_attached() {
+                let json = obs.metrics().snapshot_json();
+                obs.ledger().append(now, ledger::RecordKind::MetricsSnapshot { json });
+            }
         }
     }
 
@@ -562,19 +624,120 @@ impl ExecutiveEngine {
         t_end: f64,
     ) -> Result<TransientResult, String> {
         let initial = self.balance(fuel.at(0.0))?;
-        let mut y = [initial.n1, initial.n2];
+        let y = [initial.n1, initial.n2];
         let mut inner = self.engine.design_inner_guess();
         self.solve_inner(y[0], y[1], fuel.at(0.0), &mut inner)?;
 
+        let samples = vec![sample_of(0.0, &initial)];
+        self.journal_sample(&samples[0]);
+        self.transient_loop(fuel, method, dt, t_end, 0.0, 0, y, inner, samples)
+    }
+
+    /// Resume an interrupted transient from a replayed journal alone.
+    ///
+    /// The repository must come from the journal the crashed run wrote;
+    /// the caller builds a fresh world with the **same** deterministic
+    /// configuration (topology, component placement, fault plan), attaches
+    /// the journal with `Schooner::resume_journal`, seeds the checkpoint
+    /// store and incarnation floor with `Schooner::seed_recovery`, and
+    /// binds the remote executors before calling this. The method then:
+    ///
+    /// 1. rebuilds the accepted samples from the journal's `Sample` and
+    ///    `Rollback` records (f64-bit-exact),
+    /// 2. finds the latest checkpoint **barrier** and takes its resume
+    ///    state (time, step, spool speeds, inner-solution guess),
+    /// 3. re-runs `set…` configuration and pushes the retained remote
+    ///    checkpoints back into the live instances, and
+    /// 4. continues the transient loop from the barrier.
+    ///
+    /// For single-step integration methods the result is bit-identical to
+    /// the run that was interrupted.
+    pub fn recover_from_journal(
+        &mut self,
+        repo: &ledger::Repository,
+        fuel: &Schedule,
+        method: TransientMethod,
+        dt: f64,
+        t_end: f64,
+    ) -> Result<TransientResult, String> {
+        // The latest barrier's resume state: (t, step, y, inner, samples_len).
+        struct Resume {
+            t: f64,
+            step: usize,
+            y: [f64; 2],
+            inner: [f64; 5],
+            samples_len: usize,
+        }
+        let mut samples: Vec<TransientSample> = Vec::new();
+        let mut resume: Option<Resume> = None;
+        for rec in repo.records() {
+            match &rec.kind {
+                ledger::RecordKind::Sample { values } if values.len() == 7 => {
+                    samples.push(TransientSample {
+                        t: values[0],
+                        n1: values[1],
+                        n2: values[2],
+                        wf: values[3],
+                        thrust: values[4],
+                        t4: values[5],
+                        w2: values[6],
+                    });
+                }
+                ledger::RecordKind::Rollback { samples_len, .. } => {
+                    samples.truncate(*samples_len as usize);
+                }
+                ledger::RecordKind::Barrier { step, t_engine, samples_len, state }
+                    if state.len() == 7 =>
+                {
+                    resume = Some(Resume {
+                        t: *t_engine,
+                        step: *step as usize,
+                        y: [state[0], state[1]],
+                        inner: [state[2], state[3], state[4], state[5], state[6]],
+                        samples_len: *samples_len as usize,
+                    });
+                }
+                _ => {}
+            }
+        }
+        let r = resume.ok_or("journal holds no checkpoint barrier to resume from")?;
+        samples.truncate(r.samples_len);
+        if samples.len() < r.samples_len {
+            return Err(format!(
+                "journal is missing samples: barrier expects {}, found {}",
+                r.samples_len,
+                samples.len()
+            ));
+        }
+        self.setup()?;
+        self.restore_remotes();
+        self.transient_loop(fuel, method, dt, t_end, r.t, r.step, r.y, r.inner, samples)
+    }
+
+    /// The transient stepping loop shared by [`Self::run_transient`]
+    /// (entering at step 0) and [`Self::recover_from_journal`] (entering
+    /// at a replayed barrier). Places the entry checkpoint barrier, then
+    /// integrates to `t_end` with rollback recovery.
+    #[allow(clippy::too_many_arguments)] // the resume state is the argument list
+    fn transient_loop(
+        &mut self,
+        fuel: &Schedule,
+        method: TransientMethod,
+        dt: f64,
+        t_end: f64,
+        mut t: f64,
+        mut step: usize,
+        mut y: [f64; 2],
+        mut inner: [f64; 5],
+        mut samples: Vec<TransientSample>,
+    ) -> Result<TransientResult, String> {
         let mut integrator = method.integrator();
-        let mut samples = vec![sample_of(0.0, &initial)];
         let steps = (t_end / dt).round() as usize;
-        let mut t = 0.0;
-        let mut step = 0;
         self.recoveries = 0;
         let mut checkpoint = if self.checkpoint_interval > 0 {
             self.checkpoint_remotes();
             self.emit_event(schooner::EventKind::Barrier { step, t });
+            self.journal_barrier(step, t, samples.len(), &y, &inner);
             Some(TransientCheckpoint { t, step, y, inner, samples_len: samples.len() })
         } else {
             None
@@ -599,11 +762,15 @@ impl ExecutiveEngine {
                 Ok(sample) => {
                     t += dt;
                     step += 1;
+                    self.journal_sample(&sample);
                     samples.push(sample);
-                    if checkpoint.is_some() && step % self.checkpoint_interval == 0 && step < steps
+                    if checkpoint.is_some()
+                        && step.is_multiple_of(self.checkpoint_interval)
+                        && step < steps
                     {
                         self.checkpoint_remotes();
                         self.emit_event(schooner::EventKind::Barrier { step, t });
+                        self.journal_barrier(step, t, samples.len(), &y, &inner);
                         checkpoint = Some(TransientCheckpoint {
                             t,
                             step,
@@ -637,6 +804,11 @@ impl ExecutiveEngine {
                         t,
                         recovery: self.recoveries,
                         max: self.max_recoveries,
+                    });
+                    self.journal(ledger::RecordKind::Rollback {
+                        step: step as u64,
+                        t_engine: t,
+                        samples_len: samples.len() as u64,
                     });
                 }
             }

@@ -202,6 +202,18 @@ impl RemoteExec {
         self.line.checkpoint(name).map_err(ExecError::Sch)
     }
 
+    /// Ask the Manager to push the latest retained checkpoint of the
+    /// remote process exporting `name` back into its current instance —
+    /// used by journal-driven recovery after the store was pre-seeded
+    /// from a replayed ledger. Returns the restored size in bytes (0
+    /// when nothing is retained, or after degrading to the fallback).
+    pub fn restore(&mut self, name: &str) -> Result<u64, ExecError> {
+        if self.degraded {
+            return Ok(0);
+        }
+        self.line.restore(name).map_err(ExecError::Sch)
+    }
+
     /// Switch permanently to the local fallback, replaying recorded
     /// configuration calls so it matches the remote instance's setup.
     fn degrade(&mut self, cause: &SchError) -> Result<(), ExecError> {

@@ -565,6 +565,28 @@ impl LineHandle {
         }
     }
 
+    /// Ask the Manager to push the latest retained checkpoint of the
+    /// process exporting `name` back into its current instance — the
+    /// inverse of [`Self::checkpoint`], used when the checkpoint store
+    /// was pre-seeded from a replayed journal. Returns the restored
+    /// snapshot size in bytes — 0 when no checkpoint is retained.
+    pub fn restore(&mut self, name: &str) -> SchResult<u64> {
+        self.ensure_live()?;
+        let req = self.fresh_req();
+        self.send_manager(&Msg::RestoreRequest {
+            req,
+            line: self.id,
+            name: name.to_owned(),
+            reply_to: self.endpoint.addr().to_owned(),
+        })?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::RestoreReply { req: r, .. } if *r == req))?;
+        match reply {
+            Msg::RestoreReply { result, .. } => result.map_err(WireFault::into_error),
+            _ => unreachable!("await_reply predicate"),
+        }
+    }
+
     /// The network address this line receives replies on. Exposed so
     /// fault-injection tests can forge delayed messages to it.
     pub fn reply_addr(&self) -> &str {

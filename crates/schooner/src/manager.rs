@@ -20,9 +20,11 @@
 //!   extension for procedures whose specs carry a `state(...)` clause.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ledger::RecordKind;
 use netsim::{Endpoint, NetError, VirtualClock};
 use uts::check::check_import_against_export;
 use uts::spec::{Direction, ProcSpec};
@@ -62,6 +64,7 @@ pub fn spawn_manager(ctx: RuntimeCtx) -> SchResult<ManagerHandle> {
     let addr = manager_addr(&ctx.config.manager_host);
     let endpoint = ctx.net.register(addr.clone())?;
     let monitor = HealthMonitor::new(ctx.config.heartbeat_miss_threshold);
+    let checkpoints = ctx.checkpoints.clone();
     let worker = ManagerWorker {
         ctx,
         endpoint,
@@ -70,10 +73,9 @@ pub fn spawn_manager(ctx: RuntimeCtx) -> SchResult<ManagerHandle> {
         shared: NameDb::default(),
         backlog: VecDeque::new(),
         monitor,
-        checkpoints: CheckpointStore::new(),
+        checkpoints,
         next_line: 1,
         next_req: 1,
-        next_incarnation: 1,
     };
     let join = std::thread::Builder::new()
         .name("schooner-manager".to_owned())
@@ -174,12 +176,12 @@ struct ManagerWorker {
     backlog: VecDeque<Msg>,
     /// Heartbeat accounting for supervised addresses.
     monitor: HealthMonitor,
-    /// Latest `state(...)` snapshot per supervised process.
+    /// Recent `state(...)` snapshots per supervised process — the
+    /// world-shared store from [`RuntimeCtx::checkpoints`], so recovery
+    /// code outside the Manager thread can pre-seed it from a journal.
     checkpoints: CheckpointStore,
     next_line: u64,
     next_req: u64,
-    /// Strictly increasing instance counter for every process started.
-    next_incarnation: u64,
 }
 
 impl ManagerWorker {
@@ -277,6 +279,10 @@ impl ManagerWorker {
             Msg::CheckpointRequest { req, line, name, reply_to } => {
                 let result = self.handle_checkpoint(line, &name).map_err(|e| WireFault::from(&e));
                 let _ = self.send(&reply_to, &Msg::CheckpointReply { req, result });
+            }
+            Msg::RestoreRequest { req, line, name, reply_to } => {
+                let result = self.handle_restore(line, &name).map_err(|e| WireFault::from(&e));
+                let _ = self.send(&reply_to, &Msg::RestoreReply { req, result });
             }
             Msg::IQuit { req, line, reply_to } => {
                 self.shutdown_line(line);
@@ -381,11 +387,11 @@ impl ManagerWorker {
 
     /// Ask the Server on `host` to start a process and wait for its reply.
     /// Every start — initial, migration, or crash recovery — gets a fresh,
-    /// strictly larger incarnation number.
+    /// strictly larger incarnation number (from the world-shared counter,
+    /// so a journal-driven recovery can floor-bump past dead history).
     fn start_process_on(&mut self, line: u64, path: &str, host: &str) -> SchResult<StartedInfo> {
         let req = self.fresh_req();
-        let incarnation = self.next_incarnation;
-        self.next_incarnation += 1;
+        let incarnation = self.ctx.incarnations.fetch_add(1, Ordering::SeqCst);
         self.send(
             &server_addr(host),
             &Msg::StartProcess {
@@ -399,7 +405,14 @@ impl ManagerWorker {
         let reply =
             self.await_reply(|m| matches!(m, Msg::ProcessStarted { req: r, .. } if *r == req))?;
         match reply {
-            Msg::ProcessStarted { result, .. } => result.map_err(WireFault::into_error),
+            Msg::ProcessStarted { result, .. } => {
+                let info = result.map_err(WireFault::into_error)?;
+                // Journal every incarnation actually issued, so a
+                // journal-seeded successor world floor-bumps past it and
+                // can never hand the number out again.
+                self.journal_verdict(&info.addr, info.incarnation, "started");
+                Ok(info)
+            }
             _ => unreachable!("await_reply predicate"),
         }
     }
@@ -544,11 +557,13 @@ impl ManagerWorker {
             self.clock.now(),
             EventKind::DeathVerdict { addr: old_addr.clone(), incarnation: dead.incarnation },
         );
+        self.journal_verdict(&old_addr, dead.incarnation, "dead");
         let candidates: Vec<String> = match self.ctx.supervision.get(&dead.path) {
             SupervisionPolicy::Escalate => {
                 self.ctx
                     .obs
                     .emit(self.clock.now(), EventKind::FailureEscalated { name: name.to_owned() });
+                self.journal_verdict(&old_addr, dead.incarnation, "escalated");
                 return Err(SchError::Escalated(name.to_owned()));
             }
             SupervisionPolicy::RestartInPlace => vec![dead.host.clone()],
@@ -658,16 +673,91 @@ impl ManagerWorker {
             _ => unreachable!(),
         };
         let n = state.len() as u64;
-        self.checkpoints.put(
+        let taken_at = self.clock.now();
+        let evicted = self.checkpoints.put(
             proc_line,
             &entry.path,
-            Snapshot { state, taken_at: self.clock.now(), incarnation: entry.incarnation },
+            Snapshot { state: state.clone(), taken_at, incarnation: entry.incarnation },
         );
+        // Journal the durable copy of this store write — and every
+        // retention eviction it caused, so a replayed store agrees with
+        // the live one snapshot-for-snapshot.
+        if self.ctx.ledger().is_attached() {
+            self.ctx.ledger().append(
+                taken_at,
+                RecordKind::Checkpoint {
+                    line: proc_line,
+                    path: entry.path.clone(),
+                    incarnation: entry.incarnation,
+                    taken_at,
+                    state: state.to_vec(),
+                },
+            );
+            for old in &evicted {
+                self.ctx.ledger().append(
+                    taken_at,
+                    RecordKind::CheckpointEvicted {
+                        line: proc_line,
+                        path: entry.path.clone(),
+                        taken_at: old.taken_at,
+                    },
+                );
+            }
+        }
         self.ctx.obs.emit(
             self.clock.now(),
-            EventKind::Checkpointed { name: name.to_owned(), bytes: n, at: self.clock.now() },
+            EventKind::Checkpointed { name: name.to_owned(), bytes: n, at: taken_at },
         );
         Ok(n)
+    }
+
+    /// Push the latest retained checkpoint of the process exporting
+    /// `name` back into its *current* instance via `set_state`. Used by
+    /// journal-driven recovery, where the store was pre-seeded from a
+    /// replayed ledger rather than captured live. Returns the restored
+    /// byte count (0 when no checkpoint is retained).
+    fn handle_restore(&mut self, line: u64, name: &str) -> SchResult<u64> {
+        let (entry, in_shared) = self.locate(line, name)?;
+        let proc_line = if in_shared { 0 } else { line };
+        let Some(snap) = self.checkpoints.get(proc_line, &entry.path) else {
+            return Ok(0);
+        };
+        let req = self.fresh_req();
+        self.send(
+            &entry.addr,
+            &Msg::SetState {
+                req,
+                state: snap.state.clone(),
+                reply_to: self.endpoint.addr().to_owned(),
+            },
+        )?;
+        let reply =
+            self.await_reply(|m| matches!(m, Msg::SetStateAck { req: r, .. } if *r == req))?;
+        match reply {
+            Msg::SetStateAck { result, .. } => {
+                result.map_err(|wf| SchError::StateTransfer(wf.detail))?
+            }
+            _ => unreachable!(),
+        }
+        self.ctx.obs.emit(
+            self.clock.now(),
+            EventKind::CheckpointRestored { path: entry.path.clone(), taken_at: snap.taken_at },
+        );
+        Ok(snap.state.len() as u64)
+    }
+
+    /// Append a supervision-verdict record to the attached journal, if any.
+    fn journal_verdict(&self, addr: &str, incarnation: u64, verdict: &str) {
+        if self.ctx.ledger().is_attached() {
+            self.ctx.ledger().append(
+                self.clock.now(),
+                RecordKind::Verdict {
+                    addr: addr.to_owned(),
+                    incarnation,
+                    verdict: verdict.to_owned(),
+                },
+            );
+        }
     }
 
     /// Terminate the remote procedures of one line only.

@@ -289,6 +289,14 @@ pub enum Msg {
     /// Reply to [`Msg::CheckpointRequest`]; `Ok(n)` is the size in bytes
     /// of the retained snapshot (0 for stateless procedures).
     CheckpointReply { req: u64, result: Result<u64, WireFault> },
+    /// Ask the Manager to push the latest retained checkpoint of the
+    /// named procedure back into its current instance via SetState —
+    /// the inverse of [`Msg::CheckpointRequest`], used after a
+    /// journal-replayed store has been pre-seeded.
+    RestoreRequest { req: u64, line: u64, name: String, reply_to: String },
+    /// Reply to [`Msg::RestoreRequest`]; `Ok(n)` is the size in bytes of
+    /// the restored snapshot (0 when no checkpoint is retained).
+    RestoreReply { req: u64, result: Result<u64, WireFault> },
 }
 
 const T_OPEN_LINE: u8 = 1;
@@ -316,6 +324,8 @@ const T_PING: u8 = 22;
 const T_PONG: u8 = 23;
 const T_CHECKPOINT_REQUEST: u8 = 24;
 const T_CHECKPOINT_REPLY: u8 = 25;
+const T_RESTORE_REQUEST: u8 = 26;
+const T_RESTORE_REPLY: u8 = 27;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
@@ -587,6 +597,18 @@ impl Msg {
                 b.put_u64(*req);
                 put_result(&mut b, result, |b, n| b.put_u64(*n));
             }
+            Msg::RestoreRequest { req, line, name, reply_to } => {
+                b.put_u8(T_RESTORE_REQUEST);
+                b.put_u64(*req);
+                b.put_u64(*line);
+                put_str(&mut b, name);
+                put_str(&mut b, reply_to);
+            }
+            Msg::RestoreReply { req, result } => {
+                b.put_u8(T_RESTORE_REPLY);
+                b.put_u64(*req);
+                put_result(&mut b, result, |b, n| b.put_u64(*n));
+            }
         }
         b.freeze()
     }
@@ -677,6 +699,15 @@ impl Msg {
             },
             T_CHECKPOINT_REPLY => {
                 Msg::CheckpointReply { req: r.u64()?, result: get_result(&mut r, |r| r.u64())? }
+            }
+            T_RESTORE_REQUEST => Msg::RestoreRequest {
+                req: r.u64()?,
+                line: r.u64()?,
+                name: r.str()?,
+                reply_to: r.str()?,
+            },
+            T_RESTORE_REPLY => {
+                Msg::RestoreReply { req: r.u64()?, result: get_result(&mut r, |r| r.u64())? }
             }
             other => return Err(SchError::Protocol(format!("unknown message tag {other}"))),
         };
@@ -812,6 +843,17 @@ mod tests {
         round_trip(Msg::CheckpointReply { req: 13, result: Ok(64) });
         round_trip(Msg::CheckpointReply {
             req: 13,
+            result: Err(WireFault::new(FaultCode::StateTransfer, "no state")),
+        });
+        round_trip(Msg::RestoreRequest {
+            req: 14,
+            line: 7,
+            name: "shaft".into(),
+            reply_to: "a:1".into(),
+        });
+        round_trip(Msg::RestoreReply { req: 14, result: Ok(64) });
+        round_trip(Msg::RestoreReply {
+            req: 14,
             result: Err(WireFault::new(FaultCode::StateTransfer, "no state")),
         });
     }

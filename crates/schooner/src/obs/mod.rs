@@ -16,14 +16,17 @@
 //! The legacy [`Trace`](crate::Trace) API survives as a facade over the
 //! event log; existing call-sites and transcripts are unaffected.
 
+pub mod codec;
 mod event;
 mod span;
 
 pub use event::{EventKind, ObsEvent};
 pub use span::{CallSpan, Phase, PHASES, PHASE_COUNT};
 
+pub use ledger::LedgerHandle;
 pub use netsim::metrics::{Histogram, MetricsRegistry};
 
+use ledger::RecordKind;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -34,6 +37,7 @@ struct ObsInner {
     events: Mutex<Vec<ObsEvent>>,
     spans: Mutex<SpanTable>,
     metrics: MetricsRegistry,
+    ledger: LedgerHandle,
 }
 
 /// Shared, cheaply cloneable observability sink. Event recording is
@@ -73,8 +77,19 @@ impl Obs {
                 events: Mutex::new(Vec::new()),
                 spans: Mutex::new(SpanTable::default()),
                 metrics,
+                ledger: LedgerHandle::new(),
             }),
         }
+    }
+
+    /// The durable-journal handle this sink writes through. Unattached
+    /// by default (journaling costs nothing); once a journal is
+    /// attached — see `Schooner::attach_journal` — **every** emitted
+    /// event is appended to it, independent of the in-memory event
+    /// log's enabled flag: the journal is the durable record, not a
+    /// debugging aid.
+    pub fn ledger(&self) -> &LedgerHandle {
+        &self.inner.ledger
     }
 
     // ----- events -----
@@ -89,8 +104,12 @@ impl Obs {
         self.inner.enabled.load(Ordering::Acquire)
     }
 
-    /// Record a typed event (no-op while disabled).
+    /// Record a typed event. The in-memory log only keeps it while
+    /// enabled; an attached journal records it unconditionally.
     pub fn emit(&self, t: f64, kind: EventKind) {
+        if self.inner.ledger.is_attached() {
+            self.inner.ledger.append(t, RecordKind::Event { payload: codec::encode_event(&kind) });
+        }
         if self.is_enabled() {
             lock(&self.inner.events).push(ObsEvent { t, kind });
         }
@@ -225,6 +244,25 @@ mod tests {
         let obs = Obs::with_metrics(reg.clone());
         obs.metrics().counter_add("x", 1);
         assert_eq!(reg.counter("x"), 1);
+    }
+
+    #[test]
+    fn journal_sink_records_even_while_disabled() {
+        let obs = Obs::new();
+        let path = std::env::temp_dir().join(format!("obs-journal-sink-{}", std::process::id()));
+        obs.ledger().attach(ledger::Journal::create(&path).unwrap()).unwrap();
+        // Event recording is off, but the journal still gets the event.
+        obs.emit(1.0, EventKind::ManagerShutdown);
+        assert!(obs.events().is_empty());
+        let replayed = ledger::replay(&path).unwrap();
+        assert_eq!(replayed.records.len(), 1);
+        match &replayed.records[0].kind {
+            ledger::RecordKind::Event { payload } => {
+                assert_eq!(codec::decode_event(payload).unwrap(), EventKind::ManagerShutdown);
+            }
+            other => panic!("expected an event record, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! ("fence") replies from incarnations older than their current binding,
 //! so a delayed pre-crash answer can never corrupt a line.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 
 use bytes::Bytes;
@@ -143,45 +143,122 @@ pub struct Snapshot {
     pub incarnation: u64,
 }
 
-/// Manager-side store of the latest checkpoint per supervised process,
+/// Default number of checkpoints retained per `(line, path)` key.
+pub const DEFAULT_CHECKPOINT_RETENTION: usize = 4;
+
+/// Manager-side store of recent checkpoints per supervised process,
 /// keyed by `(line, executable path)` so a respawn of the same
 /// executable — on any host and under any fresh address — finds its
 /// state.
-#[derive(Debug, Clone, Default)]
+///
+/// Growth is bounded: each key keeps at most `retention` snapshots
+/// (newest last); storing past the cap evicts from the oldest end and
+/// **returns the evicted snapshots** so the Manager can journal each
+/// eviction — a ledger replay that applies the same policy reproduces
+/// the live store exactly.
+#[derive(Debug, Clone)]
 pub struct CheckpointStore {
-    snaps: Arc<Mutex<HashMap<(u64, String), Snapshot>>>,
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    retention: usize,
+    snaps: HashMap<(u64, String), VecDeque<Snapshot>>,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        Self::with_retention(DEFAULT_CHECKPOINT_RETENTION)
+    }
 }
 
 impl CheckpointStore {
-    /// An empty store.
+    /// An empty store with the default retention.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Retain `snapshot` as the latest checkpoint for `(line, path)`,
-    /// replacing any older one.
-    pub fn put(&self, line: u64, path: &str, snapshot: Snapshot) {
-        self.snaps.lock().unwrap().insert((line, path.to_owned()), snapshot);
+    /// An empty store keeping the last `retention` checkpoints per key
+    /// (clamped to at least 1).
+    pub fn with_retention(retention: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(StoreInner {
+                retention: retention.max(1),
+                snaps: HashMap::new(),
+            })),
+        }
     }
 
-    /// The latest checkpoint for `(line, path)`, if any.
+    /// Checkpoints retained per key.
+    pub fn retention(&self) -> usize {
+        self.inner.lock().unwrap().retention
+    }
+
+    /// Retain `snapshot` as the newest checkpoint for `(line, path)`;
+    /// returns the snapshots evicted by the retention cap (oldest
+    /// first; empty while under the cap).
+    pub fn put(&self, line: u64, path: &str, snapshot: Snapshot) -> Vec<Snapshot> {
+        let mut inner = self.inner.lock().unwrap();
+        let retention = inner.retention;
+        let queue = inner.snaps.entry((line, path.to_owned())).or_default();
+        queue.push_back(snapshot);
+        let mut evicted = Vec::new();
+        while queue.len() > retention {
+            evicted.extend(queue.pop_front());
+        }
+        evicted
+    }
+
+    /// The newest checkpoint for `(line, path)`, if any.
     pub fn get(&self, line: u64, path: &str) -> Option<Snapshot> {
-        self.snaps.lock().unwrap().get(&(line, path.to_owned())).cloned()
+        self.inner
+            .lock()
+            .unwrap()
+            .snaps
+            .get(&(line, path.to_owned()))
+            .and_then(|q| q.back().cloned())
+    }
+
+    /// All retained checkpoints for `(line, path)`, oldest first.
+    pub fn history(&self, line: u64, path: &str) -> Vec<Snapshot> {
+        self.inner
+            .lock()
+            .unwrap()
+            .snaps
+            .get(&(line, path.to_owned()))
+            .map(|q| q.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Every key with at least one retained checkpoint, sorted.
+    pub fn keys(&self) -> Vec<(u64, String)> {
+        let mut out: Vec<_> = self
+            .inner
+            .lock()
+            .unwrap()
+            .snaps
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort();
+        out
     }
 
     /// Drop every checkpoint belonging to `line` (its module quit).
     pub fn forget_line(&self, line: u64) {
-        self.snaps.lock().unwrap().retain(|(l, _), _| *l != line);
+        self.inner.lock().unwrap().snaps.retain(|(l, _), _| *l != line);
     }
 
-    /// Number of retained checkpoints.
+    /// Total number of retained checkpoints (across all keys).
     pub fn len(&self) -> usize {
-        self.snaps.lock().unwrap().len()
+        self.inner.lock().unwrap().snaps.values().map(VecDeque::len).sum()
     }
 
     /// True when no checkpoint is retained.
     pub fn is_empty(&self) -> bool {
-        self.snaps.lock().unwrap().is_empty()
+        self.len() == 0
     }
 }
 
@@ -239,22 +316,60 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_store_keeps_latest_per_key() {
+    fn checkpoint_store_serves_newest_per_key() {
         let store = CheckpointStore::new();
         assert!(store.is_empty());
         let s1 = Snapshot { state: Bytes::from_static(&[1]), taken_at: 1.0, incarnation: 1 };
         let s2 = Snapshot { state: Bytes::from_static(&[2]), taken_at: 2.0, incarnation: 1 };
-        store.put(7, "/npss/shaft", s1);
-        store.put(7, "/npss/shaft", s2.clone());
+        assert!(store.put(7, "/npss/shaft", s1.clone()).is_empty());
+        assert!(store.put(7, "/npss/shaft", s2.clone()).is_empty());
         store.put(
             8,
             "/npss/shaft",
             Snapshot { state: Bytes::new(), taken_at: 0.5, incarnation: 3 },
         );
-        assert_eq!(store.len(), 2);
-        assert_eq!(store.get(7, "/npss/shaft"), Some(s2));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(7, "/npss/shaft"), Some(s2.clone()));
+        assert_eq!(store.history(7, "/npss/shaft"), vec![s1, s2]);
+        assert_eq!(
+            store.keys(),
+            vec![(7, "/npss/shaft".to_owned()), (8, "/npss/shaft".to_owned())]
+        );
         store.forget_line(7);
         assert_eq!(store.get(7, "/npss/shaft"), None);
         assert!(store.get(8, "/npss/shaft").is_some());
+    }
+
+    #[test]
+    fn checkpoint_store_retention_evicts_oldest_and_reports() {
+        let store = CheckpointStore::with_retention(2);
+        assert_eq!(store.retention(), 2);
+        let snap = |n: u8| Snapshot {
+            state: Bytes::from(vec![n]),
+            taken_at: f64::from(n),
+            incarnation: 1,
+        };
+        assert!(store.put(1, "/p", snap(1)).is_empty());
+        assert!(store.put(1, "/p", snap(2)).is_empty());
+        // Third write overflows the cap: the oldest is evicted and
+        // handed back for journaling.
+        assert_eq!(store.put(1, "/p", snap(3)), vec![snap(1)]);
+        assert_eq!(store.history(1, "/p"), vec![snap(2), snap(3)]);
+        assert_eq!(store.get(1, "/p"), Some(snap(3)));
+        assert_eq!(store.len(), 2);
+        // Other keys have their own windows.
+        assert!(store.put(1, "/q", snap(9)).is_empty());
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_store_retention_clamps_to_one() {
+        let store = CheckpointStore::with_retention(0);
+        assert_eq!(store.retention(), 1);
+        let s1 = Snapshot { state: Bytes::from_static(&[1]), taken_at: 1.0, incarnation: 1 };
+        let s2 = Snapshot { state: Bytes::from_static(&[2]), taken_at: 2.0, incarnation: 1 };
+        store.put(1, "/p", s1.clone());
+        assert_eq!(store.put(1, "/p", s2.clone()), vec![s1]);
+        assert_eq!(store.get(1, "/p"), Some(s2));
     }
 }

@@ -19,8 +19,11 @@ use crate::manager::{spawn_manager, ManagerHandle};
 use crate::obs::Obs;
 use crate::program::{ProgramImage, ProgramRegistry};
 use crate::server::{spawn_server, Server};
-use crate::supervise::{SupervisionMap, SupervisionPolicy};
+use crate::supervise::{
+    CheckpointStore, Snapshot, SupervisionMap, SupervisionPolicy, DEFAULT_CHECKPOINT_RETENTION,
+};
 use crate::trace::Trace;
+use ledger::{Journal, LedgerHandle};
 
 /// Address of the Manager process for the program rooted at `host`.
 pub fn manager_addr(host: &str) -> String {
@@ -54,6 +57,12 @@ pub struct SchoonerConfig {
     /// binding is `min(caller max, this)`; set to [`uts::WIRE_V1`] to
     /// force every call onto the legacy tagged codec.
     pub wire_version: u8,
+    /// Checkpoints retained per `(line, path)` key in the Manager's
+    /// [`CheckpointStore`] (clamped to at least 1). Older snapshots are
+    /// evicted — and the evictions journaled, when a journal is
+    /// attached — so long-running transients cannot grow the store
+    /// without bound.
+    pub checkpoint_retention: usize,
 }
 
 impl Default for SchoonerConfig {
@@ -66,6 +75,7 @@ impl Default for SchoonerConfig {
             process_startup_s: 30e-3,
             heartbeat_miss_threshold: 2,
             wire_version: uts::WIRE_V2,
+            checkpoint_retention: DEFAULT_CHECKPOINT_RETENTION,
         }
     }
 }
@@ -128,6 +138,12 @@ impl SchoonerConfigBuilder {
         self
     }
 
+    /// Checkpoints retained per `(line, path)` key.
+    pub fn checkpoint_retention(mut self, n: usize) -> Self {
+        self.config.checkpoint_retention = n;
+        self
+    }
+
     /// Finish the configuration.
     pub fn build(self) -> SchoonerConfig {
         self.config
@@ -162,6 +178,32 @@ pub struct RuntimeCtx {
     /// metrics snapshot and event transcript of a seeded run are then
     /// byte-reproducible no matter how many worlds ran before it.
     pub proc_counter: Arc<AtomicU64>,
+    /// The Manager's retained checkpoints. Held in the shared context
+    /// (not privately by the Manager worker) so journal-driven recovery
+    /// can seed it *before* the Manager serves its first restore.
+    pub checkpoints: CheckpointStore,
+    /// Incarnation counter for supervised processes. The next respawn
+    /// takes `fetch_add(1)`; recovery from a journal floor-bumps it via
+    /// [`RuntimeCtx::bump_incarnation_floor`] so post-recovery
+    /// incarnations are strictly newer than anything journaled.
+    pub incarnations: Arc<AtomicU64>,
+}
+
+impl RuntimeCtx {
+    /// The world's durable-journal handle (shared with
+    /// [`RuntimeCtx::obs`]; unattached until
+    /// [`Schooner::attach_journal`]).
+    pub fn ledger(&self) -> &LedgerHandle {
+        self.obs.ledger()
+    }
+
+    /// Ensure the next allocated incarnation is at least `floor`.
+    /// Raising the counter is always safe: fencing discards replies
+    /// from incarnations *older* than a line's binding, so skipping
+    /// numbers can never mis-fence.
+    pub fn bump_incarnation_floor(&self, floor: u64) {
+        self.incarnations.fetch_max(floor, Ordering::SeqCst);
+    }
 }
 
 /// A running Schooner world.
@@ -182,6 +224,7 @@ impl Schooner {
         // counters and RPC metrics land in one snapshot; the legacy
         // trace is a facade over the same event storage.
         let obs = Obs::with_metrics(net.metrics().clone());
+        let checkpoints = CheckpointStore::with_retention(config.checkpoint_retention);
         let ctx = RuntimeCtx {
             net,
             park,
@@ -192,6 +235,8 @@ impl Schooner {
             supervision: SupervisionMap::new(),
             config: Arc::new(config),
             proc_counter: Arc::new(AtomicU64::new(1)),
+            checkpoints,
+            incarnations: Arc::new(AtomicU64::new(1)),
         };
         let hosts: Vec<String> = ctx
             .park
@@ -254,6 +299,62 @@ impl Schooner {
     /// place.
     pub fn set_supervision_policy(&self, path: &str, policy: SupervisionPolicy) {
         self.ctx.supervision.set(path, policy);
+    }
+
+    /// Attach a fresh durable journal at `path` (truncating any
+    /// existing file). From this moment every obs event, checkpoint
+    /// write, eviction, and supervision verdict is appended to it; the
+    /// journal outlives the world, so a later process can rebuild
+    /// Manager state from the file alone.
+    pub fn attach_journal(&self, path: &std::path::Path) -> SchResult<()> {
+        let journal = Journal::create(path).map_err(|e| SchError::Other(e.to_string()))?;
+        self.ctx.obs.ledger().attach(journal).map_err(|e| SchError::Other(e.to_string()))
+    }
+
+    /// Re-attach an *existing* journal at `path` for crash recovery:
+    /// replay it (discarding a torn final record, if any), keep the
+    /// surviving history, and continue appending with the next sequence
+    /// number. Returns the replay so the caller can rebuild state from
+    /// the records.
+    pub fn resume_journal(&self, path: &std::path::Path) -> SchResult<ledger::Replay> {
+        let (journal, replay) =
+            Journal::open_append(path).map_err(|e| SchError::Other(e.to_string()))?;
+        self.ctx.obs.ledger().attach(journal).map_err(|e| SchError::Other(e.to_string()))?;
+        Ok(replay)
+    }
+
+    /// Append the current metrics snapshot to the attached journal,
+    /// returning its sequence id (`None` when no journal is attached).
+    /// Makes `replay --metrics` on the file answer exactly what the live
+    /// registry would, as of this sequence point.
+    pub fn journal_metrics_snapshot(&self) -> Option<u64> {
+        let handle = self.ctx.obs.ledger();
+        if !handle.is_attached() {
+            return None;
+        }
+        let json = self.ctx.obs.metrics().snapshot_json();
+        // t = 0.0 clamps up to the journal's monotone virtual clock.
+        handle.append(0.0, ledger::RecordKind::MetricsSnapshot { json })
+    }
+
+    /// Pre-seed this (fresh) world's checkpoint store and incarnation
+    /// floor from a replayed journal: the store ends up holding exactly
+    /// the snapshots the crashed world's Manager retained (journaled
+    /// evictions replay too), and no incarnation number from the dead
+    /// world can ever be reissued.
+    pub fn seed_recovery(&self, repo: &ledger::Repository) {
+        for cp in repo.retained_checkpoints() {
+            self.ctx.checkpoints.put(
+                cp.line,
+                cp.path,
+                Snapshot {
+                    state: bytes::Bytes::copy_from_slice(cp.state),
+                    taken_at: cp.taken_at,
+                    incarnation: cp.incarnation,
+                },
+            );
+        }
+        self.ctx.bump_incarnation_floor(repo.max_incarnation() + 1);
     }
 
     /// Register a module with the Manager and open a new line for it. The

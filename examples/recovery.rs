@@ -16,6 +16,7 @@
 //!
 //! Run with: `cargo run --release --example recovery`
 
+use npss_sim::ledger::{RecordKind, Repository};
 use npss_sim::netsim::FaultPlan;
 use npss_sim::npss::engine_exec::Exec;
 use npss_sim::npss::{procs, ExecutiveEngine, RemoteExec};
@@ -52,6 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_crash = t_start + 0.55 * (t_stop - t_start);
     let sch = world()?;
     sch.ctx().trace.set_enabled(true);
+    // Every event, checkpoint write, and supervision verdict of the
+    // faulted run lands in a durable journal as well.
+    let journal_path = std::env::temp_dir().join("npss-recovery.journal");
+    sch.attach_journal(&journal_path)?;
     let mut engine = table2_engine(&sch)?;
     sch.ctx().net.set_fault_plan(Some(
         FaultPlan::new(0xF100)
@@ -109,6 +114,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.shutdown();
     sch.ctx().net.set_fault_plan(None);
     sch.shutdown();
+
+    // The journal outlives the world: report what a cold restart would
+    // recover from.
+    let repo = Repository::open(&journal_path)?;
+    let barrier = repo
+        .records()
+        .iter()
+        .rev()
+        .find_map(|r| match &r.kind {
+            RecordKind::Barrier { step, t_engine, .. } => Some((r.seq, *step, *t_engine)),
+            _ => None,
+        })
+        .ok_or("journal holds no checkpoint barrier")?;
+    println!(
+        "\ndurable journal: {} records, sequence range 1..={}, {} torn byte(s)",
+        repo.len(),
+        repo.last_seq(),
+        repo.torn_bytes()
+    );
+    println!("journal path: {}", journal_path.display());
+    println!(
+        "cold restart would resume from barrier seq {} (solver step {}, t = {:.2}s)",
+        barrier.0, barrier.1, barrier.2
+    );
     Ok(())
 }
 

@@ -5,6 +5,8 @@
 //!
 //! * [`uts`] — the Universal Type System (spec language, wire format,
 //!   per-architecture conversion);
+//! * [`ledger`] — the durable, CRC-framed event/checkpoint journal and
+//!   its replay/query API;
 //! * [`netsim`] — the simulated two-site network testbed;
 //! * [`hetsim`] — the simulated heterogeneous machines;
 //! * [`schooner`] — the heterogeneous RPC facility (Manager, Servers,
@@ -18,6 +20,7 @@
 
 pub use avs;
 pub use hetsim;
+pub use ledger;
 pub use netsim;
 pub use npss;
 pub use schooner;

@@ -8,8 +8,15 @@
 //! npss-sim f100 [SECONDS] [slot=machine ...]
 //!                                       run the F100 network, optionally
 //!                                       placing adapted modules remotely
-//! npss-sim costs [--metrics]            per-machine-pair RPC costs with a
-//!                                       span-derived phase breakdown
+//! npss-sim costs [--metrics] [--journal PATH]
+//!                                       per-machine-pair RPC costs with a
+//!                                       span-derived phase breakdown;
+//!                                       --journal also writes a durable
+//!                                       journal ending in a metrics snapshot
+//! npss-sim replay PATH [--metrics] [--events] [--range A:B]
+//!                                       inspect a durable journal: record
+//!                                       summary, retained checkpoints, the
+//!                                       journaled metrics, decoded events
 //! ```
 
 use std::sync::Arc;
@@ -38,8 +45,13 @@ fn usage() -> String {
      table2 [SECONDS]        regenerate Table 2 (default 1.0 s transient)\n\
      fig1                    Figure 1 control-transfer trace\n\
      f100 [SECONDS] [slot=machine ...]   run the F100 network\n\
-     costs [--metrics]       per-machine-pair RPC cost table with phase\n\
-     \u{20}                        breakdown; --metrics appends the JSON snapshot"
+     costs [--metrics] [--journal PATH]\n\
+     \u{20}                        per-machine-pair RPC cost table with phase\n\
+     \u{20}                        breakdown; --metrics appends the JSON snapshot,\n\
+     \u{20}                        --journal writes a durable journal of the run\n\
+     replay PATH [--metrics] [--events] [--range A:B]\n\
+     \u{20}                        inspect a durable journal after the world is\n\
+     \u{20}                        gone: summary, checkpoints, metrics, events"
         .to_owned()
 }
 
@@ -62,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "fig1" => cmd_fig1(),
         "f100" => cmd_f100(&args[1..]),
         "costs" => cmd_costs(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -122,7 +135,15 @@ fn cmd_fig1() -> Result<(), String> {
 
 fn cmd_costs(args: &[String]) -> Result<(), String> {
     let dump_metrics = args.iter().any(|a| a == "--metrics");
+    let journal_path = args
+        .iter()
+        .position(|a| a == "--journal")
+        .map(|i| args.get(i + 1).cloned().ok_or("--journal requires a PATH".to_owned()))
+        .transpose()?;
     let sch = world()?;
+    if let Some(path) = &journal_path {
+        sch.attach_journal(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    }
     let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
     let refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
     let costs = fig1::measure_pair_costs(&sch, &refs, 10)?;
@@ -155,6 +176,89 @@ fn cmd_costs(args: &[String]) -> Result<(), String> {
     if dump_metrics {
         println!("\nmetrics snapshot:");
         print!("{}", sch.ctx().obs.metrics().snapshot_json());
+    }
+    if let Some(path) = &journal_path {
+        // End the journal with the final metrics snapshot, so
+        // `replay PATH --metrics` answers exactly what the live
+        // registry held — even after this world is gone.
+        let seq =
+            sch.journal_metrics_snapshot().ok_or("journal vanished before the final snapshot")?;
+        eprintln!("journal written: {path} (final metrics snapshot at seq {seq})");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    use npss_sim::ledger::{RecordKind, Repository};
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("usage: replay PATH [--metrics] [--events] [--range A:B]".to_owned());
+    };
+    let dump_metrics = args.iter().any(|a| a == "--metrics");
+    let dump_events = args.iter().any(|a| a == "--events");
+    let range = args
+        .iter()
+        .position(|a| a == "--range")
+        .map(|i| -> Result<(u64, u64), String> {
+            let spec = args.get(i + 1).ok_or("--range requires A:B")?;
+            let (a, b) = spec.split_once(':').ok_or("--range wants A:B")?;
+            Ok((
+                a.parse().map_err(|_| format!("bad range start '{a}'"))?,
+                b.parse().map_err(|_| format!("bad range end '{b}'"))?,
+            ))
+        })
+        .transpose()?;
+
+    let repo = Repository::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    println!("journal {path}");
+    println!(
+        "  {} records, sequence 1..={}, {} torn byte(s) discarded",
+        repo.len(),
+        repo.last_seq(),
+        repo.torn_bytes()
+    );
+    let mut counts: Vec<_> = repo.counts_by_tag().into_iter().collect();
+    counts.sort_by_key(|(tag, _)| *tag as u8);
+    for (tag, n) in counts {
+        println!("  {:<18} {n}", format!("{tag:?}"));
+    }
+    let retained = repo.retained_checkpoints();
+    if !retained.is_empty() {
+        println!("\nretained checkpoints (replayed through evictions):");
+        for cp in retained {
+            println!(
+                "  seq {:>5}  line {}  {}  incarnation {}  {} bytes  t={:.3}",
+                cp.seq,
+                cp.line,
+                cp.path,
+                cp.incarnation,
+                cp.state.len(),
+                cp.taken_at
+            );
+        }
+    }
+    if dump_metrics {
+        match repo.metrics_as_of(range.map_or(u64::MAX, |(_, b)| b)) {
+            Some((seq, json)) => {
+                println!("\nmetrics snapshot (journaled at seq {seq}):");
+                print!("{json}");
+            }
+            None => println!("\nno metrics snapshot in the journal"),
+        }
+    }
+    if dump_events {
+        println!("\nevents:");
+        let (from, to) = range.unwrap_or((0, u64::MAX));
+        for rec in repo.records().iter().filter(|r| r.seq >= from && r.seq <= to) {
+            if let RecordKind::Event { payload } = &rec.kind {
+                match npss_sim::schooner::obs::codec::decode_event(payload) {
+                    Ok(kind) => println!("  [{:>10.6}] seq {:>5}  {kind}", rec.t, rec.seq),
+                    Err(e) => {
+                        println!("  [{:>10.6}] seq {:>5}  <undecodable: {e}>", rec.t, rec.seq)
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }

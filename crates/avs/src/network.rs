@@ -283,6 +283,82 @@ impl NetworkEditor {
         self.topo_order_immediate().is_none()
     }
 
+    /// Deterministic execution waves over the immediate (non-delayed)
+    /// connection graph: level 0 holds every module with no immediate
+    /// predecessor, and each later level holds the modules whose deepest
+    /// immediate predecessor sits one level earlier (ASAP leveling).
+    /// Delayed connections carry the previous iteration's value, so they
+    /// break cycles exactly as they do for scheduling; modules of
+    /// disconnected subgraphs level independently from 0. Within a level
+    /// the order is ascending [`ModuleId`] — stable across calls, so two
+    /// identically built networks produce identical waves. Returns `None`
+    /// when the immediate graph is cyclic (unreachable through the public
+    /// API, which rejects such connections).
+    pub fn levels(&self) -> Option<Vec<Vec<ModuleId>>> {
+        let ids = self.module_ids();
+        let mut indegree: HashMap<ModuleId, usize> = ids.iter().map(|&i| (i, 0)).collect();
+        for c in &self.connections {
+            if !c.delayed {
+                if let Some(d) = indegree.get_mut(&c.to) {
+                    *d += 1;
+                }
+            }
+        }
+        let mut level: HashMap<ModuleId, usize> =
+            ids.iter().filter(|i| indegree[i] == 0).map(|&i| (i, 0)).collect();
+        let mut frontier: Vec<ModuleId> = level.keys().copied().collect();
+        frontier.sort();
+        let mut seen = frontier.len();
+        while let Some(id) = frontier.pop() {
+            let next = level[&id] + 1;
+            for c in &self.connections {
+                if !c.delayed && c.from == id {
+                    let entry = level.entry(c.to).or_insert(0);
+                    *entry = (*entry).max(next);
+                    let d = indegree.get_mut(&c.to).expect("live module");
+                    *d -= 1;
+                    if *d == 0 {
+                        frontier.push(c.to);
+                        frontier.sort();
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        if seen != ids.len() {
+            return None; // immediate cycle: some indegree never reached 0
+        }
+        let depth = level.values().copied().max().map_or(0, |d| d + 1);
+        let mut waves = vec![Vec::new(); depth];
+        for id in ids {
+            waves[level[&id]].push(id); // module_ids() is ascending already
+        }
+        Some(waves)
+    }
+
+    /// Whether `to` is reachable from `from` over immediate edges (true
+    /// for `from == to`). Two modules neither of which reaches the other
+    /// form an antichain: they may execute in the same wave.
+    pub fn has_path(&self, from: ModuleId, to: ModuleId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut visited = vec![from];
+        while let Some(id) = stack.pop() {
+            for c in &self.connections {
+                if !c.delayed && c.from == id && !visited.contains(&c.to) {
+                    if c.to == to {
+                        return true;
+                    }
+                    visited.push(c.to);
+                    stack.push(c.to);
+                }
+            }
+        }
+        false
+    }
+
     /// Topological order of live modules over immediate edges, or `None`
     /// when cyclic.
     pub(crate) fn topo_order_immediate(&self) -> Option<Vec<ModuleId>> {
@@ -472,6 +548,134 @@ mod tests {
         let txt = ed.render();
         assert!(txt.contains("[inlet]"), "{txt}");
         assert!(txt.contains("inlet.out -> in"), "{txt}");
+    }
+
+    /// Levels as instance names, for order-insensitive comparisons
+    /// across editors whose `ModuleId`s differ.
+    fn level_names(ed: &NetworkEditor) -> Vec<Vec<String>> {
+        ed.levels()
+            .expect("acyclic")
+            .iter()
+            .map(|wave| wave.iter().map(|&id| ed.name_of(id).unwrap().to_owned()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn levels_of_chain_and_diamond() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let a = ed.add_module("a", Box::new(Pass)).unwrap();
+        let b = ed.add_module("b", Box::new(Pass)).unwrap();
+        ed.connect(s, "out", a, "in").unwrap();
+        ed.connect(a, "out", b, "in").unwrap();
+        assert_eq!(ed.levels().unwrap(), vec![vec![s], vec![a], vec![b]]);
+        // Diamond: two parallel arms share a level (the parallelism the
+        // wave scheduler exploits), join goes one deeper than the
+        // deepest arm.
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let l = ed.add_module("l", Box::new(Pass)).unwrap();
+        let r = ed.add_module("r", Box::new(Pass)).unwrap();
+        ed.connect(s, "out", l, "in").unwrap();
+        ed.connect(s, "out", r, "in").unwrap();
+        assert_eq!(ed.levels().unwrap(), vec![vec![s], vec![l, r]]);
+        assert!(ed.has_path(s, l));
+        assert!(!ed.has_path(l, r), "arms of the diamond are an antichain");
+        assert!(!ed.has_path(l, s), "reachability is directed");
+    }
+
+    #[test]
+    fn levels_cycle_broken_only_by_delayed_edge() {
+        let mut ed = NetworkEditor::new();
+        let a = ed.add_module("a", Box::new(Pass)).unwrap();
+        let b = ed.add_module("b", Box::new(Pass)).unwrap();
+        ed.connect(a, "out", b, "in").unwrap();
+        // The feedback edge must be delayed; levels then ignore it.
+        ed.connect_delayed(b, "out", a, "in").unwrap();
+        assert_eq!(ed.levels().unwrap(), vec![vec![a], vec![b]]);
+        assert!(!ed.has_path(b, a), "delayed edges do not carry reachability");
+    }
+
+    #[test]
+    fn levels_of_disconnected_subgraphs_start_at_zero() {
+        let mut ed = NetworkEditor::new();
+        let s1 = ed.add_module("s1", Box::new(Source)).unwrap();
+        let p1 = ed.add_module("p1", Box::new(Pass)).unwrap();
+        let s2 = ed.add_module("s2", Box::new(Source)).unwrap();
+        let p2 = ed.add_module("p2", Box::new(Pass)).unwrap();
+        let lone = ed.add_module("lone", Box::new(Source)).unwrap();
+        ed.connect(s1, "out", p1, "in").unwrap();
+        ed.connect(s2, "out", p2, "in").unwrap();
+        let waves = ed.levels().unwrap();
+        assert_eq!(waves, vec![vec![s1, s2, lone], vec![p1, p2]]);
+        assert!(!ed.has_path(s1, p2), "islands do not reach each other");
+    }
+
+    #[test]
+    fn immediate_self_connections_rejected() {
+        let mut ed = NetworkEditor::new();
+        let p = ed.add_module("p", Box::new(Pass)).unwrap();
+        let err = ed.connect(p, "out", p, "in").unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+        assert!(ed.connections().is_empty());
+        assert_eq!(ed.levels().unwrap(), vec![vec![p]]);
+        // A delayed self-connection is legitimate feedback.
+        ed.connect_delayed(p, "out", p, "in").unwrap();
+        assert_eq!(ed.levels().unwrap(), vec![vec![p]]);
+    }
+
+    #[test]
+    fn levels_stable_under_insert_and_remove() {
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("s", Box::new(Source)).unwrap();
+        let a = ed.add_module("a", Box::new(Pass)).unwrap();
+        ed.connect(s, "out", a, "in").unwrap();
+        let before = level_names(&ed);
+        // Inserting a disconnected module leaves existing levels alone.
+        let x = ed.add_module("x", Box::new(Source)).unwrap();
+        let with_x = level_names(&ed);
+        assert_eq!(with_x[0], vec!["s", "x"]);
+        assert_eq!(with_x[1], before[1]);
+        // Removing it restores the original leveling exactly.
+        ed.remove_module(x).unwrap();
+        assert_eq!(level_names(&ed), before);
+        // Wiring the newcomer in *behind* a module deepens only that arm.
+        let y = ed.add_module("y", Box::new(Pass)).unwrap();
+        ed.connect(a, "out", y, "in").unwrap();
+        let with_y = level_names(&ed);
+        assert_eq!(with_y[..2], before[..2]);
+        assert_eq!(with_y[2], vec!["y"]);
+    }
+
+    #[test]
+    fn levels_stable_across_library_save_restore() {
+        use crate::library::{ModuleLibrary, NetworkDescription};
+
+        let mut ed = NetworkEditor::new();
+        let s = ed.add_module("src", Box::new(Source)).unwrap();
+        let l = ed.add_module("left", Box::new(Pass)).unwrap();
+        let r = ed.add_module("right", Box::new(Pass)).unwrap();
+        ed.connect(s, "out", l, "in").unwrap();
+        ed.connect(s, "out", r, "in").unwrap();
+        ed.connect_delayed(l, "out", s, "in").unwrap_err(); // Source has no input
+        let saved = NetworkDescription::capture(&ed);
+
+        let mut lib = ModuleLibrary::new();
+        lib.register("source", || Box::new(Source));
+        lib.register("pass", || Box::new(Pass));
+
+        // Restore twice — once into a fresh editor, once into an editor
+        // whose ModuleIds are offset by earlier placements — and compare
+        // levels by instance name: identical waves in identical order.
+        let mut fresh = NetworkEditor::new();
+        saved.restore(&lib, &mut fresh).unwrap();
+        assert_eq!(level_names(&fresh), level_names(&ed));
+
+        let mut offset = NetworkEditor::new();
+        let pre = offset.add_module("pre-existing", Box::new(Source)).unwrap();
+        offset.remove_module(pre).unwrap();
+        saved.restore(&lib, &mut offset).unwrap();
+        assert_eq!(level_names(&offset), level_names(&ed));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use npss::experiments::fig1::{measure_pair_costs, run_fig1_program};
+use npss::experiments::fig1::{measure_dataflow_overlap, measure_pair_costs, run_fig1_program};
 use uts::Value;
 
 fn bench_fig1(c: &mut Criterion) {
@@ -26,6 +26,22 @@ fn bench_fig1(c: &mut Criterion) {
     for pc in &costs {
         println!("{:<16} {:<16} {:<34} {:>10.3}", pc.from, pc.to, pc.network, pc.per_call_ms);
     }
+
+    println!("\n=== Sequential vs parallel control transfer ===\n");
+    let dc = measure_dataflow_overlap(&sch).expect("overlap measurement");
+    println!(
+        "{:<28} {:>14} {:>14} {:>16} {:>9}",
+        "program", "sequential ms", "parallel ms", "critical-path ms", "speedup"
+    );
+    println!(
+        "{:<28} {:>14.3} {:>14.3} {:>16.3} {:>8.2}x",
+        "fig1 P1 | P2 | P3", dc.sequential_ms, dc.parallel_ms, dc.critical_path_ms, dc.speedup
+    );
+    // The parallel column must reconcile with the critical path derived
+    // from the overlapped call spans: they are two routes to one number.
+    let drift = (dc.parallel_ms - dc.critical_path_ms).abs();
+    assert!(drift < 1e-6, "parallel column drifted {drift} ms from the span-derived critical path");
+    assert!(dc.speedup > 1.0, "overlapping independent calls must beat the sequential chain");
 
     // Wall-clock RPC latency per network class.
     sch.install_program("/bench/echo", bench::echo_image(), &["lerc-sgi-4d480", "ua-sparc10"])

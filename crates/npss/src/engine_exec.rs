@@ -22,8 +22,82 @@ use tess::solver::newton::{newton_solve, NewtonOptions};
 use tess::transient::{TransientMethod, TransientResult, TransientSample};
 use uts::Value;
 
-use crate::exec::{flow_to_value, value_to_flow, ComponentCall, LocalExec, RemoteExec};
+use crate::exec::{
+    flow_to_value, value_to_flow, ComponentCall, LocalExec, PendingCall, RemoteExec,
+};
 use crate::procs;
+
+/// How the executive orders adapted-module calls within a solver step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// One blocking call at a time, in gas-path order — the baseline.
+    #[default]
+    Sequential,
+    /// Issue every call in a dataflow level before collecting any, so
+    /// independent components overlap in virtual time and a level costs
+    /// its slowest member, not the sum.
+    WaveParallel,
+}
+
+/// Execution waves over the adapted-module slots, derived from the AVS
+/// network's leveling pass: slots in the same wave have no dataflow
+/// between them and may run concurrently.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WavePlan {
+    /// Slot names grouped into waves, outermost in dependency order.
+    pub waves: Vec<Vec<String>>,
+}
+
+impl WavePlan {
+    /// Whether two slots sit in the same wave (i.e. are independent).
+    pub fn same_wave(&self, a: &str, b: &str) -> bool {
+        self.waves.iter().any(|w| w.iter().any(|s| s == a) && w.iter().any(|s| s == b))
+    }
+
+    /// Derive the plan for the named slots from the Network Editor's
+    /// graph. The AVS leveling pass (delayed connections break cycles)
+    /// orders the slots by level; slots are then grouped greedily into
+    /// **antichains** — a slot joins the first wave none of whose members
+    /// reaches it (or is reached by it) over immediate connections, so
+    /// every wave's members are provably independent. Slots absent from
+    /// the network are skipped; intra-wave order follows `slots`, which
+    /// keeps issue and collect order deterministic.
+    pub fn derive(editor: &avs::NetworkEditor, slots: &[&str]) -> Result<WavePlan, String> {
+        let levels =
+            editor.levels().ok_or("network has a cycle not broken by a delayed connection")?;
+        let ids = editor.module_ids();
+        let mut placed: Vec<(usize, usize, avs::ModuleId)> = Vec::new();
+        for (si, slot) in slots.iter().enumerate() {
+            let Some(id) = ids.iter().copied().find(|&i| editor.name_of(i) == Some(slot)) else {
+                continue;
+            };
+            let lvl = levels
+                .iter()
+                .position(|w| w.contains(&id))
+                .ok_or_else(|| format!("module '{slot}' missing from the leveling"))?;
+            placed.push((lvl, si, id));
+        }
+        placed.sort_unstable();
+        let mut waves: Vec<Vec<(usize, avs::ModuleId)>> = Vec::new();
+        for (_, si, id) in placed {
+            let open = waves.iter_mut().find(|w| {
+                w.iter().all(|&(_, m)| !editor.has_path(m, id) && !editor.has_path(id, m))
+            });
+            match open {
+                Some(w) => w.push((si, id)),
+                None => waves.push(vec![(si, id)]),
+            }
+        }
+        let named = waves
+            .into_iter()
+            .map(|mut w| {
+                w.sort_unstable();
+                w.into_iter().map(|(si, _)| slots[si].to_owned()).collect()
+            })
+            .collect();
+        Ok(WavePlan { waves: named })
+    }
+}
 
 /// A component executor: local baseline or Schooner-remote.
 #[allow(clippy::large_enum_variant)] // few instances, boxing buys nothing
@@ -72,6 +146,37 @@ impl Exec {
             e.quit();
         }
     }
+
+    /// Issue the request half of a call; local executors (which have no
+    /// line to overlap on) compute eagerly and carry the result.
+    fn begin(&mut self, name: &str, args: &[Value]) -> PendingExec {
+        match self {
+            Exec::Local(e) => PendingExec::Done(e.call(name, args).map_err(|e| e.to_string())),
+            Exec::Remote(e) => match e.begin(name, args) {
+                Ok(p) => PendingExec::Remote(Box::new(p)),
+                Err(err) => PendingExec::Done(Err(err.to_string())),
+            },
+        }
+    }
+
+    /// Collect the reply half of a call begun with [`Exec::begin`].
+    fn finish(&mut self, pending: PendingExec) -> Result<Vec<Value>, String> {
+        match (self, pending) {
+            (_, PendingExec::Done(r)) => r,
+            (Exec::Remote(e), PendingExec::Remote(p)) => e.finish(*p).map_err(|e| e.to_string()),
+            (Exec::Local(_), PendingExec::Remote(p)) => {
+                Err(format!("pending call '{}' outlived its remote executor", p.name()))
+            }
+        }
+    }
+}
+
+/// An executor-level call in flight (or already done, for local slots).
+/// The remote half is boxed: most slots in a wave hold the small `Done`
+/// variant only briefly, the ticket payload is large.
+enum PendingExec {
+    Done(Result<Vec<Value>, String>),
+    Remote(Box<PendingCall>),
 }
 
 /// Solver tolerances appropriate for single-precision component calls.
@@ -149,6 +254,15 @@ pub struct ExecutiveEngine {
     pub max_recoveries: u32,
     /// Recoveries performed by the most recent `run_transient` call.
     pub recoveries: u32,
+    /// Call ordering within a solver step.
+    pub scheduling: Scheduling,
+    /// Execution waves from the AVS leveling pass; consulted (never
+    /// assumed) before any two slots are overlapped.
+    pub wave_plan: WavePlan,
+    /// The world's observability sink, captured from the first remote
+    /// executor bound; engine-level events and journal records go here
+    /// rather than being charged to any component's line.
+    obs: Option<schooner::Obs>,
     ecorr_lp: Option<f32>,
     ecorr_hp: Option<f32>,
 }
@@ -187,6 +301,9 @@ impl ExecutiveEngine {
             checkpoint_interval: 0,
             max_recoveries: 2,
             recoveries: 0,
+            scheduling: Scheduling::default(),
+            wave_plan: WavePlan::default(),
+            obs: None,
             ecorr_lp: None,
             ecorr_hp: None,
         })
@@ -206,7 +323,10 @@ impl ExecutiveEngine {
     /// Replace one executor with a remote one (by adapted-module slot
     /// name: `"bypass duct"`, `"tailpipe duct"`, `"combustor"`,
     /// `"nozzle"`, `"low speed shaft"`, `"high speed shaft"`).
-    pub fn set_remote(&mut self, slot: &str, exec: RemoteExec) -> Result<(), String> {
+    pub fn set_remote(&mut self, slot: &str, mut exec: RemoteExec) -> Result<(), String> {
+        if self.obs.is_none() {
+            self.obs = Some(exec.line_mut().obs().clone());
+        }
         let target = self.slot_mut(slot)?;
         target.quit();
         *target = Exec::Remote(exec);
@@ -243,10 +363,59 @@ impl ExecutiveEngine {
         }
     }
 
+    /// Run one execution wave: sync every participating remote line to a
+    /// common start instant, issue all requests in slot order, then
+    /// collect all replies in slot order. `calls` must be sorted by slot
+    /// index. Every pending call is drained even after a failure (a line
+    /// with a ticket outstanding accepts no other traffic); when several
+    /// calls in the wave fail, the error reported is the one lowest in
+    /// slot order, so the outcome never depends on reply arrival order.
+    fn call_wave(
+        &mut self,
+        calls: &[(usize, &'static str, Vec<Value>)],
+    ) -> Result<Vec<Vec<Value>>, String> {
+        let mut t0 = 0.0_f64;
+        for (slot, _, _) in calls {
+            if let Exec::Remote(r) = &mut self.slots[*slot].exec {
+                t0 = t0.max(r.line_mut().now());
+            }
+        }
+        for (slot, _, _) in calls {
+            if let Exec::Remote(r) = &mut self.slots[*slot].exec {
+                r.line_mut().sync_to(t0);
+            }
+        }
+        let mut pending = Vec::with_capacity(calls.len());
+        for (slot, name, args) in calls {
+            pending.push(self.slots[*slot].exec.begin(name, args));
+        }
+        let mut outs = Vec::with_capacity(calls.len());
+        let mut first_err: Option<(usize, String)> = None;
+        for ((slot, name, _), p) in calls.iter().zip(pending) {
+            match self.slots[*slot].exec.finish(p) {
+                Ok(o) => outs.push(o),
+                Err(e) => {
+                    outs.push(Vec::new());
+                    let msg = format!("{} ({name}): {e}", self.slots[*slot].slot);
+                    if first_err.as_ref().is_none_or(|(s, _)| slot < s) {
+                        first_err = Some((*slot, msg));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some((_, msg)) => Err(msg),
+            None => Ok(outs),
+        }
+    }
+
     /// Run the once-per-simulation `set…` procedures: parameter
     /// validation for duct/combustor/nozzle and the shaft balance
     /// corrections from the design-point powers.
     pub fn setup(&mut self) -> Result<(), String> {
+        if self.scheduling == Scheduling::WaveParallel {
+            return self.setup_wave();
+        }
         let cy = self.engine.cycle.clone();
         let d = self.engine.design.clone();
         self.slots[BYPASS_DUCT].exec.call("setduct", &[Value::Float(cy.bypass_dp as f32)])?;
@@ -292,6 +461,53 @@ impl ExecutiveEngine {
         Ok(())
     }
 
+    /// `setup` for the wave scheduler. Configuration has no dataflow
+    /// between components — each `set…` call only touches its own module
+    /// — so all six go out as one full-width wave, and each parameter
+    /// set rides the owning component's line.
+    fn setup_wave(&mut self) -> Result<(), String> {
+        let cy = self.engine.cycle.clone();
+        let d = self.engine.design.clone();
+        let shaft_args = |p_c: f64, p_t: f64| {
+            vec![
+                Value::floats(&[p_c as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+                Value::floats(&[p_t as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+            ]
+        };
+        let calls = [
+            (BYPASS_DUCT, "setduct", vec![Value::Float(cy.bypass_dp as f32)]),
+            (TAILPIPE, "setduct", vec![Value::Float(cy.tailpipe_dp as f32)]),
+            (
+                COMBUSTOR,
+                "setcomb",
+                vec![Value::Float(cy.comb_eta as f32), Value::Float(cy.comb_dp as f32)],
+            ),
+            (
+                NOZZLE,
+                "setnozl",
+                vec![
+                    Value::Float(d.nozzle_area as f32),
+                    Value::Float(cy.nozzle_cd as f32),
+                    Value::Float(cy.nozzle_cv as f32),
+                ],
+            ),
+            (LP_SHAFT, "setshaft", shaft_args(d.p_fan, d.p_lpt)),
+            (HP_SHAFT, "setshaft", shaft_args(d.p_hpc, d.p_hpt)),
+        ];
+        let outs = self.call_wave(&calls)?;
+        let ecorr_of = |out: &[Value]| -> Result<f32, String> {
+            match out.first() {
+                Some(Value::Float(x)) => Ok(*x),
+                other => Err(format!("setshaft returned {other:?}")),
+            }
+        };
+        self.ecorr_lp = Some(ecorr_of(&outs[4])?);
+        self.ecorr_hp = Some(ecorr_of(&outs[5])?);
+        Ok(())
+    }
+
     fn call_duct(
         exec: &mut Exec,
         flow: &tess::GasState,
@@ -312,6 +528,11 @@ impl ExecutiveEngine {
         wf: f64,
         x: &[f64; 5],
     ) -> Result<OperatingPoint, String> {
+        if self.scheduling == Scheduling::WaveParallel
+            && self.wave_plan.same_wave("bypass duct", "combustor")
+        {
+            return self.evaluate_wave(n1, n2, wf, x);
+        }
         let e = &self.engine;
         let [beta_fan, beta_hpc, er_hpt, er_lpt, bpr_frac] = *x;
         if !(0.1..=8.0).contains(&bpr_frac) {
@@ -418,8 +639,140 @@ impl ExecutiveEngine {
         })
     }
 
+    /// [`ExecutiveEngine::evaluate`] under the wave scheduler: the same
+    /// math in the same precision, but the bypass duct and the combustor
+    /// — independent in the AVS graph — go out as one wave. The local
+    /// fan/HPC/bleed computations are hoisted ahead of the wave so both
+    /// sets of arguments exist before either request is issued; every
+    /// number that feeds a residual is computed from the same inputs as
+    /// the sequential sweep, so the two paths agree bit for bit.
+    fn evaluate_wave(
+        &mut self,
+        n1: f64,
+        n2: f64,
+        wf: f64,
+        x: &[f64; 5],
+    ) -> Result<OperatingPoint, String> {
+        let e = &self.engine;
+        let [beta_fan, beta_hpc, er_hpt, er_lpt, bpr_frac] = *x;
+        if !(0.1..=8.0).contains(&bpr_frac) {
+            return Err(format!("bypass-ratio fraction {bpr_frac} outside model range"));
+        }
+        let bpr = e.cycle.bpr * bpr_frac;
+        let cy = e.cycle.clone();
+        let d = e.design.clone();
+
+        let probe = e.inlet.capture(e.flight.t_amb, e.flight.p_amb, e.flight.mach, 1.0);
+        let nc_fan = e.fan.corrected_speed(n1, probe.tt);
+        let fan_pt = e.fan.map.lookup(nc_fan, beta_fan).map_err(|err| format!("fan: {err}"))?;
+        let wc_fan = fan_pt.wc * (1.0 + 0.008 * e.stators.fan_deg);
+        let w2 = wc_fan * (probe.pt / tess::gas::P_STD) / (probe.tt / tess::gas::T_STD).sqrt();
+        let st2 = tess::GasState::new(w2, probe.tt, probe.pt, 0.0);
+
+        let fan_res = e.fan.operate(&st2, n1, beta_fan, e.stators.fan_deg)?;
+        let st21 = fan_res.exit;
+        let (st25, bypass) = tess::components::Splitter::new(bpr).split(&st21);
+
+        // Local HPC + bleed first: the combustor's wave arguments depend
+        // on them, the bypass duct's don't.
+        let hpc_res = e.hpc.operate(&st25, n2, beta_hpc, e.stators.hpc_deg)?;
+        let st3 = hpc_res.exit;
+        let r_hpc = (hpc_res.wc_map - st25.corrected_flow()) / d.st25.corrected_flow();
+        let (st3m, _) = e.bleed.extract(&st3);
+
+        // Wave: bypass duct and combustor are independent in the graph.
+        let calls = [
+            (
+                BYPASS_DUCT,
+                "duct",
+                vec![flow_to_value(&bypass), Value::Float(cy.bypass_dp as f32), Value::Float(0.0)],
+            ),
+            (
+                COMBUSTOR,
+                "comb",
+                vec![
+                    flow_to_value(&st3m),
+                    Value::Float(wf as f32),
+                    Value::Float(cy.comb_eta as f32),
+                    Value::Float(cy.comb_dp as f32),
+                ],
+            ),
+        ];
+        let outs = self.call_wave(&calls)?;
+        let st16 = value_to_flow(&outs[0][0])?;
+        let st4 = value_to_flow(&outs[1][0])?;
+
+        let e = &self.engine;
+        let hpt_res = e.hpt.operate(&st4, n2, er_hpt)?;
+        let st45 = hpt_res.exit;
+        let r_hpt = (hpt_res.wc_map - st4.corrected_flow()) / d.st4.corrected_flow();
+
+        let lpt_res = e.lpt.operate(&st45, n1, er_lpt)?;
+        let st5 = lpt_res.exit;
+        let r_lpt = (lpt_res.wc_map - st45.corrected_flow()) / d.st45.corrected_flow();
+
+        let design_mix_ratio = d.st5.pt / d.st16.pt;
+        let r_mix = (st5.pt / st16.pt) / design_mix_ratio - 1.0;
+
+        let st6 = e.mixer.mix(&st5, &st16);
+
+        // Adapted module: tailpipe duct (a singleton wave in the plan).
+        let st7 = Self::call_duct(&mut self.slots[TAILPIPE].exec, &st6, cy.tailpipe_dp)?;
+
+        // Adapted module: nozzle (likewise a singleton wave).
+        let e = &self.engine;
+        let nz_out = self.slots[NOZZLE].exec.call(
+            "nozl",
+            &[
+                flow_to_value(&st7),
+                Value::Float(e.flight.p_amb as f32),
+                Value::Float(d.nozzle_area as f32),
+                Value::Float(cy.nozzle_cd as f32),
+                Value::Float(cy.nozzle_cv as f32),
+            ],
+        )?;
+        let nz =
+            nz_out[0].as_floats().ok_or_else(|| "nozl returned malformed result".to_string())?;
+        let (w_capacity, gross_thrust) = (nz[0] as f64, nz[1] as f64);
+        let e = &self.engine;
+        let r_noz = (w_capacity - st7.w) / e.design.st7.w;
+
+        let ram_drag =
+            st2.w * tess::components::Inlet::flight_velocity(e.flight.t_amb, e.flight.mach);
+        let thrust = gross_thrust - ram_drag;
+
+        Ok(OperatingPoint {
+            n1,
+            n2,
+            wf,
+            st2,
+            st21,
+            st25,
+            st16,
+            st3,
+            st4,
+            st45,
+            st5,
+            st6,
+            st7,
+            p_fan: fan_res.power,
+            p_hpc: hpc_res.power,
+            p_hpt: hpt_res.power,
+            p_lpt: lpt_res.power,
+            thrust,
+            sfc: if thrust > 0.0 { wf / thrust } else { f64::NAN },
+            bpr,
+            flow_residuals: [r_hpc, r_hpt, r_lpt, r_noz, r_mix],
+        })
+    }
+
     /// Spool accelerations through the shaft executors (RPM/s).
     pub fn spool_accels(&mut self, op: &OperatingPoint) -> Result<(f64, f64), String> {
+        if self.scheduling == Scheduling::WaveParallel
+            && self.wave_plan.same_wave("low speed shaft", "high speed shaft")
+        {
+            return self.spool_accels_wave(op);
+        }
         let ecorr_lp = self.ecorr_lp.ok_or("setup() not run")?;
         let ecorr_hp = self.ecorr_hp.ok_or("setup() not run")?;
         let i1 = self.engine.cycle.i1;
@@ -453,6 +806,38 @@ impl ExecutiveEngine {
         let a2 =
             shaft_call(&mut self.slots[HP_SHAFT].exec, op.p_hpc, op.p_hpt, ecorr_hp, op.n2, i2)?;
         Ok((a1, a2))
+    }
+
+    /// [`ExecutiveEngine::spool_accels`] under the wave scheduler: the
+    /// two shafts share no state and form one wave.
+    fn spool_accels_wave(&mut self, op: &OperatingPoint) -> Result<(f64, f64), String> {
+        let ecorr_lp = self.ecorr_lp.ok_or("setup() not run")?;
+        let ecorr_hp = self.ecorr_hp.ok_or("setup() not run")?;
+        let i1 = self.engine.cycle.i1;
+        let i2 = self.engine.cycle.i2;
+        let shaft_args = |p_c: f64, p_t: f64, ecorr: f32, n: f64, inertia: f64| {
+            vec![
+                Value::floats(&[p_c as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+                Value::floats(&[p_t as f32, 0.0, 0.0, 0.0]),
+                Value::Integer(1),
+                Value::Float(ecorr),
+                Value::Float(n as f32),
+                Value::Float(inertia as f32),
+            ]
+        };
+        let calls = [
+            (LP_SHAFT, "shaft", shaft_args(op.p_fan, op.p_lpt, ecorr_lp, op.n1, i1)),
+            (HP_SHAFT, "shaft", shaft_args(op.p_hpc, op.p_hpt, ecorr_hp, op.n2, i2)),
+        ];
+        let outs = self.call_wave(&calls)?;
+        let accel_of = |out: &[Value]| -> Result<f64, String> {
+            match out.first() {
+                Some(Value::Float(x)) => Ok(*x as f64),
+                other => Err(format!("shaft returned {other:?}")),
+            }
+        };
+        Ok((accel_of(&outs[0])?, accel_of(&outs[1])?))
     }
 
     /// Solve the four inner flow-match unknowns at fixed speeds and fuel.
@@ -532,30 +917,34 @@ impl ExecutiveEngine {
         }
     }
 
-    /// The first remote executor's line — the engine's conduit to the
-    /// world's observability sink (`None` in an all-local configuration).
-    fn first_remote_line(&mut self) -> Option<&mut schooner::LineHandle> {
-        self.slots.iter_mut().find_map(|s| match &mut s.exec {
-            Exec::Remote(r) => Some(r.line_mut()),
-            Exec::Local(_) => None,
-        })
+    /// The engine's notion of "now": the furthest-advanced remote line's
+    /// virtual clock (0 in an all-local configuration). Engine-level
+    /// events and journal records are stamped with this, not with
+    /// whichever line happened to be listed first.
+    fn world_now(&mut self) -> f64 {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| match &mut s.exec {
+                Exec::Remote(r) => Some(r.line_mut().now()),
+                Exec::Local(_) => None,
+            })
+            .fold(0.0, f64::max)
     }
 
-    /// Emit an engine-level event through the first remote executor's
-    /// line (no-op in an all-local configuration).
+    /// Emit an engine-level event into the world's observability sink
+    /// (no-op before any remote executor is bound).
     fn emit_event(&mut self, kind: schooner::EventKind) {
-        if let Some(line) = self.first_remote_line() {
-            let now = line.now();
-            line.obs().emit(now, kind);
+        let now = self.world_now();
+        if let Some(obs) = &self.obs {
+            obs.emit(now, kind);
         }
     }
 
     /// Append a typed record to the world's attached journal (no-op in an
     /// all-local configuration or when no journal is attached).
     fn journal(&mut self, kind: ledger::RecordKind) {
-        if let Some(line) = self.first_remote_line() {
-            let now = line.now();
-            let obs = line.obs();
+        let now = self.world_now();
+        if let Some(obs) = &self.obs {
             if obs.ledger().is_attached() {
                 obs.ledger().append(now, kind);
             }
@@ -590,9 +979,8 @@ impl ExecutiveEngine {
             samples_len: samples_len as u64,
             state,
         });
-        if let Some(line) = self.first_remote_line() {
-            let now = line.now();
-            let obs = line.obs();
+        let now = self.world_now();
+        if let Some(obs) = &self.obs {
             if obs.ledger().is_attached() {
                 let json = obs.metrics().snapshot_json();
                 obs.ledger().append(now, ledger::RecordKind::MetricsSnapshot { json });
@@ -795,8 +1183,8 @@ impl ExecutiveEngine {
                     inner = cp.inner;
                     samples.truncate(cp.samples_len);
                     integrator = method.integrator();
-                    if let Some(line) = self.first_remote_line() {
-                        line.obs().metrics().counter_add("engine.rollbacks", 1);
+                    if let Some(obs) = &self.obs {
+                        obs.metrics().counter_add("engine.rollbacks", 1);
                     }
                     self.emit_event(schooner::EventKind::Rollback {
                         step: step + 1,

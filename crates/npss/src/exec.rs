@@ -11,7 +11,7 @@
 //! comparison the paper used to verify the adapted modules.
 
 use schooner::{
-    CallPolicy, LineHandle, OnExhaustion, ProcFault, Procedure, ProgramImage, SchError,
+    CallPolicy, CallTicket, LineHandle, OnExhaustion, ProcFault, Procedure, ProgramImage, SchError,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -238,25 +238,10 @@ impl RemoteExec {
 
 impl ComponentCall for RemoteExec {
     fn call(&mut self, name: &str, args: &[Value]) -> Result<Vec<Value>, ExecError> {
-        if self.degraded {
-            return self.fallback.as_mut().expect("degraded implies fallback").call(name, args);
-        }
-        match self.line.call_with(name, args, &self.policy) {
-            Ok(out) => {
-                if name.to_ascii_lowercase().starts_with("set") {
-                    self.config_log.push((name.to_owned(), args.to_vec()));
-                }
-                Ok(out)
-            }
-            Err(e @ (SchError::PolicyExhausted { .. } | SchError::DeadlineExceeded { .. }))
-                if self.policy.on_exhaustion == OnExhaustion::Degrade
-                    && self.fallback.is_some() =>
-            {
-                self.degrade(&e)?;
-                self.call(name, args)
-            }
-            Err(e) => Err(ExecError::Sch(e)),
-        }
+        // The blocking form is the split-phase form with no gap: one code
+        // path, so the two cannot drift apart in policy or bookkeeping.
+        let pending = self.begin(name, args)?;
+        self.finish(pending)
     }
 
     fn location(&self) -> String {
@@ -274,6 +259,75 @@ impl ComponentCall for RemoteExec {
 
     fn elapsed_virtual(&self) -> f64 {
         self.line.now() - self.started_at
+    }
+}
+
+/// A component call whose request has been issued but whose reply has
+/// not yet been collected — the executor-level face of a Schooner
+/// [`CallTicket`]. Executors without an in-flight line (local fallback
+/// after degradation) resolve eagerly and carry the finished result.
+pub struct PendingCall {
+    name: String,
+    args: Vec<Value>,
+    state: PendingState,
+}
+
+enum PendingState {
+    /// Already resolved (degraded executors compute at issue time).
+    Ready(Result<Vec<Value>, ExecError>),
+    /// A split-phase call outstanding on the executor's line.
+    Ticket(CallTicket),
+}
+
+impl PendingCall {
+    /// The procedure this pending call invokes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl RemoteExec {
+    /// Issue the request half of a call through this executor's line and
+    /// return without waiting for the reply; pair with
+    /// [`RemoteExec::finish`]. A degraded executor computes on the local
+    /// fallback immediately (there is nothing to overlap with).
+    pub fn begin(&mut self, name: &str, args: &[Value]) -> Result<PendingCall, ExecError> {
+        let state = if self.degraded {
+            PendingState::Ready(
+                self.fallback.as_mut().expect("degraded implies fallback").call(name, args),
+            )
+        } else {
+            PendingState::Ticket(self.line.issue_with(name, args, &self.policy)?)
+        };
+        Ok(PendingCall { name: name.to_owned(), args: args.to_vec(), state })
+    }
+
+    /// Collect the reply half of a call begun with [`RemoteExec::begin`].
+    /// The executor's [`CallPolicy`] runs its full retry/failover
+    /// lifecycle here, including degradation to the local fallback on
+    /// exhaustion — identical to the blocking [`ComponentCall::call`].
+    pub fn finish(&mut self, pending: PendingCall) -> Result<Vec<Value>, ExecError> {
+        let PendingCall { name, args, state } = pending;
+        let ticket = match state {
+            PendingState::Ready(out) => return out,
+            PendingState::Ticket(t) => t,
+        };
+        match self.line.collect(ticket) {
+            Ok(out) => {
+                if name.to_ascii_lowercase().starts_with("set") {
+                    self.config_log.push((name.clone(), args));
+                }
+                Ok(out)
+            }
+            Err(e @ (SchError::PolicyExhausted { .. } | SchError::DeadlineExceeded { .. }))
+                if self.policy.on_exhaustion == OnExhaustion::Degrade
+                    && self.fallback.is_some() =>
+            {
+                self.degrade(&e)?;
+                self.call(&name, &args)
+            }
+            Err(e) => Err(ExecError::Sch(e)),
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use schooner::{CallSpan, FnProcedure, Phase, ProgramImage, Schooner};
+use schooner::{critical_path, CallSpan, FnProcedure, Phase, ProgramImage, Schooner};
 use uts::Value;
 
 /// A procedure image used by the Figure 1 program: `work(x) -> y` doing a
@@ -103,6 +103,88 @@ pub fn run_fig1_program(sch: &Arc<Schooner>) -> Result<String, String> {
         }
     }
     Ok(rendered)
+}
+
+/// The sequential-vs-parallel comparison of the Figure 1 program: the
+/// three work procedures executed one after another versus overlapped
+/// with split-phase issue/collect, with the parallel cost cross-checked
+/// against the span-derived critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowCost {
+    /// Virtual milliseconds for the sequential chain P1 -> P2 -> P3.
+    pub sequential_ms: f64,
+    /// Virtual milliseconds with all three issued before any collect.
+    pub parallel_ms: f64,
+    /// The same quantity derived from the overlapped call spans: the
+    /// makespan of the wave the three calls form.
+    pub critical_path_ms: f64,
+    /// `sequential_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// Run the Figure 1 procedures both ways. P1, P2, and P3 have no data
+/// dependence on one another here, so the paper's sequential control
+/// transfer is a scheduling choice, not a dataflow necessity — this is
+/// the measurement behind the figure's sequential-vs-parallel column.
+pub fn measure_dataflow_overlap(sch: &Arc<Schooner>) -> Result<DataflowCost, String> {
+    sch.install_program("/fig1/p1", work_image("p1-vector", 5.0e7), &["lerc-cray-ymp"])
+        .map_err(|e| e.to_string())?;
+    sch.install_program("/fig1/p2", work_image("p2-seq", 2.0e6), &["lerc-rs6000"])
+        .map_err(|e| e.to_string())?;
+    sch.install_program("/fig1/p3", work_image("p3-parallel", 2.0e7), &["lerc-convex"])
+        .map_err(|e| e.to_string())?;
+
+    let mut lines = Vec::new();
+    for (name, path, host) in [
+        ("overlap-p1", "/fig1/p1", "lerc-cray-ymp"),
+        ("overlap-p2", "/fig1/p2", "lerc-rs6000"),
+        ("overlap-p3", "/fig1/p3", "lerc-convex"),
+    ] {
+        let mut line = sch.open_line(name, "lerc-sparc10").map_err(|e| e.to_string())?;
+        line.start_remote(path, host).map_err(|e| e.to_string())?;
+        // Warm the binding cache so both measurements are steady-state.
+        line.call("work", &[Value::Double(0.0)]).map_err(|e| e.to_string())?;
+        lines.push(line);
+    }
+
+    // Sequential: control returns to main between calls, so each call
+    // starts where the previous one ended.
+    let t0 = lines.iter().map(|l| l.now()).fold(0.0, f64::max);
+    let mut t = t0;
+    for line in &mut lines {
+        line.sync_to(t);
+        line.call("work", &[Value::Double(1.0)]).map_err(|e| e.to_string())?;
+        t = line.now();
+    }
+    let sequential_s = t - t0;
+
+    // Parallel: every call issued before any reply is collected.
+    let t1 = lines.iter().map(|l| l.now()).fold(0.0, f64::max);
+    let mut tickets = Vec::new();
+    for line in &mut lines {
+        line.sync_to(t1);
+        tickets.push(line.issue("work", &[Value::Double(1.0)]).map_err(|e| e.to_string())?);
+    }
+    let mut t_done = t1;
+    let mut parallel_spans = Vec::new();
+    for (line, ticket) in lines.iter_mut().zip(tickets) {
+        line.collect(ticket).map_err(|e| e.to_string())?;
+        t_done = t_done.max(line.now());
+        let spans = line.obs().spans_for_line(line.id());
+        parallel_spans.extend(spans.last().cloned());
+    }
+    let parallel_s = t_done - t1;
+    let cp = critical_path(&parallel_spans);
+
+    for mut line in lines {
+        line.quit().map_err(|e| e.to_string())?;
+    }
+    Ok(DataflowCost {
+        sequential_ms: sequential_s * 1e3,
+        parallel_ms: parallel_s * 1e3,
+        critical_path_ms: cp.critical_s * 1e3,
+        speedup: sequential_s / parallel_s,
+    })
 }
 
 /// Per-machine-pair call cost measurement, with the per-phase breakdown

@@ -15,8 +15,8 @@ use avs::{ModuleId, ModuleLibrary, NetworkDescription, NetworkEditor, Scheduler,
 use schooner::Schooner;
 use tess::transient::TransientResult;
 
-use crate::engine_exec::ExecReportRow;
-use crate::modules::{ComponentModule, ExecutiveServices, SystemModule};
+use crate::engine_exec::{ExecReportRow, WavePlan};
+use crate::modules::{ComponentModule, ExecutiveServices, SystemModule, ADAPTED_SLOTS};
 use crate::procs;
 
 /// A placement of adapted modules onto machines, for experiments.
@@ -175,11 +175,12 @@ impl F100Network {
     /// Select the remote machine for an adapted module (as the user would
     /// with the radio buttons); `"local"` restores the local version.
     pub fn place(&mut self, slot: &str, machine: &str) -> Result<(), String> {
-        self.editor.set_widget(
-            self.id(slot),
-            "remote machine",
-            WidgetInput::Choice(machine.to_owned()),
-        )
+        let Some(&id) = self.ids.get(slot) else {
+            let mut known: Vec<&str> = self.ids.keys().map(String::as_str).collect();
+            known.sort_unstable();
+            return Err(format!("unknown module slot '{slot}' (known: {})", known.join(", ")));
+        };
+        self.editor.set_widget(id, "remote machine", WidgetInput::Choice(machine.to_owned()))
     }
 
     /// Apply a whole placement.
@@ -188,6 +189,21 @@ impl F100Network {
             self.place(slot, machine)?;
         }
         Ok(())
+    }
+
+    /// Select the call scheduling for the next run, as the user would
+    /// with the system module's radio buttons: `"sequential"` (the
+    /// baseline) or `"wave-parallel"` (level-parallel dataflow waves).
+    pub fn set_scheduling(&mut self, mode: &str) -> Result<(), String> {
+        let system = self.id("system");
+        self.editor.set_widget(system, "scheduling", WidgetInput::Choice(mode.to_owned()))
+    }
+
+    /// The execution waves of the current network: the AVS leveling pass
+    /// over the graph, restricted to the adapted-module slots and grouped
+    /// into antichains.
+    pub fn wave_plan(&self) -> Result<WavePlan, String> {
+        WavePlan::derive(&self.editor, &ADAPTED_SLOTS)
     }
 
     /// Configure the system module and execute the network: balances the
@@ -206,6 +222,9 @@ impl F100Network {
         )?;
         self.editor.set_widget(system, "transient seconds", WidgetInput::Number(t_end))?;
         self.editor.set_widget(system, "time step", WidgetInput::Text(format!("{dt}")))?;
+        // Re-derive the execution waves from the graph as it stands now,
+        // so module insertions/removals since the last run are honoured.
+        self.services.set_wave_plan(self.wave_plan()?);
         self.editor.set_widget(system, "run", WidgetInput::Bool(true))?;
         self.scheduler.settle(&mut self.editor, 50).map_err(|e| e.to_string())?;
         // Disarm so widget fiddling doesn't re-trigger long runs.

@@ -34,6 +34,6 @@ pub use bridge::{
     component_image, component_path, install_component, ComponentProcedure, RemoteComponent,
     COMPONENT_PROC,
 };
-pub use engine_exec::{ExecutiveEngine, ExecutiveSolverOptions};
+pub use engine_exec::{ExecutiveEngine, ExecutiveSolverOptions, Scheduling, WavePlan};
 pub use exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
 pub use f100::{F100Network, RemotePlacement};

@@ -36,7 +36,7 @@ use tess::schedules::Schedule;
 use tess::transient::{TransientMethod, TransientResult};
 use uts::Value;
 
-use crate::engine_exec::{ExecReportRow, ExecutiveEngine};
+use crate::engine_exec::{ExecReportRow, ExecutiveEngine, Scheduling, WavePlan};
 use crate::exec::RemoteExec;
 
 /// The adapted-module placement slots of the F100 network.
@@ -63,6 +63,10 @@ pub struct ExecutiveServices {
     params: Mutex<HashMap<(String, String), f64>>,
     /// slot → registered component type name, for live modules.
     module_types: Mutex<HashMap<String, String>>,
+    /// Execution waves derived from the network graph's leveling pass;
+    /// empty until the network publishes one, which keeps the system
+    /// module on the sequential sweep.
+    wave_plan: Mutex<WavePlan>,
     result: Mutex<Option<TransientResult>>,
     report: Mutex<Vec<ExecReportRow>>,
 }
@@ -88,9 +92,20 @@ impl ExecutiveServices {
             placements: Mutex::new(HashMap::new()),
             params: Mutex::new(HashMap::new()),
             module_types: Mutex::new(HashMap::new()),
+            wave_plan: Mutex::new(WavePlan::default()),
             result: Mutex::new(None),
             report: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The execution waves the network last published.
+    pub fn wave_plan(&self) -> WavePlan {
+        self.wave_plan.lock().unwrap().clone()
+    }
+
+    /// Publish the execution waves derived from the current network.
+    pub fn set_wave_plan(&self, plan: WavePlan) {
+        *self.wave_plan.lock().unwrap() = plan;
     }
 
     /// The machine-selection radio choices: "local" plus every testbed
@@ -356,7 +371,12 @@ impl SystemModule {
 
     /// Build the executive engine from the current placements and
     /// operating conditions.
-    fn build_engine(&self, altitude_m: f64, mach: f64) -> Result<ExecutiveEngine, String> {
+    fn build_engine(
+        &self,
+        altitude_m: f64,
+        mach: f64,
+        scheduling: Scheduling,
+    ) -> Result<ExecutiveEngine, String> {
         let params = self.services.params();
         let mut cycle = self.services.cycle();
         if let Some(i) = params.get(&("low speed shaft".to_owned(), "moment inertia".to_owned())) {
@@ -376,6 +396,8 @@ impl SystemModule {
         let amb = tess::atmosphere::isa(altitude_m);
         engine.flight = tess::engine::FlightCondition { t_amb: amb.t, p_amb: amb.p, mach };
         let mut exec = ExecutiveEngine::all_local(engine)?;
+        exec.scheduling = scheduling;
+        exec.wave_plan = self.services.wave_plan();
 
         for (slot, (machine, path)) in self.services.placements() {
             if machine == "local" {
@@ -425,6 +447,7 @@ impl AvsModule for SystemModule {
                 &["Modified Euler", "Fourth-order Runge-Kutta", "Adams", "Gear"],
                 0,
             ))
+            .widget(Widget::radio("scheduling", &["sequential", "wave-parallel"], 0))
             .widget(Widget::slider("transient seconds", 0.0, 5.0, 1.0))
             .widget(Widget::type_in("time step", "0.02"))
             .widget(Widget::slider("initial fuel fraction", 0.5, 1.0, 0.92))
@@ -467,6 +490,10 @@ impl AvsModule for SystemModule {
             "Gear" => TransientMethod::Gear,
             _ => TransientMethod::ImprovedEuler,
         };
+        let scheduling = match ctx.widget_choice("scheduling")? {
+            "wave-parallel" => Scheduling::WaveParallel,
+            _ => Scheduling::Sequential,
+        };
         let t_end = ctx.widget_number("transient seconds")?;
         let dt: f64 = ctx
             .widget_text("time step")?
@@ -477,7 +504,7 @@ impl AvsModule for SystemModule {
         let altitude = ctx.widget_number("altitude")?;
         let mach = ctx.widget_number("mach")?;
 
-        let mut exec = self.build_engine(altitude, mach)?;
+        let mut exec = self.build_engine(altitude, mach, scheduling)?;
         // Fuel scales with ambient pressure (δ) so the throttle schedule
         // stays meaningful at altitude.
         let delta = exec.engine.flight.p_amb / tess::gas::P_STD;

@@ -88,9 +88,12 @@ pub mod system;
 pub mod trace;
 
 pub use error::{SchError, SchResult};
-pub use line::{LineHandle, LineId, LineStats};
+pub use line::{CallTicket, LineHandle, LineId, LineStats};
 pub use message::{FaultCode, WireFault};
-pub use obs::{CallSpan, EventKind, Histogram, MetricsRegistry, Obs, ObsEvent, Phase};
+pub use obs::{
+    critical_path, CallSpan, CriticalPath, EventKind, Histogram, MetricsRegistry, Obs, ObsEvent,
+    Phase, SpanWave,
+};
 pub use policy::{CallPolicy, OnExhaustion};
 pub use proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
 pub use program::{ProgramImage, ProgramRegistry};

@@ -52,6 +52,51 @@ struct Binding {
     wire: u8,
 }
 
+/// The in-flight (or already-failed) half of a split-phase call.
+///
+/// A ticket is created by [`LineHandle::issue_with`], which performs the
+/// request side of one call attempt — resolve, marshal, transmit — and
+/// returns without waiting. The caller may then do other work (or issue
+/// calls on *other* lines) while the request travels and the remote
+/// procedure computes; [`LineHandle::collect`] later blocks for the
+/// reply and runs the full [`CallPolicy`] recovery machinery if the
+/// attempt failed. A line holds at most one ticket at a time — a line is
+/// still one sequential thread of control; the parallelism comes from
+/// overlapping tickets *across* lines.
+#[derive(Debug)]
+pub struct CallTicket {
+    name: String,
+    key: String,
+    args: Vec<Value>,
+    policy: CallPolicy,
+    /// The line's virtual time when the call started (deadline anchor).
+    started: f64,
+    state: TicketState,
+}
+
+#[derive(Debug)]
+enum TicketState {
+    /// The request is on the (virtual) wire. The binding is boxed so a
+    /// failed ticket doesn't carry the full binding's footprint.
+    InFlight { call: u64, binding: Box<Binding>, request_bytes: u64 },
+    /// The issue attempt itself failed; the error is re-examined under
+    /// the policy at collect time, exactly as a blocking call would.
+    Failed(SchError),
+}
+
+impl CallTicket {
+    /// The procedure name this ticket calls.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the issue attempt put a request on the wire (false when
+    /// it failed before transmitting; the failure surfaces at collect).
+    pub fn in_flight(&self) -> bool {
+        matches!(self.state, TicketState::InFlight { .. })
+    }
+}
+
 /// Cumulative transport statistics for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LineStats {
@@ -92,6 +137,9 @@ pub struct LineHandle {
     next_req: u64,
     stats: LineStats,
     quit_sent: bool,
+    /// An issued ticket awaits collection; further requests on the line
+    /// are refused until then (one in-flight call per line).
+    in_flight: bool,
     /// Scratch buffer reused for every request encode; its allocation
     /// survives across calls so steady-state marshaling is copy-only.
     encode_buf: BytesMut,
@@ -127,6 +175,7 @@ impl LineHandle {
             next_req: 1,
             stats: LineStats::default(),
             quit_sent: false,
+            in_flight: false,
             encode_buf: BytesMut::new(),
         };
         let req = handle.fresh_req();
@@ -167,6 +216,16 @@ impl LineHandle {
     pub fn local_work(&self, flops: f64) -> f64 {
         let secs = self.ctx.park.compute_seconds(&self.host, flops).unwrap_or(0.0);
         self.clock.advance(secs)
+    }
+
+    /// Merge an external virtual timestamp into this line's clock
+    /// (Lamport max; the clock never moves backwards). A wave scheduler
+    /// calls this before issuing, so every line in a wave starts from
+    /// the same instant and the wave's virtual makespan is the *maximum*
+    /// of its calls rather than their sum. Returns the clock after the
+    /// merge.
+    pub fn sync_to(&self, secs: f64) -> f64 {
+        self.clock.merge(secs)
     }
 
     /// Transport statistics.
@@ -273,34 +332,120 @@ impl LineHandle {
     ///
     /// Errors outside the policy's retry set — remote faults, type
     /// mismatches, unknown names — are returned immediately, untouched.
+    ///
+    /// `call_with` is exactly [`LineHandle::issue_with`] followed by
+    /// [`LineHandle::collect`]: the split-phase API with no work between
+    /// the halves. The event, span, and metric sequence of the two forms
+    /// is identical.
     pub fn call_with(
         &mut self,
         name: &str,
         args: &[Value],
         policy: &CallPolicy,
     ) -> SchResult<Vec<Value>> {
+        let ticket = self.issue_with(name, args, policy)?;
+        self.collect(ticket)
+    }
+
+    /// Invoke a remote procedure with the default policy, split-phase:
+    /// issue the request and return without waiting for the reply.
+    pub fn issue(&mut self, name: &str, args: &[Value]) -> SchResult<CallTicket> {
+        self.issue_with(name, args, &CallPolicy::default())
+    }
+
+    /// Issue the request half of a call under an explicit [`CallPolicy`]
+    /// and return a [`CallTicket`] without waiting for the reply.
+    ///
+    /// The attempt's request side — binding resolution, argument
+    /// marshaling, transmission — runs here, charging the Marshal and
+    /// Transmit phases of the call's span; the line's clock stops at the
+    /// moment the request leaves. While the ticket is outstanding the
+    /// line accepts no other request (one in-flight call per line — a
+    /// line is one sequential thread of control); callers overlap work
+    /// by issuing on *several* lines and then collecting each. An issue-
+    /// side failure is not returned here: it is recorded in the ticket
+    /// and surfaces from [`LineHandle::collect`], which owns the
+    /// policy's whole retry/failover lifecycle.
+    pub fn issue_with(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        policy: &CallPolicy,
+    ) -> SchResult<CallTicket> {
         self.ensure_live()?;
         let key = name.to_ascii_lowercase();
         let started = self.clock.now();
-        let mut rng = JitterRng::new(policy.seed, name);
+        let state = if policy.deadline_s.is_some_and(|limit| limit < 0.0) {
+            // A deadline already in the past fails before any attempt,
+            // exactly as the blocking loop's entry check did.
+            TicketState::Failed(SchError::DeadlineExceeded {
+                what: name.to_owned(),
+                deadline_s: policy.deadline_s.unwrap_or_default(),
+            })
+        } else {
+            match self.resolve_and_issue(&key, name, args) {
+                Ok((call, binding, request_bytes)) => {
+                    TicketState::InFlight { call, binding: Box::new(binding), request_bytes }
+                }
+                Err(e) => TicketState::Failed(e),
+            }
+        };
+        self.in_flight = true;
+        Ok(CallTicket {
+            name: name.to_owned(),
+            key,
+            args: args.to_vec(),
+            policy: policy.clone(),
+            started,
+            state,
+        })
+    }
+
+    /// Collect the reply half of a split-phase call: block until the
+    /// ticket's reply arrives (fencing stale incarnations), then
+    /// unmarshal the results. On failure the ticket's [`CallPolicy`]
+    /// takes over with the same lifecycle as a blocking
+    /// [`LineHandle::call_with`] — stale-binding refresh, bounded
+    /// retries with seeded backoff, migration failover, deadline
+    /// enforcement anchored at issue time — with the already-spent issue
+    /// attempt counted. Collecting consumes the ticket and frees the
+    /// line for its next request, whatever the outcome.
+    pub fn collect(&mut self, ticket: CallTicket) -> SchResult<Vec<Value>> {
+        self.in_flight = false;
+        let CallTicket { name, key, args, policy, started, state } = ticket;
+        let mut rng = JitterRng::new(policy.seed, &name);
         let mut failover = policy.failover.iter();
         let mut backoff = policy.backoff_initial_s;
-        let mut attempts: u32 = 0;
-        let mut attempts_here: u32 = 0;
-        loop {
-            if let Some(limit) = policy.deadline_s {
-                if self.clock.now() - started > limit {
-                    return Err(SchError::DeadlineExceeded {
-                        what: name.to_owned(),
-                        deadline_s: limit,
-                    });
-                }
+        let mut attempts: u32 = 1;
+        let mut attempts_here: u32 = 1;
+        // The issued attempt's outcome enters the policy loop as attempt
+        // one; later iterations run whole attempts themselves.
+        let mut pending: Option<SchResult<Vec<Value>>> = Some(match state {
+            TicketState::InFlight { call, binding, request_bytes } => {
+                self.collect_attempt(call, &binding, request_bytes)
             }
-            attempts += 1;
-            attempts_here += 1;
-            let err = match self.resolve_and_call(&key, name, args) {
-                Ok(out) => return Ok(out),
-                Err(e) => e,
+            TicketState::Failed(e) => Err(e),
+        });
+        loop {
+            let err = match pending.take() {
+                Some(Ok(out)) => return Ok(out),
+                Some(Err(e)) => e,
+                None => {
+                    if let Some(limit) = policy.deadline_s {
+                        if self.clock.now() - started > limit {
+                            return Err(SchError::DeadlineExceeded {
+                                what: name,
+                                deadline_s: limit,
+                            });
+                        }
+                    }
+                    attempts += 1;
+                    attempts_here += 1;
+                    match self.resolve_and_call(&key, &name, &args) {
+                        Ok(out) => return Ok(out),
+                        Err(e) => e,
+                    }
+                }
             };
             if err.is_stale_binding() {
                 // The process behind the cached address is gone; the next
@@ -323,12 +468,12 @@ impl LineHandle {
                         self.clock.now(),
                         EventKind::FailoverMove {
                             line: self.id,
-                            name: name.to_owned(),
+                            name: name.clone(),
                             target: target.clone(),
                             cause: err.to_string(),
                         },
                     );
-                    match self.move_procedure(name, target) {
+                    match self.move_procedure(&name, target) {
                         Ok(()) => {
                             self.stats.failovers += 1;
                             self.ctx.obs.metrics().counter_add("rpc.failovers", 1);
@@ -349,7 +494,7 @@ impl LineHandle {
                 }
                 if !moved {
                     return Err(SchError::PolicyExhausted {
-                        what: name.to_owned(),
+                        what: name,
                         attempts,
                         last: Box::new(err),
                     });
@@ -366,7 +511,7 @@ impl LineHandle {
                     EventKind::CallRetry {
                         line: self.id,
                         attempt: attempts_here,
-                        name: name.to_owned(),
+                        name: name.clone(),
                         backoff_s: Some(pause),
                         cause: err.to_string(),
                     },
@@ -378,7 +523,7 @@ impl LineHandle {
                     EventKind::CallRetry {
                         line: self.id,
                         attempt: attempts_here,
-                        name: name.to_owned(),
+                        name: name.clone(),
                         backoff_s: None,
                         cause: err.to_string(),
                     },
@@ -391,14 +536,29 @@ impl LineHandle {
 
     /// One resolution-plus-call attempt against the current cache.
     fn resolve_and_call(&mut self, key: &str, name: &str, args: &[Value]) -> SchResult<Vec<Value>> {
+        let (call, binding, request_bytes) = self.resolve_and_issue(key, name, args)?;
+        self.collect_attempt(call, &binding, request_bytes)
+    }
+
+    /// Resolve the binding (consulting the Manager on a cache miss) and
+    /// issue one request; returns the in-flight attempt's identity.
+    fn resolve_and_issue(
+        &mut self,
+        key: &str,
+        name: &str,
+        args: &[Value],
+    ) -> SchResult<(u64, Binding, u64)> {
         if !self.cache.contains_key(key) {
             let binding = self.map_via_manager(name)?;
             self.cache.insert(key.to_owned(), binding);
         }
-        self.attempt_call(key, args)
+        self.issue_attempt(key, args)
     }
 
-    fn attempt_call(&mut self, key: &str, args: &[Value]) -> SchResult<Vec<Value>> {
+    /// The request side of one attempt: open the span, marshal, and
+    /// transmit. Returns `(call id, binding, request bytes)` with the
+    /// request on the wire; an error abandons the span.
+    fn issue_attempt(&mut self, key: &str, args: &[Value]) -> SchResult<(u64, Binding, u64)> {
         let binding = self.cache.get(key).expect("binding inserted by caller").clone();
         let call = self.fresh_req();
         let obs = self.ctx.obs.clone();
@@ -410,12 +570,8 @@ impl LineHandle {
             host_part(&binding.addr),
             self.clock.now(),
         );
-        let result = self.attempt_call_span(call, &binding, args);
-        match result {
-            Ok(out) => {
-                obs.span_end(self.id, call, self.clock.now());
-                Ok(out)
-            }
+        match self.issue_attempt_span(call, &binding, args) {
+            Ok(request_bytes) => Ok((call, binding, request_bytes)),
             Err(e) => {
                 obs.span_abandon(self.id, call);
                 Err(e)
@@ -423,14 +579,15 @@ impl LineHandle {
         }
     }
 
-    /// The body of one attempt, with every duration attributed to the
-    /// open span for `call`. Any error abandons the span in the caller.
-    fn attempt_call_span(
+    /// The body of the request side, with every duration attributed to
+    /// the open span for `call`. Any error abandons the span in the
+    /// caller.
+    fn issue_attempt_span(
         &mut self,
         call: u64,
         binding: &Binding,
         args: &[Value],
-    ) -> SchResult<Vec<Value>> {
+    ) -> SchResult<u64> {
         let obs = self.ctx.obs.clone();
         binding.stub.marshal_inputs_into(&mut self.encode_buf, args, self.arch, binding.wire)?;
         let wire = Bytes::copy_from_slice(&self.encode_buf);
@@ -462,6 +619,38 @@ impl LineHandle {
         let sent_at = self.clock.now();
         let arrive_at = self.endpoint.send(&binding.addr, msg.encode(), sent_at)?;
         obs.span_phase(self.id, call, Phase::Transmit, arrive_at - sent_at);
+        Ok(request_bytes)
+    }
+
+    /// The reply side of one attempt: await the reply (closing the span)
+    /// and unmarshal the results; an error abandons the span.
+    fn collect_attempt(
+        &mut self,
+        call: u64,
+        binding: &Binding,
+        request_bytes: u64,
+    ) -> SchResult<Vec<Value>> {
+        let obs = self.ctx.obs.clone();
+        match self.collect_attempt_span(call, binding, request_bytes) {
+            Ok(out) => {
+                obs.span_end(self.id, call, self.clock.now());
+                Ok(out)
+            }
+            Err(e) => {
+                obs.span_abandon(self.id, call);
+                Err(e)
+            }
+        }
+    }
+
+    /// The body of the reply side, attributed to the open span.
+    fn collect_attempt_span(
+        &mut self,
+        call: u64,
+        binding: &Binding,
+        request_bytes: u64,
+    ) -> SchResult<Vec<Value>> {
+        let obs = self.ctx.obs.clone();
         let reply = self.await_call_reply(call, binding.incarnation)?;
         match reply {
             Msg::CallReply { result, .. } => {
@@ -641,6 +830,10 @@ impl LineHandle {
     fn ensure_live(&self) -> SchResult<()> {
         if self.quit_sent {
             Err(SchError::UnknownLine(self.id))
+        } else if self.in_flight {
+            // A line is one thread of control: any new request or manager
+            // operation would race the outstanding reply on the wire.
+            Err(SchError::Other(format!("line {} already has a call in flight", self.id)))
         } else {
             Ok(())
         }

@@ -21,7 +21,7 @@ mod event;
 mod span;
 
 pub use event::{EventKind, ObsEvent};
-pub use span::{CallSpan, Phase, PHASES, PHASE_COUNT};
+pub use span::{critical_path, CallSpan, CriticalPath, Phase, SpanWave, PHASES, PHASE_COUNT};
 
 pub use ledger::LedgerHandle;
 pub use netsim::metrics::{Histogram, MetricsRegistry};
@@ -150,13 +150,20 @@ impl Obs {
     }
 
     /// Close a span successfully, feeding the per-machine-pair latency
-    /// histogram `rpc.call_s.{from}->{to}`.
+    /// histogram `rpc.call_s.{from}->{to}`. The observed duration is
+    /// quantized to a nanosecond grid so it depends only on the call's
+    /// length, not on the absolute instant it started: `end - start`
+    /// picks up last-ULP rounding from the start time, which would make
+    /// overlapped and serialized schedules of the same calls produce
+    /// different snapshots. The model's latencies are microseconds and
+    /// up, so the grid is far below resolution.
     pub fn span_end(&self, line: u64, call: u64, t: f64) {
         let ended = lock(&self.inner.spans).end(line, call, t);
         if let Some(span) = ended {
+            let seconds = (span.total() * 1e9).round() / 1e9;
             self.inner
                 .metrics
-                .observe(&format!("rpc.call_s.{}->{}", span.from_host, span.to_host), span.total());
+                .observe(&format!("rpc.call_s.{}->{}", span.from_host, span.to_host), seconds);
         }
     }
 

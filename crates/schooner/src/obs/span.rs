@@ -96,6 +96,93 @@ impl CallSpan {
     }
 }
 
+/// One wave of temporally overlapping spans: a connected component of
+/// the interval-overlap graph over `[started_at, ended_at)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanWave {
+    /// The member spans, in start order (ties by `(line, call)`).
+    pub spans: Vec<CallSpan>,
+    /// Earliest start in the wave.
+    pub started_at: f64,
+    /// Latest end in the wave.
+    pub ended_at: f64,
+}
+
+impl SpanWave {
+    /// Number of overlapped calls.
+    pub fn width(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Wall (virtual) duration of the wave: latest end minus earliest
+    /// start — what the wave costs on the critical path.
+    pub fn makespan(&self) -> f64 {
+        self.ended_at - self.started_at
+    }
+
+    /// The longest member span — the wave's critical call.
+    pub fn critical(&self) -> &CallSpan {
+        self.spans
+            .iter()
+            .max_by(|a, b| a.total().total_cmp(&b.total()))
+            .expect("waves are non-empty")
+    }
+}
+
+/// Critical-path analysis of a set of completed spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The overlap waves, in time order.
+    pub waves: Vec<SpanWave>,
+    /// Sum of every span's duration — the cost if nothing overlapped.
+    pub serial_s: f64,
+    /// Sum of wave makespans — the cost given the overlap that actually
+    /// happened.
+    pub critical_s: f64,
+}
+
+impl CriticalPath {
+    /// How much the overlap bought: serial over critical (1.0 when no
+    /// calls overlapped).
+    pub fn speedup(&self) -> f64 {
+        if self.critical_s > 0.0 {
+            self.serial_s / self.critical_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Group completed spans into overlap waves and total up the critical
+/// path. Spans on different lines overlap when their virtual-time
+/// intervals do — exactly what split-phase issue/collect produces — so
+/// the result shows where a schedule actually ran calls concurrently.
+pub fn critical_path(spans: &[CallSpan]) -> CriticalPath {
+    let mut sorted: Vec<CallSpan> = spans.to_vec();
+    sorted.sort_by(|a, b| {
+        a.started_at.total_cmp(&b.started_at).then_with(|| (a.line, a.call).cmp(&(b.line, b.call)))
+    });
+    let mut waves: Vec<SpanWave> = Vec::new();
+    for span in sorted {
+        match waves.last_mut() {
+            // Strictly-before comparison: a span starting exactly when
+            // the wave ends is sequential, not overlapped.
+            Some(wave) if span.started_at < wave.ended_at => {
+                wave.ended_at = wave.ended_at.max(span.ended_at);
+                wave.spans.push(span);
+            }
+            _ => waves.push(SpanWave {
+                started_at: span.started_at,
+                ended_at: span.ended_at,
+                spans: vec![span],
+            }),
+        }
+    }
+    let serial_s = spans.iter().map(CallSpan::total).sum();
+    let critical_s = waves.iter().map(SpanWave::makespan).sum();
+    CriticalPath { waves, serial_s, critical_s }
+}
+
 /// Open and completed spans. Interior to [`Obs`](super::Obs), which
 /// wraps it in a poison-recovering mutex.
 #[derive(Debug, Default)]
@@ -210,6 +297,42 @@ mod tests {
         let mut t = SpanTable::default();
         t.phase(7, 7, Phase::Compute, 1.0);
         assert!(t.completed().is_empty());
+    }
+
+    fn span(line: u64, start: f64, end: f64) -> CallSpan {
+        CallSpan {
+            line,
+            call: 1,
+            proc: "p".into(),
+            from_host: "a".into(),
+            to_host: "b".into(),
+            started_at: start,
+            ended_at: end,
+            phases: [0.0; PHASE_COUNT],
+        }
+    }
+
+    #[test]
+    fn critical_path_groups_overlapping_spans() {
+        // Two overlapped calls, then a gap, then a lone call.
+        let spans = [span(1, 0.0, 1.0), span(2, 0.5, 2.0), span(3, 2.0, 3.0)];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.waves.len(), 2);
+        assert_eq!(cp.waves[0].width(), 2);
+        assert_eq!(cp.waves[0].makespan(), 2.0);
+        assert_eq!(cp.waves[0].critical().line, 2);
+        assert_eq!(cp.waves[1].width(), 1, "touching intervals stay sequential");
+        assert_eq!(cp.serial_s, 3.5);
+        assert_eq!(cp.critical_s, 3.0);
+        assert!((cp.speedup() - 3.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_of_nothing_is_empty() {
+        let cp = critical_path(&[]);
+        assert!(cp.waves.is_empty());
+        assert_eq!(cp.serial_s, 0.0);
+        assert_eq!(cp.speedup(), 1.0);
     }
 
     #[test]

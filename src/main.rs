@@ -5,14 +5,19 @@
 //! npss-sim table1 [SECONDS]             regenerate Table 1
 //! npss-sim table2 [SECONDS]             regenerate Table 2
 //! npss-sim fig1                         Figure 1 control-transfer trace
-//! npss-sim f100 [SECONDS] [slot=machine ...]
+//! npss-sim f100 [SECONDS] [slot=machine ...] [--parallel]
 //!                                       run the F100 network, optionally
-//!                                       placing adapted modules remotely
-//! npss-sim costs [--metrics] [--journal PATH]
+//!                                       placing adapted modules remotely;
+//!                                       --parallel schedules each graph
+//!                                       level as one wave of overlapped
+//!                                       split-phase calls
+//! npss-sim costs [--metrics] [--journal PATH] [--critical-path]
 //!                                       per-machine-pair RPC costs with a
 //!                                       span-derived phase breakdown;
 //!                                       --journal also writes a durable
-//!                                       journal ending in a metrics snapshot
+//!                                       journal ending in a metrics snapshot;
+//!                                       --critical-path appends a wave view
+//!                                       of overlapped split-phase calls
 //! npss-sim replay PATH [--metrics] [--events] [--range A:B]
 //!                                       inspect a durable journal: record
 //!                                       summary, retained checkpoints, the
@@ -44,11 +49,15 @@ fn usage() -> String {
      table1 [SECONDS]        regenerate Table 1 (default 1.0 s transient)\n\
      table2 [SECONDS]        regenerate Table 2 (default 1.0 s transient)\n\
      fig1                    Figure 1 control-transfer trace\n\
-     f100 [SECONDS] [slot=machine ...]   run the F100 network\n\
-     costs [--metrics] [--journal PATH]\n\
+     f100 [SECONDS] [slot=machine ...] [--parallel]\n\
+     \u{20}                        run the F100 network; --parallel overlaps\n\
+     \u{20}                        each graph level's calls (same results)\n\
+     costs [--metrics] [--journal PATH] [--critical-path]\n\
      \u{20}                        per-machine-pair RPC cost table with phase\n\
      \u{20}                        breakdown; --metrics appends the JSON snapshot,\n\
-     \u{20}                        --journal writes a durable journal of the run\n\
+     \u{20}                        --journal writes a durable journal of the run,\n\
+     \u{20}                        --critical-path appends the overlap-wave view\n\
+     \u{20}                        of the Figure 1 program run both ways\n\
      replay PATH [--metrics] [--events] [--range A:B]\n\
      \u{20}                        inspect a durable journal after the world is\n\
      \u{20}                        gone: summary, checkpoints, metrics, events"
@@ -135,6 +144,7 @@ fn cmd_fig1() -> Result<(), String> {
 
 fn cmd_costs(args: &[String]) -> Result<(), String> {
     let dump_metrics = args.iter().any(|a| a == "--metrics");
+    let dump_critical = args.iter().any(|a| a == "--critical-path");
     let journal_path = args
         .iter()
         .position(|a| a == "--journal")
@@ -171,6 +181,42 @@ fn cmd_costs(args: &[String]) -> Result<(), String> {
             c.reply_ms,
             c.unmarshal_ms,
             c.per_call_ms
+        );
+    }
+    if dump_critical {
+        // A fresh span slate, then the Figure 1 program run sequentially
+        // and overlapped, so the wave view shows exactly that program.
+        sch.ctx().obs.clear_spans();
+        let dc = fig1::measure_dataflow_overlap(&sch)?;
+        let cp = npss_sim::schooner::critical_path(&sch.ctx().obs.completed_spans());
+        println!("\ncritical-path view (Figure 1 program, overlapped call spans):");
+        println!(
+            "{:<5} {:>5} {:>10} {:>12}  critical call",
+            "wave", "width", "start s", "makespan ms"
+        );
+        for (i, wave) in cp.waves.iter().enumerate() {
+            let c = wave.critical();
+            println!(
+                "{:<5} {:>5} {:>10.4} {:>12.3}  {} {} -> {}",
+                i + 1,
+                wave.width(),
+                wave.started_at,
+                wave.makespan() * 1e3,
+                c.proc,
+                c.from_host,
+                c.to_host
+            );
+        }
+        println!(
+            "\nserial {:.3} ms, critical path {:.3} ms, overlap speedup {:.2}x",
+            cp.serial_s * 1e3,
+            cp.critical_s * 1e3,
+            cp.speedup()
+        );
+        println!(
+            "sequential chain {:.3} ms vs issued-before-collect {:.3} ms \
+             (span-derived {:.3} ms), speedup {:.2}x",
+            dc.sequential_ms, dc.parallel_ms, dc.critical_path_ms, dc.speedup
         );
     }
     if dump_metrics {
@@ -265,20 +311,29 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
 fn cmd_f100(args: &[String]) -> Result<(), String> {
     let mut seconds = 1.0;
+    let mut parallel = false;
     let mut placement = RemotePlacement::all_local();
     for a in args {
-        if let Ok(s) = a.parse::<f64>() {
+        if a == "--parallel" {
+            parallel = true;
+        } else if let Ok(s) = a.parse::<f64>() {
             seconds = s;
         } else if let Some((slot, machine)) = a.split_once('=') {
             placement = placement.with(slot, machine);
         } else {
-            return Err(format!("cannot parse argument '{a}' (want SECONDS or slot=machine)"));
+            return Err(format!(
+                "cannot parse argument '{a}' (want SECONDS, slot=machine, or --parallel)"
+            ));
         }
     }
 
     let sch = world()?;
     let mut net = F100Network::build(sch.clone(), "ua-sparc10")?;
     net.apply_placement(&placement)?;
+    if parallel {
+        net.set_scheduling("wave-parallel")?;
+        println!("scheduling: wave-parallel ({:?})\n", net.wave_plan()?.waves);
+    }
     if !placement.entries.is_empty() {
         println!("placements:");
         for (slot, machine) in &placement.entries {

@@ -15,8 +15,8 @@ fn bench_payload(c: &mut Criterion) {
     let sch = bench::world();
     println!("\n=== Ablation A8: simulated RPC cost vs payload size ===\n");
     println!(
-        "{:<10} {:>10} {:>16} {:>16} {:>16}",
-        "elems", "bytes", "ethernet ms", "building ms", "internet ms"
+        "{:<10} {:>10} {:>16} {:>16} {:>16} {:>18}",
+        "elems", "bytes", "ethernet ms", "building ms", "internet ms", "internet batch ms"
     );
 
     let classes = [
@@ -44,14 +44,54 @@ fn bench_payload(c: &mut Criterion) {
             line.quit().unwrap();
         }
     }
+    // Batched column: the same internet-class calls over the coalesced
+    // link transport. A serial caller's frames each carry one request and
+    // flush at their own send instant, so the arrival law makes this
+    // column equal to the unbatched cost — batching never taxes the
+    // latency-dominated small-payload calls it exists to help. Measured
+    // against a *fresh* unbatched world (not the shared-table world,
+    // whose marshal fast-path cache state differs by this point) so the
+    // comparison isolates the transport.
+    let measure = |sch: &schooner::Schooner, tag: &str, si: usize, len: usize| -> f64 {
+        let path = format!("/bench/payload{len}");
+        sch.install_program(&path, bench::payload_image(len), &["lerc-rs6000"]).unwrap();
+        let mut line = sch.open_line(&format!("pl{tag}-{si}"), "ua-sparc10").unwrap();
+        line.start_remote(&path, "lerc-rs6000").unwrap();
+        let xs = Value::floats(&vec![1.0f32; len]);
+        line.call("blast", std::slice::from_ref(&xs)).unwrap(); // warm
+        let t0 = line.now();
+        let n = 10;
+        for _ in 0..n {
+            line.call("blast", std::slice::from_ref(&xs)).unwrap();
+        }
+        let per = (line.now() - t0) * 1e3 / n as f64;
+        line.quit().unwrap();
+        per
+    };
+    let sch_plain = bench::world();
+    let sch_b = bench::batched_world();
+    let mut batched_col = vec![0.0f64; sizes.len()];
+    for (si, &len) in sizes.iter().enumerate() {
+        let reference = measure(&sch_plain, "R", si, len);
+        batched_col[si] = measure(&sch_b, "B", si, len);
+        let rel = (batched_col[si] - reference).abs() / reference;
+        assert!(
+            rel < 1e-9,
+            "batched serial calls must cost the same as unbatched at {len} elems \
+             ({reference} ms vs {} ms)",
+            batched_col[si],
+        );
+    }
+
     for (si, &len) in sizes.iter().enumerate() {
         println!(
-            "{:<10} {:>10} {:>16.3} {:>16.3} {:>16.3}",
+            "{:<10} {:>10} {:>16.3} {:>16.3} {:>16.3} {:>18.3}",
             len,
             len * 5, // tagged f32s on the wire
             table[si][0],
             table[si][1],
-            table[si][2]
+            table[si][2],
+            batched_col[si]
         );
     }
     // Shape: at small payloads the Internet column is latency-dominated

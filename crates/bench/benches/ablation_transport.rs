@@ -1,0 +1,161 @@
+//! Ablation A10 — batched, coalesced link transport under a flood.
+//!
+//! A design-space sweep floods thousands of small `duct` requests from
+//! the UA Sparc 10 to the LeRC RS6000 over the Internet link — the
+//! traffic shape where per-message route latency dominates. This bench
+//! runs the same seeded flood unbatched and batched and compares *link
+//! occupancy*: how long the route is busy per logical message. The
+//! decomposition comes straight from the cost model
+//! (`Network::link_cost` returns the route's latency and per-byte
+//! terms): an unbatched flood pays the latency term once per message, a
+//! batched flood once per frame, and the byte term is identical — so
+//! throughput in messages per link-second is computed analytically from
+//! the deterministic counters, with no wall-clock noise in the simulated
+//! rows.
+//!
+//! Regenerates `BENCH_transport.json` (set `BENCH_OUT` to redirect;
+//! `BENCH_QUICK=1` trims the flood and Criterion sampling for the CI
+//! smoke job). The ≥5x batched-throughput floor is asserted here and
+//! checked again by CI from the JSON artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netsim::{BatchConfig, CreditConfig, LinkConfig};
+use npss::sweep::{SweepConfig, SweepDriver, SweepReport};
+use schooner::{Schooner, SchoonerConfig};
+
+const FROM: &str = "ua-sparc10";
+const TO: &str = "lerc-rs6000";
+
+struct FloodRow {
+    report: SweepReport,
+    msgs: u64,
+    bytes: u64,
+    /// Latency-paying wire units: frames when batched, messages when not.
+    frames: u64,
+    stalls: u64,
+    occupancy_s: f64,
+}
+
+fn flood(config: SchoonerConfig, variants: usize) -> FloodRow {
+    let sch = Schooner::standard_with(config).unwrap();
+    let cfg = SweepConfig { variants, ..SweepConfig::default() };
+    let mut driver = SweepDriver::start(&sch, cfg).unwrap();
+    let report = driver.run().unwrap();
+    driver.shutdown();
+    let (latency_s, per_byte_s) = sch.ctx().net.link_cost(FROM, TO).unwrap();
+    let m = sch.ctx().obs.metrics();
+    let link = format!("{FROM}->{TO}");
+    let msgs = m.counter(&format!("net.msg.{link}"));
+    let bytes = m.counter(&format!("net.bytes.{link}"));
+    let flushes = m.counter(&format!("net.batch.flushes.{link}"));
+    let stalls = m.counter(&format!("net.credit.stalls.{link}"));
+    let frames = if flushes > 0 { flushes } else { msgs };
+    let occupancy_s = frames as f64 * latency_s + bytes as f64 * per_byte_s;
+    sch.shutdown();
+    FloodRow { report, msgs, bytes, frames, stalls, occupancy_s }
+}
+
+fn batched_config(credit: Option<CreditConfig>) -> SchoonerConfig {
+    SchoonerConfig::builder()
+        .link_batching(LinkConfig { batch: BatchConfig::default(), credit })
+        .build()
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let variants = if quick { 240 } else { 2048 };
+
+    let plain = flood(SchoonerConfig::default(), variants);
+    let batched = flood(batched_config(None), variants);
+
+    assert_eq!(plain.report.checksum, batched.report.checksum, "coalescing changed a sweep result");
+    assert_eq!(plain.msgs, batched.msgs, "logical message counts diverged");
+    assert_eq!(plain.bytes, batched.bytes, "logical byte counts diverged");
+
+    let thr = |r: &FloodRow| r.msgs as f64 / r.occupancy_s;
+    let speedup = thr(&batched) / thr(&plain);
+    let fill = batched.msgs as f64 / batched.frames as f64;
+
+    // Backpressure row: a credit window far smaller than the flood keeps
+    // the sender honest — it must stall (in virtual time) and still
+    // finish with the same answers. Stalls within the budget are not
+    // errors; they are the flow-control working.
+    let bp_variants = if quick { 96 } else { 512 };
+    let bp_plain = flood(SchoonerConfig::default(), bp_variants);
+    let credit = CreditConfig { window_bytes: 512, window_msgs: 4, max_stall_s: 600.0 };
+    let bp = flood(batched_config(Some(credit)), bp_variants);
+    assert!(bp.stalls > 0, "tight window never stalled the flood — row is vacuous");
+    assert_eq!(bp.report.checksum, bp_plain.report.checksum, "backpressure changed a result");
+
+    println!("\n=== Ablation A10: flood throughput, unbatched vs coalesced ({FROM} -> {TO}) ===\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>8} {:>14} {:>12}",
+        "transport", "msgs", "frames", "fill", "occupancy s", "msgs/link-s"
+    );
+    for (label, r) in [("unbatched", &plain), ("batched", &batched)] {
+        println!(
+            "{:<22} {:>9} {:>9} {:>8.1} {:>14.3} {:>12.1}",
+            label,
+            r.msgs,
+            r.frames,
+            r.msgs as f64 / r.frames as f64,
+            r.occupancy_s,
+            thr(r)
+        );
+    }
+    println!("\nthroughput speedup: {speedup:.2}x (floor 5.0x)");
+    println!(
+        "backpressure ({} B / {} msg window): {} credit stalls, flood completed, \
+         checksum unchanged",
+        credit.window_bytes, credit.window_msgs, bp.stalls
+    );
+
+    assert!(speedup >= 5.0, "batched flood speedup {speedup:.2}x is below the 5x floor");
+
+    let json = format!(
+        "{{\n  \"bench\": \"transport_flood\",\n  \"quick\": {quick},\n  \
+         \"link\": \"{FROM}->{TO}\",\n  \"variants\": {variants},\n  \"rows\": [\n    \
+         {{\"transport\": \"unbatched\", \"msgs\": {}, \"frames\": {}, \
+         \"occupancy_s\": {:.6}, \"msgs_per_link_s\": {:.3}}},\n    \
+         {{\"transport\": \"batched\", \"msgs\": {}, \"frames\": {}, \
+         \"occupancy_s\": {:.6}, \"msgs_per_link_s\": {:.3}, \"mean_fill\": {:.2}}}\n  ],\n  \
+         \"speedup\": {:.3},\n  \"floor\": 5.0,\n  \
+         \"backpressure\": {{\"window_bytes\": {}, \"window_msgs\": {}, \
+         \"stalls\": {}, \"completed\": true, \"checksum_matches_unbatched\": true}}\n}}\n",
+        plain.msgs,
+        plain.frames,
+        plain.occupancy_s,
+        thr(&plain),
+        batched.msgs,
+        batched.frames,
+        batched.occupancy_s,
+        thr(&batched),
+        fill,
+        speedup,
+        credit.window_bytes,
+        credit.window_msgs,
+        bp.stalls,
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json").into()
+    });
+    std::fs::write(&out, json).unwrap();
+    println!("\nwrote {out}");
+
+    // Wall-clock cost of the transport machinery itself: one small
+    // flood end-to-end, unbatched vs coalesced.
+    let mut group = c.benchmark_group("transport_flood");
+    group.sample_size(if quick { 10 } else { 20 });
+    for (label, config) in
+        [("flood_unbatched", SchoonerConfig::default()), ("flood_batched", batched_config(None))]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| flood(config.clone(), 64).report.checksum);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

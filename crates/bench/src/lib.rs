@@ -8,12 +8,19 @@
 
 use std::sync::Arc;
 
-use schooner::{FnProcedure, ProgramImage, Schooner};
+use schooner::{FnProcedure, ProgramImage, Schooner, SchoonerConfig};
 use uts::Value;
 
 /// Build the standard world once per bench process.
 pub fn world() -> Arc<Schooner> {
     Arc::new(Schooner::standard().expect("standard world"))
+}
+
+/// The standard world with default link batching (coalescing, no flow
+/// control) installed — the "batched" column of the transport ablations.
+pub fn batched_world() -> Arc<Schooner> {
+    let config = SchoonerConfig::builder().link_batching(netsim::LinkConfig::default()).build();
+    Arc::new(Schooner::standard_with(config).expect("batched world"))
 }
 
 /// A tiny echo image for RPC microbenchmarks.

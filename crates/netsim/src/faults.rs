@@ -214,6 +214,40 @@ impl FaultPlan {
     /// network. Backing off to a window's `until` instant is therefore
     /// always sufficient to clear it.
     pub fn check_send(&self, from_host: &str, to_host: &str, t: f64) -> Result<(), NetError> {
+        self.check_window(from_host, to_host, t)?;
+        for rule in &self.drops {
+            if rule.probability > 0.0 && pair_matches(rule, from_host, to_host) {
+                let n = {
+                    let mut counters = self.counters.lock().unwrap();
+                    let n = counters.entry((from_host.to_owned(), to_host.to_owned())).or_insert(0);
+                    *n += 1;
+                    *n
+                };
+                let mut h = hash_bytes(self.seed, from_host.as_bytes());
+                h = hash_bytes(h, to_host.as_bytes());
+                h ^= n;
+                splitmix64(&mut h);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < rule.probability {
+                    return Err(NetError::Dropped {
+                        from: from_host.to_owned(),
+                        to: to_host.to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check only the *windowed* faults (crashes, flaps, partitions) at
+    /// virtual time `t`, without consuming a drop ordinal. The batched
+    /// transport uses this to re-validate a link when a frame flushes:
+    /// each logical message already consumed its drop ordinal at append
+    /// time, so re-running [`check_send`] would desynchronize the
+    /// seeded drop sequence from the unbatched path.
+    ///
+    /// [`check_send`]: FaultPlan::check_send
+    pub fn check_window(&self, from_host: &str, to_host: &str, t: f64) -> Result<(), NetError> {
         for c in &self.crashes {
             if t >= c.at && t < c.restart {
                 if c.host == from_host {
@@ -240,27 +274,6 @@ impl FaultPlan {
                     from: from_host.to_owned(),
                     to: to_host.to_owned(),
                 });
-            }
-        }
-        for rule in &self.drops {
-            if rule.probability > 0.0 && pair_matches(rule, from_host, to_host) {
-                let n = {
-                    let mut counters = self.counters.lock().unwrap();
-                    let n = counters.entry((from_host.to_owned(), to_host.to_owned())).or_insert(0);
-                    *n += 1;
-                    *n
-                };
-                let mut h = hash_bytes(self.seed, from_host.as_bytes());
-                h = hash_bytes(h, to_host.as_bytes());
-                h ^= n;
-                splitmix64(&mut h);
-                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-                if u < rule.probability {
-                    return Err(NetError::Dropped {
-                        from: from_host.to_owned(),
-                        to: to_host.to_owned(),
-                    });
-                }
             }
         }
         Ok(())

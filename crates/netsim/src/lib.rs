@@ -19,6 +19,7 @@
 //! reporting wide-area numbers.
 
 pub mod faults;
+pub mod link;
 pub mod metrics;
 pub mod sites;
 pub mod time;
@@ -26,8 +27,11 @@ pub mod topology;
 pub mod transport;
 
 pub use faults::FaultPlan;
+pub use link::{BatchConfig, CreditConfig, FrameError, LinkConfig};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sites::{npss_testbed, replica_of, HostSpec, Site};
 pub use time::VirtualClock;
 pub use topology::{Link, NodeId, NodeKind, Topology};
-pub use transport::{Endpoint, Envelope, NetError, Network, NetworkStats};
+pub use transport::{
+    Endpoint, Envelope, FlushRecord, FlushReport, NetError, Network, NetworkStats, SendReport,
+};

@@ -1,0 +1,618 @@
+//! Link-layer framing, batching, and credit accounting (wire v2 at the
+//! link layer).
+//!
+//! The base transport pays one envelope per message: a small-message
+//! flood pays the full route latency for every call. This module adds
+//! the pieces the transport composes into batched links:
+//!
+//! * a **frame codec** ([`FrameBuilder`]/[`decode_frame`]) that packs
+//!   many logical messages into one checksummed link frame;
+//! * a **`LinkBatcher`** per directed host pair that accumulates
+//!   messages into an open frame until a flush threshold fires
+//!   ([`BatchConfig`]);
+//! * **credit accounting** (`CreditState`) for receiver-granted
+//!   byte/message windows ([`CreditConfig`]): senders that exhaust the
+//!   window stall in *virtual* time until credits return, so a slow
+//!   endpoint backpressures its callers instead of growing an unbounded
+//!   queue.
+//!
+//! Everything here is keyed on virtual time and plain arithmetic — no
+//! wall clocks, no RNG — so batched runs stay deterministic.
+//!
+//! # Frame format
+//!
+//! ```text
+//! header (15 bytes):
+//!   magic   2  "NB"
+//!   version 1  FRAME_VERSION
+//!   count   4  number of records, big-endian u32
+//!   len     4  body length in bytes, big-endian u32
+//!   crc     4  CRC-32 (IEEE) over the body
+//! body: `count` records, each:
+//!   from_len u16, from bytes, to_len u16, to bytes,
+//!   sent_at  8  f64 bits, payload_len u32, payload bytes
+//! ```
+//!
+//! The decoder rejects truncated frames, corrupted bodies (CRC), frames
+//! split across reads, and record counts that disagree with the body.
+
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Frame magic: "NB" (netsim batch).
+pub const FRAME_MAGIC: [u8; 2] = *b"NB";
+/// Link frame format version.
+pub const FRAME_VERSION: u8 = 2;
+/// Fixed frame header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 15;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise implementation —
+/// frames are small and this keeps the codec dependency-free.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header or the declared body need (a frame
+    /// split across reads decodes to this on both halves).
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first two bytes are not [`FRAME_MAGIC`].
+    BadMagic([u8; 2]),
+    /// Unsupported frame version.
+    BadVersion(u8),
+    /// Body checksum mismatch (corruption).
+    CrcMismatch {
+        /// CRC declared in the header.
+        declared: u32,
+        /// CRC computed over the received body.
+        computed: u32,
+    },
+    /// The body ended before the declared record count was parsed.
+    CountMismatch {
+        /// Records the header declared.
+        declared: u32,
+        /// Records actually parsed.
+        parsed: u32,
+    },
+    /// Bytes left over after the declared records (or after the body).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::CrcMismatch { declared, computed } => {
+                write!(
+                    f,
+                    "frame crc mismatch: declared {declared:#010x}, computed {computed:#010x}"
+                )
+            }
+            FrameError::CountMismatch { declared, parsed } => {
+                write!(f, "frame record count mismatch: declared {declared}, parsed {parsed}")
+            }
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame records"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One logical message recovered from a frame. The payload is a
+/// zero-copy slice of the frame buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameMsg {
+    /// Sender's full address (`host:process`).
+    pub from: String,
+    /// Destination address.
+    pub to: String,
+    /// Virtual time the sender issued the message.
+    pub sent_at: f64,
+    /// The message payload.
+    pub payload: Bytes,
+}
+
+/// Incremental frame encoder. Messages are written straight into the
+/// frame buffer (scatter-gather: callers hand a closure that emits the
+/// payload bytes in place, so no per-message intermediate allocation).
+#[derive(Debug)]
+pub struct FrameBuilder {
+    buf: BytesMut,
+    count: u32,
+}
+
+impl Default for FrameBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameBuilder {
+    /// An empty frame with a placeholder header.
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(256);
+        buf.put_slice(&FRAME_MAGIC);
+        buf.put_u8(FRAME_VERSION);
+        buf.put_u32(0); // count, backfilled by finish()
+        buf.put_u32(0); // body len, backfilled
+        buf.put_u32(0); // crc, backfilled
+        Self { buf, count: 0 }
+    }
+
+    /// Number of records written so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Total frame bytes so far (header + body).
+    pub fn frame_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append one record, letting `write` emit exactly `payload_len`
+    /// payload bytes directly into the frame buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `write` emits a different number of bytes than
+    /// `payload_len` — the record header is written first, so the
+    /// length must be known up front.
+    pub fn push_with(
+        &mut self,
+        from: &str,
+        to: &str,
+        sent_at: f64,
+        payload_len: usize,
+        write: &mut dyn FnMut(&mut BytesMut),
+    ) {
+        let b = &mut self.buf;
+        b.put_u16(u16::try_from(from.len()).expect("address too long"));
+        b.put_slice(from.as_bytes());
+        b.put_u16(u16::try_from(to.len()).expect("address too long"));
+        b.put_slice(to.as_bytes());
+        b.put_u64(sent_at.to_bits());
+        b.put_u32(u32::try_from(payload_len).expect("payload too large"));
+        let before = b.len();
+        write(b);
+        assert_eq!(
+            b.len() - before,
+            payload_len,
+            "scatter-gather writer emitted a different length than declared"
+        );
+        self.count += 1;
+    }
+
+    /// Append one record from a contiguous payload slice.
+    pub fn push(&mut self, from: &str, to: &str, sent_at: f64, payload: &[u8]) {
+        self.push_with(from, to, sent_at, payload.len(), &mut |b| b.put_slice(payload));
+    }
+
+    /// Backfill the header (count, body length, CRC) and freeze the
+    /// frame into its wire image.
+    pub fn finish(mut self) -> Bytes {
+        let body_len = self.buf.len() - FRAME_HEADER_LEN;
+        let crc = crc32(&self.buf[FRAME_HEADER_LEN..]);
+        self.buf[3..7].copy_from_slice(&self.count.to_be_bytes());
+        self.buf[7..11].copy_from_slice(&(body_len as u32).to_be_bytes());
+        self.buf[11..15].copy_from_slice(&crc.to_be_bytes());
+        self.buf.freeze()
+    }
+}
+
+/// Decode a frame into its logical messages. Payloads are zero-copy
+/// slices of `frame`.
+pub fn decode_frame(frame: &Bytes) -> Result<Vec<FrameMsg>, FrameError> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated { needed: FRAME_HEADER_LEN, have: frame.len() });
+    }
+    if frame[0..2] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic([frame[0], frame[1]]));
+    }
+    if frame[2] != FRAME_VERSION {
+        return Err(FrameError::BadVersion(frame[2]));
+    }
+    let count = u32::from_be_bytes(frame[3..7].try_into().unwrap());
+    let body_len = u32::from_be_bytes(frame[7..11].try_into().unwrap()) as usize;
+    let declared_crc = u32::from_be_bytes(frame[11..15].try_into().unwrap());
+    let total = FRAME_HEADER_LEN + body_len;
+    if frame.len() < total {
+        return Err(FrameError::Truncated { needed: total, have: frame.len() });
+    }
+    if frame.len() > total {
+        return Err(FrameError::TrailingBytes(frame.len() - total));
+    }
+    let body = &frame[FRAME_HEADER_LEN..total];
+    let computed = crc32(body);
+    if computed != declared_crc {
+        return Err(FrameError::CrcMismatch { declared: declared_crc, computed });
+    }
+    let mut msgs = Vec::with_capacity(count as usize);
+    let mut off = FRAME_HEADER_LEN;
+    for parsed in 0..count {
+        match decode_record(frame, &mut off, total) {
+            Some(msg) => msgs.push(msg),
+            None => return Err(FrameError::CountMismatch { declared: count, parsed }),
+        }
+    }
+    if off != total {
+        return Err(FrameError::TrailingBytes(total - off));
+    }
+    Ok(msgs)
+}
+
+fn decode_record(frame: &Bytes, off: &mut usize, end: usize) -> Option<FrameMsg> {
+    let take = |off: &mut usize, n: usize| -> Option<usize> {
+        let start = *off;
+        if start + n > end {
+            return None;
+        }
+        *off = start + n;
+        Some(start)
+    };
+    let s = take(off, 2)?;
+    let from_len = u16::from_be_bytes(frame[s..s + 2].try_into().unwrap()) as usize;
+    let s = take(off, from_len)?;
+    let from = std::str::from_utf8(&frame[s..s + from_len]).ok()?.to_owned();
+    let s = take(off, 2)?;
+    let to_len = u16::from_be_bytes(frame[s..s + 2].try_into().unwrap()) as usize;
+    let s = take(off, to_len)?;
+    let to = std::str::from_utf8(&frame[s..s + to_len]).ok()?.to_owned();
+    let s = take(off, 8)?;
+    let sent_at = f64::from_bits(u64::from_be_bytes(frame[s..s + 8].try_into().unwrap()));
+    let s = take(off, 4)?;
+    let payload_len = u32::from_be_bytes(frame[s..s + 4].try_into().unwrap()) as usize;
+    let s = take(off, payload_len)?;
+    let payload = frame.slice(s..s + payload_len);
+    Some(FrameMsg { from, to, sent_at, payload })
+}
+
+/// When an open frame is flushed onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Flush once the frame holds at least this many logical payload
+    /// bytes. `1` disables coalescing by size (every message flushes
+    /// alone).
+    pub max_frame_bytes: u64,
+    /// Flush once the frame holds this many messages.
+    pub max_frame_msgs: u32,
+    /// Flush when a new append finds the oldest buffered message has
+    /// waited at least this many virtual seconds.
+    pub linger_s: f64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_frame_bytes: 4096, max_frame_msgs: 32, linger_s: 2e-3 }
+    }
+}
+
+/// Receiver-granted credit window per directed link. Credits are
+/// consumed when a message is appended and returned one virtual
+/// ack-latency after its frame's last arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreditConfig {
+    /// Outstanding (sent, unacknowledged) payload bytes the receiver
+    /// allows on the link.
+    pub window_bytes: u64,
+    /// Outstanding messages the receiver allows.
+    pub window_msgs: u32,
+    /// Longest virtual-time stall a sender will tolerate waiting for
+    /// credits before the send fails with
+    /// [`NetError::CreditStall`](crate::NetError::CreditStall).
+    pub max_stall_s: f64,
+}
+
+impl Default for CreditConfig {
+    fn default() -> Self {
+        Self { window_bytes: 64 * 1024, window_msgs: 256, max_stall_s: 5.0 }
+    }
+}
+
+/// Full link-layer configuration: batching thresholds plus optional
+/// flow control.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkConfig {
+    /// Coalescing thresholds.
+    pub batch: BatchConfig,
+    /// Credit-based flow control; `None` leaves the link unthrottled.
+    pub credit: Option<CreditConfig>,
+}
+
+/// One message buffered in an open frame, with the caller's opaque tag
+/// (the Schooner layer stores `(line id, call id)` for span
+/// attribution).
+#[derive(Debug, Clone)]
+pub(crate) struct PendingMsg {
+    pub(crate) tag: (u64, u64),
+    pub(crate) from: String,
+    pub(crate) to: String,
+    pub(crate) sent_at: f64,
+    pub(crate) payload_len: usize,
+}
+
+/// An open (not yet flushed) frame on one link.
+#[derive(Debug)]
+pub(crate) struct OpenFrame {
+    pub(crate) builder: FrameBuilder,
+    pub(crate) msgs: Vec<PendingMsg>,
+    pub(crate) first_sent: f64,
+    pub(crate) max_sent: f64,
+    /// Logical payload bytes (framing overhead excluded — the cost
+    /// model charges payload bytes only, matching the unbatched path).
+    pub(crate) payload_bytes: u64,
+}
+
+impl OpenFrame {
+    pub(crate) fn new() -> Self {
+        Self {
+            builder: FrameBuilder::new(),
+            msgs: Vec::new(),
+            first_sent: f64::INFINITY,
+            max_sent: f64::NEG_INFINITY,
+            payload_bytes: 0,
+        }
+    }
+}
+
+/// Per-directed-link batching and credit state. Owned by the transport
+/// under its link-table lock.
+#[derive(Debug, Default)]
+pub(crate) struct LinkBatcher {
+    pub(crate) frame: Option<OpenFrame>,
+    pub(crate) credit: CreditState,
+}
+
+/// Credit ledger for one directed link.
+///
+/// `pending` holds one entry per buffered (unflushed) message, in
+/// append order; flushing settles them with a return time (or releases
+/// them immediately when delivery failed). `settled` entries return to
+/// the window once virtual time passes their `return_t`.
+#[derive(Debug, Default)]
+pub(crate) struct CreditState {
+    pending: Vec<u64>,
+    settled: Vec<(f64, u64)>,
+}
+
+impl CreditState {
+    /// Return settled credits whose return time has passed.
+    pub(crate) fn retire(&mut self, t: f64) {
+        self.settled.retain(|&(rt, _)| rt > t);
+    }
+
+    /// Outstanding (bytes, messages) still charged against the window.
+    pub(crate) fn outstanding(&self) -> (u64, u32) {
+        let bytes: u64 =
+            self.pending.iter().sum::<u64>() + self.settled.iter().map(|&(_, b)| b).sum::<u64>();
+        let msgs = (self.pending.len() + self.settled.len()) as u32;
+        (bytes, msgs)
+    }
+
+    /// Charge one buffered message against the window.
+    pub(crate) fn reserve(&mut self, bytes: u64) {
+        self.pending.push(bytes);
+    }
+
+    /// Settle every pending reservation after a flush: `Some(return_t)`
+    /// schedules the credit's return, `None` (failed delivery) releases
+    /// it immediately.
+    pub(crate) fn settle(&mut self, outcomes: &[Option<f64>]) {
+        debug_assert_eq!(outcomes.len(), self.pending.len(), "settle must cover the whole frame");
+        for (bytes, outcome) in self.pending.drain(..).zip(outcomes) {
+            if let Some(rt) = outcome {
+                self.settled.push((*rt, bytes));
+            }
+        }
+    }
+
+    /// True when a message of `need_bytes` fits in the window right
+    /// now. A message larger than the whole window is admitted alone
+    /// (when nothing is outstanding) so it can ever be sent at all.
+    pub(crate) fn admits(&self, need_bytes: u64, w: &CreditConfig) -> bool {
+        let (out_bytes, out_msgs) = self.outstanding();
+        (out_bytes + need_bytes <= w.window_bytes || out_bytes == 0) && out_msgs < w.window_msgs
+    }
+
+    /// Earliest virtual time `>= t` at which a message of `need_bytes`
+    /// fits in the window, or `None` when it never will. Must be called
+    /// with no pending reservations (the caller flushes first). A
+    /// message larger than the whole window is admitted once the link
+    /// is idle.
+    pub(crate) fn earliest_available(
+        &self,
+        t: f64,
+        need_bytes: u64,
+        w: &CreditConfig,
+    ) -> Option<f64> {
+        debug_assert!(self.pending.is_empty(), "flush before computing a stall");
+        let fits = |out_bytes: u64, out_msgs: u32| {
+            (out_bytes + need_bytes <= w.window_bytes || out_bytes == 0) && out_msgs < w.window_msgs
+        };
+        let mut live: Vec<(f64, u64)> =
+            self.settled.iter().copied().filter(|&(rt, _)| rt > t).collect();
+        live.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out_bytes: u64 = live.iter().map(|&(_, b)| b).sum();
+        let mut out_msgs = live.len() as u32;
+        if fits(out_bytes, out_msgs) {
+            return Some(t);
+        }
+        for (rt, bytes) in live {
+            out_bytes -= bytes;
+            out_msgs -= 1;
+            if fits(out_bytes, out_msgs) {
+                return Some(rt);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_multiple_messages() {
+        let mut b = FrameBuilder::new();
+        b.push("a:x", "b:y", 1.5, b"hello");
+        b.push_with("a:x", "b:z", 2.5, 3, &mut |buf| buf.put_slice(b"abc"));
+        assert_eq!(b.count(), 2);
+        let frame = b.finish();
+        let msgs = decode_frame(&frame).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].from, "a:x");
+        assert_eq!(msgs[0].to, "b:y");
+        assert_eq!(msgs[0].sent_at, 1.5);
+        assert_eq!(&msgs[0].payload[..], b"hello");
+        assert_eq!(&msgs[1].payload[..], b"abc");
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let frame = FrameBuilder::new().finish();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN);
+        assert!(decode_frame(&frame).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let mut b = FrameBuilder::new();
+        b.push("a:x", "b:y", 0.0, &[7; 100]);
+        let frame = b.finish();
+        for cut in 0..frame.len() {
+            let prefix = frame.slice(0..cut);
+            let err = decode_frame(&prefix).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. } | FrameError::BadMagic(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected_by_crc() {
+        let mut b = FrameBuilder::new();
+        b.push("a:x", "b:y", 0.0, b"payload-bytes");
+        let frame = b.finish();
+        for i in FRAME_HEADER_LEN..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[i] ^= 0x40;
+            let err = decode_frame(&Bytes::from(bad)).unwrap_err();
+            assert!(matches!(err, FrameError::CrcMismatch { .. }), "flip at {i} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let frame = FrameBuilder::new().finish();
+        let mut bad = frame.to_vec();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&Bytes::from(bad)).unwrap_err(), FrameError::BadMagic(_)));
+        let mut bad = frame.to_vec();
+        bad[2] = 99;
+        // Re-seal: version is outside the CRC'd body, so only the
+        // version check fires.
+        assert_eq!(decode_frame(&Bytes::from(bad)).unwrap_err(), FrameError::BadVersion(99));
+    }
+
+    #[test]
+    fn split_frames_are_rejected_on_both_halves() {
+        let mut b = FrameBuilder::new();
+        b.push("a:x", "b:y", 0.0, &[1; 50]);
+        let frame = b.finish();
+        let mid = frame.len() / 2;
+        assert!(matches!(
+            decode_frame(&frame.slice(0..mid)).unwrap_err(),
+            FrameError::Truncated { .. }
+        ));
+        assert!(matches!(
+            decode_frame(&frame.slice(mid..)).unwrap_err(),
+            FrameError::BadMagic(_) | FrameError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn concatenated_frames_are_rejected_as_trailing() {
+        let mut a = FrameBuilder::new();
+        a.push("a:x", "b:y", 0.0, b"one");
+        let fa = a.finish();
+        let mut two = fa.to_vec();
+        two.extend_from_slice(&fa);
+        assert!(matches!(
+            decode_frame(&Bytes::from(two)).unwrap_err(),
+            FrameError::TrailingBytes(_)
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_detected_in_crafted_frame() {
+        // Craft a frame declaring 2 records but carrying 1, resealing
+        // the CRC so only the count check can fire.
+        let mut b = FrameBuilder::new();
+        b.push("a:x", "b:y", 0.0, b"one");
+        let frame = b.finish();
+        let mut bad = frame.to_vec();
+        bad[3..7].copy_from_slice(&2u32.to_be_bytes());
+        let err = decode_frame(&Bytes::from(bad)).unwrap_err();
+        assert_eq!(err, FrameError::CountMismatch { declared: 2, parsed: 1 });
+    }
+
+    #[test]
+    fn credit_ledger_reserves_settles_and_retires() {
+        let mut c = CreditState::default();
+        c.reserve(100);
+        c.reserve(50);
+        assert_eq!(c.outstanding(), (150, 2));
+        c.settle(&[Some(5.0), None]);
+        assert_eq!(c.outstanding(), (100, 1), "failed delivery releases immediately");
+        c.retire(4.9);
+        assert_eq!(c.outstanding(), (100, 1));
+        c.retire(5.0);
+        assert_eq!(c.outstanding(), (0, 0));
+    }
+
+    #[test]
+    fn earliest_available_walks_return_times() {
+        let w = CreditConfig { window_bytes: 100, window_msgs: 10, max_stall_s: 1.0 };
+        let mut c = CreditState::default();
+        c.reserve(60);
+        c.reserve(40);
+        c.settle(&[Some(2.0), Some(3.0)]);
+        // Window full: 60 returns at t=2, 40 at t=3.
+        assert_eq!(c.earliest_available(1.0, 50, &w), Some(2.0));
+        assert_eq!(c.earliest_available(1.0, 100, &w), Some(3.0));
+        assert_eq!(c.earliest_available(2.5, 30, &w), Some(2.5));
+        // Oversized message: admitted once the link is idle.
+        assert_eq!(c.earliest_available(1.0, 500, &w), Some(3.0));
+    }
+
+    #[test]
+    fn window_msgs_limits_message_count() {
+        let w = CreditConfig { window_bytes: 1 << 30, window_msgs: 2, max_stall_s: 1.0 };
+        let mut c = CreditState::default();
+        c.reserve(1);
+        c.reserve(1);
+        c.settle(&[Some(7.0), Some(9.0)]);
+        assert_eq!(c.earliest_available(0.0, 1, &w), Some(7.0));
+    }
+}

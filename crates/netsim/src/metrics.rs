@@ -154,11 +154,23 @@ impl MetricsRegistry {
     /// floats in Rust's shortest-roundtrip `Display` form, two-space
     /// indentation. Identical simulations yield identical bytes.
     pub fn snapshot_json(&self) -> String {
+        self.snapshot_json_excluding(&[])
+    }
+
+    /// [`snapshot_json`](Self::snapshot_json) with every key starting
+    /// with one of `skip_prefixes` omitted. Lets equivalence tests
+    /// compare two runs byte-for-byte while ignoring mechanism-specific
+    /// families (e.g. `net.batch.` when diffing batched vs unbatched).
+    pub fn snapshot_json_excluding(&self, skip_prefixes: &[&str]) -> String {
+        let skip = |name: &str| skip_prefixes.iter().any(|p| name.starts_with(p));
         let s = lock(&self.store);
         let mut out = String::new();
         out.push_str("{\n  \"counters\": {");
         let mut first = true;
         for (name, value) in &s.counters {
+            if skip(name) {
+                continue;
+            }
             if !first {
                 out.push(',');
             }
@@ -171,6 +183,9 @@ impl MetricsRegistry {
         out.push_str("},\n  \"histograms\": {");
         first = true;
         for (name, h) in &s.histograms {
+            if skip(name) {
+                continue;
+            }
             if !first {
                 out.push(',');
             }

@@ -198,6 +198,18 @@ impl Topology {
         Some(route.iter().map(|l| l.transfer_seconds(bytes)).sum())
     }
 
+    /// Decompose the minimum-latency route's cost into its total
+    /// latency (seconds) and serialization slope (seconds per byte), so
+    /// `transfer(bytes) = latency + bytes * per_byte`. The latency term
+    /// is what link-layer batching amortizes: one frame pays it once
+    /// for every message it carries.
+    pub fn route_cost(&self, from: NodeId, to: NodeId) -> Option<(f64, f64)> {
+        let route = self.route(from, to)?;
+        let latency = route.iter().map(|l| l.latency_s).sum();
+        let per_byte = route.iter().map(|l| 1.0 / l.bandwidth_bps).sum();
+        Some((latency, per_byte))
+    }
+
     /// Number of gateway nodes crossed on the route (the paper's "multiple
     /// gateways" dimension).
     pub fn gateways_crossed(&self, from: NodeId, to: NodeId) -> Option<usize> {

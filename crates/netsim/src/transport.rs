@@ -8,16 +8,17 @@
 //! send-time errors, exactly where a connection failure would surface in
 //! the real system.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::faults::FaultPlan;
+use crate::link::{decode_frame, LinkBatcher, LinkConfig, OpenFrame, PendingMsg};
 use crate::metrics::MetricsRegistry;
 use crate::topology::Topology;
 
@@ -43,6 +44,17 @@ pub enum NetError {
     },
     /// No message arrived within the receive timeout.
     Timeout,
+    /// The sender exhausted its credit window on the link and the stall
+    /// needed for credits to return exceeds the configured limit (see
+    /// [`CreditConfig`](crate::link::CreditConfig)).
+    CreditStall {
+        /// Sending host.
+        from: String,
+        /// Receiving host.
+        to: String,
+        /// Virtual microseconds until enough credits return.
+        wait_us: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -59,6 +71,13 @@ impl fmt::Display for NetError {
                 write!(f, "message from '{from}' to '{to}' lost by fault injection")
             }
             NetError::Timeout => write!(f, "receive timed out"),
+            NetError::CreditStall { from, to, wait_us } => {
+                write!(
+                    f,
+                    "credit window from '{from}' to '{to}' exhausted; \
+                     {wait_us}us until credits return"
+                )
+            }
         }
     }
 }
@@ -96,6 +115,49 @@ impl NetworkStats {
     }
 }
 
+/// Outcome of one [`Network::send_batched`]/[`Network::send_gather`]
+/// call on a batched link.
+#[derive(Debug, Clone)]
+pub struct SendReport {
+    /// Virtual seconds this send stalled waiting for credits (the
+    /// caller must advance its clock by this much).
+    pub stalled_s: f64,
+    /// Frames this append caused to flush (threshold or credit
+    /// triggered). May include the appended message itself.
+    pub flushed: Vec<FlushReport>,
+}
+
+/// One flushed link frame.
+#[derive(Debug, Clone)]
+pub struct FlushReport {
+    /// Sending host of the link.
+    pub from_host: String,
+    /// Receiving host of the link.
+    pub to_host: String,
+    /// Virtual time the frame left the sender.
+    pub flush_t: f64,
+    /// Wire size of the frame (header + records).
+    pub frame_bytes: u64,
+    /// Per-message outcomes, in buffer order.
+    pub msgs: Vec<FlushRecord>,
+}
+
+/// Fate of one logical message in a flushed frame.
+#[derive(Debug, Clone)]
+pub struct FlushRecord {
+    /// Opaque caller tag passed at append time (Schooner stores
+    /// `(line id, call id)` for span attribution).
+    pub tag: (u64, u64),
+    /// Sender's full address.
+    pub from: String,
+    /// Destination address.
+    pub to: String,
+    /// Virtual time the message was appended (post-stall).
+    pub sent_at: f64,
+    /// Arrival instant on success, or why delivery failed.
+    pub result: Result<f64, NetError>,
+}
+
 /// One registered endpoint.
 struct EpEntry {
     /// Registration id, so a stale [`Endpoint`]'s Drop cannot tear down a
@@ -118,6 +180,13 @@ struct NetInner {
     next_ep: AtomicU64,
     stats: NetworkStats,
     metrics: MetricsRegistry,
+    /// Link-layer batching configuration; `None` keeps every link on
+    /// the one-envelope-per-message path.
+    link_cfg: RwLock<Option<LinkConfig>>,
+    /// Open frames and credit ledgers per directed host pair. BTreeMap
+    /// so bulk flushes walk links in a deterministic order. Lock order:
+    /// `links` before `endpoints` before `topo`.
+    links: Mutex<BTreeMap<(String, String), LinkBatcher>>,
 }
 
 /// Handle to the shared simulated network. Cloning is cheap.
@@ -143,6 +212,8 @@ impl Network {
                 next_ep: AtomicU64::new(1),
                 stats: NetworkStats::default(),
                 metrics: MetricsRegistry::new(),
+                link_cfg: RwLock::new(None),
+                links: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -320,6 +391,438 @@ impl Network {
         self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.inner.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         tx.send(env).map_err(|_| NetError::Disconnected(to.into()))?;
+        Ok(arrive_at)
+    }
+
+    /// Install (or clear) link-layer batching and flow control. With a
+    /// config installed, [`send_batched`](Network::send_batched) /
+    /// [`send_gather`](Network::send_gather) coalesce messages into
+    /// per-link frames; without one they degrade to plain
+    /// [`send`](Network::send). Configure once, before traffic flows.
+    pub fn set_link_config(&self, cfg: Option<LinkConfig>) {
+        *self.inner.link_cfg.write().unwrap() = cfg;
+    }
+
+    /// The installed link-layer configuration, if any.
+    pub fn link_config(&self) -> Option<LinkConfig> {
+        *self.inner.link_cfg.read().unwrap()
+    }
+
+    /// Total (latency seconds, seconds per byte) of the minimum-latency
+    /// route between two hosts — the decomposition batching amortizes:
+    /// a frame pays the latency term once for all its messages.
+    pub fn link_cost(&self, from: &str, to: &str) -> Result<(f64, f64), NetError> {
+        let topo = self.inner.topo.read().unwrap();
+        let f = topo.node(from).ok_or_else(|| NetError::UnknownHost(from.into()))?;
+        let t = topo.node(to).ok_or_else(|| NetError::UnknownHost(to.into()))?;
+        topo.route_cost(f, t)
+            .ok_or_else(|| NetError::Unreachable { from: from.into(), to: to.into() })
+    }
+
+    /// Append `payload` to the batched link toward `to`. Convenience
+    /// wrapper over [`send_gather`](Network::send_gather).
+    pub fn send_batched(
+        &self,
+        from: &str,
+        to: &str,
+        payload: Bytes,
+        sent_at: f64,
+        tag: (u64, u64),
+    ) -> Result<SendReport, NetError> {
+        self.send_gather(from, to, sent_at, tag, payload.len(), &mut |b| b.put_slice(&payload))
+    }
+
+    /// Scatter-gather append: `write` emits exactly `payload_len` bytes
+    /// of payload *directly into the link frame buffer* — no per-call
+    /// intermediate allocation. The message is charged against the
+    /// link's credit window and buffered until a flush threshold fires
+    /// (size, message count, or linger age; see
+    /// [`BatchConfig`](crate::link::BatchConfig)) or the sender flushes
+    /// explicitly with [`flush_link`](Network::flush_link).
+    ///
+    /// Semantics match the unbatched path per logical message: fault
+    /// windows and drop ordinals are consumed *at append time* with
+    /// this message's (post-stall) send instant, `net.msg`/`net.bytes`
+    /// count logical messages, and each message's arrival is computed
+    /// from its own payload size — so a frame flushed at its members'
+    /// send instant delivers at exactly the unbatched arrival times.
+    ///
+    /// When the credit window is exhausted the sender first flushes its
+    /// open frame, then stalls in virtual time until credits return;
+    /// `SendReport::stalled_s` tells the caller how far to advance its
+    /// clock. A stall longer than the configured maximum fails with
+    /// [`NetError::CreditStall`].
+    pub fn send_gather(
+        &self,
+        from: &str,
+        to: &str,
+        sent_at: f64,
+        tag: (u64, u64),
+        payload_len: usize,
+        write: &mut dyn FnMut(&mut BytesMut),
+    ) -> Result<SendReport, NetError> {
+        let Some(cfg) = self.link_config() else {
+            // No link config: behave exactly like `send`, reported as a
+            // one-message flush.
+            let mut payload = BytesMut::with_capacity(payload_len);
+            write(&mut payload);
+            let arrive = self.send(from, to, payload.freeze(), sent_at)?;
+            return Ok(SendReport {
+                stalled_s: 0.0,
+                flushed: vec![FlushReport {
+                    from_host: host_of(from).to_owned(),
+                    to_host: host_of(to).to_owned(),
+                    flush_t: sent_at,
+                    frame_bytes: payload_len as u64,
+                    msgs: vec![FlushRecord {
+                        tag,
+                        from: from.to_owned(),
+                        to: to.to_owned(),
+                        sent_at,
+                        result: Ok(arrive),
+                    }],
+                }],
+            });
+        };
+        let from_host = host_of(from).to_owned();
+        let to_host = host_of(to).to_owned();
+        let result = self.gather_inner(
+            &cfg,
+            from,
+            to,
+            &from_host,
+            &to_host,
+            sent_at,
+            tag,
+            payload_len,
+            write,
+        );
+        let m = &self.inner.metrics;
+        match &result {
+            Ok(_) => {}
+            Err(NetError::Dropped { .. }) => m.counter_add("net.fault.dropped", 1),
+            Err(NetError::Unreachable { .. }) => m.counter_add("net.fault.partitioned", 1),
+            Err(NetError::HostDown(_)) => m.counter_add("net.fault.hostdown", 1),
+            Err(_) => {}
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gather_inner(
+        &self,
+        cfg: &LinkConfig,
+        from: &str,
+        to: &str,
+        from_host: &str,
+        to_host: &str,
+        sent_at: f64,
+        tag: (u64, u64),
+        payload_len: usize,
+        write: &mut dyn FnMut(&mut BytesMut),
+    ) -> Result<SendReport, NetError> {
+        let m = &self.inner.metrics;
+        let mut links = self.inner.links.lock().unwrap();
+        let batcher = links.entry((from_host.to_owned(), to_host.to_owned())).or_default();
+        let mut flushed = Vec::new();
+
+        // Credit gate. Flushing first gives every reservation a return
+        // time, making credit availability a pure function of virtual
+        // time — the stall is then deterministic.
+        let mut stalled_s = 0.0;
+        if let Some(credit) = &cfg.credit {
+            batcher.credit.retire(sent_at);
+            let need = payload_len as u64;
+            if !batcher.credit.admits(need, credit) {
+                self.flush_batcher(from_host, to_host, batcher, cfg, sent_at, &mut flushed);
+                batcher.credit.retire(sent_at);
+                if !batcher.credit.admits(need, credit) {
+                    let link = format!("{from_host}->{to_host}");
+                    let wait = batcher
+                        .credit
+                        .earliest_available(sent_at, need, credit)
+                        .map(|avail| avail - sent_at);
+                    let wait_us = wait.map_or(u64::MAX, |w| (w * 1e6).round() as u64);
+                    match wait {
+                        Some(w) if w <= credit.max_stall_s => {
+                            stalled_s = w;
+                            m.counter_add(&format!("net.credit.stalls.{link}"), 1);
+                            m.counter_add(&format!("net.credit.stall_us.{link}"), wait_us);
+                        }
+                        _ => {
+                            m.counter_add(&format!("net.credit.refused.{link}"), 1);
+                            return Err(NetError::CreditStall {
+                                from: from_host.to_owned(),
+                                to: to_host.to_owned(),
+                                wait_us,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let sent_eff = sent_at + stalled_s;
+
+        // Pre-append thresholds: a frame that cannot absorb this
+        // message (size/count) or whose oldest member has lingered past
+        // its deadline leaves first.
+        if let Some(f) = &batcher.frame {
+            let over_linger = sent_eff - f.first_sent >= cfg.batch.linger_s;
+            let over_bytes = f.payload_bytes + payload_len as u64 > cfg.batch.max_frame_bytes;
+            let over_msgs = f.msgs.len() as u32 + 1 > cfg.batch.max_frame_msgs;
+            if over_linger || over_bytes || over_msgs {
+                self.flush_batcher(from_host, to_host, batcher, cfg, sent_eff, &mut flushed);
+            }
+        }
+
+        // Per-message admission, mirroring the unbatched path at the
+        // effective send instant: host state, fault plan (this consumes
+        // the link's drop ordinal for this logical message), route, and
+        // destination endpoint with crash fencing.
+        if self.is_down(from_host) {
+            return Err(NetError::HostDown(from_host.into()));
+        }
+        if self.is_down(to_host) {
+            return Err(NetError::HostDown(to_host.into()));
+        }
+        let plan = self.fault_plan();
+        if let Some(plan) = &plan {
+            plan.check_send(from_host, to_host, sent_eff)?;
+        }
+        self.transfer_seconds(from_host, to_host, payload_len)?;
+        {
+            let eps = self.inner.endpoints.read().unwrap();
+            let entry = eps.get(to).ok_or_else(|| NetError::UnknownAddress(to.into()))?;
+            if let (Some(birth), Some(plan)) = (entry.birth, &plan) {
+                if plan.crash_count(to_host, sent_eff) > plan.crash_count(to_host, birth) {
+                    m.counter_add("net.fault.fenced", 1);
+                    return Err(NetError::UnknownAddress(to.into()));
+                }
+            }
+        }
+
+        // Commit: reserve credits, gather the payload into the frame,
+        // and count the *logical* message (frames are not messages).
+        if cfg.credit.is_some() {
+            batcher.credit.reserve(payload_len as u64);
+        }
+        let frame = batcher.frame.get_or_insert_with(OpenFrame::new);
+        frame.builder.push_with(from, to, sent_eff, payload_len, write);
+        frame.msgs.push(PendingMsg {
+            tag,
+            from: from.to_owned(),
+            to: to.to_owned(),
+            sent_at: sent_eff,
+            payload_len,
+        });
+        frame.first_sent = frame.first_sent.min(sent_eff);
+        frame.max_sent = frame.max_sent.max(sent_eff);
+        frame.payload_bytes += payload_len as u64;
+        m.counter_add(&format!("net.msg.{from_host}->{to_host}"), 1);
+        m.counter_add(&format!("net.bytes.{from_host}->{to_host}"), payload_len as u64);
+        self.inner.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.bytes.fetch_add(payload_len as u64, Ordering::Relaxed);
+
+        // Post-append thresholds: a frame that just filled leaves now,
+        // carrying this message with it.
+        let full = frame.payload_bytes >= cfg.batch.max_frame_bytes
+            || frame.msgs.len() as u32 >= cfg.batch.max_frame_msgs;
+        if full {
+            self.flush_batcher(from_host, to_host, batcher, cfg, sent_eff, &mut flushed);
+        }
+        Ok(SendReport { stalled_s, flushed })
+    }
+
+    /// Flush the open frame toward `to_host`, if any. `now` is the
+    /// flusher's virtual time; the frame leaves at the latest of `now`
+    /// and its members' send instants. Senders call this before
+    /// awaiting a reply so no request is ever stranded in a buffer.
+    pub fn flush_link(&self, from_host: &str, to_host: &str, now: f64) -> Vec<FlushReport> {
+        let Some(cfg) = self.link_config() else { return Vec::new() };
+        let mut flushed = Vec::new();
+        let mut links = self.inner.links.lock().unwrap();
+        if let Some(batcher) = links.get_mut(&(from_host.to_owned(), to_host.to_owned())) {
+            self.flush_batcher(from_host, to_host, batcher, &cfg, now, &mut flushed);
+        }
+        flushed
+    }
+
+    /// Flush every open frame leaving `from_host`, in deterministic
+    /// (destination-sorted) order.
+    pub fn flush_outbound(&self, from_host: &str, now: f64) -> Vec<FlushReport> {
+        let Some(cfg) = self.link_config() else { return Vec::new() };
+        let mut flushed = Vec::new();
+        let mut links = self.inner.links.lock().unwrap();
+        for ((f, t), batcher) in links.iter_mut() {
+            if f == from_host {
+                let (f, t) = (f.clone(), t.clone());
+                self.flush_batcher(&f, &t, batcher, &cfg, now, &mut flushed);
+            }
+        }
+        flushed
+    }
+
+    /// Flush every open frame on every link (teardown / test sync).
+    pub fn flush_all(&self, now: f64) -> Vec<FlushReport> {
+        let Some(cfg) = self.link_config() else { return Vec::new() };
+        let mut flushed = Vec::new();
+        let mut links = self.inner.links.lock().unwrap();
+        for ((f, t), batcher) in links.iter_mut() {
+            let (f, t) = (f.clone(), t.clone());
+            self.flush_batcher(&f, &t, batcher, &cfg, now, &mut flushed);
+        }
+        flushed
+    }
+
+    /// Number of messages buffered (unflushed) on a link.
+    pub fn pending_batched(&self, from_host: &str, to_host: &str) -> usize {
+        let links = self.inner.links.lock().unwrap();
+        links
+            .get(&(from_host.to_owned(), to_host.to_owned()))
+            .and_then(|b| b.frame.as_ref())
+            .map_or(0, |f| f.msgs.len())
+    }
+
+    /// Credits outstanding (bytes, messages) on a link at virtual time
+    /// `t`, after retiring returns due by `t`. Test/inspection hook.
+    pub fn credit_outstanding(&self, from_host: &str, to_host: &str, t: f64) -> (u64, u32) {
+        let mut links = self.inner.links.lock().unwrap();
+        match links.get_mut(&(from_host.to_owned(), to_host.to_owned())) {
+            Some(b) => {
+                b.credit.retire(t);
+                b.credit.outstanding()
+            }
+            None => (0, 0),
+        }
+    }
+
+    fn flush_batcher(
+        &self,
+        from_host: &str,
+        to_host: &str,
+        batcher: &mut LinkBatcher,
+        cfg: &LinkConfig,
+        now: f64,
+        flushed: &mut Vec<FlushReport>,
+    ) {
+        let Some(frame) = batcher.frame.take() else { return };
+        let flush_t = frame.max_sent.max(now);
+        let OpenFrame { builder, msgs, .. } = frame;
+        let wire = builder.finish();
+        let frame_bytes = wire.len() as u64;
+        // Decode our own frame on every flush: delivery consumes the
+        // decoded payload slices, so a codec regression cannot pass
+        // silently.
+        let decoded = decode_frame(&wire).expect("link frame failed to decode");
+        debug_assert_eq!(decoded.len(), msgs.len());
+        let m = &self.inner.metrics;
+        let plan = self.fault_plan();
+        // Link-level window check at flush time: a crash, flap, or
+        // partition that opened since append kills the whole frame.
+        // (Drop ordinals were already consumed per message at append.)
+        let link_err = if self.is_down(from_host) {
+            Some(NetError::HostDown(from_host.to_owned()))
+        } else if self.is_down(to_host) {
+            Some(NetError::HostDown(to_host.to_owned()))
+        } else {
+            plan.as_ref().and_then(|p| p.check_window(from_host, to_host, flush_t).err())
+        };
+        let mut records = Vec::with_capacity(msgs.len());
+        let mut last_arrive: Option<f64> = None;
+        {
+            let eps = self.inner.endpoints.read().unwrap();
+            for (pm, dm) in msgs.into_iter().zip(decoded) {
+                let result = match &link_err {
+                    Some(e) => {
+                        match e {
+                            NetError::HostDown(_) => m.counter_add("net.fault.hostdown", 1),
+                            NetError::Unreachable { .. } => {
+                                m.counter_add("net.fault.partitioned", 1);
+                            }
+                            _ => {}
+                        }
+                        Err(e.clone())
+                    }
+                    None => self.deliver_flushed(
+                        &eps,
+                        plan.as_deref(),
+                        from_host,
+                        to_host,
+                        &pm,
+                        dm.payload,
+                        flush_t,
+                    ),
+                };
+                if let Ok(arrive) = &result {
+                    last_arrive = Some(last_arrive.map_or(*arrive, |a| a.max(*arrive)));
+                }
+                records.push(FlushRecord {
+                    tag: pm.tag,
+                    from: pm.from,
+                    to: pm.to,
+                    sent_at: pm.sent_at,
+                    result,
+                });
+            }
+        }
+        // Credit return: the receiver acks the frame once its last
+        // message arrives; the ack pays one zero-byte latency back.
+        // Failed messages release their credits immediately.
+        if cfg.credit.is_some() {
+            let ret = last_arrive
+                .map(|a| a + self.transfer_seconds(to_host, from_host, 0).unwrap_or(0.0));
+            let outcomes: Vec<Option<f64>> =
+                records.iter().map(|r| r.result.as_ref().ok().and(ret)).collect();
+            batcher.credit.settle(&outcomes);
+        }
+        m.counter_add(&format!("net.batch.flushes.{from_host}->{to_host}"), 1);
+        m.counter_add(&format!("net.batch.fill.{from_host}->{to_host}"), records.len() as u64);
+        flushed.push(FlushReport {
+            from_host: from_host.to_owned(),
+            to_host: to_host.to_owned(),
+            flush_t,
+            frame_bytes,
+            msgs: records,
+        });
+    }
+
+    /// Deliver one decoded frame member. Arrival is computed from the
+    /// message's *own* payload size at the frame's flush instant — the
+    /// same parallel-wire law as the unbatched path, so a frame flushed
+    /// at its members' send instants is time-identical to per-envelope
+    /// sends. What batching changes is link *occupancy*: the route
+    /// latency is paid once per frame, not once per message.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_flushed(
+        &self,
+        eps: &HashMap<String, EpEntry>,
+        plan: Option<&FaultPlan>,
+        from_host: &str,
+        to_host: &str,
+        pm: &PendingMsg,
+        payload: Bytes,
+        flush_t: f64,
+    ) -> Result<f64, NetError> {
+        let mut transfer = self.transfer_seconds(from_host, to_host, pm.payload_len)?;
+        if let Some(p) = plan {
+            transfer = p.adjust_transfer(flush_t, transfer);
+        }
+        let arrive_at = flush_t + transfer;
+        let entry = eps.get(&pm.to).ok_or_else(|| NetError::UnknownAddress(pm.to.clone()))?;
+        if let (Some(birth), Some(p)) = (entry.birth, plan) {
+            if p.crash_count(to_host, flush_t) > p.crash_count(to_host, birth) {
+                self.inner.metrics.counter_add("net.fault.fenced", 1);
+                return Err(NetError::UnknownAddress(pm.to.clone()));
+            }
+        }
+        let env = Envelope {
+            from: pm.from.clone(),
+            to: pm.to.clone(),
+            payload,
+            sent_at: pm.sent_at,
+            arrive_at,
+        };
+        entry.tx.send(env).map_err(|_| NetError::Disconnected(pm.to.clone()))?;
         Ok(arrive_at)
     }
 }

@@ -29,6 +29,7 @@ pub mod experiments;
 pub mod f100;
 pub mod modules;
 pub mod procs;
+pub mod sweep;
 
 pub use bridge::{
     component_image, component_path, install_component, ComponentProcedure, RemoteComponent,
@@ -37,3 +38,4 @@ pub use bridge::{
 pub use engine_exec::{ExecutiveEngine, ExecutiveSolverOptions, Scheduling, WavePlan};
 pub use exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
 pub use f100::{F100Network, RemotePlacement};
+pub use sweep::{flight_profile, FlightPoint, SweepConfig, SweepDriver, SweepReport};

@@ -9,7 +9,7 @@ use netsim::FaultPlan;
 use npss::engine_exec::{Exec, ExecutiveEngine, Scheduling, WavePlan};
 use npss::procs;
 use npss::{F100Network, RemoteExec, RemotePlacement};
-use schooner::{CallPolicy, Schooner};
+use schooner::{CallPolicy, Schooner, SchoonerConfig};
 use std::sync::Arc;
 use tess::engine::Turbofan;
 use tess::schedules::Schedule;
@@ -19,7 +19,11 @@ const T_END: f64 = 0.4;
 const DT: f64 = 0.02;
 
 fn world() -> Schooner {
-    let sch = Schooner::standard().unwrap();
+    world_with(SchoonerConfig::default())
+}
+
+fn world_with(config: SchoonerConfig) -> Schooner {
+    let sch = Schooner::standard_with(config).unwrap();
     let hosts: Vec<String> = sch.ctx().park.hosts().iter().map(|s| s.to_string()).collect();
     let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
     for (path, image) in [
@@ -144,6 +148,51 @@ fn parallel_equals_sequential_bit_and_byte() {
     let (par, par_metrics, _) = mode_run(Scheduling::WaveParallel);
     assert_bit_identical(&par, &seq);
     assert_eq!(par_metrics, seq_metrics, "metrics snapshots must be byte-identical");
+}
+
+/// Link batching under the wave scheduler: a Table-2 wave-parallel
+/// transient with coalescing (and flow control) installed is
+/// bit-identical in its samples — and byte-identical in every metrics
+/// counter outside the batching layer's own — to the unbatched
+/// sequential run. The Table-2 placement puts both shafts on the LeRC
+/// RS6000, so each shaft wave's two requests genuinely share frames on
+/// the `ua-sparc10 -> lerc-rs6000` link.
+///
+/// Excluded from the byte comparison, besides the batching layer's own
+/// counters: the `rpc.call_s` latency histograms. A coalesced request
+/// leaves with its *frame* — at the latest member's send instant — so a
+/// call can run sub-millisecond longer than its unbatched twin. That is
+/// the one observable batching is allowed to move; every logical
+/// counter (messages, bytes, calls, UTS traffic) must still match to
+/// the byte.
+#[test]
+fn batched_wave_parallel_matches_unbatched_sequential() {
+    let policy = CallPolicy::default();
+    let mode_run = |config: SchoonerConfig, scheduling: Scheduling| {
+        let sch = world_with(config);
+        let mut exec = table2_engine(&sch, &policy, 5, scheduling);
+        let result = run(&mut exec);
+        let snapshot = sch.ctx().obs.metrics().snapshot_json_excluding(&[
+            "net.batch.",
+            "net.credit.",
+            "rpc.call_s.",
+        ]);
+        let flushes: u64 = {
+            let m = sch.ctx().obs.metrics();
+            m.counter_names("net.batch.flushes.").iter().map(|n| m.counter(n)).sum()
+        };
+        exec.shutdown();
+        sch.shutdown();
+        (result, snapshot, flushes)
+    };
+    let (seq, seq_metrics, seq_flushes) =
+        mode_run(SchoonerConfig::default(), Scheduling::Sequential);
+    assert_eq!(seq_flushes, 0, "unbatched run must not touch the frame layer");
+    let batched = SchoonerConfig::builder().link_batching(netsim::LinkConfig::default()).build();
+    let (par, par_metrics, par_flushes) = mode_run(batched, Scheduling::WaveParallel);
+    assert!(par_flushes > 0, "batched run never coalesced — test is vacuous");
+    assert_bit_identical(&par, &seq);
+    assert_eq!(par_metrics, seq_metrics, "logical counters diverged under batching");
 }
 
 /// The full widget path: an F100 network run with the system module's

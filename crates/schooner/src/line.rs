@@ -18,8 +18,8 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use bytes::{Bytes, BytesMut};
-use netsim::{Endpoint, NetError, VirtualClock};
+use bytes::BytesMut;
+use netsim::{Endpoint, FlushReport, NetError, VirtualClock};
 use uts::spec::ProcSpec;
 use uts::{Architecture, Value, WIRE_V1, WIRE_V2};
 
@@ -590,9 +590,8 @@ impl LineHandle {
     ) -> SchResult<u64> {
         let obs = self.ctx.obs.clone();
         binding.stub.marshal_inputs_into(&mut self.encode_buf, args, self.arch, binding.wire)?;
-        let wire = Bytes::copy_from_slice(&self.encode_buf);
         let m = obs.metrics();
-        m.counter_add("uts.encode_bytes", wire.len() as u64);
+        m.counter_add("uts.encode_bytes", self.encode_buf.len() as u64);
         m.counter_add(
             if binding.wire >= WIRE_V2 { "uts.fast_path_hits" } else { "uts.legacy_path_hits" },
             1,
@@ -600,14 +599,7 @@ impl LineHandle {
         let marshal_s = self.marshal_cost(binding.stub.input_scalars);
         self.clock.advance(marshal_s);
         obs.span_phase(self.id, call, Phase::Marshal, marshal_s);
-        let request_bytes = wire.len() as u64;
-        let msg = Msg::CallRequest {
-            call,
-            line: self.id,
-            proc_name: binding.remote_name.clone(),
-            args: wire,
-            reply_to: self.endpoint.addr().to_owned(),
-        };
+        let request_bytes = self.encode_buf.len() as u64;
         obs.emit(
             self.clock.now(),
             EventKind::CallIssued {
@@ -616,10 +608,77 @@ impl LineHandle {
                 addr: binding.addr.clone(),
             },
         );
+        // Scatter-gather transmit: the request is encoded directly into
+        // the link's frame buffer (or, with batching off, into a
+        // single-message frame that leaves immediately) — the marshal
+        // plan's output in `encode_buf` is never re-boxed into a
+        // per-call allocation.
         let sent_at = self.clock.now();
-        let arrive_at = self.endpoint.send(&binding.addr, msg.encode(), sent_at)?;
-        obs.span_phase(self.id, call, Phase::Transmit, arrive_at - sent_at);
+        let wire_len = Msg::call_request_wire_len(
+            &binding.remote_name,
+            self.encode_buf.len(),
+            self.endpoint.addr(),
+        );
+        let line_id = self.id;
+        let encode_buf = &self.encode_buf;
+        let endpoint = &self.endpoint;
+        let report = self.ctx.net.send_gather(
+            endpoint.addr(),
+            &binding.addr,
+            sent_at,
+            (line_id, call),
+            wire_len,
+            &mut |b| {
+                Msg::encode_call_request_into(
+                    b,
+                    call,
+                    line_id,
+                    &binding.remote_name,
+                    encode_buf,
+                    endpoint.addr(),
+                )
+            },
+        )?;
+        // Credit-window stalls happen in virtual time and count as
+        // transmission: the line waited for the wire.
+        if report.stalled_s > 0.0 {
+            self.clock.advance(report.stalled_s);
+            obs.span_phase(self.id, call, Phase::Transmit, report.stalled_s);
+        }
+        self.absorb_flush_reports(&report.flushed, Some((self.id, call)))?;
         Ok(request_bytes)
+    }
+
+    /// Fold link flush reports into the world's state. Every delivered
+    /// message — whichever line issued it — gets its time on the wire
+    /// charged to the Transmit phase of its own call span (the span
+    /// table ignores tags with no open span). A delivery failure of
+    /// *this* line's `own` call is returned as the attempt's error;
+    /// failures of other lines' coalesced messages are parked in the
+    /// shared mailbox for their owners to claim at collect time.
+    fn absorb_flush_reports(
+        &mut self,
+        reports: &[FlushReport],
+        own: Option<(u64, u64)>,
+    ) -> SchResult<()> {
+        let mut own_err: Option<NetError> = None;
+        for rep in reports {
+            for rec in &rep.msgs {
+                match &rec.result {
+                    Ok(arrive_at) => {
+                        self.ctx.obs.span_phase(
+                            rec.tag.0,
+                            rec.tag.1,
+                            Phase::Transmit,
+                            arrive_at - rec.sent_at,
+                        );
+                    }
+                    Err(e) if own == Some(rec.tag) => own_err = Some(e.clone()),
+                    Err(e) => self.ctx.park_batch_failure(rec.tag, e.clone()),
+                }
+            }
+        }
+        own_err.map_or(Ok(()), |e| Err(e.into()))
     }
 
     /// The reply side of one attempt: await the reply (closing the span)
@@ -651,6 +710,17 @@ impl LineHandle {
         request_bytes: u64,
     ) -> SchResult<Vec<Value>> {
         let obs = self.ctx.obs.clone();
+        // Batched transport: the request may still be coalesced in the
+        // link buffer, or may have failed in a flush driven by another
+        // line on this host. Claim any parked failure first, then force
+        // the frame out so the request is on the wire before blocking
+        // for its reply (no-ops when batching is off).
+        if let Some(e) = self.ctx.take_batch_failure((self.id, call)) {
+            return Err(e.into());
+        }
+        let flushed =
+            self.ctx.net.flush_link(&self.host, host_part(&binding.addr), self.clock.now());
+        self.absorb_flush_reports(&flushed, Some((self.id, call)))?;
         let reply = self.await_call_reply(call, binding.incarnation)?;
         match reply {
             Msg::CallReply { result, .. } => {
@@ -822,6 +892,7 @@ impl LineHandle {
         self.await_reply(|m| matches!(m, Msg::IQuitAck { req: r } if *r == req))?;
         self.quit_sent = true;
         self.cache.clear();
+        self.ctx.clear_batch_failures(self.id);
         Ok(())
     }
 
@@ -944,6 +1015,7 @@ fn stale_addr(err: &SchError) -> Option<String> {
 
 impl Drop for LineHandle {
     fn drop(&mut self) {
+        self.ctx.clear_batch_failures(self.id);
         if !self.quit_sent {
             // Best effort: tell the Manager this module is gone so the
             // line's processes are reclaimed; do not block on the ack.

@@ -286,6 +286,10 @@ impl ManagerWorker {
             }
             Msg::IQuit { req, line, reply_to } => {
                 self.shutdown_line(line);
+                // Parked batched-delivery failures for the departing
+                // line will never be claimed; drop them here too in case
+                // the module died without running its handle's cleanup.
+                self.ctx.clear_batch_failures(line);
                 let _ = self.send(&reply_to, &Msg::IQuitAck { req });
             }
             Msg::MoveRequest { req, line, name, target_host, max_wire, reply_to } => {

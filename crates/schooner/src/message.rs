@@ -8,6 +8,7 @@
 //! sizes — which drive the network cost model — stay realistic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use netsim::NetError;
 
 use crate::error::{SchError, SchResult};
 
@@ -39,13 +40,16 @@ pub enum FaultCode {
     /// The supervision policy for a crashed procedure is to escalate the
     /// failure to the caller instead of recovering.
     Escalated,
+    /// A batched link's credit window stayed exhausted past the maximum
+    /// stall; the detail carries `from|to|wait_us`.
+    CreditStall,
     /// Anything else; the detail string carries the description.
     Other,
 }
 
 impl FaultCode {
     /// All codes, for exhaustive encode/decode testing.
-    pub const ALL: [FaultCode; 11] = [
+    pub const ALL: [FaultCode; 12] = [
         FaultCode::UnknownProcedure,
         FaultCode::UnknownLine,
         FaultCode::UnknownExecutable,
@@ -56,6 +60,7 @@ impl FaultCode {
         FaultCode::Protocol,
         FaultCode::Unavailable,
         FaultCode::Escalated,
+        FaultCode::CreditStall,
         FaultCode::Other,
     ];
 
@@ -72,6 +77,7 @@ impl FaultCode {
             FaultCode::Unavailable => 9,
             FaultCode::Other => 10,
             FaultCode::Escalated => 11,
+            FaultCode::CreditStall => 12,
         }
     }
 
@@ -87,6 +93,7 @@ impl FaultCode {
             8 => FaultCode::Protocol,
             9 => FaultCode::Unavailable,
             11 => FaultCode::Escalated,
+            12 => FaultCode::CreditStall,
             // Forward compatibility: an unknown code is still an error.
             _ => FaultCode::Other,
         }
@@ -123,6 +130,15 @@ impl WireFault {
             FaultCode::Protocol => SchError::Protocol(self.detail),
             FaultCode::Unavailable => SchError::ManagerUnavailable,
             FaultCode::Escalated => SchError::Escalated(self.detail),
+            FaultCode::CreditStall => {
+                // Detail is `from|to|wait_us`; a malformed detail still
+                // reconstructs a typed stall (empty link, infinite wait).
+                let mut parts = self.detail.splitn(3, '|');
+                let from = parts.next().unwrap_or_default().to_owned();
+                let to = parts.next().unwrap_or_default().to_owned();
+                let wait_us = parts.next().and_then(|w| w.parse().ok()).unwrap_or(u64::MAX);
+                SchError::Net(NetError::CreditStall { from, to, wait_us })
+            }
             // UnknownExecutable and Duplicate carry their rendered text:
             // the caller keeps the description without re-parsing fields.
             FaultCode::UnknownExecutable | FaultCode::Duplicate | FaultCode::Other => {
@@ -157,6 +173,9 @@ impl From<&SchError> for WireFault {
             SchError::Protocol(msg) => WireFault::new(FaultCode::Protocol, msg.clone()),
             SchError::ManagerUnavailable => WireFault::new(FaultCode::Unavailable, e.to_string()),
             SchError::Escalated(msg) => WireFault::new(FaultCode::Escalated, msg.clone()),
+            SchError::Net(NetError::CreditStall { from, to, wait_us }) => {
+                WireFault::new(FaultCode::CreditStall, format!("{from}|{to}|{wait_us}"))
+            }
             _ => WireFault::new(FaultCode::Other, e.to_string()),
         }
     }
@@ -456,6 +475,36 @@ fn get_mapinfo(r: &mut Reader) -> SchResult<MapInfo> {
 }
 
 impl Msg {
+    /// Exact wire size of a [`Msg::CallRequest`] with these fields —
+    /// what [`Msg::encode_call_request_into`] will emit. Computed ahead
+    /// of the gather so the link layer can make its credit and framing
+    /// decisions before a single byte is written.
+    pub fn call_request_wire_len(proc_name: &str, args_len: usize, reply_to: &str) -> usize {
+        1 + 8 + 8 + (4 + proc_name.len()) + (4 + args_len) + (4 + reply_to.len())
+    }
+
+    /// Encode a [`Msg::CallRequest`] directly into `out` — the
+    /// scatter-gather fast path, writing the marshal plan's output
+    /// straight into a link frame buffer with no per-call `Bytes`
+    /// allocation. Byte-identical to `Msg::CallRequest { .. }.encode()`
+    /// (the encode arm delegates here).
+    pub fn encode_call_request_into(
+        out: &mut BytesMut,
+        call: u64,
+        line: u64,
+        proc_name: &str,
+        args: &[u8],
+        reply_to: &str,
+    ) {
+        out.put_u8(T_CALL_REQUEST);
+        out.put_u64(call);
+        out.put_u64(line);
+        put_str(out, proc_name);
+        out.put_u32(args.len() as u32);
+        out.put_slice(args);
+        put_str(out, reply_to);
+    }
+
     /// Encode this message into transport bytes.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64);
@@ -540,12 +589,7 @@ impl Msg {
             }
             Msg::ServerShutdown => b.put_u8(T_SERVER_SHUTDOWN),
             Msg::CallRequest { call, line, proc_name, args, reply_to } => {
-                b.put_u8(T_CALL_REQUEST);
-                b.put_u64(*call);
-                b.put_u64(*line);
-                put_str(&mut b, proc_name);
-                put_bytes(&mut b, args);
-                put_str(&mut b, reply_to);
+                Msg::encode_call_request_into(&mut b, *call, *line, proc_name, args, reply_to);
             }
             Msg::CallReply { call, incarnation, result } => {
                 b.put_u8(T_CALL_REPLY);
@@ -881,6 +925,43 @@ mod tests {
         })
         .into_error();
         assert!(text_kept.to_string().contains("/npss/shaft"));
+    }
+
+    #[test]
+    fn gather_encode_matches_encode_and_predicted_len() {
+        let msg = Msg::CallRequest {
+            call: 42,
+            line: 7,
+            proc_name: "SHAFT".into(),
+            args: Bytes::from(vec![9u8; 37]),
+            reply_to: "lerc-rs6000:line-3".into(),
+        };
+        let boxed = msg.encode();
+        let mut gathered = BytesMut::new();
+        Msg::encode_call_request_into(
+            &mut gathered,
+            42,
+            7,
+            "SHAFT",
+            &[9u8; 37],
+            "lerc-rs6000:line-3",
+        );
+        assert_eq!(&gathered[..], &boxed[..]);
+        assert_eq!(Msg::call_request_wire_len("SHAFT", 37, "lerc-rs6000:line-3"), boxed.len());
+    }
+
+    #[test]
+    fn credit_stall_fault_reconstructs_typed() {
+        let e = SchError::Net(NetError::CreditStall {
+            from: "ua-sparc10".into(),
+            to: "lerc-rs6000".into(),
+            wait_us: 12_500,
+        });
+        let round = WireFault::from(&e).into_error();
+        assert_eq!(round, e);
+        // A garbled detail still yields a typed stall rather than Other.
+        let garbled = WireFault::new(FaultCode::CreditStall, "nonsense").into_error();
+        assert!(matches!(garbled, SchError::Net(NetError::CreditStall { wait_us: u64::MAX, .. })));
     }
 
     #[test]

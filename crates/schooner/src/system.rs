@@ -6,12 +6,13 @@
 //! through [`Schooner::open_line`] and from then on speak the library
 //! protocol (`start_remote` / `call` / `move_procedure` / `quit`).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hetsim::{FileStore, MachinePark};
-use netsim::{Network, Topology};
+use netsim::{LinkConfig, NetError, Network, Topology};
 
 use crate::error::{SchError, SchResult};
 use crate::line::LineHandle;
@@ -63,6 +64,14 @@ pub struct SchoonerConfig {
     /// attached — so long-running transients cannot grow the store
     /// without bound.
     pub checkpoint_retention: usize,
+    /// Link-layer batching and flow control. `None` (the default) sends
+    /// every call request as its own network message; `Some` coalesces
+    /// call requests per `(sending host, receiving host)` link into
+    /// framed batches with credit-based backpressure (see
+    /// [`netsim::LinkConfig`]). Manager and reply traffic is never
+    /// batched — only the client-side call-request data plane, which is
+    /// issued in deterministic virtual-time order.
+    pub link_batching: Option<LinkConfig>,
 }
 
 impl Default for SchoonerConfig {
@@ -76,6 +85,7 @@ impl Default for SchoonerConfig {
             heartbeat_miss_threshold: 2,
             wire_version: uts::WIRE_V2,
             checkpoint_retention: DEFAULT_CHECKPOINT_RETENTION,
+            link_batching: None,
         }
     }
 }
@@ -144,6 +154,13 @@ impl SchoonerConfigBuilder {
         self
     }
 
+    /// Coalesce call requests into per-link framed batches with
+    /// credit-based flow control.
+    pub fn link_batching(mut self, cfg: LinkConfig) -> Self {
+        self.config.link_batching = Some(cfg);
+        self
+    }
+
     /// Finish the configuration.
     pub fn build(self) -> SchoonerConfig {
         self.config
@@ -187,6 +204,13 @@ pub struct RuntimeCtx {
     /// [`RuntimeCtx::bump_incarnation_floor`] so post-recovery
     /// incarnations are strictly newer than anything journaled.
     pub incarnations: Arc<AtomicU64>,
+    /// Delivery failures of *batched* call requests, keyed by the
+    /// message tag `(line, call)`. When one line's flush carries another
+    /// line's coalesced request and that delivery fails, the failure is
+    /// parked here; the owning line claims it at collect time and feeds
+    /// it into its [`CallPolicy`](crate::CallPolicy) exactly as a
+    /// synchronous send error would have been.
+    pub batch_failures: Arc<Mutex<HashMap<(u64, u64), NetError>>>,
 }
 
 impl RuntimeCtx {
@@ -204,6 +228,23 @@ impl RuntimeCtx {
     pub fn bump_incarnation_floor(&self, floor: u64) {
         self.incarnations.fetch_max(floor, Ordering::SeqCst);
     }
+
+    /// Park the delivery failure of a batched message owned by another
+    /// line (or by a call this line will only examine at collect time).
+    pub(crate) fn park_batch_failure(&self, tag: (u64, u64), err: NetError) {
+        self.batch_failures.lock().unwrap().insert(tag, err);
+    }
+
+    /// Claim the parked delivery failure for `(line, call)`, if any.
+    pub fn take_batch_failure(&self, tag: (u64, u64)) -> Option<NetError> {
+        self.batch_failures.lock().unwrap().remove(&tag)
+    }
+
+    /// Drop every parked failure belonging to `line` — called when the
+    /// line quits so abandoned tickets cannot leak entries.
+    pub(crate) fn clear_batch_failures(&self, line: u64) {
+        self.batch_failures.lock().unwrap().retain(|(l, _), _| *l != line);
+    }
 }
 
 /// A running Schooner world.
@@ -220,6 +261,7 @@ impl Schooner {
     /// on `config.manager_host`.
     pub fn new(topology: Topology, park: MachinePark, config: SchoonerConfig) -> SchResult<Self> {
         let net = Network::new(topology);
+        net.set_link_config(config.link_batching);
         // The world's sink adopts the network's registry so transport
         // counters and RPC metrics land in one snapshot; the legacy
         // trace is a facade over the same event storage.
@@ -237,6 +279,7 @@ impl Schooner {
             proc_counter: Arc::new(AtomicU64::new(1)),
             checkpoints,
             incarnations: Arc::new(AtomicU64::new(1)),
+            batch_failures: Arc::new(Mutex::new(HashMap::new())),
         };
         let hosts: Vec<String> = ctx
             .park

@@ -75,6 +75,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 struct Store {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -114,6 +115,29 @@ impl MetricsRegistry {
         lock(&self.store).counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Set the named gauge to an instantaneous level (queue depths, busy
+    /// workers). Unlike counters, gauges move both ways.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        lock(&self.store).gauges.insert(name.to_owned(), value);
+    }
+
+    /// Add `delta` (possibly negative) to the named gauge, creating it
+    /// at zero first.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        let mut s = lock(&self.store);
+        match s.gauges.get_mut(name) {
+            Some(g) => *g += delta,
+            None => {
+                s.gauges.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Current level of a gauge (0 when it has never been set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        lock(&self.store).gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Record one virtual-time duration into the named histogram.
     pub fn observe(&self, name: &str, seconds: f64) {
         let mut s = lock(&self.store);
@@ -143,10 +167,16 @@ impl MetricsRegistry {
         lock(&self.store).histograms.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
     }
 
+    /// Names of all gauges whose name starts with `prefix`, sorted.
+    pub fn gauge_names(&self, prefix: &str) -> Vec<String> {
+        lock(&self.store).gauges.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+    }
+
     /// Forget everything (fresh-world tests).
     pub fn clear(&self) {
         let mut s = lock(&self.store);
         s.counters.clear();
+        s.gauges.clear();
         s.histograms.clear();
     }
 
@@ -168,6 +198,21 @@ impl MetricsRegistry {
         out.push_str("{\n  \"counters\": {");
         let mut first = true;
         for (name, value) in &s.counters {
+            if skip(name) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: {value}", json_string(name));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        first = true;
+        for (name, value) in &s.gauges {
             if skip(name) {
                 continue;
             }
@@ -318,7 +363,28 @@ mod tests {
     #[test]
     fn empty_snapshot_is_valid() {
         let m = MetricsRegistry::new();
-        assert_eq!(m.snapshot_json(), "{\n  \"counters\": {},\n  \"histograms\": {}\n}\n");
+        assert_eq!(
+            m.snapshot_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn gauges_set_add_and_export() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("pool.queue_depth"), 0);
+        m.gauge_set("pool.queue_depth", 3);
+        m.gauge_add("pool.queue_depth", -1);
+        m.gauge_add("pool.busy_workers", 2);
+        assert_eq!(m.gauge("pool.queue_depth"), 2);
+        assert_eq!(m.gauge("pool.busy_workers"), 2);
+        assert_eq!(m.gauge_names("pool."), vec!["pool.busy_workers", "pool.queue_depth"]);
+        let snap = m.snapshot_json();
+        assert!(snap.contains("\"pool.queue_depth\": 2"));
+        // Gauges honor the exclusion prefixes like every other family.
+        assert!(!m.snapshot_json_excluding(&["pool."]).contains("pool.queue_depth"));
+        m.clear();
+        assert_eq!(m.gauge("pool.queue_depth"), 0);
     }
 
     #[test]
@@ -338,11 +404,14 @@ mod tests {
         let m = MetricsRegistry::new();
         m.counter_add("x", 1);
         let m2 = m.clone();
-        let _ = std::thread::spawn(move || {
-            let _guard = m2.store.lock().unwrap();
-            panic!("poison the registry lock");
-        })
-        .join();
+        let poisoner = std::thread::Builder::new()
+            .name("metrics-poisoner".into())
+            .spawn(move || {
+                let _guard = m2.store.lock().unwrap();
+                panic!("poison the registry lock");
+            })
+            .unwrap();
+        assert!(poisoner.join().is_err(), "poisoner must panic to poison the lock");
         // Readers and writers keep working after the panic.
         m.counter_add("x", 1);
         assert_eq!(m.counter("x"), 2);

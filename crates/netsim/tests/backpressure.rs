@@ -10,30 +10,13 @@
 
 use bytes::Bytes;
 use netsim::{npss_testbed, BatchConfig, CreditConfig, FaultPlan, LinkConfig, NetError, Network};
+use testkit::SplitMix64 as Gen;
 
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    fn payload(&mut self, max_len: usize) -> Bytes {
-        let len = 1 + self.below(max_len);
-        Bytes::from(vec![0xAB; len])
-    }
+/// A random-length payload of constant fill: credit accounting cares
+/// about sizes, never contents.
+fn payload(g: &mut Gen, max_len: usize) -> Bytes {
+    let len = 1 + g.index(max_len);
+    Bytes::from(vec![0xAB; len])
 }
 
 const SRC: &str = "ua-sparc10:flood";
@@ -66,13 +49,13 @@ fn outstanding_credit_never_exceeds_window() {
         let mut g = Gen::new(seed);
         let mut t = 0.0;
         for i in 0..150u64 {
-            match g.below(10) {
+            match g.index(10) {
                 0 => {
                     net.flush_all(t);
                 }
-                1 => t += g.below(2000) as f64 * 1e-4,
+                1 => t += g.index(2000) as f64 * 1e-4,
                 _ => {
-                    let payload = g.payload(400);
+                    let payload = payload(&mut g, 400);
                     let rep = net.send_batched(SRC, DST, payload, t, (0, i)).unwrap();
                     t += rep.stalled_s;
                 }
@@ -110,7 +93,7 @@ fn credits_always_eventually_return() {
         let mut delivered = 0u32;
         let mut failed = 0u32;
         for i in 0..120u64 {
-            let payload = g.payload(300);
+            let payload = payload(&mut g, 300);
             match net.send_batched(SRC, DST, payload, t, (0, i)) {
                 Ok(rep) => {
                     t += rep.stalled_s;

@@ -16,31 +16,12 @@ use netsim::{
     npss_testbed, BatchConfig, CreditConfig, Envelope, FaultPlan, FrameError, LinkConfig, NetError,
     Network,
 };
+use testkit::SplitMix64 as Gen;
 
-/// Deterministic case generator (SplitMix64).
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    fn payload(&mut self, max_len: usize) -> Bytes {
-        let len = 1 + self.below(max_len);
-        Bytes::from((0..len).map(|_| self.next_u64() as u8).collect::<Vec<u8>>())
-    }
+/// A random 1..=`max_len`-byte payload.
+fn payload(g: &mut Gen, max_len: usize) -> Bytes {
+    let len = 1 + g.index(max_len);
+    Bytes::from((0..len).map(|_| g.next_u64() as u8).collect::<Vec<u8>>())
 }
 
 const SRC: &str = "ua-sparc10:flood";
@@ -119,10 +100,10 @@ fn wave_floods_are_bit_identical_across_threshold_grid() {
                     // Interleave two destination hosts so the batched
                     // run keeps more than one frame open at once.
                     let to = if i % 2 == 0 { DST } else { DST2 };
-                    let payload = gp.payload(600);
-                    assert_eq!(payload, gb.payload(600));
-                    plain_net.send(SRC, to, payload.clone(), t).unwrap();
-                    batch_net.send_batched(SRC, to, payload, t, (0, i as u64)).unwrap();
+                    let body = payload(&mut gp, 600);
+                    assert_eq!(body, payload(&mut gb, 600));
+                    plain_net.send(SRC, to, body.clone(), t).unwrap();
+                    batch_net.send_batched(SRC, to, body, t, (0, i as u64)).unwrap();
                 }
                 batch_net.flush_all(t);
                 t += 0.25;
@@ -158,12 +139,12 @@ fn staggered_floods_preserve_message_sequence() {
         let mut gb = Gen::new(977);
         let mut t = 0.0;
         for i in 0..120u64 {
-            t += gp.below(1000) as f64 * 1e-6;
-            let _ = gb.below(1000);
-            let payload = gp.payload(300);
-            assert_eq!(payload, gb.payload(300));
-            plain_net.send(SRC, DST, payload.clone(), t).unwrap();
-            batch_net.send_batched(SRC, DST, payload, t, (0, i)).unwrap();
+            t += gp.index(1000) as f64 * 1e-6;
+            let _ = gb.index(1000);
+            let body = payload(&mut gp, 300);
+            assert_eq!(body, payload(&mut gb, 300));
+            plain_net.send(SRC, DST, body.clone(), t).unwrap();
+            batch_net.send_batched(SRC, DST, body, t, (0, i)).unwrap();
         }
         batch_net.flush_all(t);
         assert_envelopes_equal(&drain(&dst_p), &drain(&dst_b), false);
@@ -190,8 +171,8 @@ fn single_message_frames_match_unbatched_exactly() {
     let mut g = Gen::new(404);
     let mut t = 0.0;
     for i in 0..80u64 {
-        t += g.below(5000) as f64 * 1e-6;
-        let payload = g.payload(256);
+        t += g.index(5000) as f64 * 1e-6;
+        let payload = payload(&mut g, 256);
         plain_net.send(SRC, DST, payload.clone(), t).unwrap();
         batch_net.send_batched(SRC, DST, payload, t, (0, i)).unwrap();
     }
@@ -234,7 +215,7 @@ fn seeded_drop_plans_fail_identical_message_ordinals() {
         let mut outcomes_b = Vec::new();
         let mut t = 0.0;
         for i in 0..100u64 {
-            let payload = g.payload(128);
+            let payload = payload(&mut g, 128);
             outcomes_p.push(plain_net.send(SRC, DST, payload.clone(), t).map(|_| ()).err());
             outcomes_b.push(batch_net.send_batched(SRC, DST, payload, t, (0, i)).map(|_| ()).err());
             if i % 8 == 7 {
@@ -267,7 +248,7 @@ fn batched_flood_replays_byte_identically() {
         let mut g = Gen::new(2024);
         let mut t = 0.0;
         for i in 0..200u64 {
-            let payload = g.payload(200);
+            let payload = payload(&mut g, 200);
             net.send_batched(SRC, DST, payload, t, (0, i)).unwrap();
             if i % 16 == 15 {
                 net.flush_all(t);

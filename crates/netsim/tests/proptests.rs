@@ -5,35 +5,7 @@
 //! crates and replays identically on every run.
 
 use netsim::{npss_testbed, Link, NodeKind, Topology, VirtualClock};
-
-/// Deterministic case generator.
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn flag(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-}
+use testkit::SplitMix64 as Gen;
 
 fn testbed_hosts() -> Vec<String> {
     npss_testbed().hosts().map(str::to_owned).collect()
@@ -47,10 +19,10 @@ fn transfer_symmetric_and_monotone() {
     let topo = npss_testbed();
     let hosts = testbed_hosts();
     for _ in 0..200 {
-        let a = topo.node(&hosts[g.below(hosts.len())]).unwrap();
-        let b = topo.node(&hosts[g.below(hosts.len())]).unwrap();
-        let small = 1 + g.below(10_000);
-        let extra = 1 + g.below(100_000);
+        let a = topo.node(&hosts[g.index(hosts.len())]).unwrap();
+        let b = topo.node(&hosts[g.index(hosts.len())]).unwrap();
+        let small = 1 + g.index(10_000);
+        let extra = 1 + g.index(100_000);
         let ab = topo.transfer_seconds(a, b, small).unwrap();
         let ba = topo.transfer_seconds(b, a, small).unwrap();
         assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
@@ -70,9 +42,9 @@ fn routing_is_latency_optimal() {
     let topo = npss_testbed();
     let hosts = testbed_hosts();
     for _ in 0..200 {
-        let a = topo.node(&hosts[g.below(hosts.len())]).unwrap();
-        let b = topo.node(&hosts[g.below(hosts.len())]).unwrap();
-        let c = topo.node(&hosts[g.below(hosts.len())]).unwrap();
+        let a = topo.node(&hosts[g.index(hosts.len())]).unwrap();
+        let b = topo.node(&hosts[g.index(hosts.len())]).unwrap();
+        let c = topo.node(&hosts[g.index(hosts.len())]).unwrap();
         let lat =
             |x, y| -> f64 { topo.route(x, y).unwrap().iter().map(|l: &Link| l.latency_s).sum() };
         assert!(lat(a, b) <= lat(a, c) + lat(c, b) + 1e-12);
@@ -90,9 +62,9 @@ fn link_removal_is_safe() {
         let a = topo.node(&hosts[0]).unwrap();
         let b = topo.node(&hosts[hosts.len() - 1]).unwrap();
         let before = topo.transfer_seconds(a, b, 100);
-        for _ in 0..g.below(10) {
-            let x = g.below(30);
-            let y = g.below(30);
+        for _ in 0..g.index(10) {
+            let x = g.index(30);
+            let y = g.index(30);
             if x < topo.len() && y < topo.len() && x != y {
                 topo.remove_links(netsim::NodeId(x), netsim::NodeId(y));
             }
@@ -115,7 +87,7 @@ fn clock_monotone() {
     for _ in 0..100 {
         let c = VirtualClock::new();
         let mut last = 0.0;
-        for _ in 0..g.below(50) {
+        for _ in 0..g.index(50) {
             let x = 10.0 * g.unit();
             let now = if g.flag() { c.merge(x) } else { c.advance(x) };
             assert!(now >= last - 1e-12);
@@ -130,12 +102,12 @@ fn clock_monotone() {
 fn random_topologies_route_safely() {
     let mut g = Gen::new(25);
     for _ in 0..100 {
-        let n = 2 + g.below(8);
+        let n = 2 + g.index(8);
         let mut t = Topology::new();
         let ids: Vec<_> = (0..n).map(|i| t.add_node(format!("h{i}"), NodeKind::Host)).collect();
-        for _ in 0..g.below(20) {
-            let a = g.below(10);
-            let b = g.below(10);
+        for _ in 0..g.index(20) {
+            let a = g.index(10);
+            let b = g.index(10);
             if a < n && b < n && a != b {
                 t.add_link(ids[a], ids[b], Link::ethernet());
             }

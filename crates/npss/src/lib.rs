@@ -29,6 +29,8 @@ pub mod experiments;
 pub mod f100;
 pub mod modules;
 pub mod procs;
+pub mod service;
+pub mod session_bench;
 pub mod sweep;
 
 pub use bridge::{
@@ -38,4 +40,5 @@ pub use bridge::{
 pub use engine_exec::{ExecutiveEngine, ExecutiveSolverOptions, Scheduling, WavePlan};
 pub use exec::{flow_to_value, value_to_flow, ComponentCall, ExecError, LocalExec, RemoteExec};
 pub use f100::{F100Network, RemotePlacement};
+pub use service::{run_session, CrashPlan, SessionKnobs, SessionReport, SessionRequest, Workload};
 pub use sweep::{flight_profile, FlightPoint, SweepConfig, SweepDriver, SweepReport};

@@ -1,0 +1,170 @@
+//! Pool-interleaving determinism and tenant isolation.
+//!
+//! The session layer's core promise: because every session builds and
+//! tears down its own world (own process counter, own metrics registry,
+//! own virtual clocks), pool interleaving cannot perturb a session's
+//! results. The same seeded request must produce a **byte-identical**
+//! transcript and metrics snapshot whether it runs solo or inside a
+//! saturated eight-worker pool — and one tenant's injected host crash
+//! must resolve through the existing supervision/retry machinery without
+//! touching any other tenant's report.
+
+use npss::service::{run_session, CrashPlan, SessionKnobs, SessionRequest, Workload};
+use npss::Scheduling;
+use schooner::pool::{PoolConfig, SessionPool};
+
+type SessionResult = Result<npss::service::SessionReport, String>;
+
+fn probe_request() -> SessionRequest {
+    SessionRequest::new("tenant-b", 0x0B0B_5EED, Workload::Transient { t_end: 0.2, dt: 0.02 })
+}
+
+fn filler_request(i: u64) -> SessionRequest {
+    // Cheap steady solves with varied knobs: enough traffic to keep all
+    // eight workers busy around the probe.
+    SessionRequest {
+        tenant: format!("tenant-f{}", i % 5),
+        seed: 0xF111_0000 + i,
+        workload: Workload::SteadyState { wf_frac: 0.93 + 0.01 * (i % 3) as f64 },
+        knobs: SessionKnobs {
+            link_batching: i.is_multiple_of(2),
+            scheduling: if i.is_multiple_of(3) {
+                Scheduling::WaveParallel
+            } else {
+                Scheduling::Sequential
+            },
+            crash: None,
+        },
+    }
+}
+
+/// The same seeded session, solo and under a saturated pool: sample
+/// `to_bits` transcripts and per-world `snapshot_json` metrics must be
+/// byte-identical.
+#[test]
+fn seeded_session_solo_vs_saturated_pool_identical() {
+    let probe = probe_request();
+    let solo = run_session(&probe).expect("solo session");
+    assert!(!solo.transcript.is_empty(), "transient must record samples");
+
+    let pool: SessionPool<SessionResult> =
+        SessionPool::start(PoolConfig { workers: 8, queue_capacity: 64, ..PoolConfig::default() })
+            .expect("pool");
+    // Saturate: more concurrent sessions than workers, then the probe in
+    // the middle of the burst.
+    let mut fillers = Vec::new();
+    for i in 0..6 {
+        let req = filler_request(i);
+        let tenant = req.tenant.clone();
+        fillers.push(pool.submit(&tenant, move || run_session(&req)).expect("admit filler"));
+    }
+    let probe_req = probe.clone();
+    let pooled_ticket =
+        pool.submit(&probe.tenant, move || run_session(&probe_req)).expect("admit probe");
+    for i in 6..12 {
+        let req = filler_request(i);
+        let tenant = req.tenant.clone();
+        fillers.push(pool.submit(&tenant, move || run_session(&req)).expect("admit filler"));
+    }
+    let pooled = pooled_ticket.wait().expect("no panic").expect("pooled session");
+    for t in fillers {
+        t.wait().expect("no panic").expect("filler session");
+    }
+
+    assert_eq!(
+        solo.transcript, pooled.transcript,
+        "pool interleaving must not perturb the sample transcript"
+    );
+    assert_eq!(solo.digest, pooled.digest);
+    for (i, (a, b)) in solo.metrics_json.lines().zip(pooled.metrics_json.lines()).enumerate() {
+        assert_eq!(a, b, "metrics snapshots diverge at line {i}");
+    }
+    assert_eq!(
+        solo.metrics_json, pooled.metrics_json,
+        "per-world metrics snapshots must be byte-identical"
+    );
+    assert_eq!(solo.virtual_start_s.to_bits(), pooled.virtual_start_s.to_bits());
+    assert_eq!(solo.virtual_end_s.to_bits(), pooled.virtual_end_s.to_bits());
+}
+
+/// Tenant A's seeded host crash resolves via the supervision/retry
+/// machinery inside A's own world; tenant B's concurrent session report
+/// is unchanged from its solo baseline.
+#[test]
+fn tenant_crash_is_isolated_from_other_tenants() {
+    // B's baseline, solo.
+    let b_req = probe_request();
+    let b_solo = run_session(&b_req).expect("solo B");
+
+    // Calibrate A's crash window from a clean run of the same request:
+    // crash a little past mid-run, reboot inside the retry budget.
+    let mut a_req =
+        SessionRequest::new("tenant-a", 0xA11C_E000, Workload::Transient { t_end: 0.3, dt: 0.02 });
+    let clean = run_session(&a_req).expect("clean A");
+    let span = clean.virtual_end_s - clean.virtual_start_s;
+    assert!(span > 0.0, "clean run must cost virtual time");
+    let t_crash = clean.virtual_start_s + 0.55 * span;
+    a_req.knobs.crash = Some(CrashPlan {
+        host: "lerc-cray-ymp".into(),
+        t_crash_s: t_crash,
+        t_restart_s: t_crash + 2.0,
+    });
+
+    // A (crashing) and B side by side in one pool.
+    let pool: SessionPool<SessionResult> =
+        SessionPool::start(PoolConfig { workers: 2, queue_capacity: 8, ..PoolConfig::default() })
+            .expect("pool");
+    let a_run = a_req.clone();
+    let a_ticket = pool.submit("tenant-a", move || run_session(&a_run)).expect("admit A");
+    let b_run = b_req.clone();
+    let b_ticket = pool.submit("tenant-b", move || run_session(&b_run)).expect("admit B");
+    let a_report = a_ticket.wait().expect("no panic").expect("A recovers and reports");
+    let b_report = b_ticket.wait().expect("no panic").expect("B reports");
+
+    // A really crashed and really recovered — not a vacuous pass.
+    assert!(a_report.fault_drops > 0, "the crash window must drop messages in A's world");
+    assert!(a_report.policy_retries > 0, "recovery must ride the call-policy retries");
+    assert!(a_report.metrics_json.contains("\"net.fault.hostdown\""));
+    assert_ne!(
+        a_report.metrics_json, clean.metrics_json,
+        "the crash must leave a mark on A's metrics"
+    );
+    assert_eq!(
+        a_report.transcript.len(),
+        clean.transcript.len(),
+        "A's recovered transient must still record every sample"
+    );
+
+    // B is untouched: byte-identical to its solo baseline.
+    assert_eq!(b_report.transcript, b_solo.transcript, "A's crash leaked into B's transcript");
+    assert_eq!(b_report.digest, b_solo.digest);
+    assert_eq!(b_report.metrics_json, b_solo.metrics_json, "A's crash leaked into B's metrics");
+    assert_eq!(b_report.fault_drops, 0, "no faults were injected into B's world");
+}
+
+/// The flood-sweep workload is deterministic under the pool too: same
+/// seed, same checksum line, solo or pooled.
+#[test]
+fn sweep_session_deterministic_under_pool() {
+    let req = SessionRequest::new(
+        "tenant-s",
+        0x5EED_F100,
+        Workload::FloodSweep { lines: 4, variants: 64 },
+    );
+    let solo = run_session(&req).expect("solo sweep");
+
+    let pool: SessionPool<SessionResult> =
+        SessionPool::start(PoolConfig { workers: 4, queue_capacity: 8, ..PoolConfig::default() })
+            .expect("pool");
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            let r = req.clone();
+            pool.submit(&req.tenant, move || run_session(&r)).expect("admit")
+        })
+        .collect();
+    for t in tickets {
+        let pooled = t.wait().expect("no panic").expect("pooled sweep");
+        assert_eq!(solo.transcript, pooled.transcript, "sweep checksum line diverged");
+        assert_eq!(solo.metrics_json, pooled.metrics_json);
+    }
+}

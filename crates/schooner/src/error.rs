@@ -56,6 +56,13 @@ pub enum SchError {
     /// retryable: the supervisor has already decided no replacement will
     /// appear.
     Escalated(String),
+    /// A pooled session's job panicked inside its worker thread. The
+    /// pool survives (the worker catches the unwind and moves on) but
+    /// this session produced no report.
+    SessionPanicked {
+        /// The tenant whose session died.
+        tenant: String,
+    },
     /// Anything else.
     Other(String),
 }
@@ -88,6 +95,9 @@ impl fmt::Display for SchError {
             }
             SchError::Escalated(what) => {
                 write!(f, "supervision escalated the failure of '{what}' to the caller")
+            }
+            SchError::SessionPanicked { tenant } => {
+                write!(f, "pooled session for tenant '{tenant}' panicked in its worker")
             }
             SchError::Other(msg) => write!(f, "{msg}"),
         }

@@ -79,6 +79,7 @@ pub mod manager;
 pub mod message;
 pub mod obs;
 pub mod policy;
+pub mod pool;
 pub mod proc;
 pub mod program;
 pub mod server;
@@ -95,6 +96,10 @@ pub use obs::{
     Phase, SpanWave,
 };
 pub use policy::{CallPolicy, OnExhaustion};
+pub use pool::{
+    simulate_service, Offered, PoolConfig, Rejected, ServiceOutcome, SessionPool, SessionTicket,
+    TokenBucket, VirtualSession,
+};
 pub use proc::{FnProcedure, ProcFault, ProcResult, Procedure, StatefulProcedure};
 pub use program::{ProgramImage, ProgramRegistry};
 pub use supervise::{CheckpointStore, Health, HealthMonitor, SupervisionPolicy};

@@ -278,11 +278,14 @@ mod tests {
         obs.set_enabled(true);
         obs.emit(1.0, EventKind::ManagerShutdown);
         let obs2 = obs.clone();
-        let _ = std::thread::spawn(move || {
-            let _guard = obs2.inner.events.lock().unwrap();
-            panic!("poison the event lock");
-        })
-        .join();
+        let poisoner = std::thread::Builder::new()
+            .name("obs-poisoner".into())
+            .spawn(move || {
+                let _guard = obs2.inner.events.lock().unwrap();
+                panic!("poison the event lock");
+            })
+            .unwrap();
+        assert!(poisoner.join().is_err(), "poisoner must panic to poison the lock");
         obs.emit(2.0, EventKind::ManagerShutdown);
         assert_eq!(obs.events().len(), 2);
     }

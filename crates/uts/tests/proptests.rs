@@ -4,50 +4,18 @@
 //! deterministic SplitMix64 generator so the sweep needs no external
 //! crates and replays identically on every run.
 
+use testkit::SplitMix64 as Gen;
 use uts::native::{cray, decode_native, encode_native, through_native, vax};
 use uts::wire::{WireReader, WireWriter};
 use uts::{Architecture, Type, Value};
 
-/// Deterministic case generator.
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn range(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.unit()
-    }
-
-    fn flag(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-
-    /// Log-uniform magnitude with a random sign: `±10^[lo_exp, hi_exp)`.
-    fn signed_mag(&mut self, lo_exp: f64, hi_exp: f64) -> f64 {
-        let mag = 10f64.powf(self.range(lo_exp, hi_exp));
-        if self.flag() {
-            mag
-        } else {
-            -mag
-        }
+/// Log-uniform magnitude with a random sign: `±10^[lo_exp, hi_exp)`.
+fn signed_mag(g: &mut Gen, lo_exp: f64, hi_exp: f64) -> f64 {
+    let mag = 10f64.powf(g.range(lo_exp, hi_exp));
+    if g.flag() {
+        mag
+    } else {
+        -mag
     }
 }
 
@@ -56,7 +24,7 @@ impl Gen {
 fn gen_type(g: &mut Gen, depth: usize, allow_string: bool) -> Type {
     let scalars = if allow_string { 6 } else { 5 };
     let choices = if depth == 0 { scalars } else { scalars + 2 };
-    match g.below(choices) {
+    match g.index(choices) {
         0 => Type::Integer,
         1 => Type::Float,
         2 => Type::Double,
@@ -64,11 +32,11 @@ fn gen_type(g: &mut Gen, depth: usize, allow_string: bool) -> Type {
         4 => Type::Boolean,
         5 if allow_string => Type::String,
         n if n == scalars => Type::Array {
-            len: 1 + g.below(4),
+            len: 1 + g.index(4),
             elem: Box::new(gen_type(g, depth - 1, allow_string)),
         },
         _ => Type::Record {
-            fields: (0..1 + g.below(3))
+            fields: (0..1 + g.index(3))
                 .map(|i| (format!("f{i}"), gen_type(g, depth - 1, allow_string)))
                 .collect(),
         },
@@ -82,11 +50,11 @@ fn gen_value(g: &mut Gen, ty: &Type) -> Value {
         Type::Integer => Value::Integer(g.next_u64() as u32 as i32 as i64),
         Type::Float => Value::Float(g.range(-1.0e30, 1.0e30) as f32),
         Type::Double => Value::Double(g.range(-1.0e30, 1.0e30)),
-        Type::Byte => Value::Byte(g.below(256) as u8),
+        Type::Byte => Value::Byte(g.index(256) as u8),
         Type::Boolean => Value::Boolean(g.flag()),
         Type::String => {
-            let len = g.below(21);
-            Value::String((0..len).map(|_| (0x20 + g.below(95) as u8) as char).collect())
+            let len = g.index(21);
+            Value::String((0..len).map(|_| (0x20 + g.index(95) as u8) as char).collect())
         }
         Type::Array { len, elem } => Value::Array((0..*len).map(|_| gen_value(g, elem)).collect()),
         Type::Record { fields } => {
@@ -178,7 +146,7 @@ fn cray_f64_error_bounded() {
     let mut g = Gen::new(5);
     assert_eq!(cray::decode(cray::encode(0.0).unwrap()).unwrap(), 0.0);
     for _ in 0..400 {
-        let x = g.signed_mag(-250.0, 250.0);
+        let x = signed_mag(&mut g, -250.0, 250.0);
         let w = cray::encode(x).unwrap();
         let back = cray::decode(w).unwrap();
         assert!(((back - x) / x).abs() <= 2f64.powi(-47), "{back} vs {x}");
@@ -211,7 +179,7 @@ fn vax_f_exact_in_range() {
     let mut g = Gen::new(7);
     assert_eq!(vax::decode_f(vax::encode_f(0.0).unwrap()).unwrap(), 0.0);
     for _ in 0..400 {
-        let x = g.signed_mag(-36.0, 37.5) as f32;
+        let x = signed_mag(&mut g, -36.0, 37.5) as f32;
         let b = vax::encode_f(x).unwrap();
         assert_eq!(vax::decode_f(b).unwrap(), x);
     }
@@ -223,7 +191,7 @@ fn vax_d_exact_in_range() {
     let mut g = Gen::new(8);
     assert_eq!(vax::decode_d(vax::encode_d(0.0).unwrap()).unwrap(), 0.0);
     for _ in 0..400 {
-        let x = g.signed_mag(-36.0, 38.0);
+        let x = signed_mag(&mut g, -36.0, 38.0);
         let b = vax::encode_d(x).unwrap();
         assert_eq!(vax::decode_d(b).unwrap(), x);
     }
@@ -235,8 +203,8 @@ fn vax_d_exact_in_range() {
 fn wire_decoder_total_on_garbage() {
     let mut g = Gen::new(9);
     for _ in 0..400 {
-        let len = g.below(64);
-        let bytes: Vec<u8> = (0..len).map(|_| g.below(256) as u8).collect();
+        let len = g.index(64);
+        let bytes: Vec<u8> = (0..len).map(|_| g.index(256) as u8).collect();
         let mut r = WireReader::new(bytes::Bytes::from(bytes));
         if let Ok(v) = r.get_any() {
             let mut w = WireWriter::new();

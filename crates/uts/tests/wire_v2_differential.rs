@@ -8,49 +8,17 @@
 //! Cases are drawn from a seeded SplitMix64 generator, so the sweep
 //! replays identically on every run.
 
+use testkit::SplitMix64 as Gen;
 use uts::native::through_native;
 use uts::wire::{WireReader, WireWriter};
 use uts::{payload_version, Architecture, MarshalPlan, Type, Value, WIRE_V1, WIRE_V2};
-
-/// Deterministic case generator (SplitMix64).
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn range(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.unit()
-    }
-
-    fn flag(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-}
 
 /// A random type tree. Scalar arrays are over-represented so the plan's
 /// bulk opcodes get the bulk of the coverage; nested arrays and records
 /// exercise the structural `Repeat`/`Record` paths.
 fn gen_type(g: &mut Gen, depth: usize) -> Type {
     let choices = if depth == 0 { 6 } else { 9 };
-    match g.below(choices) {
+    match g.index(choices) {
         0 => Type::Integer,
         1 => Type::Float,
         2 => Type::Double,
@@ -59,22 +27,22 @@ fn gen_type(g: &mut Gen, depth: usize) -> Type {
         5 => Type::String,
         6 | 7 => {
             // Scalar array, occasionally large (bulk fast path).
-            let elem = match g.below(5) {
+            let elem = match g.index(5) {
                 0 => Type::Integer,
                 1 => Type::Float,
                 2 => Type::Double,
                 3 => Type::Byte,
                 _ => Type::Boolean,
             };
-            let len = if g.flag() { 1 + g.below(8) } else { 16 + g.below(80) };
+            let len = if g.flag() { 1 + g.index(8) } else { 16 + g.index(80) };
             Type::Array { len, elem: Box::new(elem) }
         }
         _ => {
             if g.flag() {
-                Type::Array { len: 1 + g.below(4), elem: Box::new(gen_type(g, depth - 1)) }
+                Type::Array { len: 1 + g.index(4), elem: Box::new(gen_type(g, depth - 1)) }
             } else {
                 Type::Record {
-                    fields: (0..1 + g.below(3))
+                    fields: (0..1 + g.index(3))
                         .map(|i| (format!("f{i}"), gen_type(g, depth - 1)))
                         .collect(),
                 }
@@ -91,11 +59,11 @@ fn gen_value(g: &mut Gen, ty: &Type) -> Value {
         Type::Integer => Value::Integer(g.next_u64() as u32 as i32 as i64),
         Type::Float => Value::Float(g.range(-1.0e30, 1.0e30) as f32),
         Type::Double => Value::Double(g.range(-1.0e30, 1.0e30)),
-        Type::Byte => Value::Byte(g.below(256) as u8),
+        Type::Byte => Value::Byte(g.index(256) as u8),
         Type::Boolean => Value::Boolean(g.flag()),
         Type::String => {
-            let len = g.below(21);
-            Value::String((0..len).map(|_| (0x20 + g.below(95) as u8) as char).collect())
+            let len = g.index(21);
+            Value::String((0..len).map(|_| (0x20 + g.index(95) as u8) as char).collect())
         }
         Type::Array { len, elem } => {
             let packed = g.flag();
@@ -110,7 +78,7 @@ fn gen_value(g: &mut Gen, ty: &Type) -> Value {
                     &(0..*len).map(|_| g.next_u64() as u32 as i32 as i64).collect::<Vec<_>>(),
                 ),
                 (Type::Byte, true) => Value::Bytes(bytes::Bytes::from(
-                    (0..*len).map(|_| g.below(256) as u8).collect::<Vec<_>>(),
+                    (0..*len).map(|_| g.index(256) as u8).collect::<Vec<_>>(),
                 )),
                 _ => Value::Array((0..*len).map(|_| gen_value(g, elem)).collect()),
             }
@@ -148,7 +116,7 @@ fn v1_round_trip(
 }
 
 fn gen_case(g: &mut Gen) -> (Vec<Type>, Vec<Value>) {
-    let types: Vec<Type> = (0..1 + g.below(4)).map(|_| gen_type(g, 2)).collect();
+    let types: Vec<Type> = (0..1 + g.index(4)).map(|_| gen_type(g, 2)).collect();
     let values: Vec<Value> = types.iter().map(|t| gen_value(g, t)).collect();
     (types, values)
 }
@@ -208,8 +176,8 @@ fn corrupted_v2_payloads_fail_closed() {
             continue;
         }
         for _ in 0..4 {
-            let pos = 1 + g.below(raw.len() - 1); // keep the version marker
-            raw[pos] ^= (1 + g.below(255)) as u8;
+            let pos = 1 + g.index(raw.len() - 1); // keep the version marker
+            raw[pos] ^= (1 + g.index(255)) as u8;
         }
         if let Ok(vals) = plan.decode(bytes::Bytes::from(raw), Architecture::Sgi4D) {
             assert_eq!(vals.len(), types.len());

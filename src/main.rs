@@ -22,6 +22,15 @@
 //!                                       inspect a durable journal: record
 //!                                       summary, retained checkpoints, the
 //!                                       journaled metrics, decoded events
+//! npss-sim serve [--workers N] [--queue C] [--rate R] [--burst B]
+//!                [--sessions S] [--tenants T]
+//!                                       run S seeded sessions from T tenants
+//!                                       through a live session pool with
+//!                                       admission control
+//! npss-sim bench-sessions [--quick] [--out PATH]
+//!                                       regenerate the sessions ablation:
+//!                                       sessions/sec and p99 vs pool size,
+//!                                       plus the admission-control overload row
 //! ```
 
 use std::sync::Arc;
@@ -43,7 +52,7 @@ fn main() {
 }
 
 fn usage() -> String {
-    "usage: npss-sim <testbed|table1|table2|fig1|f100|costs> [args]\n\
+    "usage: npss-sim <testbed|table1|table2|fig1|f100|costs|replay|serve|bench-sessions> [args]\n\
      \n\
      testbed                 describe the simulated two-site testbed\n\
      table1 [SECONDS]        regenerate Table 1 (default 1.0 s transient)\n\
@@ -60,7 +69,16 @@ fn usage() -> String {
      \u{20}                        of the Figure 1 program run both ways\n\
      replay PATH [--metrics] [--events] [--range A:B]\n\
      \u{20}                        inspect a durable journal after the world is\n\
-     \u{20}                        gone: summary, checkpoints, metrics, events"
+     \u{20}                        gone: summary, checkpoints, metrics, events\n\
+     serve [--workers N] [--queue C] [--rate R] [--burst B] [--sessions S] [--tenants T]\n\
+     \u{20}                        run seeded sessions through a live multi-\n\
+     \u{20}                        tenant pool: per-tenant token buckets, a\n\
+     \u{20}                        bounded queue, typed rejections, and the\n\
+     \u{20}                        pool's own metrics snapshot\n\
+     bench-sessions [--quick] [--out PATH]\n\
+     \u{20}                        regenerate the sessions ablation rows\n\
+     \u{20}                        (sessions/sec + p99 vs pool size, overload\n\
+     \u{20}                        row); --out also writes the JSON artifact"
         .to_owned()
 }
 
@@ -84,6 +102,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "f100" => cmd_f100(&args[1..]),
         "costs" => cmd_costs(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "bench-sessions" => cmd_bench_sessions(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -305,6 +325,95 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or(format!("{flag} requires a value"))?
+            .parse()
+            .map_err(|_| format!("cannot parse value for {flag}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use npss_sim::npss::service::SessionReport;
+    use npss_sim::npss::service::{run_session, SessionRequest, Workload};
+    use npss_sim::schooner::pool::{PoolConfig, SessionPool};
+
+    let workers: usize = parse_flag(args, "--workers", 4)?;
+    let queue: usize = parse_flag(args, "--queue", 8)?;
+    let rate: f64 = parse_flag(args, "--rate", 2.0)?;
+    let burst: f64 = parse_flag(args, "--burst", 4.0)?;
+    let sessions: usize = parse_flag(args, "--sessions", 12)?;
+    let tenants: usize = parse_flag(args, "--tenants", 3)?;
+
+    println!(
+        "session pool: {workers} workers, queue {queue}, {rate}/s per tenant (burst {burst})\n"
+    );
+    let pool: SessionPool<Result<SessionReport, String>> = SessionPool::start(PoolConfig {
+        workers,
+        queue_capacity: queue,
+        tenant_rate: rate,
+        tenant_burst: burst,
+    })
+    .map_err(|e| e.to_string())?;
+
+    let mut tickets = Vec::new();
+    let mut rejections = 0usize;
+    for i in 0..sessions {
+        let tenant = format!("tenant-{}", i % tenants);
+        let seed = 0xC0FF_EE00 + i as u64;
+        let workload = if i % 3 == 2 {
+            Workload::Transient { t_end: 0.2, dt: 0.02 }
+        } else {
+            Workload::SteadyState { wf_frac: 0.95 }
+        };
+        let req = SessionRequest::new(&tenant, seed, workload);
+        match pool.submit(&tenant, move || run_session(&req)) {
+            Ok(t) => tickets.push((tenant, seed, t)),
+            Err(r) => {
+                rejections += 1;
+                println!("  {tenant} seed {seed:#010x}  REJECTED: {r}");
+            }
+        }
+    }
+    for (tenant, seed, ticket) in tickets {
+        let report = ticket.wait().map_err(|e| e.to_string())??;
+        println!(
+            "  {tenant} seed {seed:#010x}  digest {:016x}  virtual cost {:>8.3} s  \
+             ({} transcript line(s))",
+            report.digest,
+            report.virtual_cost_s(),
+            report.transcript.len()
+        );
+    }
+    println!("\n{rejections} rejection(s) at the front door");
+    println!("\npool metrics:");
+    print!("{}", pool.metrics().snapshot_json());
+    Ok(())
+}
+
+fn cmd_bench_sessions(args: &[String]) -> Result<(), String> {
+    use npss_sim::npss::session_bench::{render, run_session_bench};
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).cloned().ok_or("--out requires a PATH".to_owned()))
+        .transpose()?;
+
+    println!("measuring seeded session costs through a live pool...\n");
+    let report = run_session_bench(quick)?;
+    print!("{}", render(&report));
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).map_err(|e| e.to_string())?;
+        println!("\nwrote {path}");
     }
     Ok(())
 }
